@@ -1,0 +1,153 @@
+//! Size-class ladders.
+//!
+//! Each allocator rounds requests up to its own ladder; the resulting block
+//! *spacing* is what the STM's stripe mapping sees. The paper leans on the
+//! differences: Glibc has no 48-byte class (a 48-byte red-black-tree node
+//! lands in a 64-byte block), while TBB/TC do, so their nodes straddle ORT
+//! stripes differently (§5.3).
+
+/// A monotone ladder of block sizes with O(1)-ish lookup.
+#[derive(Clone, Debug)]
+pub struct SizeClasses {
+    sizes: Vec<u64>,
+}
+
+impl SizeClasses {
+    /// Build from an explicit ascending ladder.
+    pub fn new(sizes: Vec<u64>) -> Self {
+        assert!(!sizes.is_empty());
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "ladder must ascend");
+        SizeClasses { sizes }
+    }
+
+    /// Power-of-two ladder `min, 2min, …, max` (Hoard-style, internal
+    /// fragmentation bounded by the base factor b = 2).
+    pub fn pow2(min: u64, max: u64) -> Self {
+        let mut v = Vec::new();
+        let mut s = min;
+        while s <= max {
+            v.push(s);
+            s *= 2;
+        }
+        SizeClasses::new(v)
+    }
+
+    /// TCMalloc-style ladder: multiples of 16 up to 256 (plus an 8-byte
+    /// class), then multiples of 256 up to 4 KiB, then powers of two.
+    pub fn tcmalloc(max: u64) -> Self {
+        let mut v = vec![8u64];
+        let mut s = 16;
+        while s <= 256.min(max) {
+            v.push(s);
+            s += 16;
+        }
+        s = 512;
+        while s <= 4096.min(max) {
+            v.push(s);
+            s += 256;
+        }
+        s = 8192;
+        while s <= max {
+            v.push(s);
+            s *= 2;
+        }
+        SizeClasses::new(v)
+    }
+
+    /// TBBMalloc-style ladder: multiples of 8 up to 64, then roughly
+    /// ×1.25 steps aligned to 16, up to `max`.
+    pub fn tbb(max: u64) -> Self {
+        let mut v: Vec<u64> = (1..=8).map(|i| i * 8).collect();
+        let mut s = 80u64;
+        while s <= max {
+            v.push(s);
+            let next = (s + s / 4 + 15) & !15;
+            s = next.max(s + 16);
+        }
+        SizeClasses::new(v)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Largest class size.
+    pub fn max(&self) -> u64 {
+        *self.sizes.last().unwrap()
+    }
+
+    /// Index of the smallest class that fits `size`, or `None` if the
+    /// request exceeds the ladder (→ large-object path).
+    pub fn class_of(&self, size: u64) -> Option<usize> {
+        if size > self.max() {
+            return None;
+        }
+        Some(self.sizes.partition_point(|&s| s < size.max(1)))
+    }
+
+    /// Block size of class `idx`.
+    pub fn size_of(&self, idx: usize) -> u64 {
+        self.sizes[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_ladder() {
+        let c = SizeClasses::pow2(16, 8192);
+        assert_eq!(c.size_of(0), 16);
+        assert_eq!(c.max(), 8192);
+        assert_eq!(c.size_of(c.class_of(17).unwrap()), 32);
+        assert_eq!(c.size_of(c.class_of(48).unwrap()), 64); // Hoard: no 48 B class
+        assert_eq!(c.size_of(c.class_of(16).unwrap()), 16);
+        assert!(c.class_of(9000).is_none());
+    }
+
+    #[test]
+    fn tcmalloc_ladder_has_48() {
+        let c = SizeClasses::tcmalloc(256 * 1024);
+        assert_eq!(c.size_of(c.class_of(48).unwrap()), 48);
+        assert_eq!(c.size_of(c.class_of(8).unwrap()), 8);
+        assert_eq!(c.size_of(c.class_of(16).unwrap()), 16);
+        assert_eq!(c.size_of(c.class_of(100).unwrap()), 112);
+    }
+
+    #[test]
+    fn tbb_ladder_has_fine_small_classes() {
+        let c = SizeClasses::tbb(8 * 1024);
+        for want in [8u64, 16, 24, 32, 40, 48, 56, 64] {
+            assert_eq!(c.size_of(c.class_of(want).unwrap()), want);
+        }
+        // Ladder keeps ascending past 64.
+        assert!(c.size_of(c.class_of(65).unwrap()) >= 80);
+    }
+
+    #[test]
+    fn zero_size_maps_to_smallest() {
+        let c = SizeClasses::pow2(16, 1024);
+        assert_eq!(c.size_of(c.class_of(0).unwrap()), 16);
+    }
+
+    #[test]
+    fn boundary_exact_fit() {
+        let c = SizeClasses::tcmalloc(1024);
+        for idx in 0..c.len() {
+            let s = c.size_of(idx);
+            assert_eq!(c.class_of(s).unwrap(), idx, "size {s} must map to itself");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_ascending_rejected() {
+        SizeClasses::new(vec![16, 16]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Intrusive singly-linked free lists kept *in simulated memory*.
+//!
+//! Like the real allocators, the link word lives in the freed block itself,
+//! so pushing/popping touches the block's cache line through the simulator.
+//! This is what gives recycled blocks their cache-warm fast path, and what
+//! makes a thread walking a remote free list pay coherence misses.
+
+use tm_sim::Ctx;
+
+/// Sentinel terminating a list (no valid block lives at address 0).
+pub const NIL: u64 = 0;
+
+/// A free list identified by its head address (host side). Blocks must be at
+/// least 8 bytes so the link fits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FreeList {
+    head: u64,
+    len: u64,
+}
+
+impl FreeList {
+    pub fn new() -> Self {
+        FreeList { head: NIL, len: 0 }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+
+    /// Push `block` on the list, writing the link word through the cache
+    /// model.
+    pub fn push(&mut self, ctx: &mut Ctx<'_>, block: u64) {
+        debug_assert_ne!(block, NIL);
+        ctx.write_u64(block, self.head);
+        self.head = block;
+        self.len += 1;
+    }
+
+    /// Pop the most recently pushed block (LIFO — all four modelled
+    /// allocators recycle most-recently-freed first for cache warmth).
+    pub fn pop(&mut self, ctx: &mut Ctx<'_>) -> Option<u64> {
+        if self.head == NIL {
+            return None;
+        }
+        let block = self.head;
+        self.head = ctx.read_u64(block);
+        self.len -= 1;
+        Some(block)
+    }
+
+    /// Move up to `n` blocks from `self` to `other` (central→local refill,
+    /// local→central garbage collection). Returns how many moved.
+    pub fn transfer(&mut self, ctx: &mut Ctx<'_>, other: &mut FreeList, n: u64) -> u64 {
+        let mut moved = 0;
+        while moved < n {
+            match self.pop(ctx) {
+                Some(b) => {
+                    other.push(ctx, b);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_sim::{MachineConfig, Sim};
+
+    #[test]
+    fn lifo_order() {
+        let sim = Sim::new(MachineConfig::tiny_test());
+        sim.run(1, |ctx| {
+            let mut fl = FreeList::new();
+            fl.push(ctx, 0x1000);
+            fl.push(ctx, 0x2000);
+            fl.push(ctx, 0x3000);
+            assert_eq!(fl.len(), 3);
+            assert_eq!(fl.pop(ctx), Some(0x3000));
+            assert_eq!(fl.pop(ctx), Some(0x2000));
+            assert_eq!(fl.pop(ctx), Some(0x1000));
+            assert_eq!(fl.pop(ctx), None);
+            assert!(fl.is_empty());
+        });
+    }
+
+    #[test]
+    fn transfer_moves_n() {
+        let sim = Sim::new(MachineConfig::tiny_test());
+        sim.run(1, |ctx| {
+            let mut a = FreeList::new();
+            let mut b = FreeList::new();
+            for i in 1..=5u64 {
+                a.push(ctx, i * 0x100);
+            }
+            let moved = a.transfer(ctx, &mut b, 3);
+            assert_eq!(moved, 3);
+            assert_eq!(a.len(), 2);
+            assert_eq!(b.len(), 3);
+            let moved = a.transfer(ctx, &mut b, 10);
+            assert_eq!(moved, 2);
+            assert!(a.is_empty());
+        });
+    }
+
+    #[test]
+    fn links_live_in_simulated_memory() {
+        let sim = Sim::new(MachineConfig::tiny_test());
+        sim.run(1, |ctx| {
+            let mut fl = FreeList::new();
+            fl.push(ctx, 0x1000);
+            fl.push(ctx, 0x2000);
+            // The link word of the second block points at the first.
+            assert_eq!(ctx.read_u64(0x2000), 0x1000);
+            assert_eq!(ctx.read_u64(0x1000), NIL);
+        });
+    }
+}

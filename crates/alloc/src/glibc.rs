@@ -1,0 +1,365 @@
+//! Glibc (ptmalloc2/3) model.
+//!
+//! Follows the paper's §3.1 and Table 1:
+//! * per-block boundary tags (16-byte header in front of user memory), so
+//!   the minimum block is 32 bytes and consecutive 16-byte requests land
+//!   32 bytes apart — the property that accidentally avoids ORT false
+//!   conflicts in the linked-list benchmark (Fig. 5);
+//! * binned free lists per chunk size, no coalescing on the fast bins;
+//! * per-thread *preferred* arenas protected by one lock each, probed with
+//!   `trylock`; if every arena is busy a brand-new arena is created;
+//! * arenas aligned to their 64 MB maximum size, which makes blocks from
+//!   different arenas alias to the same ORT entries under the STM's
+//!   shift-and-modulo mapping (the HashSet anomaly, §5.2).
+//!
+//! Locking discipline (crate-wide): a host `Mutex` that is held across
+//! `Ctx` calls must itself be protected by a `SimMutex` (so it can never be
+//! contended) or be per-thread; the global registry mutex is only held for
+//! quick host-side bookkeeping with no `Ctx` calls.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tm_sim::{Ctx, Sim, SimMutex};
+
+use crate::freelist::FreeList;
+use crate::{Allocator, AllocatorAttrs};
+
+/// Arena reservation size and alignment (64 MB, the paper's figure).
+const ARENA_RESERVE: u64 = 64 << 20;
+/// Initial arena "commit" (132 KB per the paper's Table 1).
+const ARENA_INITIAL: u64 = 132 * 1024;
+/// Boundary-tag header size on 64-bit.
+const HEADER: u64 = 16;
+/// Minimum chunk size on 64-bit (Table 1: even `malloc(0)` takes 32 bytes).
+const MIN_CHUNK: u64 = 32;
+/// Requests whose chunk exceeds this go straight to the OS (mmap).
+const MMAP_THRESHOLD: u64 = 128 * 1024;
+
+struct ArenaInner {
+    base: u64,
+    bump: u64,
+    /// Currently "committed" end; growing past it charges a growth cost.
+    committed: u64,
+    reserved_end: u64,
+    /// Free chunks binned by exact chunk size (fast-bin style, LIFO,
+    /// no coalescing).
+    bins: HashMap<u64, FreeList>,
+}
+
+struct Arena {
+    mx: SimMutex,
+    /// Only locked while holding `mx`, hence never contended.
+    inner: Mutex<ArenaInner>,
+}
+
+struct Global {
+    arenas: Vec<Arc<Arena>>,
+    /// Preferred arena per thread id.
+    preferred: Vec<usize>,
+    /// `addr >> 26` (64 MB granule) → arena index, for `free`.
+    by_region: HashMap<u64, usize>,
+    /// Large mmap'd blocks: user address → reserved size.
+    large: HashMap<u64, u64>,
+}
+
+/// The Glibc/ptmalloc allocator model. See module docs.
+pub struct GlibcAllocator {
+    global: Mutex<Global>,
+}
+
+impl GlibcAllocator {
+    pub fn new(sim: &Sim) -> Self {
+        let max_threads = sim.config().cores;
+        let main_arena = Arc::new(Arena {
+            mx: sim.new_mutex(),
+            inner: Mutex::new(ArenaInner {
+                base: 0,
+                bump: 0,
+                committed: 0,
+                reserved_end: 0,
+                bins: HashMap::new(),
+            }),
+        });
+        GlibcAllocator {
+            global: Mutex::new(Global {
+                arenas: vec![main_arena],
+                preferred: vec![0; max_threads],
+                by_region: HashMap::new(),
+                large: HashMap::new(),
+            }),
+        }
+    }
+
+    fn chunk_size(size: u64) -> u64 {
+        ((size + HEADER + 15) & !15).max(MIN_CHUNK)
+    }
+
+    /// Lazily back an arena with a fresh 64 MB-aligned reservation.
+    fn ensure_arena_backed(&self, ctx: &mut Ctx<'_>, idx: usize) {
+        let needs = { self.global.lock().arenas[idx].inner.lock().reserved_end == 0 };
+        if needs {
+            let base = ctx.os_alloc(ARENA_RESERVE, ARENA_RESERVE);
+            let mut g = self.global.lock();
+            g.by_region.insert(base >> 26, idx);
+            let mut inner = g.arenas[idx].inner.lock();
+            if inner.reserved_end == 0 {
+                inner.base = base;
+                inner.bump = base;
+                inner.committed = base + ARENA_INITIAL;
+                inner.reserved_end = base + ARENA_RESERVE;
+            }
+        }
+    }
+
+    /// Pick and lock an arena: try the preferred one, then probe the rest
+    /// with trylock, then create a new arena — the ptmalloc algorithm from
+    /// the paper's §3.1.
+    fn lock_some_arena(&self, ctx: &mut Ctx<'_>) -> (usize, Arc<Arena>) {
+        let tid = ctx.tid();
+        let candidates = {
+            let g = self.global.lock();
+            let start = g.preferred[tid].min(g.arenas.len() - 1);
+            let n = g.arenas.len();
+            let order: Vec<(usize, Arc<Arena>)> = (0..n)
+                .map(|i| {
+                    let idx = (start + i) % n;
+                    (idx, Arc::clone(&g.arenas[idx]))
+                })
+                .collect();
+            order
+        };
+        for (idx, arena) in candidates {
+            ctx.tick(5); // probe overhead
+            if ctx.try_lock(arena.mx) {
+                self.global.lock().preferred[tid] = idx;
+                return (idx, arena);
+            }
+        }
+        // All arenas busy: create a new one (registered before locking so
+        // concurrent creators make distinct arenas, as glibc does).
+        let mx = ctx.new_mutex();
+        let (idx, arena) = {
+            let mut g = self.global.lock();
+            let arena = Arc::new(Arena {
+                mx,
+                inner: Mutex::new(ArenaInner {
+                    base: 0,
+                    bump: 0,
+                    committed: 0,
+                    reserved_end: 0,
+                    bins: HashMap::new(),
+                }),
+            });
+            g.arenas.push(Arc::clone(&arena));
+            let idx = g.arenas.len() - 1;
+            g.preferred[tid] = idx;
+            (idx, arena)
+        };
+        ctx.lock(arena.mx);
+        (idx, arena)
+    }
+}
+
+impl Allocator for GlibcAllocator {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        ctx.tick(12); // entry, size computation
+        let chunk = Self::chunk_size(size);
+        if chunk > MMAP_THRESHOLD {
+            let base = ctx.os_alloc(chunk, 4096);
+            ctx.write_u64(base + 8, chunk); // tag even for mmap'd chunks
+            self.global.lock().large.insert(base + HEADER, chunk);
+            return base + HEADER;
+        }
+
+        let (idx, arena) = self.lock_some_arena(ctx);
+        self.ensure_arena_backed(ctx, idx);
+        // `arena.mx` is held: `inner` can never be contended. We still must
+        // not hold the host guard across Ctx calls, so stage the work.
+        let recycled = {
+            let inner = arena.inner.lock();
+            inner.bins.get(&chunk).copied().filter(|b| !b.is_empty())
+        };
+        let base = if let Some(mut bin) = recycled {
+            // Pop outside the host guard, then store the updated bin back.
+            let b = bin.pop(ctx).expect("bin was non-empty");
+            arena.inner.lock().bins.insert(chunk, bin);
+            ctx.tick(4);
+            b
+        } else {
+            // Bump allocation from the top of the arena.
+            let (b, grow) = {
+                let mut inner = arena.inner.lock();
+                let b = inner.bump;
+                inner.bump += chunk;
+                let mut grow = false;
+                while inner.bump > inner.committed {
+                    inner.committed = (inner.committed + ARENA_INITIAL).min(inner.reserved_end);
+                    grow = true;
+                }
+                assert!(
+                    inner.bump <= inner.reserved_end,
+                    "glibc model: arena exhausted (64 MB)"
+                );
+                (b, grow)
+            };
+            if grow {
+                ctx.tick(800); // sbrk/mprotect-style growth cost
+            }
+            b
+        };
+        // Boundary tag: size word in the header, touched on every
+        // (de)allocation — Glibc's per-block metadata cost.
+        ctx.write_u64(base + 8, chunk);
+        ctx.unlock(arena.mx);
+        base + HEADER
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        ctx.tick(10);
+        if self.global.lock().large.remove(&addr).is_some() {
+            ctx.tick(300); // munmap-ish
+            return;
+        }
+        let base = addr - HEADER;
+        let chunk = ctx.read_u64(base + 8); // read the boundary tag
+        let arena = {
+            let g = self.global.lock();
+            let idx = *g
+                .by_region
+                .get(&(base >> 26))
+                .expect("glibc model: free of unknown address");
+            Arc::clone(&g.arenas[idx])
+        };
+        // Blocks return to the arena they came from (paper §3.1), which
+        // requires taking that arena's lock.
+        ctx.lock(arena.mx);
+        let mut bin = arena
+            .inner
+            .lock()
+            .bins
+            .get(&chunk)
+            .copied()
+            .unwrap_or_else(FreeList::new);
+        bin.push(ctx, base);
+        arena.inner.lock().bins.insert(chunk, bin);
+        ctx.unlock(arena.mx);
+    }
+
+    fn min_block(&self) -> u64 {
+        MIN_CHUNK
+    }
+
+    fn attributes(&self) -> AllocatorAttrs {
+        AllocatorAttrs {
+            name: "Glibc",
+            models_version: "2.11.1 (ptmalloc2)",
+            metadata: "per block (boundary tags)",
+            min_size: MIN_CHUNK,
+            fast_path: "none (arena lock on every op); bins <= 128 B uncoalesced",
+            granularity: "132 KB - 64 MB per arena",
+            synchronization: "one lock per arena; trylock probing; new arena on contention",
+        }
+    }
+}
+
+impl GlibcAllocator {
+    /// Number of arenas created so far (diagnostics; the paper's §5.2
+    /// explains the HashSet anomaly via multiple 64 MB-aligned arenas).
+    pub fn arena_count(&self) -> usize {
+        self.global.lock().arenas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use tm_sim::MachineConfig;
+
+    #[test]
+    fn conformance() {
+        crate::testutil::conformance(AllocatorKind::Glibc);
+    }
+
+    #[test]
+    fn min_spacing_is_32_bytes() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 16);
+            let q = a.malloc(ctx, 16);
+            assert_eq!(q - p, 32, "16-byte requests must be 32 bytes apart");
+            let r = a.malloc(ctx, 0);
+            let s = a.malloc(ctx, 0);
+            assert_eq!(s - r, 32, "even malloc(0) consumes 32 bytes");
+        });
+    }
+
+    #[test]
+    fn no_48_byte_class() {
+        // 48-byte requests round to a 64-byte chunk (paper §5.3).
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 48);
+            let q = a.malloc(ctx, 48);
+            assert_eq!(q - p, 64);
+        });
+    }
+
+    #[test]
+    fn arenas_are_64mb_aligned() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        let bases = parking_lot::Mutex::new(Vec::new());
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 16);
+            bases.lock().push(p - HEADER);
+        });
+        for b in bases.into_inner() {
+            assert_eq!(b % ARENA_RESERVE, 0, "arena base must be 64 MB aligned");
+        }
+    }
+
+    #[test]
+    fn contention_spawns_new_arenas() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        sim.run(8, |ctx| {
+            for _ in 0..50 {
+                let p = a.malloc(ctx, 16);
+                ctx.tick(20);
+                a.free(ctx, p);
+            }
+        });
+        assert!(
+            a.arena_count() > 1,
+            "8 allocating threads must trigger arena creation"
+        );
+    }
+
+    #[test]
+    fn boundary_tag_holds_chunk_size() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 100);
+            assert_eq!(ctx.read_u64(p - 8), GlibcAllocator::chunk_size(100));
+        });
+    }
+
+    #[test]
+    fn large_blocks_bypass_arena() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 1 << 20);
+            ctx.write_u64(p, 1);
+            ctx.write_u64(p + (1 << 20) - 8, 2);
+            a.free(ctx, p);
+        });
+        assert_eq!(a.arena_count(), 1);
+    }
+}

@@ -1,0 +1,484 @@
+//! Hoard model (Berger et al. 2000; paper §3.2, version 3.10).
+//!
+//! * Per-thread heaps (thread id hashes to its heap) of 64 KB superblocks,
+//!   each superblock dedicated to one power-of-two size class.
+//! * A global heap recycles empty superblocks.
+//! * Blocks ≤ 256 bytes go through a synchronization-free thread-local
+//!   cache; beyond that every operation locks the heap *and* the
+//!   superblock — which is why Hoard's throughput in the paper's Figure 3
+//!   drops to Glibc levels past 256 bytes, and why it suffers lock
+//!   contention in Intruder (§6).
+//! * `free` returns blocks to the superblock they came from (false-sharing
+//!   avoidance), requiring the owner heap's lock for large classes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use tm_sim::{Ctx, Sim, SimMutex};
+
+use crate::classes::SizeClasses;
+use crate::freelist::FreeList;
+use crate::{Allocator, AllocatorAttrs};
+
+const SB_SIZE: u64 = 64 * 1024;
+const SB_SHIFT: u64 = 16;
+/// Largest class served from superblocks; bigger requests go to the OS.
+const MAX_SMALL: u64 = 8192;
+/// Fast-path bound: the thread-local cache serves classes up to this size.
+const LOCAL_MAX: u64 = 256;
+/// Local cache refill batch and capacity per class. The small capacity is
+/// what drives overflow flushes back to the (locked) superblocks — the
+/// contention source behind Hoard's Intruder collapse in the paper's §6.
+const LOCAL_REFILL: u64 = 4;
+const LOCAL_CAP: u64 = 12;
+
+struct SbInner {
+    base: u64,
+    class: usize,
+    bump: u64,
+    end: u64,
+    free: FreeList,
+    /// Blocks currently handed out.
+    used: u64,
+    owner_heap: usize,
+}
+
+struct Superblock {
+    mx: SimMutex,
+    inner: Mutex<SbInner>,
+}
+
+struct HeapInner {
+    /// Current superblock per class.
+    current: HashMap<usize, Arc<Superblock>>,
+}
+
+struct Heap {
+    mx: SimMutex,
+    inner: Mutex<HeapInner>,
+}
+
+struct GlobalInner {
+    /// Completely-empty superblocks available for reuse (any class; they are
+    /// re-dedicated on reuse).
+    spares: Vec<Arc<Superblock>>,
+}
+
+struct LocalCache {
+    lists: HashMap<usize, FreeList>,
+}
+
+/// The Hoard allocator model. See module docs.
+pub struct HoardAllocator {
+    classes: SizeClasses,
+    heaps: Vec<Arc<Heap>>,
+    global_mx: SimMutex,
+    global: Mutex<GlobalInner>,
+    local: Vec<Mutex<LocalCache>>,
+    /// `addr >> 16` → superblock, for `free`.
+    registry: RwLock<HashMap<u64, Arc<Superblock>>>,
+    large: Mutex<HashMap<u64, u64>>,
+}
+
+impl HoardAllocator {
+    pub fn new(sim: &Sim) -> Self {
+        let cores = sim.config().cores;
+        HoardAllocator {
+            classes: SizeClasses::pow2(16, MAX_SMALL),
+            heaps: (0..cores)
+                .map(|_| {
+                    Arc::new(Heap {
+                        mx: sim.new_mutex(),
+                        inner: Mutex::new(HeapInner {
+                            current: HashMap::new(),
+                        }),
+                    })
+                })
+                .collect(),
+            global_mx: sim.new_mutex(),
+            global: Mutex::new(GlobalInner { spares: Vec::new() }),
+            local: (0..cores)
+                .map(|_| {
+                    Mutex::new(LocalCache {
+                        lists: HashMap::new(),
+                    })
+                })
+                .collect(),
+            registry: RwLock::new(HashMap::new()),
+            large: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch a superblock for `class` into `heap` — from the global heap's
+    /// spares or a fresh 64 KB-aligned OS region. Caller holds `heap.mx`.
+    fn new_superblock(
+        &self,
+        ctx: &mut Ctx<'_>,
+        heap_idx: usize,
+        class: usize,
+    ) -> Arc<Superblock> {
+        // Lock order: heap.mx (held) → global_mx.
+        ctx.lock(self.global_mx);
+        let spare = self.global.lock().spares.pop();
+        ctx.unlock(self.global_mx);
+        let sb = if let Some(sb) = spare {
+            {
+                let mut i = sb.inner.lock();
+                i.class = class;
+                i.bump = i.base;
+                i.free = FreeList::new();
+                i.used = 0;
+                i.owner_heap = heap_idx;
+            }
+            ctx.tick(40); // re-dedication bookkeeping
+            sb
+        } else {
+            let base = ctx.os_alloc(SB_SIZE, SB_SIZE);
+            let sb = Arc::new(Superblock {
+                mx: ctx.new_mutex(),
+                inner: Mutex::new(SbInner {
+                    base,
+                    class,
+                    bump: base,
+                    end: base + SB_SIZE,
+                    free: FreeList::new(),
+                    used: 0,
+                    owner_heap: heap_idx,
+                }),
+            });
+            self.registry.write().insert(base >> SB_SHIFT, Arc::clone(&sb));
+            sb
+        };
+        self.heaps[heap_idx]
+            .inner
+            .lock()
+            .current
+            .insert(class, Arc::clone(&sb));
+        sb
+    }
+
+    /// Take `n` blocks of `class` from the heap's current superblock (the
+    /// paper's slow path: heap lock + superblock lock). Returns fewer than
+    /// `n` only never — a fresh superblock is fetched when needed.
+    fn carve(&self, ctx: &mut Ctx<'_>, class: usize, n: u64, out: &mut Vec<u64>) {
+        let heap_idx = ctx.tid() % self.heaps.len();
+        let heap = Arc::clone(&self.heaps[heap_idx]);
+        ctx.lock(heap.mx);
+        let csize = self.classes.size_of(class);
+        let mut need = n;
+        while need > 0 {
+            let sb = {
+                let cur = heap.inner.lock().current.get(&class).cloned();
+                match cur {
+                    Some(sb) => sb,
+                    None => self.new_superblock(ctx, heap_idx, class),
+                }
+            };
+            ctx.lock(sb.mx);
+            loop {
+                if need == 0 {
+                    break;
+                }
+                // Prefer recycled blocks, then bump-carve.
+                // FreeList ops need ctx; stage by copying the list out
+                // (safe: sb.mx is held, so nobody else mutates it).
+                let popped = {
+                    let mut fl = sb.inner.lock().free;
+                    let b = fl.pop(ctx);
+                    sb.inner.lock().free = fl;
+                    b
+                };
+                if let Some(b) = popped {
+                    sb.inner.lock().used += 1;
+                    out.push(b);
+                    need -= 1;
+                    continue;
+                }
+                let bumped = {
+                    let mut i = sb.inner.lock();
+                    if i.bump + csize <= i.end {
+                        let b = i.bump;
+                        i.bump += csize;
+                        i.used += 1;
+                        Some(b)
+                    } else {
+                        None
+                    }
+                };
+                match bumped {
+                    Some(b) => {
+                        ctx.tick(6);
+                        out.push(b);
+                        need -= 1;
+                    }
+                    None => break, // superblock exhausted
+                }
+            }
+            ctx.unlock(sb.mx);
+            if need > 0 {
+                // Exhausted: un-current it and fetch a fresh superblock.
+                heap.inner.lock().current.remove(&class);
+            }
+        }
+        ctx.unlock(heap.mx);
+    }
+
+    /// Return one block to its superblock (heap lock + superblock lock, the
+    /// paper's §3.2 deallocation path). Empty superblocks move to the
+    /// global heap.
+    fn free_to_superblock(&self, ctx: &mut Ctx<'_>, sb: &Arc<Superblock>, addr: u64) {
+        let owner = sb.inner.lock().owner_heap;
+        let heap = Arc::clone(&self.heaps[owner]);
+        ctx.lock(heap.mx);
+        ctx.lock(sb.mx);
+        let mut fl = sb.inner.lock().free;
+        fl.push(ctx, addr);
+        let now_empty = {
+            let mut i = sb.inner.lock();
+            i.free = fl;
+            i.used -= 1;
+            i.used == 0
+        };
+        ctx.unlock(sb.mx);
+        if now_empty {
+            // Below the emptiness threshold: hand it back to the global
+            // heap if it is not the heap's current superblock.
+            let class = sb.inner.lock().class;
+            let is_current = heap
+                .inner
+                .lock()
+                .current
+                .get(&class)
+                .is_some_and(|cur| Arc::ptr_eq(cur, sb));
+            if !is_current {
+                ctx.lock(self.global_mx);
+                self.global.lock().spares.push(Arc::clone(sb));
+                ctx.unlock(self.global_mx);
+            }
+        }
+        ctx.unlock(heap.mx);
+    }
+
+    fn lookup_sb(&self, addr: u64) -> Arc<Superblock> {
+        Arc::clone(
+            self.registry
+                .read()
+                .get(&(addr >> SB_SHIFT))
+                .expect("hoard model: free of unknown address"),
+        )
+    }
+}
+
+impl Allocator for HoardAllocator {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        ctx.tick(10);
+        let Some(class) = self.classes.class_of(size) else {
+            let base = ctx.os_alloc((size + 15) & !15, 4096);
+            self.large.lock().insert(base, size);
+            return base;
+        };
+        let csize = self.classes.size_of(class);
+
+        if csize <= LOCAL_MAX {
+            // Synchronization-free local cache (paper: "recent versions of
+            // Hoard make use of thread-private local heaps for small
+            // blocks").
+            let tid = ctx.tid();
+            let hit = {
+                let mut lc = self.local[tid].lock();
+                let fl = lc.lists.entry(class).or_insert_with(FreeList::new);
+                let copy = *fl;
+                drop(lc);
+                let mut copy2 = copy;
+                let b = copy2.pop(ctx);
+                self.local[tid].lock().lists.insert(class, copy2);
+                b
+            };
+            if let Some(b) = hit {
+                return b;
+            }
+            let mut batch = Vec::with_capacity(LOCAL_REFILL as usize);
+            self.carve(ctx, class, LOCAL_REFILL, &mut batch);
+            // Hand out the lowest address now and stack the rest so that
+            // subsequent pops come back in ascending address order, like
+            // the carve order itself.
+            let ret = batch.remove(0);
+            let mut fl = *self.local[tid]
+                .lock()
+                .lists
+                .entry(class)
+                .or_insert_with(FreeList::new);
+            for b in batch.into_iter().rev() {
+                fl.push(ctx, b);
+            }
+            self.local[tid].lock().lists.insert(class, fl);
+            ret
+        } else {
+            let mut one = Vec::with_capacity(1);
+            self.carve(ctx, class, 1, &mut one);
+            one[0]
+        }
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        ctx.tick(8);
+        if self.large.lock().remove(&addr).is_some() {
+            ctx.tick(300);
+            return;
+        }
+        let sb = self.lookup_sb(addr);
+        let (class, csize, owner) = {
+            let i = sb.inner.lock();
+            (i.class, self.classes.size_of(i.class), i.owner_heap)
+        };
+        let tid = ctx.tid();
+        if csize <= LOCAL_MAX && owner == tid % self.heaps.len() {
+            // Small chunks from the thread's *own* superblocks are freed
+            // locally, without synchronization. Blocks owned by another
+            // heap take the locked return path (false-sharing avoidance:
+            // Hoard sends blocks back to their origin superblock) — the
+            // contention source behind Intruder's privatization pattern,
+            // where every fragment was allocated by the init thread.
+            let mut fl = *self.local[tid]
+                .lock()
+                .lists
+                .entry(class)
+                .or_insert_with(FreeList::new);
+            fl.push(ctx, addr);
+            let over = fl.len() > LOCAL_CAP;
+            self.local[tid].lock().lists.insert(class, fl);
+            if over {
+                // Flush half of the cache back to the superblocks.
+                let mut fl = *self.local[tid].lock().lists.get(&class).unwrap();
+                for _ in 0..(LOCAL_CAP / 2) {
+                    if let Some(b) = fl.pop(ctx) {
+                        self.local[tid].lock().lists.insert(class, fl);
+                        let sb = self.lookup_sb(b);
+                        self.free_to_superblock(ctx, &sb, b);
+                        fl = *self.local[tid].lock().lists.get(&class).unwrap();
+                    }
+                }
+                self.local[tid].lock().lists.insert(class, fl);
+            }
+        } else {
+            self.free_to_superblock(ctx, &sb, addr);
+        }
+    }
+
+    fn min_block(&self) -> u64 {
+        16
+    }
+
+    fn attributes(&self) -> AllocatorAttrs {
+        AllocatorAttrs {
+            name: "Hoard",
+            models_version: "3.10",
+            metadata: "per superblock",
+            min_size: 16,
+            fast_path: "<= 256 B (thread-local cache)",
+            granularity: "64 KB per superblock",
+            synchronization: "lock per heap and per superblock; local cache sync-free",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use tm_sim::MachineConfig;
+
+    #[test]
+    fn conformance() {
+        crate::testutil::conformance(AllocatorKind::Hoard);
+    }
+
+    #[test]
+    fn min_spacing_is_16_bytes() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 16);
+            let q = a.malloc(ctx, 16);
+            assert_eq!(q - p, 16, "Hoard hands out exact 16-byte blocks");
+        });
+    }
+
+    #[test]
+    fn no_48_byte_class_rounds_to_64() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 48);
+            let q = a.malloc(ctx, 48);
+            assert_eq!(q - p, 64, "48-byte requests use the 64-byte class (§5.3)");
+        });
+    }
+
+    #[test]
+    fn superblocks_are_64k_aligned() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 16);
+            assert_eq!((p >> SB_SHIFT) << SB_SHIFT, p & !(SB_SIZE - 1));
+            assert_eq!((p & !(SB_SIZE - 1)) % SB_SIZE, 0);
+        });
+    }
+
+    #[test]
+    fn threads_use_distinct_superblocks() {
+        // Per-thread heaps mean two threads' small blocks never share a
+        // superblock — Hoard's false-sharing avoidance.
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        let addrs = Mutex::new(Vec::new());
+        sim.run(4, |ctx| {
+            let p = a.malloc(ctx, 16);
+            addrs.lock().push((ctx.tid(), p & !(SB_SIZE - 1)));
+        });
+        let v = addrs.into_inner();
+        for &(t1, sb1) in &v {
+            for &(t2, sb2) in &v {
+                if t1 != t2 {
+                    assert_ne!(sb1, sb2, "threads {t1}/{t2} share a superblock");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_superblock_recycled_through_global_heap() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            // Fill and free a whole large-class superblock (class 8192:
+            // 8 blocks per superblock), twice, then check the OS was only
+            // asked once for that class's superblock... indirectly: the
+            // second round must reuse the same addresses.
+            let round1: Vec<u64> = (0..8).map(|_| a.malloc(ctx, 8192)).collect();
+            for &p in &round1 {
+                a.free(ctx, p);
+            }
+            let round2: Vec<u64> = (0..8).map(|_| a.malloc(ctx, 8192)).collect();
+            for &p in &round2 {
+                assert!(
+                    round1.contains(&p),
+                    "second round should recycle first-round blocks"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn large_objects_go_to_os() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 100 * 1024);
+            ctx.write_u64(p, 1);
+            a.free(ctx, p);
+        });
+    }
+}

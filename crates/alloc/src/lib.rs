@@ -1,0 +1,290 @@
+//! # tm-alloc — dynamic memory allocator models
+//!
+//! From-scratch implementations of the four allocators the paper studies
+//! (§3, Table 1), operating on the simulated address space of [`tm_sim`]:
+//!
+//! * [`GlibcAllocator`] — ptmalloc-style: per-block boundary tags, 32-byte
+//!   minimum blocks, per-arena locks with `trylock` probing, arenas aligned
+//!   to their 64 MB maximum size.
+//! * [`HoardAllocator`] — per-thread heaps of 64 KB superblocks (one size
+//!   class each), a lock-protected global heap, and a synchronization-free
+//!   local cache for blocks ≤ 256 bytes.
+//! * [`TbbAllocator`] — thread-private heaps of 16 KB superblocks with
+//!   private (sync-free) and public (spinlocked) free lists; remote frees
+//!   return blocks to the owning superblock's public list.
+//! * [`TcAllocator`] — TCMalloc-style thread caches backed by central
+//!   per-size-class free lists with *incremental* batch refill (1, 2, 3, …
+//!   blocks), which hands adjacent blocks to different threads — the false
+//!   sharing inducer of the paper's Figure 2.
+//!
+//! All four return addresses in simulated memory; their block spacing,
+//! region alignment and locking discipline are what the STM's
+//! address-to-lock mapping interacts with.
+//!
+//! The [`profile`] module wraps any allocator with per-code-region
+//! allocation-site instrumentation used to regenerate the paper's Table 5.
+
+mod classes;
+mod freelist;
+mod glibc;
+mod hoard;
+pub mod profile;
+mod serial;
+mod tbb;
+mod tc;
+
+pub use classes::SizeClasses;
+pub use glibc::GlibcAllocator;
+pub use serial::SerialLockAllocator;
+pub use hoard::HoardAllocator;
+pub use tbb::TbbAllocator;
+pub use tc::TcAllocator;
+
+use std::sync::Arc;
+use tm_sim::{Ctx, Sim};
+
+/// The allocator interface the STM's wrapper builds on — the paper's model
+/// of "an external allocator interface that provides at least malloc and
+/// free" (§2).
+pub trait Allocator: Send + Sync {
+    /// Allocate `size` bytes; returns the (16-byte aligned) simulated
+    /// address of the block. `size == 0` behaves like `malloc(0)` in C: a
+    /// unique minimum-size block is returned.
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64;
+
+    /// Release a block previously returned by [`Allocator::malloc`]. May be
+    /// called from a different thread than the allocating one.
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64);
+
+    /// The distance between the start addresses of two minimal consecutive
+    /// allocations — the quantity that interacts with the STM's ownership
+    /// table stripe size (paper Fig. 5).
+    fn min_block(&self) -> u64;
+
+    /// Static attribute row, mirroring the paper's Table 1.
+    fn attributes(&self) -> AllocatorAttrs;
+}
+
+impl<A: Allocator + ?Sized> Allocator for Arc<A> {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        (**self).malloc(ctx, size)
+    }
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        (**self).free(ctx, addr)
+    }
+    fn min_block(&self) -> u64 {
+        (**self).min_block()
+    }
+    fn attributes(&self) -> AllocatorAttrs {
+        (**self).attributes()
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocatorAttrs {
+    pub name: &'static str,
+    /// The real-world version the model is based on.
+    pub models_version: &'static str,
+    pub metadata: &'static str,
+    pub min_size: u64,
+    pub fast_path: &'static str,
+    pub granularity: &'static str,
+    pub synchronization: &'static str,
+}
+
+/// Which allocator model to instantiate (sweep axis of every experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    Glibc,
+    Hoard,
+    TbbMalloc,
+    TcMalloc,
+}
+
+impl AllocatorKind {
+    pub const ALL: [AllocatorKind; 4] = [
+        AllocatorKind::Glibc,
+        AllocatorKind::Hoard,
+        AllocatorKind::TbbMalloc,
+        AllocatorKind::TcMalloc,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Glibc => "Glibc",
+            AllocatorKind::Hoard => "Hoard",
+            AllocatorKind::TbbMalloc => "TBBMalloc",
+            AllocatorKind::TcMalloc => "TCMalloc",
+        }
+    }
+
+    /// Instantiate this allocator against a simulated machine.
+    pub fn build(self, sim: &Sim) -> Arc<dyn Allocator> {
+        match self {
+            AllocatorKind::Glibc => Arc::new(GlibcAllocator::new(sim)),
+            AllocatorKind::Hoard => Arc::new(HoardAllocator::new(sim)),
+            AllocatorKind::TbbMalloc => Arc::new(TbbAllocator::new(sim)),
+            AllocatorKind::TcMalloc => Arc::new(TcAllocator::new(sim)),
+        }
+    }
+}
+
+impl std::str::FromStr for AllocatorKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "glibc" | "ptmalloc" => Ok(AllocatorKind::Glibc),
+            "hoard" => Ok(AllocatorKind::Hoard),
+            "tbb" | "tbbmalloc" => Ok(AllocatorKind::TbbMalloc),
+            "tc" | "tcmalloc" => Ok(AllocatorKind::TcMalloc),
+            other => Err(format!("unknown allocator '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::collections::HashSet;
+    use tm_sim::MachineConfig;
+
+    /// Shared conformance suite run against every allocator implementation.
+    pub fn conformance(kind: AllocatorKind) {
+        no_overlap_single_thread(kind);
+        free_then_reuse(kind);
+        multithreaded_disjoint(kind);
+        cross_thread_free(kind);
+        zero_size_ok(kind);
+    }
+
+    fn no_overlap_single_thread(kind: AllocatorKind) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = kind.build(&sim);
+        sim.run(1, |ctx| {
+            let mut seen: Vec<(u64, u64)> = Vec::new();
+            for &size in &[16u64, 48, 16, 128, 8, 300, 16, 4096, 64] {
+                let p = a.malloc(ctx, size);
+                assert_eq!(p % 8, 0, "{kind:?}: misaligned block");
+                for &(q, qs) in &seen {
+                    assert!(
+                        p + size <= q || q + qs <= p,
+                        "{kind:?}: overlap: [{p:#x},{size}) vs [{q:#x},{qs})"
+                    );
+                }
+                seen.push((p, size));
+            }
+        });
+    }
+
+    fn free_then_reuse(kind: AllocatorKind) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = kind.build(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 16);
+            a.free(ctx, p);
+            // A same-size allocation should be able to reuse the block
+            // (all four designs recycle through a free list).
+            let q = a.malloc(ctx, 16);
+            assert_eq!(p, q, "{kind:?}: freed block not recycled first");
+        });
+    }
+
+    fn multithreaded_disjoint(kind: AllocatorKind) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = kind.build(&sim);
+        let all = parking_lot::Mutex::new(Vec::new());
+        sim.run(4, |ctx| {
+            let mut mine = Vec::new();
+            for i in 0..40u64 {
+                let size = 16 + (i % 4) * 16;
+                let p = a.malloc(ctx, size);
+                // Write to the block to ensure it is usable memory.
+                ctx.write_u64(p, ctx.tid() as u64);
+                mine.push((p, size));
+            }
+            all.lock().extend(mine);
+        });
+        let blocks = all.into_inner();
+        let mut starts = HashSet::new();
+        for &(p, _) in &blocks {
+            assert!(starts.insert(p), "{kind:?}: duplicate block {p:#x}");
+        }
+        for (i, &(p, s)) in blocks.iter().enumerate() {
+            for &(q, qs) in &blocks[i + 1..] {
+                assert!(
+                    p + s <= q || q + qs <= p,
+                    "{kind:?}: cross-thread overlap {p:#x}/{q:#x}"
+                );
+            }
+        }
+    }
+
+    fn cross_thread_free(kind: AllocatorKind) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = kind.build(&sim);
+        let stash = parking_lot::Mutex::new(Vec::new());
+        // Thread 0 allocates, thread 1 frees (the red-black tree /
+        // privatization pattern from the paper).
+        sim.run(2, |ctx| {
+            if ctx.tid() == 0 {
+                let mut v = Vec::new();
+                for _ in 0..16 {
+                    v.push(a.malloc(ctx, 48));
+                }
+                stash.lock().extend(v);
+            } else {
+                ctx.tick(200_000); // let thread 0 go first in virtual time
+                ctx.fence();
+                let v: Vec<u64> = std::mem::take(&mut *stash.lock());
+                for p in v {
+                    a.free(ctx, p);
+                }
+            }
+        });
+    }
+
+    fn zero_size_ok(kind: AllocatorKind) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = kind.build(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 0);
+            let q = a.malloc(ctx, 0);
+            assert_ne!(p, q, "{kind:?}: malloc(0) must return distinct blocks");
+            a.free(ctx, p);
+            a.free(ctx, q);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse() {
+        assert_eq!(
+            "glibc".parse::<AllocatorKind>().unwrap(),
+            AllocatorKind::Glibc
+        );
+        assert_eq!(
+            "TCMalloc".parse::<AllocatorKind>().unwrap(),
+            AllocatorKind::TcMalloc
+        );
+        assert!("jemalloc".parse::<AllocatorKind>().is_err());
+    }
+
+    #[test]
+    fn table1_min_sizes_match_paper() {
+        use tm_sim::MachineConfig;
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        // Paper Table 1: Glibc 32 B, Hoard 16 B, TBB 8 B, TC 8 B.
+        assert_eq!(AllocatorKind::Glibc.build(&sim).attributes().min_size, 32);
+        assert_eq!(AllocatorKind::Hoard.build(&sim).attributes().min_size, 16);
+        assert_eq!(
+            AllocatorKind::TbbMalloc.build(&sim).attributes().min_size,
+            8
+        );
+        assert_eq!(AllocatorKind::TcMalloc.build(&sim).attributes().min_size, 8);
+    }
+}

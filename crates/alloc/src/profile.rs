@@ -1,0 +1,201 @@
+//! Allocation-site instrumentation for the paper's Table 5.
+//!
+//! Table 5 characterizes STAMP's memory behaviour by counting allocations
+//! per size class in three code regions: `seq` (sequential initialization),
+//! `par` (parallel region, outside transactions) and `tx` (inside
+//! transactions). [`AllocProfiler`] wraps any [`Allocator`] and keeps those
+//! histograms; the wrapped allocator still performs the real placement, so
+//! profiling runs produce the same layout as measurement runs.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+use tm_sim::Ctx;
+
+use crate::Allocator;
+
+/// Code region an allocation is attributed to (Table 5 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Sequential phase (initialization).
+    Seq = 0,
+    /// Parallel region, outside any transaction.
+    Par = 1,
+    /// Inside a transaction.
+    Tx = 2,
+}
+
+impl Region {
+    pub const ALL: [Region; 3] = [Region::Seq, Region::Par, Region::Tx];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Seq => "seq",
+            Region::Par => "par",
+            Region::Tx => "tx",
+        }
+    }
+}
+
+/// Size-class buckets used by Table 5 (upper bounds; the last is open).
+pub const BUCKETS: [u64; 8] = [16, 32, 48, 64, 96, 128, 256, u64::MAX];
+
+/// Label for bucket `i`, e.g. `"48"` or `"> 256"`.
+pub fn bucket_label(i: usize) -> &'static str {
+    ["16", "32", "48", "64", "96", "128", "256", "> 256"][i]
+}
+
+fn bucket_of(size: u64) -> usize {
+    BUCKETS.iter().position(|&b| size <= b).unwrap()
+}
+
+/// Histogram for one region.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegionStats {
+    /// Allocation counts per [`BUCKETS`] entry.
+    pub by_bucket: [u64; 8],
+    pub mallocs: u64,
+    pub frees: u64,
+    /// Total requested bytes.
+    pub bytes: u64,
+}
+
+/// An [`Allocator`] wrapper recording per-region allocation histograms.
+pub struct AllocProfiler<A: Allocator> {
+    inner: A,
+    /// Current region per thread (set by the harness around phases and by
+    /// the STM around transactions).
+    region: Vec<AtomicU8>,
+    stats: Mutex<[RegionStats; 3]>,
+}
+
+impl<A: Allocator> AllocProfiler<A> {
+    pub fn new(inner: A, max_threads: usize) -> Self {
+        AllocProfiler {
+            inner,
+            region: (0..max_threads).map(|_| AtomicU8::new(Region::Seq as u8)).collect(),
+            stats: Mutex::new([RegionStats::default(); 3]),
+        }
+    }
+
+    /// Set the region allocations by `tid` are attributed to from now on.
+    pub fn set_region(&self, tid: usize, r: Region) {
+        self.region[tid].store(r as u8, Ordering::Relaxed);
+    }
+
+    pub fn current_region(&self, tid: usize) -> Region {
+        match self.region[tid].load(Ordering::Relaxed) {
+            0 => Region::Seq,
+            1 => Region::Par,
+            _ => Region::Tx,
+        }
+    }
+
+    /// Snapshot of the three region histograms, indexed by `Region as usize`.
+    pub fn snapshot(&self) -> [RegionStats; 3] {
+        *self.stats.lock()
+    }
+
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: Allocator> Allocator for AllocProfiler<A> {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        let r = self.current_region(ctx.tid()) as usize;
+        {
+            let mut s = self.stats.lock();
+            s[r].by_bucket[bucket_of(size)] += 1;
+            s[r].mallocs += 1;
+            s[r].bytes += size;
+        }
+        self.inner.malloc(ctx, size)
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        let r = self.current_region(ctx.tid()) as usize;
+        self.stats.lock()[r].frees += 1;
+        self.inner.free(ctx, addr)
+    }
+
+    fn min_block(&self) -> u64 {
+        self.inner.min_block()
+    }
+
+    fn attributes(&self) -> crate::AllocatorAttrs {
+        self.inner.attributes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocatorKind, GlibcAllocator};
+    use tm_sim::{MachineConfig, Sim};
+
+    #[test]
+    fn buckets_match_table5_columns() {
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(16), 0);
+        assert_eq!(bucket_of(17), 1);
+        assert_eq!(bucket_of(48), 2);
+        assert_eq!(bucket_of(64), 3);
+        assert_eq!(bucket_of(96), 4);
+        assert_eq!(bucket_of(128), 5);
+        assert_eq!(bucket_of(256), 6);
+        assert_eq!(bucket_of(257), 7);
+        assert_eq!(bucket_of(1 << 30), 7);
+    }
+
+    #[test]
+    fn regions_attributed() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let prof = AllocProfiler::new(GlibcAllocator::new(&sim), 8);
+        sim.run(1, |ctx| {
+            prof.set_region(0, Region::Seq);
+            let a = prof.malloc(ctx, 16);
+            prof.set_region(0, Region::Par);
+            let b = prof.malloc(ctx, 100);
+            prof.set_region(0, Region::Tx);
+            let c = prof.malloc(ctx, 16);
+            prof.free(ctx, c);
+            prof.free(ctx, b);
+            prof.free(ctx, a);
+        });
+        let s = prof.snapshot();
+        assert_eq!(s[Region::Seq as usize].mallocs, 1);
+        assert_eq!(s[Region::Seq as usize].by_bucket[0], 1);
+        assert_eq!(s[Region::Par as usize].mallocs, 1);
+        assert_eq!(s[Region::Par as usize].by_bucket[5], 1); // 100 → "128" bucket
+        assert_eq!(s[Region::Tx as usize].mallocs, 1);
+        // All three frees were issued while the region was Tx: attribution
+        // follows the *current* region, as in the paper's instrumentation.
+        assert_eq!(s[Region::Tx as usize].frees, 3);
+        assert_eq!(s[Region::Par as usize].frees, 0);
+        assert_eq!(s[Region::Seq as usize].frees, 0);
+    }
+
+    #[test]
+    fn placement_unchanged_by_profiling() {
+        // The profiler must be layout-transparent: same addresses with and
+        // without it.
+        let sim1 = Sim::new(MachineConfig::xeon_e5405());
+        let raw = AllocatorKind::Glibc.build(&sim1);
+        let plain = parking_lot::Mutex::new(Vec::new());
+        sim1.run(1, |ctx| {
+            for _ in 0..10 {
+                plain.lock().push(raw.malloc(ctx, 24));
+            }
+        });
+        let sim2 = Sim::new(MachineConfig::xeon_e5405());
+        let prof = AllocProfiler::new(GlibcAllocator::new(&sim2), 8);
+        let wrapped = parking_lot::Mutex::new(Vec::new());
+        sim2.run(1, |ctx| {
+            for _ in 0..10 {
+                wrapped.lock().push(prof.malloc(ctx, 24));
+            }
+        });
+        assert_eq!(plain.into_inner(), wrapped.into_inner());
+    }
+}

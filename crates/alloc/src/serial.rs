@@ -1,0 +1,201 @@
+//! The paper's §3 strawman: "extending an excellent serial allocator with a
+//! single global lock to protect each (de)allocation is certainly not a
+//! good choice, since it will inevitably serialize all allocations and
+//! badly hurt scalability."
+//!
+//! This model is that strawman — a clean dlmalloc-style binned allocator
+//! behind one global lock — included as a negative control for the
+//! scalability ablation (`tm-bench --bin ablation_serial`). It is *not*
+//! part of the paper's studied set, so [`crate::AllocatorKind`] does not
+//! include it; build it explicitly with [`SerialLockAllocator::new`].
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use tm_sim::{Ctx, Sim, SimMutex};
+
+use crate::freelist::FreeList;
+use crate::{Allocator, AllocatorAttrs};
+
+const HEADER: u64 = 16;
+const MIN_CHUNK: u64 = 32;
+const HEAP_CHUNK: u64 = 1 << 20;
+
+struct Inner {
+    bump: u64,
+    end: u64,
+    bins: HashMap<u64, FreeList>,
+    large: HashMap<u64, u64>,
+}
+
+/// A good serial allocator behind one global lock. See module docs.
+pub struct SerialLockAllocator {
+    mx: SimMutex,
+    /// Locked only while holding `mx` (never contended at host level).
+    inner: Mutex<Inner>,
+}
+
+impl SerialLockAllocator {
+    pub fn new(sim: &Sim) -> Self {
+        SerialLockAllocator {
+            mx: sim.new_mutex(),
+            inner: Mutex::new(Inner {
+                bump: 0,
+                end: 0,
+                bins: HashMap::new(),
+                large: HashMap::new(),
+            }),
+        }
+    }
+
+    fn chunk_size(size: u64) -> u64 {
+        ((size + HEADER + 15) & !15).max(MIN_CHUNK)
+    }
+}
+
+impl Allocator for SerialLockAllocator {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        ctx.tick(10);
+        let chunk = Self::chunk_size(size);
+        if chunk > 128 * 1024 {
+            let base = ctx.os_alloc(chunk, 4096);
+            ctx.write_u64(base + 8, chunk);
+            self.inner.lock().large.insert(base + HEADER, chunk);
+            return base + HEADER;
+        }
+        // THE global lock: every thread, every operation.
+        ctx.lock(self.mx);
+        let recycled = {
+            let inner = self.inner.lock();
+            inner.bins.get(&chunk).copied().filter(|b| !b.is_empty())
+        };
+        let base = if let Some(mut bin) = recycled {
+            let b = bin.pop(ctx).expect("non-empty bin");
+            self.inner.lock().bins.insert(chunk, bin);
+            b
+        } else {
+            let need_heap = {
+                let i = self.inner.lock();
+                i.bump + chunk > i.end
+            };
+            if need_heap {
+                let heap = ctx.os_alloc(HEAP_CHUNK, 4096);
+                let mut i = self.inner.lock();
+                i.bump = heap;
+                i.end = heap + HEAP_CHUNK;
+            }
+            let mut i = self.inner.lock();
+            let b = i.bump;
+            i.bump += chunk;
+            b
+        };
+        ctx.write_u64(base + 8, chunk);
+        ctx.unlock(self.mx);
+        base + HEADER
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        ctx.tick(8);
+        if self.inner.lock().large.contains_key(&addr) {
+            self.inner.lock().large.remove(&addr);
+            ctx.tick(300);
+            return;
+        }
+        let base = addr - HEADER;
+        let chunk = ctx.read_u64(base + 8);
+        ctx.lock(self.mx);
+        let mut bin = self
+            .inner
+            .lock()
+            .bins
+            .get(&chunk)
+            .copied()
+            .unwrap_or_else(FreeList::new);
+        bin.push(ctx, base);
+        self.inner.lock().bins.insert(chunk, bin);
+        ctx.unlock(self.mx);
+    }
+
+    fn min_block(&self) -> u64 {
+        MIN_CHUNK
+    }
+
+    fn attributes(&self) -> AllocatorAttrs {
+        AllocatorAttrs {
+            name: "SerialLock",
+            models_version: "strawman (paper §3)",
+            metadata: "per block (boundary tags)",
+            min_size: MIN_CHUNK,
+            fast_path: "none",
+            granularity: "1 MB heap chunks",
+            synchronization: "one global lock around every (de)allocation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_sim::MachineConfig;
+
+    #[test]
+    fn basic_contract() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = SerialLockAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 16);
+            let q = a.malloc(ctx, 16);
+            assert_eq!(q - p, 32, "dlmalloc-style 32-byte min chunks");
+            a.free(ctx, p);
+            assert_eq!(a.malloc(ctx, 16), p, "bin reuse");
+            a.free(ctx, q);
+        });
+    }
+
+    #[test]
+    fn multithreaded_correctness() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = SerialLockAllocator::new(&sim);
+        let all = parking_lot::Mutex::new(Vec::new());
+        sim.run(8, |ctx| {
+            let mut mine = Vec::new();
+            for i in 0..30u64 {
+                let p = a.malloc(ctx, 16 + (i % 3) * 16);
+                ctx.write_u64(p, i);
+                mine.push((p, 16 + (i % 3) * 16));
+            }
+            all.lock().extend(mine);
+        });
+        let v = all.into_inner();
+        for (i, &(p, s)) in v.iter().enumerate() {
+            for &(q, qs) in &v[i + 1..] {
+                assert!(p + s <= q || q + qs <= p, "overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn serializes_under_contention() {
+        // The §3 claim itself: the global lock's wait cycles blow up with
+        // thread count while a per-thread-cache design stays near zero.
+        let run = |threads| {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            let a = SerialLockAllocator::new(&sim);
+            let r = sim.run(threads, |ctx| {
+                for _ in 0..60 {
+                    let p = a.malloc(ctx, 64);
+                    ctx.write_u64(p, 1);
+                    a.free(ctx, p);
+                }
+            });
+            r.locks.wait_cycles
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one, 0);
+        assert!(
+            eight > 10_000,
+            "8 threads on a global lock must queue (got {eight})"
+        );
+    }
+}

@@ -1,0 +1,439 @@
+//! TCMalloc model (paper §3.4, gperftools 2.1).
+//!
+//! * Per-thread caches: one free list per size class, popped/pushed with no
+//!   synchronization for blocks up to 256 KB.
+//! * A central cache per size class (spinlocked) refills thread caches with
+//!   an *incremental* batch size: the first refill moves 1 block, the next
+//!   2, then 3, … — the behaviour of the paper's Figure 2. Because central
+//!   spans are carved contiguously, consecutive refills hand *adjacent*
+//!   blocks to *different* threads, inducing cache false sharing (and, for
+//!   the STM, shared ORT stripes) for small classes.
+//! * A central page heap (spinlocked) backs the central caches with spans
+//!   and serves large allocations directly.
+//! * Unlike Hoard/TBB, `free` puts the block in the *current* thread's
+//!   cache, not the allocating thread's; a garbage collector returns
+//!   excess cached bytes to the central lists.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use tm_sim::{Ctx, Sim, SimMutex};
+
+use crate::classes::SizeClasses;
+use crate::freelist::FreeList;
+use crate::{Allocator, AllocatorAttrs};
+
+/// Fast-path bound (paper Table 1: "<= 256 KB").
+const MAX_SMALL: u64 = 256 * 1024;
+/// Span granularity and alignment; the span registry keys on this.
+const SPAN_UNIT: u64 = 16 * 1024;
+const SPAN_SHIFT: u64 = 14;
+/// Page-heap chunk requested from the OS.
+const OS_CHUNK: u64 = 1 << 20;
+/// Incremental refill cap (gperftools caps the batch growth).
+const MAX_BATCH: u64 = 64;
+/// Thread-cache GC threshold in bytes.
+const CACHE_LIMIT: u64 = 1 << 20;
+
+struct CentralInner {
+    free: FreeList,
+    /// Contiguous span being carved (next, end).
+    bump: u64,
+    end: u64,
+}
+
+struct Central {
+    mx: SimMutex,
+    /// Locked only while holding `mx`.
+    inner: Mutex<CentralInner>,
+}
+
+struct PageHeapInner {
+    chunk_bump: u64,
+    chunk_end: u64,
+}
+
+struct TcThread {
+    lists: Vec<FreeList>,
+    /// Next refill batch size per class (the incremental counter).
+    batch: Vec<u64>,
+    cached_bytes: u64,
+}
+
+/// The TCMalloc allocator model. See module docs.
+pub struct TcAllocator {
+    classes: SizeClasses,
+    threads: Vec<Mutex<TcThread>>,
+    central: Vec<Arc<Central>>,
+    page_mx: SimMutex,
+    page_heap: Mutex<PageHeapInner>,
+    /// `addr >> 14` → size class of the span covering it.
+    spans: RwLock<HashMap<u64, usize>>,
+    large: Mutex<HashMap<u64, u64>>,
+}
+
+impl TcAllocator {
+    pub fn new(sim: &Sim) -> Self {
+        let classes = SizeClasses::tcmalloc(MAX_SMALL);
+        let cores = sim.config().cores;
+        let n = classes.len();
+        TcAllocator {
+            threads: (0..cores)
+                .map(|_| {
+                    Mutex::new(TcThread {
+                        lists: vec![FreeList::new(); n],
+                        batch: vec![1; n],
+                        cached_bytes: 0,
+                    })
+                })
+                .collect(),
+            central: (0..n)
+                .map(|_| {
+                    Arc::new(Central {
+                        mx: sim.new_mutex(),
+                        inner: Mutex::new(CentralInner {
+                            free: FreeList::new(),
+                            bump: 0,
+                            end: 0,
+                        }),
+                    })
+                })
+                .collect(),
+            page_mx: sim.new_mutex(),
+            page_heap: Mutex::new(PageHeapInner {
+                chunk_bump: 0,
+                chunk_end: 0,
+            }),
+            spans: RwLock::new(HashMap::new()),
+            large: Mutex::new(HashMap::new()),
+            classes,
+        }
+    }
+
+    /// Carve a fresh span for `class` from the page heap (lock order:
+    /// central.mx held by caller → page_mx).
+    fn new_span(&self, ctx: &mut Ctx<'_>, class: usize) -> (u64, u64) {
+        let csize = self.classes.size_of(class);
+        let span_bytes = ((csize * 32).max(SPAN_UNIT) + SPAN_UNIT - 1) & !(SPAN_UNIT - 1);
+        ctx.lock(self.page_mx);
+        let base = {
+            let need = {
+                let p = self.page_heap.lock();
+                p.chunk_bump + span_bytes > p.chunk_end
+            };
+            if need {
+                let chunk = ctx.os_alloc(OS_CHUNK.max(span_bytes), SPAN_UNIT);
+                let mut p = self.page_heap.lock();
+                p.chunk_bump = chunk;
+                p.chunk_end = chunk + OS_CHUNK.max(span_bytes);
+            }
+            let mut p = self.page_heap.lock();
+            let b = p.chunk_bump;
+            p.chunk_bump += span_bytes;
+            b
+        };
+        ctx.tick(60);
+        ctx.unlock(self.page_mx);
+        let mut spans = self.spans.write();
+        let mut k = base;
+        while k < base + span_bytes {
+            spans.insert(k >> SPAN_SHIFT, class);
+            k += SPAN_UNIT;
+        }
+        (base, base + span_bytes)
+    }
+
+    /// Refill `tid`'s list for `class` with the incremental batch from the
+    /// central cache; returns one block for immediate use.
+    fn refill(&self, ctx: &mut Ctx<'_>, tid: usize, class: usize) -> u64 {
+        let csize = self.classes.size_of(class);
+        let n = {
+            let mut t = self.threads[tid].lock();
+            let n = t.batch[class];
+            t.batch[class] = (n + 1).min(MAX_BATCH);
+            n
+        };
+        let central = Arc::clone(&self.central[class]);
+        ctx.lock(central.mx);
+        let mut got = Vec::with_capacity(n as usize);
+        // Recycled blocks first.
+        {
+            let mut free = central.inner.lock().free;
+            while (got.len() as u64) < n {
+                match free.pop(ctx) {
+                    Some(b) => got.push(b),
+                    None => break,
+                }
+            }
+            central.inner.lock().free = free;
+        }
+        // Then carve contiguously from the span — adjacent addresses, in
+        // request order across *all* threads (the Figure 2 behaviour).
+        while (got.len() as u64) < n {
+            let b = {
+                let mut i = central.inner.lock();
+                if i.bump + csize <= i.end {
+                    let b = i.bump;
+                    i.bump += csize;
+                    Some(b)
+                } else {
+                    None
+                }
+            };
+            match b {
+                Some(b) => {
+                    ctx.tick(4);
+                    got.push(b);
+                }
+                None => {
+                    let (s, e) = self.new_span(ctx, class);
+                    let mut i = central.inner.lock();
+                    i.bump = s;
+                    i.end = e;
+                }
+            }
+        }
+        ctx.unlock(central.mx);
+
+        // Hand out the first block and stack the rest in reverse so pops
+        // return them in fetch order (ascending span addresses).
+        let ret = got.remove(0);
+        let mut fl = self.threads[tid].lock().lists[class];
+        let mut added = 0u64;
+        for b in got.into_iter().rev() {
+            fl.push(ctx, b);
+            added += csize;
+        }
+        let mut t = self.threads[tid].lock();
+        t.lists[class] = fl;
+        t.cached_bytes += added;
+        ret
+    }
+
+    /// Return half of every list to the central caches once the cache
+    /// exceeds its byte budget (TCMalloc's thread-cache GC).
+    fn garbage_collect(&self, ctx: &mut Ctx<'_>, tid: usize) {
+        for class in 0..self.classes.len() {
+            let csize = self.classes.size_of(class);
+            let (mut fl, drop_n) = {
+                let t = self.threads[tid].lock();
+                let fl = t.lists[class];
+                (fl, fl.len() / 2)
+            };
+            if drop_n == 0 {
+                continue;
+            }
+            let central = Arc::clone(&self.central[class]);
+            ctx.lock(central.mx);
+            let mut free = central.inner.lock().free;
+            let moved = fl.transfer(ctx, &mut free, drop_n);
+            central.inner.lock().free = free;
+            ctx.unlock(central.mx);
+            let mut t = self.threads[tid].lock();
+            t.lists[class] = fl;
+            t.cached_bytes = t.cached_bytes.saturating_sub(moved * csize);
+        }
+    }
+}
+
+impl Allocator for TcAllocator {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        ctx.tick(8);
+        let Some(class) = self.classes.class_of(size) else {
+            let base = ctx.os_alloc((size + 15) & !15, 4096);
+            self.large.lock().insert(base, size);
+            return base;
+        };
+        let tid = ctx.tid();
+        // Thread-cache fast path: no synchronization.
+        let hit = {
+            let fl = self.threads[tid].lock().lists[class];
+            let mut fl2 = fl;
+            let b = fl2.pop(ctx);
+            if b.is_some() {
+                let csize = self.classes.size_of(class);
+                let mut t = self.threads[tid].lock();
+                t.lists[class] = fl2;
+                t.cached_bytes = t.cached_bytes.saturating_sub(csize);
+            }
+            b
+        };
+        if let Some(b) = hit {
+            return b;
+        }
+        self.refill(ctx, tid, class)
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        ctx.tick(7);
+        if self.large.lock().remove(&addr).is_some() {
+            ctx.tick(300);
+            return;
+        }
+        let class = *self
+            .spans
+            .read()
+            .get(&(addr >> SPAN_SHIFT))
+            .expect("tcmalloc model: free of unknown address");
+        let csize = self.classes.size_of(class);
+        let tid = ctx.tid();
+        // Into the *current* thread's cache — TCMalloc does not return the
+        // block to the thread that allocated it (paper §3.4).
+        let mut fl = self.threads[tid].lock().lists[class];
+        fl.push(ctx, addr);
+        let over = {
+            let mut t = self.threads[tid].lock();
+            t.lists[class] = fl;
+            t.cached_bytes += csize;
+            t.cached_bytes > CACHE_LIMIT
+        };
+        if over {
+            self.garbage_collect(ctx, tid);
+        }
+    }
+
+    fn min_block(&self) -> u64 {
+        8
+    }
+
+    fn attributes(&self) -> AllocatorAttrs {
+        AllocatorAttrs {
+            name: "TCMalloc",
+            models_version: "2.1 (gperftools)",
+            metadata: "per size class",
+            min_size: 8,
+            fast_path: "<= 256 KB (thread cache)",
+            granularity: "incremental (1, 2, 3, ... blocks per refill)",
+            synchronization: "spinlock per central free list and page heap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use tm_sim::MachineConfig;
+
+    #[test]
+    fn conformance() {
+        crate::testutil::conformance(AllocatorKind::TcMalloc);
+    }
+
+    #[test]
+    fn exact_small_classes() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            // Back-to-back 16-byte allocations: after the first two refills
+            // (1 then 2 blocks) spacing settles to 16 bytes.
+            let v: Vec<u64> = (0..4).map(|_| a.malloc(ctx, 16)).collect();
+            assert_eq!(v[2] - v[1], 16);
+            let p = a.malloc(ctx, 48);
+            let q = a.malloc(ctx, 48);
+            // 48 has its own class; within one refill batch they are 48
+            // bytes apart.
+            assert_eq!(q - p, 48);
+        });
+    }
+
+    #[test]
+    fn incremental_refill_interleaves_threads() {
+        // The paper's Figure 2: two threads alternately allocating 16-byte
+        // blocks receive *adjacent* addresses from the shared central span.
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        let log = Mutex::new(Vec::new());
+        sim.run(2, |ctx| {
+            for i in 0..4u64 {
+                // Force strict alternation in virtual time.
+                ctx.tick(1000 * (ctx.tid() as u64 + 2 * i) + 1);
+                let p = a.malloc(ctx, 16);
+                log.lock().push((ctx.tid(), p));
+            }
+        });
+        let entries = log.into_inner();
+        // At least one pair of blocks owned by different threads must sit
+        // within one cache line of each other.
+        let mut close_cross_thread = false;
+        for &(t1, p1) in &entries {
+            for &(t2, p2) in &entries {
+                if t1 != t2 && p1 != p2 && p1.abs_diff(p2) < 64 {
+                    close_cross_thread = true;
+                }
+            }
+        }
+        assert!(
+            close_cross_thread,
+            "expected cross-thread adjacent blocks, got {entries:#x?}"
+        );
+    }
+
+    #[test]
+    fn batch_size_grows() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            // Refill 1: 1 block. Refill 2: 2 blocks. So allocations 1, 2
+            // trigger refills but allocation 3 is a cache hit.
+            let _ = a.malloc(ctx, 32);
+            let _ = a.malloc(ctx, 32);
+            let class = a.classes.class_of(32).unwrap();
+            let cached = a.threads[0].lock().lists[class].len();
+            assert_eq!(cached, 1, "second refill must have brought 2 blocks");
+        });
+    }
+
+    #[test]
+    fn free_goes_to_current_thread_cache() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        let stash = Mutex::new(0u64);
+        sim.run(2, |ctx| {
+            if ctx.tid() == 0 {
+                let p = a.malloc(ctx, 64);
+                *stash.lock() = p;
+            } else {
+                ctx.tick(100_000);
+                ctx.fence();
+                let p = *stash.lock();
+                a.free(ctx, p);
+                // The block must now be in *thread 1's* cache: allocating
+                // returns it without touching the central cache.
+                let q = a.malloc(ctx, 64);
+                assert_eq!(q, p);
+            }
+        });
+    }
+
+    #[test]
+    fn gc_returns_blocks_to_central() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            // Allocate then free enough big-class blocks to cross the cache
+            // limit and trigger GC.
+            let blocks: Vec<u64> = (0..40).map(|_| a.malloc(ctx, 64 * 1024)).collect();
+            for b in blocks {
+                a.free(ctx, b);
+            }
+            let cached = a.threads[0].lock().cached_bytes;
+            assert!(
+                cached <= CACHE_LIMIT,
+                "GC must keep the cache within budget (got {cached})"
+            );
+        });
+    }
+
+    #[test]
+    fn huge_requests_bypass_thread_cache() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 512 * 1024);
+            ctx.write_u64(p, 1);
+            a.free(ctx, p);
+        });
+    }
+}

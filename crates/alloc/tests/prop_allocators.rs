@@ -1,0 +1,88 @@
+//! Property tests: every allocator model upholds the malloc contract under
+//! arbitrary allocate/free scripts — blocks are aligned, disjoint while
+//! live, and reusable after free.
+
+use proptest::prelude::*;
+use tm_alloc::AllocatorKind;
+use tm_sim::{MachineConfig, Sim};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc(u64),
+    /// Free the nth oldest live block (index modulo live count).
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..600).prop_map(Op::Malloc),
+        2 => (0usize..64).prop_map(Op::Free),
+    ]
+}
+
+fn check(kind: AllocatorKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let alloc = kind.build(&sim);
+    let ops = ops.to_vec();
+    let result = std::sync::Mutex::new(Ok(()));
+    sim.run(1, |ctx| {
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Malloc(size) => {
+                    let p = alloc.malloc(ctx, *size);
+                    if p % 8 != 0 {
+                        *result.lock().unwrap() =
+                            Err(TestCaseError::fail(format!("{kind:?}: misaligned {p:#x}")));
+                        return;
+                    }
+                    for &(q, qs) in &live {
+                        if !(p + size <= q || q + qs <= p) {
+                            *result.lock().unwrap() = Err(TestCaseError::fail(format!(
+                                "{kind:?}: overlap [{p:#x},{size}) vs [{q:#x},{qs})"
+                            )));
+                            return;
+                        }
+                    }
+                    // Blocks must be writable end to end.
+                    ctx.write_u64(p, 0xdead);
+                    if *size >= 16 {
+                        ctx.write_u64(p + (size - 8) / 8 * 8, 0xbeef);
+                    }
+                    live.push((p, *size));
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (p, _) = live.remove(i % live.len());
+                        alloc.free(ctx, p);
+                    }
+                }
+            }
+        }
+    });
+    result.into_inner().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn glibc_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check(AllocatorKind::Glibc, &ops)?;
+    }
+
+    #[test]
+    fn hoard_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check(AllocatorKind::Hoard, &ops)?;
+    }
+
+    #[test]
+    fn tbb_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check(AllocatorKind::TbbMalloc, &ops)?;
+    }
+
+    #[test]
+    fn tcmalloc_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check(AllocatorKind::TcMalloc, &ops)?;
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion wrappers: one benchmark per paper exhibit family, at reduced
+//! scale, so `cargo bench` exercises every regeneration path end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tm_alloc::AllocatorKind;
+use tm_core::synthetic::{run_synthetic, SyntheticConfig};
+use tm_core::threadtest::{run_threadtest, ThreadtestConfig};
+use tm_ds::StructureKind;
+use tm_stamp::runner::{run_kind, StampOpts};
+use tm_stamp::AppKind;
+
+fn tiny_synth(structure: StructureKind, kind: AllocatorKind, threads: usize, shift: u32) {
+    let mut cfg = SyntheticConfig::scaled(structure, kind, threads);
+    cfg.initial_size = 64;
+    cfg.key_range = 128;
+    cfg.ops_per_thread = 60;
+    cfg.buckets = 1 << 11;
+    cfg.shift = shift;
+    run_synthetic(&cfg);
+}
+
+fn exhibits(c: &mut Criterion) {
+    c.bench_function("fig3/threadtest_point", |b| {
+        b.iter(|| {
+            run_threadtest(&ThreadtestConfig {
+                allocator: AllocatorKind::TcMalloc,
+                threads: 8,
+                block_size: 16,
+                pairs_per_thread: 100,
+            })
+        })
+    });
+    c.bench_function("fig4_table3/synthetic_point", |b| {
+        b.iter(|| tiny_synth(StructureKind::HashSet, AllocatorKind::Hoard, 4, 5))
+    });
+    c.bench_function("table4/list_point", |b| {
+        b.iter(|| tiny_synth(StructureKind::LinkedList, AllocatorKind::Glibc, 4, 5))
+    });
+    c.bench_function("fig6/shift4_point", |b| {
+        b.iter(|| tiny_synth(StructureKind::LinkedList, AllocatorKind::TbbMalloc, 4, 4))
+    });
+    c.bench_function("fig1_7_8_table6/stamp_point", |b| {
+        b.iter(|| run_kind(AppKind::Vacation, AllocatorKind::TcMalloc, 4, &StampOpts::default(), 1))
+    });
+    c.bench_function("table5/profile_point", |b| {
+        b.iter(|| {
+            let app = tm_stamp::runner::make_app(AppKind::Genome, 1, 1);
+            tm_stamp::runner::profile_app(app.as_ref(), AllocatorKind::Glibc)
+        })
+    });
+    c.bench_function("table7/object_cache_point", |b| {
+        b.iter(|| {
+            run_kind(
+                AppKind::Yada,
+                AllocatorKind::Glibc,
+                4,
+                &StampOpts { object_cache: true, ..StampOpts::default() },
+                1,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = exhibits
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the substrates themselves: how fast the
+//! simulator executes events, the allocator fast paths, and STM
+//! transactions — host-side performance of the reproduction stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tm_alloc::AllocatorKind;
+use tm_ds::{TxRbTree, TxSet};
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{Stm, StmConfig};
+
+fn bench_sim_events(c: &mut Criterion) {
+    c.bench_function("sim/1k_memory_events_single_thread", |b| {
+        b.iter(|| {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            sim.run(1, |ctx| {
+                for i in 0..1000u64 {
+                    ctx.write_u64(0x1000 + (i % 64) * 8, i);
+                }
+            })
+        })
+    });
+    c.bench_function("sim/1k_events_4_threads_interleaved", |b| {
+        b.iter(|| {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            sim.run(4, |ctx| {
+                for i in 0..250u64 {
+                    ctx.fetch_add_u64(0x2000, i);
+                }
+            })
+        })
+    });
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc");
+    for kind in AllocatorKind::ALL {
+        g.bench_function(format!("{}/malloc_free_64B_x256", kind.name()), |b| {
+            b.iter(|| {
+                let sim = Sim::new(MachineConfig::xeon_e5405());
+                let a = kind.build(&sim);
+                sim.run(1, |ctx| {
+                    for _ in 0..256 {
+                        let p = a.malloc(ctx, 64);
+                        a.free(ctx, p);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stm(c: &mut Criterion) {
+    c.bench_function("stm/256_counter_txns", |b| {
+        b.iter(|| {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            let alloc = AllocatorKind::TbbMalloc.build(&sim);
+            let stm = Arc::new(Stm::new(&sim, alloc, StmConfig::default()));
+            sim.run(1, |ctx| {
+                let mut th = stm.thread(0);
+                for _ in 0..256 {
+                    stm.txn(ctx, &mut th, |tx, ctx| {
+                        tx.update(ctx, 0x3000, |v| v + 1)
+                    });
+                }
+                stm.retire(th);
+            })
+        })
+    });
+    c.bench_function("stm/rbtree_128_inserts", |b| {
+        b.iter(|| {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            let alloc = AllocatorKind::TcMalloc.build(&sim);
+            let stm = Arc::new(Stm::new(&sim, alloc, StmConfig::default()));
+            sim.run(1, |ctx| {
+                let t = TxRbTree::new(&stm, ctx);
+                let mut th = stm.thread(0);
+                for k in 0..128u64 {
+                    t.insert(&stm, ctx, &mut th, k * 7 % 128);
+                }
+                stm.retire(th);
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_events, bench_allocators, bench_stm
+}
+criterion_main!(benches);

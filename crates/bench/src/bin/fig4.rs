@@ -1,0 +1,21 @@
+//! Figure 4: synthetic data-structure throughput vs cores, 60 % updates.
+use tm_bench::synth_sweep;
+use tm_core::report::render_series;
+use tm_ds::StructureKind;
+
+fn main() {
+    let mut out = String::new();
+    for s in StructureKind::ALL {
+        let series = synth_sweep(s, 5);
+        out.push_str(&render_series(
+            &format!("Figure 4 ({}, 60% updates): committed tx/s vs cores", s.name()),
+            "cores",
+            &series,
+        ));
+        out.push('\n');
+    }
+    tm_bench::emit("fig4", &out);
+    println!("Paper shape: Glibc best on the linked list (32 B spacing avoids");
+    println!("stripe sharing); Hoard/TBB best on HashSet (TCMalloc false-shares,");
+    println!("Glibc aliases arenas); TBB best on RBTree, Glibc worst.");
+}

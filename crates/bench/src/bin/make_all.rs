@@ -1,0 +1,21 @@
+//! Run every exhibit regenerator in sequence (results land in results/).
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig1", "fig3", "fig4", "table3", "table4",
+        "fig6", "table5", "fig7", "table6", "fig8", "table7", "ablation_padding",
+        "ablation_hash", "ablation_design", "ablation_shift", "ablation_machine", "ablation_serial", "ablation_variance", "fig4_mixes",
+    ];
+    for bin in bins {
+        eprintln!("==> {bin}");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .status()
+            .expect("spawn exhibit binary");
+        if !status.success() {
+            eprintln!("{bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("all exhibits regenerated under results/");
+}

@@ -1,0 +1,215 @@
+//! # tm-bench — regenerators for every table and figure of the paper
+//!
+//! One binary per exhibit (run with `cargo run --release -p tm-bench --bin
+//! <name>`): `fig1`, `fig3`, `fig4`, `fig6`, `fig7`, `fig8`, `table1`,
+//! `table2`, `table3`, `table4`, `table5`, `table6`, `table7`, and the
+//! `ablation_padding` extra. `make_all` runs the full set and writes each
+//! exhibit to `results/`.
+//!
+//! Absolute numbers come from the virtual-time simulator, so they are not
+//! comparable to the paper's wall-clock seconds; the *shapes* (who wins,
+//! by roughly what factor, where the crossovers sit) are the reproduction
+//! targets, recorded exhibit-by-exhibit in EXPERIMENTS.md.
+//!
+//! All sweeps are deterministic. `TM_SCALE` (default 1) scales workload
+//! sizes; larger values sharpen the shapes at the cost of runtime.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use tm_alloc::AllocatorKind;
+use tm_core::report::Series;
+use tm_core::synthetic::{run_synthetic, SyntheticConfig};
+use tm_core::Metrics;
+use tm_ds::StructureKind;
+use tm_stamp::runner::{run_kind, StampOpts, StampResult};
+use tm_stamp::AppKind;
+
+/// Disk memoization for sweep points. Runs are bit-deterministic, so a
+/// cached result is exactly what a re-run would produce; exhibits that
+/// share points (fig4/table3, fig7/table6/fig8) reuse instead of re-running.
+/// Delete `results/.cache/` to force fresh runs.
+fn cache_lookup(key: &str) -> Option<Vec<f64>> {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let path = format!("results/.cache/{:016x}.txt", h.finish());
+    let body = std::fs::read_to_string(path).ok()?;
+    let mut lines = body.lines();
+    if lines.next() != Some(key) {
+        return None; // hash collision or stale format
+    }
+    lines.map(|l| l.parse().ok()).collect()
+}
+
+fn cache_store(key: &str, vals: &[f64]) {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let _ = std::fs::create_dir_all("results/.cache");
+    let path = format!("results/.cache/{:016x}.txt", h.finish());
+    let mut body = String::from(key);
+    for v in vals {
+        body.push('\n');
+        body.push_str(&format!("{v:?}"));
+    }
+    let _ = std::fs::write(path, body);
+}
+
+/// Memoized [`run_synthetic`].
+pub fn synth_point(cfg: &SyntheticConfig) -> Metrics {
+    let key = format!("synth-v2 {cfg:?}");
+    if let Some(v) = cache_lookup(&key) {
+        if v.len() == 9 {
+            return Metrics {
+                seconds: v[0],
+                throughput: v[1],
+                abort_ratio: v[2],
+                l1_miss: v[3],
+                l2_miss: v[4],
+                commits: v[5] as u64,
+                aborts: v[6] as u64,
+                lock_wait_cycles: v[7] as u64,
+                cache_hits: v[8] as u64,
+            };
+        }
+    }
+    let m = run_synthetic(cfg);
+    cache_store(
+        &key,
+        &[
+            m.seconds,
+            m.throughput,
+            m.abort_ratio,
+            m.l1_miss,
+            m.l2_miss,
+            m.commits as f64,
+            m.aborts as f64,
+            m.lock_wait_cycles as f64,
+            m.cache_hits as f64,
+        ],
+    );
+    m
+}
+
+/// Workload scale multiplier from the `TM_SCALE` environment variable.
+pub fn scale() -> u64 {
+    std::env::var("TM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The thread counts of the paper's synthetic sweeps (Fig. 4, Table 4).
+pub const SYNTH_THREADS: [usize; 5] = [1, 2, 4, 6, 8];
+/// The thread counts of the paper's STAMP sweeps (Fig. 7/8).
+pub const STAMP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Synthetic configuration used by the Fig. 4 / Table 3 / Table 4 / Fig. 6
+/// regenerators (write-dominated, as the paper's discussion focuses on).
+pub fn synth_cfg(
+    structure: StructureKind,
+    allocator: AllocatorKind,
+    threads: usize,
+    shift: u32,
+) -> SyntheticConfig {
+    let s = scale();
+    let mut cfg = SyntheticConfig::scaled(structure, allocator, threads);
+    cfg.shift = shift;
+    cfg.initial_size *= s;
+    cfg.key_range *= s;
+    cfg.buckets = (cfg.initial_size * 32).next_power_of_two();
+    cfg
+}
+
+/// One full synthetic sweep: throughput series per allocator (memoized).
+pub fn synth_sweep(structure: StructureKind, shift: u32) -> Vec<Series> {
+    AllocatorKind::ALL
+        .iter()
+        .map(|&kind| Series {
+            label: kind.name().to_string(),
+            points: SYNTH_THREADS
+                .iter()
+                .map(|&t| {
+                    let m = synth_point(&synth_cfg(structure, kind, t, shift));
+                    (t as f64, m.throughput)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// One STAMP sweep point with the default options (memoized).
+pub fn stamp_point(app: AppKind, kind: AllocatorKind, threads: usize) -> StampResult {
+    let scale = stamp_scale(app);
+    let key = format!("stamp-v2 {app:?} {kind:?} t{threads} s{scale}");
+    if let Some(v) = cache_lookup(&key) {
+        if v.len() == 9 {
+            return StampResult {
+                seq_seconds: v[0],
+                par_seconds: v[1],
+                commits: v[2] as u64,
+                aborts: v[3] as u64,
+                abort_ratio: v[4],
+                l1_miss: v[5],
+                l2_miss: v[6],
+                lock_wait_cycles: v[7] as u64,
+                cache_hits: v[8] as u64,
+            };
+        }
+    }
+    let r = run_kind(app, kind, threads, &StampOpts::default(), scale);
+    cache_store(
+        &key,
+        &[
+            r.seq_seconds,
+            r.par_seconds,
+            r.commits as f64,
+            r.aborts as f64,
+            r.abort_ratio,
+            r.l1_miss,
+            r.l2_miss,
+            r.lock_wait_cycles as f64,
+            r.cache_hits as f64,
+        ],
+    );
+    r
+}
+
+/// Per-app scale: keep the slowest apps tractable under the simulator.
+pub fn stamp_scale(app: AppKind) -> u64 {
+    let s = scale();
+    match app {
+        AppKind::Labyrinth => s, // long transactions; scale gently
+        _ => 2 * s,
+    }
+}
+
+/// Write an exhibit both to stdout and to `results/<name>.txt`.
+pub fn emit(name: &str, body: &str) {
+    println!("{body}");
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.txt");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("[saved {path}]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_one() {
+        // (Environment-dependent test kept trivial: parsing logic only.)
+        assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn synth_cfg_scales_consistently() {
+        let cfg = synth_cfg(StructureKind::HashSet, AllocatorKind::Glibc, 4, 5);
+        assert_eq!(cfg.key_range, cfg.initial_size * 2);
+        assert!(cfg.buckets.is_power_of_two());
+        assert_eq!(cfg.shift, 5);
+    }
+}

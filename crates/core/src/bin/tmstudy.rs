@@ -1,0 +1,227 @@
+//! `tmstudy` — command-line front end for the whole reproduction stack.
+//!
+//! ```sh
+//! tmstudy synth --structure list --alloc glibc --threads 8 --shift 5
+//! tmstudy stamp --app yada --alloc tc --threads 8 --object-cache
+//! tmstudy threadtest --alloc hoard --size 512
+//! tmstudy profile --app intruder
+//! tmstudy machine
+//! ```
+//!
+//! Every run is deterministic; flags map 1:1 onto the library types, so
+//! anything printed here can be reproduced programmatically.
+
+use std::collections::HashMap;
+
+use tm_alloc::profile::{bucket_label, Region};
+use tm_alloc::AllocatorKind;
+use tm_core::synthetic::{run_synthetic, SyntheticConfig};
+use tm_core::threadtest::{run_threadtest, ThreadtestConfig};
+use tm_ds::StructureKind;
+use tm_stamp::runner::{make_app, profile_app, run_app, StampOpts};
+use tm_stamp::AppKind;
+use tm_stm::{LockDesign, OrtHash, WriteMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return;
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "synth" => synth(&flags),
+        "stamp" => stamp(&flags),
+        "threadtest" => threadtest(&flags),
+        "profile" => profile(&flags),
+        "machine" => machine(),
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: tmstudy <synth|stamp|threadtest|profile|machine> [flags]\n\
+         synth:      --structure list|hash|rbtree --alloc <a> --threads N \
+         [--update-pct P] [--shift S] [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
+         stamp:      --app <name> --alloc <a> --threads N [--scale S] \
+         [--shift S] [--ctl] [--mix-hash] [--object-cache]\n\
+         threadtest: --alloc <a> [--size BYTES] [--threads N] [--pairs N]\n\
+         profile:    --app <name> [--alloc <a>] [--scale S]\n\
+         allocators: glibc hoard tbb tc"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let val = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".into());
+            if val != "true" {
+                i += 1;
+            }
+            m.insert(name.to_string(), val);
+        }
+        i += 1;
+    }
+    m
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+        .unwrap_or(default)
+}
+
+fn alloc_of(flags: &HashMap<String, String>) -> AllocatorKind {
+    flags
+        .get("alloc")
+        .map(|v| v.parse().expect("allocator"))
+        .unwrap_or(AllocatorKind::TbbMalloc)
+}
+
+fn design_of(flags: &HashMap<String, String>) -> LockDesign {
+    if flags.contains_key("ctl") {
+        LockDesign::Ctl
+    } else {
+        LockDesign::Etl
+    }
+}
+
+fn write_mode_of(flags: &HashMap<String, String>) -> WriteMode {
+    if flags.contains_key("write-through") {
+        WriteMode::Through
+    } else {
+        WriteMode::Back
+    }
+}
+
+fn hash_of(flags: &HashMap<String, String>) -> OrtHash {
+    if flags.contains_key("mix-hash") {
+        OrtHash::Mix
+    } else {
+        OrtHash::ShiftMod
+    }
+}
+
+fn synth(flags: &HashMap<String, String>) {
+    let structure = match flags.get("structure").map(|s| s.as_str()) {
+        Some("list") | Some("linked-list") => StructureKind::LinkedList,
+        Some("hash") | Some("hashset") => StructureKind::HashSet,
+        Some("rbtree") | Some("tree") | None => StructureKind::RbTree,
+        Some(other) => panic!("unknown structure '{other}'"),
+    };
+    let mut cfg = SyntheticConfig::scaled(structure, alloc_of(flags), get(flags, "threads", 8));
+    cfg.update_pct = get(flags, "update-pct", 60);
+    cfg.shift = get(flags, "shift", 5);
+    cfg.object_cache = flags.contains_key("object-cache");
+    cfg.design = design_of(flags);
+    cfg.write_mode = write_mode_of(flags);
+    cfg.ort_hash = hash_of(flags);
+    if let Some(n) = flags.get("size") {
+        cfg.initial_size = n.parse().expect("--size");
+        cfg.key_range = cfg.initial_size * 2;
+        cfg.buckets = (cfg.initial_size * 32).next_power_of_two();
+    }
+    if let Some(n) = flags.get("ops") {
+        cfg.ops_per_thread = n.parse().expect("--ops");
+    }
+    println!("config: {cfg:?}\n");
+    let m = run_synthetic(&cfg);
+    println!("virtual time : {:.6} s", m.seconds);
+    println!("throughput   : {:.0} tx/s", m.throughput);
+    println!("commits      : {}", m.commits);
+    println!("aborts       : {} ({:.2} %)", m.aborts, m.abort_ratio * 100.0);
+    println!("L1 miss      : {:.3} %", m.l1_miss * 100.0);
+    println!("L2 miss      : {:.3} %", m.l2_miss * 100.0);
+    println!("lock waits   : {} cycles", m.lock_wait_cycles);
+    println!("cache hits   : {}", m.cache_hits);
+}
+
+fn stamp(flags: &HashMap<String, String>) {
+    let app: AppKind = flags
+        .get("app")
+        .map(|v| v.parse().expect("app"))
+        .unwrap_or(AppKind::Yada);
+    let opts = StampOpts {
+        object_cache: flags.contains_key("object-cache"),
+        shift: get(flags, "shift", 5),
+        design: design_of(flags),
+        write_mode: write_mode_of(flags),
+        ort_hash: hash_of(flags),
+        seed: get(flags, "seed", 0xace),
+    };
+    let scale = get(flags, "scale", 2u64);
+    let threads = get(flags, "threads", 8usize);
+    let a = make_app(app, scale, opts.seed);
+    println!("app: {} | alloc: {} | threads: {threads} | scale: {scale}\n",
+        app.name(), alloc_of(flags).name());
+    let r = run_app(a.as_ref(), alloc_of(flags), threads, &opts);
+    println!("seq time     : {:.6} s", r.seq_seconds);
+    println!("par time     : {:.6} s", r.par_seconds);
+    println!("commits      : {}", r.commits);
+    println!("aborts       : {} ({:.2} %)", r.aborts, r.abort_ratio * 100.0);
+    println!("L1 miss      : {:.3} %", r.l1_miss * 100.0);
+    println!("lock waits   : {} cycles", r.lock_wait_cycles);
+    println!("cache hits   : {}", r.cache_hits);
+}
+
+fn threadtest(flags: &HashMap<String, String>) {
+    let r = run_threadtest(&ThreadtestConfig {
+        allocator: alloc_of(flags),
+        threads: get(flags, "threads", 8),
+        block_size: get(flags, "size", 64),
+        pairs_per_thread: get(flags, "pairs", 1000),
+    });
+    println!("throughput : {:.2} M pairs/s", r.mops);
+    println!("L1 miss    : {:.3} %", r.l1_miss * 100.0);
+}
+
+fn profile(flags: &HashMap<String, String>) {
+    let app: AppKind = flags
+        .get("app")
+        .map(|v| v.parse().expect("app"))
+        .unwrap_or(AppKind::Genome);
+    let scale = get(flags, "scale", 2u64);
+    let a = make_app(app, scale, 0xace);
+    let prof = profile_app(a.as_ref(), alloc_of(flags));
+    println!("{} allocation profile (scale {scale}):", app.name());
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "region", "<=16", "32", "48", "64", "96", "128", "256", ">256", "mallocs", "frees", "bytes"
+    );
+    for region in Region::ALL {
+        let s = prof[region as usize];
+        print!("{:>6}", region.name());
+        for b in 0..8 {
+            let _ = bucket_label(b);
+            print!(" {:>9}", s.by_bucket[b]);
+        }
+        println!(" {:>9} {:>9} {:>12}", s.mallocs, s.frees, s.bytes);
+    }
+}
+
+fn machine() {
+    let m = tm_sim::MachineConfig::xeon_e5405();
+    println!("simulated machine (paper Table 2):");
+    println!("  cores        : {} ({} sockets x {})", m.cores, m.sockets(), m.cores_per_socket);
+    println!("  L1d per core : {} KB, {}-way, 64 B lines", m.l1.size / 1024, m.l1.ways);
+    println!("  L2 per socket: {} MB, {}-way", m.l2.size / (1024 * 1024), m.l2.ways);
+    println!("  frequency    : {} GHz (virtual)", m.freq_hz as f64 / 1e9);
+    println!(
+        "  costs        : L1 {} / L2 {} / mem {} / xfer {}-{} / rmw +{} / os {}",
+        m.cost.l1_hit, m.cost.l2_hit, m.cost.mem,
+        m.cost.transfer_same_socket, m.cost.transfer_cross_socket,
+        m.cost.atomic_rmw, m.cost.os_alloc
+    );
+}

@@ -1,0 +1,83 @@
+//! # tm-core — the experiment harness
+//!
+//! This crate packages the paper's methodology as a library: it builds a
+//! (simulated machine, allocator, STM) stack for a configuration, runs the
+//! paper's workloads on it, and returns the metrics the paper reports —
+//! throughput, execution time, abort ratio, and cache miss ratios.
+//!
+//! * [`synthetic`] — the §5 microbenchmark: N threads performing
+//!   update/lookup mixes on a sorted list, hash set, or red–black tree.
+//! * [`threadtest`] — the §3.5 allocator microbenchmark behind Fig. 3
+//!   (8 threads doing nothing but malloc/free pairs).
+//! * [`report`] — plain-text table/series formatting shared by the
+//!   `tm-bench` regenerators.
+//!
+//! Experiments are deterministic: same configuration, same numbers.
+
+pub mod report;
+pub mod synthetic;
+pub mod threadtest;
+
+use std::sync::Arc;
+
+use tm_alloc::{Allocator, AllocatorKind};
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{Stm, StmConfig};
+
+/// A fully-built simulation stack for one experiment configuration.
+pub struct Stack {
+    pub sim: Sim,
+    pub alloc: Arc<dyn Allocator>,
+    pub stm: Arc<Stm>,
+}
+
+/// Build machine + allocator + STM for one configuration (the paper's
+/// Xeon E5405 model).
+pub fn build_stack(kind: AllocatorKind, stm_cfg: StmConfig) -> Stack {
+    build_stack_on(MachineConfig::xeon_e5405(), kind, stm_cfg)
+}
+
+/// Build the stack on an explicit machine model (the machine ablation).
+pub fn build_stack_on(machine: MachineConfig, kind: AllocatorKind, stm_cfg: StmConfig) -> Stack {
+    let sim = Sim::new(machine);
+    let alloc = kind.build(&sim);
+    let stm = Arc::new(Stm::new(&sim, Arc::clone(&alloc), stm_cfg));
+    Stack { sim, alloc, stm }
+}
+
+/// Metrics common to every measured run (the paper's reporting set).
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Virtual seconds of the measured phase.
+    pub seconds: f64,
+    /// Committed transactions per virtual second.
+    pub throughput: f64,
+    /// Fraction of transaction attempts that aborted (Table 4).
+    pub abort_ratio: f64,
+    /// L1 data miss ratio over the measured phase (Table 4, PAPI-style).
+    pub l1_miss: f64,
+    /// L2 miss ratio over the measured phase.
+    pub l2_miss: f64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Simulated-lock wait cycles (allocator contention indicator).
+    pub lock_wait_cycles: u64,
+    /// Object-cache hits (Table 7 effectiveness).
+    pub cache_hits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_builds_for_all_allocators() {
+        for kind in AllocatorKind::ALL {
+            let stack = build_stack(kind, StmConfig::default());
+            assert_eq!(stack.alloc.attributes().name, kind.name());
+            assert_eq!(stack.stm.stripe_bytes(), 32);
+        }
+    }
+}

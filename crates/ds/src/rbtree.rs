@@ -1,0 +1,583 @@
+//! Transactional red–black tree (paper §5.3).
+//!
+//! Nodes are exactly 48 bytes: key, value, left, right, parent, color.
+//! The paper highlights two consequences of this size: Glibc and Hoard
+//! round it to a 64-byte class (no 48-byte class), while TBB/TC allocate
+//! exact 48-byte blocks whose *last 16 bytes share an ORT stripe with the
+//! next contiguous node's first 16 bytes* under the default shift of 5 —
+//! a structural false-conflict source. Deletions can also free nodes
+//! allocated by other threads' transactions (the tree rearrangement the
+//! paper mentions), exercising the allocators' remote-free paths.
+//!
+//! The algorithms are the CLRS red–black algorithms with a per-tree nil
+//! sentinel, every structural field accessed transactionally.
+
+use tm_sim::Ctx;
+use tm_stm::{Abort, Stm, Tx, TxThread};
+
+use crate::TxSet;
+
+const NODE_SIZE: u64 = 48;
+const KEY: u64 = 0;
+const VALUE: u64 = 8;
+const LEFT: u64 = 16;
+const RIGHT: u64 = 24;
+const PARENT: u64 = 32;
+const COLOR: u64 = 40;
+
+const BLACK: u64 = 0;
+const RED: u64 = 1;
+
+/// Handle to a transactional red–black tree (usable as a set or a map).
+#[derive(Clone, Copy, Debug)]
+pub struct TxRbTree {
+    /// Cell holding the root pointer (so root changes are transactional).
+    root_cell: u64,
+    /// The nil sentinel node (black; its parent field is scratch space
+    /// during delete-fixup, as in CLRS).
+    nil: u64,
+}
+
+impl TxRbTree {
+    pub fn new(stm: &Stm, ctx: &mut Ctx<'_>) -> Self {
+        let nil = stm.allocator().malloc(ctx, NODE_SIZE);
+        ctx.write_u64(nil + COLOR, BLACK);
+        ctx.write_u64(nil + LEFT, nil);
+        ctx.write_u64(nil + RIGHT, nil);
+        ctx.write_u64(nil + PARENT, 0);
+        ctx.write_u64(nil + KEY, 0);
+        ctx.write_u64(nil + VALUE, 0);
+        let root_cell = stm.allocator().malloc(ctx, 16);
+        ctx.write_u64(root_cell, nil);
+        TxRbTree { root_cell, nil }
+    }
+
+    fn root(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>) -> Result<u64, Abort> {
+        tx.read(ctx, self.root_cell)
+    }
+
+    fn set_root(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, n: u64) -> Result<(), Abort> {
+        tx.write(ctx, self.root_cell, n)
+    }
+
+    fn rotate_left(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, x: u64) -> Result<(), Abort> {
+        let y = tx.read(ctx, x + RIGHT)?;
+        let yl = tx.read(ctx, y + LEFT)?;
+        tx.write(ctx, x + RIGHT, yl)?;
+        if yl != self.nil {
+            tx.write(ctx, yl + PARENT, x)?;
+        }
+        let xp = tx.read(ctx, x + PARENT)?;
+        tx.write(ctx, y + PARENT, xp)?;
+        if xp == self.nil {
+            self.set_root(tx, ctx, y)?;
+        } else if tx.read(ctx, xp + LEFT)? == x {
+            tx.write(ctx, xp + LEFT, y)?;
+        } else {
+            tx.write(ctx, xp + RIGHT, y)?;
+        }
+        tx.write(ctx, y + LEFT, x)?;
+        tx.write(ctx, x + PARENT, y)
+    }
+
+    fn rotate_right(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, x: u64) -> Result<(), Abort> {
+        let y = tx.read(ctx, x + LEFT)?;
+        let yr = tx.read(ctx, y + RIGHT)?;
+        tx.write(ctx, x + LEFT, yr)?;
+        if yr != self.nil {
+            tx.write(ctx, yr + PARENT, x)?;
+        }
+        let xp = tx.read(ctx, x + PARENT)?;
+        tx.write(ctx, y + PARENT, xp)?;
+        if xp == self.nil {
+            self.set_root(tx, ctx, y)?;
+        } else if tx.read(ctx, xp + RIGHT)? == x {
+            tx.write(ctx, xp + RIGHT, y)?;
+        } else {
+            tx.write(ctx, xp + LEFT, y)?;
+        }
+        tx.write(ctx, y + RIGHT, x)?;
+        tx.write(ctx, x + PARENT, y)
+    }
+
+    fn insert_fixup(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, mut z: u64) -> Result<(), Abort> {
+        loop {
+            let zp = tx.read(ctx, z + PARENT)?;
+            if zp == self.nil || tx.read(ctx, zp + COLOR)? != RED {
+                break;
+            }
+            let zpp = tx.read(ctx, zp + PARENT)?;
+            if zp == tx.read(ctx, zpp + LEFT)? {
+                let y = tx.read(ctx, zpp + RIGHT)?;
+                if y != self.nil && tx.read(ctx, y + COLOR)? == RED {
+                    tx.write(ctx, zp + COLOR, BLACK)?;
+                    tx.write(ctx, y + COLOR, BLACK)?;
+                    tx.write(ctx, zpp + COLOR, RED)?;
+                    z = zpp;
+                } else {
+                    if z == tx.read(ctx, zp + RIGHT)? {
+                        z = zp;
+                        self.rotate_left(tx, ctx, z)?;
+                    }
+                    let zp = tx.read(ctx, z + PARENT)?;
+                    let zpp = tx.read(ctx, zp + PARENT)?;
+                    tx.write(ctx, zp + COLOR, BLACK)?;
+                    tx.write(ctx, zpp + COLOR, RED)?;
+                    self.rotate_right(tx, ctx, zpp)?;
+                }
+            } else {
+                let y = tx.read(ctx, zpp + LEFT)?;
+                if y != self.nil && tx.read(ctx, y + COLOR)? == RED {
+                    tx.write(ctx, zp + COLOR, BLACK)?;
+                    tx.write(ctx, y + COLOR, BLACK)?;
+                    tx.write(ctx, zpp + COLOR, RED)?;
+                    z = zpp;
+                } else {
+                    if z == tx.read(ctx, zp + LEFT)? {
+                        z = zp;
+                        self.rotate_right(tx, ctx, z)?;
+                    }
+                    let zp = tx.read(ctx, z + PARENT)?;
+                    let zpp = tx.read(ctx, zp + PARENT)?;
+                    tx.write(ctx, zp + COLOR, BLACK)?;
+                    tx.write(ctx, zpp + COLOR, RED)?;
+                    self.rotate_left(tx, ctx, zpp)?;
+                }
+            }
+        }
+        let root = self.root(tx, ctx)?;
+        tx.write(ctx, root + COLOR, BLACK)
+    }
+
+    /// Insert `key` with `value`; returns false (leaving the value alone)
+    /// when the key already exists.
+    pub fn insert_kv(
+        &self,
+        stm: &Stm,
+        ctx: &mut Ctx<'_>,
+        th: &mut TxThread,
+        key: u64,
+        value: u64,
+    ) -> bool {
+        stm.txn(ctx, th, |tx, ctx| self.insert_in(tx, ctx, key, value))
+    }
+
+    /// In-transaction insert, composable with other operations in one
+    /// atomic step (STAMP's vacation spans several tables per tx).
+    pub fn insert_in(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<'_>,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, Abort> {
+        {
+            let mut y = self.nil;
+            let mut x = self.root(tx, ctx)?;
+            while x != self.nil {
+                y = x;
+                let xk = tx.read(ctx, x + KEY)?;
+                if key == xk {
+                    return Ok(false);
+                }
+                x = tx.read(ctx, x + if key < xk { LEFT } else { RIGHT })?;
+                ctx.tick(3);
+            }
+            let z = tx.malloc(ctx, NODE_SIZE);
+            // Plain init stores, as STAMP does after TM_MALLOC (the STM's
+            // quiescent reclamation makes recycling safe). Subsequent
+            // fixup writes to these fields go through the STM and are the
+            // stripe-colliding writes of §5.3.
+            ctx.write_u64(z + KEY, key);
+            ctx.write_u64(z + VALUE, value);
+            ctx.write_u64(z + LEFT, self.nil);
+            ctx.write_u64(z + RIGHT, self.nil);
+            ctx.write_u64(z + PARENT, y);
+            ctx.write_u64(z + COLOR, RED);
+            if y == self.nil {
+                self.set_root(tx, ctx, z)?;
+            } else if key < tx.read(ctx, y + KEY)? {
+                tx.write(ctx, y + LEFT, z)?;
+            } else {
+                tx.write(ctx, y + RIGHT, z)?;
+            }
+            self.insert_fixup(tx, ctx, z)?;
+            Ok(true)
+        }
+    }
+
+    /// In-transaction lookup.
+    pub fn get_in(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<'_>,
+        key: u64,
+    ) -> Result<Option<u64>, Abort> {
+        let mut x = self.root(tx, ctx)?;
+        while x != self.nil {
+            let xk = tx.read(ctx, x + KEY)?;
+            if key == xk {
+                return Ok(Some(tx.read(ctx, x + VALUE)?));
+            }
+            x = tx.read(ctx, x + if key < xk { LEFT } else { RIGHT })?;
+            ctx.tick(3);
+        }
+        Ok(None)
+    }
+
+    /// In-transaction insert-or-update.
+    pub fn put_in(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<'_>,
+        key: u64,
+        value: u64,
+    ) -> Result<(), Abort> {
+        let mut x = self.root(tx, ctx)?;
+        while x != self.nil {
+            let xk = tx.read(ctx, x + KEY)?;
+            if key == xk {
+                return tx.write(ctx, x + VALUE, value);
+            }
+            x = tx.read(ctx, x + if key < xk { LEFT } else { RIGHT })?;
+        }
+        self.insert_in(tx, ctx, key, value)?;
+        Ok(())
+    }
+
+    /// Look up `key`, returning its value.
+    pub fn get(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64) -> Option<u64> {
+        stm.txn(ctx, th, |tx, ctx| self.get_in(tx, ctx, key))
+    }
+
+    /// Update the value of an existing key or insert it.
+    pub fn put(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64, value: u64) {
+        stm.txn(ctx, th, |tx, ctx| self.put_in(tx, ctx, key, value))
+    }
+
+    fn transplant(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<'_>,
+        u: u64,
+        v: u64,
+    ) -> Result<(), Abort> {
+        let up = tx.read(ctx, u + PARENT)?;
+        if up == self.nil {
+            self.set_root(tx, ctx, v)?;
+        } else if u == tx.read(ctx, up + LEFT)? {
+            tx.write(ctx, up + LEFT, v)?;
+        } else {
+            tx.write(ctx, up + RIGHT, v)?;
+        }
+        tx.write(ctx, v + PARENT, up)
+    }
+
+    fn minimum(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, mut x: u64) -> Result<u64, Abort> {
+        loop {
+            let l = tx.read(ctx, x + LEFT)?;
+            if l == self.nil {
+                return Ok(x);
+            }
+            x = l;
+        }
+    }
+
+    fn delete_fixup(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, mut x: u64) -> Result<(), Abort> {
+        loop {
+            let root = self.root(tx, ctx)?;
+            if x == root || tx.read(ctx, x + COLOR)? == RED {
+                break;
+            }
+            let xp = tx.read(ctx, x + PARENT)?;
+            if x == tx.read(ctx, xp + LEFT)? {
+                let mut w = tx.read(ctx, xp + RIGHT)?;
+                if tx.read(ctx, w + COLOR)? == RED {
+                    tx.write(ctx, w + COLOR, BLACK)?;
+                    tx.write(ctx, xp + COLOR, RED)?;
+                    self.rotate_left(tx, ctx, xp)?;
+                    w = tx.read(ctx, xp + RIGHT)?;
+                }
+                let wl = tx.read(ctx, w + LEFT)?;
+                let wr = tx.read(ctx, w + RIGHT)?;
+                let wl_black = wl == self.nil || tx.read(ctx, wl + COLOR)? == BLACK;
+                let wr_black = wr == self.nil || tx.read(ctx, wr + COLOR)? == BLACK;
+                if wl_black && wr_black {
+                    tx.write(ctx, w + COLOR, RED)?;
+                    x = xp;
+                } else {
+                    if wr_black {
+                        tx.write(ctx, wl + COLOR, BLACK)?;
+                        tx.write(ctx, w + COLOR, RED)?;
+                        self.rotate_right(tx, ctx, w)?;
+                        w = tx.read(ctx, xp + RIGHT)?;
+                    }
+                    let xpc = tx.read(ctx, xp + COLOR)?;
+                    tx.write(ctx, w + COLOR, xpc)?;
+                    tx.write(ctx, xp + COLOR, BLACK)?;
+                    let wr = tx.read(ctx, w + RIGHT)?;
+                    if wr != self.nil {
+                        tx.write(ctx, wr + COLOR, BLACK)?;
+                    }
+                    self.rotate_left(tx, ctx, xp)?;
+                    x = self.root(tx, ctx)?;
+                }
+            } else {
+                let mut w = tx.read(ctx, xp + LEFT)?;
+                if tx.read(ctx, w + COLOR)? == RED {
+                    tx.write(ctx, w + COLOR, BLACK)?;
+                    tx.write(ctx, xp + COLOR, RED)?;
+                    self.rotate_right(tx, ctx, xp)?;
+                    w = tx.read(ctx, xp + LEFT)?;
+                }
+                let wl = tx.read(ctx, w + LEFT)?;
+                let wr = tx.read(ctx, w + RIGHT)?;
+                let wl_black = wl == self.nil || tx.read(ctx, wl + COLOR)? == BLACK;
+                let wr_black = wr == self.nil || tx.read(ctx, wr + COLOR)? == BLACK;
+                if wl_black && wr_black {
+                    tx.write(ctx, w + COLOR, RED)?;
+                    x = xp;
+                } else {
+                    if wl_black {
+                        tx.write(ctx, wr + COLOR, BLACK)?;
+                        tx.write(ctx, w + COLOR, RED)?;
+                        self.rotate_left(tx, ctx, w)?;
+                        w = tx.read(ctx, xp + LEFT)?;
+                    }
+                    let xpc = tx.read(ctx, xp + COLOR)?;
+                    tx.write(ctx, w + COLOR, xpc)?;
+                    tx.write(ctx, xp + COLOR, BLACK)?;
+                    let wl = tx.read(ctx, w + LEFT)?;
+                    if wl != self.nil {
+                        tx.write(ctx, wl + COLOR, BLACK)?;
+                    }
+                    self.rotate_right(tx, ctx, xp)?;
+                    x = self.root(tx, ctx)?;
+                }
+            }
+        }
+        tx.write(ctx, x + COLOR, BLACK)
+    }
+
+    /// Raw (non-transactional) red–black invariant checker for quiescent
+    /// states; returns the tree's black height or panics with the broken
+    /// invariant. Test helper.
+    pub fn check_invariants_raw(&self, ctx: &mut Ctx<'_>) -> u64 {
+        let root = ctx.read_u64(self.root_cell);
+        if root == self.nil {
+            return 0;
+        }
+        assert_eq!(
+            ctx.read_u64(root + COLOR),
+            BLACK,
+            "root must be black"
+        );
+        self.check_node_raw(ctx, root, None, None)
+    }
+
+    fn check_node_raw(
+        &self,
+        ctx: &mut Ctx<'_>,
+        n: u64,
+        lo: Option<u64>,
+        hi: Option<u64>,
+    ) -> u64 {
+        if n == self.nil {
+            return 1;
+        }
+        let k = ctx.read_u64(n + KEY);
+        if let Some(lo) = lo {
+            assert!(k > lo, "BST order violated");
+        }
+        if let Some(hi) = hi {
+            assert!(k < hi, "BST order violated");
+        }
+        let c = ctx.read_u64(n + COLOR);
+        let l = ctx.read_u64(n + LEFT);
+        let r = ctx.read_u64(n + RIGHT);
+        if c == RED {
+            for child in [l, r] {
+                if child != self.nil {
+                    assert_eq!(
+                        ctx.read_u64(child + COLOR),
+                        BLACK,
+                        "red node with red child"
+                    );
+                }
+            }
+        }
+        let bl = self.check_node_raw(ctx, l, lo, Some(k));
+        let br = self.check_node_raw(ctx, r, Some(k), hi);
+        assert_eq!(bl, br, "black height mismatch at key {k}");
+        bl + if c == BLACK { 1 } else { 0 }
+    }
+}
+
+impl TxSet for TxRbTree {
+    fn insert(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64) -> bool {
+        self.insert_kv(stm, ctx, th, key, key)
+    }
+
+    fn remove(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64) -> bool {
+        stm.txn(ctx, th, |tx, ctx| self.remove_in(tx, ctx, key))
+    }
+
+    fn contains(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64) -> bool {
+        self.get(stm, ctx, th, key).is_some()
+    }
+}
+
+impl TxRbTree {
+    /// In-transaction removal (composable; used by the STAMP cavity
+    /// transactions of Yada).
+    pub fn remove_in(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, key: u64) -> Result<bool, Abort> {
+        {
+            // Find z.
+            let mut z = self.root(tx, ctx)?;
+            while z != self.nil {
+                let zk = tx.read(ctx, z + KEY)?;
+                if key == zk {
+                    break;
+                }
+                z = tx.read(ctx, z + if key < zk { LEFT } else { RIGHT })?;
+                ctx.tick(3);
+            }
+            if z == self.nil {
+                return Ok(false);
+            }
+            let mut y = z;
+            let mut y_color = tx.read(ctx, y + COLOR)?;
+            let x;
+            let zl = tx.read(ctx, z + LEFT)?;
+            let zr = tx.read(ctx, z + RIGHT)?;
+            if zl == self.nil {
+                x = zr;
+                self.transplant(tx, ctx, z, zr)?;
+            } else if zr == self.nil {
+                x = zl;
+                self.transplant(tx, ctx, z, zl)?;
+            } else {
+                y = self.minimum(tx, ctx, zr)?;
+                y_color = tx.read(ctx, y + COLOR)?;
+                x = tx.read(ctx, y + RIGHT)?;
+                if tx.read(ctx, y + PARENT)? == z {
+                    tx.write(ctx, x + PARENT, y)?;
+                } else {
+                    self.transplant(tx, ctx, y, x)?;
+                    let zr = tx.read(ctx, z + RIGHT)?;
+                    tx.write(ctx, y + RIGHT, zr)?;
+                    tx.write(ctx, zr + PARENT, y)?;
+                }
+                self.transplant(tx, ctx, z, y)?;
+                let zl = tx.read(ctx, z + LEFT)?;
+                tx.write(ctx, y + LEFT, zl)?;
+                tx.write(ctx, zl + PARENT, y)?;
+                let zc = tx.read(ctx, z + COLOR)?;
+                tx.write(ctx, y + COLOR, zc)?;
+            }
+            if y_color == BLACK {
+                self.delete_fixup(tx, ctx, x)?;
+            }
+            // The freed node may have been allocated by another thread's
+            // transaction — the paper's cross-thread deallocation pattern.
+            tx.free(ctx, z);
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn model_check_random_ops() {
+        testutil::model_check(|stm, ctx| TxRbTree::new(stm, ctx), 1234, 600);
+    }
+
+    #[test]
+    fn concurrent_ops_linearize() {
+        testutil::concurrent_check(|stm, ctx| TxRbTree::new(stm, ctx), 4);
+    }
+
+    #[test]
+    fn invariants_hold_through_churn() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let (sim, stm) = testutil::setup();
+        sim.run(1, |ctx| {
+            let t = TxRbTree::new(&stm, ctx);
+            let mut th = stm.thread(0);
+            let mut rng = SmallRng::seed_from_u64(99);
+            let mut model = std::collections::BTreeSet::new();
+            for round in 0..300 {
+                let key = rng.gen_range(0..128u64);
+                if rng.gen_bool(0.6) {
+                    assert_eq!(t.insert(&stm, ctx, &mut th, key), model.insert(key));
+                } else {
+                    assert_eq!(t.remove(&stm, ctx, &mut th, key), model.remove(&key));
+                }
+                if round % 25 == 0 {
+                    t.check_invariants_raw(ctx);
+                }
+            }
+            t.check_invariants_raw(ctx);
+            stm.retire(th);
+        });
+    }
+
+    #[test]
+    fn ascending_insertions_balance() {
+        let (sim, stm) = testutil::setup();
+        sim.run(1, |ctx| {
+            let t = TxRbTree::new(&stm, ctx);
+            let mut th = stm.thread(0);
+            for key in 0..256u64 {
+                assert!(t.insert(&stm, ctx, &mut th, key));
+            }
+            let bh = t.check_invariants_raw(ctx);
+            // A balanced 256-node RB tree has black height ~ log2(n)/2+1;
+            // it must certainly be far below the path length of a list.
+            assert!(bh <= 10, "black height {bh} suggests no balancing");
+            for key in 0..256u64 {
+                assert!(t.contains(&stm, ctx, &mut th, key));
+            }
+            stm.retire(th);
+        });
+    }
+
+    #[test]
+    fn kv_semantics() {
+        let (sim, stm) = testutil::setup();
+        sim.run(1, |ctx| {
+            let t = TxRbTree::new(&stm, ctx);
+            let mut th = stm.thread(0);
+            assert!(t.insert_kv(&stm, ctx, &mut th, 10, 100));
+            assert!(!t.insert_kv(&stm, ctx, &mut th, 10, 200), "no overwrite");
+            assert_eq!(t.get(&stm, ctx, &mut th, 10), Some(100));
+            t.put(&stm, ctx, &mut th, 10, 300);
+            assert_eq!(t.get(&stm, ctx, &mut th, 10), Some(300));
+            t.put(&stm, ctx, &mut th, 11, 1);
+            assert_eq!(t.get(&stm, ctx, &mut th, 11), Some(1));
+            assert_eq!(t.get(&stm, ctx, &mut th, 12), None);
+            stm.retire(th);
+        });
+    }
+
+    #[test]
+    fn node_size_is_48_bytes() {
+        // Two nodes inserted back-to-back under TBB (exact 48-byte class)
+        // must be 48 bytes apart — the §5.3 layout.
+        let (sim, stm) = testutil::setup_with(tm_alloc::AllocatorKind::TbbMalloc, 5);
+        sim.run(1, |ctx| {
+            let t = TxRbTree::new(&stm, ctx);
+            let mut th = stm.thread(0);
+            t.insert(&stm, ctx, &mut th, 1);
+            t.insert(&stm, ctx, &mut th, 2);
+            let root = ctx.read_u64(t.root_cell);
+            let right = ctx.read_u64(root + RIGHT);
+            assert_eq!(right.abs_diff(root), 48);
+            stm.retire(th);
+        });
+    }
+}

@@ -1,0 +1,185 @@
+//! Edge-case tests for the transactional structures.
+
+use std::sync::Arc;
+use tm_alloc::AllocatorKind;
+use tm_ds::{TxHashSet, TxList, TxQueue, TxRbTree, TxSet};
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{Stm, StmConfig};
+
+fn stack() -> (Sim, Arc<Stm>) {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let alloc = AllocatorKind::Glibc.build(&sim);
+    let stm = Arc::new(Stm::new(&sim, alloc, StmConfig::default()));
+    (sim, stm)
+}
+
+#[test]
+fn rbtree_single_element_lifecycle() {
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let t = TxRbTree::new(&stm, ctx);
+        let mut th = stm.thread(0);
+        assert!(!t.remove(&stm, ctx, &mut th, 1));
+        assert!(t.insert(&stm, ctx, &mut th, 1));
+        t.check_invariants_raw(ctx);
+        assert!(t.remove(&stm, ctx, &mut th, 1));
+        t.check_invariants_raw(ctx);
+        assert!(!t.contains(&stm, ctx, &mut th, 1));
+        assert!(t.insert(&stm, ctx, &mut th, 1), "reinsertion after empty");
+        stm.retire(th);
+    });
+}
+
+#[test]
+fn rbtree_descending_insert_then_ascending_removal() {
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let t = TxRbTree::new(&stm, ctx);
+        let mut th = stm.thread(0);
+        for k in (0..128u64).rev() {
+            assert!(t.insert(&stm, ctx, &mut th, k));
+        }
+        t.check_invariants_raw(ctx);
+        for k in 0..128u64 {
+            assert!(t.remove(&stm, ctx, &mut th, k), "remove {k}");
+            if k % 16 == 0 {
+                t.check_invariants_raw(ctx);
+            }
+        }
+        t.check_invariants_raw(ctx);
+        stm.retire(th);
+    });
+}
+
+#[test]
+fn rbtree_extreme_keys() {
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let t = TxRbTree::new(&stm, ctx);
+        let mut th = stm.thread(0);
+        for k in [0u64, 1, u64::MAX - 1, u64::MAX / 2] {
+            assert!(t.insert(&stm, ctx, &mut th, k));
+        }
+        t.check_invariants_raw(ctx);
+        for k in [0u64, 1, u64::MAX - 1, u64::MAX / 2] {
+            assert!(t.contains(&stm, ctx, &mut th, k));
+        }
+        stm.retire(th);
+    });
+}
+
+#[test]
+fn list_head_and_tail_operations() {
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let l = TxList::new(&stm, ctx);
+        let mut th = stm.thread(0);
+        l.insert(&stm, ctx, &mut th, 50);
+        // Insert before head and after tail.
+        l.insert(&stm, ctx, &mut th, 10);
+        l.insert(&stm, ctx, &mut th, 90);
+        assert!(l.is_sorted_raw(ctx));
+        // Remove head element, tail element, middle.
+        assert!(l.remove(&stm, ctx, &mut th, 10));
+        assert!(l.remove(&stm, ctx, &mut th, 90));
+        assert!(l.remove(&stm, ctx, &mut th, 50));
+        assert!(l.is_empty(&stm, ctx, &mut th));
+        stm.retire(th);
+    });
+}
+
+#[test]
+fn queue_node_recycling_keeps_fifo() {
+    // Heavy push/pop churn recycles sentinel nodes through the allocator;
+    // FIFO order must survive arbitrary reuse.
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let q = TxQueue::new(&stm, ctx);
+        let mut th = stm.thread(0);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for round in 0..50 {
+            for _ in 0..(round % 5 + 1) {
+                q.push(&stm, ctx, &mut th, next_push);
+                next_push += 1;
+            }
+            for _ in 0..(round % 3 + 1) {
+                if let Some(v) = q.pop(&stm, ctx, &mut th) {
+                    assert_eq!(v, next_pop, "FIFO violated");
+                    next_pop += 1;
+                }
+            }
+        }
+        while let Some(v) = q.pop(&stm, ctx, &mut th) {
+            assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, next_push);
+        stm.retire(th);
+    });
+}
+
+#[test]
+fn hashset_full_drain_and_refill() {
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let h = TxHashSet::new(&stm, ctx, 64);
+        let mut th = stm.thread(0);
+        for round in 0..3 {
+            for k in 0..100u64 {
+                assert!(h.insert(&stm, ctx, &mut th, k), "round {round} insert {k}");
+            }
+            assert_eq!(h.len_raw(ctx), 100);
+            for k in 0..100u64 {
+                assert!(h.remove(&stm, ctx, &mut th, k));
+            }
+            assert_eq!(h.len_raw(ctx), 0);
+        }
+        stm.retire(th);
+    });
+}
+
+#[test]
+fn structures_under_every_allocator_once_more() {
+    // Same op script across all four allocators must produce the same
+    // abstract contents (layout differs, semantics must not).
+    let script: Vec<(u8, u64)> = (0..120)
+        .map(|i| ((i * 7 % 3) as u8, (i * 31 % 40) as u64))
+        .collect();
+    let mut reference: Option<Vec<bool>> = None;
+    for kind in AllocatorKind::ALL {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let alloc = kind.build(&sim);
+        let stm = Arc::new(Stm::new(&sim, alloc, StmConfig::default()));
+        let content = parking_lot::Mutex::new(Vec::new());
+        let script = script.clone();
+        sim.run(1, |ctx| {
+            let t = TxRbTree::new(&stm, ctx);
+            let mut th = stm.thread(0);
+            for &(op, k) in &script {
+                match op {
+                    0 => {
+                        t.insert(&stm, ctx, &mut th, k);
+                    }
+                    1 => {
+                        t.remove(&stm, ctx, &mut th, k);
+                    }
+                    _ => {
+                        t.contains(&stm, ctx, &mut th, k);
+                    }
+                }
+            }
+            let mut v = Vec::new();
+            for k in 0..40u64 {
+                v.push(t.contains(&stm, ctx, &mut th, k));
+            }
+            stm.retire(th);
+            *content.lock() = v;
+        });
+        let v = content.into_inner();
+        match &reference {
+            None => reference = Some(v),
+            Some(r) => assert_eq!(r, &v, "{kind:?} diverged from reference contents"),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: each transactional structure agrees with a reference
+//! model under arbitrary operation sequences (single-threaded — the
+//! concurrent equivalence is covered by the deterministic multi-thread
+//! tests in the crate), and the red–black invariants survive any script.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tm_alloc::AllocatorKind;
+use tm_ds::{TxHashSet, TxList, TxRbTree, TxSet};
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{Stm, StmConfig};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..48).prop_map(Op::Insert),
+        (0u64..48).prop_map(Op::Remove),
+        (0u64..48).prop_map(Op::Contains),
+    ]
+}
+
+fn against_model<S: TxSet>(
+    make: impl FnOnce(&Stm, &mut tm_sim::Ctx<'_>) -> S + Send,
+    ops: Vec<Op>,
+    check_invariants: impl Fn(&S, &mut tm_sim::Ctx<'_>) + Send + Sync,
+) {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let alloc = AllocatorKind::TcMalloc.build(&sim);
+    let stm = Arc::new(Stm::new(&sim, alloc, StmConfig::default()));
+    let make = parking_lot::Mutex::new(Some(make));
+    sim.run(1, |ctx| {
+        let set = (make.lock().take().unwrap())(&stm, ctx);
+        let mut th = stm.thread(0);
+        let mut model = std::collections::BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => assert_eq!(
+                    set.insert(&stm, ctx, &mut th, k),
+                    model.insert(k),
+                    "insert({k})"
+                ),
+                Op::Remove(k) => assert_eq!(
+                    set.remove(&stm, ctx, &mut th, k),
+                    model.remove(&k),
+                    "remove({k})"
+                ),
+                Op::Contains(k) => assert_eq!(
+                    set.contains(&stm, ctx, &mut th, k),
+                    model.contains(&k),
+                    "contains({k})"
+                ),
+            }
+        }
+        check_invariants(&set, ctx);
+        for k in 0..48u64 {
+            assert_eq!(set.contains(&stm, ctx, &mut th, k), model.contains(&k));
+        }
+        stm.retire(th);
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn list_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        against_model(
+            |stm, ctx| TxList::new(stm, ctx),
+            ops,
+            |l, ctx| assert!(l.is_sorted_raw(ctx)),
+        );
+    }
+
+    #[test]
+    fn hashset_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        against_model(|stm, ctx| TxHashSet::new(stm, ctx, 1 << 8), ops, |_, _| {});
+    }
+
+    #[test]
+    fn rbtree_matches_model_and_balances(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        against_model(
+            |stm, ctx| TxRbTree::new(stm, ctx),
+            ops,
+            |t, ctx| {
+                t.check_invariants_raw(ctx);
+            },
+        );
+    }
+}

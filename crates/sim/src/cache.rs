@@ -1,0 +1,431 @@
+//! Set-associative cache hierarchy with an invalidation-based coherence
+//! model.
+//!
+//! The model tracks *tags only* (data lives in [`crate::memory::Memory`]):
+//! per-core L1s, per-socket shared L2s, and a directory recording which
+//! cores hold each line and which (if any) holds it dirty. Writes invalidate
+//! remote copies; fetching a line that is dirty in a remote L1 pays a
+//! cache-to-cache transfer. False sharing between threads therefore costs
+//! cycles mechanistically, which is one of the paper's key effects
+//! (TCMalloc handing adjacent 16-byte blocks to different threads, §5.2).
+
+use std::collections::HashMap;
+
+use crate::config::MachineConfig;
+use crate::LINE;
+
+/// Geometry of one cache level (line size is fixed at 64 bytes).
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    fn sets(&self) -> usize {
+        (self.size / LINE) as usize / self.ways
+    }
+}
+
+/// Per-core cache event counters, in the spirit of the paper's PAPI
+/// measurements (Table 4 reports L1 data miss ratios).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    pub l1_accesses: u64,
+    pub l1_misses: u64,
+    pub l2_accesses: u64,
+    pub l2_misses: u64,
+    /// Lines obtained via cache-to-cache transfer from a remote dirty copy.
+    pub coherence_transfers: u64,
+    /// Lines invalidated in this core's L1 by remote writes.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// L1 miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 miss ratio in `[0, 1]`.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Accumulate another core's counters (used to aggregate a whole run).
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.l1_accesses += o.l1_accesses;
+        self.l1_misses += o.l1_misses;
+        self.l2_accesses += o.l2_accesses;
+        self.l2_misses += o.l2_misses;
+        self.coherence_transfers += o.coherence_transfers;
+        self.invalidations += o.invalidations;
+    }
+}
+
+const EMPTY: u64 = u64::MAX;
+
+/// One set-associative tag array with LRU replacement.
+struct TagArray {
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` tags; `EMPTY` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamp: Vec<u64>,
+    tick: u64,
+}
+
+impl TagArray {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        TagArray {
+            sets,
+            ways: cfg.ways,
+            tags: vec![EMPTY; sets * cfg.ways],
+            stamp: vec![0; sets * cfg.ways],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn base(&self, line: u64) -> usize {
+        (line as usize & (self.sets - 1)) * self.ways
+    }
+
+    /// Probe for `line`; on hit, refresh LRU and return true.
+    fn probe(&mut self, line: u64) -> bool {
+        let b = self.base(line);
+        self.tick += 1;
+        for w in 0..self.ways {
+            if self.tags[b + w] == line {
+                self.stamp[b + w] = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert `line`, evicting the LRU way if the set is full. Returns the
+    /// evicted line, if any.
+    fn fill(&mut self, line: u64) -> Option<u64> {
+        let b = self.base(line);
+        self.tick += 1;
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for w in 0..self.ways {
+            if self.tags[b + w] == line {
+                // Already present (races with coherence bookkeeping).
+                self.stamp[b + w] = self.tick;
+                return None;
+            }
+            if self.tags[b + w] == EMPTY {
+                self.tags[b + w] = line;
+                self.stamp[b + w] = self.tick;
+                return None;
+            }
+            if self.stamp[b + w] < victim_stamp {
+                victim_stamp = self.stamp[b + w];
+                victim = w;
+            }
+        }
+        let evicted = self.tags[b + victim];
+        self.tags[b + victim] = line;
+        self.stamp[b + victim] = self.tick;
+        Some(evicted)
+    }
+
+    /// Drop `line` if present (remote invalidation / inclusion victim).
+    fn invalidate(&mut self, line: u64) -> bool {
+        let b = self.base(line);
+        for w in 0..self.ways {
+            if self.tags[b + w] == line {
+                self.tags[b + w] = EMPTY;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Directory entry: which cores' L1s hold the line, and whether one of them
+/// holds it modified.
+#[derive(Clone, Copy, Default)]
+struct DirEntry {
+    sharers: u16,
+    dirty_in: Option<u8>,
+}
+
+/// The full cache hierarchy of the simulated machine.
+pub struct Hierarchy {
+    l1: Vec<TagArray>,
+    l2: Vec<TagArray>,
+    dir: HashMap<u64, DirEntry>,
+    stats: Vec<CacheStats>,
+    cfg: MachineConfig,
+}
+
+impl Hierarchy {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Hierarchy {
+            l1: (0..cfg.cores).map(|_| TagArray::new(cfg.l1)).collect(),
+            l2: (0..cfg.sockets()).map(|_| TagArray::new(cfg.l2)).collect(),
+            dir: HashMap::new(),
+            stats: vec![CacheStats::default(); cfg.cores],
+            cfg: cfg.clone(),
+        }
+    }
+
+    pub fn stats(&self, core: usize) -> CacheStats {
+        self.stats[core]
+    }
+
+    /// Simulate one data access by `core` and return its cycle cost.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool) -> u64 {
+        let line = addr / LINE;
+        let me = 1u16 << core;
+        let my_socket = self.cfg.socket_of(core);
+        let cost_model = self.cfg.cost.clone();
+        self.stats[core].l1_accesses += 1;
+
+        let mut cost;
+        if self.l1[core].probe(line) {
+            cost = cost_model.l1_hit;
+            if write {
+                // Upgrade: invalidate any other sharers.
+                let e = self.dir.entry(line).or_default();
+                let others = e.sharers & !me;
+                if others != 0 {
+                    cost += cost_model.transfer_same_socket;
+                    self.invalidate_mask(line, others, core);
+                    let e = self.dir.entry(line).or_default();
+                    e.sharers = me;
+                }
+                let e = self.dir.entry(line).or_default();
+                e.sharers |= me;
+                e.dirty_in = Some(core as u8);
+            }
+            return cost;
+        }
+
+        // L1 miss.
+        self.stats[core].l1_misses += 1;
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        if let Some(owner) = entry.dirty_in.filter(|&o| o as usize != core) {
+            // Dirty in a remote L1: cache-to-cache transfer.
+            self.stats[core].coherence_transfers += 1;
+            let owner_socket = self.cfg.socket_of(owner as usize);
+            cost = cost_model.l1_hit
+                + if owner_socket == my_socket {
+                    cost_model.transfer_same_socket
+                } else {
+                    cost_model.transfer_cross_socket
+                };
+            if write {
+                // RFO: the remote copy is invalidated.
+                self.invalidate_mask(line, 1u16 << owner, core);
+                let e = self.dir.entry(line).or_default();
+                e.sharers = me;
+            } else {
+                // Downgrade to shared; the data also lands in our L2.
+                let e = self.dir.entry(line).or_default();
+                e.dirty_in = None;
+                e.sharers |= me;
+                self.fill_l2(my_socket, line);
+            }
+        } else {
+            // Clean miss: go to the shared L2, then memory.
+            self.stats[core].l2_accesses += 1;
+            if self.l2[my_socket].probe(line) {
+                cost = cost_model.l1_hit + cost_model.l2_hit;
+            } else {
+                self.stats[core].l2_misses += 1;
+                cost = cost_model.l1_hit + cost_model.l2_hit + cost_model.mem;
+                self.fill_l2(my_socket, line);
+            }
+            if write {
+                let others = entry.sharers & !me;
+                if others != 0 {
+                    cost += cost_model.transfer_same_socket;
+                    self.invalidate_mask(line, others, core);
+                }
+                let e = self.dir.entry(line).or_default();
+                e.sharers = me;
+            } else {
+                let e = self.dir.entry(line).or_default();
+                e.sharers |= me;
+            }
+        }
+
+        if write {
+            let e = self.dir.entry(line).or_default();
+            e.dirty_in = Some(core as u8);
+        }
+
+        // Fill our L1 and keep the directory consistent with the eviction.
+        if let Some(evicted) = self.l1[core].fill(line) {
+            let mut write_back = false;
+            if let Some(e) = self.dir.get_mut(&evicted) {
+                e.sharers &= !me;
+                if e.dirty_in == Some(core as u8) {
+                    e.dirty_in = None; // write-back to L2/memory, not charged
+                    write_back = true;
+                }
+                if e.sharers == 0 {
+                    self.dir.remove(&evicted);
+                }
+            }
+            if write_back {
+                self.fill_l2(my_socket, evicted);
+            }
+        }
+        cost
+    }
+
+    fn fill_l2(&mut self, socket: usize, line: u64) {
+        // Non-inclusive L2; evictions need no L1 back-invalidation.
+        let _ = self.l2[socket].fill(line);
+    }
+
+    fn invalidate_mask(&mut self, line: u64, mask: u16, _requester: usize) {
+        for c in 0..self.cfg.cores {
+            if mask & (1 << c) != 0 && self.l1[c].invalidate(line) {
+                self.stats[c].invalidations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::tiny_test()
+    }
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        let first = h.access(0, 0x1000, false);
+        let again = h.access(0, 0x1000, false);
+        assert!(first > again);
+        assert_eq!(again, cfg.cost.l1_hit);
+        assert_eq!(h.stats(0).l1_misses, 1);
+        assert_eq!(h.stats(0).l1_accesses, 2);
+    }
+
+    #[test]
+    fn same_line_shares_fill() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        h.access(0, 0x1000, false);
+        // Another word in the same 64-byte line: L1 hit.
+        assert_eq!(h.access(0, 0x1038, false), cfg.cost.l1_hit);
+    }
+
+    #[test]
+    fn false_sharing_ping_pong_costs_transfers() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        // Cores 0 and 1 write different words of the same line.
+        h.access(0, 0x2000, true);
+        let c1 = h.access(1, 0x2008, true);
+        let c0 = h.access(0, 0x2000, true);
+        assert!(c1 > cfg.cost.l1_hit, "remote dirty line must cost a transfer");
+        assert!(c0 > cfg.cost.l1_hit);
+        assert!(h.stats(0).invalidations >= 1);
+        assert!(h.stats(1).coherence_transfers >= 1);
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_interfere() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        h.access(0, 0x2000, true);
+        h.access(1, 0x2040, true); // next line
+        let c0 = h.access(0, 0x2000, true);
+        assert_eq!(c0, cfg.cost.l1_hit);
+        assert_eq!(h.stats(0).invalidations, 0);
+    }
+
+    #[test]
+    fn cross_socket_transfer_costs_more() {
+        let cfg = machine(); // cores 0,1 socket 0; cores 2,3 socket 1
+        let mut h = Hierarchy::new(&cfg);
+        h.access(0, 0x3000, true);
+        let near = h.access(1, 0x3000, false);
+        let mut h2 = Hierarchy::new(&cfg);
+        h2.access(0, 0x3000, true);
+        let far = h2.access(2, 0x3000, false);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let cfg = machine(); // tiny L1: 1 KiB, 2-way, 8 sets
+        let mut h = Hierarchy::new(&cfg);
+        // Walk far more lines than L1 holds, twice; second pass must still
+        // miss in L1 (capacity) for the early lines.
+        for i in 0..64u64 {
+            h.access(0, i * 64, false);
+        }
+        let miss_before = h.stats(0).l1_misses;
+        h.access(0, 0, false);
+        assert_eq!(h.stats(0).l1_misses, miss_before + 1);
+    }
+
+    #[test]
+    fn l2_shared_within_socket() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        h.access(0, 0x4000, false);
+        // Core 1 (same socket) misses L1 but should hit the shared L2.
+        let c = h.access(1, 0x4000, false);
+        assert_eq!(c, cfg.cost.l1_hit + cfg.cost.l2_hit);
+        // Core 2 (other socket) misses both.
+        let c = h.access(2, 0x4040, false);
+        assert_eq!(c, cfg.cost.l1_hit + cfg.cost.l2_hit + cfg.cost.mem);
+    }
+
+    #[test]
+    fn read_sharing_is_cheap_after_writeback() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        h.access(0, 0x5000, true);
+        h.access(1, 0x5000, false); // transfer + downgrade
+        let c1 = h.access(1, 0x5000, false);
+        let c0 = h.access(0, 0x5000, false);
+        assert_eq!(c1, cfg.cost.l1_hit);
+        assert_eq!(c0, cfg.cost.l1_hit);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CacheStats {
+            l1_accesses: 10,
+            l1_misses: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            l1_accesses: 30,
+            l1_misses: 6,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.l1_accesses, 40);
+        assert!((a.l1_miss_ratio() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Machine and cost-model configuration.
+
+use crate::cache::CacheConfig;
+
+/// Cycle costs charged by the simulator for the various event kinds.
+///
+/// The defaults are calibrated to plausible latencies for the paper's
+/// Core-2-era Xeon E5405 (see DESIGN.md §4). Absolute values only set the
+/// time scale; the study compares configurations against each other within
+/// the same model, exactly as the paper compares allocators on one machine.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// L1 data-cache hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency (charged on L1 miss that hits L2).
+    pub l2_hit: u64,
+    /// Main-memory latency (charged on L2 miss).
+    pub mem: u64,
+    /// Extra latency to obtain a line that is dirty in another core's L1 on
+    /// the *same* socket (cache-to-cache transfer).
+    pub transfer_same_socket: u64,
+    /// Extra latency when the dirty remote copy lives on the other socket
+    /// (on the E5405 this crosses the front-side bus).
+    pub transfer_cross_socket: u64,
+    /// Base cost of an atomic read-modify-write (LOCK-prefixed op) on top of
+    /// the cache access itself.
+    pub atomic_rmw: u64,
+    /// Cost charged for asking the "operating system" for a fresh mapping
+    /// (mmap/sbrk); allocators hit this on arena/superblock refills.
+    pub os_alloc: u64,
+    /// Baseline cost of one simulated "instruction" of plain compute. Used
+    /// by workloads via `Ctx::tick` to charge non-memory work.
+    pub insn: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            l1_hit: 3,
+            l2_hit: 15,
+            mem: 220,
+            transfer_same_socket: 40,
+            transfer_cross_socket: 110,
+            atomic_rmw: 20,
+            os_alloc: 4_000,
+            insn: 1,
+        }
+    }
+}
+
+/// Full machine description: topology, caches, cycle costs.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of cores the machine exposes; logical threads beyond this are
+    /// rejected (the paper never oversubscribes either).
+    pub cores: usize,
+    /// Number of cores per socket. Cores `[0, cores_per_socket)` are socket
+    /// 0, etc. Shared L2 is per socket, matching the E5405's 2×6 MB L2.
+    pub cores_per_socket: usize,
+    /// Per-core L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Per-socket shared L2 geometry.
+    pub l2: CacheConfig,
+    /// Cycle cost table.
+    pub cost: CostModel,
+    /// Nominal clock frequency in Hz, used only to convert virtual cycles to
+    /// seconds in reports (the paper reports seconds).
+    pub freq_hz: u64,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation machine (Table 2): Intel Xeon E5405 @ 2 GHz,
+    /// 8 cores on 2 sockets, 32 KB 8-way L1d per core, 6 MB 24-way L2 shared
+    /// by the 4 cores of each socket, 64-byte lines.
+    pub fn xeon_e5405() -> Self {
+        MachineConfig {
+            cores: 8,
+            cores_per_socket: 4,
+            l1: CacheConfig {
+                size: 32 * 1024,
+                ways: 8,
+            },
+            l2: CacheConfig {
+                size: 6 * 1024 * 1024,
+                ways: 24,
+            },
+            cost: CostModel::default(),
+            freq_hz: 2_000_000_000,
+        }
+    }
+
+    /// A plausible contemporary part for the "does it still hold?" ablation
+    /// (paper future work): 8 cores on one socket, bigger/faster caches,
+    /// cheaper core-to-core transfers — the cost ratios that changed most
+    /// since the Core-2-era Xeon.
+    pub fn modern_8core() -> Self {
+        MachineConfig {
+            cores: 8,
+            cores_per_socket: 8,
+            l1: CacheConfig {
+                size: 48 * 1024,
+                ways: 12,
+            },
+            l2: CacheConfig {
+                size: 32 * 1024 * 1024,
+                ways: 16,
+            },
+            cost: CostModel {
+                l1_hit: 4,
+                l2_hit: 40,      // modelled as the shared LLC
+                mem: 300,
+                transfer_same_socket: 25,
+                transfer_cross_socket: 25, // single socket
+                atomic_rmw: 15,
+                os_alloc: 3_000,
+                insn: 1,
+            },
+            freq_hz: 3_000_000_000,
+        }
+    }
+
+    /// A deliberately tiny machine for unit tests: 4 cores on 2 sockets with
+    /// small caches so that capacity misses are easy to provoke.
+    pub fn tiny_test() -> Self {
+        MachineConfig {
+            cores: 4,
+            cores_per_socket: 2,
+            l1: CacheConfig { size: 1024, ways: 2 },
+            l2: CacheConfig {
+                size: 8 * 1024,
+                ways: 4,
+            },
+            cost: CostModel::default(),
+            freq_hz: 1_000_000_000,
+        }
+    }
+
+    /// Number of sockets implied by the topology.
+    pub fn sockets(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_socket)
+    }
+
+    /// Socket that a given core belongs to.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core / self.cores_per_socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_topology() {
+        let m = MachineConfig::xeon_e5405();
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.sockets(), 2);
+        assert_eq!(m.socket_of(0), 0);
+        assert_eq!(m.socket_of(3), 0);
+        assert_eq!(m.socket_of(4), 1);
+        assert_eq!(m.socket_of(7), 1);
+    }
+
+    #[test]
+    fn tiny_topology() {
+        let m = MachineConfig::tiny_test();
+        assert_eq!(m.sockets(), 2);
+        assert_eq!(m.socket_of(1), 0);
+        assert_eq!(m.socket_of(2), 1);
+    }
+
+    #[test]
+    fn default_costs_ordered() {
+        let c = CostModel::default();
+        assert!(c.l1_hit < c.l2_hit);
+        assert!(c.l2_hit < c.mem);
+        assert!(c.transfer_same_socket < c.transfer_cross_socket);
+    }
+}

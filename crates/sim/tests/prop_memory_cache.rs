@@ -1,0 +1,81 @@
+//! Property tests of the simulated memory and cache model.
+
+use proptest::prelude::*;
+use tm_sim::{MachineConfig, Sim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Simulated memory behaves like memory: the last write to an address
+    /// is what a read returns, across any interleaving of addresses.
+    #[test]
+    fn memory_read_your_writes(ops in prop::collection::vec((0u64..256, any::<u64>()), 1..80)) {
+        let sim = Sim::new(MachineConfig::tiny_test());
+        let ops2 = ops.clone();
+        // Plain asserts inside the closure: a panic propagates out of
+        // Sim::run and proptest records the failing case.
+        sim.run(1, move |ctx| {
+            let mut model = std::collections::HashMap::new();
+            for (slot, val) in &ops2 {
+                let addr = 0x1000 + slot * 8;
+                ctx.write_u64(addr, *val);
+                model.insert(addr, *val);
+                // Random-ish probe of something written earlier.
+                let (probe, expect) = model.iter().next().map(|(a, v)| (*a, *v)).unwrap();
+                assert_eq!(ctx.read_u64(probe), expect);
+            }
+            for (addr, val) in model {
+                assert_eq!(ctx.read_u64(addr), val);
+            }
+        });
+    }
+
+    /// The cache model never *creates* misses for a repeated access
+    /// sequence: running the same single-line loop twice, the second pass
+    /// costs no more than the first.
+    #[test]
+    fn rerun_is_never_slower(lines in prop::collection::vec(0u64..8, 1..40)) {
+        let sim = Sim::new(MachineConfig::tiny_test());
+        let lines2 = lines.clone();
+        let costs = std::sync::Mutex::new((0u64, 0u64));
+        sim.run(1, |ctx| {
+            let t0 = ctx.now();
+            for &l in &lines2 {
+                ctx.read_u64(0x2000 + l * 64);
+            }
+            let t1 = ctx.now();
+            for &l in &lines2 {
+                ctx.read_u64(0x2000 + l * 64);
+            }
+            let t2 = ctx.now();
+            *costs.lock().unwrap() = (t1 - t0, t2 - t1);
+        });
+        let (first, second) = *costs.lock().unwrap();
+        prop_assert!(second <= first, "second pass {} > first {}", second, first);
+
+    }
+
+    /// Virtual time is deterministic for any program (same ops, same time),
+    /// including multi-threaded runs with shared conflicts.
+    #[test]
+    fn multithread_determinism(seed in any::<u64>(), n in 1usize..4) {
+        let run = |seed: u64| {
+            let sim = Sim::new(MachineConfig::tiny_test());
+            let r = sim.run(n, move |ctx| {
+                let mut x = seed ^ ctx.tid() as u64;
+                for _ in 0..40 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let addr = 0x3000 + (x % 16) * 8;
+                    if x & 1 == 0 {
+                        ctx.write_u64(addr, x);
+                    } else {
+                        ctx.read_u64(addr);
+                    }
+                    ctx.tick(x % 50);
+                }
+            });
+            r.cycles
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,183 @@
+//! Bayes: Bayesian-network structure learning (hill climbing, abstracted).
+//!
+//! Faithfulness targets (Table 5 + §6): enormous numbers of small
+//! allocations (16–96 bytes) in the sequential *and* parallel regions —
+//! candidate-evaluation query lists built and torn down around heavy
+//! non-transactional scoring — with almost nothing allocated inside the
+//! rare, small transactions that adopt an improvement into the shared
+//! network. The paper notes Bayes' high run-to-run variance; here the
+//! variance enters through the task/seed-dependent amount of speculative
+//! work each thread performs.
+
+use parking_lot::Mutex;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use tm_ds::TxRbTree;
+use tm_sim::Ctx;
+use tm_stm::{Stm, TxThread};
+
+use super::util::{mix, Counter};
+use crate::StampApp;
+
+struct State {
+    /// Bit-packed dataset: records × vars.
+    data: u64,
+    data_words: u64,
+    /// var → adopted parent mask (the learned network).
+    network: TxRbTree,
+    /// var → best score so far.
+    best: u64,
+    counter: Counter,
+}
+
+/// The Bayes port.
+pub struct Bayes {
+    pub vars: u64,
+    pub records: u64,
+    pub candidates_per_var: u64,
+    pub seed: u64,
+    state: Mutex<Option<State>>,
+}
+
+impl Bayes {
+    pub fn new(vars: u64, records: u64, seed: u64) -> Self {
+        Bayes {
+            vars,
+            records,
+            candidates_per_var: 6,
+            seed,
+            state: Mutex::new(None),
+        }
+    }
+}
+
+impl StampApp for Bayes {
+    fn name(&self) -> &'static str {
+        "Bayes"
+    }
+
+    fn init(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        let data_words = (self.records * self.vars).div_ceil(64).max(1);
+        let data = stm.allocator().malloc(ctx, data_words * 8);
+        for w in 0..data_words {
+            ctx.write_u64(data + w * 8, mix(self.seed ^ w));
+        }
+        // Sequential warm-up mimicking the adtree build: many small,
+        // short-lived allocations (the Table 5 seq churn).
+        for i in 0..self.vars * 8 {
+            let size = [16u64, 32, 48, 64, 96][(i % 5) as usize];
+            let b = stm.allocator().malloc(ctx, size);
+            ctx.write_u64(b, mix(i));
+            ctx.tick(20);
+            stm.allocator().free(ctx, b);
+        }
+        let network = TxRbTree::new(stm, ctx);
+        let best = stm.allocator().malloc(ctx, self.vars * 8);
+        for v in 0..self.vars {
+            ctx.write_u64(best + v * 8, 0); // scores assume zero start
+        }
+        let mut th = stm.thread(0);
+        for v in 0..self.vars {
+            network.insert_kv(stm, ctx, &mut th, v, 0);
+        }
+        stm.retire(th);
+        *self.state.lock() = Some(State {
+            data,
+            data_words,
+            network,
+            best,
+            counter: Counter::new(stm, ctx),
+        });
+    }
+
+    fn worker(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread) {
+        let (data, data_words, network, best, counter) = {
+            let g = self.state.lock();
+            let s = g.as_ref().expect("init must run first");
+            (s.data, s.data_words, s.network, s.best, s.counter)
+        };
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ mix(ctx.tid() as u64 + 99));
+        loop {
+            let var = counter.next(ctx);
+            if var >= self.vars {
+                break;
+            }
+            let mut local_best = 0u64;
+            let mut local_mask = 0u64;
+            // Candidate evaluation: build a query list (par-region
+            // allocations), score it against the dataset (heavy plain
+            // reads + compute), tear it down (par-region frees).
+            for _ in 0..self.candidates_per_var {
+                let mask = rng.gen_range(1..1u64 << 8);
+                let queries: Vec<u64> = (0..mask.count_ones() as u64 + 1)
+                    .map(|q| {
+                        let b = stm.allocator().malloc(ctx, [32u64, 48, 64][(q % 3) as usize]);
+                        ctx.write_u64(b, mask >> q);
+                        b
+                    })
+                    .collect();
+                // Scoring sweep over a sample of the dataset.
+                let mut score = 0u64;
+                let samples = 16 + (mix(var ^ mask) % 48); // data-dependent → variance
+                for s in 0..samples {
+                    let w = mix(var ^ s) % data_words;
+                    score ^= ctx.read_u64(data + w * 8) & mask;
+                    ctx.tick(14);
+                }
+                score = score.count_ones() as u64 * 100 / (mask.count_ones() as u64 + 1);
+                for q in queries {
+                    stm.allocator().free(ctx, q);
+                }
+                if score > local_best {
+                    local_best = score;
+                    local_mask = mask;
+                }
+            }
+            // Adopt the improvement transactionally (rare, small tx).
+            stm.txn(ctx, &mut *th, |tx, ctx| {
+                let cur = tx.read(ctx, best + var * 8)?;
+                if local_best > cur {
+                    tx.write(ctx, best + var * 8, local_best)?;
+                    network.put_in(tx, ctx, var, local_mask)?;
+                }
+                Ok(())
+            });
+        }
+    }
+
+    fn verify(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        // Every variable got a network entry.
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        let mut th = stm.thread(0);
+        for v in 0..self.vars {
+            assert!(s.network.get(stm, ctx, &mut th, v).is_some());
+        }
+        stm.retire(th);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{profile_app, run_app, StampOpts};
+    use tm_alloc::AllocatorKind;
+
+    #[test]
+    fn learns_all_variables() {
+        let app = Bayes::new(16, 64, 41);
+        let r = run_app(&app, AllocatorKind::Hoard, 4, &StampOpts::default());
+        assert!(r.commits >= 16);
+    }
+
+    #[test]
+    fn par_churn_dominates_tx() {
+        use tm_alloc::profile::Region;
+        let app = Bayes::new(12, 64, 41);
+        let prof = profile_app(&app, AllocatorKind::TbbMalloc);
+        let par = prof[Region::Par as usize];
+        let tx = prof[Region::Tx as usize];
+        assert!(par.mallocs > 50, "query lists must churn in par");
+        assert_eq!(par.mallocs, par.frees, "query lists are torn down");
+        assert!(tx.mallocs <= 2, "almost nothing allocates in tx");
+    }
+}

@@ -1,0 +1,163 @@
+//! Genome: gene sequencing by segment deduplication and overlap matching.
+//!
+//! Faithfulness targets (paper Table 5 + §6): the *only* transactional
+//! allocations are 16-byte hash-set nodes created while deduplicating
+//! segments; nothing is freed; the sequential phase allocates one 32-byte
+//! descriptor per segment plus the gene itself. Under Glibc the 16-byte
+//! tx blocks become 32-byte blocks with boundary tags — the locality
+//! penalty the paper measures at low thread counts.
+
+use parking_lot::Mutex;
+use tm_ds::{TxHashSet, TxSet};
+use tm_sim::Ctx;
+use tm_stm::{Stm, TxThread};
+
+use super::util::{mix, Counter};
+use crate::StampApp;
+
+struct State {
+    segments_table: TxHashSet,
+    dedup_counter: Counter,
+    match_counter: Counter,
+    /// Simulated address of the segment-descriptor array (seq allocations);
+    /// descriptor i holds the segment's content hash.
+    descriptors: Vec<u64>,
+}
+
+/// The Genome port. `n_segments` plays the role of the input's segment
+/// count; `dup_factor` controls how many duplicates dedup removes.
+pub struct Genome {
+    pub n_segments: u64,
+    pub dup_factor: u64,
+    pub seed: u64,
+    state: Mutex<Option<State>>,
+}
+
+impl Genome {
+    pub fn new(n_segments: u64, seed: u64) -> Self {
+        Genome {
+            n_segments,
+            dup_factor: 4,
+            seed,
+            state: Mutex::new(None),
+        }
+    }
+
+    fn segment_hash(&self, i: u64) -> u64 {
+        // dup_factor segments share each hash: dedup keeps 1/dup_factor.
+        mix(self.seed ^ (i / self.dup_factor))
+    }
+
+    /// Number of unique segments (for verification).
+    pub fn unique_segments(&self) -> u64 {
+        self.n_segments.div_ceil(self.dup_factor)
+    }
+}
+
+impl StampApp for Genome {
+    fn name(&self) -> &'static str {
+        "Genome"
+    }
+
+    fn init(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        // The gene itself: one large sequential allocation.
+        let gene = stm.allocator().malloc(ctx, self.n_segments * 16);
+        for i in 0..self.n_segments * 2 {
+            ctx.write_u64(gene + i * 8, mix(i));
+        }
+        // One 32-byte descriptor per segment, allocated sequentially —
+        // the Table 5 seq-region signature of Genome.
+        let mut descriptors = Vec::with_capacity(self.n_segments as usize);
+        for i in 0..self.n_segments {
+            let d = stm.allocator().malloc(ctx, 32);
+            ctx.write_u64(d, self.segment_hash(i));
+            ctx.write_u64(d + 8, i);
+            descriptors.push(d);
+        }
+        let table = TxHashSet::new(stm, ctx, (self.n_segments * 8).next_power_of_two());
+        *self.state.lock() = Some(State {
+            segments_table: table,
+            dedup_counter: Counter::new(stm, ctx),
+            match_counter: Counter::new(stm, ctx),
+            descriptors,
+        });
+    }
+
+    fn worker(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread) {
+        let (table, dedup, matchc, descriptors) = {
+            let g = self.state.lock();
+            let s = g.as_ref().expect("init must run first");
+            (
+                s.segments_table,
+                s.dedup_counter,
+                s.match_counter,
+                s.descriptors.clone(),
+            )
+        };
+        // Phase 1: deduplicate segments into the hash set. The insert
+        // transaction allocates the 16-byte node — Genome's only tx malloc.
+        loop {
+            let i = dedup.next(ctx);
+            if i >= self.n_segments {
+                break;
+            }
+            let h = ctx.read_u64(descriptors[i as usize]); // fetch content hash
+            ctx.tick(40); // hashing the segment contents
+            table.insert(stm, ctx, &mut *th, h);
+        }
+        // Phase 2: overlap matching — read-dominated probe transactions
+        // (the Rabin-Karp sweep of the original, with no allocation).
+        loop {
+            let i = matchc.next(ctx);
+            if i >= self.n_segments {
+                break;
+            }
+            let h = self.segment_hash(i);
+            ctx.tick(25);
+            // Probe this segment's potential successors.
+            table.contains(stm, ctx, &mut *th, mix(h));
+            table.contains(stm, ctx, &mut *th, h);
+        }
+    }
+
+    fn verify(&self, _stm: &Stm, ctx: &mut Ctx<'_>) {
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        assert_eq!(
+            s.segments_table.len_raw(ctx),
+            self.unique_segments(),
+            "dedup must keep exactly the unique segments"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_app, StampOpts};
+    use tm_alloc::AllocatorKind;
+
+    #[test]
+    fn dedup_is_exact_across_threads() {
+        for threads in [1, 4] {
+            let app = Genome::new(128, 7);
+            let r = run_app(&app, AllocatorKind::TbbMalloc, threads, &StampOpts::default());
+            assert!(r.commits > 0);
+        }
+    }
+
+    #[test]
+    fn only_tx_region_allocates_16b() {
+        use crate::runner::profile_app;
+        let app = Genome::new(64, 3);
+        let prof = profile_app(&app, AllocatorKind::Glibc);
+        use tm_alloc::profile::Region;
+        let tx = prof[Region::Tx as usize];
+        // All tx allocations are 16-byte nodes.
+        assert_eq!(tx.mallocs, tx.by_bucket[0], "tx allocs must all be <=16 B");
+        assert!(tx.mallocs > 0);
+        assert_eq!(tx.frees, 0, "genome never frees transactionally");
+        let seq = prof[Region::Seq as usize];
+        assert!(seq.by_bucket[1] >= 64, "one 32 B descriptor per segment");
+    }
+}

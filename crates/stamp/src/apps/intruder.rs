@@ -1,0 +1,189 @@
+//! Intruder: network intrusion detection (capture → reassemble → detect).
+//!
+//! Faithfulness targets (Table 5 + §6): fragment descriptors are allocated
+//! sequentially (48-byte blocks); the capture/reassembly phase runs short,
+//! highly contended transactions that pop a shared queue and insert into a
+//! per-flow map (16/48-byte tx allocations); completed flows are
+//! *privatized* — their descriptors are freed in the parallel region,
+//! outside any transaction. The paper finds Hoard collapsing here from
+//! superblock/heap lock contention, which the model reproduces through its
+//! per-heap SimMutex hand-offs.
+
+use parking_lot::Mutex;
+use tm_ds::{TxQueue, TxRbTree, TxSet};
+use tm_sim::Ctx;
+use tm_stm::{Stm, TxThread};
+
+use super::util::mix;
+use crate::StampApp;
+
+struct State {
+    packet_queue: TxQueue,
+    /// flow*MAXFRAG+idx → descriptor address.
+    fragment_map: TxRbTree,
+    /// Per-flow received-fragment counters (simulated memory array).
+    recv: u64,
+    /// Number of fully processed flows (simulated counter cell).
+    done_cell: u64,
+}
+
+/// The Intruder port.
+pub struct Intruder {
+    pub flows: u64,
+    pub frags_per_flow: u64,
+    pub seed: u64,
+    state: Mutex<Option<State>>,
+}
+
+impl Intruder {
+    pub fn new(flows: u64, seed: u64) -> Self {
+        Intruder {
+            flows,
+            frags_per_flow: 4,
+            seed,
+            state: Mutex::new(None),
+        }
+    }
+}
+
+impl StampApp for Intruder {
+    fn name(&self) -> &'static str {
+        "Intruder"
+    }
+
+    fn init(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        let packet_queue = TxQueue::new(stm, ctx);
+        let fragment_map = TxRbTree::new(stm, ctx);
+        // malloc'd memory is NOT zeroed (recycled blocks hold old freelist
+        // links) — zero-fill anything read before first write, as the C
+        // originals do with calloc/memset.
+        // One cache line (and ORT stripe) per flow counter: the original
+        // keeps per-flow state in separate heap objects, so adjacent flows
+        // must not share conflict-detection granules artificially.
+        let recv = stm.allocator().malloc(ctx, self.flows * 64);
+        for f in 0..self.flows {
+            ctx.write_u64(recv + f * 64, 0);
+        }
+        let done_cell = stm.allocator().malloc(ctx, 64);
+        ctx.write_u64(done_cell, 0);
+        // Generate fragments in shuffled order (the generator interleaves
+        // flows), allocating one 48-byte descriptor per fragment — the
+        // Table 5 seq signature — and enqueueing its address.
+        let total = self.flows * self.frags_per_flow;
+        let mut order: Vec<u64> = (0..total).collect();
+        // Deterministic Fisher-Yates driven by mix().
+        for i in (1..total as usize).rev() {
+            let j = (mix(self.seed ^ i as u64) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut th = stm.thread(0);
+        for &packet in &order {
+            let flow = packet / self.frags_per_flow;
+            let idx = packet % self.frags_per_flow;
+            let desc = stm.allocator().malloc(ctx, 48);
+            ctx.write_u64(desc, flow);
+            ctx.write_u64(desc + 8, idx);
+            ctx.write_u64(desc + 16, mix(packet)); // payload signature
+            packet_queue.push(stm, ctx, &mut th, desc);
+        }
+        stm.retire(th);
+        *self.state.lock() = Some(State {
+            packet_queue,
+            fragment_map,
+            recv,
+            done_cell,
+        });
+    }
+
+    fn worker(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread) {
+        let (queue, map, recv, done_cell) = {
+            let g = self.state.lock();
+            let s = g.as_ref().expect("init must run first");
+            (s.packet_queue, s.fragment_map, s.recv, s.done_cell)
+        };
+        loop {
+            // Capture: pop the next fragment (short contended transaction;
+            // frees the queue node transactionally).
+            let Some(desc) = queue.pop(stm, ctx, &mut *th) else {
+                break;
+            };
+            let flow = ctx.read_u64(desc);
+            let idx = ctx.read_u64(desc + 8);
+            // Reassembly: file the fragment in the shared map (48-byte tree
+            // node allocated inside the transaction), *then* count its
+            // arrival — so whoever sees the last arrival is guaranteed to
+            // find all fragments filed.
+            map.insert_kv(stm, ctx, &mut *th, flow * self.frags_per_flow + idx, desc);
+            let complete = stm.txn(ctx, &mut *th, |tx, ctx| {
+                let got = tx.read(ctx, recv + flow * 64)?;
+                tx.write(ctx, recv + flow * 64, got + 1)?;
+                Ok(got + 1 == self.frags_per_flow)
+            });
+            if complete {
+                // Privatization: pull every fragment of the flow out of the
+                // shared map transactionally...
+                let mut descs = Vec::new();
+                for i in 0..self.frags_per_flow {
+                    let key = flow * self.frags_per_flow + i;
+                    if let Some(d) = map.get(stm, ctx, &mut *th, key) {
+                        map.remove(stm, ctx, &mut *th, key);
+                        descs.push(d);
+                    }
+                }
+                // ...then detect and free them *outside* transactions (the
+                // paper's par-region frees).
+                let mut sig = 0u64;
+                for d in &descs {
+                    sig ^= ctx.read_u64(d + 16);
+                    ctx.tick(80); // detector work
+                }
+                let scratch = stm.allocator().malloc(ctx, 128);
+                ctx.write_u64(scratch, sig);
+                ctx.tick(120);
+                stm.allocator().free(ctx, scratch);
+                for d in descs {
+                    stm.allocator().free(ctx, d);
+                }
+                ctx.fetch_add_u64(done_cell, 1);
+            }
+        }
+    }
+
+    fn verify(&self, _stm: &Stm, ctx: &mut Ctx<'_>) {
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        assert_eq!(
+            ctx.read_u64(s.done_cell),
+            self.flows,
+            "every flow must complete exactly once"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{profile_app, run_app, StampOpts};
+    use tm_alloc::AllocatorKind;
+
+    #[test]
+    fn all_flows_complete() {
+        for threads in [1, 4] {
+            let app = Intruder::new(16, 3);
+            let r = run_app(&app, AllocatorKind::TbbMalloc, threads, &StampOpts::default());
+            assert!(r.commits > 0);
+        }
+    }
+
+    #[test]
+    fn privatization_frees_in_par_region() {
+        use tm_alloc::profile::Region;
+        let app = Intruder::new(12, 3);
+        let prof = profile_app(&app, AllocatorKind::TcMalloc);
+        let par = prof[Region::Par as usize];
+        // Each completed flow frees its descriptors + scratch in par.
+        assert!(par.frees >= 12 * 4, "expected privatized frees, got {}", par.frees);
+        let tx = prof[Region::Tx as usize];
+        assert!(tx.mallocs > 0, "queue/map nodes allocate transactionally");
+    }
+}

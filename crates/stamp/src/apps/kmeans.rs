@@ -1,0 +1,184 @@
+//! Kmeans: iterative clustering.
+//!
+//! Faithfulness targets: memory is allocated *only* during initialization
+//! (points matrix, centroid accumulators — Table 5 shows zero par/tx
+//! allocation), and transactions are tiny accumulator updates. The paper
+//! omits Kmeans from its Fig. 7 discussion because the allocator influence
+//! is below 5 %; the port exists so Table 5 and that negative result can be
+//! regenerated.
+
+use parking_lot::Mutex;
+use tm_sim::Ctx;
+use tm_stm::{Stm, TxThread};
+
+use super::util::{mix, Counter, SpinBarrier};
+use crate::StampApp;
+
+struct State {
+    /// points × dims matrix of coordinates (fixed-point).
+    points: u64,
+    /// Per-cluster accumulators: [count, sum_0 … sum_{d-1}] each.
+    accum: u64,
+    /// Current centroids, same layout minus count.
+    centers: u64,
+    counters: Vec<Counter>,
+    barrier: SpinBarrier,
+}
+
+/// The Kmeans port (high-contention configuration: few clusters).
+pub struct Kmeans {
+    pub n_points: u64,
+    pub dims: u64,
+    pub clusters: u64,
+    pub iterations: u64,
+    pub seed: u64,
+    state: Mutex<Option<State>>,
+}
+
+impl Kmeans {
+    pub fn new(n_points: u64, seed: u64) -> Self {
+        Kmeans {
+            n_points,
+            dims: 4,
+            clusters: 8,
+            iterations: 2,
+            seed,
+            state: Mutex::new(None),
+        }
+    }
+
+    fn accum_stride(&self) -> u64 {
+        (1 + self.dims) * 8
+    }
+}
+
+impl StampApp for Kmeans {
+    fn name(&self) -> &'static str {
+        "Kmeans"
+    }
+
+    fn init(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        let points = stm.allocator().malloc(ctx, self.n_points * self.dims * 8);
+        for i in 0..self.n_points * self.dims {
+            ctx.write_u64(points + i * 8, mix(self.seed ^ i) % 1024);
+        }
+        let centers = stm.allocator().malloc(ctx, self.clusters * self.dims * 8);
+        for c in 0..self.clusters {
+            for d in 0..self.dims {
+                ctx.write_u64(
+                    centers + (c * self.dims + d) * 8,
+                    mix(self.seed ^ (c * 131 + d)) % 1024,
+                );
+            }
+        }
+        let accum = stm.allocator().malloc(ctx, self.clusters * self.accum_stride());
+        for w in 0..self.clusters * (1 + self.dims) {
+            ctx.write_u64(accum + w * 8, 0); // accumulators start at zero
+        }
+        let counters = (0..self.iterations).map(|_| Counter::new(stm, ctx)).collect();
+        let barrier = SpinBarrier::new(stm, ctx);
+        *self.state.lock() = Some(State {
+            points,
+            accum,
+            centers,
+            counters,
+            barrier,
+        });
+    }
+
+    fn worker(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread) {
+        let (points, accum, centers, counters, barrier) = {
+            let g = self.state.lock();
+            let s = g.as_ref().expect("init must run first");
+            (s.points, s.accum, s.centers, s.counters.clone(), s.barrier)
+        };
+        let n = ctx.n_threads() as u64;
+        for iter in 0..self.iterations {
+            loop {
+                let i = counters[iter as usize].next(ctx);
+                if i >= self.n_points {
+                    break;
+                }
+                // Distance computation reads the point and every centroid
+                // non-transactionally (as the original does — centroids are
+                // stable within an iteration).
+                let mut best = 0u64;
+                let mut best_d = u64::MAX;
+                for c in 0..self.clusters {
+                    let mut dist = 0u64;
+                    for d in 0..self.dims {
+                        let x = ctx.read_u64(points + (i * self.dims + d) * 8);
+                        let m = ctx.read_u64(centers + (c * self.dims + d) * 8);
+                        let delta = x.abs_diff(m);
+                        dist += delta * delta;
+                        ctx.tick(4);
+                    }
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                // The transaction: fold the point into its cluster's
+                // accumulator (the high-contention hotspot of kmeans-high).
+                let base = accum + best * self.accum_stride();
+                stm.txn(ctx, &mut *th, |tx, ctx| {
+                    tx.update(ctx, base, |v| v + 1)?;
+                    for d in 0..self.dims {
+                        let x = ctx.read_u64(points + (i * self.dims + d) * 8);
+                        tx.update(ctx, base + 8 * (1 + d), |v| v + x)?;
+                    }
+                    Ok(())
+                });
+            }
+            barrier.wait(ctx, n, iter * 2 + 1);
+            // Thread 0 recomputes centroids from the accumulators.
+            if ctx.tid() == 0 {
+                for c in 0..self.clusters {
+                    let base = accum + c * self.accum_stride();
+                    let count = ctx.read_u64(base).max(1);
+                    for d in 0..self.dims {
+                        let sum = ctx.read_u64(base + 8 * (1 + d));
+                        ctx.write_u64(centers + (c * self.dims + d) * 8, sum / count);
+                        ctx.write_u64(base + 8 * (1 + d), 0);
+                    }
+                    ctx.write_u64(base, 0);
+                }
+            }
+            barrier.wait(ctx, n, iter * 2 + 2);
+        }
+    }
+
+    fn verify(&self, _stm: &Stm, ctx: &mut Ctx<'_>) {
+        // After the final recompute the accumulators are zeroed.
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        for c in 0..self.clusters {
+            assert_eq!(ctx.read_u64(s.accum + c * self.accum_stride()), 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{profile_app, run_app, StampOpts};
+    use tm_alloc::AllocatorKind;
+
+    #[test]
+    fn clusters_all_points_each_iteration() {
+        let app = Kmeans::new(64, 5);
+        let r = run_app(&app, AllocatorKind::TcMalloc, 4, &StampOpts::default());
+        // Every point assignment is one committed transaction per iteration.
+        assert_eq!(r.commits, 64 * app.iterations);
+    }
+
+    #[test]
+    fn no_parallel_or_tx_allocation() {
+        use tm_alloc::profile::Region;
+        let app = Kmeans::new(32, 5);
+        let prof = profile_app(&app, AllocatorKind::Glibc);
+        assert_eq!(prof[Region::Tx as usize].mallocs, 0);
+        assert_eq!(prof[Region::Par as usize].mallocs, 0);
+        assert!(prof[Region::Seq as usize].mallocs > 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! The eight application ports. See crate docs for the faithfulness table.
+
+mod bayes;
+mod genome;
+mod intruder;
+mod kmeans;
+mod labyrinth;
+mod ssca2;
+pub(crate) mod util;
+mod vacation;
+mod yada;
+
+pub use bayes::Bayes;
+pub use genome::Genome;
+pub use intruder::Intruder;
+pub use kmeans::Kmeans;
+pub use labyrinth::Labyrinth;
+pub use ssca2::Ssca2;
+pub use vacation::Vacation;
+pub use yada::Yada;

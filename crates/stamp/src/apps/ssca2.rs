@@ -1,0 +1,134 @@
+//! SSCA2 (kernel 1: graph construction).
+//!
+//! Faithfulness targets: a handful of giant sequential allocations (the
+//! paper's Table 5 shows ~2.5 GB across 94 seq mallocs and nothing
+//! transactional), and a parallel phase of very small transactions that
+//! scatter writes into big shared arrays. Like Kmeans it shows <5 %
+//! allocator influence and is excluded from Fig. 7.
+
+use parking_lot::Mutex;
+use tm_sim::Ctx;
+use tm_stm::{Stm, TxThread};
+
+use super::util::{mix, Counter};
+use crate::StampApp;
+
+struct State {
+    /// Edge array: pairs of endpoints.
+    edges: u64,
+    /// Per-node degree counters (transactionally updated).
+    degree: u64,
+    /// Per-node weight sums.
+    weight: u64,
+    counter: Counter,
+}
+
+/// The SSCA2 port.
+pub struct Ssca2 {
+    pub n_nodes: u64,
+    pub n_edges: u64,
+    pub seed: u64,
+    state: Mutex<Option<State>>,
+}
+
+impl Ssca2 {
+    pub fn new(n_nodes: u64, n_edges: u64, seed: u64) -> Self {
+        Ssca2 {
+            n_nodes,
+            n_edges,
+            seed,
+            state: Mutex::new(None),
+        }
+    }
+}
+
+impl StampApp for Ssca2 {
+    fn name(&self) -> &'static str {
+        "SSCA2"
+    }
+
+    fn init(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        // Few very large allocations, as in the original's kernel-1 setup.
+        let edges = stm.allocator().malloc(ctx, self.n_edges * 16);
+        let degree = stm.allocator().malloc(ctx, self.n_nodes * 8);
+        let weight = stm.allocator().malloc(ctx, self.n_nodes * 8);
+        for n in 0..self.n_nodes {
+            ctx.write_u64(degree + n * 8, 0); // counters assume zero start
+            ctx.write_u64(weight + n * 8, 0);
+        }
+        for e in 0..self.n_edges {
+            let u = mix(self.seed ^ (e * 2)) % self.n_nodes;
+            let v = mix(self.seed ^ (e * 2 + 1)) % self.n_nodes;
+            ctx.write_u64(edges + e * 16, u);
+            ctx.write_u64(edges + e * 16 + 8, v);
+        }
+        *self.state.lock() = Some(State {
+            edges,
+            degree,
+            weight,
+            counter: Counter::new(stm, ctx),
+        });
+    }
+
+    fn worker(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread) {
+        let (edges, degree, weight, counter) = {
+            let g = self.state.lock();
+            let s = g.as_ref().expect("init must run first");
+            (s.edges, s.degree, s.weight, s.counter)
+        };
+        loop {
+            let e = counter.next(ctx);
+            if e >= self.n_edges {
+                break;
+            }
+            let u = ctx.read_u64(edges + e * 16);
+            let v = ctx.read_u64(edges + e * 16 + 8);
+            let w = mix(u ^ v) % 100;
+            ctx.tick(12);
+            // Tiny transaction: bump both endpoints' degree and weight.
+            stm.txn(ctx, &mut *th, |tx, ctx| {
+                tx.update(ctx, degree + u * 8, |x| x + 1)?;
+                tx.update(ctx, degree + v * 8, |x| x + 1)?;
+                tx.update(ctx, weight + u * 8, |x| x + w)?;
+                tx.update(ctx, weight + v * 8, |x| x + w)
+            });
+        }
+    }
+
+    fn verify(&self, _stm: &Stm, ctx: &mut Ctx<'_>) {
+        // Total degree must equal 2 × edges.
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        let mut total = 0;
+        for n in 0..self.n_nodes {
+            total += ctx.read_u64(s.degree + n * 8);
+        }
+        assert_eq!(total, 2 * self.n_edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{profile_app, run_app, StampOpts};
+    use tm_alloc::AllocatorKind;
+
+    #[test]
+    fn degrees_conserved_under_contention() {
+        let app = Ssca2::new(32, 200, 11);
+        let r = run_app(&app, AllocatorKind::Hoard, 4, &StampOpts::default());
+        assert_eq!(r.commits, 200);
+        assert!(r.aborts > 0, "32 nodes / 4 threads should conflict");
+    }
+
+    #[test]
+    fn allocations_are_sequential_only() {
+        use tm_alloc::profile::Region;
+        let app = Ssca2::new(64, 256, 11);
+        let prof = profile_app(&app, AllocatorKind::TcMalloc);
+        assert_eq!(prof[Region::Tx as usize].mallocs, 0);
+        assert_eq!(prof[Region::Par as usize].mallocs, 0);
+        // Large blocks dominate the seq bytes (edge array +two node arrays).
+        assert!(prof[Region::Seq as usize].by_bucket[7] >= 3);
+    }
+}

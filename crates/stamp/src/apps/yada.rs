@@ -1,0 +1,203 @@
+//! Yada: Delaunay mesh refinement (Ruppert's algorithm, abstracted).
+//!
+//! Faithfulness targets (Table 5 + §6): the heaviest transactional
+//! allocator pressure in the suite — every refinement transaction frees
+//! the triangles of the re-triangulated cavity and allocates replacements
+//! (a 16/32/256-byte mix, as in Table 5's yada rows), the abort rate is
+//! high (cavities overlap), and every abort re-runs the allocation work.
+//! This is the workload where the paper finds Glibc's per-arena lock
+//! collapsing at 8 threads (171 % worst-case difference) and where the
+//! Table 7 object-cache optimization pays off for Glibc only.
+
+use parking_lot::Mutex;
+use tm_ds::{TxHashMap, TxQueue};
+use tm_sim::Ctx;
+use tm_stm::{Stm, TxThread};
+
+use super::util::{mix, Counter};
+use crate::StampApp;
+
+struct State {
+    /// Mesh: triangle id → data-block address. A hash map, because mesh
+    /// operations have spatial locality in the original: two cavities only
+    /// conflict when they share triangles, not through a container root.
+    mesh: TxHashMap,
+    /// Ids of "bad" triangles awaiting refinement.
+    work: TxQueue,
+    /// Source of fresh triangle ids.
+    next_id: Counter,
+    processed_cell: u64,
+}
+
+/// The Yada port.
+pub struct Yada {
+    pub triangles: u64,
+    pub initial_bad: u64,
+    /// Bound on extra bad triangles spawned (keeps runs finite).
+    pub max_spawn: u64,
+    /// Cavity size: neighbours read/replaced per refinement.
+    pub cavity: u64,
+    pub seed: u64,
+    state: Mutex<Option<State>>,
+}
+
+impl Yada {
+    pub fn new(triangles: u64, seed: u64) -> Self {
+        Yada {
+            triangles,
+            initial_bad: triangles / 2,
+            max_spawn: triangles,
+            cavity: 4,
+            seed,
+            state: Mutex::new(None),
+        }
+    }
+
+    /// Triangle data sizes cycle through the paper's observed mix.
+    fn data_size(id: u64) -> u64 {
+        [16u64, 32, 16, 256][(id % 4) as usize]
+    }
+}
+
+impl StampApp for Yada {
+    fn name(&self) -> &'static str {
+        "Yada"
+    }
+
+    fn init(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        let mesh = TxHashMap::new(stm, ctx, (self.triangles * 8).next_power_of_two());
+        let work = TxQueue::new(stm, ctx);
+        let mut th = stm.thread(0);
+        for id in 0..self.triangles {
+            let data = stm.allocator().malloc(ctx, Self::data_size(id));
+            ctx.write_u64(data, mix(self.seed ^ id));
+            mesh.put(stm, ctx, &mut th, id, data);
+        }
+        for b in 0..self.initial_bad {
+            let id = mix(self.seed ^ (b + 77)) % self.triangles;
+            work.push(stm, ctx, &mut th, id);
+        }
+        stm.retire(th);
+        let next_id = Counter::new(stm, ctx);
+        let processed_cell = stm.allocator().malloc(ctx, 64);
+        ctx.write_u64(processed_cell, 0);
+        // Fresh ids start above the initial mesh.
+        for _ in 0..self.triangles {
+            next_id.next(ctx);
+        }
+        *self.state.lock() = Some(State {
+            mesh,
+            work,
+            next_id,
+            processed_cell,
+        });
+    }
+
+    fn worker(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread) {
+        let (mesh, work, next_id, processed_cell) = {
+            let g = self.state.lock();
+            let s = g.as_ref().expect("init must run first");
+            (s.mesh, s.work, s.next_id, s.processed_cell)
+        };
+        let mut spawned_budget = self.max_spawn / 8 + 1; // per-thread share
+        loop {
+            let Some(center) = work.pop(stm, ctx, &mut *th) else {
+                break;
+            };
+            // Reserve fresh ids for the replacement triangles outside the
+            // transaction (ids are cheap; memory is not).
+            let fresh: Vec<u64> = (0..self.cavity + 1).map(|_| next_id.next(ctx)).collect();
+            // The cavity transaction: read the neighbourhood, retire the
+            // cavity's triangles (transactional frees!), create the
+            // replacements (transactional mallocs) — one big transaction
+            // with a large read/write set, exactly yada's signature.
+            stm.txn(ctx, &mut *th, |tx, ctx| {
+                // Allocate the replacement triangles *up front*, as cavity
+                // expansion interleaves allocation with discovery in the
+                // original. When the transaction aborts — and yada aborts a
+                // lot — every one of these mallocs is undone with a free,
+                // which is precisely the paper's abort-driven pressure on
+                // the allocator ("at every transaction rollback malloc()
+                // requires a corresponding free()", §6).
+                let mut fresh_data = Vec::with_capacity(fresh.len());
+                for &id in &fresh {
+                    let data = tx.malloc(ctx, Self::data_size(id));
+                    fresh_data.push(data);
+                    ctx.tick(8);
+                }
+                let mut acc = 0u64;
+                for k in 0..self.cavity {
+                    let nb = (center + k) % self.triangles;
+                    if let Some(data) = mesh.get_in(tx, ctx, nb)? {
+                        acc ^= ctx.read_u64(data);
+                        // Retire this neighbour: free its data and drop it
+                        // from the mesh (freeing a block some *other*
+                        // thread's transaction may have allocated).
+                        tx.free(ctx, data);
+                        mesh.remove_in(tx, ctx, nb)?;
+                        ctx.tick(30);
+                    }
+                }
+                for (i, (&id, &data)) in fresh.iter().zip(&fresh_data).enumerate() {
+                    ctx.write_u64(data, mix(acc ^ i as u64));
+                    mesh.put_in(tx, ctx, id, data)?;
+                    ctx.tick(25);
+                }
+                Ok(())
+            });
+            ctx.fetch_add_u64(processed_cell, 1);
+            // Refinement occasionally discovers new bad triangles.
+            if spawned_budget > 0 && mix(center) % 4 == 0 {
+                spawned_budget -= 1;
+                let nb = mix(center ^ 0xbad) % self.triangles;
+                work.push(stm, ctx, &mut *th, nb);
+            }
+        }
+    }
+
+    fn verify(&self, _stm: &Stm, ctx: &mut Ctx<'_>) {
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        assert!(
+            ctx.read_u64(s.processed_cell) >= self.initial_bad,
+            "all initial bad triangles must be processed"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{profile_app, run_app, StampOpts};
+    use tm_alloc::AllocatorKind;
+
+    #[test]
+    fn refines_all_initial_work() {
+        let app = Yada::new(64, 31);
+        let r = run_app(&app, AllocatorKind::TcMalloc, 4, &StampOpts::default());
+        assert!(r.commits >= 16, "at least the initial bad triangles commit");
+    }
+
+    #[test]
+    fn heavy_tx_malloc_and_free_traffic() {
+        use tm_alloc::profile::Region;
+        let app = Yada::new(64, 31);
+        let prof = profile_app(&app, AllocatorKind::Glibc);
+        let tx = prof[Region::Tx as usize];
+        assert!(tx.mallocs > 0);
+        assert!(tx.frees > 0, "yada must free transactionally");
+        // The 16/32/256 size mix is present.
+        assert!(tx.by_bucket[0] > 0);
+        assert!(tx.by_bucket[6] > 0, "256-byte blocks expected");
+    }
+
+    #[test]
+    fn contention_produces_aborts() {
+        let app = Yada::new(48, 31);
+        let r = run_app(&app, AllocatorKind::TbbMalloc, 8, &StampOpts::default());
+        assert!(
+            r.aborts > 0,
+            "overlapping cavities at 8 threads must conflict"
+        );
+    }
+}

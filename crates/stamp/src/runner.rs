@@ -1,0 +1,224 @@
+//! STAMP execution harness: build the stack, run seq + par phases, report
+//! the paper's metrics; plus the Table 5 allocation profiler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tm_alloc::profile::{AllocProfiler, Region, RegionStats};
+use tm_alloc::{Allocator, AllocatorKind};
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{LockDesign, OrtHash, Stm, StmConfig, WriteMode};
+
+use crate::{AppKind, StampApp};
+
+/// Options for a STAMP run (the sweep axes of §6).
+#[derive(Clone, Debug)]
+pub struct StampOpts {
+    /// Enable the §6.2 transactional object cache (Table 7).
+    pub object_cache: bool,
+    /// ORT stripe shift.
+    pub shift: u32,
+    /// Lock acquisition design (extension; the paper uses ETL).
+    pub design: LockDesign,
+    /// Write strategy (extension; the paper uses write-back).
+    pub write_mode: WriteMode,
+    /// ORT hash (extension; the paper uses shift-and-modulo).
+    pub ort_hash: OrtHash,
+    pub seed: u64,
+}
+
+impl Default for StampOpts {
+    fn default() -> Self {
+        StampOpts {
+            object_cache: false,
+            shift: 5,
+            design: LockDesign::Etl,
+            write_mode: WriteMode::Back,
+            ort_hash: OrtHash::ShiftMod,
+            seed: 0xace,
+        }
+    }
+}
+
+/// Metrics of one STAMP run — what Figs. 7/8 and Tables 6/7 report.
+#[derive(Clone, Debug)]
+pub struct StampResult {
+    /// Virtual seconds of the initialization phase.
+    pub seq_seconds: f64,
+    /// Virtual seconds of the parallel (timed) phase — the paper's y-axis.
+    pub par_seconds: f64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub abort_ratio: f64,
+    pub l1_miss: f64,
+    pub l2_miss: f64,
+    /// Virtual cycles spent waiting on allocator locks in the par phase.
+    pub lock_wait_cycles: u64,
+    /// Object-cache hits (Table 7 diagnostics).
+    pub cache_hits: u64,
+}
+
+/// Instantiate an application at a given scale (1 = smoke-test size; the
+/// bench binaries use larger scales, recorded in EXPERIMENTS.md).
+pub fn make_app(kind: AppKind, scale: u64, seed: u64) -> Box<dyn StampApp> {
+    use crate::apps::*;
+    match kind {
+        AppKind::Bayes => Box::new(Bayes::new(8 * scale, 64 * scale, seed)),
+        AppKind::Genome => Box::new(Genome::new(192 * scale, seed)),
+        AppKind::Intruder => Box::new(Intruder::new(24 * scale, seed)),
+        AppKind::Kmeans => Box::new(Kmeans::new(128 * scale, seed)),
+        AppKind::Labyrinth => Box::new(Labyrinth::new(12, 8 * scale, seed)),
+        AppKind::Ssca2 => Box::new(Ssca2::new(48 * scale, 192 * scale, seed)),
+        AppKind::Vacation => Box::new(Vacation::new(48 * scale, 64 * scale, seed)),
+        AppKind::Yada => Box::new(Yada::new(128 * scale, seed)),
+    }
+}
+
+/// Run one application on one allocator at one thread count. Deterministic.
+pub fn run_app(
+    app: &dyn StampApp,
+    allocator: AllocatorKind,
+    threads: usize,
+    opts: &StampOpts,
+) -> StampResult {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let alloc = allocator.build(&sim);
+    let stm = Arc::new(Stm::new(
+        &sim,
+        alloc,
+        StmConfig {
+            shift: opts.shift,
+            object_cache: opts.object_cache,
+            design: opts.design,
+            write_mode: opts.write_mode,
+            ort_hash: opts.ort_hash,
+            ..StmConfig::default()
+        },
+    ));
+
+    let seq = sim.run(1, |ctx| app.init(&stm, ctx));
+    stm.reset_stats();
+
+    let par = sim.run(threads, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        app.worker(&stm, ctx, &mut th);
+        stm.retire(th);
+    });
+
+    // Post-run invariant checks (outside the timed phases).
+    sim.run(1, |ctx| app.verify(&stm, ctx));
+
+    let stats = stm.stats();
+    StampResult {
+        seq_seconds: seq.seconds,
+        par_seconds: par.seconds,
+        commits: stats.commits,
+        aborts: stats.aborts(),
+        abort_ratio: stats.abort_ratio(),
+        l1_miss: par.cache_total.l1_miss_ratio(),
+        l2_miss: par.cache_total.l2_miss_ratio(),
+        lock_wait_cycles: par.locks.wait_cycles,
+        cache_hits: stats.cache_hits,
+    }
+}
+
+/// Convenience: build the app at `scale` and run it.
+pub fn run_kind(
+    kind: AppKind,
+    allocator: AllocatorKind,
+    threads: usize,
+    opts: &StampOpts,
+    scale: u64,
+) -> StampResult {
+    let app = make_app(kind, scale, opts.seed);
+    run_app(app.as_ref(), allocator, threads, opts)
+}
+
+/// Regenerate the Table 5 characterization for one application: run it
+/// sequentially (1 thread, as the paper does) with the allocation-site
+/// profiler and return the per-region histograms `[seq, par, tx]`.
+pub fn profile_app(app: &dyn StampApp, allocator: AllocatorKind) -> [RegionStats; 3] {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let base = allocator.build(&sim);
+    let cores = sim.config().cores;
+    let prof = Arc::new(AllocProfiler::new(base, cores));
+    let stm = Arc::new(Stm::new(
+        &sim,
+        Arc::clone(&prof) as Arc<dyn Allocator>,
+        StmConfig::default(),
+    ));
+    // During init everything counts as `seq`, even transactions (the paper
+    // instrumented the *sequential execution*, relying on STAMP's phase
+    // annotations). In the parallel phase the tx hook flips Par ↔ Tx.
+    let par_phase = Arc::new(AtomicBool::new(false));
+    {
+        let prof = Arc::clone(&prof);
+        let par_phase = Arc::clone(&par_phase);
+        stm.set_tx_hook(Arc::new(move |tid, enter| {
+            if par_phase.load(Ordering::Relaxed) {
+                prof.set_region(tid, if enter { Region::Tx } else { Region::Par });
+            }
+        }));
+    }
+    prof.set_region(0, Region::Seq);
+    sim.run(1, |ctx| app.init(&stm, ctx));
+    par_phase.store(true, Ordering::Relaxed);
+    prof.set_region(0, Region::Par);
+    sim.run(1, |ctx| {
+        let mut th = stm.thread(0);
+        app.worker(&stm, ctx, &mut th);
+        stm.retire(th);
+    });
+    prof.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_run_at_smoke_scale() {
+        for kind in AppKind::ALL {
+            let r = run_kind(kind, AllocatorKind::TbbMalloc, 2, &StampOpts::default(), 1);
+            assert!(
+                r.par_seconds > 0.0,
+                "{}: empty parallel phase",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_kind(
+            AppKind::Vacation,
+            AllocatorKind::Glibc,
+            4,
+            &StampOpts::default(),
+            1,
+        );
+        let b = run_kind(
+            AppKind::Vacation,
+            AllocatorKind::Glibc,
+            4,
+            &StampOpts::default(),
+            1,
+        );
+        assert_eq!(a.par_seconds, b.par_seconds);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn object_cache_reduces_allocator_traffic_for_yada() {
+        let base = StampOpts::default();
+        let cached = StampOpts {
+            object_cache: true,
+            ..StampOpts::default()
+        };
+        let plain = run_kind(AppKind::Yada, AllocatorKind::Glibc, 4, &base, 1);
+        let opt = run_kind(AppKind::Yada, AllocatorKind::Glibc, 4, &cached, 1);
+        assert_eq!(plain.cache_hits, 0);
+        assert!(opt.cache_hits > 0, "object cache must serve some mallocs");
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-app Table 5 pattern matrix: the qualitative allocation signatures
+//! the paper's analysis rests on, asserted for every application in one
+//! sweep (complementing the per-app unit tests).
+
+use tm_alloc::profile::Region;
+use tm_alloc::AllocatorKind;
+use tm_stamp::runner::{make_app, profile_app};
+use tm_stamp::AppKind;
+
+#[test]
+fn table5_signature_matrix() {
+    for app in AppKind::ALL {
+        let a = make_app(app, 1, 0xace);
+        let prof = profile_app(a.as_ref(), AllocatorKind::Glibc);
+        let seq = prof[Region::Seq as usize];
+        let par = prof[Region::Par as usize];
+        let tx = prof[Region::Tx as usize];
+        let name = app.name();
+        // Universal: every app allocates something during initialization.
+        assert!(seq.mallocs > 0, "{name}: no seq allocations");
+        match app {
+            AppKind::Kmeans | AppKind::Ssca2 => {
+                assert_eq!(tx.mallocs, 0, "{name}: must not allocate in tx");
+                assert_eq!(par.mallocs, 0, "{name}: must not allocate in par");
+            }
+            AppKind::Genome => {
+                assert!(tx.mallocs > 0, "{name}: dedup allocates in tx");
+                assert_eq!(tx.frees, 0, "{name}: never frees in tx");
+                assert_eq!(
+                    tx.mallocs, tx.by_bucket[0],
+                    "{name}: tx allocations are pure 16 B"
+                );
+            }
+            AppKind::Intruder => {
+                assert!(tx.mallocs > 0, "{name}: queue/map nodes in tx");
+                assert!(par.frees > 0, "{name}: privatization frees in par");
+            }
+            AppKind::Labyrinth => {
+                assert!(par.by_bucket[7] > 0, "{name}: big grid copies in par");
+                assert_eq!(tx.mallocs, 0, "{name}: nothing allocates in tx");
+            }
+            AppKind::Vacation => {
+                assert!(
+                    tx.mallocs > tx.frees,
+                    "{name}: reservation leak pattern (m {} f {})",
+                    tx.mallocs,
+                    tx.frees
+                );
+            }
+            AppKind::Yada => {
+                assert!(tx.mallocs > 0 && tx.frees > 0, "{name}: tx churn");
+                assert!(tx.by_bucket[6] > 0, "{name}: 256 B triangles");
+            }
+            AppKind::Bayes => {
+                assert!(par.mallocs > 10, "{name}: query-list churn in par");
+                assert_eq!(par.mallocs, par.frees, "{name}: lists torn down");
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_wide_small_block_dominance() {
+    // The paper's §6 observation: 99.9 % of requests across the suite are
+    // <= 256 bytes. At reduced scale the handful of giant arrays weighs
+    // more, so assert a generous 90 % on the aggregate.
+    let mut total = 0u64;
+    let mut small = 0u64;
+    for app in AppKind::ALL {
+        let a = make_app(app, 1, 0xace);
+        let prof = profile_app(a.as_ref(), AllocatorKind::Glibc);
+        for r in Region::ALL {
+            let s = prof[r as usize];
+            total += s.mallocs;
+            small += s.by_bucket[..7].iter().sum::<u64>();
+        }
+    }
+    assert!(
+        small * 100 >= total * 90,
+        "suite-wide small blocks {small}/{total} below 90%"
+    );
+}
+
+#[test]
+fn profiles_are_allocator_invariant() {
+    // The *request* histogram is a property of the application, not the
+    // allocator: profiling under TC must match profiling under Glibc.
+    for app in [AppKind::Genome, AppKind::Yada] {
+        let a1 = make_app(app, 1, 0xace);
+        let a2 = make_app(app, 1, 0xace);
+        let p_glibc = profile_app(a1.as_ref(), AllocatorKind::Glibc);
+        let p_tc = profile_app(a2.as_ref(), AllocatorKind::TcMalloc);
+        for r in Region::ALL {
+            assert_eq!(
+                p_glibc[r as usize].by_bucket,
+                p_tc[r as usize].by_bucket,
+                "{}: {} histogram differs across allocators",
+                app.name(),
+                r.name()
+            );
+        }
+    }
+}

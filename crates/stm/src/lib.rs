@@ -1,0 +1,550 @@
+//! # tm-stm — a word-based, time-based, blocking STM
+//!
+//! A reimplementation of the STM design the paper evaluates (TinySTM 1.0.4
+//! with its default configuration, §4): encounter-time locking (ETL) with a
+//! write-back redo log, a global version clock, and the SUICIDE contention
+//! management strategy (the transaction that detects the conflict aborts
+//! itself and restarts immediately).
+//!
+//! Conflict detection uses an **ownership record table** (ORT) of `2^20`
+//! versioned locks. The table lives in *simulated memory*, so every probe
+//! goes through the cache model — lowering the stripe shift really does
+//! increase L1 pressure, as the paper observes in §5.4. A memory address
+//! maps to its versioned lock as
+//!
+//! ```text
+//! ort_index = (addr >> shift) % ort_size        // shift = 5 by default
+//! ```
+//!
+//! which makes 2^shift consecutive bytes share one lock — the interaction
+//! surface with the allocators' block spacing and region alignment that the
+//! whole study is about (Fig. 5).
+//!
+//! Transactional memory management follows the paper's §2: an allocator
+//! wrapper annotates transactional allocations (undone on abort) and defers
+//! frees to commit time. The optional object cache (see [`alloc`])
+//! implements the §6.2 optimization: aborted allocations and committed
+//! frees are kept in a thread-local pool instead of going back to the
+//! system allocator.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tm_sim::{MachineConfig, Sim};
+//! use tm_alloc::AllocatorKind;
+//! use tm_stm::{Stm, StmConfig};
+//!
+//! let sim = Sim::new(MachineConfig::xeon_e5405());
+//! let alloc = AllocatorKind::TbbMalloc.build(&sim);
+//! let stm = Stm::new(&sim, Arc::clone(&alloc), StmConfig::default());
+//!
+//! // One shared counter, incremented transactionally by 4 threads.
+//! let counter = 0x4000_0000u64;
+//! sim.run(4, |ctx| {
+//!     let mut th = stm.thread(ctx.tid());
+//!     for _ in 0..10 {
+//!         stm.txn(ctx, &mut th, |tx, ctx| {
+//!             let v = tx.read(ctx, counter)?;
+//!             tx.write(ctx, counter, v + 1)
+//!         });
+//!     }
+//!     stm.retire(th);
+//! });
+//! sim.with_state(|m| assert_eq!(m.read_u64(counter), 40));
+//! ```
+
+pub mod alloc;
+mod stats;
+mod tx;
+
+pub use stats::{AbortCause, StmStats};
+pub use tx::{Abort, Tx, TxThread};
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tm_alloc::Allocator;
+use tm_sim::{Ctx, Sim};
+
+/// When are versioned locks acquired? The paper's two representative
+/// word-based designs (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockDesign {
+    /// Encounter-time locking (TinySTM default): writers take the stripe
+    /// lock at the first write. Conflicts surface early.
+    Etl,
+    /// Commit-time locking (TL2-style): writes are buffered; all stripe
+    /// locks are acquired at commit, in one short burst.
+    Ctl,
+}
+
+/// Where transactional writes land before commit (TinySTM's two write
+/// strategies; only meaningful with encounter-time locking).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Write-back: values are buffered in a redo log and land in memory at
+    /// commit (TinySTM's default, the paper's configuration).
+    Back,
+    /// Write-through: values hit memory immediately under the stripe lock;
+    /// aborts restore from an undo log. Cheaper commits, dearer aborts.
+    Through,
+}
+
+/// How an address maps to its ORT entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrtHash {
+    /// The paper's function: `(addr >> shift) % size`. Discards high bits —
+    /// the source of the 64 MB-arena aliasing of §5.2.
+    ShiftMod,
+    /// Multiplicative mixing of the stripe number (the fix investigated in
+    /// Riegel's thesis, which the paper cites): high bits participate, so
+    /// aligned regions no longer collide — at the cost of destroying
+    /// stripe-adjacency locality in the table.
+    Mix,
+}
+
+/// STM configuration knobs exercised by the paper (plus the two design
+/// extensions: lock acquisition time and ORT hashing).
+#[derive(Clone, Debug)]
+pub struct StmConfig {
+    /// Stripe shift: `2^shift` consecutive bytes map to one versioned lock.
+    /// The paper's default is 5 (32-byte stripes); Fig. 6 sweeps 4.
+    pub shift: u32,
+    /// log2 of the ORT entry count (TinySTM default: 20).
+    pub ort_bits: u32,
+    /// Enable the transactional object cache of §6.2 (Table 7).
+    pub object_cache: bool,
+    /// Lock acquisition design (default: ETL, the paper's configuration).
+    pub design: LockDesign,
+    /// Write strategy (default: write-back, the paper's configuration).
+    /// `Through` requires `design == Etl`.
+    pub write_mode: WriteMode,
+    /// ORT mapping function (default: the paper's shift-and-modulo).
+    pub ort_hash: OrtHash,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig {
+            shift: 5,
+            ort_bits: 20,
+            object_cache: false,
+            design: LockDesign::Etl,
+            write_mode: WriteMode::Back,
+            ort_hash: OrtHash::ShiftMod,
+        }
+    }
+}
+
+/// The STM instance: ORT, global clock, allocator binding and statistics.
+pub struct Stm {
+    pub(crate) cfg: StmConfig,
+    /// Base simulated address of the ORT (entries are 8-byte words).
+    pub(crate) ort_base: u64,
+    pub(crate) ort_mask: u64,
+    /// Simulated address of the global version clock.
+    pub(crate) clock_addr: u64,
+    pub(crate) allocator: Arc<dyn Allocator>,
+    stats: Mutex<StmStats>,
+    /// Sizes of live transactionally-allocated blocks (host-side registry
+    /// feeding the object cache, which needs sizes at free time).
+    pub(crate) sizes: Mutex<std::collections::HashMap<u64, u64>>,
+    /// Simulated base address of the per-thread snapshot array (one cache
+    /// line per thread; 0 means idle, else snapshot+1). Drives
+    /// quiescence-based reclamation: a transactionally-freed block reaches
+    /// the allocator only once every in-flight snapshot postdates the free,
+    /// so doomed readers can never observe recycled memory — TinySTM's
+    /// epoch GC, reproduced. Living in simulated memory keeps reclamation
+    /// decisions deterministic and charges their true cost.
+    pub(crate) active_base: u64,
+    pub(crate) cores: usize,
+    /// Limbo blocks from retired threads, (free timestamp, addr, size).
+    pub(crate) global_limbo: Mutex<Vec<(u64, u64, Option<u64>)>>,
+    /// Optional observer of transaction boundaries: called with
+    /// `(tid, true)` when a thread enters `txn` and `(tid, false)` when it
+    /// leaves. Used by the Table 5 instrumentation to attribute allocator
+    /// calls to the `tx` region.
+    tx_hook: std::sync::OnceLock<Arc<dyn Fn(usize, bool) + Send + Sync>>,
+}
+
+impl Stm {
+    /// Create an STM over `sim`'s machine, binding `allocator` for
+    /// transactional memory management. The ORT and the clock are placed in
+    /// simulated memory.
+    pub fn new(sim: &Sim, allocator: Arc<dyn Allocator>, cfg: StmConfig) -> Self {
+        assert!(
+            !(cfg.write_mode == WriteMode::Through && cfg.design == LockDesign::Ctl),
+            "write-through requires encounter-time locking"
+        );
+        let entries = 1u64 << cfg.ort_bits;
+        let cores = sim.config().cores;
+        let (ort_base, clock_addr, active_base) = sim.with_state(|m| {
+            let ort = m.os_alloc(entries * 8, 64);
+            // The clock gets its own cache line, as does each thread's
+            // active-snapshot word.
+            let clock = m.os_alloc(64, 64);
+            let active = m.os_alloc(cores as u64 * 64, 64);
+            (ort, clock, active)
+        });
+        Stm {
+            cfg,
+            ort_base,
+            ort_mask: entries - 1,
+            clock_addr,
+            allocator,
+            stats: Mutex::new(StmStats::default()),
+            sizes: Mutex::new(std::collections::HashMap::new()),
+            active_base,
+            cores,
+            global_limbo: Mutex::new(Vec::new()),
+            tx_hook: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Install the transaction-boundary observer (set once, before use).
+    pub fn set_tx_hook(&self, hook: Arc<dyn Fn(usize, bool) + Send + Sync>) {
+        let _ = self.tx_hook.set(hook);
+    }
+
+    /// Simulated address of thread `tid`'s active-snapshot word.
+    #[inline]
+    pub(crate) fn active_addr(&self, tid: usize) -> u64 {
+        self.active_base + tid as u64 * 64
+    }
+
+    /// The oldest snapshot any in-flight transaction may hold; blocks freed
+    /// before this timestamp are safe to hand to the allocator. The scan
+    /// reads simulated memory, so it is deterministic and costed.
+    pub(crate) fn safe_timestamp(&self, ctx: &mut Ctx<'_>) -> u64 {
+        let mut min = u64::MAX;
+        for t in 0..self.cores {
+            let w = ctx.read_u64(self.active_addr(t));
+            if w != 0 {
+                min = min.min(w - 1);
+            }
+        }
+        min
+    }
+
+    /// Force-drain all limbo blocks. Only valid at a quiescent point (no
+    /// transactions in flight on any thread) — e.g. between benchmark
+    /// phases or at the end of a run with a retired `TxThread`.
+    pub fn quiesce(&self, ctx: &mut Ctx<'_>) {
+        let entries: Vec<(u64, u64, Option<u64>)> =
+            std::mem::take(&mut *self.global_limbo.lock());
+        for (_, addr, _) in entries {
+            self.sizes.lock().remove(&addr);
+            self.allocator.free(ctx, addr);
+        }
+    }
+
+    /// Map an address to the simulated address of its versioned lock word,
+    /// per the configured [`OrtHash`].
+    #[inline]
+    pub fn lock_addr_for(&self, addr: u64) -> u64 {
+        let stripe = addr >> self.cfg.shift;
+        let idx = match self.cfg.ort_hash {
+            OrtHash::ShiftMod => stripe & self.ort_mask,
+            OrtHash::Mix => (stripe.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) & self.ort_mask,
+        };
+        self.ort_base + 8 * idx
+    }
+
+    /// Create per-thread transaction state. One per worker thread.
+    pub fn thread(&self, tid: usize) -> TxThread {
+        TxThread::new(tid, self.cfg.object_cache)
+    }
+
+    /// Fold a finished worker's statistics into the global tally. Call at
+    /// the end of the worker closure.
+    pub fn retire(&self, mut th: TxThread) {
+        th.surrender_limbo(self);
+        self.stats.lock().merge(&th.stats);
+    }
+
+    /// Run `body` as a transaction, retrying on conflicts (SUICIDE CM:
+    /// abort self, restart immediately). Returns the body's result once a
+    /// commit succeeds.
+    pub fn txn<R>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        th: &mut TxThread,
+        mut body: impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
+    ) -> R {
+        if let Some(hook) = self.tx_hook.get() {
+            hook(th.tid, true);
+        }
+        let r = self.txn_inner(ctx, th, &mut body);
+        if let Some(hook) = self.tx_hook.get() {
+            hook(th.tid, false);
+        }
+        r
+    }
+
+    fn txn_inner<R>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        th: &mut TxThread,
+        body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
+    ) -> R {
+        th.retries = 0;
+        loop {
+            th.begin(self, ctx);
+            let mut tx = Tx::new(self, th);
+            match body(&mut tx, ctx) {
+                Ok(r) => {
+                    if tx.commit(ctx) {
+                        th.clear_active(self, ctx);
+                        return r;
+                    }
+                    // Commit-time validation failed; roll back and retry.
+                    th.rollback(self, ctx, AbortCause::Validation);
+                }
+                Err(Abort::Conflict(cause)) => {
+                    th.rollback(self, ctx, cause);
+                }
+                Err(Abort::Explicit) => {
+                    th.rollback(self, ctx, AbortCause::Explicit);
+                    // Explicit retry: re-run (the workload asked for it).
+                }
+            }
+            th.retries = th.retries.saturating_add(1);
+            let pause = th.backoff_cycles();
+            ctx.tick(pause);
+        }
+    }
+
+    /// Global statistics snapshot (retired threads only).
+    pub fn stats(&self) -> StmStats {
+        *self.stats.lock()
+    }
+
+    /// Reset global statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = StmStats::default();
+    }
+
+    /// The bound allocator.
+    pub fn allocator(&self) -> &Arc<dyn Allocator> {
+        &self.allocator
+    }
+
+    /// Stripe size in bytes implied by the configured shift.
+    pub fn stripe_bytes(&self) -> u64 {
+        1 << self.cfg.shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_alloc::AllocatorKind;
+    use tm_sim::MachineConfig;
+
+    fn setup(shift: u32) -> (Sim, Stm) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let alloc = AllocatorKind::TbbMalloc.build(&sim);
+        let stm = Stm::new(
+            &sim,
+            alloc,
+            StmConfig {
+                shift,
+                ..StmConfig::default()
+            },
+        );
+        (sim, stm)
+    }
+
+    #[test]
+    fn mapping_function_matches_paper() {
+        let (_sim, stm) = setup(5);
+        // 32 consecutive bytes share one lock.
+        assert_eq!(stm.lock_addr_for(0x1000), stm.lock_addr_for(0x101f));
+        assert_ne!(stm.lock_addr_for(0x1000), stm.lock_addr_for(0x1020));
+        // The table covers 2^20 stripes of 32 bytes → wraps every 32 MB.
+        let wrap = (1u64 << 20) << 5;
+        assert_eq!(stm.lock_addr_for(0x1000), stm.lock_addr_for(0x1000 + wrap));
+    }
+
+    #[test]
+    fn shift4_halves_the_stripe() {
+        let (_sim, stm) = setup(4);
+        assert_eq!(stm.stripe_bytes(), 16);
+        assert_eq!(stm.lock_addr_for(0x1000), stm.lock_addr_for(0x100f));
+        assert_ne!(stm.lock_addr_for(0x1000), stm.lock_addr_for(0x1010));
+    }
+
+    #[test]
+    fn glibc_arena_aliasing_reproduces() {
+        // The §5.2 anomaly: 64 MB-aligned arenas collapse onto the same ORT
+        // entries under shift-and-modulo.
+        let (_sim, stm) = setup(5);
+        assert_eq!(
+            stm.lock_addr_for(0x1800_0000),
+            stm.lock_addr_for(0x1c00_0000),
+            "blocks at the same offset of 64 MB-apart arenas must alias"
+        );
+    }
+
+    #[test]
+    fn single_thread_counter() {
+        let (sim, stm) = setup(5);
+        let addr = 0x5000_0000u64;
+        sim.run(1, |ctx| {
+            let mut th = stm.thread(0);
+            for _ in 0..100 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 100));
+        let s = stm.stats();
+        assert_eq!(s.commits, 100);
+        assert_eq!(s.aborts(), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let (sim, stm) = setup(5);
+        let addr = 0x5000_0000u64;
+        sim.run(8, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..50 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    ctx.tick(20);
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 400));
+        let s = stm.stats();
+        assert_eq!(s.commits, 400);
+        assert!(s.aborts() > 0, "8 threads on one counter must conflict");
+    }
+
+    #[test]
+    fn disjoint_addresses_do_not_conflict() {
+        let (sim, stm) = setup(5);
+        sim.run(4, |ctx| {
+            let addr = 0x6000_0000u64 + ctx.tid() as u64 * 4096; // distinct stripes
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..50 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        assert_eq!(stm.stats().aborts(), 0);
+    }
+
+    #[test]
+    fn false_conflict_on_shared_stripe() {
+        // Two addresses 16 bytes apart share a 32-byte stripe: writers
+        // conflict even though the data is disjoint — the heart of Fig. 5.
+        let (sim, stm) = setup(5);
+        sim.run(2, |ctx| {
+            let addr = 0x7000_0000u64 + ctx.tid() as u64 * 16;
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..50 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    ctx.tick(50);
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        assert!(
+            stm.stats().aborts() > 0,
+            "stripe-sharing writers must produce false aborts"
+        );
+        // With shift 4 the same addresses are on different stripes:
+        let (sim2, stm2) = setup(4);
+        sim2.run(2, |ctx| {
+            let addr = 0x7000_0000u64 + ctx.tid() as u64 * 16;
+            let mut th = stm2.thread(ctx.tid());
+            for _ in 0..50 {
+                stm2.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    ctx.tick(50);
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm2.retire(th);
+        });
+        assert_eq!(stm2.stats().aborts(), 0);
+    }
+
+    #[test]
+    fn atomicity_under_contention() {
+        // Classic invariant test: transfer between two cells keeps the sum.
+        let (sim, stm) = setup(5);
+        let a = 0x8000_0000u64;
+        let b = 0x8000_4000u64;
+        sim.with_state(|m| {
+            m.write_u64(a, 1000);
+            m.write_u64(b, 1000);
+        });
+        sim.run(4, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for i in 0..25u64 {
+                let delta = (i % 7) + 1;
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let va = tx.read(ctx, a)?;
+                    let vb = tx.read(ctx, b)?;
+                    tx.write(ctx, a, va - delta)?;
+                    tx.write(ctx, b, vb + delta)
+                });
+            }
+            stm.retire(th);
+        });
+        sim.with_state(|m| {
+            assert_eq!(m.read_u64(a) + m.read_u64(b), 2000);
+        });
+    }
+
+    #[test]
+    fn read_own_write() {
+        let (sim, stm) = setup(5);
+        let addr = 0x9000_0000u64;
+        sim.run(1, |ctx| {
+            let mut th = stm.thread(0);
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                tx.write(ctx, addr, 42)?;
+                assert_eq!(tx.read(ctx, addr)?, 42, "must see own write");
+                tx.write(ctx, addr, 43)?;
+                assert_eq!(tx.read(ctx, addr)?, 43);
+                Ok(())
+            });
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 43));
+    }
+
+    #[test]
+    fn aborted_writes_are_invisible() {
+        let (sim, stm) = setup(5);
+        let addr = 0xa000_0000u64;
+        sim.run(1, |ctx| {
+            let mut th = stm.thread(0);
+            let mut first = true;
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                tx.write(ctx, addr, 99)?;
+                if first {
+                    first = false;
+                    return Err(Abort::Explicit);
+                }
+                tx.write(ctx, addr, 7)
+            });
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 7));
+        assert_eq!(stm.stats().by_cause[AbortCause::Explicit as usize], 1);
+    }
+}

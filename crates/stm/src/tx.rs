@@ -1,0 +1,460 @@
+//! Transaction descriptors and the ETL write-back protocol.
+//!
+//! Versioned-lock word encoding (one 64-bit word per ORT entry):
+//! * bit 0 set — locked; bits 63..1 hold the owner's thread id;
+//! * bit 0 clear — free; bits 63..1 hold the stripe's commit timestamp.
+
+use std::collections::{HashMap, HashSet};
+
+use tm_sim::Ctx;
+
+use crate::alloc::ObjectCache;
+use crate::stats::{AbortCause, StmStats};
+use crate::{LockDesign, Stm, WriteMode};
+
+/// Why control left the transaction body early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Abort {
+    /// A conflict was detected; SUICIDE CM restarts the transaction.
+    Conflict(AbortCause),
+    /// The workload requested a restart (STAMP's `TM_RESTART`).
+    Explicit,
+}
+
+#[inline]
+fn locked_word(tid: usize) -> u64 {
+    ((tid as u64) << 1) | 1
+}
+
+#[inline]
+fn is_locked(word: u64) -> bool {
+    word & 1 == 1
+}
+
+#[inline]
+fn owner_of(word: u64) -> u64 {
+    word >> 1
+}
+
+#[inline]
+fn version_of(word: u64) -> u64 {
+    word >> 1
+}
+
+/// Per-worker transaction state, reused across transactions (TinySTM's
+/// thread descriptor). Create with [`Stm::thread`], hand back with
+/// [`Stm::retire`] so its statistics are counted.
+pub struct TxThread {
+    pub tid: usize,
+    /// Snapshot timestamp (read version).
+    rv: u64,
+    read_set: Vec<(u64, u64)>,
+    write_entries: Vec<(u64, u64)>,
+    wmap: HashMap<u64, usize>,
+    locks_held: Vec<(u64, u64)>,
+    lockset: HashSet<u64>,
+    /// Write-through undo log: (addr, pre-image), restored in reverse on
+    /// abort.
+    undo: Vec<(u64, u64)>,
+    tx_allocs: Vec<(u64, u64)>,
+    tx_frees: Vec<u64>,
+    /// Blocks freed by committed transactions, awaiting quiescence:
+    /// (free timestamp, addr, size if known).
+    limbo: Vec<(u64, u64, Option<u64>)>,
+    /// Per-thread LCG driving abort backoff (see `Stm::txn`).
+    pub(crate) backoff_state: u64,
+    /// Consecutive aborts of the current transaction.
+    pub(crate) retries: u32,
+    pub(crate) stats: StmStats,
+    pub(crate) cache: Option<ObjectCache>,
+}
+
+impl TxThread {
+    pub(crate) fn new(tid: usize, object_cache: bool) -> Self {
+        TxThread {
+            tid,
+            rv: 0,
+            read_set: Vec::with_capacity(256),
+            write_entries: Vec::with_capacity(64),
+            wmap: HashMap::new(),
+            locks_held: Vec::with_capacity(64),
+            lockset: HashSet::new(),
+            undo: Vec::new(),
+            tx_allocs: Vec::new(),
+            tx_frees: Vec::new(),
+            limbo: Vec::new(),
+            backoff_state: 0x9e3779b97f4a7c15 ^ (tid as u64 + 1),
+            retries: 0,
+            stats: StmStats::default(),
+            cache: object_cache.then(ObjectCache::default),
+        }
+    }
+
+    /// Statistics accumulated by this thread so far.
+    pub fn local_stats(&self) -> StmStats {
+        self.stats
+    }
+
+    pub(crate) fn begin(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        self.read_set.clear();
+        self.write_entries.clear();
+        self.wmap.clear();
+        self.locks_held.clear();
+        self.lockset.clear();
+        self.undo.clear();
+        self.tx_allocs.clear();
+        self.tx_frees.clear();
+        ctx.tick(20); // descriptor setup
+        // Publish a (conservative) snapshot *before* taking the real one:
+        // a reclamation scan that misses the publication can then only
+        // free blocks whose unlink already predates the second clock read,
+        // so no reachable block is ever recycled under our feet.
+        let announce = ctx.read_u64(stm.clock_addr);
+        ctx.write_u64(stm.active_addr(self.tid), announce + 1);
+        self.rv = ctx.read_u64(stm.clock_addr);
+        self.drain_limbo(stm, ctx);
+    }
+
+    /// Hand limbo blocks whose free predates every in-flight snapshot to
+    /// the object cache (when enabled) or the allocator — TinySTM's
+    /// epoch-based reclamation. Doomed readers can therefore never observe
+    /// allocator metadata or re-initialized fields in recycled blocks.
+    fn drain_limbo(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        // Scanning every thread's snapshot costs a few reads; only bother
+        // once a handful of blocks are waiting (as TinySTM's epoch GC
+        // batches too).
+        if self.limbo.len() < 8 {
+            return;
+        }
+        let safe = stm.safe_timestamp(ctx).min(self.rv);
+        let mut keep = Vec::with_capacity(self.limbo.len());
+        let entries = std::mem::take(&mut self.limbo);
+        for (ts, addr, size) in entries {
+            if ts >= safe {
+                keep.push((ts, addr, size));
+                continue;
+            }
+            if let (Some(cache), Some(size)) = (&mut self.cache, size) {
+                if cache.put(size, addr) {
+                    continue;
+                }
+            }
+            stm.sizes.lock().remove(&addr);
+            stm.allocator.free(ctx, addr);
+        }
+        self.limbo = keep;
+    }
+
+    /// Deterministic pseudo-random abort backoff, bounded-exponential in
+    /// the retry count. The paper's SUICIDE strategy restarts immediately
+    /// and relies on real-machine timing noise to break symmetry between
+    /// conflicting transactions; under the deterministic scheduler two
+    /// symmetric multi-write transactions would otherwise phase-lock into
+    /// a livelock, so the noise is reintroduced here, deterministically.
+    pub(crate) fn backoff_cycles(&mut self) -> u64 {
+        self.backoff_state = self
+            .backoff_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let cap = 32u64 << self.retries.min(8);
+        (self.backoff_state >> 33) % cap
+    }
+
+    /// Mark this thread quiescent (no snapshot in flight).
+    pub(crate) fn clear_active(&self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        ctx.write_u64(stm.active_addr(self.tid), 0);
+    }
+
+    /// Release owned versioned locks (restoring pre-lock versions), undo
+    /// transactional allocations, forget deferred frees.
+    pub(crate) fn rollback(&mut self, stm: &Stm, ctx: &mut Ctx<'_>, cause: AbortCause) {
+        // Write-through: restore pre-images (reverse order so the first
+        // write's pre-image wins) before the locks are released.
+        while let Some((addr, old)) = self.undo.pop() {
+            ctx.write_u64(addr, old);
+        }
+        for &(la, prev) in &self.locks_held {
+            ctx.write_u64(la, prev << 1);
+        }
+        // Memory allocated inside the aborting transaction must be undone
+        // (paper §2) — or parked in the object cache (§6.2).
+        let allocs = std::mem::take(&mut self.tx_allocs);
+        for (addr, size) in allocs {
+            if let Some(cache) = &mut self.cache {
+                if cache.put(size, addr) {
+                    continue;
+                }
+            }
+            stm.sizes.lock().remove(&addr);
+            stm.allocator.free(ctx, addr);
+        }
+        self.tx_frees.clear();
+        self.stats.record_abort(cause);
+        ctx.tick(15);
+    }
+
+    /// Move any remaining limbo blocks to the STM's global pool (freed by
+    /// [`Stm::quiesce`] once the run is over).
+    pub(crate) fn surrender_limbo(&mut self, stm: &Stm) {
+        stm.global_limbo.lock().append(&mut self.limbo);
+    }
+}
+
+/// Handle passed to transaction bodies; all transactional reads, writes and
+/// memory management go through it.
+pub struct Tx<'a> {
+    stm: &'a Stm,
+    th: &'a mut TxThread,
+}
+
+impl<'a> Tx<'a> {
+    pub(crate) fn new(stm: &'a Stm, th: &'a mut TxThread) -> Self {
+        Tx { stm, th }
+    }
+
+    /// Validate the read set against the current lock words. Locks owned by
+    /// this transaction validate trivially.
+    fn validate(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        for i in 0..self.th.read_set.len() {
+            let (la, ver) = self.th.read_set[i];
+            let l = ctx.read_u64(la);
+            if is_locked(l) {
+                if !self.th.lockset.contains(&la) {
+                    return false;
+                }
+            } else if version_of(l) != ver {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Timestamp extension: re-validate and move the snapshot forward.
+    fn extend(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Abort> {
+        let now = ctx.read_u64(self.stm.clock_addr);
+        if self.validate(ctx) {
+            self.th.rv = now;
+            self.th.stats.extensions += 1;
+            Ok(())
+        } else {
+            Err(Abort::Conflict(AbortCause::Validation))
+        }
+    }
+
+    /// Transactional read of the aligned word at `addr`.
+    pub fn read(&mut self, ctx: &mut Ctx<'_>, addr: u64) -> Result<u64, Abort> {
+        self.th.stats.reads += 1;
+        ctx.tick(4);
+        if let Some(&i) = self.th.wmap.get(&addr) {
+            return Ok(self.th.write_entries[i].1); // read-own-write
+        }
+        let la = self.stm.lock_addr_for(addr);
+        let l = ctx.read_u64(la);
+        if is_locked(l) {
+            if owner_of(l) == self.th.tid as u64 {
+                // We own the stripe (wrote a *different* word in it); the
+                // word itself is unmodified in memory (write-back).
+                return Ok(ctx.read_u64(addr));
+            }
+            return Err(Abort::Conflict(AbortCause::ReadLocked));
+        }
+        let (v, l2) = ctx.read_u64_pair(addr, la);
+        if l2 != l {
+            return Err(Abort::Conflict(AbortCause::ReadRace));
+        }
+        let ver = version_of(l);
+        if ver > self.th.rv {
+            self.extend(ctx)?;
+        }
+        self.th.read_set.push((la, ver));
+        Ok(v)
+    }
+
+    /// Transactional write of the aligned word at `addr` (value buffered
+    /// until commit). Under ETL the stripe lock is acquired here; under CTL
+    /// acquisition waits for commit.
+    pub fn write(&mut self, ctx: &mut Ctx<'_>, addr: u64, val: u64) -> Result<(), Abort> {
+        self.th.stats.writes += 1;
+        ctx.tick(4);
+        if let Some(&i) = self.th.wmap.get(&addr) {
+            self.th.write_entries[i].1 = val;
+            return Ok(());
+        }
+        if self.stm.cfg.design == LockDesign::Etl {
+            let la = self.stm.lock_addr_for(addr);
+            if !self.th.lockset.contains(&la) {
+                let l = ctx.read_u64(la);
+                if is_locked(l) {
+                    // Cannot be us: our locks are all in `lockset`.
+                    return Err(Abort::Conflict(AbortCause::WriteLocked));
+                }
+                // The stripe may have been committed to after our snapshot —
+                // possibly by a transaction that invalidated something we
+                // already read. Extend (re-validating the read set) before
+                // taking ownership, or this transaction could commit stale
+                // reads and lose updates.
+                if version_of(l) > self.th.rv {
+                    self.extend(ctx)?;
+                }
+                if ctx
+                    .cas_u64(la, l, locked_word(self.th.tid))
+                    .is_err()
+                {
+                    return Err(Abort::Conflict(AbortCause::WriteLocked));
+                }
+                self.th.locks_held.push((la, version_of(l)));
+                self.th.lockset.insert(la);
+            }
+            if self.stm.cfg.write_mode == WriteMode::Through {
+                // Write-through: memory is updated in place under the
+                // stripe lock; the pre-image goes to the undo log.
+                let old = ctx.read_u64(addr);
+                self.th.undo.push((addr, old));
+                ctx.write_u64(addr, val);
+                return Ok(());
+            }
+        }
+        self.th.wmap.insert(addr, self.th.write_entries.len());
+        self.th.write_entries.push((addr, val));
+        Ok(())
+    }
+
+    /// CTL commit prelude: acquire every write-set stripe lock in one
+    /// burst (TL2-style). Returns false (caller aborts) if any stripe is
+    /// locked or was committed to after an unextendable snapshot.
+    fn acquire_write_locks(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        for i in 0..self.th.write_entries.len() {
+            let (addr, _) = self.th.write_entries[i];
+            let la = self.stm.lock_addr_for(addr);
+            if self.th.lockset.contains(&la) {
+                continue;
+            }
+            let l = ctx.read_u64(la);
+            if is_locked(l)
+                || version_of(l) > self.th.rv
+                || ctx.cas_u64(la, l, locked_word(self.th.tid)).is_err()
+            {
+                return false;
+            }
+            self.th.locks_held.push((la, version_of(l)));
+            self.th.lockset.insert(la);
+        }
+        true
+    }
+
+    /// Read-modify-write helper.
+    pub fn update(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        addr: u64,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<(), Abort> {
+        let v = self.read(ctx, addr)?;
+        self.write(ctx, addr, f(v))
+    }
+
+    /// Transactional allocation: undone if the transaction aborts. Served
+    /// from the object cache when the §6.2 optimization is enabled.
+    pub fn malloc(&mut self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        self.th.stats.tx_mallocs += 1;
+        let addr = if let Some(cache) = &mut self.th.cache {
+            match cache.take(size) {
+                Some(a) => {
+                    self.th.stats.cache_hits += 1;
+                    ctx.tick(8); // cache lookup instead of allocator call
+                    a
+                }
+                None => self.stm.allocator.malloc(ctx, size),
+            }
+        } else {
+            self.stm.allocator.malloc(ctx, size)
+        };
+        if self.th.cache.is_some() {
+            self.stm.sizes.lock().insert(addr, size);
+        }
+        self.th.tx_allocs.push((addr, size));
+        addr
+    }
+
+    /// Transactional free: deferred to commit time (paper §2); dropped if
+    /// the transaction aborts.
+    pub fn free(&mut self, _ctx: &mut Ctx<'_>, addr: u64) {
+        self.th.stats.tx_frees += 1;
+        self.th.tx_frees.push(addr);
+    }
+
+    /// Attempt to commit; returns false when commit-time validation fails
+    /// (the caller rolls back and retries).
+    pub(crate) fn commit(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        ctx.tick(12);
+        if self.stm.cfg.design == LockDesign::Ctl
+            && !self.th.write_entries.is_empty()
+            && !self.acquire_write_locks(ctx)
+        {
+            return false;
+        }
+        if self.th.locks_held.is_empty() {
+            debug_assert!(self.th.undo.is_empty());
+            // Read-only (or empty) transaction: the snapshot was consistent
+            // throughout; commit without touching the clock.
+            let ts = if self.th.tx_frees.is_empty() {
+                0
+            } else {
+                ctx.read_u64(self.stm.clock_addr)
+            };
+            self.finalize_memory(ts);
+            self.th.stats.commits += 1;
+            return true;
+        }
+        let wv = ctx.fetch_add_u64(self.stm.clock_addr, 1) + 1;
+        if self.th.rv + 1 != wv && !self.validate(ctx) {
+            return false;
+        }
+        // Write back the redo log (a no-op under write-through, where
+        // memory already holds the new values), then release locks with
+        // the new version.
+        for i in 0..self.th.write_entries.len() {
+            let (addr, val) = self.th.write_entries[i];
+            ctx.write_u64(addr, val);
+        }
+        self.th.undo.clear();
+        for i in 0..self.th.locks_held.len() {
+            let (la, _) = self.th.locks_held[i];
+            ctx.write_u64(la, wv << 1);
+        }
+        self.finalize_memory(wv);
+        self.th.stats.commits += 1;
+        true
+    }
+
+    /// Commit-time memory management: deferred frees enter the limbo list
+    /// stamped with the commit timestamp (they reach the allocator or the
+    /// object cache after quiescence); allocations become permanent.
+    fn finalize_memory(&mut self, ts: u64) {
+        let frees = std::mem::take(&mut self.th.tx_frees);
+        for addr in frees {
+            let size = if self.th.cache.is_some() {
+                self.stm.sizes.lock().get(&addr).copied()
+            } else {
+                None
+            };
+            self.th.limbo.push((ts, addr, size));
+        }
+        self.th.tx_allocs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_word_encoding() {
+        assert!(is_locked(locked_word(3)));
+        assert_eq!(owner_of(locked_word(3)), 3);
+        assert!(!is_locked(7 << 1));
+        assert_eq!(version_of(7 << 1), 7);
+        assert_eq!(version_of(0), 0);
+        assert!(!is_locked(0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Focused tests of abort causes, timestamp extension and statistics.
+
+use std::sync::Arc;
+use tm_alloc::AllocatorKind;
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{Abort, AbortCause, Stm, StmConfig};
+
+fn stack() -> (Sim, Arc<Stm>) {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let alloc = AllocatorKind::TbbMalloc.build(&sim);
+    let stm = Arc::new(Stm::new(&sim, alloc, StmConfig::default()));
+    (sim, stm)
+}
+
+#[test]
+fn write_conflicts_attributed_to_write_locked() {
+    let (sim, stm) = stack();
+    let hot = 0x8000_0000u64;
+    sim.run(4, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        for _ in 0..30 {
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                tx.write(ctx, hot, ctx.tid() as u64)?;
+                ctx.tick(300); // hold the stripe a while
+                Ok(())
+            });
+        }
+        stm.retire(th);
+    });
+    let s = stm.stats();
+    assert!(s.by_cause[AbortCause::WriteLocked as usize] > 0);
+    assert_eq!(s.commits, 120);
+}
+
+#[test]
+fn readers_of_held_stripes_abort_as_read_locked() {
+    let (sim, stm) = stack();
+    let hot = 0x8100_0000u64;
+    sim.run(2, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        if ctx.tid() == 0 {
+            for _ in 0..20 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    tx.write(ctx, hot, 1)?;
+                    ctx.tick(5_000);
+                    Ok(())
+                });
+            }
+        } else {
+            for _ in 0..100 {
+                stm.txn(ctx, &mut th, |tx, ctx| tx.read(ctx, hot).map(|_| ()));
+                ctx.tick(700);
+            }
+        }
+        stm.retire(th);
+    });
+    assert!(stm.stats().by_cause[AbortCause::ReadLocked as usize] > 0);
+}
+
+#[test]
+fn extensions_are_counted() {
+    // A long reader overlapping committing writers must extend.
+    let (sim, stm) = stack();
+    let cells: Vec<u64> = (0..8).map(|i| 0x8200_0000u64 + i * 4096).collect();
+    let cells2 = cells.clone();
+    sim.run(2, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        if ctx.tid() == 0 {
+            // Writer: bump each cell in its own tx.
+            for round in 0..20u64 {
+                let cell = cells2[(round % 8) as usize];
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    tx.update(ctx, cell, |v| v + 1)
+                });
+                ctx.tick(2_000);
+            }
+        } else {
+            // Reader: slowly scan all cells in one tx, repeatedly.
+            for _ in 0..10 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let mut sum = 0;
+                    for &c in &cells2 {
+                        sum += tx.read(ctx, c)?;
+                        ctx.tick(1_500);
+                    }
+                    Ok(sum)
+                });
+            }
+        }
+        stm.retire(th);
+    });
+    assert!(
+        stm.stats().extensions > 0,
+        "slow scans over a moving clock must extend"
+    );
+}
+
+#[test]
+fn explicit_retry_reruns_body() {
+    let (sim, stm) = stack();
+    let addr = 0x8300_0000u64;
+    sim.run(1, |ctx| {
+        let mut th = stm.thread(0);
+        let mut tries = 0;
+        stm.txn(ctx, &mut th, |tx, ctx| {
+            tries += 1;
+            tx.write(ctx, addr, tries)?;
+            if tries < 4 {
+                return Err(Abort::Explicit);
+            }
+            Ok(())
+        });
+        stm.retire(th);
+    });
+    sim.with_state(|m| assert_eq!(m.read_u64(addr), 4));
+    assert_eq!(stm.stats().by_cause[AbortCause::Explicit as usize], 3);
+    assert_eq!(stm.stats().commits, 1);
+}
+
+#[test]
+fn reads_and_writes_counted() {
+    let (sim, stm) = stack();
+    sim.run(1, |ctx| {
+        let mut th = stm.thread(0);
+        stm.txn(ctx, &mut th, |tx, ctx| {
+            for i in 0..5u64 {
+                tx.read(ctx, 0x8400_0000 + i * 4096)?;
+            }
+            for i in 0..3u64 {
+                tx.write(ctx, 0x8500_0000 + i * 4096, i)?;
+            }
+            Ok(())
+        });
+        stm.retire(th);
+    });
+    let s = stm.stats();
+    assert_eq!(s.reads, 5);
+    assert_eq!(s.writes, 3);
+    assert_eq!(s.tx_mallocs, 0);
+}
+
+#[test]
+fn ort_wraparound_shares_locks() {
+    // Addresses exactly one ORT span apart (2^(20+5) bytes) collide: the
+    // STM must remain correct (they conflict, not corrupt).
+    let (sim, stm) = stack();
+    let a = 0x9000_0000u64;
+    let b = a + ((1u64 << 20) << 5);
+    assert_eq!(stm.lock_addr_for(a), stm.lock_addr_for(b));
+    sim.run(2, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        let target = if ctx.tid() == 0 { a } else { b };
+        for _ in 0..40 {
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                tx.update(ctx, target, |v| v + 1)
+            });
+        }
+        stm.retire(th);
+    });
+    sim.with_state(|m| {
+        assert_eq!(m.read_u64(a), 40);
+        assert_eq!(m.read_u64(b), 40);
+    });
+}

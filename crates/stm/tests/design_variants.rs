@@ -1,0 +1,300 @@
+//! Tests of the STM design extensions: TL2-style commit-time locking and
+//! the multiplicative ORT hash. Both must preserve full transactional
+//! semantics; the hash must kill the §5.2 arena-aliasing false conflicts.
+
+use std::sync::Arc;
+use tm_alloc::AllocatorKind;
+use tm_sim::{MachineConfig, Sim};
+use tm_stm::{LockDesign, OrtHash, Stm, StmConfig};
+
+fn stack(cfg: StmConfig) -> (Sim, Arc<Stm>) {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let alloc = AllocatorKind::TbbMalloc.build(&sim);
+    let stm = Arc::new(Stm::new(&sim, alloc, cfg));
+    (sim, stm)
+}
+
+fn ctl() -> StmConfig {
+    StmConfig {
+        design: LockDesign::Ctl,
+        ..StmConfig::default()
+    }
+}
+
+#[test]
+fn ctl_counter_is_exact() {
+    let (sim, stm) = stack(ctl());
+    let addr = 0x5000_0000u64;
+    sim.run(8, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        for _ in 0..50 {
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                let v = tx.read(ctx, addr)?;
+                ctx.tick(20);
+                tx.write(ctx, addr, v + 1)
+            });
+        }
+        stm.retire(th);
+    });
+    sim.with_state(|m| assert_eq!(m.read_u64(addr), 400));
+    assert!(stm.stats().aborts() > 0);
+}
+
+#[test]
+fn ctl_transfer_atomicity() {
+    let (sim, stm) = stack(ctl());
+    let a = 0x6000_0000u64;
+    let b = 0x6000_8000u64;
+    sim.with_state(|m| {
+        m.write_u64(a, 500);
+        m.write_u64(b, 500);
+    });
+    sim.run(6, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        for i in 0..30u64 {
+            let d = i % 5 + 1;
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                let va = tx.read(ctx, a)?;
+                let vb = tx.read(ctx, b)?;
+                tx.write(ctx, a, va.wrapping_sub(d))?;
+                tx.write(ctx, b, vb + d)
+            });
+        }
+        stm.retire(th);
+    });
+    sim.with_state(|m| assert_eq!(m.read_u64(a).wrapping_add(m.read_u64(b)), 1000));
+}
+
+#[test]
+fn ctl_read_own_write_and_buffering() {
+    let (sim, stm) = stack(ctl());
+    let addr = 0x7000_0000u64;
+    sim.run(1, |ctx| {
+        let mut th = stm.thread(0);
+        stm.txn(ctx, &mut th, |tx, ctx| {
+            tx.write(ctx, addr, 5)?;
+            assert_eq!(tx.read(ctx, addr)?, 5);
+            // Under CTL nothing is locked yet: memory still holds 0.
+            assert_eq!(ctx.read_u64(addr), 0, "CTL must buffer until commit");
+            Ok(())
+        });
+        stm.retire(th);
+    });
+    sim.with_state(|m| assert_eq!(m.read_u64(addr), 5));
+}
+
+#[test]
+fn ctl_holds_locks_only_during_commit() {
+    // A long CTL transaction writing a hot cell must not block a reader
+    // mid-flight (ETL would): the reader only conflicts during the short
+    // commit window, so at 2 threads the reader's abort count stays low.
+    let (sim, stm) = stack(ctl());
+    let hot = 0x7100_0000u64;
+    sim.run(2, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        if ctx.tid() == 0 {
+            for _ in 0..10 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    tx.write(ctx, hot, 1)?;
+                    ctx.tick(20_000); // long tail after the write
+                    Ok(())
+                });
+            }
+        } else {
+            for _ in 0..200 {
+                stm.txn(ctx, &mut th, |tx, ctx| tx.read(ctx, hot).map(|_| ()));
+                ctx.tick(500);
+            }
+        }
+        stm.retire(th);
+    });
+    let s = stm.stats();
+    // ETL would lock `hot` for ~20k cycles per writer txn, aborting most
+    // of the reader's attempts; CTL keeps the abort count tiny.
+    assert!(
+        s.aborts() < 40,
+        "CTL readers should rarely abort (got {})",
+        s.aborts()
+    );
+}
+
+#[test]
+fn etl_vs_ctl_same_results_different_timing() {
+    let run = |design| {
+        let (sim, stm) = stack(StmConfig {
+            design,
+            ..StmConfig::default()
+        });
+        let base = 0x7200_0000u64;
+        let r = sim.run(4, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for i in 0..40u64 {
+                let cell = base + (i % 4) * 4096;
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, cell)?;
+                    tx.write(ctx, cell, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        let total: u64 =
+            sim.with_state(|m| (0..4).map(|c| m.read_u64(base + c * 4096)).sum());
+        (total, r.cycles)
+    };
+    let (etl_total, etl_cycles) = run(LockDesign::Etl);
+    let (ctl_total, ctl_cycles) = run(LockDesign::Ctl);
+    assert_eq!(etl_total, 160);
+    assert_eq!(ctl_total, 160);
+    assert_ne!(etl_cycles, ctl_cycles, "designs should not be timing-identical");
+}
+
+#[test]
+fn mix_hash_kills_arena_aliasing() {
+    // §5.2: 64 MB-apart addresses alias under shift-mod but not under the
+    // multiplicative hash.
+    let (_sim, shiftmod) = stack(StmConfig::default());
+    let (_sim2, mixed) = stack(StmConfig {
+        ort_hash: OrtHash::Mix,
+        ..StmConfig::default()
+    });
+    let a = 0x1800_0000u64;
+    let b = 0x1c00_0000u64;
+    assert_eq!(shiftmod.lock_addr_for(a), shiftmod.lock_addr_for(b));
+    assert_ne!(mixed.lock_addr_for(a), mixed.lock_addr_for(b));
+    // Same-stripe addresses still share a lock under both.
+    assert_eq!(mixed.lock_addr_for(a), mixed.lock_addr_for(a + 16));
+}
+
+#[test]
+fn mix_hash_stm_still_correct() {
+    let (sim, stm) = stack(StmConfig {
+        ort_hash: OrtHash::Mix,
+        ..StmConfig::default()
+    });
+    let addr = 0x7300_0000u64;
+    sim.run(4, |ctx| {
+        let mut th = stm.thread(ctx.tid());
+        for _ in 0..40 {
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                let v = tx.read(ctx, addr)?;
+                tx.write(ctx, addr, v + 1)
+            });
+        }
+        stm.retire(th);
+    });
+    sim.with_state(|m| assert_eq!(m.read_u64(addr), 160));
+}
+
+mod write_through {
+    use super::*;
+    use tm_stm::{Abort, WriteMode};
+
+    fn wt() -> StmConfig {
+        StmConfig {
+            write_mode: WriteMode::Through,
+            ..StmConfig::default()
+        }
+    }
+
+    #[test]
+    fn counter_is_exact() {
+        let (sim, stm) = stack(wt());
+        let addr = 0xa000_0000u64;
+        sim.run(8, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..50 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    ctx.tick(20);
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 400));
+    }
+
+    #[test]
+    fn writes_hit_memory_immediately_and_roll_back() {
+        let (sim, stm) = stack(wt());
+        let addr = 0xa100_0000u64;
+        sim.run(1, |ctx| {
+            let mut th = stm.thread(0);
+            let mut first = true;
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                tx.write(ctx, addr, 77)?;
+                // Write-through: the value is already in memory.
+                assert_eq!(ctx.read_u64(addr), 77);
+                assert_eq!(tx.read(ctx, addr)?, 77, "read-own-write");
+                if first {
+                    first = false;
+                    return Err(Abort::Explicit);
+                }
+                Ok(())
+            });
+            stm.retire(th);
+        });
+        // The abort restored the pre-image; the retry committed 77.
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 77));
+        assert_eq!(stm.stats().commits, 1);
+    }
+
+    #[test]
+    fn multi_write_undo_restores_first_preimage() {
+        let (sim, stm) = stack(wt());
+        let addr = 0xa200_0000u64;
+        sim.with_state(|m| m.write_u64(addr, 5));
+        sim.run(1, |ctx| {
+            let mut th = stm.thread(0);
+            let mut aborted = false;
+            stm.txn(ctx, &mut th, |tx, ctx| {
+                tx.write(ctx, addr, 6)?;
+                tx.write(ctx, addr, 7)?;
+                if !aborted {
+                    aborted = true;
+                    // Mid-transaction state check then abort.
+                    assert_eq!(ctx.read_u64(addr), 7);
+                    return Err(Abort::Explicit);
+                }
+                Ok(())
+            });
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 7));
+    }
+
+    #[test]
+    fn transfer_atomicity_under_contention() {
+        let (sim, stm) = stack(wt());
+        let a = 0xa300_0000u64;
+        let b = 0xa300_8000u64;
+        sim.with_state(|m| {
+            m.write_u64(a, 400);
+            m.write_u64(b, 400);
+        });
+        sim.run(6, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for i in 0..25u64 {
+                let d = i % 4 + 1;
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let va = tx.read(ctx, a)?;
+                    let vb = tx.read(ctx, b)?;
+                    tx.write(ctx, a, va.wrapping_sub(d))?;
+                    tx.write(ctx, b, vb + d)
+                });
+            }
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(a).wrapping_add(m.read_u64(b)), 800));
+    }
+
+    #[test]
+    #[should_panic(expected = "write-through requires encounter-time locking")]
+    fn rejects_ctl_combination() {
+        let _ = stack(StmConfig {
+            write_mode: WriteMode::Through,
+            design: LockDesign::Ctl,
+            ..StmConfig::default()
+        });
+    }
+}

@@ -1,0 +1,67 @@
+//! Application-level correctness across the allocator axis: every STAMP
+//! port runs, terminates, verifies its invariants, and behaves
+//! deterministically under every allocator model. (`run_app` internally
+//! invokes each app's `verify`.)
+
+use tm_alloc::AllocatorKind;
+use tm_stamp::runner::{run_kind, StampOpts};
+use tm_stamp::AppKind;
+
+#[test]
+fn every_app_on_every_allocator() {
+    for app in AppKind::ALL {
+        for kind in AllocatorKind::ALL {
+            let r = run_kind(app, kind, 2, &StampOpts::default(), 1);
+            assert!(
+                r.par_seconds > 0.0,
+                "{}/{:?}: empty parallel phase",
+                app.name(),
+                kind
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_scaling_preserves_invariants() {
+    // verify() runs inside run_kind; crossing thread counts is the stress.
+    for app in [AppKind::Intruder, AppKind::Yada, AppKind::Vacation] {
+        for threads in [1, 3, 8] {
+            run_kind(app, AllocatorKind::TcMalloc, threads, &StampOpts::default(), 1);
+        }
+    }
+}
+
+#[test]
+fn object_cache_does_not_break_apps() {
+    let opts = StampOpts {
+        object_cache: true,
+        ..StampOpts::default()
+    };
+    for app in [AppKind::Genome, AppKind::Intruder, AppKind::Vacation, AppKind::Yada] {
+        let r = run_kind(app, AllocatorKind::Glibc, 4, &opts, 1);
+        assert!(r.commits > 0, "{}: no commits with object cache", app.name());
+    }
+}
+
+#[test]
+fn shift_4_does_not_break_apps() {
+    let opts = StampOpts {
+        shift: 4,
+        ..StampOpts::default()
+    };
+    for app in [AppKind::Genome, AppKind::Yada] {
+        let r = run_kind(app, AllocatorKind::Hoard, 4, &opts, 1);
+        assert!(r.commits > 0);
+    }
+}
+
+#[test]
+fn stamp_runs_are_deterministic() {
+    for app in [AppKind::Bayes, AppKind::Labyrinth] {
+        let a = run_kind(app, AllocatorKind::Hoard, 4, &StampOpts::default(), 1);
+        let b = run_kind(app, AllocatorKind::Hoard, 4, &StampOpts::default(), 1);
+        assert_eq!(a.par_seconds, b.par_seconds, "{}", app.name());
+        assert_eq!(a.commits, b.commits);
+    }
+}
