@@ -112,12 +112,7 @@ impl HoardAllocator {
 
     /// Fetch a superblock for `class` into `heap` — from the global heap's
     /// spares or a fresh 64 KB-aligned OS region. Caller holds `heap.mx`.
-    fn new_superblock(
-        &self,
-        ctx: &mut Ctx<'_>,
-        heap_idx: usize,
-        class: usize,
-    ) -> Arc<Superblock> {
+    fn new_superblock(&self, ctx: &mut Ctx<'_>, heap_idx: usize, class: usize) -> Arc<Superblock> {
         // Lock order: heap.mx (held) → global_mx.
         ctx.lock(self.global_mx);
         let spare = self.global.lock().spares.pop();
@@ -147,7 +142,9 @@ impl HoardAllocator {
                     owner_heap: heap_idx,
                 }),
             });
-            self.registry.write().insert(base >> SB_SHIFT, Arc::clone(&sb));
+            self.registry
+                .write()
+                .insert(base >> SB_SHIFT, Arc::clone(&sb));
             sb
         };
         self.heaps[heap_idx]
@@ -287,7 +284,7 @@ impl Allocator for HoardAllocator {
             let tid = ctx.tid();
             let hit = {
                 let mut lc = self.local[tid].lock();
-                let fl = lc.lists.entry(class).or_insert_with(FreeList::new);
+                let fl = lc.lists.entry(class).or_default();
                 let copy = *fl;
                 drop(lc);
                 let mut copy2 = copy;
@@ -304,11 +301,7 @@ impl Allocator for HoardAllocator {
             // subsequent pops come back in ascending address order, like
             // the carve order itself.
             let ret = batch.remove(0);
-            let mut fl = *self.local[tid]
-                .lock()
-                .lists
-                .entry(class)
-                .or_insert_with(FreeList::new);
+            let mut fl = *self.local[tid].lock().lists.entry(class).or_default();
             for b in batch.into_iter().rev() {
                 fl.push(ctx, b);
             }
@@ -340,11 +333,7 @@ impl Allocator for HoardAllocator {
             // Hoard sends blocks back to their origin superblock) — the
             // contention source behind Intruder's privatization pattern,
             // where every fragment was allocated by the init thread.
-            let mut fl = *self.local[tid]
-                .lock()
-                .lists
-                .entry(class)
-                .or_insert_with(FreeList::new);
+            let mut fl = *self.local[tid].lock().lists.entry(class).or_default();
             fl.push(ctx, addr);
             let over = fl.len() > LOCAL_CAP;
             self.local[tid].lock().lists.insert(class, fl);

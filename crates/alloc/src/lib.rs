@@ -35,8 +35,8 @@ mod tc;
 
 pub use classes::SizeClasses;
 pub use glibc::GlibcAllocator;
-pub use serial::SerialLockAllocator;
 pub use hoard::HoardAllocator;
+pub use serial::SerialLockAllocator;
 pub use tbb::TbbAllocator;
 pub use tc::TcAllocator;
 

@@ -6,10 +6,15 @@
 //! transactions). [`AllocProfiler`] wraps any [`Allocator`] and keeps those
 //! histograms; the wrapped allocator still performs the real placement, so
 //! profiling runs produce the same layout as measurement runs.
+//!
+//! Counting uses `tm_obs`'s per-thread sharded slots: the recording path is
+//! a handful of relaxed adds on the calling thread's own cache-line-padded
+//! shard — no global lock, so profiling adds no host-side serialization to
+//! the allocation hot path (and no false sharing between recording
+//! threads). The per-thread *current region* marker lives in slot 0 of the
+//! same shard.
 
-use std::sync::atomic::{AtomicU8, Ordering};
-
-use parking_lot::Mutex;
+use tm_obs::{EventKind, ShardedSlots};
 use tm_sim::Ctx;
 
 use crate::Allocator;
@@ -60,40 +65,98 @@ pub struct RegionStats {
     pub bytes: u64,
 }
 
+impl RegionStats {
+    /// Report section with every counter, for `RunReport` emission.
+    pub fn section(&self) -> tm_obs::Section {
+        tm_obs::Section::from_schema(self)
+    }
+}
+
+impl tm_obs::SlotSchema for RegionStats {
+    const WIDTH: usize = REGION_WIDTH;
+
+    fn slot_names() -> &'static [&'static str] {
+        &[
+            "alloc_le_16",
+            "alloc_le_32",
+            "alloc_le_48",
+            "alloc_le_64",
+            "alloc_le_96",
+            "alloc_le_128",
+            "alloc_le_256",
+            "alloc_gt_256",
+            "mallocs",
+            "frees",
+            "bytes",
+        ]
+    }
+
+    fn store(&self, slots: &mut [u64]) {
+        slots[..8].copy_from_slice(&self.by_bucket);
+        slots[8] = self.mallocs;
+        slots[9] = self.frees;
+        slots[10] = self.bytes;
+    }
+
+    fn load(slots: &[u64]) -> Self {
+        let mut by_bucket = [0u64; 8];
+        by_bucket.copy_from_slice(&slots[..8]);
+        RegionStats {
+            by_bucket,
+            mallocs: slots[8],
+            frees: slots[9],
+            bytes: slots[10],
+        }
+    }
+}
+
+/// Slots per region in the profiler's shard row (see [`RegionStats`]'s
+/// `SlotSchema`).
+const REGION_WIDTH: usize = 11;
+/// Shard-row layout: slot 0 holds the thread's current region; then one
+/// `RegionStats` row per region.
+const SLOT_REGION: usize = 0;
+const REGION_BASE: usize = 1;
+const ROW_WIDTH: usize = REGION_BASE + 3 * REGION_WIDTH;
+
 /// An [`Allocator`] wrapper recording per-region allocation histograms.
 pub struct AllocProfiler<A: Allocator> {
     inner: A,
-    /// Current region per thread (set by the harness around phases and by
-    /// the STM around transactions).
-    region: Vec<AtomicU8>,
-    stats: Mutex<[RegionStats; 3]>,
+    /// Per-thread padded shard: current region marker + the three region
+    /// histograms this thread accumulated. Merged (region-wise) at
+    /// [`AllocProfiler::snapshot`].
+    slots: ShardedSlots,
 }
 
 impl<A: Allocator> AllocProfiler<A> {
     pub fn new(inner: A, max_threads: usize) -> Self {
-        AllocProfiler {
-            inner,
-            region: (0..max_threads).map(|_| AtomicU8::new(Region::Seq as u8)).collect(),
-            stats: Mutex::new([RegionStats::default(); 3]),
-        }
+        let slots = ShardedSlots::new(max_threads, ROW_WIDTH);
+        // Region::Seq is 0, so freshly-zeroed slots already encode it.
+        AllocProfiler { inner, slots }
     }
 
     /// Set the region allocations by `tid` are attributed to from now on.
     pub fn set_region(&self, tid: usize, r: Region) {
-        self.region[tid].store(r as u8, Ordering::Relaxed);
+        self.slots.set(tid, SLOT_REGION, r as u64);
     }
 
     pub fn current_region(&self, tid: usize) -> Region {
-        match self.region[tid].load(Ordering::Relaxed) {
+        match self.slots.get(tid, SLOT_REGION) {
             0 => Region::Seq,
             1 => Region::Par,
             _ => Region::Tx,
         }
     }
 
-    /// Snapshot of the three region histograms, indexed by `Region as usize`.
+    /// Snapshot of the three region histograms, indexed by `Region as
+    /// usize`, merged over all threads. Exact once recording threads have
+    /// quiesced (e.g. after `Sim::run` returns).
     pub fn snapshot(&self) -> [RegionStats; 3] {
-        *self.stats.lock()
+        let merged = self.slots.merged();
+        Region::ALL.map(|r| {
+            let base = REGION_BASE + r as usize * REGION_WIDTH;
+            <RegionStats as tm_obs::SlotSchema>::load(&merged[base..base + REGION_WIDTH])
+        })
     }
 
     pub fn inner(&self) -> &A {
@@ -103,19 +166,31 @@ impl<A: Allocator> AllocProfiler<A> {
 
 impl<A: Allocator> Allocator for AllocProfiler<A> {
     fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
-        let r = self.current_region(ctx.tid()) as usize;
-        {
-            let mut s = self.stats.lock();
-            s[r].by_bucket[bucket_of(size)] += 1;
-            s[r].mallocs += 1;
-            s[r].bytes += size;
-        }
-        self.inner.malloc(ctx, size)
+        let tid = ctx.tid();
+        let r = self.current_region(tid);
+        let base = REGION_BASE + r as usize * REGION_WIDTH;
+        self.slots.add(tid, base + bucket_of(size), 1);
+        self.slots.add(tid, base + 8, 1); // mallocs
+        self.slots.add(tid, base + 10, size); // bytes
+        let addr = self.inner.malloc(ctx, size);
+        ctx.trace_event(
+            EventKind::Malloc,
+            addr,
+            tm_obs::trace::pack_region_size(r as u64, size),
+        );
+        addr
     }
 
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
-        let r = self.current_region(ctx.tid()) as usize;
-        self.stats.lock()[r].frees += 1;
+        let tid = ctx.tid();
+        let r = self.current_region(tid);
+        let base = REGION_BASE + r as usize * REGION_WIDTH;
+        self.slots.add(tid, base + 9, 1); // frees
+        ctx.trace_event(
+            EventKind::Free,
+            addr,
+            tm_obs::trace::pack_region_size(r as u64, 0),
+        );
         self.inner.free(ctx, addr)
     }
 

@@ -76,7 +76,9 @@ impl TbbAllocator {
         let cores = sim.config().cores;
         TbbAllocator {
             classes: SizeClasses::tbb(BIG - 64),
-            threads: (0..cores).map(|_| Mutex::new(TbbThread::default())).collect(),
+            threads: (0..cores)
+                .map(|_| Mutex::new(TbbThread::default()))
+                .collect(),
             global_mx: sim.new_mutex(),
             global: Mutex::new(GlobalInner {
                 spare_sbs: Vec::new(),
@@ -128,7 +130,9 @@ impl TbbAllocator {
             }),
             bump: Mutex::new((base, base + SB_SIZE)),
         });
-        self.registry.write().insert(base >> SB_SHIFT, Arc::clone(&sb));
+        self.registry
+            .write()
+            .insert(base >> SB_SHIFT, Arc::clone(&sb));
         sb
     }
 
@@ -164,7 +168,12 @@ impl Allocator for TbbAllocator {
             drop(t);
             let mut copy2 = copy;
             let b = copy2.pop(ctx);
-            self.threads[tid].lock().bins.get_mut(&class).unwrap().private = copy2;
+            self.threads[tid]
+                .lock()
+                .bins
+                .get_mut(&class)
+                .unwrap()
+                .private = copy2;
             b
         };
         if let Some(b) = hit {
@@ -187,13 +196,22 @@ impl Allocator for TbbAllocator {
                 let mut private = self.threads[tid].lock().bins.get(&class).unwrap().private;
                 let moved = public.transfer(ctx, &mut private, u64::MAX);
                 sb.shared.lock().public = public;
-                self.threads[tid].lock().bins.get_mut(&class).unwrap().private = private;
+                self.threads[tid]
+                    .lock()
+                    .bins
+                    .get_mut(&class)
+                    .unwrap()
+                    .private = private;
                 ctx.unlock(sb.public_mx);
                 if moved > 0 {
-                    let mut private =
-                        self.threads[tid].lock().bins.get(&class).unwrap().private;
+                    let mut private = self.threads[tid].lock().bins.get(&class).unwrap().private;
                     let b = private.pop(ctx).expect("just transferred");
-                    self.threads[tid].lock().bins.get_mut(&class).unwrap().private = private;
+                    self.threads[tid]
+                        .lock()
+                        .bins
+                        .get_mut(&class)
+                        .unwrap()
+                        .private = private;
                     return b;
                 }
             }
@@ -247,7 +265,12 @@ impl Allocator for TbbAllocator {
                 bin.private
             };
             private.push(ctx, addr);
-            self.threads[tid].lock().bins.get_mut(&sb.class).unwrap().private = private;
+            self.threads[tid]
+                .lock()
+                .bins
+                .get_mut(&sb.class)
+                .unwrap()
+                .private = private;
         } else {
             // Remote free: the owning superblock's public list, spinlocked.
             ctx.lock(sb.public_mx);

@@ -40,7 +40,15 @@ fn exhibits(c: &mut Criterion) {
         b.iter(|| tiny_synth(StructureKind::LinkedList, AllocatorKind::TbbMalloc, 4, 4))
     });
     c.bench_function("fig1_7_8_table6/stamp_point", |b| {
-        b.iter(|| run_kind(AppKind::Vacation, AllocatorKind::TcMalloc, 4, &StampOpts::default(), 1))
+        b.iter(|| {
+            run_kind(
+                AppKind::Vacation,
+                AllocatorKind::TcMalloc,
+                4,
+                &StampOpts::default(),
+                1,
+            )
+        })
     });
     c.bench_function("table5/profile_point", |b| {
         b.iter(|| {
@@ -54,7 +62,10 @@ fn exhibits(c: &mut Criterion) {
                 AppKind::Yada,
                 AllocatorKind::Glibc,
                 4,
-                &StampOpts { object_cache: true, ..StampOpts::default() },
+                &StampOpts {
+                    object_cache: true,
+                    ..StampOpts::default()
+                },
                 1,
             )
         })

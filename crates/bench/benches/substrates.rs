@@ -60,9 +60,7 @@ fn bench_stm(c: &mut Criterion) {
             sim.run(1, |ctx| {
                 let mut th = stm.thread(0);
                 for _ in 0..256 {
-                    stm.txn(ctx, &mut th, |tx, ctx| {
-                        tx.update(ctx, 0x3000, |v| v + 1)
-                    });
+                    stm.txn(ctx, &mut th, |tx, ctx| tx.update(ctx, 0x3000, |v| v + 1));
                 }
                 stm.retire(th);
             })

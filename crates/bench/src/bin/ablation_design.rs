@@ -21,7 +21,11 @@ fn main() {
             format!("RBTree/{}", kind.name()),
             format!("{:.0}", etl.throughput),
             format!("{:.0}", ctl.throughput),
-            format!("{:.1}% / {:.1}%", etl.abort_ratio * 100.0, ctl.abort_ratio * 100.0),
+            format!(
+                "{:.1}% / {:.1}%",
+                etl.abort_ratio * 100.0,
+                ctl.abort_ratio * 100.0
+            ),
         ]);
     }
     for kind in AllocatorKind::ALL {
@@ -33,31 +37,57 @@ fn main() {
             format!("RBTree-WT/{}", kind.name()),
             format!("{:.0}", wb.throughput),
             format!("{:.0}", wt.throughput),
-            format!("{:.1}% / {:.1}%", wb.abort_ratio * 100.0, wt.abort_ratio * 100.0),
+            format!(
+                "{:.1}% / {:.1}%",
+                wb.abort_ratio * 100.0,
+                wt.abort_ratio * 100.0
+            ),
         ]);
     }
     for kind in AllocatorKind::ALL {
-        let etl = run_kind(AppKind::Yada, kind, 8, &StampOpts::default(), stamp_scale(AppKind::Yada));
+        let etl = run_kind(
+            AppKind::Yada,
+            kind,
+            8,
+            &StampOpts::default(),
+            stamp_scale(AppKind::Yada),
+        );
         let ctl = run_kind(
             AppKind::Yada,
             kind,
             8,
-            &StampOpts { design: LockDesign::Ctl, ..StampOpts::default() },
+            &StampOpts {
+                design: LockDesign::Ctl,
+                ..StampOpts::default()
+            },
             stamp_scale(AppKind::Yada),
         );
         rows.push(vec![
             format!("Yada/{}", kind.name()),
             format!("{:.4}s", etl.par_seconds),
             format!("{:.4}s", ctl.par_seconds),
-            format!("{:.1}% / {:.1}%", etl.abort_ratio * 100.0, ctl.abort_ratio * 100.0),
+            format!(
+                "{:.1}% / {:.1}%",
+                etl.abort_ratio * 100.0,
+                ctl.abort_ratio * 100.0
+            ),
         ]);
     }
+    let header = [
+        "workload/allocator",
+        "base (ETL-WB)",
+        "variant",
+        "aborts base/var",
+    ];
     let body = render_table(
         "Design ablation: ETL-WB vs CTL (and vs ETL-WT) across allocators",
-        &["workload/allocator", "base (ETL-WB)", "variant", "aborts base/var"],
+        &header,
         &rows,
     );
-    tm_bench::emit("ablation_design", &body);
+    let report = tm_bench::RunReport::new("ablation_design", "ablation")
+        .meta("scale", tm_bench::scale())
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("The allocator ranking is expected to persist across designs —");
     println!("the paper's conclusion is not an artifact of ETL.");
 }

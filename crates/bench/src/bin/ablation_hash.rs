@@ -23,16 +23,34 @@ fn main() {
             kind.name().into(),
             format!("{:.0}", base.throughput),
             format!("{:.0}", mixed.throughput),
-            format!("{:+.2}%", (mixed.throughput / base.throughput - 1.0) * 100.0),
-            format!("{:.3}% -> {:.3}%", base.abort_ratio * 100.0, mixed.abort_ratio * 100.0),
+            format!(
+                "{:+.2}%",
+                (mixed.throughput / base.throughput - 1.0) * 100.0
+            ),
+            format!(
+                "{:.3}% -> {:.3}%",
+                base.abort_ratio * 100.0,
+                mixed.abort_ratio * 100.0
+            ),
         ]);
     }
+    let header = [
+        "Allocator",
+        "tx/s (shift-mod)",
+        "tx/s (mix)",
+        "gain",
+        "aborts",
+    ];
     let body = render_table(
         "Hash ablation: HashSet, 8 threads, shift-mod vs multiplicative ORT hash",
-        &["Allocator", "tx/s (shift-mod)", "tx/s (mix)", "gain", "aborts"],
+        &header,
         &rows,
     );
-    tm_bench::emit("ablation_hash", &body);
+    let report = tm_bench::RunReport::new("ablation_hash", "ablation")
+        .meta("scale", tm_bench::scale())
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Expected (abort column): only Glibc's abort ratio drops — its");
     println!("64 MB-arena aliasing is what the mix hash removes. Throughput");
     println!("shifts are dominated by the hash spreading ORT accesses over");

@@ -26,12 +26,23 @@ fn main() {
             ]);
         }
     }
+    let header = [
+        "workload/allocator",
+        "xeon tx/s",
+        "xeon ab",
+        "modern tx/s",
+        "modern ab",
+    ];
     let body = render_table(
         "Machine ablation: Xeon E5405 model vs modern 8-core model (8 threads)",
-        &["workload/allocator", "xeon tx/s", "xeon ab", "modern tx/s", "modern ab"],
+        &header,
         &rows,
     );
-    tm_bench::emit("ablation_machine", &body);
+    let report = tm_bench::RunReport::new("ablation_machine", "ablation")
+        .meta("scale", tm_bench::scale())
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("The abort-rate ordering (the ORT interaction) is machine-");
     println!("independent; only the absolute throughput scale moves — the");
     println!("paper's reporting recommendation stands on newer hardware.");

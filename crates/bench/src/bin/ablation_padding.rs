@@ -23,12 +23,17 @@ fn main() {
             format!("{:+.2}%", (times[0] / times[1] - 1.0) * 100.0),
         ]);
     }
+    let header = ["Allocator", "unpadded", "padded", "padding gain"];
     let body = render_table(
         "Padding ablation: Labyrinth router state, 8 threads (virtual ms)",
-        &["Allocator", "unpadded", "padded", "padding gain"],
+        &header,
         &rows,
     );
-    tm_bench::emit("ablation_padding", &body);
+    let report = tm_bench::RunReport::new("ablation_padding", "ablation")
+        .meta("scale", scale())
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper: padding the shared structures fixed Hoard's Labyrinth");
     println!("anomaly; here the gain shows wherever the allocator packs the");
     println!("per-thread state into shared cache lines.");

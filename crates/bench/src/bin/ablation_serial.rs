@@ -49,7 +49,10 @@ fn main() {
         "threads",
         &series,
     );
-    tm_bench::emit("ablation_serial", &body);
+    let report = tm_bench::RunReport::new("ablation_serial", "ablation")
+        .meta("block_size", 64)
+        .section("throughput", tm_bench::series_section("threads", &series));
+    tm_bench::emit_report(&report, &body);
     println!("Paper §3: the global-lock design must flatline (or regress)");
     println!("with threads while the multithreaded designs scale.");
 }

@@ -2,8 +2,8 @@
 //! (the paper sweeps only 4 vs 5; earlier work cited in §5.4 tunes shift).
 use tm_alloc::AllocatorKind;
 use tm_bench::synth_cfg;
-use tm_core::report::{render_series, Series};
 use tm_bench::synth_point;
+use tm_core::report::{render_series, Series};
 use tm_ds::StructureKind;
 
 fn main() {
@@ -15,14 +15,21 @@ fn main() {
                 (shift as f64, m.throughput)
             })
             .collect();
-        series.push(Series { label: kind.name().to_string(), points });
+        series.push(Series {
+            label: kind.name().to_string(),
+            points,
+        });
     }
     let body = render_series(
         "Shift ablation: linked list throughput vs stripe shift, 8 threads",
         "shift",
         &series,
     );
-    tm_bench::emit("ablation_shift", &body);
+    let report = tm_bench::RunReport::new("ablation_shift", "ablation")
+        .meta("scale", tm_bench::scale())
+        .meta("threads", 8)
+        .section("throughput", tm_bench::series_section("shift", &series));
+    tm_bench::emit_report(&report, &body);
     println!("Expected: Glibc peaks at shift 5 (32 B nodes, own stripes);");
     println!("16 B allocators peak at 4; everyone degrades at large shifts");
     println!("as stripes widen and false aborts swamp the table savings.");

@@ -11,7 +11,10 @@ use tm_stamp::AppKind;
 fn spread(app: AppKind, kind: AllocatorKind) -> (f64, f64, f64) {
     let times: Vec<f64> = (0..5u64)
         .map(|i| {
-            let opts = StampOpts { seed: 0x1000 + i * 7919, ..StampOpts::default() };
+            let opts = StampOpts {
+                seed: 0x1000 + i * 7919,
+                ..StampOpts::default()
+            };
             run_kind(app, kind, 8, &opts, 2).par_seconds
         })
         .collect();
@@ -35,12 +38,17 @@ fn main() {
             ]);
         }
     }
+    let header = ["app/allocator", "mean", "min", "max", "spread"];
     let body = render_table(
         "Variance study: par time over 5 input seeds, 8 threads",
-        &["app/allocator", "mean", "min", "max", "spread"],
+        &header,
         &rows,
     );
-    tm_bench::emit("ablation_variance", &body);
+    let report = tm_bench::RunReport::new("ablation_variance", "ablation")
+        .meta("seeds", 5)
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper §6: Bayes 'presents high variability, complicating its");
     println!("analysis' — its seed spread should far exceed Genome's.");
 }

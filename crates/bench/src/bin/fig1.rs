@@ -18,11 +18,16 @@ fn main() {
             ]);
         }
     }
+    let header = ["app", "allocator", "time (ms)", "aborts"];
     let body = render_table(
         "Figure 1: Intruder and Yada, 8 cores, Glibc vs Hoard (virtual ms)",
-        &["app", "allocator", "time (ms)", "aborts"],
+        &header,
         &rows,
     );
-    tm_bench::emit("fig1", &body);
+    let report = tm_bench::RunReport::new("fig1", "figure")
+        .meta("scale", tm_bench::scale())
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper shape: Glibc wins Intruder, Hoard wins Yada (vs Glibc).");
 }

@@ -30,7 +30,14 @@ fn main() {
         "block_size",
         &series,
     );
-    tm_bench::emit("fig3", &body);
+    let report = tm_bench::RunReport::new("fig3", "figure")
+        .meta("scale", scale())
+        .meta("threads", 8)
+        .section(
+            "throughput",
+            tm_bench::series_section("block_size", &series),
+        );
+    tm_bench::emit_report(&report, &body);
     println!("Paper shape: TCMalloc dips at 16 B; Hoard drops past 256 B to");
     println!("Glibc's level; TBB flat until ~8 KB then falls to the OS path.");
 }

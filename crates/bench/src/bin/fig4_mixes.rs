@@ -2,13 +2,15 @@
 //! (20 % updates) mixes but printed only the write-dominated results for
 //! space. This regenerates all three mixes for every structure.
 use tm_alloc::AllocatorKind;
+use tm_bench::synth_point;
 use tm_bench::{synth_cfg, SYNTH_THREADS};
 use tm_core::report::{render_series, Series};
-use tm_bench::synth_point;
 use tm_ds::StructureKind;
 
 fn main() {
     let mut out = String::new();
+    let mut report =
+        tm_bench::RunReport::new("fig4_mixes", "figure").meta("scale", tm_bench::scale());
     for update_pct in [0u32, 20, 60] {
         for s in StructureKind::ALL {
             let series: Vec<Series> = AllocatorKind::ALL
@@ -26,14 +28,22 @@ fn main() {
                 })
                 .collect();
             out.push_str(&render_series(
-                &format!("{} ({}% updates): committed tx/s vs cores", s.name(), update_pct),
+                &format!(
+                    "{} ({}% updates): committed tx/s vs cores",
+                    s.name(),
+                    update_pct
+                ),
                 "cores",
                 &series,
             ));
             out.push('\n');
+            report = report.section(
+                format!("{}-{}pct", s.name(), update_pct),
+                tm_bench::series_section("cores", &series),
+            );
         }
     }
-    tm_bench::emit("fig4_mixes", &out);
+    tm_bench::emit_report(&report, &out);
     println!("Paper §4: update-rate sensitivity — allocator effects shrink");
     println!("as the mix becomes read-dominated (fewer (de)allocations).");
 }

@@ -7,6 +7,7 @@ use tm_stamp::AppKind;
 
 fn main() {
     let mut out = String::new();
+    let mut report = tm_bench::RunReport::new("fig7", "figure").meta("scale", tm_bench::scale());
     for app in AppKind::FIG7 {
         let series: Vec<Series> = AllocatorKind::ALL
             .iter()
@@ -19,13 +20,17 @@ fn main() {
             })
             .collect();
         out.push_str(&render_series(
-            &format!("Figure 7 ({}): execution time (virtual ms) vs cores", app.name()),
+            &format!(
+                "Figure 7 ({}): execution time (virtual ms) vs cores",
+                app.name()
+            ),
             "cores",
             &series,
         ));
         out.push('\n');
+        report = report.section(app.name(), tm_bench::series_section("cores", &series));
     }
-    tm_bench::emit("fig7", &out);
+    tm_bench::emit_report(&report, &out);
     println!("Paper shape: TBB/TC generally best; Yada+Glibc stops scaling past");
     println!("4 threads; Hoard lags in Intruder (lock contention) and Labyrinth.");
 }

@@ -7,6 +7,7 @@ use tm_stamp::AppKind;
 
 fn main() {
     let mut out = String::new();
+    let mut report = tm_bench::RunReport::new("fig8", "figure").meta("scale", tm_bench::scale());
     for app in [AppKind::Genome, AppKind::Yada] {
         let series: Vec<Series> = AllocatorKind::ALL
             .iter()
@@ -27,8 +28,9 @@ fn main() {
             &series,
         ));
         out.push('\n');
+        report = report.section(app.name(), tm_bench::series_section("cores", &series));
     }
-    tm_bench::emit("fig8", &out);
+    tm_bench::emit_report(&report, &out);
     println!("Paper shape: Genome speedups diverge by allocator (Glibc's is an");
     println!("artifact of its bad 1-thread locality); Yada does not scale with");
     println!("Glibc but does with the thread-caching allocators.");

@@ -3,9 +3,27 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "fig1", "fig3", "fig4", "table3", "table4",
-        "fig6", "table5", "fig7", "table6", "fig8", "table7", "ablation_padding",
-        "ablation_hash", "ablation_design", "ablation_shift", "ablation_machine", "ablation_serial", "ablation_variance", "fig4_mixes",
+        "table1",
+        "table2",
+        "fig1",
+        "fig3",
+        "fig4",
+        "table3",
+        "table4",
+        "fig6",
+        "table5",
+        "fig7",
+        "table6",
+        "fig8",
+        "table7",
+        "ablation_padding",
+        "ablation_hash",
+        "ablation_design",
+        "ablation_shift",
+        "ablation_machine",
+        "ablation_serial",
+        "ablation_variance",
+        "fig4_mixes",
     ];
     for bin in bins {
         eprintln!("==> {bin}");

@@ -1,7 +1,7 @@
 //! Table 1: attribute summary of the four modelled allocators.
 use tm_alloc::AllocatorKind;
-use tm_core::report::render_table;
 use tm_core::build_stack;
+use tm_core::report::render_table;
 use tm_stm::StmConfig;
 
 fn main() {
@@ -19,10 +19,21 @@ fn main() {
             a.synchronization.to_string(),
         ]);
     }
+    let header = [
+        "Allocator",
+        "Models",
+        "Metadata",
+        "Min size",
+        "Fast path",
+        "Granularity",
+        "Synchronization",
+    ];
     let body = render_table(
         "Table 1: main attributes of the studied allocators (as modelled)",
-        &["Allocator", "Models", "Metadata", "Min size", "Fast path", "Granularity", "Synchronization"],
+        &header,
         &rows,
     );
-    tm_bench::emit("table1", &body);
+    let report = tm_bench::RunReport::new("table1", "table")
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
 }

@@ -1,8 +1,8 @@
 //! Table 3: best and worst allocators per synthetic structure.
 use tm_alloc::AllocatorKind;
+use tm_bench::synth_point;
 use tm_bench::{synth_cfg, SYNTH_THREADS};
 use tm_core::report::{best_worst, render_table};
-use tm_bench::synth_point;
 use tm_ds::StructureKind;
 
 fn main() {
@@ -33,11 +33,15 @@ fn main() {
             format!("{t}"),
         ]);
     }
+    let header = ["Structure", "Best", "Worst", "Perf. diff", "Threads"];
     let body = render_table(
         "Table 3: best/worst allocator per structure (write-dominated)",
-        &["Structure", "Best", "Worst", "Perf. diff", "Threads"],
+        &header,
         &rows,
     );
-    tm_bench::emit("table3", &body);
+    let report = tm_bench::RunReport::new("table3", "table")
+        .meta("scale", tm_bench::scale())
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper: list Glibc/TBB 13.1%@8t; hash Hoard/TC 18.5%@6t; rbtree TBB/Glibc 14.8%@8t.");
 }

@@ -24,15 +24,30 @@ fn main() {
             rows.push(row);
         }
     }
+    let header = [
+        "App",
+        "Region",
+        bucket_label(0),
+        bucket_label(1),
+        bucket_label(2),
+        bucket_label(3),
+        bucket_label(4),
+        bucket_label(5),
+        bucket_label(6),
+        bucket_label(7),
+        "#mallocs",
+        "#frees",
+        "bytes",
+    ];
     let body = render_table(
         "Table 5: allocations per size class and region (sequential run)",
-        &["App", "Region",
-          bucket_label(0), bucket_label(1), bucket_label(2), bucket_label(3),
-          bucket_label(4), bucket_label(5), bucket_label(6), bucket_label(7),
-          "#mallocs", "#frees", "bytes"],
+        &header,
         &rows,
     );
-    tm_bench::emit("table5", &body);
+    let report = tm_bench::RunReport::new("table5", "table")
+        .meta("scale", tm_bench::scale())
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper shape: Kmeans/SSCA2 allocate only in seq; Genome's tx region");
     println!("is pure 16 B; Intruder frees in par (privatization); Vacation and");
     println!("Yada have mallocs > frees; small blocks dominate everywhere.");

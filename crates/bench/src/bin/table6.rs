@@ -31,12 +31,16 @@ fn main() {
             format!("{at_threads}"),
         ]);
     }
+    let header = ["Application", "Best", "Worst", "Perf. diff", "Threads"];
     let body = render_table(
         "Table 6: best/worst allocator per STAMP application",
-        &["Application", "Best", "Worst", "Perf. diff", "Threads"],
+        &header,
         &rows,
     );
-    tm_bench::emit("table6", &body);
+    let report = tm_bench::RunReport::new("table6", "table")
+        .meta("scale", tm_bench::scale())
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper: Bayes Hoard/Glibc 47.6%; Genome TBB/Glibc 14.4%; Intruder");
     println!("TBB/Hoard 24.2%; Labyrinth TC/Hoard 9.6%; Vacation TC/Hoard 24.1%;");
     println!("Yada TC/Glibc 170.9%.");

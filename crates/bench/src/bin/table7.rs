@@ -7,7 +7,12 @@ use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
 
 fn main() {
-    let apps = [AppKind::Genome, AppKind::Intruder, AppKind::Vacation, AppKind::Yada];
+    let apps = [
+        AppKind::Genome,
+        AppKind::Intruder,
+        AppKind::Vacation,
+        AppKind::Yada,
+    ];
     let mut rows = Vec::new();
     for app in apps {
         let mut row = vec![app.name().to_string()];
@@ -17,7 +22,10 @@ fn main() {
                 app,
                 kind,
                 8,
-                &StampOpts { object_cache: true, ..StampOpts::default() },
+                &StampOpts {
+                    object_cache: true,
+                    ..StampOpts::default()
+                },
                 stamp_scale(app),
             );
             let gain = (base.par_seconds / opt.par_seconds - 1.0) * 100.0;
@@ -25,12 +33,17 @@ fn main() {
         }
         rows.push(row);
     }
+    let header = ["App", "Glibc", "Hoard", "TBBMalloc", "TCMalloc"];
     let body = render_table(
         "Table 7: gain from tx-local object caching (8 threads)",
-        &["App", "Glibc", "Hoard", "TBBMalloc", "TCMalloc"],
+        &header,
         &rows,
     );
-    tm_bench::emit("table7", &body);
+    let report = tm_bench::RunReport::new("table7", "table")
+        .meta("scale", tm_bench::scale())
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
     println!("Paper shape: large gain only for Yada+Glibc (38%); Hoard gains in");
     println!("Intruder; near-zero (sometimes negative) for TBB/TC, which already");
     println!("thread-cache.");

@@ -195,6 +195,42 @@ pub fn emit(name: &str, body: &str) {
     }
 }
 
+/// The shared exhibit sink: write the legacy text rendering to
+/// `results/<name>.txt` (byte-identical to what [`emit`] always produced)
+/// *and* the structured [`RunReport`] to `results/<name>.json`
+/// (`tm-run-report/v1` — see `tm_obs::report`). `tmstudy report`
+/// pretty-prints and diffs the JSON side.
+pub fn emit_report(report: &RunReport, body: &str) {
+    emit(&report.name, body);
+    let path = format!("results/{}.json", report.name);
+    if let Err(e) = std::fs::write(&path, report.to_json_string()) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("[saved {path}]");
+    }
+}
+
+pub use tm_obs::{RunReport, Section};
+
+/// [`Section`] from the series an exhibit already renders as text.
+pub fn series_section(x_label: &str, series: &[Series]) -> Section {
+    Section::Series {
+        x_label: x_label.to_string(),
+        lines: series
+            .iter()
+            .map(|s| (s.label.clone(), s.points.clone()))
+            .collect(),
+    }
+}
+
+/// [`Section`] from the header/rows an exhibit already renders as text.
+pub fn table_section(header: &[&str], rows: &[Vec<String>]) -> Section {
+    Section::Table {
+        header: header.iter().map(|h| h.to_string()).collect(),
+        rows: rows.to_vec(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

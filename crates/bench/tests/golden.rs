@@ -1,0 +1,105 @@
+//! Byte-stability of the exhibit sink.
+//!
+//! The `.txt` renderings are the repo's primary artifacts (EXPERIMENTS.md
+//! quotes them), so their bytes are pinned against golden files: any change
+//! to `render_table`/`render_series` formatting fails here and must be
+//! blessed on purpose (`GOLDEN_BLESS=1 cargo test -p tm-bench`). The JSON
+//! side must round-trip structurally.
+
+use tm_core::report::{render_series, render_table, Series};
+
+fn golden_table() -> (Vec<&'static str>, Vec<Vec<String>>, String) {
+    let header = vec!["Structure", "Best", "Worst", "Perf. diff"];
+    let rows = vec![
+        vec![
+            "LinkedList".into(),
+            "Glibc".into(),
+            "TBBMalloc".into(),
+            "13.10%".into(),
+        ],
+        vec![
+            "HashSet".into(),
+            "Hoard".into(),
+            "TCMalloc".into(),
+            "18.50%".into(),
+        ],
+    ];
+    let body = render_table("Golden: best/worst fixture", &header, &rows);
+    (header, rows, body)
+}
+
+fn golden_series() -> (Vec<Series>, String) {
+    let series = vec![
+        Series {
+            label: "Glibc".into(),
+            points: vec![(1.0, 1000.0), (2.0, 1900.0), (4.0, 3500.0)],
+        },
+        Series {
+            label: "Hoard".into(),
+            points: vec![(1.0, 900.0), (2.0, 1700.0), (4.0, 3600.0)],
+        },
+    ];
+    let body = render_series("Golden: sweep fixture", "cores", &series);
+    (series, body)
+}
+
+fn check_golden(path: &str, actual: &str) {
+    let full = format!("{}/tests/{path}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::write(&full, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&full)
+        .unwrap_or_else(|e| panic!("missing golden file {full} ({e}); run with GOLDEN_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "{path} drifted — exhibit .txt files would change; bless only if intended"
+    );
+}
+
+#[test]
+fn table_rendering_is_byte_stable() {
+    let (_, _, body) = golden_table();
+    check_golden("golden/table.txt", &body);
+}
+
+#[test]
+fn series_rendering_is_byte_stable() {
+    let (_, body) = golden_series();
+    check_golden("golden/series.txt", &body);
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let (header, rows, _) = golden_table();
+    let (series, _) = golden_series();
+    let report = tm_bench::RunReport::new("golden", "table")
+        .meta("scale", 1)
+        .meta("threads", 8)
+        .section("data", tm_bench::table_section(&header, &rows))
+        .section("sweep", tm_bench::series_section("cores", &series));
+    let parsed = tm_bench::RunReport::parse(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
+    assert!(report.diff(&parsed).is_none());
+}
+
+#[test]
+fn emit_report_writes_txt_and_json() {
+    // emit() writes relative to the cwd; run this one from a scratch dir.
+    let dir = std::env::temp_dir().join(format!("tm-bench-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let orig = std::env::current_dir().unwrap();
+    std::env::set_current_dir(&dir).unwrap();
+    let (header, rows, body) = golden_table();
+    let report = tm_bench::RunReport::new("golden_emit", "table")
+        .section("data", tm_bench::table_section(&header, &rows));
+    tm_bench::emit_report(&report, &body);
+    std::env::set_current_dir(orig).unwrap();
+
+    let txt = std::fs::read_to_string(dir.join("results/golden_emit.txt")).unwrap();
+    assert_eq!(txt, body, ".txt must be exactly the rendered body");
+    let json = std::fs::read_to_string(dir.join("results/golden_emit.json")).unwrap();
+    let parsed = tm_bench::RunReport::parse(&json).unwrap();
+    assert_eq!(parsed, report);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,6 +6,8 @@
 //! tmstudy threadtest --alloc hoard --size 512
 //! tmstudy profile --app intruder
 //! tmstudy machine
+//! tmstudy report results/fig4.json
+//! tmstudy report results/fig4.json old-results/fig4.json
 //! ```
 //!
 //! Every run is deterministic; flags map 1:1 onto the library types, so
@@ -35,6 +37,7 @@ fn main() {
         "threadtest" => threadtest(&flags),
         "profile" => profile(&flags),
         "machine" => machine(),
+        "report" => report(rest),
         _ => usage(),
     }
 }
@@ -48,8 +51,33 @@ fn usage() {
          [--shift S] [--ctl] [--mix-hash] [--object-cache]\n\
          threadtest: --alloc <a> [--size BYTES] [--threads N] [--pairs N]\n\
          profile:    --app <name> [--alloc <a>] [--scale S]\n\
+         report:     <run.json> — pretty-print; <a.json> <b.json> — diff\n\
          allocators: glibc hoard tbb tc"
     );
+}
+
+/// Pretty-print one `tm-run-report/v1` JSON file, or structurally diff two
+/// (exit code 1 when the reports differ, for scripting).
+fn report(args: &[String]) {
+    let load = |path: &str| -> tm_obs::RunReport {
+        let src =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        tm_obs::RunReport::parse(&src).unwrap_or_else(|e| panic!("{path} is not a run report: {e}"))
+    };
+    match args {
+        [one] => print!("{}", load(one).render()),
+        [a, b] => {
+            let (ra, rb) = (load(a), load(b));
+            match ra.diff(&rb) {
+                None => println!("reports are identical"),
+                Some(d) => {
+                    print!("{d}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -141,7 +169,11 @@ fn synth(flags: &HashMap<String, String>) {
     println!("virtual time : {:.6} s", m.seconds);
     println!("throughput   : {:.0} tx/s", m.throughput);
     println!("commits      : {}", m.commits);
-    println!("aborts       : {} ({:.2} %)", m.aborts, m.abort_ratio * 100.0);
+    println!(
+        "aborts       : {} ({:.2} %)",
+        m.aborts,
+        m.abort_ratio * 100.0
+    );
     println!("L1 miss      : {:.3} %", m.l1_miss * 100.0);
     println!("L2 miss      : {:.3} %", m.l2_miss * 100.0);
     println!("lock waits   : {} cycles", m.lock_wait_cycles);
@@ -164,13 +196,20 @@ fn stamp(flags: &HashMap<String, String>) {
     let scale = get(flags, "scale", 2u64);
     let threads = get(flags, "threads", 8usize);
     let a = make_app(app, scale, opts.seed);
-    println!("app: {} | alloc: {} | threads: {threads} | scale: {scale}\n",
-        app.name(), alloc_of(flags).name());
+    println!(
+        "app: {} | alloc: {} | threads: {threads} | scale: {scale}\n",
+        app.name(),
+        alloc_of(flags).name()
+    );
     let r = run_app(a.as_ref(), alloc_of(flags), threads, &opts);
     println!("seq time     : {:.6} s", r.seq_seconds);
     println!("par time     : {:.6} s", r.par_seconds);
     println!("commits      : {}", r.commits);
-    println!("aborts       : {} ({:.2} %)", r.aborts, r.abort_ratio * 100.0);
+    println!(
+        "aborts       : {} ({:.2} %)",
+        r.aborts,
+        r.abort_ratio * 100.0
+    );
     println!("L1 miss      : {:.3} %", r.l1_miss * 100.0);
     println!("lock waits   : {} cycles", r.lock_wait_cycles);
     println!("cache hits   : {}", r.cache_hits);
@@ -214,14 +253,31 @@ fn profile(flags: &HashMap<String, String>) {
 fn machine() {
     let m = tm_sim::MachineConfig::xeon_e5405();
     println!("simulated machine (paper Table 2):");
-    println!("  cores        : {} ({} sockets x {})", m.cores, m.sockets(), m.cores_per_socket);
-    println!("  L1d per core : {} KB, {}-way, 64 B lines", m.l1.size / 1024, m.l1.ways);
-    println!("  L2 per socket: {} MB, {}-way", m.l2.size / (1024 * 1024), m.l2.ways);
+    println!(
+        "  cores        : {} ({} sockets x {})",
+        m.cores,
+        m.sockets(),
+        m.cores_per_socket
+    );
+    println!(
+        "  L1d per core : {} KB, {}-way, 64 B lines",
+        m.l1.size / 1024,
+        m.l1.ways
+    );
+    println!(
+        "  L2 per socket: {} MB, {}-way",
+        m.l2.size / (1024 * 1024),
+        m.l2.ways
+    );
     println!("  frequency    : {} GHz (virtual)", m.freq_hz as f64 / 1e9);
     println!(
         "  costs        : L1 {} / L2 {} / mem {} / xfer {}-{} / rmw +{} / os {}",
-        m.cost.l1_hit, m.cost.l2_hit, m.cost.mem,
-        m.cost.transfer_same_socket, m.cost.transfer_cross_socket,
-        m.cost.atomic_rmw, m.cost.os_alloc
+        m.cost.l1_hit,
+        m.cost.l2_hit,
+        m.cost.mem,
+        m.cost.transfer_same_socket,
+        m.cost.transfer_cross_socket,
+        m.cost.atomic_rmw,
+        m.cost.os_alloc
     );
 }

@@ -68,6 +68,28 @@ pub struct Metrics {
     pub cache_hits: u64,
 }
 
+impl Metrics {
+    /// Report section with every metric, for `RunReport` emission. Mixed
+    /// integer/float fields, so this renders as a two-column table with
+    /// floats formatted to fixed precision (same as the .txt renderings).
+    pub fn section(&self) -> tm_obs::Section {
+        tm_obs::Section::Table {
+            header: vec!["metric".into(), "value".into()],
+            rows: vec![
+                vec!["seconds".into(), format!("{:.6}", self.seconds)],
+                vec!["throughput".into(), format!("{:.3}", self.throughput)],
+                vec!["abort_ratio".into(), format!("{:.6}", self.abort_ratio)],
+                vec!["l1_miss".into(), format!("{:.6}", self.l1_miss)],
+                vec!["l2_miss".into(), format!("{:.6}", self.l2_miss)],
+                vec!["commits".into(), self.commits.to_string()],
+                vec!["aborts".into(), self.aborts.to_string()],
+                vec!["lock_wait_cycles".into(), self.lock_wait_cycles.to_string()],
+                vec!["cache_hits".into(), self.cache_hits.to_string()],
+            ],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

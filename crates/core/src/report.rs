@@ -13,22 +13,19 @@ pub struct Series {
 pub fn render_series(title: &str, x_label: &str, series: &[Series]) -> String {
     let mut out = String::new();
     out.push_str(&format!("# {title}\n"));
-    let mut xs: Vec<f64> = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|p| p.0))
-        .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs.dedup();
+    let xs = merged_xs(series);
     let mut header = vec![x_label.to_string()];
     header.extend(series.iter().map(|s| s.label.clone()));
     let mut rows = vec![header];
     for &x in &xs {
         let mut row = vec![trim_float(x)];
         for s in series {
+            // Index-based join on the merged x axis (total_cmp equality, so
+            // a NaN x still matches its own row instead of vanishing).
             let y = s
                 .points
                 .iter()
-                .find(|p| p.0 == x)
+                .find(|p| p.0.total_cmp(&x).is_eq())
                 .map(|p| format!("{:.4}", p.1))
                 .unwrap_or_else(|| "-".into());
             row.push(y);
@@ -37,6 +34,20 @@ pub fn render_series(title: &str, x_label: &str, series: &[Series]) -> String {
     }
     out.push_str(&render_rows(&rows));
     out
+}
+
+/// All distinct x values across `series`, in `total_cmp` order. `total_cmp`
+/// is a total order over every f64 — a stray NaN sorts last instead of
+/// panicking the `partial_cmp().unwrap()` this code used to do, and
+/// deduplication cannot be fooled by `NaN != NaN`.
+fn merged_xs(series: &[Series]) -> Vec<f64> {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| a.total_cmp(b).is_eq());
+    xs
 }
 
 /// Render a generic table with a header row.
@@ -85,12 +96,7 @@ fn render_rows(rows: &[Vec<String>]) -> String {
 /// terminal next to its exact table.
 pub fn render_ascii_chart(title: &str, series: &[Series], height: usize) -> String {
     let marks = ['G', 'H', 'B', 'C', '*', '+', 'x', 'o'];
-    let mut xs: Vec<f64> = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|p| p.0))
-        .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs.dedup();
+    let xs = merged_xs(series);
     let ys: Vec<f64> = series
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.1))
@@ -104,7 +110,9 @@ pub fn render_ascii_chart(title: &str, series: &[Series], height: usize) -> Stri
     let mut grid = vec![vec![' '; xs.len() * 4]; height];
     for (si, s) in series.iter().enumerate() {
         for (x, y) in &s.points {
-            let col = xs.iter().position(|v| v == x).unwrap() * 4 + 1;
+            // Every point's x is in the merged axis by construction, and
+            // binary search under the same total order always finds it.
+            let col = xs.binary_search_by(|v| v.total_cmp(x)).unwrap() * 4 + 1;
             let row = ((hi - y) / span * (height - 1) as f64).round() as usize;
             let cell = &mut grid[row.min(height - 1)][col];
             *cell = if *cell == ' ' {
@@ -140,8 +148,16 @@ pub fn best_worst(entries: &[(String, f64)], lower_is_better: bool) -> BestWorst
     let mut best = &entries[0];
     let mut worst = &entries[0];
     for e in entries {
-        let better = if lower_is_better { e.1 < best.1 } else { e.1 > best.1 };
-        let worse = if lower_is_better { e.1 > worst.1 } else { e.1 < worst.1 };
+        let better = if lower_is_better {
+            e.1 < best.1
+        } else {
+            e.1 > best.1
+        };
+        let worse = if lower_is_better {
+            e.1 > worst.1
+        } else {
+            e.1 < worst.1
+        };
         if better {
             best = e;
         }
@@ -233,11 +249,49 @@ mod tests {
     #[test]
     fn ascii_chart_marks_overlap() {
         let s = vec![
-            Series { label: "a".into(), points: vec![(1.0, 5.0)] },
-            Series { label: "b".into(), points: vec![(1.0, 5.0)] },
+            Series {
+                label: "a".into(),
+                points: vec![(1.0, 5.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(1.0, 5.0)],
+            },
         ];
         let out = render_ascii_chart("C", &s, 3);
-        assert!(out.contains('#'), "coinciding points must render as overlap");
+        assert!(
+            out.contains('#'),
+            "coinciding points must render as overlap"
+        );
+    }
+
+    #[test]
+    fn nan_x_neither_panics_nor_collides() {
+        // Regression: the old partial_cmp().unwrap() sort panicked on a NaN
+        // x, and the `p.0 == x` join dropped the point (NaN != NaN). Under
+        // total_cmp a NaN x sorts last and joins to its own row.
+        let s = vec![
+            Series {
+                label: "a".into(),
+                points: vec![(f64::NAN, 7.0), (1.0, 2.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(f64::NAN, 8.0)],
+            },
+        ];
+        let out = render_series("T", "x", &s);
+        assert!(out.contains("2.0000"));
+        assert!(
+            out.contains("7.0000"),
+            "NaN row must join its own point:\n{out}"
+        );
+        assert!(out.contains("8.0000"));
+        // Both series' NaN x dedup to a single row: title + header + rule
+        // + row(1.0) + row(NaN).
+        assert_eq!(out.lines().count(), 5, "{out}");
+        let chart = render_ascii_chart("C", &s, 3);
+        assert!(chart.contains("a"), "{chart}");
     }
 
     #[test]

@@ -144,7 +144,9 @@ pub fn run_synthetic(cfg: &SyntheticConfig) -> Metrics {
         let any = set_cell.lock().unwrap();
         let set = any.as_set();
         let mut th = stm.thread(ctx.tid());
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (ctx.tid() as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+        let mut rng = SmallRng::seed_from_u64(
+            cfg.seed ^ (ctx.tid() as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+        );
         // Insertions and deletions take turns (paper §4): remember the last
         // inserted key and remove it on the next update.
         let mut pending_remove: Option<u64> = None;

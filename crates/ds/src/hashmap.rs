@@ -54,7 +54,12 @@ impl TxHashMap {
     }
 
     /// In-transaction lookup.
-    pub fn get_in(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, key: u64) -> Result<Option<u64>, Abort> {
+    pub fn get_in(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut Ctx<'_>,
+        key: u64,
+    ) -> Result<Option<u64>, Abort> {
         ctx.tick(6);
         let (_, node) = self.locate(tx, ctx, key)?;
         if node == 0 {
@@ -114,7 +119,14 @@ impl TxHashMap {
         stm.txn(ctx, th, |tx, ctx| self.get_in(tx, ctx, key))
     }
 
-    pub fn put(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64, value: u64) -> bool {
+    pub fn put(
+        &self,
+        stm: &Stm,
+        ctx: &mut Ctx<'_>,
+        th: &mut TxThread,
+        key: u64,
+        value: u64,
+    ) -> bool {
         stm.txn(ctx, th, |tx, ctx| self.put_in(tx, ctx, key, value))
     }
 

@@ -46,12 +46,7 @@ impl TxHashSet {
     /// Walk the chain of `key`'s bucket. Returns (prev_link_addr, node).
     /// `prev_link_addr` is the address of the pointer that points at
     /// `node` (the bucket head or a node's next field).
-    fn locate(
-        &self,
-        tx: &mut Tx<'_>,
-        ctx: &mut Ctx<'_>,
-        key: u64,
-    ) -> Result<(u64, u64), Abort> {
+    fn locate(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, key: u64) -> Result<(u64, u64), Abort> {
         let mut link = self.bucket_addr(key);
         let mut cur = tx.read(ctx, link)?;
         while cur != 0 {

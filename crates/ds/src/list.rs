@@ -32,12 +32,7 @@ impl TxList {
     }
 
     /// Walk to the first node with value >= key. Returns (prev, cur).
-    fn locate(
-        &self,
-        tx: &mut Tx<'_>,
-        ctx: &mut Ctx<'_>,
-        key: u64,
-    ) -> Result<(u64, u64), Abort> {
+    fn locate(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, key: u64) -> Result<(u64, u64), Abort> {
         let mut prev = self.head;
         let mut cur = tx.read(ctx, prev + NEXT)?;
         while cur != 0 {
@@ -136,12 +131,12 @@ mod tests {
 
     #[test]
     fn model_check_random_ops() {
-        testutil::model_check(|stm, ctx| TxList::new(stm, ctx), 42, 400);
+        testutil::model_check(TxList::new, 42, 400);
     }
 
     #[test]
     fn concurrent_ops_linearize() {
-        testutil::concurrent_check(|stm, ctx| TxList::new(stm, ctx), 4);
+        testutil::concurrent_check(TxList::new, 4);
     }
 
     #[test]

@@ -255,13 +255,7 @@ impl TxRbTree {
         stm.txn(ctx, th, |tx, ctx| self.put_in(tx, ctx, key, value))
     }
 
-    fn transplant(
-        &self,
-        tx: &mut Tx<'_>,
-        ctx: &mut Ctx<'_>,
-        u: u64,
-        v: u64,
-    ) -> Result<(), Abort> {
+    fn transplant(&self, tx: &mut Tx<'_>, ctx: &mut Ctx<'_>, u: u64, v: u64) -> Result<(), Abort> {
         let up = tx.read(ctx, u + PARENT)?;
         if up == self.nil {
             self.set_root(tx, ctx, v)?;
@@ -367,21 +361,11 @@ impl TxRbTree {
         if root == self.nil {
             return 0;
         }
-        assert_eq!(
-            ctx.read_u64(root + COLOR),
-            BLACK,
-            "root must be black"
-        );
+        assert_eq!(ctx.read_u64(root + COLOR), BLACK, "root must be black");
         self.check_node_raw(ctx, root, None, None)
     }
 
-    fn check_node_raw(
-        &self,
-        ctx: &mut Ctx<'_>,
-        n: u64,
-        lo: Option<u64>,
-        hi: Option<u64>,
-    ) -> u64 {
+    fn check_node_raw(&self, ctx: &mut Ctx<'_>, n: u64, lo: Option<u64>, hi: Option<u64>) -> u64 {
         if n == self.nil {
             return 1;
         }
@@ -493,12 +477,12 @@ mod tests {
 
     #[test]
     fn model_check_random_ops() {
-        testutil::model_check(|stm, ctx| TxRbTree::new(stm, ctx), 1234, 600);
+        testutil::model_check(TxRbTree::new, 1234, 600);
     }
 
     #[test]
     fn concurrent_ops_linearize() {
-        testutil::concurrent_check(|stm, ctx| TxRbTree::new(stm, ctx), 4);
+        testutil::concurrent_check(TxRbTree::new, 4);
     }
 
     #[test]

@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn list_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
         against_model(
-            |stm, ctx| TxList::new(stm, ctx),
+            TxList::new,
             ops,
             |l, ctx| assert!(l.is_sorted_raw(ctx)),
         );
@@ -85,7 +85,7 @@ proptest! {
     #[test]
     fn rbtree_matches_model_and_balances(ops in prop::collection::vec(op_strategy(), 1..120)) {
         against_model(
-            |stm, ctx| TxRbTree::new(stm, ctx),
+            TxRbTree::new,
             ops,
             |t, ctx| {
                 t.check_invariants_raw(ctx);

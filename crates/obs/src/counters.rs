@@ -1,0 +1,458 @@
+//! Per-thread sharded counter storage.
+//!
+//! Layout: one *shard* per logical thread, each a run of `AtomicU64` slots
+//! padded out to a whole number of 64-byte cache lines, so two threads
+//! never write the same line (the false-sharing the paper spends §5.2
+//! measuring is exactly what this avoids on the host side). The recording
+//! hot path is a single relaxed `fetch_add` on the caller's own shard —
+//! no lock, no contended line. Readers merge shards slot-wise; totals are
+//! exact once the recording threads have quiesced (e.g. after `Sim::run`
+//! returns), which is the only time the stack reads them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const LINE: usize = 64;
+const SLOTS_PER_LINE: usize = LINE / std::mem::size_of::<AtomicU64>();
+
+/// A `threads × width` grid of `u64` slots, sharded by thread and padded to
+/// cache lines. The untyped substrate under [`Sharded`], [`Counter`] and
+/// [`Histogram`].
+pub struct ShardedSlots {
+    threads: usize,
+    width: usize,
+    /// Slots per shard, rounded up to a cache-line multiple.
+    stride: usize,
+    slots: Box<[AtomicU64]>,
+}
+
+impl ShardedSlots {
+    pub fn new(threads: usize, width: usize) -> Self {
+        assert!(threads >= 1, "need at least one shard");
+        assert!(width >= 1, "need at least one slot");
+        let stride = width.div_ceil(SLOTS_PER_LINE) * SLOTS_PER_LINE;
+        let slots = (0..threads * stride).map(|_| AtomicU64::new(0)).collect();
+        ShardedSlots {
+            threads,
+            width,
+            stride,
+            slots,
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    fn slot(&self, tid: usize, slot: usize) -> &AtomicU64 {
+        debug_assert!(slot < self.width);
+        &self.slots[tid * self.stride + slot]
+    }
+
+    /// Add `delta` to `(tid, slot)`. Lock-free; only thread `tid`'s cache
+    /// line is touched.
+    #[inline]
+    pub fn add(&self, tid: usize, slot: usize, delta: u64) {
+        self.slot(tid, slot).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrite `(tid, slot)` — for per-thread *state* (e.g. the current
+    /// allocation region) that rides in the same padded shard as counters.
+    #[inline]
+    pub fn set(&self, tid: usize, slot: usize, value: u64) {
+        self.slot(tid, slot).store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self, tid: usize, slot: usize) -> u64 {
+        self.slot(tid, slot).load(Ordering::Relaxed)
+    }
+
+    /// One thread's row (width slots).
+    pub fn thread_row(&self, tid: usize) -> Vec<u64> {
+        (0..self.width).map(|s| self.get(tid, s)).collect()
+    }
+
+    /// Slot-wise sum across all shards.
+    pub fn merged(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.width];
+        for tid in 0..self.threads {
+            for (s, o) in out.iter_mut().enumerate() {
+                *o = o.wrapping_add(self.get(tid, s));
+            }
+        }
+        out
+    }
+
+    /// Zero every slot.
+    pub fn reset(&self) {
+        for tid in 0..self.threads {
+            for s in 0..self.width {
+                self.set(tid, s, 0);
+            }
+        }
+    }
+}
+
+/// A plain-struct view over sharded slots: how a stats struct lays itself
+/// out as a row of `u64`s. Merge discipline is slot-wise addition, so all
+/// fields must be additive counters.
+pub trait SlotSchema: Default {
+    const WIDTH: usize;
+    /// Field names, `WIDTH` of them, used by report emission.
+    fn slot_names() -> &'static [&'static str];
+    fn store(&self, slots: &mut [u64]);
+    fn load(slots: &[u64]) -> Self;
+}
+
+/// Typed sharded storage for a stats struct `T`: each thread accumulates
+/// into its own padded row; `merged` folds all rows back into a `T`.
+pub struct Sharded<T: SlotSchema> {
+    raw: ShardedSlots,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: SlotSchema> Sharded<T> {
+    pub fn new(threads: usize) -> Self {
+        Sharded {
+            raw: ShardedSlots::new(threads, T::WIDTH),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.raw.threads()
+    }
+
+    /// Fold `value` into thread `tid`'s shard (slot-wise add).
+    pub fn record(&self, tid: usize, value: &T) {
+        let mut row = vec![0u64; T::WIDTH];
+        value.store(&mut row);
+        for (s, v) in row.into_iter().enumerate() {
+            if v != 0 {
+                self.raw.add(tid, s, v);
+            }
+        }
+    }
+
+    /// Add `delta` to a single field, by slot index. The hot-path
+    /// alternative to building a whole `T`.
+    #[inline]
+    pub fn add(&self, tid: usize, slot: usize, delta: u64) {
+        self.raw.add(tid, slot, delta);
+    }
+
+    pub fn per_thread(&self, tid: usize) -> T {
+        T::load(&self.raw.thread_row(tid))
+    }
+
+    pub fn merged(&self) -> T {
+        T::load(&self.raw.merged())
+    }
+
+    pub fn reset(&self) {
+        self.raw.reset()
+    }
+
+    pub fn raw(&self) -> &ShardedSlots {
+        &self.raw
+    }
+}
+
+/// A named single-value counter minted by [`Registry`]. Cloning shares the
+/// underlying shards.
+#[derive(Clone)]
+pub struct Counter {
+    slots: std::sync::Arc<ShardedSlots>,
+}
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, tid: usize, delta: u64) {
+        self.slots.add(tid, 0, delta);
+    }
+
+    #[inline]
+    pub fn incr(&self, tid: usize) {
+        self.add(tid, 1);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.slots.merged()[0]
+    }
+
+    pub fn reset(&self) {
+        self.slots.reset();
+    }
+}
+
+/// A named histogram minted by [`Registry`]: `bounds` are inclusive upper
+/// bucket edges; values above the last bound land in a final open bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    slots: std::sync::Arc<ShardedSlots>,
+    bounds: std::sync::Arc<[u64]>,
+}
+
+impl Histogram {
+    #[inline]
+    pub fn observe(&self, tid: usize, value: u64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.slots.add(tid, bucket, 1);
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Merged bucket counts (`bounds.len() + 1` entries, last is open).
+    pub fn counts(&self) -> Vec<u64> {
+        self.slots.merged()
+    }
+
+    pub fn reset(&self) {
+        self.slots.reset();
+    }
+}
+
+enum MetricStorage {
+    Counter(std::sync::Arc<ShardedSlots>),
+    Histogram(std::sync::Arc<ShardedSlots>, std::sync::Arc<[u64]>),
+}
+
+/// A merged snapshot of one named metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Histogram { bounds: Vec<u64>, counts: Vec<u64> },
+}
+
+/// On-demand named metrics: any crate holding the (shared) registry can
+/// mint a counter or histogram by name without changes here. Registration
+/// takes a mutex (cold path, once per name); recording never does.
+pub struct Registry {
+    threads: usize,
+    metrics: Mutex<Vec<(String, MetricStorage)>>,
+}
+
+impl Registry {
+    pub fn new(threads: usize) -> Self {
+        Registry {
+            threads,
+            metrics: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Get-or-create the counter `name`. Calls with the same name share
+    /// storage.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        for (n, storage) in m.iter() {
+            if n == name {
+                match storage {
+                    MetricStorage::Counter(slots) => {
+                        return Counter {
+                            slots: std::sync::Arc::clone(slots),
+                        }
+                    }
+                    MetricStorage::Histogram(..) => {
+                        panic!("metric '{name}' already registered as a histogram")
+                    }
+                }
+            }
+        }
+        let slots = std::sync::Arc::new(ShardedSlots::new(self.threads, 1));
+        m.push((
+            name.to_string(),
+            MetricStorage::Counter(std::sync::Arc::clone(&slots)),
+        ));
+        Counter { slots }
+    }
+
+    /// Get-or-create the histogram `name` with the given bucket bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        let mut m = self.metrics.lock().unwrap();
+        for (n, storage) in m.iter() {
+            if n == name {
+                match storage {
+                    MetricStorage::Histogram(slots, b) => {
+                        assert_eq!(
+                            &**b, bounds,
+                            "metric '{name}' re-registered with different bounds"
+                        );
+                        return Histogram {
+                            slots: std::sync::Arc::clone(slots),
+                            bounds: std::sync::Arc::clone(b),
+                        };
+                    }
+                    MetricStorage::Counter(_) => {
+                        panic!("metric '{name}' already registered as a counter")
+                    }
+                }
+            }
+        }
+        let slots = std::sync::Arc::new(ShardedSlots::new(self.threads, bounds.len() + 1));
+        let bounds: std::sync::Arc<[u64]> = bounds.to_vec().into();
+        m.push((
+            name.to_string(),
+            MetricStorage::Histogram(
+                std::sync::Arc::clone(&slots),
+                std::sync::Arc::clone(&bounds),
+            ),
+        ));
+        Histogram { slots, bounds }
+    }
+
+    /// Merged snapshot of every registered metric, in registration order.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, storage)| {
+                let value = match storage {
+                    MetricStorage::Counter(slots) => MetricValue::Counter(slots.merged()[0]),
+                    MetricStorage::Histogram(slots, bounds) => MetricValue::Histogram {
+                        bounds: bounds.to_vec(),
+                        counts: slots.merged(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Zero every registered metric.
+    pub fn reset(&self) {
+        let m = self.metrics.lock().unwrap();
+        for (_, storage) in m.iter() {
+            match storage {
+                MetricStorage::Counter(slots) => slots.reset(),
+                MetricStorage::Histogram(slots, _) => slots.reset(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_separates_shards() {
+        let s = ShardedSlots::new(4, 3);
+        // Each shard occupies whole cache lines: stride is a multiple of 8
+        // slots and at least the width.
+        assert_eq!(s.stride % SLOTS_PER_LINE, 0);
+        assert!(s.stride >= s.width);
+        // 3 slots fit one line; 9 slots need two.
+        assert_eq!(ShardedSlots::new(2, 9).stride, 16);
+    }
+
+    #[test]
+    fn add_merge_reset() {
+        let s = ShardedSlots::new(3, 2);
+        s.add(0, 0, 5);
+        s.add(1, 0, 7);
+        s.add(2, 1, 1);
+        assert_eq!(s.merged(), vec![12, 1]);
+        assert_eq!(s.thread_row(1), vec![7, 0]);
+        s.reset();
+        assert_eq!(s.merged(), vec![0, 0]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let s = std::sync::Arc::new(ShardedSlots::new(8, 1));
+        std::thread::scope(|scope| {
+            for tid in 0..8 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        s.add(tid, 0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.merged()[0], 80_000);
+    }
+
+    #[derive(Default, PartialEq, Debug)]
+    struct Demo {
+        a: u64,
+        b: u64,
+    }
+
+    impl SlotSchema for Demo {
+        const WIDTH: usize = 2;
+        fn slot_names() -> &'static [&'static str] {
+            &["a", "b"]
+        }
+        fn store(&self, slots: &mut [u64]) {
+            slots[0] = self.a;
+            slots[1] = self.b;
+        }
+        fn load(slots: &[u64]) -> Self {
+            Demo {
+                a: slots[0],
+                b: slots[1],
+            }
+        }
+    }
+
+    #[test]
+    fn typed_sharded_roundtrip() {
+        let s: Sharded<Demo> = Sharded::new(2);
+        s.record(0, &Demo { a: 1, b: 2 });
+        s.record(1, &Demo { a: 10, b: 0 });
+        s.record(1, &Demo { a: 0, b: 5 });
+        assert_eq!(s.merged(), Demo { a: 11, b: 7 });
+        assert_eq!(s.per_thread(1), Demo { a: 10, b: 5 });
+    }
+
+    #[test]
+    fn registry_mints_and_snapshots() {
+        let r = Registry::new(2);
+        let c = r.counter("ops");
+        let c2 = r.counter("ops"); // same storage
+        c.add(0, 3);
+        c2.add(1, 4);
+        assert_eq!(c.total(), 7);
+        let h = r.histogram("sizes", &[16, 64]);
+        h.observe(0, 8);
+        h.observe(1, 64);
+        h.observe(1, 1000); // open bucket
+        let snap = r.snapshot();
+        assert_eq!(snap[0], ("ops".into(), MetricValue::Counter(7)));
+        assert_eq!(
+            snap[1],
+            (
+                "sizes".into(),
+                MetricValue::Histogram {
+                    bounds: vec![16, 64],
+                    counts: vec![1, 1, 1],
+                }
+            )
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new(1);
+        let _ = r.counter("m");
+        let _ = r.histogram("m", &[1]);
+    }
+}

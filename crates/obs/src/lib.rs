@@ -1,0 +1,84 @@
+//! # tm-obs — the unified observability layer
+//!
+//! Every layer of the reproduction stack (simulator, STM, allocators,
+//! STAMP harness, bench regenerators) measures itself through this crate
+//! instead of keeping its own ad-hoc stats structs and formatting glue.
+//! Three pieces:
+//!
+//! * [`counters`] — per-thread **sharded, cache-line-padded** counter and
+//!   histogram storage. The hot path is a relaxed `fetch_add` on a slot
+//!   owned by the recording thread's shard: no global lock, no cross-thread
+//!   cache-line traffic. Shards are merged slot-wise at snapshot time.
+//!   [`counters::Registry`] adds on-demand *named* metrics so any crate can
+//!   mint a counter without touching this one.
+//! * [`trace`] — a bounded per-thread **event ring buffer** recorded in
+//!   virtual time (transaction begin/commit/abort-with-cause, malloc/free
+//!   with region and size, lock acquire/contend, OS allocation). Drained
+//!   after a run for trace-driven debugging of e.g. false-abort mechanisms.
+//!   The `TM_WATCH` write-watchpoint lives here too.
+//! * [`report`] — the [`report::RunReport`] schema every experiment binary
+//!   emits as `results/<name>.json`, built on a dependency-free JSON
+//!   emitter/parser in [`json`] (the build environment is offline, so no
+//!   serde). `tmstudy report` pretty-prints and diffs these files.
+//!
+//! The crate is deliberately leaf-level: it depends on nothing else in the
+//! workspace (or outside it), so every other crate can depend on it.
+
+pub mod counters;
+pub mod json;
+pub mod report;
+pub mod trace;
+
+pub use counters::{Counter, Histogram, Registry, Sharded, ShardedSlots, SlotSchema};
+pub use report::{RunReport, Section};
+pub use trace::{Event, EventKind, Trace};
+
+/// One observability context: a named-metric registry plus an event trace,
+/// sized for a fixed thread count. The simulator owns one per machine and
+/// hands it (via `Arc`) to the layers built on top.
+pub struct Obs {
+    registry: Registry,
+    trace: Trace,
+}
+
+impl Obs {
+    /// Context for `threads` logical threads with the default per-thread
+    /// trace capacity (4096 events).
+    pub fn new(threads: usize) -> Self {
+        Obs::with_trace_capacity(threads, 4096)
+    }
+
+    pub fn with_trace_capacity(threads: usize, trace_capacity: usize) -> Self {
+        Obs {
+            registry: Registry::new(threads),
+            trace: Trace::new(threads, trace_capacity),
+        }
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    pub fn threads(&self) -> usize {
+        self.registry.threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_builds_both_halves() {
+        let obs = Obs::new(4);
+        assert_eq!(obs.threads(), 4);
+        let c = obs.registry().counter("x");
+        c.add(3, 7);
+        assert_eq!(c.total(), 7);
+        assert!(!obs.trace().is_enabled());
+    }
+}

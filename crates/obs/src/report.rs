@@ -1,0 +1,600 @@
+//! The machine-readable run report.
+//!
+//! Every experiment binary historically emitted only a formatted
+//! `results/<name>.txt`. Those stay (byte-identical — they are the golden
+//! artifacts), but each run now *also* emits `results/<name>.json`
+//! conforming to the `tm-run-report/v1` schema defined here: one
+//! [`RunReport`] with free-form metadata plus typed sections. The JSON is
+//! what tooling consumes — `tmstudy report` pretty-prints a report or
+//! diffs two of them (e.g. before/after an allocator change) without
+//! scraping text tables.
+
+use crate::json::Json;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "tm-run-report/v1";
+
+/// One typed block of results.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Section {
+    /// Named integer counters, in emission order.
+    Counters(Vec<(String, u64)>),
+    /// Bucketed counts: `bounds` are inclusive upper edges; `counts` has
+    /// one extra final entry for the open bucket above the last bound.
+    Histogram { bounds: Vec<u64>, counts: Vec<u64> },
+    /// Labeled lines over a shared x-axis, as explicit (x, y) points.
+    Series {
+        x_label: String,
+        lines: Vec<(String, Vec<(f64, f64)>)>,
+    },
+    /// A rectangular table of strings.
+    Table {
+        header: Vec<String>,
+        rows: Vec<Vec<String>>,
+    },
+    /// Free-form text (e.g. the legacy rendered body, or notes).
+    Text(String),
+}
+
+impl Section {
+    /// Counters section from any [`SlotSchema`] stats struct: one named
+    /// counter per slot, in schema order. This is how every layer's stats
+    /// type (`CacheStats`, `LockStats`, `StmStats`, ...) lands in a report
+    /// with one shared discipline.
+    ///
+    /// [`SlotSchema`]: crate::counters::SlotSchema
+    pub fn from_schema<T: crate::counters::SlotSchema>(value: &T) -> Section {
+        let mut row = vec![0u64; T::WIDTH];
+        value.store(&mut row);
+        Section::Counters(
+            T::slot_names()
+                .iter()
+                .zip(row)
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Section::Counters(_) => "counters",
+            Section::Histogram { .. } => "histogram",
+            Section::Series { .. } => "series",
+            Section::Table { .. } => "table",
+            Section::Text(_) => "text",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Section::Counters(items) => Json::Obj(
+                items
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                    .collect(),
+            ),
+            Section::Histogram { bounds, counts } => Json::Obj(vec![
+                (
+                    "bounds".into(),
+                    Json::Arr(bounds.iter().map(|&b| Json::u64(b)).collect()),
+                ),
+                (
+                    "counts".into(),
+                    Json::Arr(counts.iter().map(|&c| Json::u64(c)).collect()),
+                ),
+            ]),
+            Section::Series { x_label, lines } => Json::Obj(vec![
+                ("x_label".into(), Json::str(x_label.clone())),
+                (
+                    "lines".into(),
+                    Json::Obj(
+                        lines
+                            .iter()
+                            .map(|(name, pts)| {
+                                (
+                                    name.clone(),
+                                    Json::Arr(
+                                        pts.iter()
+                                            .map(|&(x, y)| {
+                                                Json::Arr(vec![Json::Num(x), Json::Num(y)])
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Section::Table { header, rows } => Json::Obj(vec![
+                (
+                    "header".into(),
+                    Json::Arr(header.iter().map(|h| Json::str(h.clone())).collect()),
+                ),
+                (
+                    "rows".into(),
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| Json::Arr(r.iter().map(|c| Json::str(c.clone())).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Section::Text(s) => Json::str(s.clone()),
+        }
+    }
+
+    fn from_json(kind: &str, data: &Json) -> Result<Section, String> {
+        match kind {
+            "counters" => {
+                let Json::Obj(pairs) = data else {
+                    return Err("counters section must be an object".into());
+                };
+                let mut items = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    items.push((
+                        k.clone(),
+                        v.as_u64()
+                            .ok_or_else(|| format!("counter '{k}' not a u64"))?,
+                    ));
+                }
+                Ok(Section::Counters(items))
+            }
+            "histogram" => {
+                let bounds = u64_arr(data.get("bounds"), "bounds")?;
+                let counts = u64_arr(data.get("counts"), "counts")?;
+                Ok(Section::Histogram { bounds, counts })
+            }
+            "series" => {
+                let x_label = data
+                    .get("x_label")
+                    .and_then(Json::as_str)
+                    .ok_or("series missing x_label")?
+                    .to_string();
+                let Some(Json::Obj(line_pairs)) = data.get("lines") else {
+                    return Err("series missing lines object".into());
+                };
+                let mut lines = Vec::with_capacity(line_pairs.len());
+                for (name, pts) in line_pairs {
+                    let pts = pts
+                        .as_arr()
+                        .ok_or("series line must be an array")?
+                        .iter()
+                        .map(|p| {
+                            let p = p.as_arr().filter(|p| p.len() == 2);
+                            match p {
+                                Some([x, y]) => {
+                                    Ok((x.as_f64().ok_or("bad x")?, y.as_f64().ok_or("bad y")?))
+                                }
+                                _ => Err("series point must be [x, y]".to_string()),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    lines.push((name.clone(), pts));
+                }
+                Ok(Section::Series { x_label, lines })
+            }
+            "table" => {
+                let header = str_arr(data.get("header"), "header")?;
+                let rows = data
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or("table missing rows")?
+                    .iter()
+                    .map(|r| str_arr(Some(r), "row"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Section::Table { header, rows })
+            }
+            "text" => Ok(Section::Text(
+                data.as_str()
+                    .ok_or("text section must be a string")?
+                    .to_string(),
+            )),
+            other => Err(format!("unknown section kind '{other}'")),
+        }
+    }
+}
+
+fn u64_arr(v: Option<&Json>, what: &str) -> Result<Vec<u64>, String> {
+    v.and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {what} array"))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| format!("{what} entry not a u64")))
+        .collect()
+}
+
+fn str_arr(v: Option<&Json>, what: &str) -> Result<Vec<String>, String> {
+    v.and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {what} array"))?
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what} entry not a string"))
+        })
+        .collect()
+}
+
+/// One experiment run: identity, free-form metadata (configuration knobs,
+/// thread counts, seeds — all stringly, they are labels not data), and
+/// typed result sections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Artifact name, matching the `results/<name>.{txt,json}` stem.
+    pub name: String,
+    /// What produced it: "table", "figure", "ablation", "profile", ...
+    pub kind: String,
+    pub meta: Vec<(String, String)>,
+    pub sections: Vec<(String, Section)>,
+}
+
+impl RunReport {
+    pub fn new(name: impl Into<String>, kind: impl Into<String>) -> Self {
+        RunReport {
+            name: name.into(),
+            kind: kind.into(),
+            meta: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    pub fn meta(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.meta.push((key.into(), value.to_string()));
+        self
+    }
+
+    pub fn section(mut self, title: impl Into<String>, section: Section) -> Self {
+        self.sections.push((title.into(), section));
+        self
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            ("kind".into(), Json::str(self.kind.clone())),
+            (
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "sections".into(),
+                Json::Arr(
+                    self.sections
+                        .iter()
+                        .map(|(title, s)| {
+                            Json::Obj(vec![
+                                ("title".into(), Json::str(title.clone())),
+                                ("type".into(), Json::str(s.kind())),
+                                ("data".into(), s.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The on-disk form: pretty-printed JSON with a trailing newline.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    pub fn from_json(v: &Json) -> Result<RunReport, String> {
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report missing name")?
+            .to_string();
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("report missing kind")?
+            .to_string();
+        let meta = match v.get("meta") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, mv)| {
+                    mv.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("meta '{k}' not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("report missing meta object".into()),
+        };
+        let mut sections = Vec::new();
+        for s in v
+            .get("sections")
+            .and_then(Json::as_arr)
+            .ok_or("report missing sections array")?
+        {
+            let title = s
+                .get("title")
+                .and_then(Json::as_str)
+                .ok_or("section missing title")?
+                .to_string();
+            let kind = s
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or("section missing type")?;
+            let data = s.get("data").ok_or("section missing data")?;
+            sections.push((title, Section::from_json(kind, data)?));
+        }
+        Ok(RunReport {
+            name,
+            kind,
+            meta,
+            sections,
+        })
+    }
+
+    pub fn parse(src: &str) -> Result<RunReport, String> {
+        RunReport::from_json(&Json::parse(src)?)
+    }
+
+    /// Human rendering for `tmstudy report <file>`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} ({})\n", self.name, self.kind));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        for (title, section) in &self.sections {
+            out.push_str(&format!("\n== {title} [{}] ==\n", section.kind()));
+            match section {
+                Section::Counters(items) => {
+                    let w = items.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+                    for (k, v) in items {
+                        out.push_str(&format!("  {k:<w$}  {v}\n"));
+                    }
+                }
+                Section::Histogram { bounds, counts } => {
+                    for (i, c) in counts.iter().enumerate() {
+                        let label = if i < bounds.len() {
+                            format!("<= {}", bounds[i])
+                        } else {
+                            format!("> {}", bounds.last().copied().unwrap_or(0))
+                        };
+                        out.push_str(&format!("  {label:<12} {c}\n"));
+                    }
+                }
+                Section::Series { x_label, lines } => {
+                    for (name, pts) in lines {
+                        out.push_str(&format!("  {name} ({} points, x={x_label}):", pts.len()));
+                        for (x, y) in pts {
+                            out.push_str(&format!(" ({x}, {y})"));
+                        }
+                        out.push('\n');
+                    }
+                }
+                Section::Table { header, rows } => {
+                    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+                    for r in rows {
+                        for (i, c) in r.iter().enumerate() {
+                            if i < widths.len() {
+                                widths[i] = widths[i].max(c.len());
+                            } else {
+                                widths.push(c.len());
+                            }
+                        }
+                    }
+                    let fmt_row = |cells: &[String]| {
+                        let mut line = String::from(" ");
+                        for (i, c) in cells.iter().enumerate() {
+                            line.push_str(&format!(
+                                " {:<w$}",
+                                c,
+                                w = widths.get(i).copied().unwrap_or(0)
+                            ));
+                        }
+                        line.trim_end().to_string() + "\n"
+                    };
+                    out.push_str(&fmt_row(header));
+                    for r in rows {
+                        out.push_str(&fmt_row(r));
+                    }
+                }
+                Section::Text(s) => {
+                    for line in s.lines() {
+                        out.push_str(&format!("  {line}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural diff for `tmstudy report --diff a.json b.json`: reports
+    /// metadata changes, section presence, and per-counter deltas. Returns
+    /// `None` when the two reports are identical.
+    pub fn diff(&self, other: &RunReport) -> Option<String> {
+        if self == other {
+            return None;
+        }
+        let mut out = String::new();
+        if self.name != other.name {
+            out.push_str(&format!("name: {} -> {}\n", self.name, other.name));
+        }
+        if self.kind != other.kind {
+            out.push_str(&format!("kind: {} -> {}\n", self.kind, other.kind));
+        }
+        diff_pairs(&mut out, "meta", &self.meta, &other.meta, |a, b| {
+            if a != b {
+                Some(format!("{a} -> {b}"))
+            } else {
+                None
+            }
+        });
+        // Section-level comparison by title.
+        for (title, sa) in &self.sections {
+            match other.sections.iter().find(|(t, _)| t == title) {
+                None => out.push_str(&format!("section '{title}': only in left\n")),
+                Some((_, sb)) => diff_section(&mut out, title, sa, sb),
+            }
+        }
+        for (title, _) in &other.sections {
+            if !self.sections.iter().any(|(t, _)| t == title) {
+                out.push_str(&format!("section '{title}': only in right\n"));
+            }
+        }
+        if out.is_empty() {
+            // Differences only in ordering.
+            out.push_str("reports differ only in ordering\n");
+        }
+        Some(out)
+    }
+}
+
+fn diff_pairs<T: PartialEq + std::fmt::Display>(
+    out: &mut String,
+    what: &str,
+    a: &[(String, T)],
+    b: &[(String, T)],
+    show: impl Fn(&T, &T) -> Option<String>,
+) {
+    for (k, va) in a {
+        match b.iter().find(|(kb, _)| kb == k) {
+            None => out.push_str(&format!("{what} '{k}': only in left ({va})\n")),
+            Some((_, vb)) => {
+                if let Some(change) = show(va, vb) {
+                    out.push_str(&format!("{what} '{k}': {change}\n"));
+                }
+            }
+        }
+    }
+    for (k, vb) in b {
+        if !a.iter().any(|(ka, _)| ka == k) {
+            out.push_str(&format!("{what} '{k}': only in right ({vb})\n"));
+        }
+    }
+}
+
+fn diff_section(out: &mut String, title: &str, a: &Section, b: &Section) {
+    if a == b {
+        return;
+    }
+    match (a, b) {
+        (Section::Counters(ca), Section::Counters(cb)) => {
+            diff_pairs(out, &format!("'{title}'"), ca, cb, |&va, &vb| {
+                if va != vb {
+                    let delta = vb as i128 - va as i128;
+                    let pct = if va != 0 {
+                        format!(" ({:+.2}%)", delta as f64 / va as f64 * 100.0)
+                    } else {
+                        String::new()
+                    };
+                    Some(format!("{va} -> {vb} [{delta:+}{pct}]"))
+                } else {
+                    None
+                }
+            });
+        }
+        _ => out.push_str(&format!(
+            "section '{title}' [{} vs {}]: differs\n",
+            a.kind(),
+            b.kind()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport::new("fig4", "figure")
+            .meta("threads", 8)
+            .meta("allocator", "tcmalloc")
+            .section(
+                "stm",
+                Section::Counters(vec![("commits".into(), 1000), ("aborts".into(), 37)]),
+            )
+            .section(
+                "sizes",
+                Section::Histogram {
+                    bounds: vec![16, 64],
+                    counts: vec![10, 5, 1],
+                },
+            )
+            .section(
+                "throughput",
+                Section::Series {
+                    x_label: "threads".into(),
+                    lines: vec![("tcmalloc".into(), vec![(1.0, 0.5), (8.0, 3.25)])],
+                },
+            )
+            .section(
+                "summary",
+                Section::Table {
+                    header: vec!["app".into(), "time".into()],
+                    rows: vec![vec!["vacation".into(), "1.23".into()]],
+                },
+            )
+            .section("notes", Section::Text("two\nlines".into()))
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut j = sample().to_json_string();
+        j = j.replace(SCHEMA, "tm-run-report/v0");
+        let err = RunReport::parse(&j).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let text = sample().render();
+        for needle in [
+            "fig4 (figure)",
+            "== stm [counters] ==",
+            "commits",
+            "<= 16",
+            "vacation",
+            "two",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_counter_deltas() {
+        let a = sample();
+        let mut b = sample();
+        if let Section::Counters(c) = &mut b.sections[0].1 {
+            c[1].1 = 74; // aborts doubled
+        }
+        b.meta[1].1 = "glibc".into();
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("meta 'allocator': tcmalloc -> glibc"), "{d}");
+        assert!(
+            d.contains("'stm' 'aborts': 37 -> 74 [+37 (+100.00%)]"),
+            "{d}"
+        );
+        assert!(a.diff(&sample()).is_none());
+    }
+
+    #[test]
+    fn diff_notes_missing_sections() {
+        let a = sample();
+        let mut b = sample();
+        b.sections.remove(4);
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("section 'notes': only in left"), "{d}");
+    }
+}

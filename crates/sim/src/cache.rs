@@ -71,6 +71,48 @@ impl CacheStats {
         self.coherence_transfers += o.coherence_transfers;
         self.invalidations += o.invalidations;
     }
+
+    /// Report section with every counter, for `RunReport` emission.
+    pub fn section(&self) -> tm_obs::Section {
+        tm_obs::Section::from_schema(self)
+    }
+}
+
+// All fields are additive event counts, so the shared slot-wise merge
+// discipline of `tm_obs::Sharded` applies directly.
+impl tm_obs::SlotSchema for CacheStats {
+    const WIDTH: usize = 6;
+
+    fn slot_names() -> &'static [&'static str] {
+        &[
+            "l1_accesses",
+            "l1_misses",
+            "l2_accesses",
+            "l2_misses",
+            "coherence_transfers",
+            "invalidations",
+        ]
+    }
+
+    fn store(&self, slots: &mut [u64]) {
+        slots[0] = self.l1_accesses;
+        slots[1] = self.l1_misses;
+        slots[2] = self.l2_accesses;
+        slots[3] = self.l2_misses;
+        slots[4] = self.coherence_transfers;
+        slots[5] = self.invalidations;
+    }
+
+    fn load(slots: &[u64]) -> Self {
+        CacheStats {
+            l1_accesses: slots[0],
+            l1_misses: slots[1],
+            l2_accesses: slots[2],
+            l2_misses: slots[3],
+            coherence_transfers: slots[4],
+            invalidations: slots[5],
+        }
+    }
 }
 
 const EMPTY: u64 = u64::MAX;
@@ -344,7 +386,10 @@ mod tests {
         h.access(0, 0x2000, true);
         let c1 = h.access(1, 0x2008, true);
         let c0 = h.access(0, 0x2000, true);
-        assert!(c1 > cfg.cost.l1_hit, "remote dirty line must cost a transfer");
+        assert!(
+            c1 > cfg.cost.l1_hit,
+            "remote dirty line must cost a transfer"
+        );
         assert!(c0 > cfg.cost.l1_hit);
         assert!(h.stats(0).invalidations >= 1);
         assert!(h.stats(1).coherence_transfers >= 1);

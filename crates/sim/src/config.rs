@@ -107,7 +107,7 @@ impl MachineConfig {
             },
             cost: CostModel {
                 l1_hit: 4,
-                l2_hit: 40,      // modelled as the shared LLC
+                l2_hit: 40, // modelled as the shared LLC
                 mem: 300,
                 transfer_same_socket: 25,
                 transfer_cross_socket: 25, // single socket
@@ -125,7 +125,10 @@ impl MachineConfig {
         MachineConfig {
             cores: 4,
             cores_per_socket: 2,
-            l1: CacheConfig { size: 1024, ways: 2 },
+            l1: CacheConfig {
+                size: 1024,
+                ways: 2,
+            },
             l2: CacheConfig {
                 size: 8 * 1024,
                 ways: 4,

@@ -13,35 +13,10 @@
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
-
-/// Debug watchpoint: set `TM_WATCH=<hex addr>` to panic (with a backtrace)
-/// on any simulated write to that address. Deterministic runs make this a
-/// precise "who wrote this?" tool.
-fn watch_addr() -> Option<u64> {
-    static WATCH: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
-    *WATCH.get_or_init(|| {
-        std::env::var("TM_WATCH")
-            .ok()
-            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
-    })
-}
-
-static WATCH_ARMED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-
-/// Arm the `TM_WATCH` watchpoint (debug helper; watches are ignored until
-/// armed so setup-time writes to the watched address do not trip it).
-pub fn arm_watchpoint() {
-    WATCH_ARMED.store(true, std::sync::atomic::Ordering::SeqCst);
-}
-
-#[inline]
-fn check_watch(addr: u64, val: u64, kind: &str) {
-    if let Some(w) = watch_addr() {
-        if addr == w && WATCH_ARMED.load(std::sync::atomic::Ordering::Relaxed) {
-            panic!("WATCHPOINT: {kind} of {val:#x} to {addr:#x}");
-        }
-    }
-}
+// The `TM_WATCH` write-watchpoint lives in the observability crate now;
+// re-exported from this crate's root for compatibility.
+use tm_obs::trace::check_watch;
+use tm_obs::{EventKind, Obs};
 
 use crate::cache::CacheStats;
 use crate::config::MachineConfig;
@@ -67,6 +42,9 @@ struct Shared {
     /// One condvar per core so a scheduling hand-off wakes exactly one
     /// thread instead of stampeding all of them.
     cvs: Vec<Condvar>,
+    /// Observability context (named metrics + event trace), sized to the
+    /// machine's core count and shared with every layer built on top.
+    obs: Arc<Obs>,
 }
 
 /// A simulated machine plus scheduler. Create one per experiment
@@ -87,12 +65,20 @@ impl Sim {
                 state: Vec::new(),
             }),
             cvs: (0..cfg.cores).map(|_| Condvar::new()).collect(),
+            obs: Arc::new(Obs::new(cfg.cores)),
         });
         Sim { shared, cfg }
     }
 
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// This machine's observability context. Layers built on the simulator
+    /// (allocators, the STM, harnesses) mint counters and record trace
+    /// events through this; clone the `Arc` to hold on to it.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
     }
 
     /// Create a simulated mutex ahead of a run (allocator constructors use
@@ -129,7 +115,9 @@ impl Sim {
             for l in &g.machine.locks {
                 assert!(l.holder.is_none(), "lock held across run boundary");
             }
-            let sb: Vec<CacheStats> = (0..self.cfg.cores).map(|c| g.machine.caches.stats(c)).collect();
+            let sb: Vec<CacheStats> = (0..self.cfg.cores)
+                .map(|c| g.machine.caches.stats(c))
+                .collect();
             (sb, g.machine.lock_stats(), g.machine.os_allocated)
         };
 
@@ -255,6 +243,22 @@ impl Ctx<'_> {
         g.time[self.tid] + self.pending
     }
 
+    /// The machine's observability context (same as [`Sim::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+
+    /// Record a trace event stamped with this thread's current virtual
+    /// time. One relaxed load when tracing is disabled.
+    #[inline]
+    pub fn trace_event(&mut self, kind: EventKind, a: u64, b: u64) {
+        if !self.shared.obs.trace().is_enabled() {
+            return;
+        }
+        let t = self.now();
+        self.shared.obs.trace().emit(self.tid, t, kind, a, b);
+    }
+
     /// Block until this thread holds the minimum clock among runnable
     /// threads, then run `f` against the machine. `f` returns (cycle cost,
     /// result).
@@ -367,10 +371,12 @@ impl Ctx<'_> {
     /// Reserve a fresh aligned region from the simulated OS (mmap-like);
     /// charges the OS-call cost.
     pub fn os_alloc(&mut self, size: u64, align: u64) -> u64 {
-        self.event(|m, _| {
+        let addr = self.event(|m, _| {
             let cost = m.cfg.cost.os_alloc;
             (cost, m.os_alloc(size, align))
-        })
+        });
+        self.trace_event(EventKind::OsAlloc, addr, size);
+        addr
     }
 
     /// Create a new simulated mutex mid-run.
@@ -426,12 +432,24 @@ impl Ctx<'_> {
             }
             g.machine.locks[mx.id].last_holder = Some(tid);
             g.time[tid] = now + cost;
+            self.shared
+                .obs
+                .trace()
+                .emit(tid, g.time[tid], EventKind::LockAcquire, mx.id as u64, 0);
             self.notify_next(&g);
             true
         } else {
             if !*counted {
                 g.machine.locks[mx.id].contended += 1;
                 *counted = true;
+                let holder = g.machine.locks[mx.id].holder.unwrap_or(0) as u64;
+                self.shared.obs.trace().emit(
+                    tid,
+                    now,
+                    EventKind::LockContend,
+                    mx.id as u64,
+                    holder,
+                );
             }
             if block {
                 g.state[tid] = TState::Blocked(mx.id);

@@ -45,9 +45,13 @@ mod report;
 
 pub use cache::{CacheConfig, CacheStats};
 pub use config::{CostModel, MachineConfig};
-pub use exec::{arm_watchpoint, Ctx, Sim};
+pub use exec::{Ctx, Sim};
 pub use machine::{LockStats, SimMutex};
 pub use report::SimReport;
+// Observability: the watchpoint and event-trace machinery moved to tm-obs;
+// re-exported here so existing `tm_sim::arm_watchpoint` users keep working.
+pub use tm_obs::trace::arm_watchpoint;
+pub use tm_obs::{Event, EventKind, Obs};
 
 /// Cache line size in bytes used throughout the model (the paper's machine
 /// and virtually all x86 parts use 64-byte lines).

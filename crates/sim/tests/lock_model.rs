@@ -18,7 +18,11 @@ fn fifo_ish_queueing_under_heavy_contention() {
             ctx.unlock(mx);
         }
     });
-    assert!(r.cycles >= 80 * cs, "lock must serialize: {} cycles", r.cycles);
+    assert!(
+        r.cycles >= 80 * cs,
+        "lock must serialize: {} cycles",
+        r.cycles
+    );
     assert_eq!(r.locks.acquisitions, 80);
     assert!(r.locks.contended > 0);
 }
@@ -66,9 +70,10 @@ fn cross_core_handoff_costs_more_than_reacquisition() {
     // Alternating run's lock costs are buried in the ticks; compare via
     // acquisitions: both performed 50; the per-acquisition cost must be
     // higher in the alternating case. Extract by subtracting tick time.
-    let ticks: u64 = (0..25u64).map(|i| 10_000 * (2 * i) + 1).sum::<u64>().max(
-        (0..25u64).map(|i| 10_000 * (2 * i + 1) + 1).sum(),
-    );
+    let ticks: u64 = (0..25u64)
+        .map(|i| 10_000 * (2 * i) + 1)
+        .sum::<u64>()
+        .max((0..25u64).map(|i| 10_000 * (2 * i + 1) + 1).sum());
     let alt_lock_cost = alternating.cycles.saturating_sub(ticks);
     assert!(
         alt_lock_cost > same_lock_cost,

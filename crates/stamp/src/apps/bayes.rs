@@ -110,7 +110,9 @@ impl StampApp for Bayes {
                 let mask = rng.gen_range(1..1u64 << 8);
                 let queries: Vec<u64> = (0..mask.count_ones() as u64 + 1)
                     .map(|q| {
-                        let b = stm.allocator().malloc(ctx, [32u64, 48, 64][(q % 3) as usize]);
+                        let b = stm
+                            .allocator()
+                            .malloc(ctx, [32u64, 48, 64][(q % 3) as usize]);
                         ctx.write_u64(b, mask >> q);
                         b
                     })

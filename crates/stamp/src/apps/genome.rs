@@ -141,7 +141,12 @@ mod tests {
     fn dedup_is_exact_across_threads() {
         for threads in [1, 4] {
             let app = Genome::new(128, 7);
-            let r = run_app(&app, AllocatorKind::TbbMalloc, threads, &StampOpts::default());
+            let r = run_app(
+                &app,
+                AllocatorKind::TbbMalloc,
+                threads,
+                &StampOpts::default(),
+            );
             assert!(r.commits > 0);
         }
     }

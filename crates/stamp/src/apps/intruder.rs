@@ -101,12 +101,9 @@ impl StampApp for Intruder {
             let s = g.as_ref().expect("init must run first");
             (s.packet_queue, s.fragment_map, s.recv, s.done_cell)
         };
-        loop {
-            // Capture: pop the next fragment (short contended transaction;
-            // frees the queue node transactionally).
-            let Some(desc) = queue.pop(stm, ctx, &mut *th) else {
-                break;
-            };
+        // Capture: pop the next fragment (short contended transaction;
+        // frees the queue node transactionally).
+        while let Some(desc) = queue.pop(stm, ctx, &mut *th) {
             let flow = ctx.read_u64(desc);
             let idx = ctx.read_u64(desc + 8);
             // Reassembly: file the fragment in the shared map (48-byte tree
@@ -170,7 +167,12 @@ mod tests {
     fn all_flows_complete() {
         for threads in [1, 4] {
             let app = Intruder::new(16, 3);
-            let r = run_app(&app, AllocatorKind::TbbMalloc, threads, &StampOpts::default());
+            let r = run_app(
+                &app,
+                AllocatorKind::TbbMalloc,
+                threads,
+                &StampOpts::default(),
+            );
             assert!(r.commits > 0);
         }
     }
@@ -182,7 +184,11 @@ mod tests {
         let prof = profile_app(&app, AllocatorKind::TcMalloc);
         let par = prof[Region::Par as usize];
         // Each completed flow frees its descriptors + scratch in par.
-        assert!(par.frees >= 12 * 4, "expected privatized frees, got {}", par.frees);
+        assert!(
+            par.frees >= 12 * 4,
+            "expected privatized frees, got {}",
+            par.frees
+        );
         let tx = prof[Region::Tx as usize];
         assert!(tx.mallocs > 0, "queue/map nodes allocate transactionally");
     }

@@ -71,11 +71,15 @@ impl StampApp for Kmeans {
                 );
             }
         }
-        let accum = stm.allocator().malloc(ctx, self.clusters * self.accum_stride());
+        let accum = stm
+            .allocator()
+            .malloc(ctx, self.clusters * self.accum_stride());
         for w in 0..self.clusters * (1 + self.dims) {
             ctx.write_u64(accum + w * 8, 0); // accumulators start at zero
         }
-        let counters = (0..self.iterations).map(|_| Counter::new(stm, ctx)).collect();
+        let counters = (0..self.iterations)
+            .map(|_| Counter::new(stm, ctx))
+            .collect();
         let barrier = SpinBarrier::new(stm, ctx);
         *self.state.lock() = Some(State {
             points,

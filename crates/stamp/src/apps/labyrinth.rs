@@ -102,10 +102,7 @@ impl StampApp for Labyrinth {
             (s.grid, s.work, s.router_state[ctx.tid()], s.routed_cell)
         };
         let cells = self.cells();
-        loop {
-            let Some(route) = work.pop(stm, ctx, &mut *th) else {
-                break;
-            };
+        while let Some(route) = work.pop(stm, ctx, &mut *th) {
             let (src, dst) = self.endpoints(route);
             let mut attempts = 0;
             loop {

@@ -107,7 +107,7 @@ impl StampApp for Vacation {
                     let mut best: Option<(u64, u64)> = None;
                     for &id in &ids {
                         if let Some(seats) = table.get_in(tx, ctx, id)? {
-                            if seats > 0 && best.map_or(true, |(_, s)| seats > s) {
+                            if seats > 0 && best.is_none_or(|(_, s)| seats > s) {
                                 best = Some((id, seats));
                             }
                         }

@@ -100,10 +100,7 @@ impl StampApp for Yada {
             (s.mesh, s.work, s.next_id, s.processed_cell)
         };
         let mut spawned_budget = self.max_spawn / 8 + 1; // per-thread share
-        loop {
-            let Some(center) = work.pop(stm, ctx, &mut *th) else {
-                break;
-            };
+        while let Some(center) = work.pop(stm, ctx, &mut *th) {
             // Reserve fresh ids for the replacement triangles outside the
             // transaction (ids are cheap; memory is not).
             let fresh: Vec<u64> = (0..self.cavity + 1).map(|_| next_id.next(ctx)).collect();
@@ -147,7 +144,7 @@ impl StampApp for Yada {
             });
             ctx.fetch_add_u64(processed_cell, 1);
             // Refinement occasionally discovers new bad triangles.
-            if spawned_budget > 0 && mix(center) % 4 == 0 {
+            if spawned_budget > 0 && mix(center).is_multiple_of(4) {
                 spawned_budget -= 1;
                 let nb = mix(center ^ 0xbad) % self.triangles;
                 work.push(stm, ctx, &mut *th, nb);

@@ -58,6 +58,27 @@ pub struct StampResult {
     pub cache_hits: u64,
 }
 
+impl StampResult {
+    /// Report section with every metric, for `RunReport` emission (same
+    /// two-column shape as `tm_core::Metrics::section`).
+    pub fn section(&self) -> tm_obs::Section {
+        tm_obs::Section::Table {
+            header: vec!["metric".into(), "value".into()],
+            rows: vec![
+                vec!["seq_seconds".into(), format!("{:.6}", self.seq_seconds)],
+                vec!["par_seconds".into(), format!("{:.6}", self.par_seconds)],
+                vec!["commits".into(), self.commits.to_string()],
+                vec!["aborts".into(), self.aborts.to_string()],
+                vec!["abort_ratio".into(), format!("{:.6}", self.abort_ratio)],
+                vec!["l1_miss".into(), format!("{:.6}", self.l1_miss)],
+                vec!["l2_miss".into(), format!("{:.6}", self.l2_miss)],
+                vec!["lock_wait_cycles".into(), self.lock_wait_cycles.to_string()],
+                vec!["cache_hits".into(), self.cache_hits.to_string()],
+            ],
+        }
+    }
+}
+
 /// Instantiate an application at a given scale (1 = smoke-test size; the
 /// bench binaries use larger scales, recorded in EXPERIMENTS.md).
 pub fn make_app(kind: AppKind, scale: u64, seed: u64) -> Box<dyn StampApp> {
@@ -180,11 +201,7 @@ mod tests {
     fn all_apps_run_at_smoke_scale() {
         for kind in AppKind::ALL {
             let r = run_kind(kind, AllocatorKind::TbbMalloc, 2, &StampOpts::default(), 1);
-            assert!(
-                r.par_seconds > 0.0,
-                "{}: empty parallel phase",
-                kind.name()
-            );
+            assert!(r.par_seconds > 0.0, "{}: empty parallel phase", kind.name());
         }
     }
 

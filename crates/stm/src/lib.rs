@@ -144,7 +144,10 @@ pub struct Stm {
     /// Simulated address of the global version clock.
     pub(crate) clock_addr: u64,
     pub(crate) allocator: Arc<dyn Allocator>,
-    stats: Mutex<StmStats>,
+    /// Per-thread stats shards: `retire` folds a worker's tally into its
+    /// own cache-line-padded shard (no global lock); `stats` merges
+    /// slot-wise.
+    stats: tm_obs::Sharded<StmStats>,
     /// Sizes of live transactionally-allocated blocks (host-side registry
     /// feeding the object cache, which needs sizes at free time).
     pub(crate) sizes: Mutex<std::collections::HashMap<u64, u64>>,
@@ -191,7 +194,7 @@ impl Stm {
             ort_mask: entries - 1,
             clock_addr,
             allocator,
-            stats: Mutex::new(StmStats::default()),
+            stats: tm_obs::Sharded::new(cores),
             sizes: Mutex::new(std::collections::HashMap::new()),
             active_base,
             cores,
@@ -229,8 +232,7 @@ impl Stm {
     /// transactions in flight on any thread) — e.g. between benchmark
     /// phases or at the end of a run with a retired `TxThread`.
     pub fn quiesce(&self, ctx: &mut Ctx<'_>) {
-        let entries: Vec<(u64, u64, Option<u64>)> =
-            std::mem::take(&mut *self.global_limbo.lock());
+        let entries: Vec<(u64, u64, Option<u64>)> = std::mem::take(&mut *self.global_limbo.lock());
         for (_, addr, _) in entries {
             self.sizes.lock().remove(&addr);
             self.allocator.free(ctx, addr);
@@ -258,7 +260,10 @@ impl Stm {
     /// the end of the worker closure.
     pub fn retire(&self, mut th: TxThread) {
         th.surrender_limbo(self);
-        self.stats.lock().merge(&th.stats);
+        // Shard by tid; the modulo only matters if a caller minted more
+        // thread descriptors than the machine has cores (totals are
+        // preserved either way).
+        self.stats.record(th.tid % self.cores, &th.stats);
     }
 
     /// Run `body` as a transaction, retrying on conflicts (SUICIDE CM:
@@ -289,22 +294,28 @@ impl Stm {
         th.retries = 0;
         loop {
             th.begin(self, ctx);
+            ctx.trace_event(tm_sim::EventKind::TxBegin, th.retries as u64, 0);
             let mut tx = Tx::new(self, th);
             match body(&mut tx, ctx) {
                 Ok(r) => {
                     if tx.commit(ctx) {
                         th.clear_active(self, ctx);
+                        let (reads, writes) = th.footprint();
+                        ctx.trace_event(tm_sim::EventKind::TxCommit, reads, writes);
                         return r;
                     }
                     // Commit-time validation failed; roll back and retry.
                     th.rollback(self, ctx, AbortCause::Validation);
+                    ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Validation as u64, 0);
                 }
                 Err(Abort::Conflict(cause)) => {
                     th.rollback(self, ctx, cause);
+                    ctx.trace_event(tm_sim::EventKind::TxAbort, cause as u64, 0);
                 }
                 Err(Abort::Explicit) => {
                     th.rollback(self, ctx, AbortCause::Explicit);
                     // Explicit retry: re-run (the workload asked for it).
+                    ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Explicit as u64, 0);
                 }
             }
             th.retries = th.retries.saturating_add(1);
@@ -315,12 +326,12 @@ impl Stm {
 
     /// Global statistics snapshot (retired threads only).
     pub fn stats(&self) -> StmStats {
-        *self.stats.lock()
+        self.stats.merged()
     }
 
     /// Reset global statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = StmStats::default();
+        self.stats.reset()
     }
 
     /// The bound allocator.

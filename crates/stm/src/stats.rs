@@ -80,6 +80,60 @@ impl StmStats {
         self.tx_mallocs += o.tx_mallocs;
         self.tx_frees += o.tx_frees;
     }
+
+    /// Report section with every counter, for `RunReport` emission.
+    pub fn section(&self) -> tm_obs::Section {
+        tm_obs::Section::from_schema(self)
+    }
+}
+
+// Lets retired threads' stats land in per-thread shards (`tm_obs::Sharded`)
+// with the same slot-wise merge used by every other stats struct.
+impl tm_obs::SlotSchema for StmStats {
+    const WIDTH: usize = 7 + AbortCause::COUNT;
+
+    fn slot_names() -> &'static [&'static str] {
+        &[
+            "commits",
+            "abort_read_locked",
+            "abort_write_locked",
+            "abort_validation",
+            "abort_read_race",
+            "abort_explicit",
+            "extensions",
+            "reads",
+            "writes",
+            "cache_hits",
+            "tx_mallocs",
+            "tx_frees",
+        ]
+    }
+
+    fn store(&self, slots: &mut [u64]) {
+        slots[0] = self.commits;
+        slots[1..1 + AbortCause::COUNT].copy_from_slice(&self.by_cause);
+        slots[6] = self.extensions;
+        slots[7] = self.reads;
+        slots[8] = self.writes;
+        slots[9] = self.cache_hits;
+        slots[10] = self.tx_mallocs;
+        slots[11] = self.tx_frees;
+    }
+
+    fn load(slots: &[u64]) -> Self {
+        let mut by_cause = [0u64; AbortCause::COUNT];
+        by_cause.copy_from_slice(&slots[1..1 + AbortCause::COUNT]);
+        StmStats {
+            commits: slots[0],
+            by_cause,
+            extensions: slots[6],
+            reads: slots[7],
+            writes: slots[8],
+            cache_hits: slots[9],
+            tx_mallocs: slots[10],
+            tx_frees: slots[11],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,8 +142,10 @@ mod tests {
 
     #[test]
     fn abort_ratio_math() {
-        let mut s = StmStats::default();
-        s.commits = 60;
+        let mut s = StmStats {
+            commits: 60,
+            ..Default::default()
+        };
         s.record_abort(AbortCause::ReadLocked);
         s.record_abort(AbortCause::ReadLocked);
         for _ in 0..38 {

@@ -95,6 +95,12 @@ impl TxThread {
         self.stats
     }
 
+    /// (reads, writes) footprint of the most recent transaction attempt
+    /// (the sets survive a commit until the next `begin` clears them).
+    pub(crate) fn footprint(&self) -> (u64, u64) {
+        (self.read_set.len() as u64, self.write_entries.len() as u64)
+    }
+
     pub(crate) fn begin(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
         self.read_set.clear();
         self.write_entries.clear();
@@ -105,10 +111,10 @@ impl TxThread {
         self.tx_allocs.clear();
         self.tx_frees.clear();
         ctx.tick(20); // descriptor setup
-        // Publish a (conservative) snapshot *before* taking the real one:
-        // a reclamation scan that misses the publication can then only
-        // free blocks whose unlink already predates the second clock read,
-        // so no reachable block is ever recycled under our feet.
+                      // Publish a (conservative) snapshot *before* taking the real one:
+                      // a reclamation scan that misses the publication can then only
+                      // free blocks whose unlink already predates the second clock read,
+                      // so no reachable block is ever recycled under our feet.
         let announce = ctx.read_u64(stm.clock_addr);
         ctx.write_u64(stm.active_addr(self.tid), announce + 1);
         self.rv = ctx.read_u64(stm.clock_addr);
@@ -296,10 +302,7 @@ impl<'a> Tx<'a> {
                 if version_of(l) > self.th.rv {
                     self.extend(ctx)?;
                 }
-                if ctx
-                    .cas_u64(la, l, locked_word(self.th.tid))
-                    .is_err()
-                {
+                if ctx.cas_u64(la, l, locked_word(self.th.tid)).is_err() {
                     return Err(Abort::Conflict(AbortCause::WriteLocked));
                 }
                 self.th.locks_held.push((la, version_of(l)));

@@ -69,9 +69,7 @@ fn extensions_are_counted() {
             // Writer: bump each cell in its own tx.
             for round in 0..20u64 {
                 let cell = cells2[(round % 8) as usize];
-                stm.txn(ctx, &mut th, |tx, ctx| {
-                    tx.update(ctx, cell, |v| v + 1)
-                });
+                stm.txn(ctx, &mut th, |tx, ctx| tx.update(ctx, cell, |v| v + 1));
                 ctx.tick(2_000);
             }
         } else {
@@ -151,9 +149,7 @@ fn ort_wraparound_shares_locks() {
         let mut th = stm.thread(ctx.tid());
         let target = if ctx.tid() == 0 { a } else { b };
         for _ in 0..40 {
-            stm.txn(ctx, &mut th, |tx, ctx| {
-                tx.update(ctx, target, |v| v + 1)
-            });
+            stm.txn(ctx, &mut th, |tx, ctx| tx.update(ctx, target, |v| v + 1));
         }
         stm.retire(th);
     });

@@ -137,15 +137,17 @@ fn etl_vs_ctl_same_results_different_timing() {
             }
             stm.retire(th);
         });
-        let total: u64 =
-            sim.with_state(|m| (0..4).map(|c| m.read_u64(base + c * 4096)).sum());
+        let total: u64 = sim.with_state(|m| (0..4).map(|c| m.read_u64(base + c * 4096)).sum());
         (total, r.cycles)
     };
     let (etl_total, etl_cycles) = run(LockDesign::Etl);
     let (ctl_total, ctl_cycles) = run(LockDesign::Ctl);
     assert_eq!(etl_total, 160);
     assert_eq!(ctl_total, 160);
-    assert_ne!(etl_cycles, ctl_cycles, "designs should not be timing-identical");
+    assert_ne!(
+        etl_cycles, ctl_cycles,
+        "designs should not be timing-identical"
+    );
 }
 
 #[test]

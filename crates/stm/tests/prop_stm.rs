@@ -120,7 +120,7 @@ proptest! {
             let mut n = 0;
             while cur != 0 {
                 let tag = ctx.read_u64(cur);
-                assert!(tag >= 0xfeed_0000 && tag < 0xfeed_0008, "bad tag {tag:#x}");
+                assert!((0xfeed_0000..0xfeed_0008).contains(&tag), "bad tag {tag:#x}");
                 cur = ctx.read_u64(cur + 8);
                 n += 1;
             }

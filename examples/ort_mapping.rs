@@ -29,7 +29,11 @@ fn main() {
                 addrs.lock().push(stack.alloc.malloc(ctx, 16));
             }
         });
-        println!("{:-10}  (min block {} B)", kind.name(), stack.alloc.min_block());
+        println!(
+            "{:-10}  (min block {} B)",
+            kind.name(),
+            stack.alloc.min_block()
+        );
         let addrs = addrs.into_inner();
         for (i, &a) in addrs.iter().enumerate() {
             let stripe = (stm.lock_addr_for(a) - stm.lock_addr_for(0)) / 8;
@@ -73,7 +77,11 @@ fn main() {
         println!(
             "  => {} cross-thread same-cache-line adjacencies{}\n",
             cross_line,
-            if cross_line > 0 { "  <-- FALSE SHARING" } else { "" }
+            if cross_line > 0 {
+                "  <-- FALSE SHARING"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -21,7 +21,10 @@ fn main() {
     let stm = &stack.stm;
     println!("machine : 8 simulated cores (2 sockets), 32 KB L1, 2x6 MB L2");
     println!("allocator: {}", stack.alloc.attributes().name);
-    println!("stm      : ETL write-back, ORT 2^20 x 8 B, stripe {} B\n", stm.stripe_bytes());
+    println!(
+        "stm      : ETL write-back, ORT 2^20 x 8 B, stripe {} B\n",
+        stm.stripe_bytes()
+    );
 
     // Build the tree on thread 0, then hammer it from 8 threads.
     let tree = parking_lot::Mutex::new(None);
@@ -60,8 +63,15 @@ fn main() {
     let stats = stm.stats();
     println!("virtual time : {:.3} ms", report.seconds * 1e3);
     println!("commits      : {}", stats.commits);
-    println!("aborts       : {} ({:.1} %)", stats.aborts(), stats.abort_ratio() * 100.0);
-    println!("throughput   : {:.0} tx/s", report.throughput(stats.commits));
+    println!(
+        "aborts       : {} ({:.1} %)",
+        stats.aborts(),
+        stats.abort_ratio() * 100.0
+    );
+    println!(
+        "throughput   : {:.0} tx/s",
+        report.throughput(stats.commits)
+    );
     println!(
         "L1 miss rate : {:.2} %",
         report.cache_total.l1_miss_ratio() * 100.0

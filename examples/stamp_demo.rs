@@ -42,7 +42,14 @@ fn main() {
         "{}",
         render_table(
             &format!("{} on {threads} simulated cores", app.name()),
-            &["allocator", "time (ms)", "commits", "aborts", "L1 miss", "lock wait (cyc)"],
+            &[
+                "allocator",
+                "time (ms)",
+                "commits",
+                "aborts",
+                "L1 miss",
+                "lock wait (cyc)"
+            ],
             &rows
         )
     );

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification gate: everything CI runs, runnable locally and offline.
+# Usage: scripts/verify.sh [--quick]
+#   --quick  skip the release build (debug build + tests + lints only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The workspace vendors all external deps as path shims, so builds never
+# need the network; --offline makes that a hard guarantee.
+CARGO="cargo --offline"
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+echo "==> cargo fmt --check"
+$CARGO fmt --all -- --check
+
+echo "==> cargo build (debug)"
+$CARGO build --workspace
+
+if [ "$quick" -eq 0 ]; then
+  echo "==> cargo build --release"
+  $CARGO build --workspace --release
+fi
+
+echo "==> cargo test"
+$CARGO test --workspace -q
+
+echo "==> cargo clippy -D warnings"
+$CARGO clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

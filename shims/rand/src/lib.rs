@@ -1,0 +1,255 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the pieces of `rand` it uses: `rngs::SmallRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen_range, gen_bool, gen}`.
+//!
+//! The implementation is **bit-compatible** with `rand` 0.8 on 64-bit
+//! targets: `SmallRng` is xoshiro256++ seeded through SplitMix64, integer
+//! ranges use the widening-multiply rejection method with the same zone
+//! computation, and `gen_bool` uses the fixed-point Bernoulli mapping.
+//! Deterministic workload streams recorded before the vendoring (cached
+//! sweep points, results files) therefore remain valid.
+
+use std::ops::Range;
+
+/// Core RNG interface (the subset of `rand_core::RngCore` used here).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Upper half of `next_u64` — matching xoshiro's `next_u32`, which
+    /// avoids the weak low bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only `seed_from_u64` is used in this workspace).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_half_open(self, range.start, range.end)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8's Bernoulli: p in fixed point with 2^64 scale.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Sample a value of a `Standard`-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable uniformly from a full domain (`Rng::gen`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Types usable with `Rng::gen_range`, sampled exactly as rand 0.8's
+/// `UniformInt::sample_single` (widening multiply + zone rejection).
+pub trait SampleUniform: Copy {
+    fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_64 {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let range = high.wrapping_sub(low) as u64;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! uniform_32 {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let range = high.wrapping_sub(low) as $unsigned as u32;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let m = (v as u64) * (range as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_64!(u64);
+uniform_64!(i64);
+uniform_64!(usize);
+uniform_64!(isize);
+uniform_32!(u32, u32);
+uniform_32!(i32, u32);
+uniform_32!(u16, u16);
+uniform_32!(i16, u16);
+uniform_32!(u8, u8);
+uniform_32!(i8, u8);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the `SmallRng` of rand 0.8 on 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+
+    impl SmallRng {
+        #[cfg(test)]
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        /// SplitMix64 expansion of a 64-bit seed into the xoshiro state,
+        /// exactly as `rand_core`'s default `seed_from_u64`.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *slot = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Reference vector from rand 0.8's xoshiro256plusplus test: raw state
+    /// [1, 2, 3, 4] (i.e. seed bytes 1,2,3,4 at 8-byte offsets).
+    #[test]
+    fn xoshiro_reference_vector() {
+        let mut rng = SmallRng::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(0xace);
+        let mut b = SmallRng::seed_from_u64(0xace);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0..3);
+            assert!((0..3).contains(&w));
+            let z = rng.gen_range(5usize..6);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious bias: {heads}");
+    }
+}

@@ -9,7 +9,12 @@ use tm_ds::StructureKind;
 use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
 
-fn synth(structure: StructureKind, kind: AllocatorKind, threads: usize, shift: u32) -> tm_core::Metrics {
+fn synth(
+    structure: StructureKind,
+    kind: AllocatorKind,
+    threads: usize,
+    shift: u32,
+) -> tm_core::Metrics {
     let mut cfg = SyntheticConfig::scaled(structure, kind, threads);
     cfg.ops_per_thread = match structure {
         StructureKind::LinkedList => 150,
@@ -24,7 +29,11 @@ fn synth(structure: StructureKind, kind: AllocatorKind, threads: usize, shift: u
 #[test]
 fn table4_glibc_list_aborts_lowest() {
     let glibc = synth(StructureKind::LinkedList, AllocatorKind::Glibc, 4, 5);
-    for other in [AllocatorKind::Hoard, AllocatorKind::TbbMalloc, AllocatorKind::TcMalloc] {
+    for other in [
+        AllocatorKind::Hoard,
+        AllocatorKind::TbbMalloc,
+        AllocatorKind::TcMalloc,
+    ] {
         let m = synth(StructureKind::LinkedList, other, 4, 5);
         assert!(
             m.abort_ratio > glibc.abort_ratio,
@@ -116,8 +125,20 @@ fn fig3_tcmalloc_16b_false_sharing_dip() {
 /// thread-caching allocators at 8 threads.
 #[test]
 fn yada_glibc_lock_waits_dominate() {
-    let glibc = run_kind(AppKind::Yada, AllocatorKind::Glibc, 8, &StampOpts::default(), 4);
-    let tc = run_kind(AppKind::Yada, AllocatorKind::TcMalloc, 8, &StampOpts::default(), 4);
+    let glibc = run_kind(
+        AppKind::Yada,
+        AllocatorKind::Glibc,
+        8,
+        &StampOpts::default(),
+        4,
+    );
+    let tc = run_kind(
+        AppKind::Yada,
+        AllocatorKind::TcMalloc,
+        8,
+        &StampOpts::default(),
+        4,
+    );
     assert!(
         glibc.lock_wait_cycles > 2 * tc.lock_wait_cycles,
         "Glibc lock waits {} should dwarf TCMalloc's {}",
@@ -139,7 +160,10 @@ fn table7_object_cache_helps_glibc_most() {
             AppKind::Yada,
             kind,
             8,
-            &StampOpts { object_cache: true, ..StampOpts::default() },
+            &StampOpts {
+                object_cache: true,
+                ..StampOpts::default()
+            },
             8,
         );
         base.par_seconds / opt.par_seconds - 1.0

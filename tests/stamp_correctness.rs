@@ -27,7 +27,13 @@ fn thread_scaling_preserves_invariants() {
     // verify() runs inside run_kind; crossing thread counts is the stress.
     for app in [AppKind::Intruder, AppKind::Yada, AppKind::Vacation] {
         for threads in [1, 3, 8] {
-            run_kind(app, AllocatorKind::TcMalloc, threads, &StampOpts::default(), 1);
+            run_kind(
+                app,
+                AllocatorKind::TcMalloc,
+                threads,
+                &StampOpts::default(),
+                1,
+            );
         }
     }
 }
@@ -38,9 +44,18 @@ fn object_cache_does_not_break_apps() {
         object_cache: true,
         ..StampOpts::default()
     };
-    for app in [AppKind::Genome, AppKind::Intruder, AppKind::Vacation, AppKind::Yada] {
+    for app in [
+        AppKind::Genome,
+        AppKind::Intruder,
+        AppKind::Vacation,
+        AppKind::Yada,
+    ] {
         let r = run_kind(app, AllocatorKind::Glibc, 4, &opts, 1);
-        assert!(r.commits > 0, "{}: no commits with object cache", app.name());
+        assert!(
+            r.commits > 0,
+            "{}: no commits with object cache",
+            app.name()
+        );
     }
 }
 
