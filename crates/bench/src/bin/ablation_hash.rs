@@ -1,58 +1,4 @@
-//! Extension ablation: the §5.2 HashSet anomaly vs the ORT hash function.
-//!
-//! The paper traces Glibc's poor HashSet throughput to 64 MB-aligned
-//! arenas aliasing onto the same ORT entries and cites Riegel's thesis on
-//! alternative hash functions. This ablation swaps the shift-and-modulo
-//! mapping for a multiplicative hash and measures the change per
-//! allocator: Glibc should recover, the others should be ~unaffected.
-use tm_alloc::AllocatorKind;
-use tm_bench::synth_cfg;
-use tm_core::report::render_table;
-use tm_core::synthetic::run_synthetic;
-use tm_ds::StructureKind;
-use tm_stm::OrtHash;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::ablation_hash`.
 fn main() {
-    let mut rows = Vec::new();
-    for kind in AllocatorKind::ALL {
-        let mut cfg = synth_cfg(StructureKind::HashSet, kind, 8, 5);
-        let base = run_synthetic(&cfg);
-        cfg.ort_hash = OrtHash::Mix;
-        let mixed = run_synthetic(&cfg);
-        rows.push(vec![
-            kind.name().into(),
-            format!("{:.0}", base.throughput),
-            format!("{:.0}", mixed.throughput),
-            format!(
-                "{:+.2}%",
-                (mixed.throughput / base.throughput - 1.0) * 100.0
-            ),
-            format!(
-                "{:.3}% -> {:.3}%",
-                base.abort_ratio * 100.0,
-                mixed.abort_ratio * 100.0
-            ),
-        ]);
-    }
-    let header = [
-        "Allocator",
-        "tx/s (shift-mod)",
-        "tx/s (mix)",
-        "gain",
-        "aborts",
-    ];
-    let body = render_table(
-        "Hash ablation: HashSet, 8 threads, shift-mod vs multiplicative ORT hash",
-        &header,
-        &rows,
-    );
-    let report = tm_bench::RunReport::new("ablation_hash", "ablation")
-        .meta("scale", tm_bench::scale())
-        .meta("threads", 8)
-        .section("data", tm_bench::table_section(&header, &rows));
-    tm_bench::emit_report(&report, &body);
-    println!("Expected (abort column): only Glibc's abort ratio drops — its");
-    println!("64 MB-arena aliasing is what the mix hash removes. Throughput");
-    println!("shifts are dominated by the hash spreading ORT accesses over");
-    println!("more cache lines (everyone pays a little).");
+    tm_bench::exhibits::ablation_hash::run();
 }

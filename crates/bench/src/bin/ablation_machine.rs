@@ -1,49 +1,4 @@
-//! Extension ablation (paper future work): do the allocator effects
-//! survive a machine generation change? Re-run the linked-list and hash
-//! set sweeps on a modelled modern single-socket 8-core with larger,
-//! slower-LLC caches and cheap core-to-core transfers.
-use tm_alloc::AllocatorKind;
-use tm_bench::synth_cfg;
-use tm_core::report::render_table;
-use tm_core::synthetic::run_synthetic;
-use tm_ds::StructureKind;
-use tm_sim::MachineConfig;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::ablation_machine`.
 fn main() {
-    let mut rows = Vec::new();
-    for s in [StructureKind::LinkedList, StructureKind::HashSet] {
-        for kind in AllocatorKind::ALL {
-            let mut cfg = synth_cfg(s, kind, 8, 5);
-            let xeon = run_synthetic(&cfg);
-            cfg.machine = MachineConfig::modern_8core();
-            let modern = run_synthetic(&cfg);
-            rows.push(vec![
-                format!("{}/{}", s.name(), kind.name()),
-                format!("{:.0}", xeon.throughput),
-                format!("{:.1}%", xeon.abort_ratio * 100.0),
-                format!("{:.0}", modern.throughput),
-                format!("{:.1}%", modern.abort_ratio * 100.0),
-            ]);
-        }
-    }
-    let header = [
-        "workload/allocator",
-        "xeon tx/s",
-        "xeon ab",
-        "modern tx/s",
-        "modern ab",
-    ];
-    let body = render_table(
-        "Machine ablation: Xeon E5405 model vs modern 8-core model (8 threads)",
-        &header,
-        &rows,
-    );
-    let report = tm_bench::RunReport::new("ablation_machine", "ablation")
-        .meta("scale", tm_bench::scale())
-        .meta("threads", 8)
-        .section("data", tm_bench::table_section(&header, &rows));
-    tm_bench::emit_report(&report, &body);
-    println!("The abort-rate ordering (the ORT interaction) is machine-");
-    println!("independent; only the absolute throughput scale moves — the");
-    println!("paper's reporting recommendation stands on newer hardware.");
+    tm_bench::exhibits::ablation_machine::run();
 }

@@ -1,43 +1,4 @@
-//! Figure 3: threadtest throughput vs block size, 8 threads, 4 allocators.
-use tm_alloc::AllocatorKind;
-use tm_bench::scale;
-use tm_core::report::{render_series, Series};
-use tm_core::threadtest::{run_threadtest, ThreadtestConfig};
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::fig3`.
 fn main() {
-    let sizes = [16u64, 64, 128, 256, 512, 2048, 8192];
-    let pairs = 400 * scale();
-    let mut series = Vec::new();
-    for kind in AllocatorKind::ALL {
-        series.push(Series {
-            label: kind.name().to_string(),
-            points: sizes
-                .iter()
-                .map(|&size| {
-                    let r = run_threadtest(&ThreadtestConfig {
-                        allocator: kind,
-                        threads: 8,
-                        block_size: size,
-                        pairs_per_thread: pairs,
-                    });
-                    (size as f64, r.mops)
-                })
-                .collect(),
-        });
-    }
-    let body = render_series(
-        "Figure 3: threadtest throughput (M pairs/s), 8 threads",
-        "block_size",
-        &series,
-    );
-    let report = tm_bench::RunReport::new("fig3", "figure")
-        .meta("scale", scale())
-        .meta("threads", 8)
-        .section(
-            "throughput",
-            tm_bench::series_section("block_size", &series),
-        );
-    tm_bench::emit_report(&report, &body);
-    println!("Paper shape: TCMalloc dips at 16 B; Hoard drops past 256 B to");
-    println!("Glibc's level; TBB flat until ~8 KB then falls to the OS path.");
+    tm_bench::exhibits::fig3::run();
 }

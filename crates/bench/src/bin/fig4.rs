@@ -1,28 +1,4 @@
-//! Figure 4: synthetic data-structure throughput vs cores, 60 % updates.
-use tm_bench::synth_sweep;
-use tm_core::report::render_series;
-use tm_ds::StructureKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::fig4`.
 fn main() {
-    let mut out = String::new();
-    let mut report = tm_bench::RunReport::new("fig4", "figure")
-        .meta("scale", tm_bench::scale())
-        .meta("shift", 5);
-    for s in StructureKind::ALL {
-        let series = synth_sweep(s, 5);
-        out.push_str(&render_series(
-            &format!(
-                "Figure 4 ({}, 60% updates): committed tx/s vs cores",
-                s.name()
-            ),
-            "cores",
-            &series,
-        ));
-        out.push('\n');
-        report = report.section(s.name(), tm_bench::series_section("cores", &series));
-    }
-    tm_bench::emit_report(&report, &out);
-    println!("Paper shape: Glibc best on the linked list (32 B spacing avoids");
-    println!("stripe sharing); Hoard/TBB best on HashSet (TCMalloc false-shares,");
-    println!("Glibc aliases arenas); TBB best on RBTree, Glibc worst.");
+    tm_bench::exhibits::fig4::run();
 }

@@ -1,49 +1,4 @@
-//! Extension of Fig. 4: the paper also ran read-only and read-dominated
-//! (20 % updates) mixes but printed only the write-dominated results for
-//! space. This regenerates all three mixes for every structure.
-use tm_alloc::AllocatorKind;
-use tm_bench::synth_point;
-use tm_bench::{synth_cfg, SYNTH_THREADS};
-use tm_core::report::{render_series, Series};
-use tm_ds::StructureKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::fig4_mixes`.
 fn main() {
-    let mut out = String::new();
-    let mut report =
-        tm_bench::RunReport::new("fig4_mixes", "figure").meta("scale", tm_bench::scale());
-    for update_pct in [0u32, 20, 60] {
-        for s in StructureKind::ALL {
-            let series: Vec<Series> = AllocatorKind::ALL
-                .iter()
-                .map(|&kind| Series {
-                    label: kind.name().to_string(),
-                    points: SYNTH_THREADS
-                        .iter()
-                        .map(|&t| {
-                            let mut cfg = synth_cfg(s, kind, t, 5);
-                            cfg.update_pct = update_pct;
-                            (t as f64, synth_point(&cfg).throughput)
-                        })
-                        .collect(),
-                })
-                .collect();
-            out.push_str(&render_series(
-                &format!(
-                    "{} ({}% updates): committed tx/s vs cores",
-                    s.name(),
-                    update_pct
-                ),
-                "cores",
-                &series,
-            ));
-            out.push('\n');
-            report = report.section(
-                format!("{}-{}pct", s.name(), update_pct),
-                tm_bench::series_section("cores", &series),
-            );
-        }
-    }
-    tm_bench::emit_report(&report, &out);
-    println!("Paper §4: update-rate sensitivity — allocator effects shrink");
-    println!("as the mix becomes read-dominated (fewer (de)allocations).");
+    tm_bench::exhibits::fig4_mixes::run();
 }

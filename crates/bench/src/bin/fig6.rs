@@ -1,35 +1,4 @@
-//! Figure 6: relative speedup (-1) of the linked list with shift 4 vs the
-//! default shift 5 (write-dominated).
-use tm_alloc::AllocatorKind;
-use tm_bench::synth_point;
-use tm_bench::{synth_cfg, SYNTH_THREADS};
-use tm_core::report::{render_series, Series};
-use tm_ds::StructureKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::fig6`.
 fn main() {
-    let mut series = Vec::new();
-    for kind in AllocatorKind::ALL {
-        let mut points = Vec::new();
-        for &t in &SYNTH_THREADS {
-            let base = synth_point(&synth_cfg(StructureKind::LinkedList, kind, t, 5));
-            let s4 = synth_point(&synth_cfg(StructureKind::LinkedList, kind, t, 4));
-            points.push((t as f64, s4.throughput / base.throughput - 1.0));
-        }
-        series.push(Series {
-            label: kind.name().to_string(),
-            points,
-        });
-    }
-    let body = render_series(
-        "Figure 6: speedup-1 of shift 4 over shift 5, sorted linked list",
-        "cores",
-        &series,
-    );
-    let report = tm_bench::RunReport::new("fig6", "figure")
-        .meta("scale", tm_bench::scale())
-        .section("speedup", tm_bench::series_section("cores", &series));
-    tm_bench::emit_report(&report, &body);
-    println!("Paper shape: all allocators lose at 1 core (more ORT pressure);");
-    println!("with cores, Hoard/TBB/TC gain (their 16 B-node false aborts vanish)");
-    println!("while Glibc keeps losing (it had no false aborts to recover).");
+    tm_bench::exhibits::fig6::run();
 }

@@ -1,36 +1,4 @@
-//! Figure 7: STAMP execution time vs cores for the six discussed apps,
-//! all four allocators.
-use tm_alloc::AllocatorKind;
-use tm_bench::{stamp_point, STAMP_THREADS};
-use tm_core::report::{render_series, Series};
-use tm_stamp::AppKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::fig7`.
 fn main() {
-    let mut out = String::new();
-    let mut report = tm_bench::RunReport::new("fig7", "figure").meta("scale", tm_bench::scale());
-    for app in AppKind::FIG7 {
-        let series: Vec<Series> = AllocatorKind::ALL
-            .iter()
-            .map(|&kind| Series {
-                label: kind.name().to_string(),
-                points: STAMP_THREADS
-                    .iter()
-                    .map(|&t| (t as f64, stamp_point(app, kind, t).par_seconds * 1e3))
-                    .collect(),
-            })
-            .collect();
-        out.push_str(&render_series(
-            &format!(
-                "Figure 7 ({}): execution time (virtual ms) vs cores",
-                app.name()
-            ),
-            "cores",
-            &series,
-        ));
-        out.push('\n');
-        report = report.section(app.name(), tm_bench::series_section("cores", &series));
-    }
-    tm_bench::emit_report(&report, &out);
-    println!("Paper shape: TBB/TC generally best; Yada+Glibc stops scaling past");
-    println!("4 threads; Hoard lags in Intruder (lock contention) and Labyrinth.");
+    tm_bench::exhibits::fig7::run();
 }

@@ -1,37 +1,4 @@
-//! Figure 8: speedup curves for Genome and Yada (vs 1 thread, same
-//! allocator).
-use tm_alloc::AllocatorKind;
-use tm_bench::{stamp_point, STAMP_THREADS};
-use tm_core::report::{render_series, Series};
-use tm_stamp::AppKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::fig8`.
 fn main() {
-    let mut out = String::new();
-    let mut report = tm_bench::RunReport::new("fig8", "figure").meta("scale", tm_bench::scale());
-    for app in [AppKind::Genome, AppKind::Yada] {
-        let series: Vec<Series> = AllocatorKind::ALL
-            .iter()
-            .map(|&kind| {
-                let base = stamp_point(app, kind, 1).par_seconds;
-                Series {
-                    label: kind.name().to_string(),
-                    points: STAMP_THREADS
-                        .iter()
-                        .map(|&t| (t as f64, base / stamp_point(app, kind, t).par_seconds))
-                        .collect(),
-                }
-            })
-            .collect();
-        out.push_str(&render_series(
-            &format!("Figure 8 ({}): speedup vs cores", app.name()),
-            "cores",
-            &series,
-        ));
-        out.push('\n');
-        report = report.section(app.name(), tm_bench::series_section("cores", &series));
-    }
-    tm_bench::emit_report(&report, &out);
-    println!("Paper shape: Genome speedups diverge by allocator (Glibc's is an");
-    println!("artifact of its bad 1-thread locality); Yada does not scale with");
-    println!("Glibc but does with the thread-caching allocators.");
+    tm_bench::exhibits::fig8::run();
 }

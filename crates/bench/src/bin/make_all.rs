@@ -1,39 +1,91 @@
-//! Run every exhibit regenerator in sequence (results land in results/).
-use std::process::Command;
+//! Regenerate every exhibit as one sweep over the registry.
+//!
+//! The exhibit list comes from `tm_bench::exhibits::REGISTRY` (the single
+//! source of truth), and execution goes through the `tm-sweep` worker pool:
+//! per-exhibit timeout, bounded retry, and graceful degradation — a hung or
+//! failing exhibit is recorded in the matrix instead of aborting the run.
+//! The matrix lands in `results/make_all.sweep.json` (gitignored: wall
+//! times are host-specific).
+//!
+//! Flags:
+//!
+//! ```text
+//! --jobs N       pool width (default 1; exhibits are multi-threaded)
+//! --timeout-s N  per-exhibit budget in seconds (default 600)
+//! --retries N    extra attempts per failed exhibit (default 1)
+//! --table        print the EXPERIMENTS.md determinism table and exit
+//! ```
+//!
+//! `TM_SWEEP_FAULT=timeout:<substr>` / `error:<substr>` injects a fault
+//! into matching cells (cell keys look like `exhibit=fig7`) to exercise
+//! the degradation path end-to-end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tm_bench::exhibits;
+use tm_sweep::{run_spec, CellRunner, Fault, Policy, SweepSpec};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
-    let bins = [
-        "table1",
-        "table2",
-        "fig1",
-        "fig3",
-        "fig4",
-        "table3",
-        "table4",
-        "fig6",
-        "table5",
-        "fig7",
-        "table6",
-        "fig8",
-        "table7",
-        "ablation_padding",
-        "ablation_hash",
-        "ablation_design",
-        "ablation_shift",
-        "ablation_machine",
-        "ablation_serial",
-        "ablation_variance",
-        "fig4_mixes",
-    ];
-    for bin in bins {
-        eprintln!("==> {bin}");
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .status()
-            .expect("spawn exhibit binary");
-        if !status.success() {
-            eprintln!("{bin} failed: {status}");
-            std::process::exit(1);
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--table") {
+        print!("{}", exhibits::experiments_table());
+        return;
     }
-    eprintln!("all exhibits regenerated under results/");
+    let jobs: usize = flag(&args, "--jobs").map_or(1, |v| v.parse().expect("--jobs"));
+    let timeout_s: u64 =
+        flag(&args, "--timeout-s").map_or(600, |v| v.parse().expect("--timeout-s"));
+    let retries: u32 = flag(&args, "--retries").map_or(1, |v| v.parse().expect("--retries"));
+
+    let spec = SweepSpec::new("make_all").axis(
+        "exhibit",
+        exhibits::REGISTRY.iter().map(|e| e.name.to_string()),
+    );
+    let policy = Policy {
+        workers: jobs,
+        timeout: Some(Duration::from_secs(timeout_s)),
+        retries,
+        fault: Fault::from_env(),
+        ..Policy::default()
+    };
+    let runner: Arc<CellRunner> = Arc::new(|cfg| {
+        let name = &cfg.iter().find(|(k, _)| k == "exhibit").unwrap().1;
+        eprintln!("==> {name}");
+        exhibits::run_by_name(name)?;
+        Ok(vec![])
+    });
+    let report = run_spec(&spec, runner, &policy)
+        .meta("workload", "exhibits")
+        .meta("scale", tm_bench::scale());
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/make_all.sweep.json", report.to_json_string())
+        .expect("write sweep matrix");
+    let degraded = report.degraded();
+    for cell in report
+        .cells
+        .iter()
+        .filter(|c| c.status != tm_sweep::CellStatus::Ok)
+    {
+        eprintln!(
+            "DEGRADED [{}]: {} after {} attempt(s): {}",
+            cell.key(),
+            cell.status.name(),
+            cell.attempts,
+            cell.error.as_deref().unwrap_or("-")
+        );
+    }
+    eprintln!(
+        "{}/{} exhibits regenerated under results/ (matrix: results/make_all.sweep.json)",
+        report.cells.len() - degraded,
+        report.cells.len()
+    );
+    if degraded > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,60 +1,4 @@
-//! Table 2: the simulated machine configuration.
-use tm_core::report::render_table;
-use tm_sim::MachineConfig;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::table2`.
 fn main() {
-    let m = MachineConfig::xeon_e5405();
-    let rows = vec![
-        vec![
-            "Processor model".into(),
-            "simulated Intel Xeon E5405 @ 2.00 GHz".into(),
-        ],
-        vec![
-            "Total cores".into(),
-            format!(
-                "{} ({} sockets, {} per socket)",
-                m.cores,
-                m.sockets(),
-                m.cores_per_socket
-            ),
-        ],
-        vec![
-            "L1 data cache".into(),
-            format!(
-                "{} KB, {}-way, 64-byte lines (per core)",
-                m.l1.size / 1024,
-                m.l1.ways
-            ),
-        ],
-        vec![
-            "L2 cache".into(),
-            format!(
-                "{}x{} MB, {}-way, shared per socket",
-                m.sockets(),
-                m.l2.size / (1024 * 1024),
-                m.l2.ways
-            ),
-        ],
-        vec![
-            "Latencies (cycles)".into(),
-            format!(
-                "L1 {} / L2 {} / mem {} / transfer {}-{} / RMW +{}",
-                m.cost.l1_hit,
-                m.cost.l2_hit,
-                m.cost.mem,
-                m.cost.transfer_same_socket,
-                m.cost.transfer_cross_socket,
-                m.cost.atomic_rmw
-            ),
-        ],
-    ];
-    let header = ["Item", "Value"];
-    let body = render_table(
-        "Table 2: machine configuration (virtual-time model)",
-        &header,
-        &rows,
-    );
-    let report = tm_bench::RunReport::new("table2", "table")
-        .section("data", tm_bench::table_section(&header, &rows));
-    tm_bench::emit_report(&report, &body);
+    tm_bench::exhibits::table2::run();
 }

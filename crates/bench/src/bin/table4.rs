@@ -1,34 +1,4 @@
-//! Table 4: aborted-transaction fraction and L1 miss ratio for the sorted
-//! linked list (write-dominated), per thread count and allocator.
-use tm_alloc::AllocatorKind;
-use tm_bench::synth_point;
-use tm_bench::{synth_cfg, SYNTH_THREADS};
-use tm_core::report::render_table;
-use tm_ds::StructureKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::table4`.
 fn main() {
-    let mut rows = Vec::new();
-    for &t in &SYNTH_THREADS {
-        let mut row = vec![format!("{t}")];
-        for kind in AllocatorKind::ALL {
-            let m = synth_point(&synth_cfg(StructureKind::LinkedList, kind, t, 5));
-            row.push(format!("{:.1}%", m.abort_ratio * 100.0));
-            row.push(format!("{:.2}%", m.l1_miss * 100.0));
-        }
-        rows.push(row);
-    }
-    let header = [
-        "#P", "Glibc ab", "Glibc L1", "Hoard ab", "Hoard L1", "TBB ab", "TBB L1", "TC ab", "TC L1",
-    ];
-    let body = render_table(
-        "Table 4: aborts / L1 miss, sorted linked list, 60% updates",
-        &header,
-        &rows,
-    );
-    let report = tm_bench::RunReport::new("table4", "table")
-        .meta("scale", tm_bench::scale())
-        .section("data", tm_bench::table_section(&header, &rows));
-    tm_bench::emit_report(&report, &body);
-    println!("Paper shape: Glibc aborts well below the other three at every");
-    println!("thread count; Glibc L1 miss ratio above the others (worse locality).");
+    tm_bench::exhibits::table4::run();
 }

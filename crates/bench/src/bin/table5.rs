@@ -1,54 +1,4 @@
-//! Table 5: STAMP allocation characterization — per-size-class counts for
-//! the seq/par/tx regions of each application (sequential run).
-use tm_alloc::profile::{bucket_label, Region};
-use tm_alloc::AllocatorKind;
-use tm_bench::stamp_scale;
-use tm_core::report::render_table;
-use tm_stamp::runner::{make_app, profile_app};
-use tm_stamp::AppKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::table5`.
 fn main() {
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        let a = make_app(app, stamp_scale(app), 0xace);
-        let prof = profile_app(a.as_ref(), AllocatorKind::Glibc);
-        for region in Region::ALL {
-            let s = prof[region as usize];
-            let mut row = vec![app.name().into(), region.name().into()];
-            for b in 0..8 {
-                row.push(format!("{}", s.by_bucket[b]));
-            }
-            row.push(format!("{}", s.mallocs));
-            row.push(format!("{}", s.frees));
-            row.push(format!("{}", s.bytes));
-            rows.push(row);
-        }
-    }
-    let header = [
-        "App",
-        "Region",
-        bucket_label(0),
-        bucket_label(1),
-        bucket_label(2),
-        bucket_label(3),
-        bucket_label(4),
-        bucket_label(5),
-        bucket_label(6),
-        bucket_label(7),
-        "#mallocs",
-        "#frees",
-        "bytes",
-    ];
-    let body = render_table(
-        "Table 5: allocations per size class and region (sequential run)",
-        &header,
-        &rows,
-    );
-    let report = tm_bench::RunReport::new("table5", "table")
-        .meta("scale", tm_bench::scale())
-        .section("data", tm_bench::table_section(&header, &rows));
-    tm_bench::emit_report(&report, &body);
-    println!("Paper shape: Kmeans/SSCA2 allocate only in seq; Genome's tx region");
-    println!("is pure 16 B; Intruder frees in par (privatization); Vacation and");
-    println!("Yada have mallocs > frees; small blocks dominate everywhere.");
+    tm_bench::exhibits::table5::run();
 }

@@ -1,47 +1,4 @@
-//! Table 6: best and worst allocators per STAMP application (time at the
-//! best-performing thread count).
-use tm_alloc::AllocatorKind;
-use tm_bench::{stamp_point, STAMP_THREADS};
-use tm_core::report::{best_worst, render_table};
-use tm_stamp::AppKind;
-
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::table6`.
 fn main() {
-    let mut rows = Vec::new();
-    for app in AppKind::FIG7 {
-        let mut entries = Vec::new();
-        let mut best_threads = std::collections::HashMap::new();
-        for kind in AllocatorKind::ALL {
-            let mut best = (0usize, f64::INFINITY);
-            for &t in &STAMP_THREADS {
-                let r = stamp_point(app, kind, t);
-                if r.par_seconds < best.1 {
-                    best = (t, r.par_seconds);
-                }
-            }
-            best_threads.insert(kind.name().to_string(), best.0);
-            entries.push((kind.name().to_string(), best.1));
-        }
-        let bw = best_worst(&entries, true);
-        let at_threads = best_threads[&bw.best];
-        rows.push(vec![
-            app.name().into(),
-            bw.best,
-            bw.worst,
-            format!("{:.1}%", bw.diff_pct),
-            format!("{at_threads}"),
-        ]);
-    }
-    let header = ["Application", "Best", "Worst", "Perf. diff", "Threads"];
-    let body = render_table(
-        "Table 6: best/worst allocator per STAMP application",
-        &header,
-        &rows,
-    );
-    let report = tm_bench::RunReport::new("table6", "table")
-        .meta("scale", tm_bench::scale())
-        .section("data", tm_bench::table_section(&header, &rows));
-    tm_bench::emit_report(&report, &body);
-    println!("Paper: Bayes Hoard/Glibc 47.6%; Genome TBB/Glibc 14.4%; Intruder");
-    println!("TBB/Hoard 24.2%; Labyrinth TC/Hoard 9.6%; Vacation TC/Hoard 24.1%;");
-    println!("Yada TC/Glibc 170.9%.");
+    tm_bench::exhibits::table6::run();
 }

@@ -1,0 +1,54 @@
+//! Bayes variance study: the paper singles Bayes out for high run-to-run
+//! variability (citing its ref.\ 4) and includes it "for completeness". Under the
+//! deterministic simulator the variance axis is the input seed: this
+//! ablation sweeps seeds and reports the spread per allocator, showing
+//! Bayes' spread dwarfs a stable app's (Genome).
+use tm_alloc::AllocatorKind;
+use tm_core::report::render_table;
+use tm_stamp::runner::{run_kind, StampOpts};
+use tm_stamp::AppKind;
+
+fn spread(app: AppKind, kind: AllocatorKind) -> (f64, f64, f64) {
+    let times: Vec<f64> = (0..5u64)
+        .map(|i| {
+            let opts = StampOpts {
+                seed: 0x1000 + i * 7919,
+                ..StampOpts::default()
+            };
+            run_kind(app, kind, 8, &opts, 2).par_seconds
+        })
+        .collect();
+    let lo = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (lo, hi, mean)
+}
+
+pub fn run() {
+    let mut rows = Vec::new();
+    for app in [AppKind::Bayes, AppKind::Genome] {
+        for kind in [AllocatorKind::Glibc, AllocatorKind::Hoard] {
+            let (lo, hi, mean) = spread(app, kind);
+            rows.push(vec![
+                format!("{}/{}", app.name(), kind.name()),
+                format!("{:.4}ms", mean * 1e3),
+                format!("{:.4}ms", lo * 1e3),
+                format!("{:.4}ms", hi * 1e3),
+                format!("{:.1}%", (hi / lo - 1.0) * 100.0),
+            ]);
+        }
+    }
+    let header = ["app/allocator", "mean", "min", "max", "spread"];
+    let body = render_table(
+        "Variance study: par time over 5 input seeds, 8 threads",
+        &header,
+        &rows,
+    );
+    let report = crate::RunReport::new("ablation_variance", "ablation")
+        .meta("seeds", 5)
+        .meta("threads", 8)
+        .section("data", crate::table_section(&header, &rows));
+    crate::emit_report(&report, &body);
+    println!("Paper §6: Bayes 'presents high variability, complicating its");
+    println!("analysis' — its seed spread should far exceed Genome's.");
+}

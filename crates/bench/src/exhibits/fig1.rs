@@ -1,0 +1,33 @@
+//! Figure 1: Intruder and Yada at 8 cores, Glibc vs Hoard — the motivating
+//! observation that the best-performing allocator flips between apps.
+use crate::stamp_point;
+use tm_alloc::AllocatorKind;
+use tm_core::report::render_table;
+use tm_stamp::AppKind;
+
+pub fn run() {
+    let mut rows = Vec::new();
+    for app in [AppKind::Intruder, AppKind::Yada] {
+        for kind in [AllocatorKind::Glibc, AllocatorKind::Hoard] {
+            let r = stamp_point(app, kind, 8);
+            rows.push(vec![
+                app.name().into(),
+                kind.name().into(),
+                format!("{:.3}", r.par_seconds * 1e3),
+                format!("{:.1}%", r.abort_ratio * 100.0),
+            ]);
+        }
+    }
+    let header = ["app", "allocator", "time (ms)", "aborts"];
+    let body = render_table(
+        "Figure 1: Intruder and Yada, 8 cores, Glibc vs Hoard (virtual ms)",
+        &header,
+        &rows,
+    );
+    let report = crate::RunReport::new("fig1", "figure")
+        .meta("scale", crate::scale())
+        .meta("threads", 8)
+        .section("data", crate::table_section(&header, &rows));
+    crate::emit_report(&report, &body);
+    println!("Paper shape: Glibc wins Intruder, Hoard wins Yada (vs Glibc).");
+}

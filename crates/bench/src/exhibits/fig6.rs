@@ -1,0 +1,35 @@
+//! Figure 6: relative speedup (-1) of the linked list with shift 4 vs the
+//! default shift 5 (write-dominated).
+use crate::synth_point;
+use crate::{synth_cfg, SYNTH_THREADS};
+use tm_alloc::AllocatorKind;
+use tm_core::report::{render_series, Series};
+use tm_ds::StructureKind;
+
+pub fn run() {
+    let mut series = Vec::new();
+    for kind in AllocatorKind::ALL {
+        let mut points = Vec::new();
+        for &t in &SYNTH_THREADS {
+            let base = synth_point(&synth_cfg(StructureKind::LinkedList, kind, t, 5));
+            let s4 = synth_point(&synth_cfg(StructureKind::LinkedList, kind, t, 4));
+            points.push((t as f64, s4.throughput / base.throughput - 1.0));
+        }
+        series.push(Series {
+            label: kind.name().to_string(),
+            points,
+        });
+    }
+    let body = render_series(
+        "Figure 6: speedup-1 of shift 4 over shift 5, sorted linked list",
+        "cores",
+        &series,
+    );
+    let report = crate::RunReport::new("fig6", "figure")
+        .meta("scale", crate::scale())
+        .section("speedup", crate::series_section("cores", &series));
+    crate::emit_report(&report, &body);
+    println!("Paper shape: all allocators lose at 1 core (more ORT pressure);");
+    println!("with cores, Hoard/TBB/TC gain (their 16 B-node false aborts vanish)");
+    println!("while Glibc keeps losing (it had no false aborts to recover).");
+}

@@ -1,0 +1,36 @@
+//! Figure 7: STAMP execution time vs cores for the six discussed apps,
+//! all four allocators.
+use crate::{stamp_point, STAMP_THREADS};
+use tm_alloc::AllocatorKind;
+use tm_core::report::{render_series, Series};
+use tm_stamp::AppKind;
+
+pub fn run() {
+    let mut out = String::new();
+    let mut report = crate::RunReport::new("fig7", "figure").meta("scale", crate::scale());
+    for app in AppKind::FIG7 {
+        let series: Vec<Series> = AllocatorKind::ALL
+            .iter()
+            .map(|&kind| Series {
+                label: kind.name().to_string(),
+                points: STAMP_THREADS
+                    .iter()
+                    .map(|&t| (t as f64, stamp_point(app, kind, t).par_seconds * 1e3))
+                    .collect(),
+            })
+            .collect();
+        out.push_str(&render_series(
+            &format!(
+                "Figure 7 ({}): execution time (virtual ms) vs cores",
+                app.name()
+            ),
+            "cores",
+            &series,
+        ));
+        out.push('\n');
+        report = report.section(app.name(), crate::series_section("cores", &series));
+    }
+    crate::emit_report(&report, &out);
+    println!("Paper shape: TBB/TC generally best; Yada+Glibc stops scaling past");
+    println!("4 threads; Hoard lags in Intruder (lock contention) and Labyrinth.");
+}

@@ -1,0 +1,34 @@
+//! Table 4: aborted-transaction fraction and L1 miss ratio for the sorted
+//! linked list (write-dominated), per thread count and allocator.
+use crate::synth_point;
+use crate::{synth_cfg, SYNTH_THREADS};
+use tm_alloc::AllocatorKind;
+use tm_core::report::render_table;
+use tm_ds::StructureKind;
+
+pub fn run() {
+    let mut rows = Vec::new();
+    for &t in &SYNTH_THREADS {
+        let mut row = vec![format!("{t}")];
+        for kind in AllocatorKind::ALL {
+            let m = synth_point(&synth_cfg(StructureKind::LinkedList, kind, t, 5));
+            row.push(format!("{:.1}%", m.abort_ratio * 100.0));
+            row.push(format!("{:.2}%", m.l1_miss * 100.0));
+        }
+        rows.push(row);
+    }
+    let header = [
+        "#P", "Glibc ab", "Glibc L1", "Hoard ab", "Hoard L1", "TBB ab", "TBB L1", "TC ab", "TC L1",
+    ];
+    let body = render_table(
+        "Table 4: aborts / L1 miss, sorted linked list, 60% updates",
+        &header,
+        &rows,
+    );
+    let report = crate::RunReport::new("table4", "table")
+        .meta("scale", crate::scale())
+        .section("data", crate::table_section(&header, &rows));
+    crate::emit_report(&report, &body);
+    println!("Paper shape: Glibc aborts well below the other three at every");
+    println!("thread count; Glibc L1 miss ratio above the others (worse locality).");
+}

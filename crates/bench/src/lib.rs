@@ -212,6 +212,8 @@ pub fn emit_report(report: &RunReport, body: &str) {
 
 pub use tm_obs::{RunReport, Section};
 
+pub mod exhibits;
+
 /// [`Section`] from the series an exhibit already renders as text.
 pub fn series_section(x_label: &str, series: &[Series]) -> Section {
     Section::Series {

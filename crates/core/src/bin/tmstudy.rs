@@ -8,12 +8,16 @@
 //! tmstudy machine
 //! tmstudy report results/fig4.json
 //! tmstudy report results/fig4.json old-results/fig4.json
+//! tmstudy sweep --structure list --alloc glibc,hoard,tbb,tc --threads 1,2,4,8
+//! tmstudy book --check
 //! ```
 //!
 //! Every run is deterministic; flags map 1:1 onto the library types, so
 //! anything printed here can be reproduced programmatically.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use tm_alloc::profile::{bucket_label, Region};
 use tm_alloc::AllocatorKind;
@@ -38,37 +42,74 @@ fn main() {
         "profile" => profile(&flags),
         "machine" => machine(),
         "report" => report(rest),
+        "sweep" => sweep(&flags),
+        "book" => book(&flags),
         _ => usage(),
     }
 }
 
 fn usage() {
     eprintln!(
-        "usage: tmstudy <synth|stamp|threadtest|profile|machine> [flags]\n\
+        "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|book> [flags]\n\
          synth:      --structure list|hash|rbtree --alloc <a> --threads N \
          [--update-pct P] [--shift S] [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
          stamp:      --app <name> --alloc <a> --threads N [--scale S] \
          [--shift S] [--ctl] [--mix-hash] [--object-cache]\n\
          threadtest: --alloc <a> [--size BYTES] [--threads N] [--pairs N]\n\
          profile:    --app <name> [--alloc <a>] [--scale S]\n\
-         report:     <run.json> — pretty-print; <a.json> <b.json> — diff\n\
+         report:     <a.json> — pretty-print; <a.json> <b.json> — diff \
+         (run reports or sweep matrices, by schema)\n\
+         sweep:      [--workload synth|stamp|threadtest] axes as comma lists \
+         (--structure --app --alloc --threads --shift --update-pct --size --ops \
+         --pairs --scale --seeds) [--reps N] [--name S] [--out FILE] \
+         [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
+         book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
          allocators: glibc hoard tbb tc"
     );
 }
 
-/// Pretty-print one `tm-run-report/v1` JSON file, or structurally diff two
-/// (exit code 1 when the reports differ, for scripting).
-fn report(args: &[String]) {
-    let load = |path: &str| -> tm_obs::RunReport {
+/// Either schema that `tmstudy report` can show or diff.
+enum AnyReport {
+    Run(tm_obs::RunReport),
+    Sweep(tm_obs::SweepReport),
+}
+
+impl AnyReport {
+    /// Load a results JSON file, dispatching on its `schema` field.
+    fn load(path: &str) -> AnyReport {
         let src =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        tm_obs::RunReport::parse(&src).unwrap_or_else(|e| panic!("{path} is not a run report: {e}"))
-    };
+        let tree =
+            tm_obs::json::Json::parse(&src).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+        match tree.get("schema").and_then(tm_obs::json::Json::as_str) {
+            Some(tm_obs::sweep::SWEEP_SCHEMA) => AnyReport::Sweep(
+                tm_obs::SweepReport::from_json(&tree)
+                    .unwrap_or_else(|e| panic!("{path} is not a sweep report: {e}")),
+            ),
+            _ => AnyReport::Run(
+                tm_obs::RunReport::from_json(&tree)
+                    .unwrap_or_else(|e| panic!("{path} is not a run report: {e}")),
+            ),
+        }
+    }
+}
+
+/// Pretty-print one results JSON file (run report or sweep matrix, chosen
+/// by its `schema` field), or structurally diff two of the same schema
+/// (exit code 1 when they differ, for scripting).
+fn report(args: &[String]) {
     match args {
-        [one] => print!("{}", load(one).render()),
+        [one] => match AnyReport::load(one) {
+            AnyReport::Run(r) => print!("{}", r.render()),
+            AnyReport::Sweep(s) => print!("{}", s.render()),
+        },
         [a, b] => {
-            let (ra, rb) = (load(a), load(b));
-            match ra.diff(&rb) {
+            let d = match (AnyReport::load(a), AnyReport::load(b)) {
+                (AnyReport::Run(ra), AnyReport::Run(rb)) => ra.diff(&rb),
+                (AnyReport::Sweep(sa), AnyReport::Sweep(sb)) => sa.diff(&sb),
+                _ => panic!("cannot diff a run report against a sweep matrix"),
+            };
+            match d {
                 None => println!("reports are identical"),
                 Some(d) => {
                     print!("{d}");
@@ -77,6 +118,82 @@ fn report(args: &[String]) {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Run a declarative sweep on the worker pool and write the matrix.
+fn sweep(flags: &HashMap<String, String>) {
+    let spec = match tm_core::sweeps::spec_from_flags(flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(2);
+        }
+    };
+    let policy = tm_sweep::Policy {
+        workers: get(flags, "workers", 4),
+        timeout: Some(Duration::from_millis(get(flags, "timeout-ms", 60_000))),
+        retries: get(flags, "retries", 1),
+        backoff: Duration::from_millis(get(flags, "backoff-ms", 50)),
+        fault: tm_sweep::Fault::from_env(),
+    };
+    eprintln!(
+        "sweep '{}': {} cells on {} workers (timeout {:?})",
+        spec.name,
+        spec.cell_count(),
+        policy.workers,
+        policy.timeout.unwrap()
+    );
+    let runner: Arc<tm_sweep::CellRunner> = Arc::new(tm_core::sweeps::run_cell);
+    let report = tm_sweep::run_spec(&spec, runner, &policy);
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("results/{}.sweep.json", report.name));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write sweep matrix");
+    print!("{}", report.render());
+    println!("\nmatrix written to {out}");
+    if report.degraded() > 0 {
+        eprintln!(
+            "warning: {} degraded cell(s), see matrix",
+            report.degraded()
+        );
+    }
+}
+
+/// Render REPRODUCTION.md from results/*.json; `--check` compares against
+/// the committed copy instead of writing (exit 1 on drift).
+fn book(flags: &HashMap<String, String>) {
+    let dir = flags
+        .get("results")
+        .cloned()
+        .unwrap_or_else(|| "results".into());
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "REPRODUCTION.md".into());
+    let reports = tm_core::book::load_results_dir(&dir).unwrap_or_else(|e| panic!("book: {e}"));
+    let text = tm_core::book::render_book(&reports);
+    if flags.contains_key("stdout") {
+        print!("{text}");
+    } else if flags.contains_key("check") {
+        let committed = std::fs::read_to_string(&out)
+            .unwrap_or_else(|e| panic!("book --check: cannot read {out}: {e}"));
+        if committed == text {
+            println!("{out} is up to date with {dir}/*.json");
+        } else {
+            eprintln!(
+                "{out} drifted from {dir}/*.json — regenerate with `tmstudy book` \
+                 and commit the result"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&out, &text).unwrap_or_else(|e| panic!("book: cannot write {out}: {e}"));
+        println!("wrote {out} ({} exhibits)", reports.len());
     }
 }
 

@@ -14,7 +14,9 @@
 //!
 //! Experiments are deterministic: same configuration, same numbers.
 
+pub mod book;
 pub mod report;
+pub mod sweeps;
 pub mod synthetic;
 pub mod threadtest;
 

@@ -1,0 +1,253 @@
+//! Cell runners and spec building for `tmstudy sweep`.
+//!
+//! A sweep cell is a flat `(key, value)` configuration produced by
+//! [`tm_sweep::SweepSpec::expand`]; [`run_cell`] maps one such
+//! configuration onto the library workloads (synthetic structures, STAMP
+//! applications, threadtest) and returns named scalar metrics. Everything
+//! returns `Result` rather than panicking so that a malformed or
+//! impossible cell degrades to an `error` cell in the matrix instead of
+//! taking down the whole sweep.
+//!
+//! [`spec_from_flags`] turns `tmstudy sweep` command-line flags into a
+//! [`tm_sweep::SweepSpec`]: comma-separated flag values become axes in a
+//! fixed canonical order (so the expansion order — and therefore the
+//! matrix cell order — does not depend on the order flags were typed),
+//! and `--reps N` adds a trailing `rep` axis to force repetitions.
+
+use std::collections::HashMap;
+
+use tm_alloc::AllocatorKind;
+use tm_ds::StructureKind;
+use tm_stamp::runner::{make_app, run_app, StampOpts};
+use tm_stamp::AppKind;
+use tm_sweep::SweepSpec;
+
+use crate::synthetic::{run_synthetic, SyntheticConfig};
+use crate::threadtest::{run_threadtest, ThreadtestConfig};
+
+fn lookup<'a>(config: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    config
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse<T: std::str::FromStr>(
+    config: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match lookup(config, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {key} '{v}'")),
+    }
+}
+
+fn alloc_of(config: &[(String, String)]) -> Result<AllocatorKind, String> {
+    match lookup(config, "alloc") {
+        None => Ok(AllocatorKind::TbbMalloc),
+        Some(v) => v.parse().map_err(|_| format!("unknown allocator '{v}'")),
+    }
+}
+
+fn structure_of(config: &[(String, String)]) -> Result<StructureKind, String> {
+    match lookup(config, "structure") {
+        Some("list") | Some("linked-list") => Ok(StructureKind::LinkedList),
+        Some("hash") | Some("hashset") => Ok(StructureKind::HashSet),
+        Some("rbtree") | Some("tree") | None => Ok(StructureKind::RbTree),
+        Some(other) => Err(format!("unknown structure '{other}'")),
+    }
+}
+
+/// Execute one sweep cell. Dispatches on the cell's `workload` key
+/// (`synth`, `stamp` or `threadtest`); unknown keys such as `rep` or
+/// `seed`-only axes are configuration labels and are ignored by workloads
+/// that do not consume them.
+pub fn run_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String> {
+    match lookup(config, "workload") {
+        Some("synth") | None => synth_cell(config),
+        Some("stamp") => stamp_cell(config),
+        Some("threadtest") => threadtest_cell(config),
+        Some(other) => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+fn synth_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String> {
+    let mut cfg = SyntheticConfig::scaled(
+        structure_of(config)?,
+        alloc_of(config)?,
+        parse(config, "threads", 8usize)?,
+    );
+    cfg.update_pct = parse(config, "update-pct", cfg.update_pct)?;
+    cfg.shift = parse(config, "shift", cfg.shift)?;
+    cfg.seed = parse(config, "seed", cfg.seed)?;
+    if let Some(n) = lookup(config, "size") {
+        cfg.initial_size = n.parse().map_err(|_| format!("bad size '{n}'"))?;
+        cfg.key_range = cfg.initial_size * 2;
+        cfg.buckets = (cfg.initial_size * 32).next_power_of_two();
+    }
+    cfg.ops_per_thread = parse(config, "ops", cfg.ops_per_thread)?;
+    let m = run_synthetic(&cfg);
+    Ok(vec![
+        ("throughput".into(), m.throughput),
+        ("abort_pct".into(), m.abort_ratio * 100.0),
+        ("l1_miss_pct".into(), m.l1_miss * 100.0),
+    ])
+}
+
+fn stamp_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String> {
+    let app: AppKind = match lookup(config, "app") {
+        None => return Err("stamp sweep needs an app axis (--app)".into()),
+        Some(v) => v.parse().map_err(|_| format!("unknown app '{v}'"))?,
+    };
+    let opts = StampOpts {
+        shift: parse(config, "shift", 5)?,
+        seed: parse(config, "seed", 0xace)?,
+        ..StampOpts::default()
+    };
+    let scale = parse(config, "scale", 2u64)?;
+    let threads = parse(config, "threads", 8usize)?;
+    let a = make_app(app, scale, opts.seed);
+    let r = run_app(a.as_ref(), alloc_of(config)?, threads, &opts);
+    Ok(vec![
+        ("par_s".into(), r.par_seconds),
+        ("speedup".into(), r.seq_seconds / r.par_seconds),
+        ("abort_pct".into(), r.abort_ratio * 100.0),
+        ("l1_miss_pct".into(), r.l1_miss * 100.0),
+    ])
+}
+
+fn threadtest_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String> {
+    let r = run_threadtest(&ThreadtestConfig {
+        allocator: alloc_of(config)?,
+        threads: parse(config, "threads", 8)?,
+        block_size: parse(config, "size", 64)?,
+        pairs_per_thread: parse(config, "pairs", 1000)?,
+    });
+    Ok(vec![
+        ("mpairs_per_s".into(), r.mops),
+        ("l1_miss_pct".into(), r.l1_miss * 100.0),
+    ])
+}
+
+/// Flags that become sweep axes when present, in canonical axis order.
+/// Comma-separated values expand the axis; a single value is a one-value
+/// axis (still recorded per cell).
+const AXIS_FLAGS: &[&str] = &[
+    "structure",
+    "app",
+    "alloc",
+    "threads",
+    "shift",
+    "update-pct",
+    "size",
+    "ops",
+    "pairs",
+    "scale",
+    "seeds",
+];
+
+/// Build a [`SweepSpec`] from `tmstudy sweep` flags (as parsed into a
+/// flag-name → value map). `--workload` (default `synth`) becomes a fixed
+/// key, each flag in the canonical axis list becomes an axis, and
+/// `--reps N` appends a `rep` axis with values `1..=N`.
+pub fn spec_from_flags(flags: &HashMap<String, String>) -> Result<SweepSpec, String> {
+    let workload = flags.get("workload").map_or("synth", String::as_str);
+    if !["synth", "stamp", "threadtest"].contains(&workload) {
+        return Err(format!("unknown workload '{workload}'"));
+    }
+    let name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| format!("sweep_{workload}"));
+    let mut spec = SweepSpec::new(name).fixed("workload", workload);
+    for &f in AXIS_FLAGS {
+        if let Some(vals) = flags.get(f) {
+            let values: Vec<String> = vals
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            if values.is_empty() {
+                return Err(format!("--{f} has no values"));
+            }
+            // --seeds is plural on the command line but each cell carries
+            // one seed.
+            let axis = if f == "seeds" { "seed" } else { f };
+            spec = spec.axis(axis, values);
+        }
+    }
+    if let Some(n) = flags.get("reps") {
+        let n: u32 = n.parse().map_err(|_| format!("bad --reps '{n}'"))?;
+        if n == 0 {
+            return Err("--reps must be at least 1".into());
+        }
+        spec = spec.axis("rep", (1..=n).map(|i| i.to_string()));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn spec_axis_order_is_canonical_not_flag_order() {
+        let mut flags = HashMap::new();
+        flags.insert("threads".to_string(), "1,8".to_string());
+        flags.insert("alloc".to_string(), "glibc,hoard".to_string());
+        flags.insert("reps".to_string(), "2".to_string());
+        let spec = spec_from_flags(&flags).unwrap();
+        let axes: Vec<&str> = spec.axes.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(axes, ["alloc", "threads", "rep"]);
+        assert_eq!(spec.cell_count(), 8);
+        assert_eq!(spec.fixed, cfg(&[("workload", "synth")]));
+    }
+
+    #[test]
+    fn bad_workload_and_bad_values_are_errors_not_panics() {
+        let mut flags = HashMap::new();
+        flags.insert("workload".to_string(), "quantum".to_string());
+        assert!(spec_from_flags(&flags).is_err());
+        assert!(run_cell(&cfg(&[("workload", "quantum")])).is_err());
+        assert!(run_cell(&cfg(&[("alloc", "jemalloc")])).is_err());
+        assert!(
+            run_cell(&cfg(&[("workload", "stamp")])).is_err(),
+            "app is required"
+        );
+    }
+
+    #[test]
+    fn synth_cell_produces_throughput() {
+        let metrics = run_cell(&cfg(&[
+            ("workload", "synth"),
+            ("structure", "list"),
+            ("alloc", "glibc"),
+            ("threads", "2"),
+            ("ops", "200"),
+            ("size", "64"),
+        ]))
+        .unwrap();
+        let t = metrics.iter().find(|(k, _)| k == "throughput").unwrap().1;
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn threadtest_cell_produces_mpairs() {
+        let metrics = run_cell(&cfg(&[
+            ("workload", "threadtest"),
+            ("alloc", "tc"),
+            ("threads", "2"),
+            ("pairs", "100"),
+        ]))
+        .unwrap();
+        assert!(metrics.iter().any(|(k, v)| k == "mpairs_per_s" && *v > 0.0));
+    }
+}

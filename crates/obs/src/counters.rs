@@ -8,6 +8,25 @@
 //! no lock, no contended line. Readers merge shards slot-wise; totals are
 //! exact once the recording threads have quiesced (e.g. after `Sim::run`
 //! returns), which is the only time the stack reads them.
+//!
+//! # The merge contract
+//!
+//! Every type here shares one discipline, and everything built on top
+//! (stats structs via [`SlotSchema`], named metrics via [`Registry`])
+//! inherits it:
+//!
+//! 1. **Slots are additive.** A merged value is the wrapping slot-wise sum
+//!    over all shards, nothing else — no averaging, no max. Anything
+//!    stored in a slot must make sense under addition (counts, cycle
+//!    totals, byte totals). Ratios and gauges must be derived *after*
+//!    merging, from additive ingredients.
+//! 2. **One writer per shard.** Only logical thread `tid` may record into
+//!    shard `tid`. The `fetch_add` is `Relaxed`: it orders nothing and is
+//!    only guaranteed exact because no two threads share a slot.
+//! 3. **Merge at quiescence.** Merged reads are exact once every recording
+//!    thread has finished (joined or otherwise synchronized-with); a merge
+//!    taken mid-run is a best-effort snapshot that may miss in-flight
+//!    increments but never tears a single slot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -27,6 +46,7 @@ pub struct ShardedSlots {
 }
 
 impl ShardedSlots {
+    /// A zeroed grid for `threads` shards of `width` slots each.
     pub fn new(threads: usize, width: usize) -> Self {
         assert!(threads >= 1, "need at least one shard");
         assert!(width >= 1, "need at least one slot");
@@ -40,10 +60,12 @@ impl ShardedSlots {
         }
     }
 
+    /// Number of shards (one per logical thread).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// Number of slots per shard.
     pub fn width(&self) -> usize {
         self.width
     }
@@ -68,6 +90,7 @@ impl ShardedSlots {
         self.slot(tid, slot).store(value, Ordering::Relaxed);
     }
 
+    /// Read `(tid, slot)` (relaxed; exact at quiescence).
     #[inline]
     pub fn get(&self, tid: usize, slot: usize) -> u64 {
         self.slot(tid, slot).load(Ordering::Relaxed)
@@ -103,10 +126,13 @@ impl ShardedSlots {
 /// out as a row of `u64`s. Merge discipline is slot-wise addition, so all
 /// fields must be additive counters.
 pub trait SlotSchema: Default {
+    /// Number of `u64` slots one value occupies.
     const WIDTH: usize;
     /// Field names, `WIDTH` of them, used by report emission.
     fn slot_names() -> &'static [&'static str];
+    /// Scatter this value into `slots` (exactly `WIDTH` entries).
     fn store(&self, slots: &mut [u64]);
+    /// Rebuild a value from `slots` (exactly `WIDTH` entries).
     fn load(slots: &[u64]) -> Self;
 }
 
@@ -118,6 +144,7 @@ pub struct Sharded<T: SlotSchema> {
 }
 
 impl<T: SlotSchema> Sharded<T> {
+    /// Zeroed storage for `threads` shards of `T`.
     pub fn new(threads: usize) -> Self {
         Sharded {
             raw: ShardedSlots::new(threads, T::WIDTH),
@@ -125,6 +152,7 @@ impl<T: SlotSchema> Sharded<T> {
         }
     }
 
+    /// Number of shards (one per logical thread).
     pub fn threads(&self) -> usize {
         self.raw.threads()
     }
@@ -147,18 +175,23 @@ impl<T: SlotSchema> Sharded<T> {
         self.raw.add(tid, slot, delta);
     }
 
+    /// Thread `tid`'s own accumulated value (no merging).
     pub fn per_thread(&self, tid: usize) -> T {
         T::load(&self.raw.thread_row(tid))
     }
 
+    /// All shards folded back into one `T` (slot-wise sum — see the
+    /// module-level merge contract).
     pub fn merged(&self) -> T {
         T::load(&self.raw.merged())
     }
 
+    /// Zero every shard.
     pub fn reset(&self) {
         self.raw.reset()
     }
 
+    /// The untyped grid underneath (for report emission).
     pub fn raw(&self) -> &ShardedSlots {
         &self.raw
     }
@@ -172,20 +205,24 @@ pub struct Counter {
 }
 
 impl Counter {
+    /// Add `delta` on thread `tid`'s shard (lock-free).
     #[inline]
     pub fn add(&self, tid: usize, delta: u64) {
         self.slots.add(tid, 0, delta);
     }
 
+    /// Add 1 on thread `tid`'s shard.
     #[inline]
     pub fn incr(&self, tid: usize) {
         self.add(tid, 1);
     }
 
+    /// Sum over all shards (exact at quiescence).
     pub fn total(&self) -> u64 {
         self.slots.merged()[0]
     }
 
+    /// Zero every shard.
     pub fn reset(&self) {
         self.slots.reset();
     }
@@ -200,6 +237,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Count `value` into its bucket on thread `tid`'s shard.
     #[inline]
     pub fn observe(&self, tid: usize, value: u64) {
         let bucket = self
@@ -210,6 +248,7 @@ impl Histogram {
         self.slots.add(tid, bucket, 1);
     }
 
+    /// The inclusive upper bucket edges this histogram was minted with.
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
     }
@@ -219,6 +258,7 @@ impl Histogram {
         self.slots.merged()
     }
 
+    /// Zero every shard.
     pub fn reset(&self) {
         self.slots.reset();
     }
@@ -232,8 +272,15 @@ enum MetricStorage {
 /// A merged snapshot of one named metric.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MetricValue {
+    /// A counter's merged total.
     Counter(u64),
-    Histogram { bounds: Vec<u64>, counts: Vec<u64> },
+    /// A histogram's merged buckets.
+    Histogram {
+        /// Inclusive upper bucket edges.
+        bounds: Vec<u64>,
+        /// Merged counts, one extra final entry for the open bucket.
+        counts: Vec<u64>,
+    },
 }
 
 /// On-demand named metrics: any crate holding the (shared) registry can
@@ -245,6 +292,7 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// An empty registry minting metrics sharded over `threads` threads.
     pub fn new(threads: usize) -> Self {
         Registry {
             threads,
@@ -252,6 +300,7 @@ impl Registry {
         }
     }
 
+    /// Number of shards each minted metric carries.
     pub fn threads(&self) -> usize {
         self.threads
     }

@@ -6,29 +6,79 @@
 //! that. Object key order is preserved (reports are diffed textually), and
 //! integers are kept distinct from floats so counters emit as `1234`, not
 //! `1234.0`.
+//!
+//! # Example: a `RunReport`'s JSON round trip
+//!
+//! The examples below are doc-tests — they run under `cargo test`, so the
+//! JSON shown here is executable documentation, not decoration:
+//!
+//! ```
+//! use tm_obs::json::Json;
+//! use tm_obs::{RunReport, Section};
+//!
+//! let report = RunReport::new("fig4", "figure")
+//!     .meta("threads", 8)
+//!     .section(
+//!         "stm",
+//!         Section::Counters(vec![("commits".into(), 1000), ("aborts".into(), 37)]),
+//!     );
+//!
+//! // The on-disk form is pretty-printed `tm-run-report/v1` JSON...
+//! let text = report.to_json_string();
+//! assert!(text.starts_with("{\n  \"schema\": \"tm-run-report/v1\""));
+//!
+//! // ...which parses back to exactly the same report...
+//! assert_eq!(RunReport::parse(&text).unwrap(), report);
+//!
+//! // ...and is an ordinary JSON tree underneath.
+//! let tree = Json::parse(&text).unwrap();
+//! assert_eq!(tree.get("name").and_then(Json::as_str), Some("fig4"));
+//! ```
+//!
+//! Integers survive as integers (a counter of 1000 emits as `1000`, never
+//! `1000.0`), and object key order is preserved:
+//!
+//! ```
+//! use tm_obs::json::Json;
+//!
+//! let v = Json::Obj(vec![
+//!     ("commits".into(), Json::u64(1000)),
+//!     ("ratio".into(), Json::Num(0.25)),
+//! ]);
+//! assert_eq!(v.emit(), r#"{"commits":1000,"ratio":0.25}"#);
+//! assert_eq!(Json::parse(&v.emit()).unwrap(), v);
+//! ```
 
 use std::fmt::Write as _;
 
 /// A JSON value. Objects preserve insertion order.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
+    /// JSON `null`.
     Null,
+    /// JSON `true`/`false`.
     Bool(bool),
     /// A number with no fractional part, emitted without a decimal point.
     Int(i64),
     /// Any other number. Non-finite values emit as `null` (JSON has no
     /// NaN/Infinity).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object; key order is insertion order and is preserved by the
+    /// parser.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
+    /// Shorthand for `Json::Str(s.into())`.
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
     }
 
+    /// A `u64` counter as an integer node (saturating at `i64::MAX`).
     pub fn u64(v: u64) -> Json {
         // Counters are u64; i64 covers every value the stack produces
         // (virtual clocks included), and staying in one integer variant
@@ -37,6 +87,7 @@ impl Json {
         Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
     }
 
+    /// Object field lookup; `None` on non-objects and missing keys.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -44,6 +95,7 @@ impl Json {
         }
     }
 
+    /// String value, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -51,6 +103,7 @@ impl Json {
         }
     }
 
+    /// Integer value, if this is an `Int`.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Json::Int(v) => Some(*v),
@@ -58,6 +111,7 @@ impl Json {
         }
     }
 
+    /// Non-negative integer value, if this is an `Int` in `u64` range.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Int(v) => u64::try_from(*v).ok(),
@@ -75,6 +129,7 @@ impl Json {
         }
     }
 
+    /// Array contents, if this is an `Arr`.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
@@ -82,6 +137,7 @@ impl Json {
         }
     }
 
+    /// Boolean value, if this is a `Bool`.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),

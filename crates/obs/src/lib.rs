@@ -21,16 +21,25 @@
 //!   emitter/parser in [`json`] (the build environment is offline, so no
 //!   serde). `tmstudy report` pretty-prints and diffs these files.
 //!
+//! * [`sweep`] — the [`sweep::SweepReport`] matrix schema
+//!   (`tm-sweep-report/v1`) for whole cross-product sweeps: one cell per
+//!   configuration with status / retry / wall-time metadata, so a hung or
+//!   failing cell degrades gracefully instead of killing the matrix.
+//!
 //! The crate is deliberately leaf-level: it depends on nothing else in the
 //! workspace (or outside it), so every other crate can depend on it.
+
+#![deny(missing_docs)]
 
 pub mod counters;
 pub mod json;
 pub mod report;
+pub mod sweep;
 pub mod trace;
 
 pub use counters::{Counter, Histogram, Registry, Sharded, ShardedSlots, SlotSchema};
 pub use report::{RunReport, Section};
+pub use sweep::{CellStatus, SweepCell, SweepReport};
 pub use trace::{Event, EventKind, Trace};
 
 /// One observability context: a named-metric registry plus an event trace,
@@ -48,6 +57,8 @@ impl Obs {
         Obs::with_trace_capacity(threads, 4096)
     }
 
+    /// Context for `threads` logical threads with an explicit per-thread
+    /// trace ring capacity.
     pub fn with_trace_capacity(threads: usize, trace_capacity: usize) -> Self {
         Obs {
             registry: Registry::new(threads),
@@ -55,14 +66,17 @@ impl Obs {
         }
     }
 
+    /// The named-metric registry half of the context.
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
 
+    /// The event-trace half of the context.
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
 
+    /// Number of logical threads this context was sized for.
     pub fn threads(&self) -> usize {
         self.registry.threads()
     }

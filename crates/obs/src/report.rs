@@ -19,17 +19,26 @@ pub const SCHEMA: &str = "tm-run-report/v1";
 pub enum Section {
     /// Named integer counters, in emission order.
     Counters(Vec<(String, u64)>),
-    /// Bucketed counts: `bounds` are inclusive upper edges; `counts` has
-    /// one extra final entry for the open bucket above the last bound.
-    Histogram { bounds: Vec<u64>, counts: Vec<u64> },
+    /// Bucketed counts.
+    Histogram {
+        /// Inclusive upper bucket edges.
+        bounds: Vec<u64>,
+        /// One count per bound plus one extra final entry for the open
+        /// bucket above the last bound.
+        counts: Vec<u64>,
+    },
     /// Labeled lines over a shared x-axis, as explicit (x, y) points.
     Series {
+        /// Name of the shared x axis ("cores", "block_size", ...).
         x_label: String,
+        /// `(line label, points)` per curve.
         lines: Vec<(String, Vec<(f64, f64)>)>,
     },
     /// A rectangular table of strings.
     Table {
+        /// Column headers.
         header: Vec<String>,
+        /// Data rows, each as long as `header`.
         rows: Vec<Vec<String>>,
     },
     /// Free-form text (e.g. the legacy rendered body, or notes).
@@ -224,11 +233,15 @@ pub struct RunReport {
     pub name: String,
     /// What produced it: "table", "figure", "ablation", "profile", ...
     pub kind: String,
+    /// Free-form string key/values (configuration knobs, thread counts,
+    /// seeds). Labels, not data: diffs compare them textually.
     pub meta: Vec<(String, String)>,
+    /// Titled result sections, in emission order.
     pub sections: Vec<(String, Section)>,
 }
 
 impl RunReport {
+    /// An empty report with the given artifact name and kind.
     pub fn new(name: impl Into<String>, kind: impl Into<String>) -> Self {
         RunReport {
             name: name.into(),
@@ -238,16 +251,19 @@ impl RunReport {
         }
     }
 
+    /// Append a metadata key/value (builder style).
     pub fn meta(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
         self.meta.push((key.into(), value.to_string()));
         self
     }
 
+    /// Append a titled section (builder style).
     pub fn section(mut self, title: impl Into<String>, section: Section) -> Self {
         self.sections.push((title.into(), section));
         self
     }
 
+    /// The JSON tree in `tm-run-report/v1` form.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("schema".into(), Json::str(SCHEMA)),
@@ -285,6 +301,7 @@ impl RunReport {
         self.to_json().emit_pretty()
     }
 
+    /// Decode a `tm-run-report/v1` JSON tree.
     pub fn from_json(v: &Json) -> Result<RunReport, String> {
         let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
         if schema != SCHEMA {
@@ -337,6 +354,7 @@ impl RunReport {
         })
     }
 
+    /// Parse the on-disk JSON text form.
     pub fn parse(src: &str) -> Result<RunReport, String> {
         RunReport::from_json(&Json::parse(src)?)
     }

@@ -1,0 +1,546 @@
+//! The machine-readable sweep matrix report.
+//!
+//! A *sweep* is a cross-product of experiment configurations (allocator ×
+//! thread count × shift × seed × …) executed as independent cells. Where
+//! [`crate::report::RunReport`] describes one run, a [`SweepReport`]
+//! describes a whole matrix: one [`SweepCell`] per configuration, each
+//! carrying its status (`ok`, `timeout`, `error`), retry count, wall time
+//! and scalar metrics. A hung or failing cell degrades to a non-`ok`
+//! status instead of invalidating the rest of the matrix, so partial
+//! sweeps are first-class artifacts.
+//!
+//! The on-disk form is the `tm-sweep-report/v1` JSON schema, written by
+//! `tmstudy sweep` and the `make_all` orchestrator and consumed by
+//! `tmstudy report` (pretty-print and diff). Field semantics:
+//!
+//! * `name` — artifact stem, matching `results/<name>.sweep.json`.
+//! * `meta` — free-form string key/values describing the whole sweep
+//!   (workload, policy knobs, scale); labels, not data.
+//! * `axes` — the declared sweep dimensions in expansion order; each cell's
+//!   `config` holds exactly one value per axis (plus any fixed keys).
+//! * `cells[].status` — `ok` (metrics valid), `timeout` (every attempt
+//!   exceeded the per-cell budget) or `error` (runner failed/panicked).
+//! * `cells[].attempts` — total attempts made (1 = no retry needed).
+//! * `cells[].wall_ms` — host wall-clock milliseconds across all attempts.
+//!   Wall time is *host* time and therefore non-deterministic; diffs ignore
+//!   it (and `attempts`) by design.
+//! * `cells[].metrics` — named scalar results, empty unless `ok`.
+
+use crate::json::Json;
+
+/// Schema identifier written into every sweep report.
+pub const SWEEP_SCHEMA: &str = "tm-sweep-report/v1";
+
+/// Outcome of one sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The runner returned metrics within budget.
+    Ok,
+    /// Every attempt exceeded the per-cell timeout; the cell is recorded
+    /// but carries no metrics.
+    Timeout,
+    /// The runner returned an error (or panicked) on the final attempt.
+    Error,
+}
+
+impl CellStatus {
+    /// Stable lower-case name used in the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Timeout => "timeout",
+            CellStatus::Error => "error",
+        }
+    }
+
+    /// Inverse of [`CellStatus::name`].
+    pub fn parse(s: &str) -> Result<CellStatus, String> {
+        match s {
+            "ok" => Ok(CellStatus::Ok),
+            "timeout" => Ok(CellStatus::Timeout),
+            "error" => Ok(CellStatus::Error),
+            other => Err(format!("unknown cell status '{other}'")),
+        }
+    }
+}
+
+/// One executed configuration of a sweep matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCell {
+    /// The cell's configuration: one `(key, value)` per axis plus any
+    /// fixed keys, in declaration order.
+    pub config: Vec<(String, String)>,
+    /// How the cell ended.
+    pub status: CellStatus,
+    /// Total attempts made (first try plus retries).
+    pub attempts: u32,
+    /// Host wall-clock milliseconds spent across all attempts
+    /// (non-deterministic; excluded from diffs).
+    pub wall_ms: u64,
+    /// Error/timeout detail for non-`ok` cells.
+    pub error: Option<String>,
+    /// Named scalar results; empty unless `status` is `ok`.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl SweepCell {
+    /// Stable identity of the cell within its matrix: `k=v k2=v2 …` in
+    /// config order. Used to join cells when diffing two sweeps and to
+    /// match fault-injection patterns.
+    pub fn key(&self) -> String {
+        key_of(&self.config)
+    }
+}
+
+/// The cell-identity string for a raw config (see [`SweepCell::key`]).
+pub fn key_of(config: &[(String, String)]) -> String {
+    config
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One sweep: identity, free-form metadata, the declared axes, and one
+/// [`SweepCell`] per expanded configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// Artifact name, matching the `results/<name>.sweep.json` stem.
+    pub name: String,
+    /// Free-form string key/values describing the whole sweep.
+    pub meta: Vec<(String, String)>,
+    /// Declared sweep dimensions, in expansion order.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Executed cells, in expansion order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// An empty sweep report with the given artifact name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepReport {
+            name: name.into(),
+            meta: Vec::new(),
+            axes: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a metadata key/value (builder style).
+    pub fn meta(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.meta.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Number of cells that did not end `ok`.
+    pub fn degraded(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status != CellStatus::Ok)
+            .count()
+    }
+
+    /// The JSON tree in `tm-sweep-report/v1` form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SWEEP_SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            (
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "axes".into(),
+                Json::Obj(
+                    self.axes
+                        .iter()
+                        .map(|(k, vs)| {
+                            (
+                                k.clone(),
+                                Json::Arr(vs.iter().map(|v| Json::str(v.clone())).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let mut pairs = vec![
+                                (
+                                    "config".into(),
+                                    Json::Obj(
+                                        c.config
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("status".into(), Json::str(c.status.name())),
+                                ("attempts".into(), Json::u64(c.attempts as u64)),
+                                ("wall_ms".into(), Json::u64(c.wall_ms)),
+                            ];
+                            if let Some(e) = &c.error {
+                                pairs.push(("error".into(), Json::str(e.clone())));
+                            }
+                            pairs.push((
+                                "metrics".into(),
+                                Json::Obj(
+                                    c.metrics
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                        .collect(),
+                                ),
+                            ));
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The on-disk form: pretty-printed JSON with a trailing newline.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Decode a `tm-sweep-report/v1` JSON tree.
+    pub fn from_json(v: &Json) -> Result<SweepReport, String> {
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SWEEP_SCHEMA {
+            return Err(format!(
+                "unsupported schema '{schema}' (want '{SWEEP_SCHEMA}')"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("sweep missing name")?
+            .to_string();
+        let meta = str_pairs(v.get("meta"), "meta")?;
+        let axes = match v.get("axes") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, vs)| {
+                    let vals = vs
+                        .as_arr()
+                        .ok_or_else(|| format!("axis '{k}' not an array"))?
+                        .iter()
+                        .map(|x| {
+                            x.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| format!("axis '{k}' value not a string"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok((k.clone(), vals))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("sweep missing axes object".into()),
+        };
+        let mut cells = Vec::new();
+        for c in v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("sweep missing cells array")?
+        {
+            let config = str_pairs(c.get("config"), "cell config")?;
+            let status = CellStatus::parse(
+                c.get("status")
+                    .and_then(Json::as_str)
+                    .ok_or("cell missing status")?,
+            )?;
+            let attempts = c
+                .get("attempts")
+                .and_then(Json::as_u64)
+                .ok_or("cell missing attempts")? as u32;
+            let wall_ms = c
+                .get("wall_ms")
+                .and_then(Json::as_u64)
+                .ok_or("cell missing wall_ms")?;
+            let error = c.get("error").and_then(Json::as_str).map(str::to_string);
+            let metrics = match c.get("metrics") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, mv)| {
+                        mv.as_f64()
+                            .map(|f| (k.clone(), f))
+                            .ok_or_else(|| format!("metric '{k}' not a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("cell missing metrics object".into()),
+            };
+            cells.push(SweepCell {
+                config,
+                status,
+                attempts,
+                wall_ms,
+                error,
+                metrics,
+            });
+        }
+        Ok(SweepReport {
+            name,
+            meta,
+            axes,
+            cells,
+        })
+    }
+
+    /// Parse the on-disk JSON text form.
+    pub fn parse(src: &str) -> Result<SweepReport, String> {
+        SweepReport::from_json(&Json::parse(src)?)
+    }
+
+    /// Human rendering for `tmstudy report <file>`: a summary header plus
+    /// one aligned row per cell.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (sweep: {} cells, {} degraded)\n",
+            self.name,
+            self.cells.len(),
+            self.degraded()
+        ));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        for (k, vs) in &self.axes {
+            out.push_str(&format!("  axis {k}: {}\n", vs.join(", ")));
+        }
+        // Column set: config keys of the first cell, then status/attempts/
+        // wall, then the union of metric names in first-seen order.
+        let mut metric_names: Vec<String> = Vec::new();
+        for c in &self.cells {
+            for (m, _) in &c.metrics {
+                if !metric_names.contains(m) {
+                    metric_names.push(m.clone());
+                }
+            }
+        }
+        let mut header: Vec<String> = self
+            .cells
+            .first()
+            .map(|c| c.config.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap_or_default();
+        header.extend(["status".into(), "tries".into(), "wall_ms".into()]);
+        header.extend(metric_names.iter().cloned());
+        let mut rows = vec![header];
+        for c in &self.cells {
+            let mut row: Vec<String> = c.config.iter().map(|(_, v)| v.clone()).collect();
+            row.push(c.status.name().into());
+            row.push(c.attempts.to_string());
+            row.push(c.wall_ms.to_string());
+            for m in &metric_names {
+                row.push(
+                    c.metrics
+                        .iter()
+                        .find(|(k, _)| k == m)
+                        .map(|(_, v)| format!("{v:.4}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            rows.push(row);
+        }
+        let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for r in &rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        out.push('\n');
+        for r in &rows {
+            let line: Vec<String> = r
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&format!("  {}\n", line.join("  ")));
+        }
+        out
+    }
+
+    /// Structural diff for `tmstudy report a b`: joins cells by
+    /// [`SweepCell::key`] and reports status changes and per-metric deltas.
+    /// `wall_ms` and `attempts` are host-time artifacts and deliberately
+    /// ignored. Returns `None` when the sweeps are equivalent under that
+    /// relation.
+    pub fn diff(&self, other: &SweepReport) -> Option<String> {
+        let mut out = String::new();
+        if self.name != other.name {
+            out.push_str(&format!("name: {} -> {}\n", self.name, other.name));
+        }
+        for c in &self.cells {
+            let key = c.key();
+            match other.cells.iter().find(|o| o.key() == key) {
+                None => out.push_str(&format!("cell [{key}]: only in left\n")),
+                Some(o) => {
+                    if c.status != o.status {
+                        out.push_str(&format!(
+                            "cell [{key}]: status {} -> {}\n",
+                            c.status.name(),
+                            o.status.name()
+                        ));
+                    }
+                    for (m, va) in &c.metrics {
+                        match o.metrics.iter().find(|(k, _)| k == m) {
+                            None => out.push_str(&format!("cell [{key}] {m}: only in left\n")),
+                            Some((_, vb)) if va != vb => {
+                                let pct = if *va != 0.0 {
+                                    format!(" ({:+.2}%)", (vb / va - 1.0) * 100.0)
+                                } else {
+                                    String::new()
+                                };
+                                out.push_str(&format!("cell [{key}] {m}: {va} -> {vb}{pct}\n"));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    for (m, _) in &o.metrics {
+                        if !c.metrics.iter().any(|(k, _)| k == m) {
+                            out.push_str(&format!("cell [{key}] {m}: only in right\n"));
+                        }
+                    }
+                }
+            }
+        }
+        for o in &other.cells {
+            if !self.cells.iter().any(|c| c.key() == o.key()) {
+                out.push_str(&format!("cell [{}]: only in right\n", o.key()));
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+fn str_pairs(v: Option<&Json>, what: &str) -> Result<Vec<(String, String)>, String> {
+    match v {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, mv)| {
+                mv.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("{what} '{k}' not a string"))
+            })
+            .collect(),
+        _ => Err(format!("missing {what} object")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(alloc: &str, threads: &str, status: CellStatus, tput: f64) -> SweepCell {
+        SweepCell {
+            config: vec![
+                ("alloc".into(), alloc.into()),
+                ("threads".into(), threads.into()),
+            ],
+            status,
+            attempts: if status == CellStatus::Ok { 1 } else { 3 },
+            wall_ms: 12,
+            error: (status != CellStatus::Ok).then(|| "cell budget exceeded".to_string()),
+            metrics: if status == CellStatus::Ok {
+                vec![("throughput".into(), tput), ("aborts".into(), 7.0)]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    fn sample() -> SweepReport {
+        let mut r = SweepReport::new("list-sweep")
+            .meta("workload", "synth")
+            .meta("timeout_ms", 1000);
+        r.axes = vec![
+            ("alloc".into(), vec!["glibc".into(), "hoard".into()]),
+            ("threads".into(), vec!["1".into(), "8".into()]),
+        ];
+        r.cells = vec![
+            cell("glibc", "1", CellStatus::Ok, 100.0),
+            cell("glibc", "8", CellStatus::Ok, 640.0),
+            cell("hoard", "1", CellStatus::Ok, 90.0),
+            cell("hoard", "8", CellStatus::Timeout, 0.0),
+        ];
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = SweepReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let j = sample().to_json_string().replace(SWEEP_SCHEMA, "bogus/v9");
+        let err = SweepReport::parse(&j).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn degraded_counts_non_ok_cells() {
+        assert_eq!(sample().degraded(), 1);
+    }
+
+    #[test]
+    fn render_mentions_cells_and_status() {
+        let text = sample().render();
+        for needle in [
+            "list-sweep (sweep: 4 cells, 1 degraded)",
+            "axis alloc: glibc, hoard",
+            "timeout",
+            "throughput",
+            "640",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn diff_ignores_wall_time_but_not_metrics() {
+        let a = sample();
+        let mut b = sample();
+        b.cells[0].wall_ms = 9999; // volatile, ignored
+        b.cells[0].attempts = 2; // volatile, ignored
+        assert!(a.diff(&b).is_none());
+        b.cells[1].metrics[0].1 = 320.0;
+        b.cells[3].status = CellStatus::Ok;
+        let d = a.diff(&b).unwrap();
+        assert!(
+            d.contains("cell [alloc=glibc threads=8] throughput: 640 -> 320 (-50.00%)"),
+            "{d}"
+        );
+        assert!(
+            d.contains("cell [alloc=hoard threads=8]: status timeout -> ok"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn diff_notes_missing_cells() {
+        let a = sample();
+        let mut b = sample();
+        b.cells.remove(2);
+        let d = a.diff(&b).unwrap();
+        assert!(
+            d.contains("cell [alloc=hoard threads=1]: only in left"),
+            "{d}"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! `capacity` events per thread (the interesting ones — whatever led up to
 //! the anomaly being chased). [`Trace::drain`] merges all rings into one
 //! virtual-time-ordered stream; it must only be called while no thread is
-//! recording (between [`Sim::run`]s is the natural point).
+//! recording (between `Sim::run`s is the natural point).
 //!
 //! The `TM_WATCH` write-watchpoint lives here too: a debugging hook that
 //! panics (with a backtrace) on the first simulated write to a given
@@ -44,6 +44,7 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Stable snake_case name used in renderings.
     pub fn name(self) -> &'static str {
         match self {
             EventKind::TxBegin => "tx_begin",
@@ -65,6 +66,7 @@ pub fn pack_region_size(region: u64, size: u64) -> u64 {
     (region << 48) | size
 }
 
+/// Inverse of [`pack_region_size`]: `(region, size)` from a payload word.
 pub fn unpack_region_size(b: u64) -> (u64, u64) {
     (b >> 48, b & ((1 << 48) - 1))
 }
@@ -77,8 +79,11 @@ pub struct Event {
     pub time: u64,
     /// Logical thread id of the recorder.
     pub tid: u32,
+    /// What happened.
     pub kind: EventKind,
+    /// First payload word; meaning is per-kind (see [`EventKind`]).
     pub a: u64,
+    /// Second payload word; meaning is per-kind (see [`EventKind`]).
     pub b: u64,
 }
 
@@ -181,18 +186,22 @@ impl Trace {
         }
     }
 
+    /// Whether recording is currently on.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Turn recording on or off (the master switch for every ring).
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::SeqCst);
     }
 
+    /// Per-thread ring capacity in events.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of rings (one per logical thread).
     pub fn threads(&self) -> usize {
         self.rings.len()
     }

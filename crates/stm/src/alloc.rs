@@ -59,6 +59,7 @@ impl ObjectCache {
         self.total
     }
 
+    /// Whether the pool holds no blocks.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }

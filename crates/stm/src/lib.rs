@@ -52,6 +52,8 @@
 //! sim.with_state(|m| assert_eq!(m.read_u64(counter), 40));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod alloc;
 mod stats;
 mod tx;

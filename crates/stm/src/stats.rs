@@ -17,8 +17,10 @@ pub enum AbortCause {
 }
 
 impl AbortCause {
+    /// Number of variants (sizes the `by_cause` array).
     pub const COUNT: usize = 5;
 
+    /// Stable lower-case label for reports.
     pub fn name(self) -> &'static str {
         match self {
             AbortCause::ReadLocked => "read-locked",
@@ -33,17 +35,22 @@ impl AbortCause {
 /// Per-thread (and merged global) transaction statistics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StmStats {
+    /// Committed transactions.
     pub commits: u64,
     /// Aborts indexed by `AbortCause as usize`.
     pub by_cause: [u64; AbortCause::COUNT],
     /// Successful timestamp extensions.
     pub extensions: u64,
+    /// Transactional loads performed.
     pub reads: u64,
+    /// Transactional stores performed.
     pub writes: u64,
     /// Transactional allocations served by the object cache (Table 7
     /// effectiveness metric).
     pub cache_hits: u64,
+    /// Allocations made inside transactions.
     pub tx_mallocs: u64,
+    /// Frees requested inside transactions (deferred to commit).
     pub tx_frees: u64,
 }
 
@@ -64,10 +71,13 @@ impl StmStats {
         }
     }
 
+    /// Count one aborted attempt under its cause.
     pub fn record_abort(&mut self, cause: AbortCause) {
         self.by_cause[cause as usize] += 1;
     }
 
+    /// Accumulate another thread's stats into this one (all counters are
+    /// additive, so merge order does not matter).
     pub fn merge(&mut self, o: &StmStats) {
         self.commits += o.commits;
         for i in 0..AbortCause::COUNT {

@@ -45,6 +45,7 @@ fn version_of(word: u64) -> u64 {
 /// thread descriptor). Create with [`Stm::thread`], hand back with
 /// [`Stm::retire`] so its statistics are counted.
 pub struct TxThread {
+    /// Worker index, used as the shard id for per-thread statistics.
     pub tid: usize,
     /// Snapshot timestamp (read version).
     rv: u64,

@@ -1,0 +1,114 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] is fixed `(key, value)` pairs plus named *axes*; its
+//! [`SweepSpec::expand`] is the cartesian product of the axes, each cell
+//! carrying the fixed pairs first and then one value per axis. Expansion
+//! order is deterministic: the last-declared axis varies fastest, exactly
+//! like nested for-loops in declaration order, so cell order — and
+//! therefore the resulting matrix JSON — is stable across runs.
+
+/// A declarative sweep: a name, fixed configuration, and the axes to
+/// cross.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Artifact name for the resulting matrix.
+    pub name: String,
+    /// Configuration shared by every cell, first in each cell's config.
+    pub fixed: Vec<(String, String)>,
+    /// The sweep dimensions, in declaration order (last varies fastest).
+    pub axes: Vec<(String, Vec<String>)>,
+}
+
+impl SweepSpec {
+    /// An empty spec with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            fixed: Vec::new(),
+            axes: Vec::new(),
+        }
+    }
+
+    /// Add a fixed key/value present in every cell (builder style).
+    pub fn fixed(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fixed.push((key.into(), value.into()));
+        self
+    }
+
+    /// Add an axis (builder style). An axis with no values would make the
+    /// product empty and is rejected.
+    pub fn axis<I, S>(mut self, name: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        assert!(!values.is_empty(), "axis needs at least one value");
+        self.axes.push((name.into(), values));
+        self
+    }
+
+    /// Number of cells [`SweepSpec::expand`] will produce.
+    pub fn cell_count(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// The full cartesian product: one configuration per cell, fixed keys
+    /// first, then one `(axis, value)` pair per axis.
+    pub fn expand(&self) -> Vec<Vec<(String, String)>> {
+        let mut cells: Vec<Vec<(String, String)>> = vec![self.fixed.clone()];
+        for (axis, values) in &self.axes {
+            let mut next = Vec::with_capacity(cells.len() * values.len());
+            for cell in &cells {
+                for v in values {
+                    let mut c = cell.clone();
+                    c.push((axis.clone(), v.clone()));
+                    next.push(c);
+                }
+            }
+            cells = next;
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_obs::sweep::key_of;
+
+    #[test]
+    fn expansion_is_last_axis_fastest() {
+        let spec = SweepSpec::new("s")
+            .fixed("workload", "synth")
+            .axis("alloc", ["glibc", "hoard"])
+            .axis("threads", ["1", "8"]);
+        assert_eq!(spec.cell_count(), 4);
+        let keys: Vec<String> = spec.expand().iter().map(|c| key_of(c)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "workload=synth alloc=glibc threads=1",
+                "workload=synth alloc=glibc threads=8",
+                "workload=synth alloc=hoard threads=1",
+                "workload=synth alloc=hoard threads=8",
+            ]
+        );
+    }
+
+    #[test]
+    fn no_axes_means_one_cell() {
+        let spec = SweepSpec::new("s").fixed("k", "v");
+        assert_eq!(spec.cell_count(), 1);
+        assert_eq!(
+            spec.expand(),
+            vec![vec![("k".to_string(), "v".to_string())]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_axis_is_rejected() {
+        let _ = SweepSpec::new("s").axis("alloc", Vec::<String>::new());
+    }
+}

@@ -29,4 +29,12 @@ $CARGO test --workspace -q
 echo "==> cargo clippy -D warnings"
 $CARGO clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" $CARGO doc --workspace --no-deps -q
+
+if [ "$quick" -eq 0 ]; then
+  echo "==> tmstudy book --check (REPRODUCTION.md drift)"
+  $CARGO run --release -p tm-core --bin tmstudy -- book --check
+fi
+
 echo "verify: all gates passed"
