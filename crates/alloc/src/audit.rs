@@ -1,0 +1,283 @@
+//! Heap-invariant auditing for the allocator models.
+//!
+//! [`HeapAuditor`] wraps any [`Allocator`] and checks, on every
+//! malloc/free, the invariants the paper's argument silently relies on:
+//!
+//! * **no overlap** — a returned block never intersects any live block,
+//!   across threads (free-list corruption or size-class bugs surface
+//!   here);
+//! * **alignment** — block starts are at least 8-byte aligned (every
+//!   model hands out word-addressable blocks; the STM reads/writes u64
+//!   words at block starts);
+//! * **arena-bound containment** — blocks live inside simulated-OS
+//!   territory (the machine's OS bump allocator starts at
+//!   [`OS_REGION_BASE`]; an address below it was never backed by an OS
+//!   region);
+//! * **free-list integrity** — every `free` names the start of a
+//!   currently-live block (double frees and frees of interior/foreign
+//!   addresses are caught), and `malloc(0)` still returns distinct
+//!   blocks.
+//!
+//! Violations are *recorded*, not panicked, so the check harness can
+//! degrade a matrix cell to `fail` and keep auditing the rest; tests use
+//! [`HeapAuditor::assert_clean`] for the panicking form. The wrapper adds
+//! no simulated time, so wrapping an allocator does not perturb
+//! virtual-time results.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tm_sim::Ctx;
+
+use crate::{Allocator, AllocatorAttrs};
+
+/// Where the simulated OS hands out regions from (the machine's bump
+/// allocator base). Any block address below this was never OS-backed.
+pub const OS_REGION_BASE: u64 = 0x0001_0000_0000;
+
+/// At most this many violation strings are retained; further violations
+/// only bump the total count (a corrupt allocator can fail millions of
+/// times — the first few messages carry all the signal).
+const MAX_RECORDED: usize = 32;
+
+#[derive(Default)]
+struct AuditState {
+    /// Live blocks: start address → occupied footprint in bytes
+    /// (`max(size, 1)` so zero-size blocks still claim their start).
+    live: BTreeMap<u64, u64>,
+    mallocs: u64,
+    frees: u64,
+    peak_live: usize,
+    violations: Vec<String>,
+    violation_count: u64,
+}
+
+impl AuditState {
+    fn violate(&mut self, msg: String) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(msg);
+        }
+    }
+}
+
+/// Summary of an audited run; see [`HeapAuditor::report`].
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Total `malloc` calls observed.
+    pub mallocs: u64,
+    /// Total `free` calls observed.
+    pub frees: u64,
+    /// Blocks still live when the report was taken.
+    pub live: usize,
+    /// High-water mark of simultaneously-live blocks.
+    pub peak_live: usize,
+    /// Total invariant violations (may exceed `violations.len()`).
+    pub violation_count: u64,
+    /// The first violations, as human-readable messages.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violation_count == 0
+    }
+}
+
+/// An [`Allocator`] wrapper that checks heap invariants on every call.
+/// Build one with [`HeapAuditor::new`] (or
+/// [`crate::AllocatorKind::build_audited`]), hand a clone of the inner
+/// `Arc` to the code under test, and inspect [`HeapAuditor::report`] /
+/// [`HeapAuditor::assert_clean`] afterwards.
+pub struct HeapAuditor {
+    inner: Arc<dyn Allocator>,
+    state: Mutex<AuditState>,
+}
+
+impl HeapAuditor {
+    /// Wrap `inner` in an auditor with empty tracking state.
+    pub fn new(inner: Arc<dyn Allocator>) -> Arc<HeapAuditor> {
+        Arc::new(HeapAuditor {
+            inner,
+            state: Mutex::new(AuditState::default()),
+        })
+    }
+
+    /// Snapshot the audit counters and recorded violations.
+    pub fn report(&self) -> AuditReport {
+        let s = self.state.lock();
+        AuditReport {
+            mallocs: s.mallocs,
+            frees: s.frees,
+            live: s.live.len(),
+            peak_live: s.peak_live,
+            violation_count: s.violation_count,
+            violations: s.violations.clone(),
+        }
+    }
+
+    /// Panic with every recorded violation if any invariant was broken.
+    /// `context` names the workload for the failure message.
+    pub fn assert_clean(&self, context: &str) {
+        let r = self.report();
+        assert!(
+            r.is_clean(),
+            "heap audit failed for {context}: {} violation(s)\n  {}",
+            r.violation_count,
+            r.violations.join("\n  ")
+        );
+    }
+}
+
+impl Allocator for HeapAuditor {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        let addr = self.inner.malloc(ctx, size);
+        let footprint = size.max(1);
+        let mut s = self.state.lock();
+        s.mallocs += 1;
+        if !addr.is_multiple_of(8) {
+            s.violate(format!("misaligned block {addr:#x} (size {size})"));
+        }
+        if addr < OS_REGION_BASE {
+            s.violate(format!(
+                "block {addr:#x} below the OS region base {OS_REGION_BASE:#x}"
+            ));
+        }
+        // Overlap: only the nearest live neighbours can intersect.
+        if let Some((&prev, &prev_size)) = s.live.range(..=addr).next_back() {
+            if prev + prev_size > addr {
+                s.violate(format!(
+                    "block [{addr:#x},+{footprint}) overlaps live [{prev:#x},+{prev_size})"
+                ));
+            }
+        }
+        if let Some((&next, &next_size)) = s.live.range(addr + 1..).next() {
+            if addr + footprint > next {
+                s.violate(format!(
+                    "block [{addr:#x},+{footprint}) overlaps live [{next:#x},+{next_size})"
+                ));
+            }
+        }
+        if s.live.insert(addr, footprint).is_some() {
+            s.violate(format!("block {addr:#x} returned while still live"));
+        }
+        s.peak_live = s.peak_live.max(s.live.len());
+        addr
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        {
+            let mut s = self.state.lock();
+            s.frees += 1;
+            if s.live.remove(&addr).is_none() {
+                s.violate(format!(
+                    "free of {addr:#x} which is not the start of a live block \
+                     (double free, interior pointer, or foreign address)"
+                ));
+            }
+        }
+        self.inner.free(ctx, addr);
+    }
+
+    fn min_block(&self) -> u64 {
+        self.inner.min_block()
+    }
+
+    fn attributes(&self) -> AllocatorAttrs {
+        self.inner.attributes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use tm_sim::{MachineConfig, Sim};
+
+    #[test]
+    fn clean_workload_audits_clean() {
+        for kind in AllocatorKind::ALL {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            let auditor = HeapAuditor::new(kind.build(&sim));
+            let a = Arc::clone(&auditor);
+            sim.run(2, |ctx| {
+                let mut blocks = Vec::new();
+                for i in 0..32u64 {
+                    blocks.push(a.malloc(ctx, 16 + (i % 3) * 24));
+                }
+                for b in blocks {
+                    a.free(ctx, b);
+                }
+            });
+            let r = auditor.report();
+            assert!(r.is_clean(), "{kind:?}: {:?}", r.violations);
+            assert_eq!(r.mallocs, 64);
+            assert_eq!(r.frees, 64);
+            assert_eq!(r.live, 0);
+            assert!(r.peak_live >= 32);
+            auditor.assert_clean(kind.name());
+        }
+    }
+
+    /// A deliberately broken allocator: hands out the same overlapping
+    /// low address twice and accepts any free.
+    struct Broken;
+    impl Allocator for Broken {
+        fn malloc(&self, _ctx: &mut Ctx<'_>, _size: u64) -> u64 {
+            12 // unaligned, below the OS base, and always the same
+        }
+        fn free(&self, _ctx: &mut Ctx<'_>, _addr: u64) {}
+        fn min_block(&self) -> u64 {
+            8
+        }
+        fn attributes(&self) -> AllocatorAttrs {
+            AllocatorAttrs {
+                name: "broken",
+                models_version: "-",
+                metadata: "-",
+                min_size: 8,
+                fast_path: "-",
+                granularity: "-",
+                synchronization: "-",
+            }
+        }
+    }
+
+    #[test]
+    fn broken_allocator_trips_every_invariant() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let auditor = HeapAuditor::new(Arc::new(Broken));
+        let a = Arc::clone(&auditor);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 64);
+            let q = a.malloc(ctx, 64); // same address: duplicate + overlap
+            a.free(ctx, p);
+            a.free(ctx, q); // second free of the same address
+            a.free(ctx, 0xdead_0008); // never allocated
+        });
+        let r = auditor.report();
+        assert!(!r.is_clean());
+        let all = r.violations.join("\n");
+        assert!(all.contains("misaligned"), "{all}");
+        assert!(all.contains("below the OS region base"), "{all}");
+        assert!(all.contains("still live"), "{all}");
+        assert!(all.contains("not the start of a live block"), "{all}");
+    }
+
+    #[test]
+    fn violation_recording_is_capped_but_counted() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let auditor = HeapAuditor::new(Arc::new(Broken));
+        let a = Arc::clone(&auditor);
+        sim.run(1, |ctx| {
+            for _ in 0..100 {
+                a.free(ctx, 4); // 100 bad frees
+            }
+        });
+        let r = auditor.report();
+        assert_eq!(r.violation_count, 100);
+        assert!(r.violations.len() <= 32);
+    }
+}

@@ -22,8 +22,12 @@
 //! address-to-lock mapping interacts with.
 //!
 //! The [`profile`] module wraps any allocator with per-code-region
-//! allocation-site instrumentation used to regenerate the paper's Table 5.
+//! allocation-site instrumentation used to regenerate the paper's Table 5,
+//! and [`audit`] wraps any allocator with heap-invariant checking
+//! (overlap, alignment, containment, free-list integrity) for the
+//! correctness harness.
 
+pub mod audit;
 mod classes;
 mod freelist;
 mod glibc;
@@ -33,6 +37,7 @@ mod serial;
 mod tbb;
 mod tc;
 
+pub use audit::{AuditReport, HeapAuditor};
 pub use classes::SizeClasses;
 pub use glibc::GlibcAllocator;
 pub use hoard::HoardAllocator;
@@ -127,6 +132,13 @@ impl AllocatorKind {
             AllocatorKind::TbbMalloc => Arc::new(TbbAllocator::new(sim)),
             AllocatorKind::TcMalloc => Arc::new(TcAllocator::new(sim)),
         }
+    }
+
+    /// Instantiate this allocator wrapped in a [`HeapAuditor`]; the
+    /// returned auditor *is* an [`Allocator`] (pass a clone of the `Arc`
+    /// to the workload, keep one to inspect the audit afterwards).
+    pub fn build_audited(self, sim: &Sim) -> Arc<HeapAuditor> {
+        HeapAuditor::new(self.build(sim))
     }
 }
 

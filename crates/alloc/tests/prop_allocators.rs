@@ -1,57 +1,34 @@
 //! Property tests: every allocator model upholds the malloc contract under
-//! arbitrary allocate/free scripts — blocks are aligned, disjoint while
-//! live, and reusable after free.
+//! arbitrary allocate/free scripts. The scripts come from the shared
+//! generators in `tm_check::strategies`, and the contract itself (alignment,
+//! disjointness of live blocks, legal frees) is enforced by routing every
+//! call through the reusable [`tm_alloc::HeapAuditor`]; only writability —
+//! which needs the simulated memory — is checked inline.
 
 use proptest::prelude::*;
-use tm_alloc::AllocatorKind;
+use tm_alloc::{Allocator, AllocatorKind};
+use tm_check::strategies::{alloc_ops, AllocOp};
 use tm_sim::{MachineConfig, Sim};
 
-#[derive(Clone, Debug)]
-enum Op {
-    Malloc(u64),
-    /// Free the nth oldest live block (index modulo live count).
-    Free(usize),
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (1u64..600).prop_map(Op::Malloc),
-        2 => (0usize..64).prop_map(Op::Free),
-    ]
-}
-
-fn check(kind: AllocatorKind, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check(kind: AllocatorKind, ops: &[AllocOp]) -> Result<(), TestCaseError> {
     let sim = Sim::new(MachineConfig::xeon_e5405());
-    let alloc = kind.build(&sim);
+    let auditor = kind.build_audited(&sim);
     let ops = ops.to_vec();
-    let result = std::sync::Mutex::new(Ok(()));
+    let alloc = auditor.clone();
     sim.run(1, |ctx| {
         let mut live: Vec<(u64, u64)> = Vec::new();
         for op in &ops {
-            match op {
-                Op::Malloc(size) => {
-                    let p = alloc.malloc(ctx, *size);
-                    if p % 8 != 0 {
-                        *result.lock().unwrap() =
-                            Err(TestCaseError::fail(format!("{kind:?}: misaligned {p:#x}")));
-                        return;
-                    }
-                    for &(q, qs) in &live {
-                        if !(p + size <= q || q + qs <= p) {
-                            *result.lock().unwrap() = Err(TestCaseError::fail(format!(
-                                "{kind:?}: overlap [{p:#x},{size}) vs [{q:#x},{qs})"
-                            )));
-                            return;
-                        }
-                    }
+            match *op {
+                AllocOp::Malloc(size) => {
+                    let p = alloc.malloc(ctx, size);
                     // Blocks must be writable end to end.
                     ctx.write_u64(p, 0xdead);
-                    if *size >= 16 {
+                    if size >= 16 {
                         ctx.write_u64(p + (size - 8) / 8 * 8, 0xbeef);
                     }
-                    live.push((p, *size));
+                    live.push((p, size));
                 }
-                Op::Free(i) => {
+                AllocOp::Free(i) => {
                     if !live.is_empty() {
                         let (p, _) = live.remove(i % live.len());
                         alloc.free(ctx, p);
@@ -60,29 +37,38 @@ fn check(kind: AllocatorKind, ops: &[Op]) -> Result<(), TestCaseError> {
             }
         }
     });
-    result.into_inner().unwrap()
+    let report = auditor.report();
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(TestCaseError::fail(format!(
+            "{kind:?}: {} violation(s): {}",
+            report.violation_count,
+            report.violations.join("; ")
+        )))
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn glibc_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+    fn glibc_contract(ops in alloc_ops(60)) {
         check(AllocatorKind::Glibc, &ops)?;
     }
 
     #[test]
-    fn hoard_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+    fn hoard_contract(ops in alloc_ops(60)) {
         check(AllocatorKind::Hoard, &ops)?;
     }
 
     #[test]
-    fn tbb_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+    fn tbb_contract(ops in alloc_ops(60)) {
         check(AllocatorKind::TbbMalloc, &ops)?;
     }
 
     #[test]
-    fn tcmalloc_contract(ops in prop::collection::vec(op_strategy(), 1..60)) {
+    fn tcmalloc_contract(ops in alloc_ops(60)) {
         check(AllocatorKind::TcMalloc, &ops)?;
     }
 }

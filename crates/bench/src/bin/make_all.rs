@@ -13,12 +13,15 @@
 //! --jobs N       pool width (default 1; exhibits are multi-threaded)
 //! --timeout-s N  per-exhibit budget in seconds (default 600)
 //! --retries N    extra attempts per failed exhibit (default 1)
+//! --only SUBSTR  run only exhibits whose name contains SUBSTR
+//! --out FILE     matrix destination (default results/make_all.sweep.json)
 //! --table        print the EXPERIMENTS.md determinism table and exit
 //! ```
 //!
-//! `TM_SWEEP_FAULT=timeout:<substr>` / `error:<substr>` injects a fault
-//! into matching cells (cell keys look like `exhibit=fig7`) to exercise
-//! the degradation path end-to-end.
+//! `TM_SWEEP_FAULT=timeout:<substr>` / `error:<substr>` (with an optional
+//! `:<n>` suffix to fail only the first `n` attempts) injects a fault into
+//! matching cells (cell keys look like `exhibit=fig7`) to exercise the
+//! degradation and retry paths end-to-end.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,11 +45,19 @@ fn main() {
     let timeout_s: u64 =
         flag(&args, "--timeout-s").map_or(600, |v| v.parse().expect("--timeout-s"));
     let retries: u32 = flag(&args, "--retries").map_or(1, |v| v.parse().expect("--retries"));
+    let only = flag(&args, "--only");
+    let out = flag(&args, "--out").unwrap_or_else(|| "results/make_all.sweep.json".into());
 
-    let spec = SweepSpec::new("make_all").axis(
-        "exhibit",
-        exhibits::REGISTRY.iter().map(|e| e.name.to_string()),
-    );
+    let names: Vec<String> = exhibits::REGISTRY
+        .iter()
+        .map(|e| e.name.to_string())
+        .filter(|n| only.as_deref().is_none_or(|s| n.contains(s)))
+        .collect();
+    if names.is_empty() {
+        eprintln!("--only {:?} matches no exhibit", only.unwrap_or_default());
+        std::process::exit(2);
+    }
+    let spec = SweepSpec::new("make_all").axis("exhibit", names);
     let policy = Policy {
         workers: jobs,
         timeout: Some(Duration::from_secs(timeout_s)),
@@ -63,9 +74,10 @@ fn main() {
     let report = run_spec(&spec, runner, &policy)
         .meta("workload", "exhibits")
         .meta("scale", tm_bench::scale());
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/make_all.sweep.json", report.to_json_string())
-        .expect("write sweep matrix");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write sweep matrix");
     let degraded = report.degraded();
     for cell in report
         .cells
@@ -81,7 +93,7 @@ fn main() {
         );
     }
     eprintln!(
-        "{}/{} exhibits regenerated under results/ (matrix: results/make_all.sweep.json)",
+        "{}/{} exhibits regenerated under results/ (matrix: {out})",
         report.cells.len() - degraded,
         report.cells.len()
     );

@@ -44,6 +44,15 @@ pub struct Exhibit {
     /// `TM_SCALE`; rand-sensitive ones shift if the rand shim's stream or
     /// seeding changes.
     pub rand_sensitive: bool,
+    /// How `tmstudy check` covers this exhibit's workload (the
+    /// EXPERIMENTS.md check-status column): `serial-oracle` (synthetic set
+    /// workloads validated against per-key serial witnesses),
+    /// `checksum-diff` (STAMP runs diffed against a serial reference
+    /// checksum), `app-verify` (STAMP apps whose final state is
+    /// schedule-dependent; covered by their built-in `verify()` oracles),
+    /// `heap-audit` (allocator-level workloads under the heap auditor), or
+    /// `static` (no runtime state to check).
+    pub check: &'static str,
     /// Regenerates the exhibit (writes `results/<name>.txt` + `.json`).
     pub run: fn(),
 }
@@ -57,6 +66,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "Main attributes of the four modelled allocators",
         rand_sensitive: false,
+        check: "heap-audit",
         run: table1::run,
     },
     Exhibit {
@@ -64,6 +74,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "Simulated machine configuration",
         rand_sensitive: false,
+        check: "static",
         run: table2::run,
     },
     Exhibit {
@@ -71,6 +82,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "Intruder and Yada at 8 cores, Glibc vs Hoard (motivating gap)",
         rand_sensitive: false,
+        check: "checksum-diff",
         run: fig1::run,
     },
     Exhibit {
@@ -78,6 +90,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "Threadtest throughput vs block size, 8 threads",
         rand_sensitive: false,
+        check: "heap-audit",
         run: fig3::run,
     },
     Exhibit {
@@ -85,6 +98,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "Synthetic data-structure throughput vs cores, 60% updates",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: fig4::run,
     },
     Exhibit {
@@ -92,6 +106,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "Best and worst allocators per synthetic structure",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: table3::run,
     },
     Exhibit {
@@ -99,6 +114,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "Abort fraction and L1 miss ratio for the sorted list",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: table4::run,
     },
     Exhibit {
@@ -106,6 +122,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "Relative speedup of the linked list: ORT shift 4 vs 6",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: fig6::run,
     },
     Exhibit {
@@ -113,6 +130,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "STAMP allocation characterization by size class",
         rand_sensitive: true,
+        check: "app-verify",
         run: table5::run,
     },
     Exhibit {
@@ -120,6 +138,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "STAMP execution time vs cores, six applications",
         rand_sensitive: true,
+        check: "checksum-diff",
         run: fig7::run,
     },
     Exhibit {
@@ -127,6 +146,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "Best and worst allocators per STAMP application",
         rand_sensitive: true,
+        check: "checksum-diff",
         run: table6::run,
     },
     Exhibit {
@@ -134,6 +154,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "Speedup curves for Genome and Yada",
         rand_sensitive: false,
+        check: "checksum-diff",
         run: fig8::run,
     },
     Exhibit {
@@ -141,6 +162,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "table",
         title: "Gain from the STM-level object-cache optimization",
         rand_sensitive: true,
+        check: "app-verify",
         run: table7::run,
     },
     Exhibit {
@@ -148,6 +170,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "Labyrinth with and without per-thread pool padding",
         rand_sensitive: false,
+        check: "app-verify",
         run: ablation_padding::run,
     },
     Exhibit {
@@ -155,6 +178,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "HashSet anomaly vs the ORT hash function",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: ablation_hash::run,
     },
     Exhibit {
@@ -162,6 +186,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "Encounter-time vs commit-time locking",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: ablation_design::run,
     },
     Exhibit {
@@ -169,6 +194,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "Full ORT stripe-shift sweep (3..=8) for the linked list",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: ablation_shift::run,
     },
     Exhibit {
@@ -176,6 +202,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "Allocator effects across machine profiles",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: ablation_machine::run,
     },
     Exhibit {
@@ -183,6 +210,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "Negative control: serial allocator under no contention",
         rand_sensitive: false,
+        check: "heap-audit",
         run: ablation_serial::run,
     },
     Exhibit {
@@ -190,6 +218,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "ablation",
         title: "Bayes run-to-run variance study",
         rand_sensitive: true,
+        check: "app-verify",
         run: ablation_variance::run,
     },
     Exhibit {
@@ -197,6 +226,7 @@ pub const REGISTRY: &[Exhibit] = &[
         kind: "figure",
         title: "Fig. 4 extension: read-only and read-dominated mixes",
         rand_sensitive: true,
+        check: "serial-oracle",
         run: fig4_mixes::run,
     },
 ];
@@ -217,11 +247,12 @@ pub fn run_by_name(name: &str) -> Result<(), String> {
 /// [`REGISTRY`] so the docs cannot drift from the code
 /// (`make_all --table` prints it).
 pub fn experiments_table() -> String {
-    let mut out =
-        String::from("| Exhibit | Kind | Rand stream | Description |\n|---|---|---|---|\n");
+    let mut out = String::from(
+        "| Exhibit | Kind | Rand stream | Check | Description |\n|---|---|---|---|---|\n",
+    );
     for e in REGISTRY {
         out.push_str(&format!(
-            "| [`{name}`](results/{name}.json) | {kind} | {det} | {title} |\n",
+            "| [`{name}`](results/{name}.json) | {kind} | {det} | {check} | {title} |\n",
             name = e.name,
             kind = e.kind,
             det = if e.rand_sensitive {
@@ -229,6 +260,7 @@ pub fn experiments_table() -> String {
             } else {
                 "deterministic"
             },
+            check = e.check,
             title = e.title,
         ));
     }
@@ -263,5 +295,27 @@ mod tests {
         }
         assert!(t.contains("| deterministic |"));
         assert!(t.contains("| sensitive |"));
+    }
+
+    #[test]
+    fn every_exhibit_has_a_known_check_mode() {
+        const MODES: [&str; 5] = [
+            "serial-oracle",
+            "checksum-diff",
+            "app-verify",
+            "heap-audit",
+            "static",
+        ];
+        for e in REGISTRY {
+            assert!(
+                MODES.contains(&e.check),
+                "{}: bad check '{}'",
+                e.name,
+                e.check
+            );
+        }
+        let t = experiments_table();
+        assert!(t.contains("| Check |"));
+        assert!(t.contains("| serial-oracle |"));
     }
 }

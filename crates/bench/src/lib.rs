@@ -153,6 +153,10 @@ pub fn stamp_point(app: AppKind, kind: AllocatorKind, threads: usize) -> StampRe
                 l2_miss: v[6],
                 lock_wait_cycles: v[7] as u64,
                 cache_hits: v[8] as u64,
+                // Correctness fields are not cached; perf exhibits never
+                // read them.
+                checksum: None,
+                heap_violations: 0,
             };
         }
     }

@@ -1,0 +1,111 @@
+//! End-to-end regression tests for `make_all`'s degradation machinery:
+//! the `TM_SWEEP_FAULT` injection paths (permanent error, injected hang,
+//! fail-first-N-then-recover) must produce the right matrix entries and
+//! exit codes through the real binary.
+//!
+//! Each invocation runs in its own scratch directory so the committed
+//! `results/` artifacts are never touched, and uses `--only table2` (the
+//! cheapest exhibit: the static machine-configuration table).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use tm_obs::{CellStatus, SweepReport};
+
+/// Scratch working directory unique to one test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("make_all_faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Run the real `make_all` binary with a fault spec, from `dir`.
+fn run_make_all(dir: &Path, fault: &str, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_make_all"));
+    cmd.current_dir(dir)
+        .env("TM_SWEEP_FAULT", fault)
+        .args(["--only", "table2", "--jobs", "1"])
+        .args(extra);
+    cmd.output().expect("spawn make_all")
+}
+
+fn load_matrix(dir: &Path) -> SweepReport {
+    let src = std::fs::read_to_string(dir.join("results/make_all.sweep.json"))
+        .expect("matrix must be written even when degraded");
+    SweepReport::parse(&src).expect("matrix must stay schema-valid")
+}
+
+#[test]
+fn permanent_error_fault_degrades_cell_and_exit_code() {
+    let dir = scratch("error");
+    let out = run_make_all(&dir, "error:table2", &["--retries", "1"]);
+    assert_eq!(out.status.code(), Some(1), "degraded run must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DEGRADED"), "stderr: {stderr}");
+    let matrix = load_matrix(&dir);
+    assert_eq!(matrix.cells.len(), 1, "--only must trim the registry");
+    let cell = &matrix.cells[0];
+    assert_eq!(cell.status, CellStatus::Error);
+    assert_eq!(cell.attempts, 2, "1 try + 1 retry");
+    assert!(
+        cell.error.as_deref().unwrap().contains("injected fault"),
+        "{:?}",
+        cell.error
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn timeout_fault_records_timeout_status() {
+    let dir = scratch("timeout");
+    let out = run_make_all(
+        &dir,
+        "timeout:table2",
+        &["--retries", "0", "--timeout-s", "1"],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let cell = &load_matrix(&dir).cells[0];
+    assert_eq!(cell.status, CellStatus::Timeout);
+    assert!(
+        cell.error.as_deref().unwrap().contains("budget"),
+        "{:?}",
+        cell.error
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_fault_recovers_on_retry_with_clean_exit() {
+    let dir = scratch("transient");
+    // Fail only the first attempt; the retry runs the real exhibit.
+    let out = run_make_all(&dir, "error:table2:1", &["--retries", "1"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "recovered run must exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let cell = &load_matrix(&dir).cells[0];
+    assert_eq!(cell.status, CellStatus::Ok);
+    assert_eq!(cell.attempts, 2, "attempt 1 faulted, attempt 2 succeeded");
+    assert!(cell.error.is_none());
+    // The recovered attempt really regenerated the exhibit.
+    assert!(
+        dir.join("results/table2.json").exists(),
+        "retry must produce the exhibit artifacts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn only_filter_with_no_match_is_a_usage_error() {
+    let dir = scratch("nomatch");
+    let out = Command::new(env!("CARGO_BIN_EXE_make_all"))
+        .current_dir(&dir)
+        .args(["--only", "no-such-exhibit"])
+        .output()
+        .expect("spawn make_all");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

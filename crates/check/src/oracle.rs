@@ -1,0 +1,572 @@
+//! Serial-oracle checking for synthetic set workloads and STAMP apps.
+//!
+//! **Synthetic sets.** The parallel run records every operation's outcome
+//! (per thread, in program order). For a set, linearizability decomposes
+//! key by key: the operations touching one key — with their booleans — must
+//! admit *some* serial order, and that admits a closed-form check (the
+//! successful inserts and removes on a key strictly alternate). A violated
+//! condition is a concrete proof that no serial order explains the run,
+//! i.e. a real STM bug — there are no false positives. Single-thread runs
+//! are additionally diffed op-by-op against a `BTreeSet` reference.
+//!
+//! **STAMP.** Apps with an interleaving-independent final state expose a
+//! [`tm_stamp::StampApp::checksum`]; the N-thread checksum is diffed
+//! against a fresh one-thread reference run of the same app, seed and
+//! allocator. Both runs execute under the heap auditor.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tm_alloc::AllocatorKind;
+use tm_ds::{StructureKind, TxHashSet, TxList, TxRbTree, TxSet};
+use tm_obs::{CheckCell, CheckStatus};
+use tm_sim::{Ctx, MachineConfig, Sim};
+use tm_stamp::runner::{run_kind, StampOpts};
+use tm_stamp::AppKind;
+use tm_stm::{Stm, StmConfig};
+
+use crate::strategies::SetOp;
+use crate::{cell_from, kv};
+
+/// One cell of the synthetic check matrix.
+#[derive(Clone, Debug)]
+pub struct SynthCheckConfig {
+    /// Structure under test.
+    pub structure: StructureKind,
+    /// Allocator under test.
+    pub allocator: AllocatorKind,
+    /// Worker thread count of the parallel phase.
+    pub threads: usize,
+    /// ORT stripe shift.
+    pub shift: u32,
+    /// Successful inserts performed by the sequential warm-up.
+    pub initial_size: u64,
+    /// Keys are drawn from `0..key_range`.
+    pub key_range: u64,
+    /// Operations per worker thread.
+    pub ops_per_thread: u64,
+    /// Percentage of operations that are updates (insert/remove pairs).
+    pub update_pct: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SynthCheckConfig {
+    /// A small, fast cell: enough churn to catch interleaving bugs while
+    /// keeping a full matrix sweep in seconds.
+    pub fn quick(structure: StructureKind, allocator: AllocatorKind, threads: usize) -> Self {
+        SynthCheckConfig {
+            structure,
+            allocator,
+            threads,
+            shift: 5,
+            initial_size: 12,
+            key_range: 32,
+            ops_per_thread: 120,
+            update_pct: 60,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+/// The raw material the oracle judges: initial membership, every recorded
+/// operation outcome, and the final swept state.
+pub struct SynthObservation {
+    /// Keys present after the sequential warm-up.
+    pub init: BTreeSet<u64>,
+    /// Per-thread `(op, result)` logs in program order.
+    pub events: Vec<Vec<(SetOp, bool)>>,
+    /// Keys present after the parallel phase (raw sweep).
+    pub fin: BTreeSet<u64>,
+    /// Committed transactions in the parallel phase.
+    pub commits: u64,
+    /// Heap-auditor violations across the whole run.
+    pub heap_violations: u64,
+}
+
+#[derive(Clone, Copy)]
+enum CheckSet {
+    List(TxList),
+    Hash(TxHashSet),
+    Tree(TxRbTree),
+}
+
+impl CheckSet {
+    fn build(structure: StructureKind, stm: &Stm, ctx: &mut Ctx<'_>, key_range: u64) -> Self {
+        match structure {
+            StructureKind::LinkedList => CheckSet::List(TxList::new(stm, ctx)),
+            StructureKind::HashSet => CheckSet::Hash(TxHashSet::new(
+                stm,
+                ctx,
+                (key_range * 2).next_power_of_two(),
+            )),
+            StructureKind::RbTree => CheckSet::Tree(TxRbTree::new(stm, ctx)),
+        }
+    }
+
+    fn as_set(&self) -> &dyn TxSet {
+        match self {
+            CheckSet::List(s) => s,
+            CheckSet::Hash(s) => s,
+            CheckSet::Tree(s) => s,
+        }
+    }
+
+    /// Structure-specific raw invariants (sortedness, red–black shape).
+    /// Panics on violation, like the structures' own test helpers.
+    fn check_structure(&self, ctx: &mut Ctx<'_>) {
+        match self {
+            CheckSet::List(l) => assert!(l.is_sorted_raw(ctx), "list lost sortedness"),
+            CheckSet::Hash(_) => {}
+            CheckSet::Tree(t) => {
+                t.check_invariants_raw(ctx);
+            }
+        }
+    }
+}
+
+/// Execute the workload and record everything the oracle needs. The
+/// workload mirrors `tm_core::synthetic::run_synthetic`: warm-up inserts,
+/// then per-thread streams of updates (alternating insert/remove) and
+/// membership probes.
+pub fn observe_synthetic(cfg: &SynthCheckConfig) -> SynthObservation {
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let auditor = cfg.allocator.build_audited(&sim);
+    let stm = Arc::new(Stm::new(
+        &sim,
+        Arc::clone(&auditor) as Arc<dyn tm_alloc::Allocator>,
+        StmConfig {
+            shift: cfg.shift,
+            ..StmConfig::default()
+        },
+    ));
+
+    // Sequential warm-up; record the exact initial membership.
+    let set_cell: Mutex<Option<CheckSet>> = Mutex::new(None);
+    let init_cell: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    sim.run(1, |ctx| {
+        let set = CheckSet::build(cfg.structure, &stm, ctx, cfg.key_range);
+        let mut th = stm.thread(0);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut init = BTreeSet::new();
+        while (init.len() as u64) < cfg.initial_size.min(cfg.key_range) {
+            let key = rng.gen_range(0..cfg.key_range);
+            if set.as_set().insert(&stm, ctx, &mut th, key) {
+                init.insert(key);
+            }
+        }
+        stm.retire(th);
+        *init_cell.lock() = init;
+        *set_cell.lock() = Some(set);
+    });
+    stm.reset_stats();
+
+    // Parallel phase: every op's outcome goes into the per-thread log.
+    let logs: Mutex<Vec<Vec<(SetOp, bool)>>> = Mutex::new(vec![Vec::new(); cfg.threads]);
+    sim.run(cfg.threads, |ctx| {
+        let set = set_cell.lock().unwrap(); // copy the handle out; drop the host lock
+        let set = set.as_set();
+        let tid = ctx.tid();
+        let mut th = stm.thread(tid);
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+        let mut log = Vec::with_capacity(cfg.ops_per_thread as usize);
+        let mut pending_remove = None;
+        for _ in 0..cfg.ops_per_thread {
+            let key = rng.gen_range(0..cfg.key_range);
+            let op = if rng.gen_range(0..100) < cfg.update_pct {
+                match pending_remove.take() {
+                    Some(k) => SetOp::Remove(k),
+                    None => {
+                        pending_remove = Some(key);
+                        SetOp::Insert(key)
+                    }
+                }
+            } else {
+                SetOp::Contains(key)
+            };
+            let result = match op {
+                SetOp::Insert(k) => set.insert(&stm, ctx, &mut th, k),
+                SetOp::Remove(k) => set.remove(&stm, ctx, &mut th, k),
+                SetOp::Contains(k) => set.contains(&stm, ctx, &mut th, k),
+            };
+            log.push((op, result));
+        }
+        stm.retire(th);
+        logs.lock()[tid] = log;
+    });
+    let commits = stm.stats().commits;
+
+    // Final sweep + structural invariants, outside the timed phases.
+    let fin_cell: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    sim.run(1, |ctx| {
+        let set = set_cell.lock().unwrap();
+        set.check_structure(ctx);
+        let mut th = stm.thread(0);
+        let mut fin = BTreeSet::new();
+        for key in 0..cfg.key_range {
+            if set.as_set().contains(&stm, ctx, &mut th, key) {
+                fin.insert(key);
+            }
+        }
+        stm.retire(th);
+        *fin_cell.lock() = fin;
+    });
+
+    SynthObservation {
+        init: init_cell.into_inner(),
+        events: logs.into_inner(),
+        fin: fin_cell.into_inner(),
+        commits,
+        heap_violations: auditor.report().violation_count,
+    }
+}
+
+/// Per-key operation tallies extracted from the logs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KeyWitness {
+    /// Successful inserts.
+    pub si: u64,
+    /// Failed inserts.
+    pub fi: u64,
+    /// Successful removes.
+    pub sr: u64,
+    /// Failed removes.
+    pub fr: u64,
+    /// Contains that returned true / false.
+    pub ct: u64,
+    /// Contains that returned false.
+    pub cf: u64,
+}
+
+/// Serial-witness conditions for one key. `init`/`fin` are the key's
+/// initial and final membership. Returns every violated condition; an
+/// empty vector means some serial order of this key's operations exists.
+pub fn witness_failures(key: u64, init: bool, fin: bool, w: &KeyWitness) -> Vec<String> {
+    let mut out = Vec::new();
+    let net = w.si as i64 - w.sr as i64;
+    let expect_fin = init as i64 + net;
+    if !(0..=1).contains(&expect_fin) || (expect_fin == 1) != fin {
+        out.push(format!(
+            "key {key}: final membership {fin} inconsistent with init={} si={} sr={}",
+            init as u8, w.si, w.sr
+        ));
+    }
+    let net_ok = if init {
+        (-1..=0).contains(&net)
+    } else {
+        (0..=1).contains(&net)
+    };
+    if !net_ok {
+        out.push(format!(
+            "key {key}: successful inserts/removes cannot alternate (init={} si={} sr={})",
+            init as u8, w.si, w.sr
+        ));
+    }
+    if w.fi > 0 && !(init || w.si > 0) {
+        out.push(format!(
+            "key {key}: insert failed but key was never present"
+        ));
+    }
+    if w.fr > 0 && init && w.sr == 0 {
+        out.push(format!(
+            "key {key}: remove failed but key was always present"
+        ));
+    }
+    if w.ct > 0 && !(init || w.si > 0) {
+        out.push(format!(
+            "key {key}: contains saw a key that was never inserted"
+        ));
+    }
+    if w.cf > 0 && init && w.sr == 0 {
+        out.push(format!(
+            "key {key}: contains missed a key that was never removed"
+        ));
+    }
+    out
+}
+
+/// Validate a full observation: per-key serial witnesses for every key,
+/// plus an exact `BTreeSet` replay when the run was single-threaded.
+pub fn validate_synthetic(obs: &SynthObservation, key_range: u64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut tallies = vec![KeyWitness::default(); key_range as usize];
+    for log in &obs.events {
+        for &(op, result) in log {
+            let w = &mut tallies[op.key() as usize];
+            match (op, result) {
+                (SetOp::Insert(_), true) => w.si += 1,
+                (SetOp::Insert(_), false) => w.fi += 1,
+                (SetOp::Remove(_), true) => w.sr += 1,
+                (SetOp::Remove(_), false) => w.fr += 1,
+                (SetOp::Contains(_), true) => w.ct += 1,
+                (SetOp::Contains(_), false) => w.cf += 1,
+            }
+        }
+    }
+    for (key, w) in tallies.iter().enumerate() {
+        let key = key as u64;
+        failures.extend(witness_failures(
+            key,
+            obs.init.contains(&key),
+            obs.fin.contains(&key),
+            w,
+        ));
+    }
+    // Single-threaded runs admit exactly one serial order: program order.
+    if obs.events.len() == 1 {
+        let mut model = obs.init.clone();
+        for (i, &(op, result)) in obs.events[0].iter().enumerate() {
+            let expect = match op {
+                SetOp::Insert(k) => model.insert(k),
+                SetOp::Remove(k) => model.remove(&k),
+                SetOp::Contains(k) => model.contains(&k),
+            };
+            if expect != result {
+                failures.push(format!(
+                    "serial replay diverged at op {i}: {op:?} -> {result}"
+                ));
+            }
+        }
+        if model != obs.fin {
+            failures.push("serial replay final state differs from swept state".into());
+        }
+    }
+    failures
+}
+
+/// Run one synthetic cell and fold the verdict into a [`CheckCell`].
+pub fn run_synth_cell(cfg: &SynthCheckConfig) -> CheckCell {
+    let config = vec![
+        kv("kind", "synth"),
+        kv("structure", cfg.structure.name()),
+        kv("alloc", cfg.allocator.name()),
+        kv("threads", cfg.threads),
+        kv("shift", cfg.shift),
+    ];
+    let obs = match catch_unwind(AssertUnwindSafe(|| observe_synthetic(cfg))) {
+        Ok(obs) => obs,
+        Err(payload) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Error,
+                detail: Some(format!("panicked: {}", panic_message(&payload))),
+                checks: vec![],
+            }
+        }
+    };
+    let mut failures = validate_synthetic(&obs, cfg.key_range);
+    if obs.heap_violations > 0 {
+        failures.push(format!("{} heap-invariant violations", obs.heap_violations));
+    }
+    let ops: u64 = obs.events.iter().map(|l| l.len() as u64).sum();
+    let checks = vec![
+        ("ops".into(), ops),
+        ("keys".into(), cfg.key_range),
+        ("commits".into(), obs.commits),
+        ("final_size".into(), obs.fin.len() as u64),
+        ("heap_violations".into(), obs.heap_violations),
+    ];
+    cell_from(config, checks, failures)
+}
+
+/// Run one STAMP cell: N-thread audited run diffed against a one-thread
+/// reference run through the app checksum (when the app defines one).
+pub fn run_stamp_cell(
+    kind: AppKind,
+    allocator: AllocatorKind,
+    threads: usize,
+    scale: u64,
+) -> CheckCell {
+    let config = vec![
+        kv("kind", "stamp"),
+        kv("app", kind.name()),
+        kv("alloc", allocator.name()),
+        kv("threads", threads),
+    ];
+    let opts = StampOpts {
+        audit_heap: true,
+        ..StampOpts::default()
+    };
+    let run = |threads| {
+        let opts = opts.clone();
+        catch_unwind(AssertUnwindSafe(move || {
+            run_kind(kind, allocator, threads, &opts, scale)
+        }))
+    };
+    // The verify() assertions inside each app are themselves oracle checks;
+    // a panic in either run is a correctness failure, not a harness error.
+    let par = match run(threads) {
+        Ok(r) => r,
+        Err(p) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Fail,
+                detail: Some(format!(
+                    "verify failed ({threads} threads): {}",
+                    panic_message(&p)
+                )),
+                checks: vec![],
+            }
+        }
+    };
+    let reference = match run(1) {
+        Ok(r) => r,
+        Err(p) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Fail,
+                detail: Some(format!(
+                    "verify failed (serial reference): {}",
+                    panic_message(&p)
+                )),
+                checks: vec![],
+            }
+        }
+    };
+    let mut failures = Vec::new();
+    match (par.checksum, reference.checksum) {
+        (Some(p), Some(s)) if p != s => {
+            failures.push(format!(
+                "checksum diverged: parallel {p:#x} vs serial {s:#x}"
+            ));
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            failures.push("checksum defined for one run but not the other".into());
+        }
+        _ => {}
+    }
+    let violations = par.heap_violations + reference.heap_violations;
+    if violations > 0 {
+        failures.push(format!("{violations} heap-invariant violations"));
+    }
+    let checks = vec![
+        ("commits".into(), par.commits),
+        ("aborts".into(), par.aborts),
+        ("checksummed".into(), par.checksum.is_some() as u64),
+        ("heap_violations".into(), violations),
+    ];
+    cell_from(config, checks, failures)
+}
+
+/// Best-effort panic payload extraction.
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_accepts_legal_histories() {
+        // init=0: insert, probe, remove, failed remove.
+        let w = KeyWitness {
+            si: 1,
+            fi: 0,
+            sr: 1,
+            fr: 1,
+            ct: 1,
+            cf: 1,
+        };
+        assert!(witness_failures(3, false, false, &w).is_empty());
+        // init=1: remove then re-insert, ending present.
+        let w = KeyWitness {
+            si: 1,
+            sr: 1,
+            ..KeyWitness::default()
+        };
+        assert!(witness_failures(4, true, true, &w).is_empty());
+    }
+
+    #[test]
+    fn witness_catches_lost_update() {
+        // Two successful inserts of the same absent key with no remove in
+        // between: the signature of a lost update. No serial order exists.
+        let w = KeyWitness {
+            si: 2,
+            ..KeyWitness::default()
+        };
+        let fails = witness_failures(7, false, true, &w);
+        assert!(
+            fails.iter().any(|f| f.contains("cannot alternate")),
+            "{fails:?}"
+        );
+    }
+
+    #[test]
+    fn witness_catches_phantom_reads() {
+        let w = KeyWitness {
+            ct: 1,
+            ..KeyWitness::default()
+        };
+        let fails = witness_failures(9, false, false, &w);
+        assert!(
+            fails.iter().any(|f| f.contains("never inserted")),
+            "{fails:?}"
+        );
+        let w = KeyWitness {
+            cf: 1,
+            ..KeyWitness::default()
+        };
+        let fails = witness_failures(9, true, true, &w);
+        assert!(
+            fails.iter().any(|f| f.contains("never removed")),
+            "{fails:?}"
+        );
+    }
+
+    #[test]
+    fn witness_catches_final_state_drift() {
+        let w = KeyWitness::default();
+        let fails = witness_failures(2, false, true, &w);
+        assert!(
+            fails.iter().any(|f| f.contains("final membership")),
+            "{fails:?}"
+        );
+    }
+
+    #[test]
+    fn serial_run_matches_model_exactly() {
+        for structure in StructureKind::ALL {
+            let cfg = SynthCheckConfig::quick(structure, AllocatorKind::TcMalloc, 1);
+            let obs = observe_synthetic(&cfg);
+            let failures = validate_synthetic(&obs, cfg.key_range);
+            assert!(failures.is_empty(), "{structure:?}: {failures:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_cells_pass_for_every_structure() {
+        for structure in StructureKind::ALL {
+            let cfg = SynthCheckConfig::quick(structure, AllocatorKind::Hoard, 4);
+            let cell = run_synth_cell(&cfg);
+            assert_eq!(cell.status, CheckStatus::Pass, "{:?}", cell.detail);
+            let ops = cell.checks.iter().find(|(k, _)| k == "ops").unwrap().1;
+            assert_eq!(ops, 4 * cfg.ops_per_thread);
+        }
+    }
+
+    #[test]
+    fn stamp_cell_diffs_genome_against_serial_reference() {
+        let cell = run_stamp_cell(AppKind::Genome, AllocatorKind::TbbMalloc, 4, 1);
+        assert_eq!(cell.status, CheckStatus::Pass, "{:?}", cell.detail);
+        let summed = cell
+            .checks
+            .iter()
+            .find(|(k, _)| k == "checksummed")
+            .unwrap()
+            .1;
+        assert_eq!(summed, 1, "genome must define a checksum");
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared proptest strategies for the correctness suites.
+//!
+//! The per-crate property tests (`tm-ds`, `tm-alloc`, `tm-stm`) and the
+//! harness in this crate all draw from the same generators, so a workload
+//! shape fixed here tightens every suite at once. Keys deliberately live in
+//! a small range (`0..KEY_SPACE`) — collisions are what exercise the
+//! interesting paths.
+
+use proptest::collection::{vec, VecStrategy};
+use proptest::prelude::*;
+
+/// Key universe for set scripts: small enough that inserts, removes and
+/// probes collide constantly.
+pub const KEY_SPACE: u64 = 48;
+
+/// One operation of a set workload script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert the key (idempotent; result reports prior absence).
+    Insert(u64),
+    /// Remove the key (result reports prior presence).
+    Remove(u64),
+    /// Membership probe.
+    Contains(u64),
+}
+
+impl SetOp {
+    /// The key the operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            SetOp::Insert(k) | SetOp::Remove(k) | SetOp::Contains(k) => k,
+        }
+    }
+}
+
+/// Strategy for one [`SetOp`], uniform over the three operations.
+pub fn set_op() -> BoxedStrategy<SetOp> {
+    prop_oneof![
+        (0u64..KEY_SPACE).prop_map(SetOp::Insert),
+        (0u64..KEY_SPACE).prop_map(SetOp::Remove),
+        (0u64..KEY_SPACE).prop_map(SetOp::Contains),
+    ]
+    .boxed()
+}
+
+/// Strategy for a set script of 1 to `max_len` operations.
+pub fn set_ops(max_len: usize) -> VecStrategy<BoxedStrategy<SetOp>> {
+    vec(set_op(), 1..max_len)
+}
+
+/// One operation of an allocator workload script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOp {
+    /// Allocate this many bytes.
+    Malloc(u64),
+    /// Free the nth oldest live block (index modulo live count; no-op when
+    /// nothing is live).
+    Free(usize),
+}
+
+/// Strategy for one [`AllocOp`], weighted 3:2 toward allocation so scripts
+/// grow a live set to free from.
+pub fn alloc_op() -> BoxedStrategy<AllocOp> {
+    prop_oneof![
+        3 => (1u64..600).prop_map(AllocOp::Malloc),
+        2 => (0usize..64).prop_map(AllocOp::Free),
+    ]
+    .boxed()
+}
+
+/// Strategy for an allocator script of 1 to `max_len` operations.
+pub fn alloc_ops(max_len: usize) -> VecStrategy<BoxedStrategy<AllocOp>> {
+    vec(alloc_op(), 1..max_len)
+}
+
+/// Strategy for an interleaving schedule: one virtual-time delay (in
+/// cycles, `0..max_delay`) per scheduling point. Shrinking drives delays
+/// toward 0 and drops points, so minimal counterexamples perturb as few
+/// transactions as possible.
+pub fn delays(points: usize, max_delay: u64) -> VecStrategy<std::ops::Range<u64>> {
+    vec(0..max_delay, points..points + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::{run_cases, TestRng};
+
+    #[test]
+    fn set_ops_stay_in_key_space() {
+        let mut rng = TestRng::deterministic(7);
+        for _ in 0..200 {
+            let ops = set_ops(40).generate(&mut rng);
+            assert!(!ops.is_empty() && ops.len() < 40);
+            for op in ops {
+                assert!(op.key() < KEY_SPACE);
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_ops_respect_bounds() {
+        let mut rng = TestRng::deterministic(9);
+        let mut mallocs = 0u32;
+        let mut frees = 0u32;
+        for _ in 0..100 {
+            for op in alloc_ops(60).generate(&mut rng) {
+                match op {
+                    AllocOp::Malloc(s) => {
+                        assert!((1..600).contains(&s));
+                        mallocs += 1;
+                    }
+                    AllocOp::Free(i) => {
+                        assert!(i < 64);
+                        frees += 1;
+                    }
+                }
+            }
+        }
+        // 3:2 weighting: both arms fire, mallocs dominate.
+        assert!(mallocs > frees && frees > 0, "{mallocs} vs {frees}");
+    }
+
+    #[test]
+    fn delays_have_fixed_arity_and_shrink_toward_zero() {
+        let strat = delays(6, 100);
+        let mut rng = TestRng::deterministic(3);
+        let sched = strat.generate(&mut rng);
+        assert_eq!(sched.len(), 6);
+        assert!(sched.iter().all(|&d| d < 100));
+        // A failing schedule must be minimisable: shrink a synthetic
+        // "always fails" predicate down to all-zero delays.
+        let err = proptest::test_runner::TestCaseError::fail("seed");
+        let failure = run_cases(1, 11, &strat, |_| Err(err.clone()));
+        let (minimal, _, _, _) = failure.expect("predicate always fails");
+        assert_eq!(minimal, vec![0; 6], "shrink should zero every delay");
+    }
+}

@@ -9,6 +9,7 @@
 //! tmstudy report results/fig4.json
 //! tmstudy report results/fig4.json old-results/fig4.json
 //! tmstudy sweep --structure list --alloc glibc,hoard,tbb,tc --threads 1,2,4,8
+//! tmstudy check --quick
 //! tmstudy book --check
 //! ```
 //!
@@ -43,6 +44,7 @@ fn main() {
         "machine" => machine(),
         "report" => report(rest),
         "sweep" => sweep(&flags),
+        "check" => check(&flags),
         "book" => book(&flags),
         _ => usage(),
     }
@@ -50,7 +52,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|book> [flags]\n\
+        "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|check|book> [flags]\n\
          synth:      --structure list|hash|rbtree --alloc <a> --threads N \
          [--update-pct P] [--shift S] [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
          stamp:      --app <name> --alloc <a> --threads N [--scale S] \
@@ -63,51 +65,89 @@ fn usage() {
          (--structure --app --alloc --threads --shift --update-pct --size --ops \
          --pairs --scale --seeds) [--reps N] [--name S] [--out FILE] \
          [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
+         check:      correctness matrix (serial oracles, heap audit, \
+         interleaving explorer) [--quick] [--name S] [--out FILE]\n\
          book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
          allocators: glibc hoard tbb tc"
     );
 }
 
-/// Either schema that `tmstudy report` can show or diff.
+/// Any schema that `tmstudy report` can show or diff.
 enum AnyReport {
     Run(tm_obs::RunReport),
     Sweep(tm_obs::SweepReport),
+    Check(tm_obs::CheckReport),
 }
 
+/// The schemas this binary understands, for error messages.
+const KNOWN_SCHEMAS: [&str; 3] = [
+    tm_obs::report::SCHEMA,
+    tm_obs::sweep::SWEEP_SCHEMA,
+    tm_obs::check::CHECK_SCHEMA,
+];
+
 impl AnyReport {
-    /// Load a results JSON file, dispatching on its `schema` field.
-    fn load(path: &str) -> AnyReport {
-        let src =
-            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let tree =
-            tm_obs::json::Json::parse(&src).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+    /// Load a results JSON file, dispatching on its `schema` field. A file
+    /// with an unrecognised schema gets a clear error naming the schemas
+    /// this binary understands, not a parse panic.
+    fn load(path: &str) -> Result<AnyReport, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::parse(&src).map_err(|e| format!("{path}: {e}"))
+    }
+
+    fn parse(src: &str) -> Result<AnyReport, String> {
+        let tree = tm_obs::json::Json::parse(src).map_err(|e| format!("not JSON: {e}"))?;
         match tree.get("schema").and_then(tm_obs::json::Json::as_str) {
-            Some(tm_obs::sweep::SWEEP_SCHEMA) => AnyReport::Sweep(
-                tm_obs::SweepReport::from_json(&tree)
-                    .unwrap_or_else(|e| panic!("{path} is not a sweep report: {e}")),
-            ),
-            _ => AnyReport::Run(
-                tm_obs::RunReport::from_json(&tree)
-                    .unwrap_or_else(|e| panic!("{path} is not a run report: {e}")),
-            ),
+            Some(tm_obs::report::SCHEMA) => tm_obs::RunReport::from_json(&tree)
+                .map(AnyReport::Run)
+                .map_err(|e| format!("malformed run report: {e}")),
+            Some(tm_obs::sweep::SWEEP_SCHEMA) => tm_obs::SweepReport::from_json(&tree)
+                .map(AnyReport::Sweep)
+                .map_err(|e| format!("malformed sweep matrix: {e}")),
+            Some(tm_obs::check::CHECK_SCHEMA) => tm_obs::CheckReport::from_json(&tree)
+                .map(AnyReport::Check)
+                .map_err(|e| format!("malformed check report: {e}")),
+            Some(other) => Err(format!(
+                "unknown schema '{other}' (known schemas: {})",
+                KNOWN_SCHEMAS.join(", ")
+            )),
+            None => Err(format!(
+                "no 'schema' field (known schemas: {})",
+                KNOWN_SCHEMAS.join(", ")
+            )),
         }
+    }
+
+    fn load_or_exit(path: &str) -> AnyReport {
+        AnyReport::load(path).unwrap_or_else(|e| {
+            eprintln!("report: {e}");
+            std::process::exit(2);
+        })
     }
 }
 
-/// Pretty-print one results JSON file (run report or sweep matrix, chosen
-/// by its `schema` field), or structurally diff two of the same schema
-/// (exit code 1 when they differ, for scripting).
+/// Pretty-print one results JSON file (run report, sweep matrix, or check
+/// report, chosen by its `schema` field), or structurally diff two of the
+/// same schema (exit code 1 when they differ, for scripting).
 fn report(args: &[String]) {
     match args {
-        [one] => match AnyReport::load(one) {
+        [one] => match AnyReport::load_or_exit(one) {
             AnyReport::Run(r) => print!("{}", r.render()),
             AnyReport::Sweep(s) => print!("{}", s.render()),
+            AnyReport::Check(c) => print!("{}", c.render()),
         },
         [a, b] => {
-            let d = match (AnyReport::load(a), AnyReport::load(b)) {
+            let d = match (AnyReport::load_or_exit(a), AnyReport::load_or_exit(b)) {
                 (AnyReport::Run(ra), AnyReport::Run(rb)) => ra.diff(&rb),
                 (AnyReport::Sweep(sa), AnyReport::Sweep(sb)) => sa.diff(&sb),
-                _ => panic!("cannot diff a run report against a sweep matrix"),
+                (AnyReport::Check(_), AnyReport::Check(_)) => {
+                    eprintln!("report: check reports have no diff; rerun `tmstudy check`");
+                    std::process::exit(2);
+                }
+                _ => {
+                    eprintln!("report: cannot diff reports of different schemas");
+                    std::process::exit(2);
+                }
             };
             match d {
                 None => println!("reports are identical"),
@@ -161,6 +201,89 @@ fn sweep(flags: &HashMap<String, String>) {
             "warning: {} degraded cell(s), see matrix",
             report.degraded()
         );
+    }
+}
+
+/// Run the correctness matrix (tm-check) and write a `tm-check-report/v1`
+/// document. Exit 1 when any cell fails — the gate CI and `verify.sh` use.
+fn check(flags: &HashMap<String, String>) {
+    use tm_check::SynthCheckConfig;
+    use tm_check::{run_explore_cell, run_heap_cell, run_stamp_cell, run_synth_cell};
+    use tm_stm::InjectedBug;
+
+    let quick = flags.contains_key("quick");
+    let name = flags.get("name").cloned().unwrap_or_else(|| {
+        if quick {
+            "check-quick".into()
+        } else {
+            "check".into()
+        }
+    });
+    let allocs: Vec<AllocatorKind> = if quick {
+        vec![AllocatorKind::Glibc, AllocatorKind::TbbMalloc]
+    } else {
+        AllocatorKind::ALL.to_vec()
+    };
+    let synth_threads: &[usize] = if quick { &[4] } else { &[2, 8] };
+    let apps: Vec<AppKind> = if quick {
+        // The two apps with interleaving-independent checksums: the cells
+        // that actually diff parallel state against the serial reference.
+        vec![AppKind::Genome, AppKind::Intruder]
+    } else {
+        AppKind::ALL.to_vec()
+    };
+    let explore_budget = if quick { 8 } else { 24 };
+
+    let mut cells = Vec::new();
+    eprintln!("check '{name}': synthetic serial oracles…");
+    for structure in StructureKind::ALL {
+        for &alloc in &allocs {
+            for &threads in synth_threads {
+                cells.push(run_synth_cell(&SynthCheckConfig::quick(
+                    structure, alloc, threads,
+                )));
+            }
+        }
+    }
+    eprintln!("check '{name}': STAMP parallel-vs-serial checksums…");
+    for &app in &apps {
+        for &alloc in &allocs {
+            cells.push(run_stamp_cell(app, alloc, 4, 1));
+        }
+    }
+    eprintln!("check '{name}': heap invariants…");
+    for &alloc in &allocs {
+        cells.push(run_heap_cell(alloc, 4));
+    }
+    eprintln!("check '{name}': interleaving explorer…");
+    cells.push(run_explore_cell(InjectedBug::None, explore_budget, 0x51ee7));
+    // Self-test: the harness must catch a deliberately broken STM.
+    cells.push(run_explore_cell(
+        InjectedBug::SkipWriteValidation,
+        64,
+        0x51ee7,
+    ));
+
+    let mut report = tm_obs::CheckReport::new(&name)
+        .meta("quick", quick)
+        .meta("allocators", allocs.len())
+        .meta("apps", apps.len());
+    for cell in cells {
+        report.cells.push(cell);
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("results/{name}.check.json"));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write check report");
+    print!("{}", report.render());
+    println!("\ncheck report written to {out}");
+    if report.degraded() > 0 {
+        eprintln!("error: {} failing cell(s)", report.degraded());
+        std::process::exit(1);
     }
 }
 
@@ -309,6 +432,7 @@ fn stamp(flags: &HashMap<String, String>) {
         write_mode: write_mode_of(flags),
         ort_hash: hash_of(flags),
         seed: get(flags, "seed", 0xace),
+        ..StampOpts::default()
     };
     let scale = get(flags, "scale", 2u64);
     let threads = get(flags, "threads", 8usize);
@@ -397,4 +521,47 @@ fn machine() {
         m.cost.atomic_rmw,
         m.cost.os_alloc
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_load_rejects_unknown_schema_with_clear_error() {
+        let err = AnyReport::parse(r#"{"schema": "tm-mystery/v9", "name": "x"}"#)
+            .err()
+            .expect("unknown schema must not parse");
+        assert!(err.contains("unknown schema 'tm-mystery/v9'"), "{err}");
+        for known in KNOWN_SCHEMAS {
+            assert!(err.contains(known), "error must list {known}: {err}");
+        }
+    }
+
+    #[test]
+    fn report_load_rejects_missing_schema_and_non_json() {
+        let err = AnyReport::parse(r#"{"name": "x"}"#).err().unwrap();
+        assert!(err.contains("no 'schema' field"), "{err}");
+        let err = AnyReport::parse("not json at all").err().unwrap();
+        assert!(err.contains("not JSON"), "{err}");
+    }
+
+    #[test]
+    fn report_load_dispatches_all_three_schemas() {
+        let run = tm_obs::RunReport::new("r", "figure");
+        assert!(matches!(
+            AnyReport::parse(&run.to_json_string()),
+            Ok(AnyReport::Run(_))
+        ));
+        let sweep = tm_obs::SweepReport::new("s");
+        assert!(matches!(
+            AnyReport::parse(&sweep.to_json_string()),
+            Ok(AnyReport::Sweep(_))
+        ));
+        let check = tm_obs::CheckReport::new("c");
+        assert!(matches!(
+            AnyReport::parse(&check.to_json_string()),
+            Ok(AnyReport::Check(_))
+        ));
+    }
 }

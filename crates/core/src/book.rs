@@ -451,13 +451,16 @@ fn check_desc(check: &Check) -> &'static str {
 }
 
 /// Load every `tm-run-report/v1` file under `dir` (skipping
-/// `*.sweep.json` matrices), sorted by file name for determinism.
+/// `*.sweep.json` matrices and `*.check.json` correctness reports, which
+/// have their own schemas), sorted by file name for determinism.
 pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
     let mut files: Vec<String> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.file_name().to_string_lossy().into_owned())
-        .filter(|n| n.ends_with(".json") && !n.ends_with(".sweep.json"))
+        .filter(|n| {
+            n.ends_with(".json") && !n.ends_with(".sweep.json") && !n.ends_with(".check.json")
+        })
         .collect();
     files.sort();
     let mut reports = Vec::with_capacity(files.len());
@@ -745,6 +748,27 @@ mod tests {
         extra.name = "zz_custom".into();
         let text = render_book(&[extra]);
         assert!(text.contains("`zz_custom` (unlisted exhibit)"));
+    }
+
+    #[test]
+    fn load_results_dir_skips_matrix_and_check_reports() {
+        let dir = std::env::temp_dir().join(format!("book-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            std::fs::write(dir.join(name), body).unwrap();
+        };
+        write("fig3.json", &table_report().to_json_string());
+        // Other schemas in the same directory must be ignored, not parsed.
+        write(
+            "make_all.sweep.json",
+            "{\"schema\": \"tm-sweep-report/v1\"}",
+        );
+        write("check.check.json", "{\"schema\": \"tm-check-report/v1\"}");
+        write("notes.txt", "not json at all");
+        let reports = load_results_dir(dir.to_str().unwrap()).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "table3");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,33 +1,22 @@
 //! Property tests: each transactional structure agrees with a reference
 //! model under arbitrary operation sequences (single-threaded — the
 //! concurrent equivalence is covered by the deterministic multi-thread
-//! tests in the crate), and the red–black invariants survive any script.
+//! tests in the crate and by `tmstudy check`), and the red–black
+//! invariants survive any script. The operation generators are the shared
+//! ones from `tm_check::strategies`, so this suite and the differential
+//! harness always exercise the same workload shape.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 use tm_alloc::AllocatorKind;
+use tm_check::strategies::{set_ops, SetOp, KEY_SPACE};
 use tm_ds::{TxHashSet, TxList, TxRbTree, TxSet};
 use tm_sim::{MachineConfig, Sim};
 use tm_stm::{Stm, StmConfig};
 
-#[derive(Clone, Copy, Debug)]
-enum Op {
-    Insert(u64),
-    Remove(u64),
-    Contains(u64),
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..48).prop_map(Op::Insert),
-        (0u64..48).prop_map(Op::Remove),
-        (0u64..48).prop_map(Op::Contains),
-    ]
-}
-
 fn against_model<S: TxSet>(
     make: impl FnOnce(&Stm, &mut tm_sim::Ctx<'_>) -> S + Send,
-    ops: Vec<Op>,
+    ops: Vec<SetOp>,
     check_invariants: impl Fn(&S, &mut tm_sim::Ctx<'_>) + Send + Sync,
 ) {
     let sim = Sim::new(MachineConfig::xeon_e5405());
@@ -40,17 +29,17 @@ fn against_model<S: TxSet>(
         let mut model = std::collections::BTreeSet::new();
         for op in &ops {
             match *op {
-                Op::Insert(k) => assert_eq!(
+                SetOp::Insert(k) => assert_eq!(
                     set.insert(&stm, ctx, &mut th, k),
                     model.insert(k),
                     "insert({k})"
                 ),
-                Op::Remove(k) => assert_eq!(
+                SetOp::Remove(k) => assert_eq!(
                     set.remove(&stm, ctx, &mut th, k),
                     model.remove(&k),
                     "remove({k})"
                 ),
-                Op::Contains(k) => assert_eq!(
+                SetOp::Contains(k) => assert_eq!(
                     set.contains(&stm, ctx, &mut th, k),
                     model.contains(&k),
                     "contains({k})"
@@ -58,7 +47,7 @@ fn against_model<S: TxSet>(
             }
         }
         check_invariants(&set, ctx);
-        for k in 0..48u64 {
+        for k in 0..KEY_SPACE {
             assert_eq!(set.contains(&stm, ctx, &mut th, k), model.contains(&k));
         }
         stm.retire(th);
@@ -69,7 +58,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn list_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+    fn list_matches_model(ops in set_ops(120)) {
         against_model(
             TxList::new,
             ops,
@@ -78,12 +67,12 @@ proptest! {
     }
 
     #[test]
-    fn hashset_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+    fn hashset_matches_model(ops in set_ops(120)) {
         against_model(|stm, ctx| TxHashSet::new(stm, ctx, 1 << 8), ops, |_, _| {});
     }
 
     #[test]
-    fn rbtree_matches_model_and_balances(ops in prop::collection::vec(op_strategy(), 1..120)) {
+    fn rbtree_matches_model_and_balances(ops in set_ops(120)) {
         against_model(
             TxRbTree::new,
             ops,

@@ -1,0 +1,359 @@
+//! The machine-readable correctness-check report.
+//!
+//! Where [`crate::sweep::SweepReport`] records *performance* cells, a
+//! [`CheckReport`] records *correctness* cells: each cell is one
+//! configuration (allocator × structure/app × threads × …) run through a
+//! differential checker — serial-oracle diffing, interleaving
+//! exploration, or heap auditing — and ends `pass`, `fail` or `error`.
+//! A `fail` means the checker found a real semantic divergence (the
+//! paper's core assumption — allocators change performance, never
+//! semantics — would be violated); an `error` means the checker itself
+//! could not run the cell.
+//!
+//! The on-disk form is the `tm-check-report/v1` JSON schema, written by
+//! `tmstudy check` to `results/<name>.check.json` and consumed by
+//! `tmstudy report`. `cells[].checks` carries named counters describing
+//! how much evidence the cell produced (keys validated, schedules
+//! explored, blocks audited); a PASS with zero counters is meaningless,
+//! so renderers surface them.
+
+use crate::json::Json;
+use crate::sweep::key_of;
+
+/// Schema identifier written into every check report.
+pub const CHECK_SCHEMA: &str = "tm-check-report/v1";
+
+/// Outcome of one correctness cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// Every oracle/invariant the cell ran agreed with the STM execution.
+    Pass,
+    /// A checker found a semantic divergence or invariant violation.
+    Fail,
+    /// The checker could not run (bad config, panic, missing workload).
+    Error,
+}
+
+impl CheckStatus {
+    /// Stable lower-case name used in the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckStatus::Pass => "pass",
+            CheckStatus::Fail => "fail",
+            CheckStatus::Error => "error",
+        }
+    }
+
+    /// Inverse of [`CheckStatus::name`].
+    pub fn parse(s: &str) -> Result<CheckStatus, String> {
+        match s {
+            "pass" => Ok(CheckStatus::Pass),
+            "fail" => Ok(CheckStatus::Fail),
+            "error" => Ok(CheckStatus::Error),
+            other => Err(format!("unknown check status '{other}'")),
+        }
+    }
+}
+
+/// One executed correctness cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckCell {
+    /// The cell's configuration as `(key, value)` pairs, in declaration
+    /// order (same convention as sweep cells).
+    pub config: Vec<(String, String)>,
+    /// How the cell ended.
+    pub status: CheckStatus,
+    /// Failure/error detail for non-`pass` cells (the first divergence
+    /// found, or the checker error).
+    pub detail: Option<String>,
+    /// Named evidence counters: how many keys/schedules/blocks the cell
+    /// actually checked. Empty counters make a `pass` vacuous.
+    pub checks: Vec<(String, u64)>,
+}
+
+impl CheckCell {
+    /// Stable identity of the cell within its report: `k=v k2=v2 …` in
+    /// config order (shared convention with [`crate::sweep::key_of`]).
+    pub fn key(&self) -> String {
+        key_of(&self.config)
+    }
+}
+
+/// One check run: identity, free-form metadata, and one [`CheckCell`]
+/// per checked configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckReport {
+    /// Artifact name, matching the `results/<name>.check.json` stem.
+    pub name: String,
+    /// Free-form string key/values describing the whole run.
+    pub meta: Vec<(String, String)>,
+    /// Executed cells, in execution order.
+    pub cells: Vec<CheckCell>,
+}
+
+impl CheckReport {
+    /// An empty check report with the given artifact name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CheckReport {
+            name: name.into(),
+            meta: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a metadata key/value (builder style).
+    pub fn meta(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.meta.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Number of cells that did not end `pass`.
+    pub fn degraded(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status != CheckStatus::Pass)
+            .count()
+    }
+
+    /// The JSON tree in `tm-check-report/v1` form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(CHECK_SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            (
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let mut pairs = vec![
+                                (
+                                    "config".into(),
+                                    Json::Obj(
+                                        c.config
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("status".into(), Json::str(c.status.name())),
+                            ];
+                            if let Some(d) = &c.detail {
+                                pairs.push(("detail".into(), Json::str(d.clone())));
+                            }
+                            pairs.push((
+                                "checks".into(),
+                                Json::Obj(
+                                    c.checks
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                                        .collect(),
+                                ),
+                            ));
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The on-disk form: pretty-printed JSON with a trailing newline.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Decode a `tm-check-report/v1` JSON tree.
+    pub fn from_json(v: &Json) -> Result<CheckReport, String> {
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != CHECK_SCHEMA {
+            return Err(format!(
+                "unsupported schema '{schema}' (want '{CHECK_SCHEMA}')"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("check report missing name")?
+            .to_string();
+        let meta = match v.get("meta") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, mv)| {
+                    mv.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("meta '{k}' not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("check report missing meta object".into()),
+        };
+        let mut cells = Vec::new();
+        for c in v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("check report missing cells array")?
+        {
+            let config = match c.get("config") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, mv)| {
+                        mv.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("cell config '{k}' not a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("cell missing config object".into()),
+            };
+            let status = CheckStatus::parse(
+                c.get("status")
+                    .and_then(Json::as_str)
+                    .ok_or("cell missing status")?,
+            )?;
+            let detail = c.get("detail").and_then(Json::as_str).map(str::to_string);
+            let checks = match c.get("checks") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, mv)| {
+                        mv.as_u64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("check counter '{k}' not an integer"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("cell missing checks object".into()),
+            };
+            cells.push(CheckCell {
+                config,
+                status,
+                detail,
+                checks,
+            });
+        }
+        Ok(CheckReport { name, meta, cells })
+    }
+
+    /// Parse the on-disk JSON text form.
+    pub fn parse(src: &str) -> Result<CheckReport, String> {
+        CheckReport::from_json(&Json::parse(src)?)
+    }
+
+    /// Human rendering for `tmstudy report <file>`: a summary header plus
+    /// one line per cell with its evidence counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (check: {} cells, {} degraded)\n",
+            self.name,
+            self.cells.len(),
+            self.degraded()
+        ));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        out.push('\n');
+        for c in &self.cells {
+            let counters = c
+                .checks
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "  {:<5} [{}] {}\n",
+                c.status.name(),
+                c.key(),
+                counters
+            ));
+            if let Some(d) = &c.detail {
+                out.push_str(&format!("        {d}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckReport {
+        let mut r = CheckReport::new("check_full")
+            .meta("mode", "full")
+            .meta("seed", 7);
+        r.cells = vec![
+            CheckCell {
+                config: vec![
+                    ("check".into(), "synth".into()),
+                    ("alloc".into(), "glibc".into()),
+                    ("threads".into(), "8".into()),
+                ],
+                status: CheckStatus::Pass,
+                detail: None,
+                checks: vec![("keys".into(), 512), ("ops".into(), 4096)],
+            },
+            CheckCell {
+                config: vec![
+                    ("check".into(), "explore".into()),
+                    ("bug".into(), "skip-write-validation".into()),
+                ],
+                status: CheckStatus::Fail,
+                detail: Some("conservation violated: total 3998 != 4000".into()),
+                checks: vec![("schedules".into(), 64)],
+            },
+        ];
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = CheckReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let j = sample().to_json_string().replace(CHECK_SCHEMA, "bogus/v9");
+        let err = CheckReport::parse(&j).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn degraded_counts_non_pass_cells() {
+        assert_eq!(sample().degraded(), 1);
+        let mut all_pass = sample();
+        all_pass.cells.truncate(1);
+        assert_eq!(all_pass.degraded(), 0);
+    }
+
+    #[test]
+    fn render_mentions_status_key_and_counters() {
+        let text = sample().render();
+        for needle in [
+            "check_full (check: 2 cells, 1 degraded)",
+            "pass",
+            "[check=synth alloc=glibc threads=8]",
+            "keys=512",
+            "fail",
+            "conservation violated",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn bad_counter_type_is_an_error() {
+        let mut j = sample().to_json_string();
+        j = j.replace("\"keys\": 512", "\"keys\": \"many\"");
+        let err = CheckReport::parse(&j).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+    }
+}

@@ -26,17 +26,24 @@
 //!   configuration with status / retry / wall-time metadata, so a hung or
 //!   failing cell degrades gracefully instead of killing the matrix.
 //!
+//! * [`check`] — the [`check::CheckReport`] correctness-matrix schema
+//!   (`tm-check-report/v1`) written by `tmstudy check`: one cell per
+//!   checked configuration with pass/fail/error status and evidence
+//!   counters, so correctness runs are reportable artifacts like sweeps.
+//!
 //! The crate is deliberately leaf-level: it depends on nothing else in the
 //! workspace (or outside it), so every other crate can depend on it.
 
 #![deny(missing_docs)]
 
+pub mod check;
 pub mod counters;
 pub mod json;
 pub mod report;
 pub mod sweep;
 pub mod trace;
 
+pub use check::{CheckCell, CheckReport, CheckStatus};
 pub use counters::{Counter, Histogram, Registry, Sharded, ShardedSlots, SlotSchema};
 pub use report::{RunReport, Section};
 pub use sweep::{CellStatus, SweepCell, SweepReport};

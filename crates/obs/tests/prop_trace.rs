@@ -1,0 +1,80 @@
+//! Property tests for the bounded event trace: the drained window never
+//! exceeds the configured cap, the all-ever counter is exact, and the
+//! merge across 8 real recording threads is lossless whenever no ring
+//! overflowed.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tm_obs::{EventKind, Trace};
+
+/// Record `counts[tid]` events from 8 real threads, each stamping strictly
+/// increasing virtual times so the merged order is fully determined.
+fn record_all(trace: &Arc<Trace>, counts: &[usize]) {
+    std::thread::scope(|s| {
+        for (tid, &n) in counts.iter().enumerate() {
+            let t = Arc::clone(trace);
+            s.spawn(move || {
+                for i in 0..n as u64 {
+                    t.emit(tid, i * 10 + tid as u64, EventKind::TxCommit, i, 0);
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The drained window is exactly `min(count, capacity)` per ring, the
+    /// all-ever counter sums every record, and output is `(time, tid)`
+    /// sorted — across 8 concurrent recorders.
+    #[test]
+    fn trace_never_exceeds_cap_and_merges_in_order(
+        capacity in 1usize..96,
+        counts in prop::collection::vec(0usize..200, 8..9),
+    ) {
+        let trace = Arc::new(Trace::new(8, capacity));
+        trace.set_enabled(true);
+        record_all(&trace, &counts);
+
+        let expected_total: usize = counts.iter().sum();
+        prop_assert_eq!(trace.recorded(), expected_total);
+
+        let drained = trace.drain();
+        let expected_window: usize = counts.iter().map(|&n| n.min(capacity)).sum();
+        prop_assert_eq!(drained.len(), expected_window);
+        prop_assert!(drained.len() <= 8 * capacity, "window exceeded the cap");
+
+        let mut keys: Vec<(u64, u32)> = drained.iter().map(|e| (e.time, e.tid)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(&keys, &sorted, "drain must merge in (time, tid) order");
+        keys.dedup();
+        prop_assert_eq!(keys.len(), drained.len(), "distinct stamps never collapse");
+    }
+
+    /// When every ring stays within capacity the merge is lossless: each
+    /// thread's full event sequence is recovered verbatim.
+    #[test]
+    fn merge_is_lossless_below_capacity(
+        counts in prop::collection::vec(0usize..64, 8..9),
+    ) {
+        let capacity = 64;
+        let trace = Arc::new(Trace::new(8, capacity));
+        trace.set_enabled(true);
+        record_all(&trace, &counts);
+
+        let drained = trace.drain();
+        prop_assert_eq!(drained.len(), counts.iter().sum::<usize>());
+        for (tid, &n) in counts.iter().enumerate() {
+            let seq: Vec<u64> = drained
+                .iter()
+                .filter(|e| e.tid == tid as u32)
+                .map(|e| e.a)
+                .collect();
+            let want: Vec<u64> = (0..n as u64).collect();
+            prop_assert_eq!(&seq, &want, "thread {} sequence mangled", tid);
+        }
+    }
+}

@@ -129,6 +129,24 @@ impl StampApp for Genome {
             "dedup must keep exactly the unique segments"
         );
     }
+
+    fn checksum(&self, stm: &Stm, ctx: &mut Ctx<'_>) -> Option<u64> {
+        // The dedup table's final contents are the set of unique segment
+        // hashes, independent of how the threads interleaved: size plus a
+        // membership-weighted mix is a stable fingerprint.
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        let mut th = stm.thread(0);
+        let mut h = s.segments_table.len_raw(ctx);
+        for i in 0..self.n_segments {
+            let key = self.segment_hash(i);
+            if s.segments_table.contains(stm, ctx, &mut th, key) {
+                h = h.wrapping_add(mix(key));
+            }
+        }
+        stm.retire(th);
+        Some(h)
+    }
 }
 
 #[cfg(test)]

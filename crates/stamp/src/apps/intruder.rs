@@ -155,6 +155,21 @@ impl StampApp for Intruder {
             "every flow must complete exactly once"
         );
     }
+
+    fn checksum(&self, _stm: &Stm, ctx: &mut Ctx<'_>) -> Option<u64> {
+        // Flow completion is exactly-once regardless of interleaving: the
+        // done counter plus the per-flow received totals fingerprint the
+        // final state.
+        let g = self.state.lock();
+        let s = g.as_ref().unwrap();
+        let mut h = ctx.read_u64(s.done_cell);
+        for flow in 0..self.flows {
+            h = h
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(ctx.read_u64(s.recv + flow * 8));
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,15 @@ pub trait StampApp: Send + Sync {
 
     /// Post-run invariant checks (used by the test suite; cheap).
     fn verify(&self, _stm: &Stm, _ctx: &mut Ctx<'_>) {}
+
+    /// Interleaving-independent checksum of the final logical state, or
+    /// `None` when the app's final state legitimately depends on the
+    /// schedule (e.g. which Labyrinth routes succeed). The correctness
+    /// harness diffs `Some` checksums between a parallel run and a
+    /// 1-thread serial reference run.
+    fn checksum(&self, _stm: &Stm, _ctx: &mut Ctx<'_>) -> Option<u64> {
+        None
+    }
 }
 
 /// The eight applications of the STAMP suite.

@@ -25,6 +25,10 @@ pub struct StampOpts {
     /// ORT hash (extension; the paper uses shift-and-modulo).
     pub ort_hash: OrtHash,
     pub seed: u64,
+    /// Wrap the allocator in a [`tm_alloc::HeapAuditor`]; violations are
+    /// reported in [`StampResult::heap_violations`]. Adds host-side
+    /// bookkeeping but no simulated time.
+    pub audit_heap: bool,
 }
 
 impl Default for StampOpts {
@@ -36,6 +40,7 @@ impl Default for StampOpts {
             write_mode: WriteMode::Back,
             ort_hash: OrtHash::ShiftMod,
             seed: 0xace,
+            audit_heap: false,
         }
     }
 }
@@ -56,6 +61,12 @@ pub struct StampResult {
     pub lock_wait_cycles: u64,
     /// Object-cache hits (Table 7 diagnostics).
     pub cache_hits: u64,
+    /// Interleaving-independent checksum of the final logical state, when
+    /// the app defines one (see [`StampApp::checksum`]).
+    pub checksum: Option<u64>,
+    /// Heap-invariant violations found by the auditor; always 0 unless
+    /// [`StampOpts::audit_heap`] was set.
+    pub heap_violations: u64,
 }
 
 impl StampResult {
@@ -103,7 +114,11 @@ pub fn run_app(
     opts: &StampOpts,
 ) -> StampResult {
     let sim = Sim::new(MachineConfig::xeon_e5405());
-    let alloc = allocator.build(&sim);
+    let auditor = opts.audit_heap.then(|| allocator.build_audited(&sim));
+    let alloc: Arc<dyn Allocator> = match &auditor {
+        Some(a) => Arc::clone(a) as Arc<dyn Allocator>,
+        None => allocator.build(&sim),
+    };
     let stm = Arc::new(Stm::new(
         &sim,
         alloc,
@@ -126,8 +141,12 @@ pub fn run_app(
         stm.retire(th);
     });
 
-    // Post-run invariant checks (outside the timed phases).
-    sim.run(1, |ctx| app.verify(&stm, ctx));
+    // Post-run invariant checks and checksum (outside the timed phases).
+    let checksum_cell = parking_lot::Mutex::new(None);
+    sim.run(1, |ctx| {
+        app.verify(&stm, ctx);
+        *checksum_cell.lock() = app.checksum(&stm, ctx);
+    });
 
     let stats = stm.stats();
     StampResult {
@@ -140,6 +159,8 @@ pub fn run_app(
         l2_miss: par.cache_total.l2_miss_ratio(),
         lock_wait_cycles: par.locks.wait_cycles,
         cache_hits: stats.cache_hits,
+        checksum: checksum_cell.into_inner(),
+        heap_violations: auditor.map_or(0, |a| a.report().violation_count),
     }
 }
 

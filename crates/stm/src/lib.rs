@@ -104,6 +104,28 @@ pub enum OrtHash {
     Mix,
 }
 
+/// Deliberately seeded STM defects, used **only** by the correctness
+/// harness (`crates/check`) to prove its interleaving explorer can catch
+/// real atomicity violations. Production configurations must use
+/// [`InjectedBug::None`] (the default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InjectedBug {
+    /// No defect: the STM behaves as specified.
+    #[default]
+    None,
+    /// Skip the read-set extension (ownership-record re-validation) that
+    /// must run before an ETL write acquires a stripe whose version is
+    /// newer than the transaction's snapshot. Commit-time validation
+    /// treats self-owned stripes as trivially valid, so a transaction
+    /// that raced a concurrent commit can publish values computed from
+    /// stale reads — the classic lost-update anomaly.
+    SkipWriteValidation,
+    /// Skip the read-set extension on the read path when a stripe's
+    /// version is newer than the snapshot, admitting torn (unserializable)
+    /// read snapshots.
+    SkipReadValidation,
+}
+
 /// STM configuration knobs exercised by the paper (plus the two design
 /// extensions: lock acquisition time and ORT hashing).
 #[derive(Clone, Debug)]
@@ -122,6 +144,9 @@ pub struct StmConfig {
     pub write_mode: WriteMode,
     /// ORT mapping function (default: the paper's shift-and-modulo).
     pub ort_hash: OrtHash,
+    /// Deliberately seeded defect for the correctness harness (default:
+    /// [`InjectedBug::None`]). Never set outside `crates/check` tests.
+    pub bug: InjectedBug,
 }
 
 impl Default for StmConfig {
@@ -133,6 +158,7 @@ impl Default for StmConfig {
             design: LockDesign::Etl,
             write_mode: WriteMode::Back,
             ort_hash: OrtHash::ShiftMod,
+            bug: InjectedBug::None,
         }
     }
 }

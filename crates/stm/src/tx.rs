@@ -270,7 +270,7 @@ impl<'a> Tx<'a> {
             return Err(Abort::Conflict(AbortCause::ReadRace));
         }
         let ver = version_of(l);
-        if ver > self.th.rv {
+        if ver > self.th.rv && self.stm.cfg.bug != crate::InjectedBug::SkipReadValidation {
             self.extend(ctx)?;
         }
         self.th.read_set.push((la, ver));
@@ -300,7 +300,9 @@ impl<'a> Tx<'a> {
                 // already read. Extend (re-validating the read set) before
                 // taking ownership, or this transaction could commit stale
                 // reads and lose updates.
-                if version_of(l) > self.th.rv {
+                if version_of(l) > self.th.rv
+                    && self.stm.cfg.bug != crate::InjectedBug::SkipWriteValidation
+                {
                     self.extend(ctx)?;
                 }
                 if ctx.cas_u64(la, l, locked_word(self.th.tid)).is_err() {

@@ -1,12 +1,16 @@
 //! Property tests of the STM itself: arbitrary multi-threaded read/write
 //! scripts over a small address pool must behave as *some* serial order —
-//! checked via per-cell token conservation and snapshot consistency.
+//! checked via per-cell token conservation and snapshot consistency. The
+//! conservation program is the shared one from `tm_check::explore`, so the
+//! property here and the interleaving explorer in `tmstudy check` drive
+//! exactly the same transaction shapes.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 use tm_alloc::AllocatorKind;
+use tm_check::explore::{run_transfers, Schedule, TransferProgram};
 use tm_sim::{MachineConfig, Sim};
-use tm_stm::{Stm, StmConfig};
+use tm_stm::{InjectedBug, Stm, StmConfig};
 
 fn stack() -> (Sim, Arc<Stm>) {
     let sim = Sim::new(MachineConfig::xeon_e5405());
@@ -20,42 +24,29 @@ proptest! {
 
     /// Token conservation: transactions move random amounts between cells;
     /// the total is invariant no matter the interleaving or abort pattern.
+    /// The program and runner are the shared ones from `tm_check::explore`;
+    /// here the property quantifies over program shape *and* schedule.
     #[test]
     fn transfers_conserve_tokens(
         seed in any::<u64>(),
         threads in 2usize..6,
         cells in 2u64..6,
-        txns in 5u64..40,
+        txns in 5u64..20,
     ) {
-        let (sim, stm) = stack();
-        let base = 0x4000_0000u64;
-        sim.with_state(|m| {
-            for c in 0..cells {
-                m.write_u64(base + c * 4096, 1_000);
-            }
-        });
-        sim.run(threads, |ctx| {
-            let mut th = stm.thread(ctx.tid());
-            let mut x = seed ^ (ctx.tid() as u64).wrapping_mul(0x9e3779b97f4a7c15);
-            for _ in 0..txns {
+        let program = TransferProgram { seed, threads, cells, txns };
+        // Independent stream for the schedule, derived from the same seed.
+        let mut x = seed.rotate_left(17) ^ 0xd1b5_4a32_d192_ed03;
+        let delays: Vec<u64> = (0..program.points())
+            .map(|_| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let from = base + (x % cells) * 4096;
-                let to = base + ((x >> 8) % cells) * 4096;
-                let amt = (x >> 16) % 7;
-                stm.txn(ctx, &mut th, |tx, ctx| {
-                    let f = tx.read(ctx, from)?;
-                    let t = tx.read(ctx, to)?;
-                    if from != to && f >= amt {
-                        tx.write(ctx, from, f - amt)?;
-                        tx.write(ctx, to, t + amt)?;
-                    }
-                    Ok(())
-                });
-            }
-            stm.retire(th);
-        });
-        let total: u64 = sim.with_state(|m| (0..cells).map(|c| m.read_u64(base + c * 4096)).sum());
-        prop_assert_eq!(total, cells * 1_000);
+                (x >> 33) % 400
+            })
+            .collect();
+        let total = run_transfers(&program, &Schedule(delays), InjectedBug::None);
+        prop_assert_eq!(total, program.expected_total());
+        // The undisturbed schedule conserves too.
+        let calm = run_transfers(&program, &Schedule::zero(&program), InjectedBug::None);
+        prop_assert_eq!(calm, program.expected_total());
     }
 
     /// Snapshot consistency: a transaction reading a pair of cells that

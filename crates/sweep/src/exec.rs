@@ -35,38 +35,57 @@ pub enum FaultKind {
     Error,
 }
 
-/// A deliberate fault, for exercising the degradation path: every attempt
-/// of every cell whose [`key`](tm_obs::SweepCell::key) contains `needle`
-/// fails with `kind`. Parsed from `TM_SWEEP_FAULT=<timeout|error>:<needle>`
-/// by [`Fault::from_env`], or constructed directly in tests.
+/// A deliberate fault, for exercising the degradation path: attempts of
+/// every cell whose [`key`](tm_obs::SweepCell::key) contains `needle` fail
+/// with `kind` — every attempt by default, or only the first `n` when a
+/// count is given (so the retry path to recovery is exercisable too).
+/// Parsed from `TM_SWEEP_FAULT=<timeout|error>:<needle>[:<n>]` by
+/// [`Fault::from_env`], or constructed directly in tests.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fault {
     /// Failure mode to inject.
     pub kind: FaultKind,
     /// Substring of the cell key selecting which cells fail.
     pub needle: String,
+    /// Fail only the first `n` attempts of each matching cell, then let
+    /// the real runner through; `None` fails every attempt.
+    pub first_n: Option<u32>,
 }
 
 impl Fault {
-    /// Parse the `TM_SWEEP_FAULT` environment variable
-    /// (`timeout:<substr>` or `error:<substr>`); `None` when unset or
-    /// malformed.
+    /// Parse the `TM_SWEEP_FAULT` environment variable; `None` when unset
+    /// or malformed. See [`Fault::parse`] for the format.
     pub fn from_env() -> Option<Fault> {
-        let raw = std::env::var("TM_SWEEP_FAULT").ok()?;
-        let (kind, needle) = raw.split_once(':')?;
+        Fault::parse(&std::env::var("TM_SWEEP_FAULT").ok()?)
+    }
+
+    /// Parse `<timeout|error>:<needle>[:<n>]`. A trailing `:`-separated
+    /// integer is the fail-first-`n` count; without one the fault is
+    /// permanent. `None` on malformed input.
+    pub fn parse(raw: &str) -> Option<Fault> {
+        let (kind, rest) = raw.split_once(':')?;
         let kind = match kind {
             "timeout" => FaultKind::Timeout,
             "error" => FaultKind::Error,
             _ => return None,
         };
+        let (needle, first_n) = match rest.rsplit_once(':') {
+            Some((head, count)) => match count.parse::<u32>() {
+                Ok(n) => (head, Some(n)),
+                // Not a count — the needle itself contains a colon.
+                Err(_) => (rest, None),
+            },
+            None => (rest, None),
+        };
         Some(Fault {
             kind,
             needle: needle.to_string(),
+            first_n,
         })
     }
 
-    fn matches(&self, key: &str) -> bool {
-        key.contains(&self.needle)
+    fn matches(&self, key: &str, attempt_no: u32) -> bool {
+        key.contains(&self.needle) && self.first_n.is_none_or(|n| attempt_no <= n)
     }
 }
 
@@ -175,7 +194,7 @@ fn run_one_cell(
             std::thread::sleep((policy.backoff * 2u32.pow(shift)).min(BACKOFF_CAP));
         }
         attempts += 1;
-        last = attempt(config, &key, runner, policy);
+        last = attempt(config, &key, runner, policy, attempts);
         if last.0 == CellStatus::Ok {
             break;
         }
@@ -197,8 +216,9 @@ fn attempt(
     key: &str,
     runner: &Arc<CellRunner>,
     policy: &Policy,
+    attempt_no: u32,
 ) -> (CellStatus, Option<String>, Vec<(String, f64)>) {
-    if let Some(fault) = policy.fault.as_ref().filter(|f| f.matches(key)) {
+    if let Some(fault) = policy.fault.as_ref().filter(|f| f.matches(key, attempt_no)) {
         match fault.kind {
             FaultKind::Error => {
                 return (
@@ -434,6 +454,7 @@ mod tests {
             fault: Some(Fault {
                 kind: FaultKind::Timeout,
                 needle: "alloc=hoard".into(),
+                first_n: None,
             }),
             ..quick_policy()
         };
@@ -457,28 +478,57 @@ mod tests {
     }
 
     #[test]
+    fn injected_fault_clears_after_first_n_attempts() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let runner: Arc<CellRunner> = Arc::new(move |_| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![("v".into(), 1.0)])
+        });
+        let policy = Policy {
+            retries: 1,
+            fault: Fault::parse("error:x=1:1"),
+            ..quick_policy()
+        };
+        let report = run_cells("flaky-fault", vec![cfg(&[("x", "1")])], runner, &policy);
+        let cell = &report.cells[0];
+        assert_eq!(cell.status, CellStatus::Ok);
+        assert_eq!(cell.attempts, 2, "attempt 1 faulted, attempt 2 ran clean");
+        assert!(cell.error.is_none());
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "the faulted attempt never reaches the runner"
+        );
+        assert_eq!(report.degraded(), 0);
+    }
+
+    // Parse logic only — avoid mutating the process env in a
+    // multithreaded test binary.
+    #[test]
     fn fault_env_parsing() {
         assert_eq!(
+            Fault::parse("error:threads=8"),
             Some(Fault {
                 kind: FaultKind::Error,
-                needle: "threads=8".into()
-            }),
-            {
-                // Parse logic only — avoid mutating the process env in a
-                // multithreaded test binary.
-                let raw = "error:threads=8";
-                raw.split_once(':').and_then(|(k, n)| {
-                    let kind = match k {
-                        "timeout" => FaultKind::Timeout,
-                        "error" => FaultKind::Error,
-                        _ => return None,
-                    };
-                    Some(Fault {
-                        kind,
-                        needle: n.to_string(),
-                    })
-                })
-            }
+                needle: "threads=8".into(),
+                first_n: None,
+            })
         );
+        assert_eq!(
+            Fault::parse("timeout:table1:2"),
+            Some(Fault {
+                kind: FaultKind::Timeout,
+                needle: "table1".into(),
+                first_n: Some(2),
+            })
+        );
+        // A colon inside the needle that is not a count stays in the needle.
+        assert_eq!(
+            Fault::parse("error:alloc:hoard").unwrap().needle,
+            "alloc:hoard"
+        );
+        assert_eq!(Fault::parse("explode:x"), None);
+        assert_eq!(Fault::parse("no-colon"), None);
     }
 }

@@ -37,4 +37,11 @@ if [ "$quick" -eq 0 ]; then
   $CARGO run --release -p tm-core --bin tmstudy -- book --check
 fi
 
+echo "==> tmstudy check --quick (correctness matrix)"
+if [ "$quick" -eq 0 ]; then
+  $CARGO run --release -p tm-core --bin tmstudy -- check --quick
+else
+  $CARGO run -p tm-core --bin tmstudy -- check --quick
+fi
+
 echo "verify: all gates passed"

@@ -8,8 +8,11 @@
 //! `TestCaseError`.
 //!
 //! Semantics: each test function runs `cases` deterministic cases (seeded
-//! from the test name, so failures reproduce run-to-run). There is **no
-//! shrinking** — a failing case reports its inputs via `Debug` instead.
+//! from the test name, so failures reproduce run-to-run). On failure the
+//! runner greedily shrinks the failing inputs via [`Strategy::shrink`]
+//! (integer ranges shrink toward their lower bound, vectors drop and
+//! simplify elements, tuples shrink component-wise) and reports the
+//! minimal failing inputs it reached together with the shrink-step count.
 
 use std::ops::Range;
 
@@ -90,6 +93,13 @@ pub trait Strategy {
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, "simplest" first. The test
+    /// runner adopts the first candidate that still fails and repeats; an
+    /// empty vec (the default) stops shrinking along this strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -112,6 +122,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 /// Helper used by `prop_oneof!` to erase arm types with inference.
@@ -130,6 +143,7 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
     }
+    // No shrink: the mapping cannot be inverted to recover the source value.
 }
 
 macro_rules! int_range_strategy {
@@ -140,6 +154,23 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty strategy range");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 self.start.wrapping_add(rng.below(span) as $ty)
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = (self.start as i128
+                        + (*value as i128 - self.start as i128) / 2)
+                        as $ty;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let dec = (*value as i128 - 1) as $ty;
+                    if dec != self.start && !out.contains(&dec) {
+                        out.push(dec);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -159,15 +190,39 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        Arbitrary::simplify(value)
+    }
 }
 
 pub trait Arbitrary {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidate values, used by [`Strategy::shrink`].
+    fn simplify(&self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
 }
 
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64()
+    }
+    fn simplify(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self > 0 {
+            out.push(0);
+            if *self / 2 != 0 {
+                out.push(*self / 2);
+            }
+            if *self - 1 != 0 && *self - 1 != *self / 2 {
+                out.push(*self - 1);
+            }
+        }
+        out
     }
 }
 
@@ -175,23 +230,57 @@ impl Arbitrary for u32 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         (rng.next_u64() >> 32) as u32
     }
+    fn simplify(&self) -> Vec<Self> {
+        (*self as u64)
+            .simplify()
+            .into_iter()
+            .map(|v| v as u32)
+            .collect()
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
     }
+    fn simplify(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
         }
     )*};
+}
+
+/// Zero-argument property functions get the unit strategy.
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
 }
 
 tuple_strategy! {
@@ -228,6 +317,8 @@ impl<T> Strategy for OneOf<T> {
         }
         unreachable!("weight accounting")
     }
+    // No shrink: the producing arm is unknown, and cross-arm candidates
+    // could violate a generator's invariants.
 }
 
 pub mod collection {
@@ -245,12 +336,46 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    /// How many positions a single shrink round may touch; keeps the
+    /// candidate list linear in the vector length for huge inputs.
+    const SHRINK_POSITIONS: usize = 24;
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            let n = value.len();
+            if n > min {
+                // Halve toward the minimum length first (fast reduction)…
+                let keep = (n / 2).max(min);
+                if keep < n {
+                    out.push(value[..keep].to_vec());
+                }
+                // …then try single-element removals.
+                for i in 0..n.min(SHRINK_POSITIONS) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Element-wise simplification at a bounded number of positions.
+            for i in 0..n.min(SHRINK_POSITIONS) {
+                for cand in self.element.shrink(&value[i]).into_iter().take(3) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -264,6 +389,65 @@ pub mod prelude {
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
     pub use crate::{any, prop, Arbitrary, BoxedStrategy, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Greedy shrink driver shared by the `proptest!` macro and any caller
+/// that wants to minimise a failing input directly: repeatedly adopts the
+/// first candidate from [`Strategy::shrink`] that still fails `check`,
+/// until no candidate fails or `max_steps` checks have run. Returns the
+/// minimal failing value, its error, and the number of candidates tried.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut error: test_runner::TestCaseError,
+    max_steps: u32,
+    mut check: F,
+) -> (S::Value, test_runner::TestCaseError, u32)
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut steps = 0u32;
+    'outer: while steps < max_steps {
+        for cand in strategy.shrink(&value) {
+            steps += 1;
+            if let Err(e) = check(&cand) {
+                value = cand;
+                error = e;
+                continue 'outer;
+            }
+            if steps >= max_steps {
+                break 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, steps)
+}
+
+/// Case loop shared by the `proptest!` macro: runs `cases` deterministic
+/// cases of `strategy`, and on the first failure shrinks it via
+/// [`shrink_failure`]. Returns `Some((minimal_value, error, case_number,
+/// shrink_steps))` on failure, `None` if every case passed.
+pub fn run_cases<S, F>(
+    cases: u32,
+    seed: u64,
+    strategy: &S,
+    mut check: F,
+) -> Option<(S::Value, test_runner::TestCaseError, u32, u32)>
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = TestRng::deterministic(seed);
+    for case in 0..cases {
+        let vals = strategy.generate(&mut rng);
+        if let Err(e) = check(&vals) {
+            let (minimal, err, steps) = shrink_failure(strategy, vals, e, 400, &mut check);
+            return Some((minimal, err, case + 1, steps));
+        }
+    }
+    None
 }
 
 #[macro_export]
@@ -312,7 +496,7 @@ macro_rules! prop_assert_eq {
 }
 
 /// The `proptest!` block macro: each contained function becomes a `#[test]`
-/// that runs `config.cases` deterministic cases.
+/// that runs `config.cases` deterministic cases and shrinks failures.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -331,21 +515,27 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
-            let mut rng = $crate::TestRng::deterministic($crate::seed_of(stringify!($name)));
-            for case in 0..config.cases {
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+            let strategies = ($(($strat),)*);
+            let failure = $crate::run_cases(
+                config.cases,
+                $crate::seed_of(stringify!($name)),
+                &strategies,
+                |vals| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(vals);
+                    $(let _ = &$arg;)*
+                    (|| { $body ::std::result::Result::Ok(()) })()
+                },
+            );
+            if let ::std::option::Option::Some((minimal, err, case, steps)) = failure {
+                let ($($arg,)*) = &minimal;
                 let dbg_args = format!(
                     concat!($(stringify!($arg), " = {:?}; ",)*),
-                    $(&$arg,)*
+                    $($arg,)*
                 );
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(e) = outcome {
-                    panic!(
-                        "proptest case {}/{} failed: {}\n  inputs: {}",
-                        case + 1, config.cases, e, dbg_args
-                    );
-                }
+                panic!(
+                    "proptest case {}/{} failed after {} shrink steps: {}\n  minimal inputs: {}",
+                    case, config.cases, steps, err, dbg_args
+                );
             }
         }
         $crate::proptest!(@funcs ($cfg) $($rest)*);
@@ -423,5 +613,45 @@ mod tests {
             let _ = flag;
             fallible(true)?;
         }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 5u64..100;
+        let cands = s.shrink(&40);
+        assert!(cands.contains(&5), "lower bound is a candidate");
+        assert!(cands.iter().all(|c| (5..40).contains(c)), "{cands:?}");
+        assert!(s.shrink(&5).is_empty(), "minimum cannot shrink");
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_reduces() {
+        let s = prop::collection::vec(0u64..10, 2..9);
+        let v = vec![9, 8, 7, 6, 5];
+        for cand in s.shrink(&v) {
+            assert!(cand.len() >= 2, "below min length: {cand:?}");
+            assert!(cand.len() <= v.len());
+        }
+        assert!(!s.shrink(&v).is_empty());
+    }
+
+    /// End-to-end: the greedy driver minimises a failing vector down to a
+    /// single offending element at minimum length.
+    #[test]
+    fn shrink_failure_reaches_minimal_counterexample() {
+        let s = prop::collection::vec(0u64..50, 1..40);
+        let fails = |v: &Vec<u64>| -> Result<(), TestCaseError> {
+            if v.iter().any(|&x| x >= 30) {
+                Err(TestCaseError::fail("contains a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let start = vec![3, 31, 44, 2, 9, 35, 30, 1];
+        let err = fails(&start).unwrap_err();
+        let (minimal, _, steps) = crate::shrink_failure(&s, start, err, 4000, fails);
+        assert!(fails(&minimal).is_err(), "shrunk input must still fail");
+        assert_eq!(minimal, vec![30], "greedy shrink reaches the minimum");
+        assert!(steps > 0);
     }
 }
