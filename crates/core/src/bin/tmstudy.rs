@@ -63,7 +63,7 @@ fn usage() {
          (run reports or sweep matrices, by schema)\n\
          sweep:      [--workload synth|stamp|threadtest] axes as comma lists \
          (--structure --app --alloc --threads --shift --update-pct --size --ops \
-         --pairs --scale --seeds) [--reps N] [--name S] [--out FILE] \
+         --pairs --scale --seeds) [--quick] [--reps N] [--name S] [--out FILE] \
          [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
          check:      correctness matrix (serial oracles, heap audit, \
          interleaving explorer) [--quick] [--name S] [--out FILE]\n\

@@ -467,7 +467,15 @@ pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
     for f in files {
         let path = format!("{dir}/{f}");
         let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        reports.push(RunReport::parse(&src).map_err(|e| format!("{path}: {e}"))?);
+        // The results directory also holds documents in other schemas
+        // (perf baselines from scripts/bench.sh, for instance); the book
+        // is built only from run reports, so skip anything that declares
+        // a different schema rather than failing on it.
+        let tree = tm_obs::json::Json::parse(&src).map_err(|e| format!("{path}: not JSON: {e}"))?;
+        if tree.get("schema").and_then(tm_obs::json::Json::as_str) != Some(tm_obs::report::SCHEMA) {
+            continue;
+        }
+        reports.push(RunReport::from_json(&tree).map_err(|e| format!("{path}: {e}"))?);
     }
     Ok(reports)
 }
@@ -764,6 +772,7 @@ mod tests {
             "{\"schema\": \"tm-sweep-report/v1\"}",
         );
         write("check.check.json", "{\"schema\": \"tm-check-report/v1\"}");
+        write("bench_perf.json", "{\"schema\": \"tm-bench-perf/v1\"}");
         write("notes.txt", "not json at all");
         let reports = load_results_dir(dir.to_str().unwrap()).unwrap();
         assert_eq!(reports.len(), 1);

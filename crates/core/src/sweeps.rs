@@ -147,22 +147,40 @@ const AXIS_FLAGS: &[&str] = &[
     "seeds",
 ];
 
+/// The `--quick` preset: the paper's full synthetic allocator × structure
+/// matrix at 8 threads. Fast enough for a CI smoke job (seconds with the
+/// fiber scheduler) while still exercising every allocator and structure.
+/// Explicitly-passed axis flags override the preset values.
+const QUICK_PRESET: &[(&str, &str)] = &[
+    ("structure", "list,hash,rbtree"),
+    ("alloc", "glibc,hoard,tbb,tc"),
+    ("threads", "8"),
+];
+
 /// Build a [`SweepSpec`] from `tmstudy sweep` flags (as parsed into a
 /// flag-name → value map). `--workload` (default `synth`) becomes a fixed
 /// key, each flag in the canonical axis list becomes an axis, and
-/// `--reps N` appends a `rep` axis with values `1..=N`.
+/// `--reps N` appends a `rep` axis with values `1..=N`. `--quick` fills in
+/// the preset axes (full allocator × structure matrix at 8 threads).
 pub fn spec_from_flags(flags: &HashMap<String, String>) -> Result<SweepSpec, String> {
     let workload = flags.get("workload").map_or("synth", String::as_str);
     if !["synth", "stamp", "threadtest"].contains(&workload) {
         return Err(format!("unknown workload '{workload}'"));
     }
-    let name = flags
-        .get("name")
-        .cloned()
-        .unwrap_or_else(|| format!("sweep_{workload}"));
+    let quick = flags.contains_key("quick");
+    let name = flags.get("name").cloned().unwrap_or_else(|| {
+        if quick {
+            "sweep_quick".into()
+        } else {
+            format!("sweep_{workload}")
+        }
+    });
     let mut spec = SweepSpec::new(name).fixed("workload", workload);
     for &f in AXIS_FLAGS {
-        if let Some(vals) = flags.get(f) {
+        let preset = quick
+            .then(|| QUICK_PRESET.iter().find(|(k, _)| *k == f).map(|(_, v)| *v))
+            .flatten();
+        if let Some(vals) = flags.get(f).map(String::as_str).or(preset) {
             let values: Vec<String> = vals
                 .split(',')
                 .map(|v| v.trim().to_string())
@@ -209,6 +227,21 @@ mod tests {
         assert_eq!(axes, ["alloc", "threads", "rep"]);
         assert_eq!(spec.cell_count(), 8);
         assert_eq!(spec.fixed, cfg(&[("workload", "synth")]));
+    }
+
+    #[test]
+    fn quick_preset_expands_to_full_alloc_structure_matrix() {
+        let mut flags = HashMap::new();
+        flags.insert("quick".to_string(), String::new());
+        let spec = spec_from_flags(&flags).unwrap();
+        assert_eq!(spec.name, "sweep_quick");
+        let axes: Vec<&str> = spec.axes.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(axes, ["structure", "alloc", "threads"]);
+        assert_eq!(spec.cell_count(), 12);
+        // Explicit axis flags override the preset values.
+        flags.insert("alloc".to_string(), "glibc".to_string());
+        let spec = spec_from_flags(&flags).unwrap();
+        assert_eq!(spec.cell_count(), 3);
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl tm_obs::SlotSchema for CacheStats {
 
 const EMPTY: u64 = u64::MAX;
 
-/// One set-associative tag array with LRU replacement.
+/// One set-associative tag array with LRU replacement. L1 arrays also track
+/// a per-way dirty bit mirroring the directory's `dirty_in` field, which is
+/// what lets the write-hit fast path in [`Hierarchy::access`] skip the
+/// directory entirely.
 struct TagArray {
     sets: usize,
     ways: usize,
@@ -125,6 +128,8 @@ struct TagArray {
     tags: Vec<u64>,
     /// LRU stamps parallel to `tags`.
     stamp: Vec<u64>,
+    /// Dirty bits parallel to `tags` (meaningful for L1 arrays only).
+    dirty: Vec<bool>,
     tick: u64,
 }
 
@@ -137,6 +142,7 @@ impl TagArray {
             ways: cfg.ways,
             tags: vec![EMPTY; sets * cfg.ways],
             stamp: vec![0; sets * cfg.ways],
+            dirty: vec![false; sets * cfg.ways],
             tick: 0,
         }
     }
@@ -146,22 +152,22 @@ impl TagArray {
         (line as usize & (self.sets - 1)) * self.ways
     }
 
-    /// Probe for `line`; on hit, refresh LRU and return true.
-    fn probe(&mut self, line: u64) -> bool {
+    /// Probe for `line`; on hit, refresh LRU and return the way slot.
+    fn probe(&mut self, line: u64) -> Option<usize> {
         let b = self.base(line);
         self.tick += 1;
         for w in 0..self.ways {
             if self.tags[b + w] == line {
                 self.stamp[b + w] = self.tick;
-                return true;
+                return Some(b + w);
             }
         }
-        false
+        None
     }
 
-    /// Insert `line`, evicting the LRU way if the set is full. Returns the
-    /// evicted line, if any.
-    fn fill(&mut self, line: u64) -> Option<u64> {
+    /// Insert `line` with the given dirty state, evicting the LRU way if the
+    /// set is full. Returns the evicted line and whether it was dirty.
+    fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
         let b = self.base(line);
         self.tick += 1;
         let mut victim = 0;
@@ -170,11 +176,13 @@ impl TagArray {
             if self.tags[b + w] == line {
                 // Already present (races with coherence bookkeeping).
                 self.stamp[b + w] = self.tick;
+                self.dirty[b + w] |= dirty;
                 return None;
             }
             if self.tags[b + w] == EMPTY {
                 self.tags[b + w] = line;
                 self.stamp[b + w] = self.tick;
+                self.dirty[b + w] = dirty;
                 return None;
             }
             if self.stamp[b + w] < victim_stamp {
@@ -182,9 +190,10 @@ impl TagArray {
                 victim = w;
             }
         }
-        let evicted = self.tags[b + victim];
+        let evicted = (self.tags[b + victim], self.dirty[b + victim]);
         self.tags[b + victim] = line;
         self.stamp[b + victim] = self.tick;
+        self.dirty[b + victim] = dirty;
         Some(evicted)
     }
 
@@ -194,12 +203,45 @@ impl TagArray {
         for w in 0..self.ways {
             if self.tags[b + w] == line {
                 self.tags[b + w] = EMPTY;
+                self.dirty[b + w] = false;
                 return true;
             }
         }
         false
     }
+
+    /// Clear the dirty bit of `line` if present (downgrade to shared).
+    fn clear_dirty(&mut self, line: u64) {
+        let b = self.base(line);
+        for w in 0..self.ways {
+            if self.tags[b + w] == line {
+                self.dirty[b + w] = false;
+                return;
+            }
+        }
+    }
 }
+
+/// Multiply-xor hasher for the directory's u64 line keys: the default
+/// SipHash costs more than the rest of a directory operation combined, and
+/// line numbers need no DoS resistance.
+#[derive(Clone, Copy, Default)]
+struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("directory keys hash via write_u64 only")
+    }
+    fn write_u64(&mut self, n: u64) {
+        let x = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 32);
+    }
+}
+
+type DirMap = HashMap<u64, DirEntry, std::hash::BuildHasherDefault<LineHasher>>;
 
 /// Directory entry: which cores' L1s hold the line, and whether one of them
 /// holds it modified.
@@ -213,7 +255,7 @@ struct DirEntry {
 pub struct Hierarchy {
     l1: Vec<TagArray>,
     l2: Vec<TagArray>,
-    dir: HashMap<u64, DirEntry>,
+    dir: DirMap,
     stats: Vec<CacheStats>,
     cfg: MachineConfig,
 }
@@ -223,7 +265,7 @@ impl Hierarchy {
         Hierarchy {
             l1: (0..cfg.cores).map(|_| TagArray::new(cfg.l1)).collect(),
             l2: (0..cfg.sockets()).map(|_| TagArray::new(cfg.l2)).collect(),
-            dir: HashMap::new(),
+            dir: DirMap::default(),
             stats: vec![CacheStats::default(); cfg.cores],
             cfg: cfg.clone(),
         }
@@ -238,25 +280,32 @@ impl Hierarchy {
         let line = addr / LINE;
         let me = 1u16 << core;
         let my_socket = self.cfg.socket_of(core);
-        let cost_model = self.cfg.cost.clone();
+        let cost_model = self.cfg.cost;
         self.stats[core].l1_accesses += 1;
 
         let mut cost;
-        if self.l1[core].probe(line) {
+        if let Some(slot) = self.l1[core].probe(line) {
             cost = cost_model.l1_hit;
             if write {
+                if self.l1[core].dirty[slot] {
+                    // Exclusive-dirty write hit: the dirty bit mirrors
+                    // `dirty_in == Some(core)`, which implies we are the
+                    // only sharer — nothing to invalidate, no directory
+                    // state to change. This is the hottest path in write-
+                    // heavy transactional workloads (repeated writes to
+                    // owned lines) and costs one tag probe, total.
+                    return cost;
+                }
                 // Upgrade: invalidate any other sharers.
                 let e = self.dir.entry(line).or_default();
                 let others = e.sharers & !me;
+                e.sharers = me;
+                e.dirty_in = Some(core as u8);
                 if others != 0 {
                     cost += cost_model.transfer_same_socket;
                     self.invalidate_mask(line, others, core);
-                    let e = self.dir.entry(line).or_default();
-                    e.sharers = me;
                 }
-                let e = self.dir.entry(line).or_default();
-                e.sharers |= me;
-                e.dirty_in = Some(core as u8);
+                self.l1[core].dirty[slot] = true;
             }
             return cost;
         }
@@ -279,8 +328,11 @@ impl Hierarchy {
                 self.invalidate_mask(line, 1u16 << owner, core);
                 let e = self.dir.entry(line).or_default();
                 e.sharers = me;
+                e.dirty_in = Some(core as u8);
             } else {
-                // Downgrade to shared; the data also lands in our L2.
+                // Downgrade to shared; the data also lands in our L2. The
+                // owner keeps a clean copy, so its dirty bit clears too.
+                self.l1[owner as usize].clear_dirty(line);
                 let e = self.dir.entry(line).or_default();
                 e.dirty_in = None;
                 e.sharers |= me;
@@ -289,7 +341,7 @@ impl Hierarchy {
         } else {
             // Clean miss: go to the shared L2, then memory.
             self.stats[core].l2_accesses += 1;
-            if self.l2[my_socket].probe(line) {
+            if self.l2[my_socket].probe(line).is_some() {
                 cost = cost_model.l1_hit + cost_model.l2_hit;
             } else {
                 self.stats[core].l2_misses += 1;
@@ -304,19 +356,17 @@ impl Hierarchy {
                 }
                 let e = self.dir.entry(line).or_default();
                 e.sharers = me;
+                e.dirty_in = Some(core as u8);
             } else {
                 let e = self.dir.entry(line).or_default();
                 e.sharers |= me;
             }
         }
 
-        if write {
-            let e = self.dir.entry(line).or_default();
-            e.dirty_in = Some(core as u8);
-        }
-
-        // Fill our L1 and keep the directory consistent with the eviction.
-        if let Some(evicted) = self.l1[core].fill(line) {
+        // Fill our L1 (dirty iff this was a write — matching the directory
+        // state set above) and keep the directory consistent with the
+        // eviction.
+        if let Some((evicted, evicted_dirty)) = self.l1[core].fill(line, write) {
             let mut write_back = false;
             if let Some(e) = self.dir.get_mut(&evicted) {
                 e.sharers &= !me;
@@ -328,6 +378,9 @@ impl Hierarchy {
                     self.dir.remove(&evicted);
                 }
             }
+            // The per-way dirty bit must agree with the directory's view of
+            // who held the line modified.
+            debug_assert_eq!(evicted_dirty, write_back);
             if write_back {
                 self.fill_l2(my_socket, evicted);
             }
@@ -336,8 +389,9 @@ impl Hierarchy {
     }
 
     fn fill_l2(&mut self, socket: usize, line: u64) {
-        // Non-inclusive L2; evictions need no L1 back-invalidation.
-        let _ = self.l2[socket].fill(line);
+        // Non-inclusive L2; evictions need no L1 back-invalidation (the
+        // dirty bit is L1-only, so it is always false here).
+        let _ = self.l2[socket].fill(line, false);
     }
 
     fn invalidate_mask(&mut self, line: u64, mask: u16, _requester: usize) {

@@ -8,7 +8,7 @@ use crate::cache::CacheConfig;
 /// Core-2-era Xeon E5405 (see DESIGN.md §4). Absolute values only set the
 /// time scale; the study compares configurations against each other within
 /// the same model, exactly as the paper compares allocators on one machine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// L1 data-cache hit latency.
     pub l1_hit: u64,

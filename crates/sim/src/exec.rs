@@ -1,15 +1,34 @@
 //! The conservative virtual-time scheduler.
 //!
-//! Logical threads run on OS threads, but a thread may only execute its next
-//! *event* (shared-memory access, atomic, lock operation, OS call) when its
-//! virtual clock is the minimum among all runnable threads (ties broken by
-//! thread id). All machine state is mutated under one mutex, in that order,
-//! so a run is a deterministic function of the workload — independent of
-//! host scheduling, core count, or load. Pure compute between events is
-//! charged lazily via [`Ctx::tick`] and flushed at the next event, which
-//! keeps the event rate (and host-side synchronization) proportional to the
-//! number of *shared* operations only.
+//! A thread may only execute its next *event* (shared-memory access, atomic,
+//! lock operation, OS call) when its virtual clock is the minimum among all
+//! runnable threads (ties broken by thread id). All machine state is mutated
+//! in that order, so a run is a deterministic function of the workload —
+//! independent of host scheduling, core count, or load. Pure compute between
+//! events is charged lazily via [`Ctx::tick`] and flushed at the next event,
+//! which keeps the event rate (and host-side synchronization) proportional
+//! to the number of *shared* operations only.
+//!
+//! Two execution backends implement the same decision procedure:
+//!
+//! * **Fibers** (default on x86-64 Linux): all logical threads run as
+//!   stackful coroutines on the calling OS thread, switching contexts in
+//!   user space exactly where the OS-thread backend would block. The
+//!   scheduler lock is taken once per run instead of once per event, and a
+//!   hand-off costs a ~20 ns context switch instead of a futex wake plus a
+//!   kernel reschedule.
+//! * **OS threads** (fallback; force with `TM_SIM_EXEC=threads`): one OS
+//!   thread per logical thread, serialized by one mutex and per-core
+//!   condvars.
+//!
+//! Both backends pick the next thread with the same `(clock, tid)`-minimum
+//! rule, so they produce bit-identical reports; `TM_SIM_EXEC=fibers|threads`
+//! selects one explicitly (the fiber backend panics on unsupported
+//! targets). Single-thread runs skip hand-off machinery entirely on either
+//! backend: the closure runs on the caller under the run-scoped lock.
 
+use std::panic::AssertUnwindSafe;
+use std::ptr;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -20,6 +39,7 @@ use tm_obs::{EventKind, Obs};
 
 use crate::cache::CacheStats;
 use crate::config::MachineConfig;
+use crate::fiber;
 use crate::machine::{MachineState, SimMutex};
 use crate::report::SimReport;
 
@@ -37,14 +57,65 @@ struct Inner {
     state: Vec<TState>,
 }
 
+impl Inner {
+    fn min_runnable(&self) -> Option<(u64, usize)> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(t, _)| (self.time[t], t))
+            .min()
+    }
+
+    /// Is `tid` (which must be runnable) the thread that may execute next?
+    #[inline]
+    fn is_min(&self, tid: usize) -> bool {
+        debug_assert_eq!(self.state[tid], TState::Runnable);
+        let me = (self.time[tid], tid);
+        for t in 0..self.state.len() {
+            if t != tid && self.state[t] == TState::Runnable && (self.time[t], t) < me {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 struct Shared {
     inner: Mutex<Inner>,
     /// One condvar per core so a scheduling hand-off wakes exactly one
-    /// thread instead of stampeding all of them.
+    /// thread instead of stampeding all of them (OS-thread backend only).
     cvs: Vec<Condvar>,
     /// Observability context (named metrics + event trace), sized to the
     /// machine's core count and shared with every layer built on top.
     obs: Arc<Obs>,
+}
+
+/// Which hand-off mechanism executes multi-threaded runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Backend {
+    Fibers,
+    Threads,
+}
+
+fn backend_from_env() -> Backend {
+    match std::env::var("TM_SIM_EXEC") {
+        Ok(v) if v == "threads" => Backend::Threads,
+        Ok(v) if v == "fibers" => {
+            if !fiber::SUPPORTED {
+                panic!("TM_SIM_EXEC=fibers requested but the fiber backend needs x86-64 Linux");
+            }
+            Backend::Fibers
+        }
+        Ok(v) => panic!("TM_SIM_EXEC must be \"fibers\" or \"threads\", got {v:?}"),
+        Err(_) => {
+            if fiber::SUPPORTED {
+                Backend::Fibers
+            } else {
+                Backend::Threads
+            }
+        }
+    }
 }
 
 /// A simulated machine plus scheduler. Create one per experiment
@@ -54,6 +125,7 @@ struct Shared {
 pub struct Sim {
     shared: Arc<Shared>,
     cfg: MachineConfig,
+    backend: Backend,
 }
 
 impl Sim {
@@ -67,7 +139,18 @@ impl Sim {
             cvs: (0..cfg.cores).map(|_| Condvar::new()).collect(),
             obs: Arc::new(Obs::new(cfg.cores)),
         });
-        Sim { shared, cfg }
+        Sim {
+            shared,
+            cfg,
+            backend: backend_from_env(),
+        }
+    }
+
+    #[cfg(test)]
+    fn with_backend(cfg: MachineConfig, backend: Backend) -> Self {
+        let mut s = Sim::new(cfg);
+        s.backend = backend;
+        s
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -121,23 +204,16 @@ impl Sim {
             (sb, g.machine.lock_stats(), g.machine.os_allocated)
         };
 
-        std::thread::scope(|s| {
-            for tid in 0..n {
-                let shared = &self.shared;
-                let f = &f;
-                s.spawn(move || {
-                    let mut ctx = Ctx {
-                        tid,
-                        n,
-                        shared,
-                        pending: 0,
-                        finished: false,
-                    };
-                    f(&mut ctx);
-                    ctx.finish();
-                });
-            }
-        });
+        if n == 1 {
+            // Single thread: it is trivially always the minimum, so no
+            // hand-off machinery at all — the closure runs on the caller
+            // under the run-scoped lock.
+            self.run_solo(&f);
+        } else if self.backend == Backend::Fibers {
+            self.run_fibers(n, &f);
+        } else {
+            self.run_threads(n, &f);
+        }
 
         let g = self.shared.inner.lock();
         let cycles = g.time.iter().copied().max().unwrap_or(0);
@@ -171,6 +247,174 @@ impl Sim {
             os_allocated: g.machine.os_allocated - os_before,
         }
     }
+
+    fn run_solo<F>(&self, f: &F)
+    where
+        F: Fn(&mut Ctx<'_>) + Sync,
+    {
+        let mut g = self.shared.inner.lock();
+        let inner: *mut Inner = &mut *g;
+        let mut ctx = Ctx {
+            tid: 0,
+            n: 1,
+            shared: &self.shared,
+            inner,
+            rt: ptr::null_mut(),
+            pending: 0,
+            local_time: 0,
+            finished: false,
+        };
+        f(&mut ctx);
+        ctx.finish();
+    }
+
+    fn run_threads<F>(&self, n: usize, f: &F)
+    where
+        F: Fn(&mut Ctx<'_>) + Sync,
+    {
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let shared = &self.shared;
+                s.spawn(move || {
+                    let mut ctx = Ctx {
+                        tid,
+                        n,
+                        shared,
+                        inner: ptr::null_mut(),
+                        rt: ptr::null_mut(),
+                        pending: 0,
+                        local_time: 0,
+                        finished: false,
+                    };
+                    f(&mut ctx);
+                    ctx.finish();
+                });
+            }
+        });
+    }
+
+    fn run_fibers<F>(&self, n: usize, f: &F)
+    where
+        F: Fn(&mut Ctx<'_>) + Sync,
+    {
+        // The scheduler lock is held for the whole run; fibers reach the
+        // machine through a raw pointer. The discipline that makes this
+        // sound: references into `Inner` are created fresh after every
+        // context switch and never held across one.
+        let mut g = self.shared.inner.lock();
+        let inner_ptr: *mut Inner = &mut *g;
+        let mut rt = FiberRt {
+            inner: inner_ptr,
+            driver_sp: ptr::null_mut(),
+            sps: vec![ptr::null_mut(); n],
+            panic: None,
+        };
+        let rt_ptr: *mut FiberRt = &mut rt;
+        let boots: Vec<FiberBoot<'_, F>> = (0..n)
+            .map(|tid| FiberBoot {
+                rt: rt_ptr,
+                shared: &self.shared,
+                f,
+                tid,
+                n,
+            })
+            .collect();
+        let fibers: Vec<fiber::Fiber> = boots
+            .iter()
+            .map(|b| fiber::Fiber::spawn(fiber_main::<F>, b as *const FiberBoot<'_, F> as *mut u8))
+            .collect();
+        unsafe {
+            {
+                let rt = &mut *rt_ptr;
+                for (t, fb) in fibers.iter().enumerate() {
+                    rt.sps[t] = fb.sp();
+                }
+            }
+            // The driver: resume whichever fiber holds the minimum clock;
+            // it runs until it must wait (then switches back here), so one
+            // iteration per hand-off, zero for events executed in turn.
+            // References into `Inner`/`FiberRt` are scoped to single
+            // statements — never live across a switch.
+            while let Some((_, t)) = { (&*inner_ptr).min_runnable() } {
+                let to = { (&*rt_ptr).sps[t] };
+                fiber::switch(ptr::addr_of_mut!((*rt_ptr).driver_sp), to);
+            }
+            assert!(
+                (&*inner_ptr).state.iter().all(|s| *s == TState::Done),
+                "virtual deadlock: every unfinished thread is blocked on a simulated lock"
+            );
+        }
+        drop(fibers);
+        drop(boots);
+        drop(g);
+        if let Some(p) = rt.panic.take() {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// Driver-side state of a fiber run; lives on the driver's stack and is
+/// reached from fibers through a raw pointer.
+struct FiberRt {
+    inner: *mut Inner,
+    /// Saved driver context while a fiber runs.
+    driver_sp: *mut u8,
+    /// Saved context per suspended fiber.
+    sps: Vec<*mut u8>,
+    /// First panic payload from a fiber, re-raised after the run completes
+    /// (matching the OS-thread backend, where the panic propagates when the
+    /// thread scope joins).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct FiberBoot<'a, F> {
+    rt: *mut FiberRt,
+    shared: &'a Shared,
+    f: &'a F,
+    tid: usize,
+    n: usize,
+}
+
+unsafe extern "C" fn fiber_main<F: Fn(&mut Ctx<'_>) + Sync>(arg: *mut u8) -> ! {
+    let boot = &*(arg as *const FiberBoot<'_, F>);
+    let (rt, tid) = (boot.rt, boot.tid);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = Ctx {
+            tid,
+            n: boot.n,
+            shared: boot.shared,
+            inner: (*rt).inner,
+            rt,
+            pending: 0,
+            local_time: 0,
+            finished: false,
+        };
+        (boot.f)(&mut ctx);
+        ctx.finish();
+        // A panicking closure is handled like a panicking OS thread: the
+        // `Ctx` drop marks the thread Done and releases its locks, and the
+        // payload is re-raised by `run` once every thread has finished.
+    }));
+    if let Err(p) = result {
+        let rt_ref = &mut *rt;
+        if rt_ref.panic.is_none() {
+            rt_ref.panic = Some(p);
+        }
+    }
+    loop {
+        yield_to_driver(rt, tid);
+    }
+}
+
+/// Suspend the calling fiber and resume the driver, which will pick the
+/// next minimal runnable thread. No references into `Inner` may be live.
+unsafe fn yield_to_driver(rt: *mut FiberRt, tid: usize) {
+    let save = {
+        let sps = &mut (*rt).sps;
+        sps.as_mut_ptr().add(tid)
+    };
+    let to = (*rt).driver_sp;
+    fiber::switch(save, to);
 }
 
 /// Untimed view of machine state for setup/inspection (see
@@ -180,7 +424,7 @@ pub struct MachineStateView<'a> {
 }
 
 impl MachineStateView<'_> {
-    pub fn read_u64(&self, addr: u64) -> u64 {
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
         self.m.mem.read(addr)
     }
     pub fn write_u64(&mut self, addr: u64, val: u64) {
@@ -204,7 +448,18 @@ pub struct Ctx<'a> {
     tid: usize,
     n: usize,
     shared: &'a Shared,
+    /// Non-null when the run-scoped lock is held for us (solo and fiber
+    /// backends): machine state is reached directly, no per-event lock.
+    inner: *mut Inner,
+    /// Non-null only on the fiber backend (n > 1): hand-offs suspend the
+    /// fiber instead of parking the OS thread.
+    rt: *mut FiberRt,
     pending: u64,
+    /// Mirror of this thread's committed clock, maintained at every event
+    /// so [`Ctx::now`] and the tracing path need no lock. Exact: another
+    /// thread only ever advances our clock while we are blocked on a
+    /// simulated lock, and the blocked path refreshes the mirror.
+    local_time: u64,
     finished: bool,
 }
 
@@ -238,9 +493,10 @@ impl Ctx<'_> {
     }
 
     /// Current virtual time of this thread (including pending local work).
+    /// Lock-free: reads the locally mirrored clock.
+    #[inline]
     pub fn now(&mut self) -> u64 {
-        let g = self.shared.inner.lock();
-        g.time[self.tid] + self.pending
+        self.local_time + self.pending
     }
 
     /// The machine's observability context (same as [`Sim::obs`]).
@@ -249,7 +505,8 @@ impl Ctx<'_> {
     }
 
     /// Record a trace event stamped with this thread's current virtual
-    /// time. One relaxed load when tracing is disabled.
+    /// time. One relaxed load when tracing is disabled; no scheduler
+    /// interaction either way.
     #[inline]
     pub fn trace_event(&mut self, kind: EventKind, a: u64, b: u64) {
         if !self.shared.obs.trace().is_enabled() {
@@ -263,35 +520,64 @@ impl Ctx<'_> {
     /// threads, then run `f` against the machine. `f` returns (cycle cost,
     /// result).
     fn event<R>(&mut self, f: impl FnOnce(&mut MachineState, usize) -> (u64, R)) -> R {
-        let mut g = self.shared.inner.lock();
-        g.time[self.tid] += self.pending;
-        self.pending = 0;
-        self.wait_for_turn(&mut g);
-        let (cost, r) = f(&mut g.machine, self.tid);
-        g.time[self.tid] += cost;
-        self.notify_next(&g);
-        r
+        if !self.inner.is_null() {
+            unsafe {
+                let inner = self.inner;
+                {
+                    let g = &mut *inner;
+                    g.time[self.tid] += self.pending;
+                }
+                self.pending = 0;
+                if !self.rt.is_null() {
+                    while !{ (&*inner).is_min(self.tid) } {
+                        yield_to_driver(self.rt, self.tid);
+                    }
+                }
+                let g = &mut *inner;
+                let (cost, r) = f(&mut g.machine, self.tid);
+                let t = g.time[self.tid] + cost;
+                g.time[self.tid] = t;
+                self.local_time = t;
+                r
+            }
+        } else {
+            let mut g = self.shared.inner.lock();
+            g.time[self.tid] += self.pending;
+            self.pending = 0;
+            self.wait_for_turn(&mut g);
+            let (cost, r) = f(&mut g.machine, self.tid);
+            let t = g.time[self.tid] + cost;
+            g.time[self.tid] = t;
+            self.local_time = t;
+            self.notify_next(&g);
+            r
+        }
     }
 
     fn wait_for_turn(&self, g: &mut MutexGuard<'_, Inner>) {
+        if g.is_min(self.tid) {
+            return;
+        }
+        // Flushing pending compute may have *made someone else* the
+        // minimum without any event of theirs completing — wake them
+        // before sleeping or nobody ever would (lost-wakeup deadlock).
+        // Once is enough: any later change of the minimum is accompanied
+        // by a notification from the thread that caused it (event
+        // completion, unlock, finish, or another thread's arrival), and
+        // the check-then-wait below is atomic under the scheduler lock.
+        if let Some((_, t)) = g.min_runnable() {
+            self.shared.cvs[t].notify_one();
+        }
         loop {
-            let me = (g.time[self.tid], self.tid);
-            let min = min_runnable(g);
-            if min == Some(me) {
+            self.shared.cvs[self.tid].wait(g);
+            if g.is_min(self.tid) {
                 return;
             }
-            // Flushing pending compute may have *made someone else* the
-            // minimum without any event of theirs completing — wake them
-            // before sleeping or nobody ever would (lost-wakeup deadlock).
-            if let Some((_, t)) = min {
-                self.shared.cvs[t].notify_one();
-            }
-            self.shared.cvs[self.tid].wait(g);
         }
     }
 
     fn notify_next(&self, g: &Inner) {
-        if let Some((_, t)) = min_runnable(g) {
+        if let Some((_, t)) = g.min_runnable() {
             if t != self.tid {
                 self.shared.cvs[t].notify_one();
             }
@@ -388,15 +674,29 @@ impl Ctx<'_> {
     pub fn lock(&mut self, mx: SimMutex) {
         let mut counted = false;
         loop {
-            let acquired = self.lock_attempt(mx, true, &mut counted);
-            if acquired {
+            if self.lock_attempt(mx, true, &mut counted) {
                 return;
             }
-            // We were enqueued as Blocked; sleep until the releaser makes us
+            // We were enqueued as Blocked; wait until the releaser makes us
             // runnable again, then re-contend.
-            let mut g = self.shared.inner.lock();
-            while g.state[self.tid] == TState::Blocked(mx.id) {
-                self.shared.cvs[self.tid].wait(&mut g);
+            if !self.inner.is_null() {
+                unsafe {
+                    assert!(
+                        !self.rt.is_null(),
+                        "virtual deadlock: lone thread blocked on a simulated lock"
+                    );
+                    while { (&*self.inner).state[self.tid] } == TState::Blocked(mx.id) {
+                        yield_to_driver(self.rt, self.tid);
+                    }
+                    // The releaser advanced our clock to the release time.
+                    self.local_time = (&*self.inner).time[self.tid];
+                }
+            } else {
+                let mut g = self.shared.inner.lock();
+                while g.state[self.tid] == TState::Blocked(mx.id) {
+                    self.shared.cvs[self.tid].wait(&mut g);
+                }
+                self.local_time = g.time[self.tid];
             }
         }
     }
@@ -409,56 +709,33 @@ impl Ctx<'_> {
     }
 
     fn lock_attempt(&mut self, mx: SimMutex, block: bool, counted: &mut bool) -> bool {
-        let mut g = self.shared.inner.lock();
-        g.time[self.tid] += self.pending;
-        self.pending = 0;
-        self.wait_for_turn(&mut g);
-        let tid = self.tid;
-        let now = g.time[tid];
-        let l = &mut g.machine.locks[mx.id];
-        if l.holder.is_none() {
-            l.holder = Some(tid);
-            l.acquisitions += 1;
-            let mut cost = g.machine.cfg.cost.atomic_rmw + g.machine.cfg.cost.l1_hit;
-            if let Some(prev) = g.machine.locks[mx.id].last_holder {
-                if prev != tid {
-                    // The lock line must migrate from the previous holder.
-                    cost += if g.machine.cfg.socket_of(prev) == g.machine.cfg.socket_of(tid) {
-                        g.machine.cfg.cost.transfer_same_socket
-                    } else {
-                        g.machine.cfg.cost.transfer_cross_socket
-                    };
+        if !self.inner.is_null() {
+            unsafe {
+                let inner = self.inner;
+                {
+                    let g = &mut *inner;
+                    g.time[self.tid] += self.pending;
                 }
+                self.pending = 0;
+                if !self.rt.is_null() {
+                    while !{ (&*inner).is_min(self.tid) } {
+                        yield_to_driver(self.rt, self.tid);
+                    }
+                }
+                let g = &mut *inner;
+                let acquired = acquire_locked(g, &self.shared.obs, self.tid, mx, block, counted);
+                self.local_time = g.time[self.tid];
+                acquired
             }
-            g.machine.locks[mx.id].last_holder = Some(tid);
-            g.time[tid] = now + cost;
-            self.shared
-                .obs
-                .trace()
-                .emit(tid, g.time[tid], EventKind::LockAcquire, mx.id as u64, 0);
-            self.notify_next(&g);
-            true
         } else {
-            if !*counted {
-                g.machine.locks[mx.id].contended += 1;
-                *counted = true;
-                let holder = g.machine.locks[mx.id].holder.unwrap_or(0) as u64;
-                self.shared.obs.trace().emit(
-                    tid,
-                    now,
-                    EventKind::LockContend,
-                    mx.id as u64,
-                    holder,
-                );
-            }
-            if block {
-                g.state[tid] = TState::Blocked(mx.id);
-            } else {
-                // Failed trylock still pays for probing the lock word.
-                g.time[tid] = now + g.machine.cfg.cost.atomic_rmw;
-            }
+            let mut g = self.shared.inner.lock();
+            g.time[self.tid] += self.pending;
+            self.pending = 0;
+            self.wait_for_turn(&mut g);
+            let acquired = acquire_locked(&mut g, &self.shared.obs, self.tid, mx, block, counted);
+            self.local_time = g.time[self.tid];
             self.notify_next(&g);
-            false
+            acquired
         }
     }
 
@@ -466,33 +743,34 @@ impl Ctx<'_> {
     /// clocks advanced to the release time (their wait is recorded in the
     /// lock statistics).
     pub fn unlock(&mut self, mx: SimMutex) {
-        let mut g = self.shared.inner.lock();
-        g.time[self.tid] += self.pending;
-        self.pending = 0;
-        self.wait_for_turn(&mut g);
-        let tid = self.tid;
-        assert_eq!(
-            g.machine.locks[mx.id].holder,
-            Some(tid),
-            "unlock of a mutex not held by this thread"
-        );
-        g.time[tid] += g.machine.cfg.cost.l1_hit;
-        let now = g.time[tid];
-        g.machine.locks[mx.id].holder = None;
-        let mut woken = Vec::new();
-        for t in 0..g.state.len() {
-            if g.state[t] == TState::Blocked(mx.id) {
-                let waited = now.saturating_sub(g.time[t]);
-                g.machine.locks[mx.id].wait_cycles += waited;
-                g.time[t] = g.time[t].max(now);
-                g.state[t] = TState::Runnable;
-                woken.push(t);
+        if !self.inner.is_null() {
+            unsafe {
+                let inner = self.inner;
+                {
+                    let g = &mut *inner;
+                    g.time[self.tid] += self.pending;
+                }
+                self.pending = 0;
+                if !self.rt.is_null() {
+                    while !{ (&*inner).is_min(self.tid) } {
+                        yield_to_driver(self.rt, self.tid);
+                    }
+                }
+                let g = &mut *inner;
+                release_lock(g, self.tid, mx, |_| {});
+                self.local_time = g.time[self.tid];
             }
+        } else {
+            let mut g = self.shared.inner.lock();
+            g.time[self.tid] += self.pending;
+            self.pending = 0;
+            self.wait_for_turn(&mut g);
+            release_lock(&mut g, self.tid, mx, |t| {
+                self.shared.cvs[t].notify_one();
+            });
+            self.local_time = g.time[self.tid];
+            self.notify_next(&g);
         }
-        for t in woken {
-            self.shared.cvs[t].notify_one();
-        }
-        self.notify_next(&g);
     }
 
     /// Run `f` under `mx` (convenience for lock/unlock pairs).
@@ -505,44 +783,122 @@ impl Ctx<'_> {
 
     fn finish(&mut self) {
         self.finished = true;
-        let mut g = self.shared.inner.lock();
-        g.time[self.tid] += self.pending;
-        self.pending = 0;
-        g.state[self.tid] = TState::Done;
-        // Release any lock a panicking thread still holds so survivors can
-        // make progress (poisoning is not modelled; tests assert on the
-        // propagated panic instead), and wake their waiters to re-contend.
-        let mut released = Vec::new();
-        for (id, l) in g.machine.locks.iter_mut().enumerate() {
-            if l.holder == Some(self.tid) {
-                l.holder = None;
-                released.push(id);
+        if !self.inner.is_null() {
+            unsafe {
+                finish_thread(&mut *self.inner, self.tid, self.pending, |_| {});
             }
-        }
-        if !released.is_empty() {
-            for t in 0..g.state.len() {
-                if let TState::Blocked(id) = g.state[t] {
-                    if released.contains(&id) {
-                        g.state[t] = TState::Runnable;
-                        self.shared.cvs[t].notify_one();
-                    }
-                }
+            self.pending = 0;
+        } else {
+            let mut g = self.shared.inner.lock();
+            finish_thread(&mut g, self.tid, self.pending, |t| {
+                self.shared.cvs[t].notify_one();
+            });
+            self.pending = 0;
+            // Whoever is now minimal may proceed.
+            if let Some((_, t)) = g.min_runnable() {
+                self.shared.cvs[t].notify_one();
             }
-        }
-        // Whoever is now minimal may proceed.
-        if let Some((_, t)) = min_runnable(&g) {
-            self.shared.cvs[t].notify_one();
         }
     }
 }
 
-fn min_runnable(g: &Inner) -> Option<(u64, usize)> {
-    g.state
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| **s == TState::Runnable)
-        .map(|(t, _)| (g.time[t], t))
-        .min()
+/// Lock-acquisition attempt for a thread that holds the scheduling minimum.
+/// Returns whether the lock was taken; on failure with `block`, the thread
+/// is marked Blocked (the caller waits backend-appropriately).
+fn acquire_locked(
+    g: &mut Inner,
+    obs: &Obs,
+    tid: usize,
+    mx: SimMutex,
+    block: bool,
+    counted: &mut bool,
+) -> bool {
+    let now = g.time[tid];
+    let l = &mut g.machine.locks[mx.id];
+    if l.holder.is_none() {
+        l.holder = Some(tid);
+        l.acquisitions += 1;
+        let mut cost = g.machine.cfg.cost.atomic_rmw + g.machine.cfg.cost.l1_hit;
+        if let Some(prev) = g.machine.locks[mx.id].last_holder {
+            if prev != tid {
+                // The lock line must migrate from the previous holder.
+                cost += if g.machine.cfg.socket_of(prev) == g.machine.cfg.socket_of(tid) {
+                    g.machine.cfg.cost.transfer_same_socket
+                } else {
+                    g.machine.cfg.cost.transfer_cross_socket
+                };
+            }
+        }
+        g.machine.locks[mx.id].last_holder = Some(tid);
+        g.time[tid] = now + cost;
+        obs.trace()
+            .emit(tid, g.time[tid], EventKind::LockAcquire, mx.id as u64, 0);
+        true
+    } else {
+        if !*counted {
+            g.machine.locks[mx.id].contended += 1;
+            *counted = true;
+            let holder = g.machine.locks[mx.id].holder.unwrap_or(0) as u64;
+            obs.trace()
+                .emit(tid, now, EventKind::LockContend, mx.id as u64, holder);
+        }
+        if block {
+            g.state[tid] = TState::Blocked(mx.id);
+        } else {
+            // Failed trylock still pays for probing the lock word.
+            g.time[tid] = now + g.machine.cfg.cost.atomic_rmw;
+        }
+        false
+    }
+}
+
+/// Lock release for a thread that holds the scheduling minimum. `on_wake`
+/// is called for every unblocked thread (the OS-thread backend notifies its
+/// condvar; the fiber driver rescans anyway).
+fn release_lock(g: &mut Inner, tid: usize, mx: SimMutex, mut on_wake: impl FnMut(usize)) {
+    assert_eq!(
+        g.machine.locks[mx.id].holder,
+        Some(tid),
+        "unlock of a mutex not held by this thread"
+    );
+    g.time[tid] += g.machine.cfg.cost.l1_hit;
+    let now = g.time[tid];
+    g.machine.locks[mx.id].holder = None;
+    for t in 0..g.state.len() {
+        if g.state[t] == TState::Blocked(mx.id) {
+            let waited = now.saturating_sub(g.time[t]);
+            g.machine.locks[mx.id].wait_cycles += waited;
+            g.time[t] = g.time[t].max(now);
+            g.state[t] = TState::Runnable;
+            on_wake(t);
+        }
+    }
+}
+
+/// Mark `tid` Done (possibly mid-panic): flush its clock, release any locks
+/// it still holds so survivors can make progress (poisoning is not
+/// modelled; tests assert on the propagated panic instead), and unblock
+/// their waiters to re-contend.
+fn finish_thread(g: &mut Inner, tid: usize, pending: u64, mut on_wake: impl FnMut(usize)) {
+    g.time[tid] += pending;
+    g.state[tid] = TState::Done;
+    let mut released = Vec::new();
+    for (id, l) in g.machine.locks.iter_mut().enumerate() {
+        if l.holder == Some(tid) {
+            l.holder = None;
+            released.push(id);
+        }
+    }
+    if !released.is_empty() {
+        for t in 0..g.state.len() {
+            if let TState::Blocked(id) = g.state[t] {
+                if released.contains(&id) {
+                    g.state[t] = TState::Runnable;
+                    on_wake(t);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -598,6 +954,89 @@ mod tests {
         let (c2, o2) = run_once();
         assert_eq!(c1, c2);
         assert_eq!(o1, o2);
+    }
+
+    // A workload exercising every scheduler interaction: ticks, atomics,
+    // blocking locks, trylocks, and asymmetric per-thread compute.
+    fn contended_workload(s: &Sim) -> (u64, Vec<(usize, u64, u64)>) {
+        let mx = s.new_mutex();
+        let order = HostMutex::new(Vec::new());
+        let r = s.run(4, |ctx| {
+            for i in 0..12u64 {
+                ctx.tick((ctx.tid() as u64 + 1) * 7);
+                let v = ctx.fetch_add_u64(0x900, 1);
+                order.lock().push((ctx.tid(), i, v));
+                ctx.lock(mx);
+                let cur = ctx.read_u64(0x908);
+                ctx.tick(30);
+                ctx.write_u64(0x908, cur + 1);
+                ctx.unlock(mx);
+                if ctx.try_lock(mx) {
+                    ctx.unlock(mx);
+                }
+            }
+        });
+        let mut o = order.into_inner();
+        o.sort_unstable();
+        (r.cycles, o)
+    }
+
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        // The fiber and OS-thread backends implement one decision
+        // procedure; this pins that they produce identical schedules,
+        // clocks and lock statistics on a contended workload.
+        if !fiber::SUPPORTED {
+            return;
+        }
+        let st = Sim::with_backend(MachineConfig::tiny_test(), Backend::Threads);
+        let sf = Sim::with_backend(MachineConfig::tiny_test(), Backend::Fibers);
+        let (ct, ot) = contended_workload(&st);
+        let (cf, of) = contended_workload(&sf);
+        assert_eq!(ct, cf);
+        assert_eq!(ot, of);
+        st.with_state(|m| {
+            let threads_total = m.read_u64(0x908);
+            sf.with_state(|m2| assert_eq!(m2.read_u64(0x908), threads_total));
+        });
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_and_releases() {
+        let s = sim();
+        let mx = s.new_mutex();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            s.run(2, |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.tick(10);
+                    ctx.lock(mx);
+                    panic!("worker 0 exploded");
+                }
+                // Worker 1 must still complete: the panicking thread's lock
+                // is released by its Ctx drop.
+                ctx.tick(100);
+                ctx.lock(mx);
+                ctx.write_u64(0xa00, 1);
+                ctx.unlock(mx);
+            });
+        }));
+        assert!(caught.is_err());
+        s.with_state(|m| assert_eq!(m.read_u64(0xa00), 1));
+    }
+
+    #[test]
+    fn now_tracks_clock_without_lock() {
+        let s = sim();
+        s.run(2, |ctx| {
+            let t0 = ctx.now();
+            ctx.tick(40);
+            assert_eq!(ctx.now(), t0 + 40);
+            ctx.fence();
+            // After an event the mirror equals the committed clock.
+            let t1 = ctx.now();
+            ctx.tick(1);
+            assert_eq!(ctx.now(), t1 + 1);
+        });
     }
 
     #[test]

@@ -39,6 +39,7 @@
 mod cache;
 mod config;
 mod exec;
+mod fiber;
 mod machine;
 mod memory;
 mod report;

@@ -122,6 +122,11 @@ impl MachineState {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let base = (self.os_bump + align - 1) & !(align - 1);
         self.os_bump = base + size;
+        assert!(
+            self.os_bump < crate::memory::ADDR_LIMIT,
+            "simulated OS allocator exhausted the {:#x} address-space bound",
+            crate::memory::ADDR_LIMIT
+        );
         self.os_allocated += size;
         base
     }

@@ -5,23 +5,64 @@
 //! huge aligned regions (e.g. Glibc's 64 MB-aligned arenas) without host
 //! memory cost. Data is held as `u64` words; all simulated accesses in this
 //! study are word-granular, which matches the word-based STM under test.
-
-use std::collections::HashMap;
+//!
+//! Every simulated load and store lands here, so the page lookup is the
+//! single hottest data access in the system. Instead of a `HashMap` (hash +
+//! probe per access), pages hang off a two-level radix table — two array
+//! indexes — fronted by a one-entry last-page cache that turns the common
+//! run-of-accesses-to-one-page pattern into a single pointer compare.
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
 const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
 
+type Page = [u64; WORDS_PER_PAGE];
+
+/// log2 of pages per chunk (second radix level).
+const CHUNK_SHIFT: u64 = 16;
+const CHUNK_PAGES: usize = 1 << CHUNK_SHIFT;
+/// Number of root entries (first radix level). Together: 16 + 16 + 12 = 44
+/// bits of addressable space (16 TiB), far above the 4 GiB-based OS bump
+/// allocator; `os_alloc` asserts the bound.
+const ROOT_ENTRIES: usize = 1 << 16;
+
+/// Addresses at or above this cannot be materialized (reads return zero,
+/// like any other unmapped address; writes panic).
+pub(crate) const ADDR_LIMIT: u64 = (ROOT_ENTRIES as u64) << (CHUNK_SHIFT + PAGE_SHIFT);
+
+type Chunk = Box<[Option<Box<Page>>]>;
+
 /// Lazily-populated sparse memory. Unwritten words read as zero, like fresh
 /// anonymous mmap pages.
-#[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+    root: Vec<Option<Chunk>>,
+    /// Last-page cache: page id + raw pointer to its storage. `Box` targets
+    /// are address-stable and pages are never freed while the `Memory`
+    /// lives, so the pointer stays valid until drop; it is only dereferenced
+    /// through `&mut self`, so no aliasing can occur.
+    last_page: u64,
+    last_ptr: *mut Page,
+    resident: usize,
+}
+
+// The raw cache pointer targets heap storage owned by `self` and is only
+// used through `&mut self`, so moving the `Memory` between threads is safe.
+unsafe impl Send for Memory {}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
 }
 
 impl Memory {
     pub fn new() -> Self {
-        Memory::default()
+        Memory {
+            root: vec![None; ROOT_ENTRIES],
+            last_page: u64::MAX,
+            last_ptr: std::ptr::null_mut(),
+            resident: 0,
+        }
     }
 
     #[inline]
@@ -32,24 +73,61 @@ impl Memory {
 
     /// Read the aligned word at `addr` (zero if never written).
     #[inline]
-    pub fn read(&self, addr: u64) -> u64 {
+    pub fn read(&mut self, addr: u64) -> u64 {
         let (page, idx) = Self::split(addr);
-        self.pages.get(&page).map_or(0, |p| p[idx])
+        if page == self.last_page {
+            // Safe: see `last_ptr` invariant above.
+            return unsafe { (*self.last_ptr)[idx] };
+        }
+        let root_idx = (page >> CHUNK_SHIFT) as usize;
+        if root_idx >= ROOT_ENTRIES {
+            return 0; // beyond the radix range == never written
+        }
+        match &mut self.root[root_idx] {
+            Some(chunk) => match &mut chunk[(page & (CHUNK_PAGES as u64 - 1)) as usize] {
+                Some(p) => {
+                    self.last_page = page;
+                    self.last_ptr = p.as_mut() as *mut Page;
+                    p[idx]
+                }
+                None => 0,
+            },
+            None => 0,
+        }
     }
 
     /// Write the aligned word at `addr`, materializing its page on demand.
     #[inline]
     pub fn write(&mut self, addr: u64, val: u64) {
         let (page, idx) = Self::split(addr);
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))[idx] = val;
+        if page == self.last_page {
+            unsafe { (*self.last_ptr)[idx] = val };
+            return;
+        }
+        assert!(
+            addr < ADDR_LIMIT,
+            "simulated write at {addr:#x} beyond the {ADDR_LIMIT:#x} address-space bound"
+        );
+        let root_idx = (page >> CHUNK_SHIFT) as usize;
+        let chunk =
+            self.root[root_idx].get_or_insert_with(|| vec![None; CHUNK_PAGES].into_boxed_slice());
+        let slot = &mut chunk[(page & (CHUNK_PAGES as u64 - 1)) as usize];
+        let p = match slot {
+            Some(p) => p,
+            None => {
+                self.resident += 1;
+                slot.get_or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))
+            }
+        };
+        self.last_page = page;
+        self.last_ptr = p.as_mut() as *mut Page;
+        p[idx] = val;
     }
 
     /// Number of materialized pages (test/diagnostic aid; proportional to
     /// host memory footprint).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 }
 
@@ -59,9 +137,9 @@ mod tests {
 
     #[test]
     fn zero_before_write() {
-        let m = Memory::new();
+        let mut m = Memory::new();
         assert_eq!(m.read(0x1000), 0);
-        assert_eq!(m.read(0xdead_beef_0000), 0);
+        assert_eq!(m.read(0xdead_beef_0000), 0); // beyond ADDR_LIMIT: still zero
     }
 
     #[test]
@@ -98,10 +176,29 @@ mod tests {
     }
 
     #[test]
+    fn last_page_cache_tracks_page_switches() {
+        let mut m = Memory::new();
+        m.write(0x1000, 1); // page A (cached)
+        m.write(0x2000, 2); // page B (cache switches)
+        assert_eq!(m.read(0x1000), 1); // back to A through the slow path
+        m.write(0x1008, 3); // A is cached again
+        assert_eq!(m.read(0x1008), 3);
+        assert_eq!(m.read(0x2000), 2);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_beyond_limit_panics() {
+        let mut m = Memory::new();
+        m.write(ADDR_LIMIT, 1);
+    }
+
+    #[test]
     #[should_panic]
     #[cfg(debug_assertions)]
     fn unaligned_access_panics_in_debug() {
-        let m = Memory::new();
+        let mut m = Memory::new();
         m.read(0x11);
     }
 }

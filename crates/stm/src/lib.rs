@@ -56,6 +56,7 @@
 
 pub mod alloc;
 mod stats;
+mod table;
 mod tx;
 
 pub use stats::{AbortCause, StmStats};
@@ -177,8 +178,9 @@ pub struct Stm {
     /// slot-wise.
     stats: tm_obs::Sharded<StmStats>,
     /// Sizes of live transactionally-allocated blocks (host-side registry
-    /// feeding the object cache, which needs sizes at free time).
-    pub(crate) sizes: Mutex<std::collections::HashMap<u64, u64>>,
+    /// feeding the object cache, which needs sizes at free time). Only
+    /// touched when `cfg.object_cache` is on; see [`table::SizeRegistry`].
+    pub(crate) sizes: table::SizeRegistry,
     /// Simulated base address of the per-thread snapshot array (one cache
     /// line per thread; 0 means idle, else snapshot+1). Drives
     /// quiescence-based reclamation: a transactionally-freed block reaches
@@ -223,7 +225,7 @@ impl Stm {
             clock_addr,
             allocator,
             stats: tm_obs::Sharded::new(cores),
-            sizes: Mutex::new(std::collections::HashMap::new()),
+            sizes: table::SizeRegistry::new(),
             active_base,
             cores,
             global_limbo: Mutex::new(Vec::new()),
@@ -262,7 +264,10 @@ impl Stm {
     pub fn quiesce(&self, ctx: &mut Ctx<'_>) {
         let entries: Vec<(u64, u64, Option<u64>)> = std::mem::take(&mut *self.global_limbo.lock());
         for (_, addr, _) in entries {
-            self.sizes.lock().remove(&addr);
+            if self.cfg.object_cache {
+                // Only object-cache runs register sizes (see `Tx::malloc`).
+                self.sizes.remove(addr);
+            }
             self.allocator.free(ctx, addr);
         }
     }

@@ -4,12 +4,11 @@
 //! * bit 0 set — locked; bits 63..1 hold the owner's thread id;
 //! * bit 0 clear — free; bits 63..1 hold the stripe's commit timestamp.
 
-use std::collections::{HashMap, HashSet};
-
 use tm_sim::Ctx;
 
 use crate::alloc::ObjectCache;
 use crate::stats::{AbortCause, StmStats};
+use crate::table::GenTable;
 use crate::{LockDesign, Stm, WriteMode};
 
 /// Why control left the transaction body early.
@@ -51,9 +50,12 @@ pub struct TxThread {
     rv: u64,
     read_set: Vec<(u64, u64)>,
     write_entries: Vec<(u64, u64)>,
-    wmap: HashMap<u64, usize>,
+    /// Write-set index: addr → position in `write_entries`. Generation
+    /// stamped, so `begin` clears it in O(1).
+    wmap: GenTable,
     locks_held: Vec<(u64, u64)>,
-    lockset: HashSet<u64>,
+    /// Stripe locks owned by the current transaction (set-style GenTable).
+    lockset: GenTable,
     /// Write-through undo log: (addr, pre-image), restored in reverse on
     /// abort.
     undo: Vec<(u64, u64)>,
@@ -62,6 +64,9 @@ pub struct TxThread {
     /// Blocks freed by committed transactions, awaiting quiescence:
     /// (free timestamp, addr, size if known).
     limbo: Vec<(u64, u64, Option<u64>)>,
+    /// Recycled scratch for `drain_limbo`'s keep list, so steady-state
+    /// reclamation allocates nothing on the host.
+    limbo_scratch: Vec<(u64, u64, Option<u64>)>,
     /// Per-thread LCG driving abort backoff (see `Stm::txn`).
     pub(crate) backoff_state: u64,
     /// Consecutive aborts of the current transaction.
@@ -77,13 +82,14 @@ impl TxThread {
             rv: 0,
             read_set: Vec::with_capacity(256),
             write_entries: Vec::with_capacity(64),
-            wmap: HashMap::new(),
+            wmap: GenTable::new(),
             locks_held: Vec::with_capacity(64),
-            lockset: HashSet::new(),
+            lockset: GenTable::new(),
             undo: Vec::new(),
             tx_allocs: Vec::new(),
             tx_frees: Vec::new(),
             limbo: Vec::new(),
+            limbo_scratch: Vec::new(),
             backoff_state: 0x9e3779b97f4a7c15 ^ (tid as u64 + 1),
             retries: 0,
             stats: StmStats::default(),
@@ -134,9 +140,10 @@ impl TxThread {
             return;
         }
         let safe = stm.safe_timestamp(ctx).min(self.rv);
-        let mut keep = Vec::with_capacity(self.limbo.len());
-        let entries = std::mem::take(&mut self.limbo);
-        for (ts, addr, size) in entries {
+        let mut keep = std::mem::take(&mut self.limbo_scratch);
+        keep.clear();
+        let mut entries = std::mem::take(&mut self.limbo);
+        for (ts, addr, size) in entries.drain(..) {
             if ts >= safe {
                 keep.push((ts, addr, size));
                 continue;
@@ -146,9 +153,13 @@ impl TxThread {
                     continue;
                 }
             }
-            stm.sizes.lock().remove(&addr);
+            if self.cache.is_some() {
+                // Only object-cache runs register sizes (see `Tx::malloc`).
+                stm.sizes.remove(addr);
+            }
             stm.allocator.free(ctx, addr);
         }
+        self.limbo_scratch = entries;
         self.limbo = keep;
     }
 
@@ -191,8 +202,8 @@ impl TxThread {
                 if cache.put(size, addr) {
                     continue;
                 }
+                stm.sizes.remove(addr);
             }
-            stm.sizes.lock().remove(&addr);
             stm.allocator.free(ctx, addr);
         }
         self.tx_frees.clear();
@@ -226,7 +237,7 @@ impl<'a> Tx<'a> {
             let (la, ver) = self.th.read_set[i];
             let l = ctx.read_u64(la);
             if is_locked(l) {
-                if !self.th.lockset.contains(&la) {
+                if !self.th.lockset.contains(la) {
                     return false;
                 }
             } else if version_of(l) != ver {
@@ -252,8 +263,8 @@ impl<'a> Tx<'a> {
     pub fn read(&mut self, ctx: &mut Ctx<'_>, addr: u64) -> Result<u64, Abort> {
         self.th.stats.reads += 1;
         ctx.tick(4);
-        if let Some(&i) = self.th.wmap.get(&addr) {
-            return Ok(self.th.write_entries[i].1); // read-own-write
+        if let Some(i) = self.th.wmap.get(addr) {
+            return Ok(self.th.write_entries[i as usize].1); // read-own-write
         }
         let la = self.stm.lock_addr_for(addr);
         let l = ctx.read_u64(la);
@@ -283,13 +294,13 @@ impl<'a> Tx<'a> {
     pub fn write(&mut self, ctx: &mut Ctx<'_>, addr: u64, val: u64) -> Result<(), Abort> {
         self.th.stats.writes += 1;
         ctx.tick(4);
-        if let Some(&i) = self.th.wmap.get(&addr) {
-            self.th.write_entries[i].1 = val;
+        if let Some(i) = self.th.wmap.get(addr) {
+            self.th.write_entries[i as usize].1 = val;
             return Ok(());
         }
         if self.stm.cfg.design == LockDesign::Etl {
             let la = self.stm.lock_addr_for(addr);
-            if !self.th.lockset.contains(&la) {
+            if !self.th.lockset.contains(la) {
                 let l = ctx.read_u64(la);
                 if is_locked(l) {
                     // Cannot be us: our locks are all in `lockset`.
@@ -309,7 +320,7 @@ impl<'a> Tx<'a> {
                     return Err(Abort::Conflict(AbortCause::WriteLocked));
                 }
                 self.th.locks_held.push((la, version_of(l)));
-                self.th.lockset.insert(la);
+                self.th.lockset.insert(la, 0);
             }
             if self.stm.cfg.write_mode == WriteMode::Through {
                 // Write-through: memory is updated in place under the
@@ -320,7 +331,9 @@ impl<'a> Tx<'a> {
                 return Ok(());
             }
         }
-        self.th.wmap.insert(addr, self.th.write_entries.len());
+        self.th
+            .wmap
+            .insert(addr, self.th.write_entries.len() as u32);
         self.th.write_entries.push((addr, val));
         Ok(())
     }
@@ -332,7 +345,7 @@ impl<'a> Tx<'a> {
         for i in 0..self.th.write_entries.len() {
             let (addr, _) = self.th.write_entries[i];
             let la = self.stm.lock_addr_for(addr);
-            if self.th.lockset.contains(&la) {
+            if self.th.lockset.contains(la) {
                 continue;
             }
             let l = ctx.read_u64(la);
@@ -343,7 +356,7 @@ impl<'a> Tx<'a> {
                 return false;
             }
             self.th.locks_held.push((la, version_of(l)));
-            self.th.lockset.insert(la);
+            self.th.lockset.insert(la, 0);
         }
         true
     }
@@ -376,7 +389,7 @@ impl<'a> Tx<'a> {
             self.stm.allocator.malloc(ctx, size)
         };
         if self.th.cache.is_some() {
-            self.stm.sizes.lock().insert(addr, size);
+            self.stm.sizes.insert(addr, size);
         }
         self.th.tx_allocs.push((addr, size));
         addr
@@ -440,7 +453,7 @@ impl<'a> Tx<'a> {
         let frees = std::mem::take(&mut self.th.tx_frees);
         for addr in frees {
             let size = if self.th.cache.is_some() {
-                self.stm.sizes.lock().get(&addr).copied()
+                self.stm.sizes.get(addr)
             } else {
                 None
             };

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Tracked perf baseline: time the synthetic sweep matrix and the exhibit
+# regeneration, and merge the numbers with the frozen pre-overhaul baseline
+# (results/bench_before_pr4.json) into results/BENCH_pr4.json.
+#
+# Usage: scripts/bench.sh [--quick] [--out FILE]
+#   --quick    skip the full exhibit regeneration; time only the sweep
+#              matrix (the CI perf-smoke mode — seconds, not minutes)
+#   --out FILE destination (default results/BENCH_pr4.json)
+#
+# Wall times are host-specific: the before/after comparison is only
+# meaningful on one machine, and the committed before-file records the host
+# it was measured on. The structural guarantees (exhibit byte-identity,
+# check matrix) are enforced elsewhere; this script only tracks speed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO="cargo --offline"
+
+quick=0
+out="results/BENCH_pr4.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --out) out="$2"; shift ;;
+    *) echo "unknown flag '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "==> cargo build --release"
+$CARGO build --workspace --release
+
+# The benchmark sweep: the same 12-cell synthetic allocator x structure
+# matrix the frozen baseline was measured on (sweep --quick is exactly this
+# preset). --workers 1 keeps the measurement serial and comparable.
+sweep_json="$(mktemp)"
+echo "==> timing: tmstudy sweep --quick"
+sweep_start=$(date +%s%N)
+./target/release/tmstudy sweep --quick --workers 1 --name bench \
+  --out "$sweep_json" >/dev/null
+sweep_ms=$(( ($(date +%s%N) - sweep_start) / 1000000 ))
+echo "    sweep matrix: ${sweep_ms} ms"
+
+timings_json="$(mktemp)"
+if [ "$quick" -eq 0 ]; then
+  echo "==> timing: make_all (every exhibit, uncached)"
+  rm -rf results/.cache
+  ./target/release/make_all --timings "$timings_json" \
+    --out "$(mktemp)" 2>/dev/null
+else
+  echo '{}' > "$timings_json"
+fi
+
+echo "==> merging into $out"
+python3 - "$sweep_json" "$timings_json" "$out" <<'EOF'
+import json, platform, sys
+
+sweep_path, timings_path, out_path = sys.argv[1:4]
+sweep = json.load(open(sweep_path))
+timings = json.load(open(timings_path))
+before = json.load(open('results/bench_before_pr4.json'))
+
+after = {
+    'side': 'after',
+    'host': {
+        'os': platform.system().lower(),
+        'arch': platform.machine(),
+        'cores': None,
+    },
+    'sweep': {
+        'total_wall_ms': int(sweep['meta']['total_wall_ms']),
+        'cells': [
+            {
+                'cell': '/'.join(c['config'][k]
+                                 for k in ('structure', 'alloc', 'threads')),
+                'wall_ms': c['wall_ms'],
+                'status': c['status'],
+            }
+            for c in sweep['cells']
+        ],
+    },
+}
+try:
+    import os
+    after['host']['cores'] = os.cpu_count()
+except Exception:
+    pass
+if timings.get('schema') == 'tm-bench-perf/v1':
+    after['exhibits'] = timings['exhibits']
+    after['host'] = timings['host']
+
+b_ms = before['sweep']['total_wall_ms']
+a_ms = after['sweep']['total_wall_ms']
+doc = {
+    'schema': 'tm-bench-perf/v1',
+    'before': before,
+    'after': after,
+    'sweep_speedup': round(b_ms / a_ms, 2) if a_ms else None,
+}
+json.dump(doc, open(out_path, 'w'), indent=2)
+print(f"sweep: {b_ms} ms -> {a_ms} ms "
+      f"({doc['sweep_speedup']}x); wrote {out_path}")
+EOF

@@ -7,6 +7,10 @@
 //! `black_box`. No statistics engine — each benchmark runs `sample_size`
 //! timed iterations after one warm-up and prints the mean, which is enough
 //! for `cargo bench` to exercise every benched code path end-to-end.
+//!
+//! Like real criterion, `cargo bench -- --test` switches to test mode:
+//! every benchmark body runs exactly once, untimed, so CI can smoke-test
+//! that the benches still compile and run without paying for sampling.
 
 use std::time::Instant;
 
@@ -14,11 +18,15 @@ pub use std::hint::black_box;
 
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -33,7 +41,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id.as_ref(), self.sample_size, f);
+        run_one(id.as_ref(), self.sample_size, self.test_mode, f);
         self
     }
 
@@ -56,7 +64,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.as_ref());
-        run_one(&full, self.criterion.sample_size, f);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
         self
     }
 
@@ -85,12 +98,18 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, mut f: F) {
+    // Test mode: zero timed iterations — `Bencher::iter` still makes its
+    // single warm-up pass, so the body executes exactly once.
     let mut b = Bencher {
-        iters: samples as u64,
+        iters: if test_mode { 0 } else { samples as u64 },
         elapsed_ns: 0,
     };
     f(&mut b);
+    if test_mode {
+        println!("test bench {id:<50} ok");
+        return;
+    }
     let per_iter = if b.iters == 0 {
         0
     } else {
@@ -139,6 +158,17 @@ mod tests {
         c.bench_function("smoke", |b| b.iter(|| runs += 1));
         // One warm-up + 3 timed samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode must run the body once, untimed");
     }
 
     #[test]
