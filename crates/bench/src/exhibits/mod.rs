@@ -15,6 +15,8 @@ pub mod ablation_padding;
 pub mod ablation_serial;
 pub mod ablation_shift;
 pub mod ablation_variance;
+pub mod backend_htm;
+pub mod backend_norec;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;
@@ -53,6 +55,10 @@ pub struct Exhibit {
     /// `heap-audit` (allocator-level workloads under the heap auditor), or
     /// `static` (no runtime state to check).
     pub check: &'static str,
+    /// TM backend the exhibit studies (`etl`, `norec` or `htm`). The paper's
+    /// exhibits all run under TinySTM ETL; the backend exhibits compare
+    /// against it, so the column names the *subject* backend.
+    pub backend: &'static str,
     /// Regenerates the exhibit (writes `results/<name>.txt` + `.json`).
     pub run: fn(),
 }
@@ -67,6 +73,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Main attributes of the four modelled allocators",
         rand_sensitive: false,
         check: "heap-audit",
+        backend: "etl",
         run: table1::run,
     },
     Exhibit {
@@ -75,6 +82,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Simulated machine configuration",
         rand_sensitive: false,
         check: "static",
+        backend: "etl",
         run: table2::run,
     },
     Exhibit {
@@ -83,6 +91,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Intruder and Yada at 8 cores, Glibc vs Hoard (motivating gap)",
         rand_sensitive: false,
         check: "checksum-diff",
+        backend: "etl",
         run: fig1::run,
     },
     Exhibit {
@@ -91,6 +100,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Threadtest throughput vs block size, 8 threads",
         rand_sensitive: false,
         check: "heap-audit",
+        backend: "etl",
         run: fig3::run,
     },
     Exhibit {
@@ -99,6 +109,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Synthetic data-structure throughput vs cores, 60% updates",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: fig4::run,
     },
     Exhibit {
@@ -107,6 +118,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Best and worst allocators per synthetic structure",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: table3::run,
     },
     Exhibit {
@@ -115,6 +127,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Abort fraction and L1 miss ratio for the sorted list",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: table4::run,
     },
     Exhibit {
@@ -123,6 +136,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Relative speedup of the linked list: ORT shift 4 vs 6",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: fig6::run,
     },
     Exhibit {
@@ -131,6 +145,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "STAMP allocation characterization by size class",
         rand_sensitive: true,
         check: "app-verify",
+        backend: "etl",
         run: table5::run,
     },
     Exhibit {
@@ -139,6 +154,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "STAMP execution time vs cores, six applications",
         rand_sensitive: true,
         check: "checksum-diff",
+        backend: "etl",
         run: fig7::run,
     },
     Exhibit {
@@ -147,6 +163,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Best and worst allocators per STAMP application",
         rand_sensitive: true,
         check: "checksum-diff",
+        backend: "etl",
         run: table6::run,
     },
     Exhibit {
@@ -155,6 +172,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Speedup curves for Genome and Yada",
         rand_sensitive: false,
         check: "checksum-diff",
+        backend: "etl",
         run: fig8::run,
     },
     Exhibit {
@@ -163,6 +181,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Gain from the STM-level object-cache optimization",
         rand_sensitive: true,
         check: "app-verify",
+        backend: "etl",
         run: table7::run,
     },
     Exhibit {
@@ -171,6 +190,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Labyrinth with and without per-thread pool padding",
         rand_sensitive: false,
         check: "app-verify",
+        backend: "etl",
         run: ablation_padding::run,
     },
     Exhibit {
@@ -179,6 +199,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "HashSet anomaly vs the ORT hash function",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: ablation_hash::run,
     },
     Exhibit {
@@ -187,6 +208,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Encounter-time vs commit-time locking",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: ablation_design::run,
     },
     Exhibit {
@@ -195,6 +217,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Full ORT stripe-shift sweep (3..=8) for the linked list",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: ablation_shift::run,
     },
     Exhibit {
@@ -203,6 +226,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Allocator effects across machine profiles",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: ablation_machine::run,
     },
     Exhibit {
@@ -211,6 +235,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Negative control: serial allocator under no contention",
         rand_sensitive: false,
         check: "heap-audit",
+        backend: "etl",
         run: ablation_serial::run,
     },
     Exhibit {
@@ -219,6 +244,7 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Bayes run-to-run variance study",
         rand_sensitive: true,
         check: "app-verify",
+        backend: "etl",
         run: ablation_variance::run,
     },
     Exhibit {
@@ -227,7 +253,26 @@ pub const REGISTRY: &[Exhibit] = &[
         title: "Fig. 4 extension: read-only and read-dominated mixes",
         rand_sensitive: true,
         check: "serial-oracle",
+        backend: "etl",
         run: fig4_mixes::run,
+    },
+    Exhibit {
+        name: "backend_norec",
+        kind: "ablation",
+        title: "§5.2 HashSet anomaly under NOrec: value validation removes ORT false conflicts",
+        rand_sensitive: true,
+        check: "serial-oracle",
+        backend: "norec",
+        run: backend_norec::run,
+    },
+    Exhibit {
+        name: "backend_htm",
+        kind: "ablation",
+        title: "Simulated HTM capacity-abort cliff as transaction footprint crosses L1",
+        rand_sensitive: false,
+        check: "checksum-diff",
+        backend: "htm",
+        run: backend_htm::run,
     },
 ];
 
@@ -248,13 +293,14 @@ pub fn run_by_name(name: &str) -> Result<(), String> {
 /// (`make_all --table` prints it).
 pub fn experiments_table() -> String {
     let mut out = String::from(
-        "| Exhibit | Kind | Rand stream | Check | Description |\n|---|---|---|---|---|\n",
+        "| Exhibit | Kind | Backend | Rand stream | Check | Description |\n|---|---|---|---|---|---|\n",
     );
     for e in REGISTRY {
         out.push_str(&format!(
-            "| [`{name}`](results/{name}.json) | {kind} | {det} | {check} | {title} |\n",
+            "| [`{name}`](results/{name}.json) | {kind} | {backend} | {det} | {check} | {title} |\n",
             name = e.name,
             kind = e.kind,
+            backend = e.backend,
             det = if e.rand_sensitive {
                 "sensitive"
             } else {
@@ -274,10 +320,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_complete() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 23);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "duplicate exhibit name in REGISTRY");
+        assert_eq!(names.len(), 23, "duplicate exhibit name in REGISTRY");
     }
 
     #[test]
@@ -317,5 +363,21 @@ mod tests {
         let t = experiments_table();
         assert!(t.contains("| Check |"));
         assert!(t.contains("| serial-oracle |"));
+    }
+
+    #[test]
+    fn every_exhibit_names_a_known_backend() {
+        for e in REGISTRY {
+            assert!(
+                tm_stm::BackendKind::parse(e.backend).is_some(),
+                "{}: bad backend '{}'",
+                e.name,
+                e.backend
+            );
+        }
+        let t = experiments_table();
+        assert!(t.contains("| Backend |"));
+        assert!(t.contains("| norec |"));
+        assert!(t.contains("| htm |"));
     }
 }

@@ -27,7 +27,7 @@ use tm_obs::{CheckCell, CheckStatus};
 use tm_sim::{Ctx, MachineConfig, Sim};
 use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
-use tm_stm::{Stm, StmConfig};
+use tm_stm::{BackendKind, Stm, StmConfig};
 
 use crate::strategies::SetOp;
 use crate::{cell_from, kv};
@@ -433,6 +433,92 @@ pub fn run_stamp_cell(
         (Some(p), Some(s)) if p != s => {
             failures.push(format!(
                 "checksum diverged: parallel {p:#x} vs serial {s:#x}"
+            ));
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            failures.push("checksum defined for one run but not the other".into());
+        }
+        _ => {}
+    }
+    let violations = par.heap_violations + reference.heap_violations;
+    if violations > 0 {
+        failures.push(format!("{violations} heap-invariant violations"));
+    }
+    let checks = vec![
+        ("commits".into(), par.commits),
+        ("aborts".into(), par.aborts),
+        ("checksummed".into(), par.checksum.is_some() as u64),
+        ("heap_violations".into(), violations),
+    ];
+    cell_from(config, checks, failures)
+}
+
+/// Cross-backend differential cell: an N-thread run under `backend` is
+/// diffed against a fresh one-thread **ETL** reference of the same app,
+/// seed, scale and allocator through the app checksum. The final logical
+/// state is interleaving-independent, so any divergence is a correctness
+/// bug in the backend's conflict detection — NOrec's value validation and
+/// sim-HTM's cache-set tracking are held to the same linearizable outcome
+/// the ORT-based ETL produces.
+pub fn run_backend_cell(
+    backend: BackendKind,
+    kind: AppKind,
+    allocator: AllocatorKind,
+    threads: usize,
+    scale: u64,
+) -> CheckCell {
+    let config = vec![
+        kv("kind", "backend-diff"),
+        kv("backend", backend.name()),
+        kv("app", kind.name()),
+        kv("alloc", allocator.name()),
+        kv("threads", threads),
+    ];
+    let run = |backend, threads| {
+        let opts = StampOpts {
+            backend,
+            audit_heap: true,
+            ..StampOpts::default()
+        };
+        catch_unwind(AssertUnwindSafe(move || {
+            run_kind(kind, allocator, threads, &opts, scale)
+        }))
+    };
+    let par = match run(backend, threads) {
+        Ok(r) => r,
+        Err(p) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Fail,
+                detail: Some(format!(
+                    "verify failed ({} {threads} threads): {}",
+                    backend.name(),
+                    panic_message(&p)
+                )),
+                checks: vec![],
+            }
+        }
+    };
+    let reference = match run(BackendKind::Etl, 1) {
+        Ok(r) => r,
+        Err(p) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Fail,
+                detail: Some(format!(
+                    "verify failed (serial ETL reference): {}",
+                    panic_message(&p)
+                )),
+                checks: vec![],
+            }
+        }
+    };
+    let mut failures = Vec::new();
+    match (par.checksum, reference.checksum) {
+        (Some(p), Some(s)) if p != s => {
+            failures.push(format!(
+                "checksum diverged: {} {p:#x} vs serial etl {s:#x}",
+                backend.name()
             ));
         }
         (Some(_), None) | (None, Some(_)) => {

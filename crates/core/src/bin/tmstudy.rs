@@ -54,19 +54,21 @@ fn usage() {
     eprintln!(
         "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|check|book> [flags]\n\
          synth:      --structure list|hash|rbtree --alloc <a> --threads N \
-         [--update-pct P] [--shift S] [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
+         [--backend etl|norec|htm] [--update-pct P] [--shift S] [--size N] [--ops N] \
+         [--ctl] [--mix-hash] [--object-cache]\n\
          stamp:      --app <name> --alloc <a> --threads N [--scale S] \
-         [--shift S] [--ctl] [--mix-hash] [--object-cache]\n\
+         [--backend etl|norec|htm] [--shift S] [--ctl] [--mix-hash] [--object-cache]\n\
          threadtest: --alloc <a> [--size BYTES] [--threads N] [--pairs N]\n\
          profile:    --app <name> [--alloc <a>] [--scale S]\n\
          report:     <a.json> — pretty-print; <a.json> <b.json> — diff \
          (run reports or sweep matrices, by schema)\n\
          sweep:      [--workload synth|stamp|threadtest] axes as comma lists \
-         (--structure --app --alloc --threads --shift --update-pct --size --ops \
-         --pairs --scale --seeds) [--quick] [--reps N] [--name S] [--out FILE] \
+         (--structure --app --alloc --backend --threads --shift --update-pct --size \
+         --ops --pairs --scale --seeds) [--quick] [--reps N] [--name S] [--out FILE] \
          [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
          check:      correctness matrix (serial oracles, heap audit, \
-         interleaving explorer) [--quick] [--name S] [--out FILE]\n\
+         cross-backend diffs, interleaving explorer) [--quick] [--backend B] \
+         [--name S] [--out FILE]\n\
          book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
          allocators: glibc hoard tbb tc"
     );
@@ -80,8 +82,9 @@ enum AnyReport {
 }
 
 /// The schemas this binary understands, for error messages.
-const KNOWN_SCHEMAS: [&str; 3] = [
+const KNOWN_SCHEMAS: [&str; 4] = [
     tm_obs::report::SCHEMA,
+    tm_obs::report::SCHEMA_V1_1,
     tm_obs::sweep::SWEEP_SCHEMA,
     tm_obs::check::CHECK_SCHEMA,
 ];
@@ -98,9 +101,11 @@ impl AnyReport {
     fn parse(src: &str) -> Result<AnyReport, String> {
         let tree = tm_obs::json::Json::parse(src).map_err(|e| format!("not JSON: {e}"))?;
         match tree.get("schema").and_then(tm_obs::json::Json::as_str) {
-            Some(tm_obs::report::SCHEMA) => tm_obs::RunReport::from_json(&tree)
-                .map(AnyReport::Run)
-                .map_err(|e| format!("malformed run report: {e}")),
+            Some(tm_obs::report::SCHEMA | tm_obs::report::SCHEMA_V1_1) => {
+                tm_obs::RunReport::from_json(&tree)
+                    .map(AnyReport::Run)
+                    .map_err(|e| format!("malformed run report: {e}"))
+            }
             Some(tm_obs::sweep::SWEEP_SCHEMA) => tm_obs::SweepReport::from_json(&tree)
                 .map(AnyReport::Sweep)
                 .map_err(|e| format!("malformed sweep matrix: {e}")),
@@ -208,10 +213,23 @@ fn sweep(flags: &HashMap<String, String>) {
 /// document. Exit 1 when any cell fails — the gate CI and `verify.sh` use.
 fn check(flags: &HashMap<String, String>) {
     use tm_check::SynthCheckConfig;
-    use tm_check::{run_explore_cell, run_heap_cell, run_stamp_cell, run_synth_cell};
-    use tm_stm::InjectedBug;
+    use tm_check::{
+        run_backend_cell, run_explore_cell, run_heap_cell, run_stamp_cell, run_synth_cell,
+    };
+    use tm_stm::{BackendKind, InjectedBug};
 
     let quick = flags.contains_key("quick");
+    // Cross-backend differential suite: `--backend X` narrows it to one
+    // backend (unknown values exit 2 inside backend_of); by default every
+    // non-ETL backend is diffed against the serial ETL reference.
+    let diff_backends: Vec<BackendKind> = if flags.contains_key("backend") {
+        vec![backend_of(flags)]
+    } else {
+        BackendKind::ALL
+            .into_iter()
+            .filter(|b| *b != BackendKind::Etl)
+            .collect()
+    };
     let name = flags.get("name").cloned().unwrap_or_else(|| {
         if quick {
             "check-quick".into()
@@ -249,6 +267,23 @@ fn check(flags: &HashMap<String, String>) {
     for &app in &apps {
         for &alloc in &allocs {
             cells.push(run_stamp_cell(app, alloc, 4, 1));
+        }
+    }
+    eprintln!("check '{name}': cross-backend differentials…");
+    let diff_apps: &[AppKind] = if quick {
+        &[AppKind::Genome]
+    } else {
+        &[AppKind::Genome, AppKind::Intruder]
+    };
+    for &backend in &diff_backends {
+        for &app in diff_apps {
+            cells.push(run_backend_cell(
+                backend,
+                app,
+                AllocatorKind::TbbMalloc,
+                4,
+                1,
+            ));
         }
     }
     eprintln!("check '{name}': heap invariants…");
@@ -358,6 +393,16 @@ fn alloc_of(flags: &HashMap<String, String>) -> AllocatorKind {
         .unwrap_or(AllocatorKind::TbbMalloc)
 }
 
+fn backend_of(flags: &HashMap<String, String>) -> tm_stm::BackendKind {
+    match flags.get("backend") {
+        None => tm_stm::BackendKind::Etl,
+        Some(v) => tm_core::sweeps::parse_backend(v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn design_of(flags: &HashMap<String, String>) -> LockDesign {
     if flags.contains_key("ctl") {
         LockDesign::Ctl
@@ -393,6 +438,7 @@ fn synth(flags: &HashMap<String, String>) {
     cfg.update_pct = get(flags, "update-pct", 60);
     cfg.shift = get(flags, "shift", 5);
     cfg.object_cache = flags.contains_key("object-cache");
+    cfg.backend = backend_of(flags);
     cfg.design = design_of(flags);
     cfg.write_mode = write_mode_of(flags);
     cfg.ort_hash = hash_of(flags);
@@ -428,6 +474,7 @@ fn stamp(flags: &HashMap<String, String>) {
     let opts = StampOpts {
         object_cache: flags.contains_key("object-cache"),
         shift: get(flags, "shift", 5),
+        backend: backend_of(flags),
         design: design_of(flags),
         write_mode: write_mode_of(flags),
         ort_hash: hash_of(flags),

@@ -367,6 +367,49 @@ pub const ENTRIES: &[BookEntry] = &[
                  mechanism behind the spread at 60%.",
         checks: &[],
     },
+    BookEntry {
+        name: "backend_norec",
+        title: "Extension — the HashSet anomaly under NOrec",
+        expect: "The §5.2 anomaly is an ownership-table artifact, so it should not \
+                 survive a backend that has no ownership table. NOrec detects \
+                 conflicts by value validation against a single global sequence \
+                 lock: under it the abort column becomes allocator-independent — \
+                 the true bucket-conflict floor — while ETL keeps Glibc's \
+                 arena-aliasing excess.",
+        checks: &[
+            Check::RowSeq {
+                section: "data",
+                needles: &["Glibc", "0.183%", "0.054%"],
+                desc: "Glibc's ETL abort excess collapses to the NOrec floor",
+            },
+            Check::RowSeq {
+                section: "data",
+                needles: &["TBBMalloc", "0.104%", "0.062%"],
+                desc: "TBBMalloc's NOrec abort rate sits on the same floor",
+            },
+        ],
+    },
+    BookEntry {
+        name: "backend_htm",
+        title: "Extension — sim-HTM capacity cliff",
+        expect: "Best-effort HTM keeps its read/write set in the L1, so transaction \
+                 footprint is a hard resource bound (Dice et al., arXiv:1504.04640): \
+                 below 32 KB every commit is a hardware commit with zero capacity \
+                 aborts; past it every attempt faults, burns the full retry budget, \
+                 and completes only through the serial-irrevocable fallback.",
+        checks: &[
+            Check::RowSeq {
+                section: "data",
+                needles: &["448", "28", "0", "hardware"],
+                desc: "A 28 KB footprint still commits in hardware with no capacity aborts",
+            },
+            Check::RowSeq {
+                section: "data",
+                needles: &["640", "40", "32", "fallback"],
+                desc: "A 40 KB footprint exhausts the retry budget and falls back",
+            },
+        ],
+    },
 ];
 
 /// Run one check against its report; `Err` carries the deviation detail.
@@ -450,7 +493,7 @@ fn check_desc(check: &Check) -> &'static str {
     }
 }
 
-/// Load every `tm-run-report/v1` file under `dir` (skipping
+/// Load every `tm-run-report/v1` (or v1.1) file under `dir` (skipping
 /// `*.sweep.json` matrices and `*.check.json` correctness reports, which
 /// have their own schemas), sorted by file name for determinism.
 pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
@@ -472,7 +515,8 @@ pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
         // is built only from run reports, so skip anything that declares
         // a different schema rather than failing on it.
         let tree = tm_obs::json::Json::parse(&src).map_err(|e| format!("{path}: not JSON: {e}"))?;
-        if tree.get("schema").and_then(tm_obs::json::Json::as_str) != Some(tm_obs::report::SCHEMA) {
+        let schema = tree.get("schema").and_then(tm_obs::json::Json::as_str);
+        if schema != Some(tm_obs::report::SCHEMA) && schema != Some(tm_obs::report::SCHEMA_V1_1) {
             continue;
         }
         reports.push(RunReport::from_json(&tree).map_err(|e| format!("{path}: {e}"))?);
@@ -562,6 +606,9 @@ fn render_exhibit(out: &mut String, entry: Option<&BookEntry>, report: &RunRepor
     };
     out.push_str(&format!("## {title}\n\n"));
     let mut labels = vec![format!("kind: {}", report.kind)];
+    if let Some(b) = &report.backend {
+        labels.push(format!("backend: {b}"));
+    }
     labels.extend(report.meta.iter().map(|(k, v)| format!("{k}: {v}")));
     out.push_str(&format!(
         "*Source: [`results/{name}.json`](results/{name}.json) — {labels}.*\n\n",

@@ -50,6 +50,24 @@ fn alloc_of(config: &[(String, String)]) -> Result<AllocatorKind, String> {
     }
 }
 
+/// Parse one backend token with the clean-error contract: unknown values
+/// name the valid set instead of failing opaquely.
+pub fn parse_backend(v: &str) -> Result<tm_stm::BackendKind, String> {
+    tm_stm::BackendKind::parse(v).ok_or_else(|| {
+        format!(
+            "unknown backend '{v}' (valid backends: {})",
+            tm_stm::BackendKind::list()
+        )
+    })
+}
+
+fn backend_of(config: &[(String, String)]) -> Result<tm_stm::BackendKind, String> {
+    match lookup(config, "backend") {
+        None => Ok(tm_stm::BackendKind::Etl),
+        Some(v) => parse_backend(v),
+    }
+}
+
 fn structure_of(config: &[(String, String)]) -> Result<StructureKind, String> {
     match lookup(config, "structure") {
         Some("list") | Some("linked-list") => Ok(StructureKind::LinkedList),
@@ -78,6 +96,7 @@ fn synth_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String>
         alloc_of(config)?,
         parse(config, "threads", 8usize)?,
     );
+    cfg.backend = backend_of(config)?;
     cfg.update_pct = parse(config, "update-pct", cfg.update_pct)?;
     cfg.shift = parse(config, "shift", cfg.shift)?;
     cfg.seed = parse(config, "seed", cfg.seed)?;
@@ -101,6 +120,7 @@ fn stamp_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String>
         Some(v) => v.parse().map_err(|_| format!("unknown app '{v}'"))?,
     };
     let opts = StampOpts {
+        backend: backend_of(config)?,
         shift: parse(config, "shift", 5)?,
         seed: parse(config, "seed", 0xace)?,
         ..StampOpts::default()
@@ -137,6 +157,7 @@ const AXIS_FLAGS: &[&str] = &[
     "structure",
     "app",
     "alloc",
+    "backend",
     "threads",
     "shift",
     "update-pct",
@@ -166,6 +187,13 @@ pub fn spec_from_flags(flags: &HashMap<String, String>) -> Result<SweepSpec, Str
     let workload = flags.get("workload").map_or("synth", String::as_str);
     if !["synth", "stamp", "threadtest"].contains(&workload) {
         return Err(format!("unknown workload '{workload}'"));
+    }
+    // Validate backend tokens up front so a typo fails the whole sweep
+    // with a clean listing instead of producing a matrix of error cells.
+    if let Some(vals) = flags.get("backend") {
+        for v in vals.split(',').map(str::trim).filter(|v| !v.is_empty()) {
+            parse_backend(v)?;
+        }
     }
     let quick = flags.contains_key("quick");
     let name = flags.get("name").cloned().unwrap_or_else(|| {
@@ -255,6 +283,52 @@ mod tests {
             run_cell(&cfg(&[("workload", "stamp")])).is_err(),
             "app is required"
         );
+    }
+
+    #[test]
+    fn backend_axis_expands_and_rejects_typos() {
+        let mut flags = HashMap::new();
+        flags.insert("backend".to_string(), "etl,norec,htm".to_string());
+        flags.insert("alloc".to_string(), "glibc".to_string());
+        let spec = spec_from_flags(&flags).unwrap();
+        let axes: Vec<&str> = spec.axes.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(axes, ["alloc", "backend"]);
+        assert_eq!(spec.cell_count(), 3);
+
+        flags.insert("backend".to_string(), "tl2".to_string());
+        let err = spec_from_flags(&flags).unwrap_err();
+        assert!(
+            err.contains("unknown backend 'tl2'") && err.contains("etl, norec, htm"),
+            "{err}"
+        );
+        let err = run_cell(&cfg(&[("backend", "tl2")])).unwrap_err();
+        assert!(err.contains("valid backends"), "{err}");
+    }
+
+    #[test]
+    fn backend_cells_run_both_workloads() {
+        for backend in ["norec", "htm"] {
+            let metrics = run_cell(&cfg(&[
+                ("workload", "synth"),
+                ("structure", "hash"),
+                ("backend", backend),
+                ("threads", "2"),
+                ("ops", "200"),
+                ("size", "64"),
+            ]))
+            .unwrap();
+            let t = metrics.iter().find(|(k, _)| k == "throughput").unwrap().1;
+            assert!(t > 0.0, "{backend}: zero throughput");
+        }
+        let metrics = run_cell(&cfg(&[
+            ("workload", "stamp"),
+            ("app", "genome"),
+            ("backend", "norec"),
+            ("threads", "2"),
+            ("scale", "1"),
+        ]))
+        .unwrap();
+        assert!(metrics.iter().any(|(k, v)| k == "par_s" && *v > 0.0));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use tm_alloc::AllocatorKind;
 use tm_ds::{StructureKind, TxHashSet, TxList, TxRbTree, TxSet};
-use tm_stm::{LockDesign, OrtHash, StmConfig, WriteMode};
+use tm_stm::{BackendKind, LockDesign, OrtHash, StmConfig, WriteMode};
 
 use tm_sim::MachineConfig;
 
@@ -42,6 +42,8 @@ pub struct SyntheticConfig {
     pub write_mode: WriteMode,
     /// ORT hash (extension; paper uses shift-and-modulo).
     pub ort_hash: OrtHash,
+    /// TM backend (extension; paper uses TinySTM ETL).
+    pub backend: BackendKind,
     pub seed: u64,
     /// Hash-set bucket count (paper: 128 K for a 4 K set — 32× the size).
     pub buckets: u64,
@@ -76,6 +78,7 @@ impl SyntheticConfig {
             design: LockDesign::Etl,
             write_mode: WriteMode::Back,
             ort_hash: OrtHash::ShiftMod,
+            backend: BackendKind::Etl,
             seed: 0x5eed,
             buckets: (initial * 32).next_power_of_two(),
             machine: MachineConfig::xeon_e5405(),
@@ -106,6 +109,7 @@ pub fn run_synthetic(cfg: &SyntheticConfig) -> Metrics {
         cfg.machine.clone(),
         cfg.allocator,
         StmConfig {
+            backend: cfg.backend,
             shift: cfg.shift,
             object_cache: cfg.object_cache,
             design: cfg.design,

@@ -14,6 +14,12 @@ use crate::json::Json;
 /// Schema identifier written into every report.
 pub const SCHEMA: &str = "tm-run-report/v1";
 
+/// Additive v1.1 schema: identical to v1 plus a top-level `backend` field
+/// naming the TM backend that produced the run ("etl", "norec", "htm").
+/// Reports with no backend set keep emitting plain v1 so every existing
+/// artifact stays byte-identical; readers accept both.
+pub const SCHEMA_V1_1: &str = "tm-run-report/v1.1";
+
 /// One typed block of results.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Section {
@@ -236,6 +242,10 @@ pub struct RunReport {
     /// Free-form string key/values (configuration knobs, thread counts,
     /// seeds). Labels, not data: diffs compare them textually.
     pub meta: Vec<(String, String)>,
+    /// TM backend that produced the run ("etl", "norec", "htm"). `None`
+    /// emits the original v1 schema (byte-identical artifacts); `Some`
+    /// bumps the emitted schema to v1.1.
+    pub backend: Option<String>,
     /// Titled result sections, in emission order.
     pub sections: Vec<(String, Section)>,
 }
@@ -247,6 +257,7 @@ impl RunReport {
             name: name.into(),
             kind: kind.into(),
             meta: Vec::new(),
+            backend: None,
             sections: Vec::new(),
         }
     }
@@ -257,18 +268,39 @@ impl RunReport {
         self
     }
 
+    /// Set the TM backend label (builder style); switches emission to the
+    /// v1.1 schema.
+    pub fn backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = Some(backend.into());
+        self
+    }
+
     /// Append a titled section (builder style).
     pub fn section(mut self, title: impl Into<String>, section: Section) -> Self {
         self.sections.push((title.into(), section));
         self
     }
 
-    /// The JSON tree in `tm-run-report/v1` form.
+    /// The JSON tree: `tm-run-report/v1` when no backend is set (keeping
+    /// every pre-backend artifact byte-identical), v1.1 with a `backend`
+    /// field otherwise.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("schema".into(), Json::str(SCHEMA)),
+        let mut fields = vec![
+            (
+                "schema".into(),
+                Json::str(if self.backend.is_some() {
+                    SCHEMA_V1_1
+                } else {
+                    SCHEMA
+                }),
+            ),
             ("name".into(), Json::str(self.name.clone())),
             ("kind".into(), Json::str(self.kind.clone())),
+        ];
+        if let Some(b) = &self.backend {
+            fields.push(("backend".into(), Json::str(b.clone())));
+        }
+        fields.extend([
             (
                 "meta".into(),
                 Json::Obj(
@@ -293,7 +325,8 @@ impl RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     /// The on-disk form: pretty-printed JSON with a trailing newline.
@@ -301,12 +334,16 @@ impl RunReport {
         self.to_json().emit_pretty()
     }
 
-    /// Decode a `tm-run-report/v1` JSON tree.
+    /// Decode a `tm-run-report/v1` or v1.1 JSON tree (v1.1 adds the
+    /// optional `backend` field; everything else is identical).
     pub fn from_json(v: &Json) -> Result<RunReport, String> {
         let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
-        if schema != SCHEMA {
-            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        if schema != SCHEMA && schema != SCHEMA_V1_1 {
+            return Err(format!(
+                "unsupported schema '{schema}' (want '{SCHEMA}' or '{SCHEMA_V1_1}')"
+            ));
         }
+        let backend = v.get("backend").and_then(Json::as_str).map(str::to_string);
         let name = v
             .get("name")
             .and_then(Json::as_str)
@@ -350,6 +387,7 @@ impl RunReport {
             name,
             kind,
             meta,
+            backend,
             sections,
         })
     }
@@ -363,6 +401,9 @@ impl RunReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("{} ({})\n", self.name, self.kind));
+        if let Some(b) = &self.backend {
+            out.push_str(&format!("  backend = {b}\n"));
+        }
         for (k, v) in &self.meta {
             out.push_str(&format!("  {k} = {v}\n"));
         }
@@ -444,6 +485,14 @@ impl RunReport {
         }
         if self.kind != other.kind {
             out.push_str(&format!("kind: {} -> {}\n", self.kind, other.kind));
+        }
+        if self.backend != other.backend {
+            let show = |b: &Option<String>| b.clone().unwrap_or_else(|| "(none)".into());
+            out.push_str(&format!(
+                "backend: {} -> {}\n",
+                show(&self.backend),
+                show(&other.backend)
+            ));
         }
         diff_pairs(&mut out, "meta", &self.meta, &other.meta, |a, b| {
             if a != b {
@@ -573,6 +622,29 @@ mod tests {
         j = j.replace(SCHEMA, "tm-run-report/v0");
         let err = RunReport::parse(&j).unwrap_err();
         assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn backend_field_bumps_schema_to_v1_1() {
+        let plain = sample();
+        assert!(plain.to_json_string().contains("\"tm-run-report/v1\""));
+        assert!(!plain.to_json_string().contains("backend"));
+
+        let tagged = sample().backend("norec");
+        let j = tagged.to_json_string();
+        assert!(j.contains(SCHEMA_V1_1), "{j}");
+        assert!(j.contains("\"backend\": \"norec\""), "{j}");
+        let parsed = RunReport::parse(&j).unwrap();
+        assert_eq!(parsed, tagged);
+        assert_eq!(parsed.backend.as_deref(), Some("norec"));
+    }
+
+    #[test]
+    fn diff_reports_backend_change() {
+        let a = sample();
+        let b = sample().backend("htm");
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("backend: (none) -> htm"), "{d}");
     }
 
     #[test]

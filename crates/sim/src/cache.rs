@@ -9,7 +9,7 @@
 //! cycles mechanistically, which is one of the paper's key effects
 //! (TCMalloc handing adjacent 16-byte blocks to different threads, §5.2).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::config::MachineConfig;
 use crate::LINE;
@@ -251,12 +251,43 @@ struct DirEntry {
     dirty_in: Option<u8>,
 }
 
+/// Why a best-effort hardware transaction was doomed (TSX-style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HtmAbort {
+    /// A coherence action hit the transactional footprint: a remote write
+    /// touched a tracked line, or a remote read touched a write-set line.
+    Conflict,
+    /// A tracked line was evicted from the owning core's L1 — the
+    /// transactional read/write set overflowed the cache.
+    Capacity,
+}
+
+type LineSet = HashSet<u64, std::hash::BuildHasherDefault<LineHasher>>;
+
+/// Per-core hardware-transaction tracking: which lines the running
+/// transaction has touched, and whether a coherence event or eviction has
+/// already doomed it. Membership-only (iteration order never observed), so
+/// the `HashSet` stays deterministic.
+#[derive(Default)]
+struct TxTrack {
+    active: bool,
+    doomed: Option<HtmAbort>,
+    read_lines: LineSet,
+    write_lines: LineSet,
+}
+
 /// The full cache hierarchy of the simulated machine.
 pub struct Hierarchy {
     l1: Vec<TagArray>,
     l2: Vec<TagArray>,
     dir: DirMap,
     stats: Vec<CacheStats>,
+    tx: Vec<TxTrack>,
+    /// Bit per core with a live, not-yet-doomed hardware transaction. The
+    /// zero test keeps the per-access tracking hooks off the hot path for
+    /// the (default) software backends; a doom clears the core's bit so a
+    /// dead transaction stops paying for tracking too.
+    htm_active: u64,
     cfg: MachineConfig,
 }
 
@@ -267,12 +298,88 @@ impl Hierarchy {
             l2: (0..cfg.sockets()).map(|_| TagArray::new(cfg.l2)).collect(),
             dir: DirMap::default(),
             stats: vec![CacheStats::default(); cfg.cores],
+            tx: (0..cfg.cores).map(|_| TxTrack::default()).collect(),
+            htm_active: 0,
             cfg: cfg.clone(),
         }
     }
 
     pub fn stats(&self, core: usize) -> CacheStats {
         self.stats[core]
+    }
+
+    /// Start tracking a hardware transaction on `core`. Every subsequent
+    /// [`Hierarchy::access`] by that core joins the transactional footprint
+    /// until [`Hierarchy::htm_end`].
+    pub fn htm_begin(&mut self, core: usize) {
+        let t = &mut self.tx[core];
+        t.active = true;
+        t.doomed = None;
+        t.read_lines.clear();
+        t.write_lines.clear();
+        self.htm_active |= 1 << core;
+    }
+
+    /// Stop tracking on `core` and return the doom verdict, if any. Clears
+    /// all transactional state; idempotent (a second call returns `None`).
+    pub fn htm_end(&mut self, core: usize) -> Option<HtmAbort> {
+        let t = &mut self.tx[core];
+        let doom = t.doomed;
+        t.active = false;
+        t.doomed = None;
+        t.read_lines.clear();
+        t.write_lines.clear();
+        self.htm_active &= !(1 << core);
+        doom
+    }
+
+    /// Doom verdict of `core`'s running transaction without ending it.
+    pub fn htm_doomed(&self, core: usize) -> Option<HtmAbort> {
+        self.tx[core].doomed
+    }
+
+    /// Record `line` in `core`'s transactional footprint (no-op when no
+    /// transaction is active or it is already doomed).
+    #[inline]
+    fn htm_note_access(&mut self, core: usize, line: u64, write: bool) {
+        if self.htm_active & (1 << core) == 0 {
+            return;
+        }
+        let t = &mut self.tx[core];
+        if write {
+            t.write_lines.insert(line);
+        } else {
+            t.read_lines.insert(line);
+        }
+    }
+
+    /// A coherence action by another core reached `line`. A remote *write*
+    /// conflicts with both read- and write-set membership; a remote *read*
+    /// (downgrade) conflicts only with the write set.
+    #[inline]
+    fn htm_conflict(&mut self, core: usize, line: u64, remote_write: bool) {
+        if self.htm_active & (1 << core) == 0 {
+            return;
+        }
+        let t = &mut self.tx[core];
+        if t.write_lines.contains(&line) || (remote_write && t.read_lines.contains(&line)) {
+            t.doomed = Some(HtmAbort::Conflict);
+            self.htm_active &= !(1 << core);
+        }
+    }
+
+    /// `line` was evicted from `core`'s own L1; a tracked line leaving the
+    /// cache means the hardware can no longer police it — capacity abort.
+    #[inline]
+    fn htm_evict(&mut self, core: usize, line: u64) {
+        if self.htm_active & (1 << core) == 0 {
+            return;
+        }
+        let t = &mut self.tx[core];
+        if t.read_lines.contains(&line) || t.write_lines.contains(&line) {
+            t.doomed = Some(HtmAbort::Capacity);
+            self.htm_active &= !(1 << core);
+        }
     }
 
     /// Simulate one data access by `core` and return its cycle cost.
@@ -282,6 +389,7 @@ impl Hierarchy {
         let my_socket = self.cfg.socket_of(core);
         let cost_model = self.cfg.cost;
         self.stats[core].l1_accesses += 1;
+        self.htm_note_access(core, line, write);
 
         let mut cost;
         if let Some(slot) = self.l1[core].probe(line) {
@@ -331,8 +439,11 @@ impl Hierarchy {
                 e.dirty_in = Some(core as u8);
             } else {
                 // Downgrade to shared; the data also lands in our L2. The
-                // owner keeps a clean copy, so its dirty bit clears too.
+                // owner keeps a clean copy, so its dirty bit clears too. A
+                // remote read of a write-set line dooms the owner's
+                // hardware transaction.
                 self.l1[owner as usize].clear_dirty(line);
+                self.htm_conflict(owner as usize, line, false);
                 let e = self.dir.entry(line).or_default();
                 e.dirty_in = None;
                 e.sharers |= me;
@@ -367,6 +478,7 @@ impl Hierarchy {
         // state set above) and keep the directory consistent with the
         // eviction.
         if let Some((evicted, evicted_dirty)) = self.l1[core].fill(line, write) {
+            self.htm_evict(core, evicted);
             let mut write_back = false;
             if let Some(e) = self.dir.get_mut(&evicted) {
                 e.sharers &= !me;
@@ -396,8 +508,11 @@ impl Hierarchy {
 
     fn invalidate_mask(&mut self, line: u64, mask: u16, _requester: usize) {
         for c in 0..self.cfg.cores {
-            if mask & (1 << c) != 0 && self.l1[c].invalidate(line) {
-                self.stats[c].invalidations += 1;
+            if mask & (1 << c) != 0 {
+                self.htm_conflict(c, line, true);
+                if self.l1[c].invalidate(line) {
+                    self.stats[c].invalidations += 1;
+                }
             }
         }
     }
@@ -509,6 +624,63 @@ mod tests {
         let c0 = h.access(0, 0x5000, false);
         assert_eq!(c1, cfg.cost.l1_hit);
         assert_eq!(c0, cfg.cost.l1_hit);
+    }
+
+    #[test]
+    fn htm_remote_write_dooms_read_set() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        h.htm_begin(0);
+        h.access(0, 0x6000, false); // tx read
+        assert_eq!(h.htm_doomed(0), None);
+        h.access(1, 0x6000, true); // remote write invalidates
+        assert_eq!(h.htm_doomed(0), Some(HtmAbort::Conflict));
+        assert_eq!(h.htm_end(0), Some(HtmAbort::Conflict));
+        // Idempotent: tracking is gone after the first end.
+        assert_eq!(h.htm_end(0), None);
+    }
+
+    #[test]
+    fn htm_remote_read_dooms_write_set_only() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        // Read-set line read remotely: no conflict.
+        h.htm_begin(0);
+        h.access(0, 0x7000, false);
+        h.access(1, 0x7000, false);
+        assert_eq!(h.htm_doomed(0), None);
+        assert_eq!(h.htm_end(0), None);
+        // Write-set line read remotely (downgrade): conflict.
+        h.htm_begin(0);
+        h.access(0, 0x7040, true);
+        h.access(1, 0x7040, false);
+        assert_eq!(h.htm_end(0), Some(HtmAbort::Conflict));
+    }
+
+    #[test]
+    fn htm_l1_eviction_is_capacity_abort() {
+        let cfg = machine(); // tiny L1: 1 KiB, 2-way => holds 16 lines
+        let mut h = Hierarchy::new(&cfg);
+        h.htm_begin(0);
+        // Touch far more lines than the L1 holds; some tracked line must
+        // fall out of the cache.
+        for i in 0..64u64 {
+            h.access(0, i * 64, false);
+        }
+        assert_eq!(h.htm_end(0), Some(HtmAbort::Capacity));
+    }
+
+    #[test]
+    fn htm_untracked_cores_unaffected() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        h.htm_begin(0);
+        h.access(0, 0x8000, false);
+        // Core 1 has no transaction: invalidating its copies dooms nothing.
+        h.access(1, 0x8040, false);
+        h.access(2, 0x8040, true);
+        assert_eq!(h.htm_doomed(1), None);
+        assert_eq!(h.htm_doomed(0), None);
     }
 
     #[test]

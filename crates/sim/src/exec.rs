@@ -644,6 +644,78 @@ impl Ctx<'_> {
         })
     }
 
+    /// Start a best-effort hardware transaction on this core: subsequent
+    /// [`Ctx::htm_read_u64`] / [`Ctx::htm_write_mark`] accesses join the
+    /// transactional footprint tracked by the cache model, and coherence
+    /// invalidations or L1 evictions of tracked lines doom the transaction.
+    pub fn htm_begin(&mut self) {
+        self.event(|m, tid| (0, m.caches.htm_begin(tid)))
+    }
+
+    /// End hardware tracking without committing and return the doom
+    /// verdict, if any. Idempotent: calling with no transaction active
+    /// returns `None`.
+    pub fn htm_abort(&mut self) -> Option<crate::HtmAbort> {
+        self.event(|m, tid| (0, m.caches.htm_end(tid)))
+    }
+
+    /// Transactional read: charge the access, add the line to the hardware
+    /// read set, and return the current memory value. Fails if the
+    /// transaction is already doomed or this access itself overflows the L1
+    /// (the value cannot be trusted once tracking is lost).
+    pub fn htm_read_u64(&mut self, addr: u64) -> Result<u64, crate::HtmAbort> {
+        self.event(|m, tid| {
+            if let Some(doom) = m.caches.htm_doomed(tid) {
+                return (0, Err(doom));
+            }
+            let cost = m.caches.access(tid, addr, false);
+            match m.caches.htm_doomed(tid) {
+                Some(doom) => (cost, Err(doom)),
+                None => (cost, Ok(m.mem.read(addr))),
+            }
+        })
+    }
+
+    /// Transactional write *marking*: charge a write access and add the
+    /// line to the hardware write set, but do not change memory — buffered
+    /// transactional stores stay invisible until [`Ctx::htm_commit`]
+    /// applies them (the cache model is tags-only, so "invisible" is
+    /// simply "not yet written to the central memory").
+    pub fn htm_write_mark(&mut self, addr: u64) -> Result<(), crate::HtmAbort> {
+        self.event(|m, tid| {
+            if let Some(doom) = m.caches.htm_doomed(tid) {
+                return (0, Err(doom));
+            }
+            let cost = m.caches.access(tid, addr, true);
+            match m.caches.htm_doomed(tid) {
+                Some(doom) => (cost, Err(doom)),
+                None => (cost, Ok(())),
+            }
+        })
+    }
+
+    /// Atomically commit a hardware transaction: in one scheduling slot,
+    /// check the doom verdict and — if clear — apply every buffered write
+    /// to memory and end tracking. The single-event application is the
+    /// model's analogue of the cache making all transactional stores
+    /// visible at once at commit. Ends tracking in both outcomes.
+    pub fn htm_commit(&mut self, writes: &[(u64, u64)]) -> Result<(), crate::HtmAbort> {
+        for &(addr, val) in writes {
+            check_watch(addr, val, "htm-commit");
+        }
+        self.event(|m, tid| {
+            if let Some(doom) = m.caches.htm_end(tid) {
+                return (0, Err(doom));
+            }
+            let mut cost = 0;
+            for &(addr, val) in writes {
+                cost += m.caches.access(tid, addr, true);
+                m.mem.write(addr, val);
+            }
+            (cost, Ok(()))
+        })
+    }
+
     /// Atomic fetch-add on the word at `addr`; returns the previous value.
     pub fn fetch_add_u64(&mut self, addr: u64, delta: u64) -> u64 {
         self.event(|m, tid| {

@@ -44,7 +44,7 @@ mod machine;
 mod memory;
 mod report;
 
-pub use cache::{CacheConfig, CacheStats};
+pub use cache::{CacheConfig, CacheStats, HtmAbort};
 pub use config::{CostModel, MachineConfig};
 pub use exec::{Ctx, Sim};
 pub use machine::{LockStats, SimMutex};

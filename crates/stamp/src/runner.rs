@@ -7,7 +7,7 @@ use std::sync::Arc;
 use tm_alloc::profile::{AllocProfiler, Region, RegionStats};
 use tm_alloc::{Allocator, AllocatorKind};
 use tm_sim::{MachineConfig, Sim};
-use tm_stm::{LockDesign, OrtHash, Stm, StmConfig, WriteMode};
+use tm_stm::{BackendKind, LockDesign, OrtHash, Stm, StmConfig, WriteMode};
 
 use crate::{AppKind, StampApp};
 
@@ -24,6 +24,8 @@ pub struct StampOpts {
     pub write_mode: WriteMode,
     /// ORT hash (extension; the paper uses shift-and-modulo).
     pub ort_hash: OrtHash,
+    /// TM backend (extension; the paper uses TinySTM ETL).
+    pub backend: BackendKind,
     pub seed: u64,
     /// Wrap the allocator in a [`tm_alloc::HeapAuditor`]; violations are
     /// reported in [`StampResult::heap_violations`]. Adds host-side
@@ -39,6 +41,7 @@ impl Default for StampOpts {
             design: LockDesign::Etl,
             write_mode: WriteMode::Back,
             ort_hash: OrtHash::ShiftMod,
+            backend: BackendKind::Etl,
             seed: 0xace,
             audit_heap: false,
         }
@@ -123,6 +126,7 @@ pub fn run_app(
         &sim,
         alloc,
         StmConfig {
+            backend: opts.backend,
             shift: opts.shift,
             object_cache: opts.object_cache,
             design: opts.design,
@@ -245,6 +249,34 @@ mod tests {
         assert_eq!(a.par_seconds, b.par_seconds);
         assert_eq!(a.commits, b.commits);
         assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn backends_agree_on_genome_checksum() {
+        // The final logical state is interleaving-independent, so every
+        // backend — whatever its conflict-detection mechanism — must land
+        // on the same checksum as a serial ETL run.
+        let reference = run_kind(
+            AppKind::Genome,
+            AllocatorKind::TbbMalloc,
+            1,
+            &StampOpts::default(),
+            1,
+        );
+        for backend in BackendKind::ALL {
+            let opts = StampOpts {
+                backend,
+                ..StampOpts::default()
+            };
+            let r = run_kind(AppKind::Genome, AllocatorKind::TbbMalloc, 4, &opts, 1);
+            assert_eq!(
+                r.checksum,
+                reference.checksum,
+                "backend {} diverged from the serial ETL reference",
+                backend.name()
+            );
+            assert!(r.commits > 0);
+        }
     }
 
     #[test]

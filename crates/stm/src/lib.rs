@@ -55,10 +55,12 @@
 #![deny(missing_docs)]
 
 pub mod alloc;
+mod backend;
 mod stats;
 mod table;
 mod tx;
 
+pub use backend::BackendKind;
 pub use stats::{AbortCause, StmStats};
 pub use tx::{Abort, Tx, TxThread};
 
@@ -127,10 +129,14 @@ pub enum InjectedBug {
     SkipReadValidation,
 }
 
-/// STM configuration knobs exercised by the paper (plus the two design
-/// extensions: lock acquisition time and ORT hashing).
+/// STM configuration knobs exercised by the paper (plus the design
+/// extensions: backend, lock acquisition time and ORT hashing).
 #[derive(Clone, Debug)]
 pub struct StmConfig {
+    /// Concurrency-control backend (default: the paper's ownership-table
+    /// ETL design). The `shift`/`ort_bits`/`design`/`write_mode`/
+    /// `ort_hash` knobs below only affect [`BackendKind::Etl`].
+    pub backend: BackendKind,
     /// Stripe shift: `2^shift` consecutive bytes map to one versioned lock.
     /// The paper's default is 5 (32-byte stripes); Fig. 6 sweeps 4.
     pub shift: u32,
@@ -153,6 +159,7 @@ pub struct StmConfig {
 impl Default for StmConfig {
     fn default() -> Self {
         StmConfig {
+            backend: BackendKind::Etl,
             shift: 5,
             ort_bits: 20,
             object_cache: false,
@@ -167,6 +174,10 @@ impl Default for StmConfig {
 /// The STM instance: ORT, global clock, allocator binding and statistics.
 pub struct Stm {
     pub(crate) cfg: StmConfig,
+    /// The concurrency-control backend (resolved once from
+    /// `cfg.backend`; dispatch is one host-side vtable hop, far below the
+    /// cost of a simulated cache access).
+    pub(crate) backend: &'static dyn backend::TmBackend,
     /// Base simulated address of the ORT (entries are 8-byte words).
     pub(crate) ort_base: u64,
     pub(crate) ort_mask: u64,
@@ -208,6 +219,14 @@ impl Stm {
             !(cfg.write_mode == WriteMode::Through && cfg.design == LockDesign::Ctl),
             "write-through requires encounter-time locking"
         );
+        if cfg.backend != BackendKind::Etl {
+            assert!(
+                cfg.design == LockDesign::Etl
+                    && cfg.write_mode == WriteMode::Back
+                    && cfg.bug == InjectedBug::None,
+                "the design/write-mode/bug knobs apply to the ETL backend only"
+            );
+        }
         let entries = 1u64 << cfg.ort_bits;
         let cores = sim.config().cores;
         let (ort_base, clock_addr, active_base) = sim.with_state(|m| {
@@ -219,6 +238,7 @@ impl Stm {
             (ort, clock, active)
         });
         Stm {
+            backend: cfg.backend.backend(),
             cfg,
             ort_base,
             ort_mask: entries - 1,
@@ -326,27 +346,29 @@ impl Stm {
     ) -> R {
         th.retries = 0;
         loop {
-            th.begin(self, ctx);
+            backend::begin(self, th, ctx);
             ctx.trace_event(tm_sim::EventKind::TxBegin, th.retries as u64, 0);
             let mut tx = Tx::new(self, th);
             match body(&mut tx, ctx) {
                 Ok(r) => {
                     if tx.commit(ctx) {
-                        th.clear_active(self, ctx);
                         let (reads, writes) = th.footprint();
                         ctx.trace_event(tm_sim::EventKind::TxCommit, reads, writes);
                         return r;
                     }
                     // Commit-time validation failed; roll back and retry.
-                    th.rollback(self, ctx, AbortCause::Validation);
+                    // Backends that can attribute the failure more
+                    // precisely (sim-HTM's capacity/coherence dooms)
+                    // refine the recorded cause in their rollback hook.
+                    backend::rollback(self, th, ctx, AbortCause::Validation);
                     ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Validation as u64, 0);
                 }
                 Err(Abort::Conflict(cause)) => {
-                    th.rollback(self, ctx, cause);
+                    backend::rollback(self, th, ctx, cause);
                     ctx.trace_event(tm_sim::EventKind::TxAbort, cause as u64, 0);
                 }
                 Err(Abort::Explicit) => {
-                    th.rollback(self, ctx, AbortCause::Explicit);
+                    backend::rollback(self, th, ctx, AbortCause::Explicit);
                     // Explicit retry: re-run (the workload asked for it).
                     ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Explicit as u64, 0);
                 }

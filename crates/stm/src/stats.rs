@@ -14,11 +14,18 @@ pub enum AbortCause {
     ReadRace = 3,
     /// The workload requested a restart.
     Explicit = 4,
+    /// Sim-HTM only: a transactional line was evicted from the L1 (the
+    /// hardware read/write set overflowed the cache).
+    Capacity = 5,
+    /// Sim-HTM only: a coherence invalidation (or remote read of a
+    /// write-set line) hit a transactional line — the hardware analogue of
+    /// a read/write conflict.
+    Coherence = 6,
 }
 
 impl AbortCause {
     /// Number of variants (sizes the `by_cause` array).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Stable lower-case label for reports.
     pub fn name(self) -> &'static str {
@@ -28,8 +35,21 @@ impl AbortCause {
             AbortCause::Validation => "validation",
             AbortCause::ReadRace => "read-race",
             AbortCause::Explicit => "explicit",
+            AbortCause::Capacity => "capacity",
+            AbortCause::Coherence => "coherence-conflict",
         }
     }
+
+    /// All variants, in slot order (report renderers iterate this).
+    pub const ALL: [AbortCause; AbortCause::COUNT] = [
+        AbortCause::ReadLocked,
+        AbortCause::WriteLocked,
+        AbortCause::Validation,
+        AbortCause::ReadRace,
+        AbortCause::Explicit,
+        AbortCause::Capacity,
+        AbortCause::Coherence,
+    ];
 }
 
 /// Per-thread (and merged global) transaction statistics.
@@ -110,6 +130,8 @@ impl tm_obs::SlotSchema for StmStats {
             "abort_validation",
             "abort_read_race",
             "abort_explicit",
+            "abort_capacity",
+            "abort_coherence",
             "extensions",
             "reads",
             "writes",
@@ -122,12 +144,12 @@ impl tm_obs::SlotSchema for StmStats {
     fn store(&self, slots: &mut [u64]) {
         slots[0] = self.commits;
         slots[1..1 + AbortCause::COUNT].copy_from_slice(&self.by_cause);
-        slots[6] = self.extensions;
-        slots[7] = self.reads;
-        slots[8] = self.writes;
-        slots[9] = self.cache_hits;
-        slots[10] = self.tx_mallocs;
-        slots[11] = self.tx_frees;
+        slots[8] = self.extensions;
+        slots[9] = self.reads;
+        slots[10] = self.writes;
+        slots[11] = self.cache_hits;
+        slots[12] = self.tx_mallocs;
+        slots[13] = self.tx_frees;
     }
 
     fn load(slots: &[u64]) -> Self {
@@ -136,12 +158,12 @@ impl tm_obs::SlotSchema for StmStats {
         StmStats {
             commits: slots[0],
             by_cause,
-            extensions: slots[6],
-            reads: slots[7],
-            writes: slots[8],
-            cache_hits: slots[9],
-            tx_mallocs: slots[10],
-            tx_frees: slots[11],
+            extensions: slots[8],
+            reads: slots[9],
+            writes: slots[10],
+            cache_hits: slots[11],
+            tx_mallocs: slots[12],
+            tx_frees: slots[13],
         }
     }
 }

@@ -1,15 +1,15 @@
-//! Transaction descriptors and the ETL write-back protocol.
-//!
-//! Versioned-lock word encoding (one 64-bit word per ORT entry):
-//! * bit 0 set — locked; bits 63..1 hold the owner's thread id;
-//! * bit 0 clear — free; bits 63..1 hold the stripe's commit timestamp.
+//! Transaction descriptors: the per-thread state shared by every
+//! [`TmBackend`](crate::backend::TmBackend) (read/write sets, redo/undo
+//! logs, transactional malloc/free buffers, limbo-based reclamation and
+//! statistics), plus the [`Tx`] handle workloads program against. The
+//! concurrency-control protocol itself lives in [`crate::backend`].
 
-use tm_sim::Ctx;
+use tm_sim::{Ctx, HtmAbort};
 
 use crate::alloc::ObjectCache;
 use crate::stats::{AbortCause, StmStats};
 use crate::table::GenTable;
-use crate::{LockDesign, Stm, WriteMode};
+use crate::Stm;
 
 /// Why control left the transaction body early.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,47 +20,31 @@ pub enum Abort {
     Explicit,
 }
 
-#[inline]
-fn locked_word(tid: usize) -> u64 {
-    ((tid as u64) << 1) | 1
-}
-
-#[inline]
-fn is_locked(word: u64) -> bool {
-    word & 1 == 1
-}
-
-#[inline]
-fn owner_of(word: u64) -> u64 {
-    word >> 1
-}
-
-#[inline]
-fn version_of(word: u64) -> u64 {
-    word >> 1
-}
-
 /// Per-worker transaction state, reused across transactions (TinySTM's
 /// thread descriptor). Create with [`Stm::thread`], hand back with
 /// [`Stm::retire`] so its statistics are counted.
 pub struct TxThread {
     /// Worker index, used as the shard id for per-thread statistics.
     pub tid: usize,
-    /// Snapshot timestamp (read version).
-    rv: u64,
-    read_set: Vec<(u64, u64)>,
-    write_entries: Vec<(u64, u64)>,
+    /// Snapshot timestamp. ETL: read version from the global clock.
+    /// NOrec: last validated (even) sequence number. Sim-HTM: fallback
+    /// lock value observed at begin.
+    pub(crate) rv: u64,
+    /// Read log. ETL: (lock address, version) pairs. NOrec: (address,
+    /// value) pairs. Sim-HTM: unused (the cache model is the read set).
+    pub(crate) read_set: Vec<(u64, u64)>,
+    pub(crate) write_entries: Vec<(u64, u64)>,
     /// Write-set index: addr → position in `write_entries`. Generation
     /// stamped, so `begin` clears it in O(1).
-    wmap: GenTable,
-    locks_held: Vec<(u64, u64)>,
+    pub(crate) wmap: GenTable,
+    pub(crate) locks_held: Vec<(u64, u64)>,
     /// Stripe locks owned by the current transaction (set-style GenTable).
-    lockset: GenTable,
+    pub(crate) lockset: GenTable,
     /// Write-through undo log: (addr, pre-image), restored in reverse on
     /// abort.
-    undo: Vec<(u64, u64)>,
-    tx_allocs: Vec<(u64, u64)>,
-    tx_frees: Vec<u64>,
+    pub(crate) undo: Vec<(u64, u64)>,
+    pub(crate) tx_allocs: Vec<(u64, u64)>,
+    pub(crate) tx_frees: Vec<u64>,
     /// Blocks freed by committed transactions, awaiting quiescence:
     /// (free timestamp, addr, size if known).
     limbo: Vec<(u64, u64, Option<u64>)>,
@@ -71,6 +55,13 @@ pub struct TxThread {
     pub(crate) backoff_state: u64,
     /// Consecutive aborts of the current transaction.
     pub(crate) retries: u32,
+    /// Sim-HTM: first doom notice observed for the current attempt
+    /// (host-side mirror of the cache model's flag, so already-doomed
+    /// attempts stop without further simulated events).
+    pub(crate) htm_doom: Option<HtmAbort>,
+    /// Sim-HTM: this attempt runs under the serial-irrevocable fallback
+    /// lock.
+    pub(crate) htm_irrevocable: bool,
     pub(crate) stats: StmStats,
     pub(crate) cache: Option<ObjectCache>,
 }
@@ -92,6 +83,8 @@ impl TxThread {
             limbo_scratch: Vec::new(),
             backoff_state: 0x9e3779b97f4a7c15 ^ (tid as u64 + 1),
             retries: 0,
+            htm_doom: None,
+            htm_irrevocable: false,
             stats: StmStats::default(),
             cache: object_cache.then(ObjectCache::default),
         }
@@ -108,7 +101,9 @@ impl TxThread {
         (self.read_set.len() as u64, self.write_entries.len() as u64)
     }
 
-    pub(crate) fn begin(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
+    /// Clear every per-attempt set (the backend-independent half of
+    /// `begin`; the backend then takes its snapshot).
+    pub(crate) fn reset(&mut self, ctx: &mut Ctx<'_>) {
         self.read_set.clear();
         self.write_entries.clear();
         self.wmap.clear();
@@ -117,22 +112,15 @@ impl TxThread {
         self.undo.clear();
         self.tx_allocs.clear();
         self.tx_frees.clear();
+        self.htm_doom = None;
         ctx.tick(20); // descriptor setup
-                      // Publish a (conservative) snapshot *before* taking the real one:
-                      // a reclamation scan that misses the publication can then only
-                      // free blocks whose unlink already predates the second clock read,
-                      // so no reachable block is ever recycled under our feet.
-        let announce = ctx.read_u64(stm.clock_addr);
-        ctx.write_u64(stm.active_addr(self.tid), announce + 1);
-        self.rv = ctx.read_u64(stm.clock_addr);
-        self.drain_limbo(stm, ctx);
     }
 
     /// Hand limbo blocks whose free predates every in-flight snapshot to
     /// the object cache (when enabled) or the allocator — TinySTM's
     /// epoch-based reclamation. Doomed readers can therefore never observe
     /// allocator metadata or re-initialized fields in recycled blocks.
-    fn drain_limbo(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
+    pub(crate) fn drain_limbo(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
         // Scanning every thread's snapshot costs a few reads; only bother
         // once a handful of blocks are waiting (as TinySTM's epoch GC
         // batches too).
@@ -140,6 +128,20 @@ impl TxThread {
             return;
         }
         let safe = stm.safe_timestamp(ctx).min(self.rv);
+        self.drain_limbo_below(stm, ctx, safe);
+    }
+
+    /// Sim-HTM reclamation: hardware transactions publish no epoch
+    /// snapshot (any write to a tracked line dooms the reader before it
+    /// can act on recycled memory), so every pending block is freed.
+    pub(crate) fn drain_limbo_all(&mut self, stm: &Stm, ctx: &mut Ctx<'_>) {
+        if self.limbo.len() < 8 {
+            return;
+        }
+        self.drain_limbo_below(stm, ctx, u64::MAX);
+    }
+
+    fn drain_limbo_below(&mut self, stm: &Stm, ctx: &mut Ctx<'_>, safe: u64) {
         let mut keep = std::mem::take(&mut self.limbo_scratch);
         keep.clear();
         let mut entries = std::mem::take(&mut self.limbo);
@@ -183,9 +185,10 @@ impl TxThread {
         ctx.write_u64(stm.active_addr(self.tid), 0);
     }
 
-    /// Release owned versioned locks (restoring pre-lock versions), undo
-    /// transactional allocations, forget deferred frees.
-    pub(crate) fn rollback(&mut self, stm: &Stm, ctx: &mut Ctx<'_>, cause: AbortCause) {
+    /// Backend-independent rollback: release owned versioned locks
+    /// (restoring pre-lock versions), restore write-through pre-images,
+    /// undo transactional allocations, forget deferred frees.
+    pub(crate) fn rollback_common(&mut self, stm: &Stm, ctx: &mut Ctx<'_>, cause: AbortCause) {
         // Write-through: restore pre-images (reverse order so the first
         // write's pre-image wins) before the locks are released.
         while let Some((addr, old)) = self.undo.pop() {
@@ -211,6 +214,22 @@ impl TxThread {
         ctx.tick(15);
     }
 
+    /// Commit-time memory management: deferred frees enter the limbo list
+    /// stamped with the commit timestamp (they reach the allocator or the
+    /// object cache after quiescence); allocations become permanent.
+    pub(crate) fn finalize_memory(&mut self, stm: &Stm, ts: u64) {
+        let frees = std::mem::take(&mut self.tx_frees);
+        for addr in frees {
+            let size = if self.cache.is_some() {
+                stm.sizes.get(addr)
+            } else {
+                None
+            };
+            self.limbo.push((ts, addr, size));
+        }
+        self.tx_allocs.clear();
+    }
+
     /// Move any remaining limbo blocks to the STM's global pool (freed by
     /// [`Stm::quiesce`] once the run is over).
     pub(crate) fn surrender_limbo(&mut self, stm: &Stm) {
@@ -219,7 +238,9 @@ impl TxThread {
 }
 
 /// Handle passed to transaction bodies; all transactional reads, writes and
-/// memory management go through it.
+/// memory management go through it. Reads and writes dispatch to the
+/// configured [`BackendKind`](crate::BackendKind); allocation is
+/// backend-independent.
 pub struct Tx<'a> {
     stm: &'a Stm,
     th: &'a mut TxThread,
@@ -230,135 +251,15 @@ impl<'a> Tx<'a> {
         Tx { stm, th }
     }
 
-    /// Validate the read set against the current lock words. Locks owned by
-    /// this transaction validate trivially.
-    fn validate(&mut self, ctx: &mut Ctx<'_>) -> bool {
-        for i in 0..self.th.read_set.len() {
-            let (la, ver) = self.th.read_set[i];
-            let l = ctx.read_u64(la);
-            if is_locked(l) {
-                if !self.th.lockset.contains(la) {
-                    return false;
-                }
-            } else if version_of(l) != ver {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Timestamp extension: re-validate and move the snapshot forward.
-    fn extend(&mut self, ctx: &mut Ctx<'_>) -> Result<(), Abort> {
-        let now = ctx.read_u64(self.stm.clock_addr);
-        if self.validate(ctx) {
-            self.th.rv = now;
-            self.th.stats.extensions += 1;
-            Ok(())
-        } else {
-            Err(Abort::Conflict(AbortCause::Validation))
-        }
-    }
-
     /// Transactional read of the aligned word at `addr`.
     pub fn read(&mut self, ctx: &mut Ctx<'_>, addr: u64) -> Result<u64, Abort> {
-        self.th.stats.reads += 1;
-        ctx.tick(4);
-        if let Some(i) = self.th.wmap.get(addr) {
-            return Ok(self.th.write_entries[i as usize].1); // read-own-write
-        }
-        let la = self.stm.lock_addr_for(addr);
-        let l = ctx.read_u64(la);
-        if is_locked(l) {
-            if owner_of(l) == self.th.tid as u64 {
-                // We own the stripe (wrote a *different* word in it); the
-                // word itself is unmodified in memory (write-back).
-                return Ok(ctx.read_u64(addr));
-            }
-            return Err(Abort::Conflict(AbortCause::ReadLocked));
-        }
-        let (v, l2) = ctx.read_u64_pair(addr, la);
-        if l2 != l {
-            return Err(Abort::Conflict(AbortCause::ReadRace));
-        }
-        let ver = version_of(l);
-        if ver > self.th.rv && self.stm.cfg.bug != crate::InjectedBug::SkipReadValidation {
-            self.extend(ctx)?;
-        }
-        self.th.read_set.push((la, ver));
-        Ok(v)
+        crate::backend::read(self.stm, self.th, ctx, addr)
     }
 
     /// Transactional write of the aligned word at `addr` (value buffered
-    /// until commit). Under ETL the stripe lock is acquired here; under CTL
-    /// acquisition waits for commit.
+    /// until commit under write-back designs).
     pub fn write(&mut self, ctx: &mut Ctx<'_>, addr: u64, val: u64) -> Result<(), Abort> {
-        self.th.stats.writes += 1;
-        ctx.tick(4);
-        if let Some(i) = self.th.wmap.get(addr) {
-            self.th.write_entries[i as usize].1 = val;
-            return Ok(());
-        }
-        if self.stm.cfg.design == LockDesign::Etl {
-            let la = self.stm.lock_addr_for(addr);
-            if !self.th.lockset.contains(la) {
-                let l = ctx.read_u64(la);
-                if is_locked(l) {
-                    // Cannot be us: our locks are all in `lockset`.
-                    return Err(Abort::Conflict(AbortCause::WriteLocked));
-                }
-                // The stripe may have been committed to after our snapshot —
-                // possibly by a transaction that invalidated something we
-                // already read. Extend (re-validating the read set) before
-                // taking ownership, or this transaction could commit stale
-                // reads and lose updates.
-                if version_of(l) > self.th.rv
-                    && self.stm.cfg.bug != crate::InjectedBug::SkipWriteValidation
-                {
-                    self.extend(ctx)?;
-                }
-                if ctx.cas_u64(la, l, locked_word(self.th.tid)).is_err() {
-                    return Err(Abort::Conflict(AbortCause::WriteLocked));
-                }
-                self.th.locks_held.push((la, version_of(l)));
-                self.th.lockset.insert(la, 0);
-            }
-            if self.stm.cfg.write_mode == WriteMode::Through {
-                // Write-through: memory is updated in place under the
-                // stripe lock; the pre-image goes to the undo log.
-                let old = ctx.read_u64(addr);
-                self.th.undo.push((addr, old));
-                ctx.write_u64(addr, val);
-                return Ok(());
-            }
-        }
-        self.th
-            .wmap
-            .insert(addr, self.th.write_entries.len() as u32);
-        self.th.write_entries.push((addr, val));
-        Ok(())
-    }
-
-    /// CTL commit prelude: acquire every write-set stripe lock in one
-    /// burst (TL2-style). Returns false (caller aborts) if any stripe is
-    /// locked or was committed to after an unextendable snapshot.
-    fn acquire_write_locks(&mut self, ctx: &mut Ctx<'_>) -> bool {
-        for i in 0..self.th.write_entries.len() {
-            let (addr, _) = self.th.write_entries[i];
-            let la = self.stm.lock_addr_for(addr);
-            if self.th.lockset.contains(la) {
-                continue;
-            }
-            let l = ctx.read_u64(la);
-            if is_locked(l)
-                || version_of(l) > self.th.rv
-                || ctx.cas_u64(la, l, locked_word(self.th.tid)).is_err()
-            {
-                return false;
-            }
-            self.th.locks_held.push((la, version_of(l)));
-            self.th.lockset.insert(la, 0);
-        }
-        true
+        crate::backend::write(self.stm, self.th, ctx, addr, val)
     }
 
     /// Read-modify-write helper.
@@ -405,75 +306,6 @@ impl<'a> Tx<'a> {
     /// Attempt to commit; returns false when commit-time validation fails
     /// (the caller rolls back and retries).
     pub(crate) fn commit(&mut self, ctx: &mut Ctx<'_>) -> bool {
-        ctx.tick(12);
-        if self.stm.cfg.design == LockDesign::Ctl
-            && !self.th.write_entries.is_empty()
-            && !self.acquire_write_locks(ctx)
-        {
-            return false;
-        }
-        if self.th.locks_held.is_empty() {
-            debug_assert!(self.th.undo.is_empty());
-            // Read-only (or empty) transaction: the snapshot was consistent
-            // throughout; commit without touching the clock.
-            let ts = if self.th.tx_frees.is_empty() {
-                0
-            } else {
-                ctx.read_u64(self.stm.clock_addr)
-            };
-            self.finalize_memory(ts);
-            self.th.stats.commits += 1;
-            return true;
-        }
-        let wv = ctx.fetch_add_u64(self.stm.clock_addr, 1) + 1;
-        if self.th.rv + 1 != wv && !self.validate(ctx) {
-            return false;
-        }
-        // Write back the redo log (a no-op under write-through, where
-        // memory already holds the new values), then release locks with
-        // the new version.
-        for i in 0..self.th.write_entries.len() {
-            let (addr, val) = self.th.write_entries[i];
-            ctx.write_u64(addr, val);
-        }
-        self.th.undo.clear();
-        for i in 0..self.th.locks_held.len() {
-            let (la, _) = self.th.locks_held[i];
-            ctx.write_u64(la, wv << 1);
-        }
-        self.finalize_memory(wv);
-        self.th.stats.commits += 1;
-        true
-    }
-
-    /// Commit-time memory management: deferred frees enter the limbo list
-    /// stamped with the commit timestamp (they reach the allocator or the
-    /// object cache after quiescence); allocations become permanent.
-    fn finalize_memory(&mut self, ts: u64) {
-        let frees = std::mem::take(&mut self.th.tx_frees);
-        for addr in frees {
-            let size = if self.th.cache.is_some() {
-                self.stm.sizes.get(addr)
-            } else {
-                None
-            };
-            self.th.limbo.push((ts, addr, size));
-        }
-        self.th.tx_allocs.clear();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lock_word_encoding() {
-        assert!(is_locked(locked_word(3)));
-        assert_eq!(owner_of(locked_word(3)), 3);
-        assert!(!is_locked(7 << 1));
-        assert_eq!(version_of(7 << 1), 7);
-        assert_eq!(version_of(0), 0);
-        assert!(!is_locked(0));
+        crate::backend::commit(self.stm, self.th, ctx)
     }
 }

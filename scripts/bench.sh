@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Tracked perf baseline: time the synthetic sweep matrix and the exhibit
 # regeneration, and merge the numbers with the frozen pre-overhaul baseline
-# (results/bench_before_pr4.json) into results/BENCH_pr4.json.
+# (results/bench_before_pr6.json) into results/BENCH_pr6.json.
 #
 # Usage: scripts/bench.sh [--quick] [--out FILE]
 #   --quick    skip the full exhibit regeneration; time only the sweep
 #              matrix (the CI perf-smoke mode — seconds, not minutes)
-#   --out FILE destination (default results/BENCH_pr4.json)
+#   --out FILE destination (default results/BENCH_pr6.json)
 #
 # Wall times are host-specific: the before/after comparison is only
 # meaningful on one machine, and the committed before-file records the host
@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 CARGO="cargo --offline"
 
 quick=0
-out="results/BENCH_pr4.json"
+out="results/BENCH_pr6.json"
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -59,7 +59,7 @@ import json, platform, sys
 sweep_path, timings_path, out_path = sys.argv[1:4]
 sweep = json.load(open(sweep_path))
 timings = json.load(open(timings_path))
-before = json.load(open('results/bench_before_pr4.json'))
+before = json.load(open('results/bench_before_pr6.json'))
 
 after = {
     'side': 'after',

@@ -44,4 +44,19 @@ else
   $CARGO run -p tm-core --bin tmstudy -- check --quick
 fi
 
+# The non-default backend must keep sweeping end-to-end (trait dispatch,
+# CLI plumbing, report emission), not just pass unit tests.
+echo "==> tmstudy sweep --quick --backend norec (backend smoke)"
+backend_out="$(mktemp)"
+if [ "$quick" -eq 0 ]; then
+  $CARGO run --release -p tm-core --bin tmstudy -- sweep --quick \
+    --backend norec --workers 1 --name verify-norec --out "$backend_out" \
+    >/dev/null
+else
+  $CARGO run -p tm-core --bin tmstudy -- sweep --quick \
+    --backend norec --workers 1 --name verify-norec --out "$backend_out" \
+    >/dev/null
+fi
+rm -f "$backend_out"
+
 echo "verify: all gates passed"

@@ -20,18 +20,30 @@ use tm_core::synthetic::{run_synthetic, SyntheticConfig};
 use tm_ds::StructureKind;
 use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
+use tm_stm::BackendKind;
 
 /// One synthetic run, small enough for debug-build CI, rendered as the
-/// canonical run-report JSON.
-fn synth_json(threads: usize) -> String {
+/// canonical run-report JSON. The ETL default keeps the historical golden
+/// name (and the v1 schema); the other backends get their own goldens
+/// with a backend-tagged name and the v1.1 schema.
+fn synth_backend_json(backend: BackendKind, threads: usize) -> String {
     let mut cfg =
         SyntheticConfig::scaled(StructureKind::HashSet, AllocatorKind::TbbMalloc, threads);
     cfg.initial_size = 64;
     cfg.key_range = 128;
     cfg.ops_per_thread = 200;
     cfg.buckets = 1 << 11;
+    cfg.backend = backend;
     let m = run_synthetic(&cfg);
-    tm_obs::RunReport::new(format!("determinism_synth_t{threads}"), "determinism")
+    let name = match backend {
+        BackendKind::Etl => format!("determinism_synth_t{threads}"),
+        other => format!("determinism_synth_{}_t{threads}", other.name()),
+    };
+    let mut report = tm_obs::RunReport::new(name, "determinism");
+    if backend != BackendKind::Etl {
+        report = report.backend(backend.name());
+    }
+    report
         .meta("structure", "hash")
         .meta("alloc", "tbb")
         .meta("threads", threads)
@@ -39,17 +51,36 @@ fn synth_json(threads: usize) -> String {
         .to_json_string()
 }
 
+fn synth_json(threads: usize) -> String {
+    synth_backend_json(BackendKind::Etl, threads)
+}
+
 /// One STAMP run (Genome: interleaving-independent checksum) as JSON.
-fn stamp_json(threads: usize) -> String {
-    let opts = StampOpts::default();
+fn stamp_backend_json(backend: BackendKind, threads: usize) -> String {
+    let opts = StampOpts {
+        backend,
+        ..StampOpts::default()
+    };
     let r = run_kind(AppKind::Genome, AllocatorKind::Glibc, threads, &opts, 1);
-    tm_obs::RunReport::new(format!("determinism_stamp_t{threads}"), "determinism")
+    let name = match backend {
+        BackendKind::Etl => format!("determinism_stamp_t{threads}"),
+        other => format!("determinism_stamp_{}_t{threads}", other.name()),
+    };
+    let mut report = tm_obs::RunReport::new(name, "determinism");
+    if backend != BackendKind::Etl {
+        report = report.backend(backend.name());
+    }
+    report
         .meta("app", "genome")
         .meta("alloc", "glibc")
         .meta("threads", threads)
         .meta("checksum", format!("{:?}", r.checksum))
         .section("metrics", r.section())
         .to_json_string()
+}
+
+fn stamp_json(threads: usize) -> String {
+    stamp_backend_json(BackendKind::Etl, threads)
 }
 
 fn check_golden(name: &str, actual: &str) {
@@ -97,4 +128,28 @@ fn stamp_solo_is_deterministic() {
 #[test]
 fn stamp_8_threads_is_deterministic() {
     assert_deterministic("determinism_stamp_t8.json", || stamp_json(8));
+}
+
+#[test]
+fn backend_synth_runs_are_deterministic() {
+    for backend in [BackendKind::Norec, BackendKind::SimHtm] {
+        for threads in [1, 8] {
+            assert_deterministic(
+                &format!("determinism_synth_{}_t{threads}.json", backend.name()),
+                || synth_backend_json(backend, threads),
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_stamp_runs_are_deterministic() {
+    for backend in [BackendKind::Norec, BackendKind::SimHtm] {
+        for threads in [1, 8] {
+            assert_deterministic(
+                &format!("determinism_stamp_{}_t{threads}.json", backend.name()),
+                || stamp_backend_json(backend, threads),
+            );
+        }
+    }
 }
