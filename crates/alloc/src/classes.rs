@@ -72,6 +72,7 @@ impl SizeClasses {
         self.sizes.len()
     }
 
+    /// True when there are no classes (never, for the built-in tables).
     pub fn is_empty(&self) -> bool {
         self.sizes.is_empty()
     }

@@ -70,6 +70,7 @@ pub struct GlibcAllocator {
 }
 
 impl GlibcAllocator {
+    /// Build the model on a simulator (main arena + per-thread arenas).
     pub fn new(sim: &Sim) -> Self {
         let max_threads = sim.config().cores;
         let main_arena = Arc::new(Arena {

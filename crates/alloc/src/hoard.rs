@@ -82,6 +82,7 @@ pub struct HoardAllocator {
 }
 
 impl HoardAllocator {
+    /// Build the model on a simulator (one heap per core, plus heap 0).
     pub fn new(sim: &Sim) -> Self {
         let cores = sim.config().cores;
         HoardAllocator {

@@ -27,6 +27,8 @@
 //! (overlap, alignment, containment, free-list integrity) for the
 //! correctness harness.
 
+#![deny(missing_docs)]
+
 pub mod audit;
 mod classes;
 mod freelist;
@@ -88,26 +90,37 @@ impl<A: Allocator + ?Sized> Allocator for Arc<A> {
 /// One row of the paper's Table 1.
 #[derive(Clone, Copy, Debug)]
 pub struct AllocatorAttrs {
+    /// Display name (Table 1's row label).
     pub name: &'static str,
     /// The real-world version the model is based on.
     pub models_version: &'static str,
+    /// Where block metadata lives (boundary tags, page map, …).
     pub metadata: &'static str,
+    /// Smallest block the allocator hands out, in bytes.
     pub min_size: u64,
+    /// The lock-free/thread-local fast path, if any.
     pub fast_path: &'static str,
+    /// Unit at which memory is requested from the OS.
     pub granularity: &'static str,
+    /// Synchronization discipline of the slow path.
     pub synchronization: &'static str,
 }
 
 /// Which allocator model to instantiate (sweep axis of every experiment).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AllocatorKind {
+    /// Glibc's ptmalloc2 (arenas + boundary tags).
     Glibc,
+    /// Hoard (per-thread superblock heaps).
     Hoard,
+    /// Intel TBB scalable_malloc (per-thread 16 KB blocks, 16 B minimum).
     TbbMalloc,
+    /// Google TCMalloc (thread caches over central spans).
     TcMalloc,
 }
 
 impl AllocatorKind {
+    /// Every modelled allocator, in the paper's Table 1 order.
     pub const ALL: [AllocatorKind; 4] = [
         AllocatorKind::Glibc,
         AllocatorKind::Hoard,
@@ -115,6 +128,7 @@ impl AllocatorKind {
         AllocatorKind::TcMalloc,
     ];
 
+    /// Display name, as printed in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             AllocatorKind::Glibc => "Glibc",

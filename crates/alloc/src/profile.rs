@@ -31,8 +31,10 @@ pub enum Region {
 }
 
 impl Region {
+    /// All three regions, in attribution-priority order.
     pub const ALL: [Region; 3] = [Region::Seq, Region::Par, Region::Tx];
 
+    /// Row label used by the Table 5 regenerator.
     pub fn name(self) -> &'static str {
         match self {
             Region::Seq => "seq",
@@ -59,7 +61,9 @@ fn bucket_of(size: u64) -> usize {
 pub struct RegionStats {
     /// Allocation counts per [`BUCKETS`] entry.
     pub by_bucket: [u64; 8],
+    /// Total `malloc` calls attributed to the region.
     pub mallocs: u64,
+    /// Total `free` calls attributed to the region.
     pub frees: u64,
     /// Total requested bytes.
     pub bytes: u64,
@@ -129,6 +133,7 @@ pub struct AllocProfiler<A: Allocator> {
 }
 
 impl<A: Allocator> AllocProfiler<A> {
+    /// Wrap `inner`, sized for at most `max_threads` recording threads.
     pub fn new(inner: A, max_threads: usize) -> Self {
         let slots = ShardedSlots::new(max_threads, ROW_WIDTH);
         // Region::Seq is 0, so freshly-zeroed slots already encode it.
@@ -140,6 +145,7 @@ impl<A: Allocator> AllocProfiler<A> {
         self.slots.set(tid, SLOT_REGION, r as u64);
     }
 
+    /// The region `tid`'s allocations are currently attributed to.
     pub fn current_region(&self, tid: usize) -> Region {
         match self.slots.get(tid, SLOT_REGION) {
             0 => Region::Seq,
@@ -159,6 +165,7 @@ impl<A: Allocator> AllocProfiler<A> {
         })
     }
 
+    /// The wrapped allocator.
     pub fn inner(&self) -> &A {
         &self.inner
     }

@@ -36,6 +36,7 @@ pub struct SerialLockAllocator {
 }
 
 impl SerialLockAllocator {
+    /// Build the strawman: one bump region behind one simulated lock.
     pub fn new(sim: &Sim) -> Self {
         SerialLockAllocator {
             mx: sim.new_mutex(),

@@ -72,6 +72,7 @@ pub struct TbbAllocator {
 }
 
 impl TbbAllocator {
+    /// Build the model on a simulator (per-thread block lists).
     pub fn new(sim: &Sim) -> Self {
         let cores = sim.config().cores;
         TbbAllocator {

@@ -74,6 +74,7 @@ pub struct TcAllocator {
 }
 
 impl TcAllocator {
+    /// Build the model on a simulator (per-thread caches + central lists).
     pub fn new(sim: &Sim) -> Self {
         let classes = SizeClasses::tcmalloc(MAX_SMALL);
         let cores = sim.config().cores;

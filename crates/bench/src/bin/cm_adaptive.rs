@@ -1,0 +1,4 @@
+//! Thin entry point; the exhibit body lives in `tm_bench::exhibits::cm_adaptive`.
+fn main() {
+    tm_bench::exhibits::cm_adaptive::run();
+}

@@ -10,6 +10,7 @@ use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
 use tm_stm::{LockDesign, WriteMode};
 
+/// Regenerate `results/ablation_design.txt` and `results/ablation_design.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for kind in AllocatorKind::ALL {

@@ -12,6 +12,7 @@ use tm_core::synthetic::run_synthetic;
 use tm_ds::StructureKind;
 use tm_stm::OrtHash;
 
+/// Regenerate `results/ablation_hash.txt` and `results/ablation_hash.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for kind in AllocatorKind::ALL {

@@ -9,6 +9,7 @@ use tm_core::synthetic::run_synthetic;
 use tm_ds::StructureKind;
 use tm_sim::MachineConfig;
 
+/// Regenerate `results/ablation_machine.txt` and `results/ablation_machine.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for s in [StructureKind::LinkedList, StructureKind::HashSet] {

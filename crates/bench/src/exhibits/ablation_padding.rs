@@ -6,6 +6,7 @@ use tm_core::report::render_table;
 use tm_stamp::apps::Labyrinth;
 use tm_stamp::runner::{run_app, StampOpts};
 
+/// Regenerate `results/ablation_padding.txt` and `results/ablation_padding.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for kind in AllocatorKind::ALL {

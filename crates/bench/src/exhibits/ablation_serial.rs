@@ -21,6 +21,7 @@ fn throughput(make: impl Fn(&Sim) -> Arc<dyn Allocator>, threads: usize) -> f64 
     (threads as u64 * pairs) as f64 / r.seconds / 1e6
 }
 
+/// Regenerate `results/ablation_serial.txt` and `results/ablation_serial.json`.
 pub fn run() {
     let mut series = Vec::new();
     for kind in AllocatorKind::ALL {

@@ -24,6 +24,7 @@ fn spread(app: AppKind, kind: AllocatorKind) -> (f64, f64, f64) {
     (lo, hi, mean)
 }
 
+/// Regenerate `results/ablation_variance.txt` and `results/ablation_variance.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for app in [AppKind::Bayes, AppKind::Genome] {

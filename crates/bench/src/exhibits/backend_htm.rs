@@ -59,6 +59,7 @@ fn run_point(lines: u64) -> (u64, u64, u64) {
     )
 }
 
+/// Regenerate `results/backend_htm.txt` and `results/backend_htm.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for lines in FOOTPRINT_LINES {

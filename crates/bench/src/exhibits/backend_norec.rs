@@ -15,6 +15,7 @@ use tm_core::synthetic::run_synthetic;
 use tm_ds::StructureKind;
 use tm_stm::BackendKind;
 
+/// Regenerate `results/backend_norec.txt` and `results/backend_norec.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for kind in AllocatorKind::ALL {

@@ -5,6 +5,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::render_table;
 use tm_stamp::AppKind;
 
+/// Regenerate `results/fig1.txt` and `results/fig1.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for app in [AppKind::Intruder, AppKind::Yada] {

@@ -4,6 +4,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::{render_series, Series};
 use tm_core::threadtest::{run_threadtest, ThreadtestConfig};
 
+/// Regenerate `results/fig3.txt` and `results/fig3.json`.
 pub fn run() {
     let sizes = [16u64, 64, 128, 256, 512, 2048, 8192];
     let pairs = 400 * scale();

@@ -3,6 +3,7 @@ use crate::synth_sweep;
 use tm_core::report::render_series;
 use tm_ds::StructureKind;
 
+/// Regenerate `results/fig4.txt` and `results/fig4.json`.
 pub fn run() {
     let mut out = String::new();
     let mut report = crate::RunReport::new("fig4", "figure")

@@ -7,6 +7,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::{render_series, Series};
 use tm_ds::StructureKind;
 
+/// Regenerate `results/fig4_mixes.txt` and `results/fig4_mixes.json`.
 pub fn run() {
     let mut out = String::new();
     let mut report = crate::RunReport::new("fig4_mixes", "figure").meta("scale", crate::scale());

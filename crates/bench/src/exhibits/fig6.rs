@@ -6,6 +6,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::{render_series, Series};
 use tm_ds::StructureKind;
 
+/// Regenerate `results/fig6.txt` and `results/fig6.json`.
 pub fn run() {
     let mut series = Vec::new();
     for kind in AllocatorKind::ALL {

@@ -5,6 +5,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::{render_series, Series};
 use tm_stamp::AppKind;
 
+/// Regenerate `results/fig8.txt` and `results/fig8.json`.
 pub fn run() {
     let mut out = String::new();
     let mut report = crate::RunReport::new("fig8", "figure").meta("scale", crate::scale());

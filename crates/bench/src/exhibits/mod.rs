@@ -17,6 +17,8 @@ pub mod ablation_shift;
 pub mod ablation_variance;
 pub mod backend_htm;
 pub mod backend_norec;
+pub mod cm_adaptive;
+pub mod cm_matrix;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;
@@ -274,6 +276,24 @@ pub const REGISTRY: &[Exhibit] = &[
         backend: "htm",
         run: backend_htm::run,
     },
+    Exhibit {
+        name: "cm_matrix",
+        kind: "ablation",
+        title: "Allocator × contention-manager abort surface for the linked list",
+        rand_sensitive: true,
+        check: "serial-oracle",
+        backend: "etl",
+        run: cm_matrix::run,
+    },
+    Exhibit {
+        name: "cm_adaptive",
+        kind: "ablation",
+        title: "Adaptive CM controller vs the best static policy per allocator",
+        rand_sensitive: true,
+        check: "serial-oracle",
+        backend: "etl",
+        run: cm_adaptive::run,
+    },
 ];
 
 /// Look up an exhibit by artifact name.
@@ -320,10 +340,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_complete() {
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 23);
+        assert_eq!(names.len(), 25);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23, "duplicate exhibit name in REGISTRY");
+        assert_eq!(names.len(), 25, "duplicate exhibit name in REGISTRY");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use tm_core::build_stack;
 use tm_core::report::render_table;
 use tm_stm::StmConfig;
 
+/// Regenerate `results/table1.txt` and `results/table1.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for kind in AllocatorKind::ALL {

@@ -2,6 +2,7 @@
 use tm_core::report::render_table;
 use tm_sim::MachineConfig;
 
+/// Regenerate `results/table2.txt` and `results/table2.json`.
 pub fn run() {
     let m = MachineConfig::xeon_e5405();
     let rows = vec![

@@ -5,6 +5,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::{best_worst, render_table};
 use tm_ds::StructureKind;
 
+/// Regenerate `results/table3.txt` and `results/table3.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for s in StructureKind::ALL {

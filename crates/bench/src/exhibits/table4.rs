@@ -6,6 +6,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::render_table;
 use tm_ds::StructureKind;
 
+/// Regenerate `results/table4.txt` and `results/table4.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for &t in &SYNTH_THREADS {

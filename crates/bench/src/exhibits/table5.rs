@@ -7,6 +7,7 @@ use tm_core::report::render_table;
 use tm_stamp::runner::{make_app, profile_app};
 use tm_stamp::AppKind;
 
+/// Regenerate `results/table5.txt` and `results/table5.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for app in AppKind::ALL {

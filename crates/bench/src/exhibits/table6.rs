@@ -5,6 +5,7 @@ use tm_alloc::AllocatorKind;
 use tm_core::report::{best_worst, render_table};
 use tm_stamp::AppKind;
 
+/// Regenerate `results/table6.txt` and `results/table6.json`.
 pub fn run() {
     let mut rows = Vec::new();
     for app in AppKind::FIG7 {

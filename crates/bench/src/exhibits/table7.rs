@@ -6,6 +6,7 @@ use tm_core::report::render_table;
 use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
 
+/// Regenerate `results/table7.txt` and `results/table7.json`.
 pub fn run() {
     let apps = [
         AppKind::Genome,

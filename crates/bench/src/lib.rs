@@ -14,6 +14,8 @@
 //! All sweeps are deterministic. `TM_SCALE` (default 1) scales workload
 //! sizes; larger values sharpen the shapes at the cost of runtime.
 
+#![deny(missing_docs)]
+
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 

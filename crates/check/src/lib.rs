@@ -32,7 +32,7 @@ pub mod strategies;
 
 pub use explore::{run_explore_cell, ExploreOutcome, Schedule, TransferProgram};
 pub use heap::run_heap_cell;
-pub use oracle::{run_backend_cell, run_stamp_cell, run_synth_cell, SynthCheckConfig};
+pub use oracle::{run_backend_cell, run_cm_cell, run_stamp_cell, run_synth_cell, SynthCheckConfig};
 
 use tm_obs::{CheckCell, CheckStatus};
 

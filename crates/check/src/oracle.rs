@@ -27,7 +27,7 @@ use tm_obs::{CheckCell, CheckStatus};
 use tm_sim::{Ctx, MachineConfig, Sim};
 use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
-use tm_stm::{BackendKind, Stm, StmConfig};
+use tm_stm::{BackendKind, CmKind, Stm, StmConfig};
 
 use crate::strategies::SetOp;
 use crate::{cell_from, kv};
@@ -519,6 +519,93 @@ pub fn run_backend_cell(
             failures.push(format!(
                 "checksum diverged: {} {p:#x} vs serial etl {s:#x}",
                 backend.name()
+            ));
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            failures.push("checksum defined for one run but not the other".into());
+        }
+        _ => {}
+    }
+    let violations = par.heap_violations + reference.heap_violations;
+    if violations > 0 {
+        failures.push(format!("{violations} heap-invariant violations"));
+    }
+    let checks = vec![
+        ("commits".into(), par.commits),
+        ("aborts".into(), par.aborts),
+        ("checksummed".into(), par.checksum.is_some() as u64),
+        ("heap_violations".into(), violations),
+    ];
+    cell_from(config, checks, failures)
+}
+
+/// Cross-CM differential cell: an N-thread run under contention manager
+/// `cm` is diffed against a fresh one-thread **SUICIDE** reference of the
+/// same app, seed, scale and allocator through the app checksum. A CM only
+/// decides *when a doomed transaction retries*, never *what commits*, so
+/// the final logical state must be bit-identical to the baseline policy —
+/// any divergence means the CM leaked into conflict detection (e.g. a
+/// serialization token that failed to exclude, or an adaptive switch that
+/// corrupted per-thread state mid-transaction).
+pub fn run_cm_cell(
+    cm: CmKind,
+    kind: AppKind,
+    allocator: AllocatorKind,
+    threads: usize,
+    scale: u64,
+) -> CheckCell {
+    let config = vec![
+        kv("kind", "cm-diff"),
+        kv("cm", cm.name()),
+        kv("app", kind.name()),
+        kv("alloc", allocator.name()),
+        kv("threads", threads),
+    ];
+    let run = |cm, threads| {
+        let opts = StampOpts {
+            cm,
+            audit_heap: true,
+            ..StampOpts::default()
+        };
+        catch_unwind(AssertUnwindSafe(move || {
+            run_kind(kind, allocator, threads, &opts, scale)
+        }))
+    };
+    let par = match run(cm, threads) {
+        Ok(r) => r,
+        Err(p) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Fail,
+                detail: Some(format!(
+                    "verify failed ({} {threads} threads): {}",
+                    cm.name(),
+                    panic_message(&p)
+                )),
+                checks: vec![],
+            }
+        }
+    };
+    let reference = match run(CmKind::Suicide, 1) {
+        Ok(r) => r,
+        Err(p) => {
+            return CheckCell {
+                config,
+                status: CheckStatus::Fail,
+                detail: Some(format!(
+                    "verify failed (serial suicide reference): {}",
+                    panic_message(&p)
+                )),
+                checks: vec![],
+            }
+        }
+    };
+    let mut failures = Vec::new();
+    match (par.checksum, reference.checksum) {
+        (Some(p), Some(s)) if p != s => {
+            failures.push(format!(
+                "checksum diverged: {} {p:#x} vs serial suicide {s:#x}",
+                cm.name()
             ));
         }
         (Some(_), None) | (None, Some(_)) => {

@@ -54,23 +54,25 @@ fn usage() {
     eprintln!(
         "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|check|book> [flags]\n\
          synth:      --structure list|hash|rbtree --alloc <a> --threads N \
-         [--backend etl|norec|htm] [--update-pct P] [--shift S] [--size N] [--ops N] \
-         [--ctl] [--mix-hash] [--object-cache]\n\
+         [--backend etl|norec|htm] [--cm <policy>] [--update-pct P] [--shift S] \
+         [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
          stamp:      --app <name> --alloc <a> --threads N [--scale S] \
-         [--backend etl|norec|htm] [--shift S] [--ctl] [--mix-hash] [--object-cache]\n\
+         [--backend etl|norec|htm] [--cm <policy>] [--shift S] [--ctl] [--mix-hash] \
+         [--object-cache]\n\
          threadtest: --alloc <a> [--size BYTES] [--threads N] [--pairs N]\n\
          profile:    --app <name> [--alloc <a>] [--scale S]\n\
          report:     <a.json> — pretty-print; <a.json> <b.json> — diff \
          (run reports or sweep matrices, by schema)\n\
          sweep:      [--workload synth|stamp|threadtest] axes as comma lists \
-         (--structure --app --alloc --backend --threads --shift --update-pct --size \
-         --ops --pairs --scale --seeds) [--quick] [--reps N] [--name S] [--out FILE] \
-         [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
+         (--structure --app --alloc --backend --cm --threads --shift --update-pct \
+         --size --ops --pairs --scale --seeds) [--quick] [--reps N] [--name S] \
+         [--out FILE] [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
          check:      correctness matrix (serial oracles, heap audit, \
-         cross-backend diffs, interleaving explorer) [--quick] [--backend B] \
-         [--name S] [--out FILE]\n\
+         cross-backend and cross-CM diffs, interleaving explorer) [--quick] \
+         [--backend B] [--cm C] [--name S] [--out FILE]\n\
          book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
-         allocators: glibc hoard tbb tc"
+         allocators: glibc hoard tbb tc\n\
+         cm (contention manager): suicide backoff karma timestamp serialize adaptive"
     );
 }
 
@@ -214,9 +216,10 @@ fn sweep(flags: &HashMap<String, String>) {
 fn check(flags: &HashMap<String, String>) {
     use tm_check::SynthCheckConfig;
     use tm_check::{
-        run_backend_cell, run_explore_cell, run_heap_cell, run_stamp_cell, run_synth_cell,
+        run_backend_cell, run_cm_cell, run_explore_cell, run_heap_cell, run_stamp_cell,
+        run_synth_cell,
     };
-    use tm_stm::{BackendKind, InjectedBug};
+    use tm_stm::{BackendKind, CmKind, InjectedBug};
 
     let quick = flags.contains_key("quick");
     // Cross-backend differential suite: `--backend X` narrows it to one
@@ -228,6 +231,20 @@ fn check(flags: &HashMap<String, String>) {
         BackendKind::ALL
             .into_iter()
             .filter(|b| *b != BackendKind::Etl)
+            .collect()
+    };
+    // Cross-CM differential suite: `--cm X` narrows it to one policy
+    // (unknown values exit 2 inside cm_of); by default every non-SUICIDE
+    // policy is diffed against the serial SUICIDE reference, trimmed to two
+    // representative policies under `--quick`.
+    let diff_cms: Vec<CmKind> = if flags.contains_key("cm") {
+        vec![cm_of(flags)]
+    } else if quick {
+        vec![CmKind::BackoffExp, CmKind::Adaptive]
+    } else {
+        CmKind::ALL
+            .into_iter()
+            .filter(|c| *c != CmKind::Suicide)
             .collect()
     };
     let name = flags.get("name").cloned().unwrap_or_else(|| {
@@ -285,6 +302,16 @@ fn check(flags: &HashMap<String, String>) {
                 1,
             ));
         }
+    }
+    eprintln!("check '{name}': cross-CM differentials…");
+    for &cm in &diff_cms {
+        cells.push(run_cm_cell(
+            cm,
+            AppKind::Genome,
+            AllocatorKind::TbbMalloc,
+            4,
+            1,
+        ));
     }
     eprintln!("check '{name}': heap invariants…");
     for &alloc in &allocs {
@@ -403,6 +430,16 @@ fn backend_of(flags: &HashMap<String, String>) -> tm_stm::BackendKind {
     }
 }
 
+fn cm_of(flags: &HashMap<String, String>) -> tm_stm::CmKind {
+    match flags.get("cm") {
+        None => tm_stm::CmKind::Suicide,
+        Some(v) => tm_core::sweeps::parse_cm(v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn design_of(flags: &HashMap<String, String>) -> LockDesign {
     if flags.contains_key("ctl") {
         LockDesign::Ctl
@@ -439,6 +476,7 @@ fn synth(flags: &HashMap<String, String>) {
     cfg.shift = get(flags, "shift", 5);
     cfg.object_cache = flags.contains_key("object-cache");
     cfg.backend = backend_of(flags);
+    cfg.cm = cm_of(flags);
     cfg.design = design_of(flags);
     cfg.write_mode = write_mode_of(flags);
     cfg.ort_hash = hash_of(flags);
@@ -475,6 +513,7 @@ fn stamp(flags: &HashMap<String, String>) {
         object_cache: flags.contains_key("object-cache"),
         shift: get(flags, "shift", 5),
         backend: backend_of(flags),
+        cm: cm_of(flags),
         design: design_of(flags),
         write_mode: write_mode_of(flags),
         ort_hash: hash_of(flags),

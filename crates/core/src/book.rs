@@ -410,6 +410,55 @@ pub const ENTRIES: &[BookEntry] = &[
             },
         ],
     },
+    BookEntry {
+        name: "cm_matrix",
+        title: "Extension — allocator × contention-manager abort surface",
+        expect: "The paper holds the contention manager fixed at SUICIDE and varies \
+                 the allocator; this matrix varies both. On the high-contention \
+                 linked list the policy axis dominates: exponential backoff roughly \
+                 halves the SUICIDE abort ratio for every allocator, karma and \
+                 timestamp raise it (shorter pauses for deserving transactions mean \
+                 earlier retries into live conflicts), and serialize sits between — \
+                 while the allocator spread inside any one column stays well below \
+                 the policy spread inside any one row.",
+        checks: &[
+            Check::RowSeq {
+                section: "data",
+                needles: &["Glibc", "50.36%", "25.90%"],
+                desc: "Backoff roughly halves Glibc's SUICIDE abort ratio",
+            },
+            Check::RowSeq {
+                section: "data",
+                needles: &["TBBMalloc", "57.90%", "21.13%"],
+                desc: "TBB shows the same halving, from a higher SUICIDE baseline",
+            },
+        ],
+    },
+    BookEntry {
+        name: "cm_adaptive",
+        title: "Extension — adaptive CM controller vs best static policy",
+        expect: "The adaptive controller starts at SUICIDE and escalates along \
+                 backoff → karma → serialize whenever a 64-attempt window aborts \
+                 too often. For every allocator the lowest-abort static policy on \
+                 this workload is backoff, and the controller finds it: the \
+                 dominant-policy column (most commits retired under it) reads \
+                 backoff across the board, with the adaptive abort ratio landing \
+                 near the best static column. The switch transcript is a \
+                 deterministic function of the workload — the determinism suite \
+                 replays it event-for-event.",
+        checks: &[
+            Check::RowSeq {
+                section: "data",
+                needles: &["Glibc", "backoff", "25.90%", "backoff"],
+                desc: "The controller converges to backoff, Glibc's best static policy",
+            },
+            Check::RowSeq {
+                section: "data",
+                needles: &["TCMalloc", "backoff", "27.84%", "backoff", "28.78%"],
+                desc: "TCMalloc's adaptive abort ratio lands within a point of best static",
+            },
+        ],
+    },
 ];
 
 /// Run one check against its report; `Err` carries the deviation detail.
@@ -608,6 +657,9 @@ fn render_exhibit(out: &mut String, entry: Option<&BookEntry>, report: &RunRepor
     let mut labels = vec![format!("kind: {}", report.kind)];
     if let Some(b) = &report.backend {
         labels.push(format!("backend: {b}"));
+    }
+    if let Some(c) = &report.cm {
+        labels.push(format!("cm: {c}"));
     }
     labels.extend(report.meta.iter().map(|(k, v)| format!("{k}: {v}")));
     out.push_str(&format!(

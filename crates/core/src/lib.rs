@@ -14,6 +14,8 @@
 //!
 //! Experiments are deterministic: same configuration, same numbers.
 
+#![deny(missing_docs)]
+
 pub mod book;
 pub mod report;
 pub mod sweeps;
@@ -28,8 +30,11 @@ use tm_stm::{Stm, StmConfig};
 
 /// A fully-built simulation stack for one experiment configuration.
 pub struct Stack {
+    /// The simulated machine.
     pub sim: Sim,
+    /// The allocator under test, built on `sim`.
     pub alloc: Arc<dyn Allocator>,
+    /// The STM, wrapping `alloc`.
     pub stm: Arc<Stm>,
 }
 

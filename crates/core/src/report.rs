@@ -4,7 +4,9 @@
 /// A labelled series of (x, y) points — one curve of a figure.
 #[derive(Clone, Debug)]
 pub struct Series {
+    /// Curve label (usually an allocator name).
     pub label: String,
+    /// `(x, y)` samples in x order.
     pub points: Vec<(f64, f64)>,
 }
 
@@ -182,8 +184,11 @@ pub fn best_worst(entries: &[(String, f64)], lower_is_better: bool) -> BestWorst
 /// Result of [`best_worst`].
 #[derive(Clone, Debug)]
 pub struct BestWorst {
+    /// Label of the best series at max x.
     pub best: String,
+    /// Label of the worst series at max x.
     pub worst: String,
+    /// `(best - worst) / worst`, in percent.
     pub diff_pct: f64,
 }
 

@@ -68,6 +68,24 @@ fn backend_of(config: &[(String, String)]) -> Result<tm_stm::BackendKind, String
     }
 }
 
+/// Parse one contention-manager token with the same clean-error contract
+/// as [`parse_backend`].
+pub fn parse_cm(v: &str) -> Result<tm_stm::CmKind, String> {
+    tm_stm::CmKind::parse(v).ok_or_else(|| {
+        format!(
+            "unknown contention manager '{v}' (valid --cm values: {})",
+            tm_stm::CmKind::list()
+        )
+    })
+}
+
+fn cm_of(config: &[(String, String)]) -> Result<tm_stm::CmKind, String> {
+    match lookup(config, "cm") {
+        None => Ok(tm_stm::CmKind::Suicide),
+        Some(v) => parse_cm(v),
+    }
+}
+
 fn structure_of(config: &[(String, String)]) -> Result<StructureKind, String> {
     match lookup(config, "structure") {
         Some("list") | Some("linked-list") => Ok(StructureKind::LinkedList),
@@ -97,6 +115,7 @@ fn synth_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String>
         parse(config, "threads", 8usize)?,
     );
     cfg.backend = backend_of(config)?;
+    cfg.cm = cm_of(config)?;
     cfg.update_pct = parse(config, "update-pct", cfg.update_pct)?;
     cfg.shift = parse(config, "shift", cfg.shift)?;
     cfg.seed = parse(config, "seed", cfg.seed)?;
@@ -121,6 +140,7 @@ fn stamp_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String>
     };
     let opts = StampOpts {
         backend: backend_of(config)?,
+        cm: cm_of(config)?,
         shift: parse(config, "shift", 5)?,
         seed: parse(config, "seed", 0xace)?,
         ..StampOpts::default()
@@ -158,6 +178,7 @@ const AXIS_FLAGS: &[&str] = &[
     "app",
     "alloc",
     "backend",
+    "cm",
     "threads",
     "shift",
     "update-pct",
@@ -193,6 +214,11 @@ pub fn spec_from_flags(flags: &HashMap<String, String>) -> Result<SweepSpec, Str
     if let Some(vals) = flags.get("backend") {
         for v in vals.split(',').map(str::trim).filter(|v| !v.is_empty()) {
             parse_backend(v)?;
+        }
+    }
+    if let Some(vals) = flags.get("cm") {
+        for v in vals.split(',').map(str::trim).filter(|v| !v.is_empty()) {
+            parse_cm(v)?;
         }
     }
     let quick = flags.contains_key("quick");
@@ -324,6 +350,53 @@ mod tests {
             ("workload", "stamp"),
             ("app", "genome"),
             ("backend", "norec"),
+            ("threads", "2"),
+            ("scale", "1"),
+        ]))
+        .unwrap();
+        assert!(metrics.iter().any(|(k, v)| k == "par_s" && *v > 0.0));
+    }
+
+    #[test]
+    fn cm_axis_expands_and_rejects_typos() {
+        let mut flags = HashMap::new();
+        flags.insert("cm".to_string(), "suicide,backoff,adaptive".to_string());
+        flags.insert("alloc".to_string(), "glibc".to_string());
+        let spec = spec_from_flags(&flags).unwrap();
+        let axes: Vec<&str> = spec.axes.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(axes, ["alloc", "cm"]);
+        assert_eq!(spec.cell_count(), 3);
+
+        flags.insert("cm".to_string(), "polite".to_string());
+        let err = spec_from_flags(&flags).unwrap_err();
+        assert!(
+            err.contains("unknown contention manager 'polite'")
+                && err.contains("suicide, backoff, karma, timestamp, serialize, adaptive"),
+            "{err}"
+        );
+        let err = run_cell(&cfg(&[("cm", "polite")])).unwrap_err();
+        assert!(err.contains("valid --cm values"), "{err}");
+    }
+
+    #[test]
+    fn cm_cells_run_both_workloads() {
+        for cm in ["backoff", "adaptive"] {
+            let metrics = run_cell(&cfg(&[
+                ("workload", "synth"),
+                ("structure", "hash"),
+                ("cm", cm),
+                ("threads", "2"),
+                ("ops", "200"),
+                ("size", "64"),
+            ]))
+            .unwrap();
+            let t = metrics.iter().find(|(k, _)| k == "throughput").unwrap().1;
+            assert!(t > 0.0, "{cm}: zero throughput");
+        }
+        let metrics = run_cell(&cfg(&[
+            ("workload", "stamp"),
+            ("app", "genome"),
+            ("cm", "backoff"),
             ("threads", "2"),
             ("scale", "1"),
         ]))

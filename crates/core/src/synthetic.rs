@@ -11,7 +11,7 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use tm_alloc::AllocatorKind;
 use tm_ds::{StructureKind, TxHashSet, TxList, TxRbTree, TxSet};
-use tm_stm::{BackendKind, LockDesign, OrtHash, StmConfig, WriteMode};
+use tm_stm::{BackendKind, CmKind, LockDesign, OrtHash, StmConfig, WriteMode};
 
 use tm_sim::MachineConfig;
 
@@ -20,8 +20,11 @@ use crate::{build_stack_on, Metrics};
 /// One synthetic-benchmark configuration (a point in the Fig. 4 sweeps).
 #[derive(Clone, Debug)]
 pub struct SyntheticConfig {
+    /// Structure under test.
     pub structure: StructureKind,
+    /// Allocator under test.
     pub allocator: AllocatorKind,
+    /// Worker thread count of the measured phase.
     pub threads: usize,
     /// Percentage of operations that are updates (paper: 0, 20, 60).
     pub update_pct: u32,
@@ -44,6 +47,9 @@ pub struct SyntheticConfig {
     pub ort_hash: OrtHash,
     /// TM backend (extension; paper uses TinySTM ETL).
     pub backend: BackendKind,
+    /// Contention manager (extension; paper uses SUICIDE).
+    pub cm: CmKind,
+    /// Workload seed.
     pub seed: u64,
     /// Hash-set bucket count (paper: 128 K for a 4 K set — 32× the size).
     pub buckets: u64,
@@ -79,6 +85,7 @@ impl SyntheticConfig {
             write_mode: WriteMode::Back,
             ort_hash: OrtHash::ShiftMod,
             backend: BackendKind::Etl,
+            cm: CmKind::Suicide,
             seed: 0x5eed,
             buckets: (initial * 32).next_power_of_two(),
             machine: MachineConfig::xeon_e5405(),
@@ -105,11 +112,22 @@ impl AnySet {
 
 /// Run one configuration and return its metrics. Deterministic.
 pub fn run_synthetic(cfg: &SyntheticConfig) -> Metrics {
+    run_synthetic_cm(cfg).0
+}
+
+/// Like [`run_synthetic`], but also returns the contention-manager tallies
+/// of the parallel phase and the adaptive switch transcript (`(thread,
+/// switch)` pairs, sorted; empty unless `cfg.cm` is [`CmKind::Adaptive`]).
+/// Same simulation as [`run_synthetic`] — the extras are free observability.
+pub fn run_synthetic_cm(
+    cfg: &SyntheticConfig,
+) -> (Metrics, tm_stm::CmStats, Vec<(usize, tm_stm::CmSwitch)>) {
     let stack = build_stack_on(
         cfg.machine.clone(),
         cfg.allocator,
         StmConfig {
             backend: cfg.backend,
+            cm: cfg.cm,
             shift: cfg.shift,
             object_cache: cfg.object_cache,
             design: cfg.design,
@@ -176,7 +194,7 @@ pub fn run_synthetic(cfg: &SyntheticConfig) -> Metrics {
     });
 
     let stats = stm.stats();
-    Metrics {
+    let metrics = Metrics {
         seconds: report.seconds,
         throughput: report.throughput(stats.commits),
         abort_ratio: stats.abort_ratio(),
@@ -186,7 +204,8 @@ pub fn run_synthetic(cfg: &SyntheticConfig) -> Metrics {
         aborts: stats.aborts(),
         lock_wait_cycles: report.locks.wait_cycles,
         cache_hits: stats.cache_hits,
-    }
+    };
+    (metrics, stm.cm_stats(), stm.cm_switches())
 }
 
 #[cfg(test)]

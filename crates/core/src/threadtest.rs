@@ -12,8 +12,11 @@ use tm_sim::{MachineConfig, Sim};
 /// Configuration for one threadtest point.
 #[derive(Clone, Debug)]
 pub struct ThreadtestConfig {
+    /// Allocator under test.
     pub allocator: AllocatorKind,
+    /// Worker thread count.
     pub threads: usize,
+    /// Bytes per allocated block.
     pub block_size: u64,
     /// malloc/free pairs per thread.
     pub pairs_per_thread: u64,
@@ -24,6 +27,7 @@ pub struct ThreadtestConfig {
 pub struct ThreadtestResult {
     /// Million operations (pairs) per virtual second — Fig. 3's y-axis.
     pub mops: f64,
+    /// Virtual seconds of the run.
     pub seconds: f64,
     /// L1 miss ratio (diagnoses the TCMalloc 16-byte false-sharing dip).
     pub l1_miss: f64,

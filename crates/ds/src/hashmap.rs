@@ -119,6 +119,7 @@ impl TxHashMap {
         stm.txn(ctx, th, |tx, ctx| self.get_in(tx, ctx, key))
     }
 
+    /// Insert or update `key`; true when the key was new (one transaction).
     pub fn put(
         &self,
         stm: &Stm,
@@ -130,6 +131,7 @@ impl TxHashMap {
         stm.txn(ctx, th, |tx, ctx| self.put_in(tx, ctx, key, value))
     }
 
+    /// Remove `key`, returning its value if present (one transaction).
     pub fn remove(&self, stm: &Stm, ctx: &mut Ctx<'_>, th: &mut TxThread, key: u64) -> Option<u64> {
         stm.txn(ctx, th, |tx, ctx| self.remove_in(tx, ctx, key))
     }

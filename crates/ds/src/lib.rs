@@ -18,6 +18,8 @@
 //! memory and is accessed transactionally, so the structures are safely
 //! shared across workload threads by value.
 
+#![deny(missing_docs)]
+
 mod hashmap;
 mod hashset;
 mod list;
@@ -46,18 +48,23 @@ pub trait TxSet: Send + Sync {
 /// The structures the synthetic benchmark sweeps over (paper §5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StructureKind {
+    /// Sorted singly-linked list (O(n) traversals).
     LinkedList,
+    /// Open hash set, one list per bucket.
     HashSet,
+    /// CLRS red-black tree.
     RbTree,
 }
 
 impl StructureKind {
+    /// Every structure, in the paper's Fig. 4 order.
     pub const ALL: [StructureKind; 3] = [
         StructureKind::LinkedList,
         StructureKind::HashSet,
         StructureKind::RbTree,
     ];
 
+    /// Display name, as printed in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             StructureKind::LinkedList => "Linked-list",

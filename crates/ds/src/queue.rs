@@ -20,6 +20,7 @@ pub struct TxQueue {
 }
 
 impl TxQueue {
+    /// Build an empty queue (head and tail on a sentinel node).
     pub fn new(stm: &Stm, ctx: &mut Ctx<'_>) -> Self {
         let sentinel = stm.allocator().malloc(ctx, NODE_SIZE);
         ctx.write_u64(sentinel + NEXT, 0);

@@ -39,6 +39,7 @@ pub struct TxRbTree {
 }
 
 impl TxRbTree {
+    /// Build an empty tree (root pointer plus the shared nil sentinel).
     pub fn new(stm: &Stm, ctx: &mut Ctx<'_>) -> Self {
         let nil = stm.allocator().malloc(ctx, NODE_SIZE);
         ctx.write_u64(nil + COLOR, BLACK);

@@ -14,10 +14,13 @@ use crate::json::Json;
 /// Schema identifier written into every report.
 pub const SCHEMA: &str = "tm-run-report/v1";
 
-/// Additive v1.1 schema: identical to v1 plus a top-level `backend` field
-/// naming the TM backend that produced the run ("etl", "norec", "htm").
-/// Reports with no backend set keep emitting plain v1 so every existing
-/// artifact stays byte-identical; readers accept both.
+/// Additive v1.1 schema: identical to v1 plus optional top-level fields —
+/// `backend` naming the TM backend that produced the run ("etl", "norec",
+/// "htm") and `cm` naming the contention-management policy ("suicide",
+/// "backoff", "karma", "timestamp", "serialize", "adaptive"). Reports that
+/// set neither keep emitting plain v1 so every existing artifact stays
+/// byte-identical; readers accept both schemas with or without either
+/// field.
 pub const SCHEMA_V1_1: &str = "tm-run-report/v1.1";
 
 /// One typed block of results.
@@ -246,6 +249,10 @@ pub struct RunReport {
     /// emits the original v1 schema (byte-identical artifacts); `Some`
     /// bumps the emitted schema to v1.1.
     pub backend: Option<String>,
+    /// Contention-management policy that produced the run ("suicide",
+    /// "backoff", ...). Same contract as `backend`: `None` keeps the
+    /// emitted schema (and bytes) unchanged, `Some` bumps it to v1.1.
+    pub cm: Option<String>,
     /// Titled result sections, in emission order.
     pub sections: Vec<(String, Section)>,
 }
@@ -258,6 +265,7 @@ impl RunReport {
             kind: kind.into(),
             meta: Vec::new(),
             backend: None,
+            cm: None,
             sections: Vec::new(),
         }
     }
@@ -275,20 +283,27 @@ impl RunReport {
         self
     }
 
+    /// Set the contention-management policy label (builder style);
+    /// switches emission to the v1.1 schema.
+    pub fn cm(mut self, cm: impl Into<String>) -> Self {
+        self.cm = Some(cm.into());
+        self
+    }
+
     /// Append a titled section (builder style).
     pub fn section(mut self, title: impl Into<String>, section: Section) -> Self {
         self.sections.push((title.into(), section));
         self
     }
 
-    /// The JSON tree: `tm-run-report/v1` when no backend is set (keeping
-    /// every pre-backend artifact byte-identical), v1.1 with a `backend`
-    /// field otherwise.
+    /// The JSON tree: `tm-run-report/v1` when neither backend nor cm is
+    /// set (keeping every pre-extension artifact byte-identical), v1.1
+    /// with the optional `backend`/`cm` fields otherwise.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             (
                 "schema".into(),
-                Json::str(if self.backend.is_some() {
+                Json::str(if self.backend.is_some() || self.cm.is_some() {
                     SCHEMA_V1_1
                 } else {
                     SCHEMA
@@ -299,6 +314,9 @@ impl RunReport {
         ];
         if let Some(b) = &self.backend {
             fields.push(("backend".into(), Json::str(b.clone())));
+        }
+        if let Some(c) = &self.cm {
+            fields.push(("cm".into(), Json::str(c.clone())));
         }
         fields.extend([
             (
@@ -344,6 +362,7 @@ impl RunReport {
             ));
         }
         let backend = v.get("backend").and_then(Json::as_str).map(str::to_string);
+        let cm = v.get("cm").and_then(Json::as_str).map(str::to_string);
         let name = v
             .get("name")
             .and_then(Json::as_str)
@@ -388,6 +407,7 @@ impl RunReport {
             kind,
             meta,
             backend,
+            cm,
             sections,
         })
     }
@@ -403,6 +423,9 @@ impl RunReport {
         out.push_str(&format!("{} ({})\n", self.name, self.kind));
         if let Some(b) = &self.backend {
             out.push_str(&format!("  backend = {b}\n"));
+        }
+        if let Some(c) = &self.cm {
+            out.push_str(&format!("  cm = {c}\n"));
         }
         for (k, v) in &self.meta {
             out.push_str(&format!("  {k} = {v}\n"));
@@ -486,13 +509,16 @@ impl RunReport {
         if self.kind != other.kind {
             out.push_str(&format!("kind: {} -> {}\n", self.kind, other.kind));
         }
+        let show = |b: &Option<String>| b.clone().unwrap_or_else(|| "(none)".into());
         if self.backend != other.backend {
-            let show = |b: &Option<String>| b.clone().unwrap_or_else(|| "(none)".into());
             out.push_str(&format!(
                 "backend: {} -> {}\n",
                 show(&self.backend),
                 show(&other.backend)
             ));
+        }
+        if self.cm != other.cm {
+            out.push_str(&format!("cm: {} -> {}\n", show(&self.cm), show(&other.cm)));
         }
         diff_pairs(&mut out, "meta", &self.meta, &other.meta, |a, b| {
             if a != b {
@@ -645,6 +671,39 @@ mod tests {
         let b = sample().backend("htm");
         let d = a.diff(&b).unwrap();
         assert!(d.contains("backend: (none) -> htm"), "{d}");
+    }
+
+    #[test]
+    fn cm_field_bumps_schema_to_v1_1() {
+        let plain = sample();
+        assert!(plain.to_json_string().contains("\"tm-run-report/v1\""));
+        assert!(!plain.to_json_string().contains("\"cm\""));
+
+        let tagged = sample().cm("adaptive");
+        let j = tagged.to_json_string();
+        assert!(j.contains(SCHEMA_V1_1), "{j}");
+        assert!(j.contains("\"cm\": \"adaptive\""), "{j}");
+        let parsed = RunReport::parse(&j).unwrap();
+        assert_eq!(parsed, tagged);
+        assert_eq!(parsed.cm.as_deref(), Some("adaptive"));
+        assert_eq!(parsed.backend, None);
+
+        // Both fields together render in `backend, cm` order after kind.
+        let both = sample().backend("etl").cm("karma");
+        let j = both.to_json_string();
+        let bpos = j.find("\"backend\"").unwrap();
+        let cpos = j.find("\"cm\"").unwrap();
+        assert!(bpos < cpos, "{j}");
+        assert_eq!(RunReport::parse(&j).unwrap(), both);
+    }
+
+    #[test]
+    fn diff_reports_cm_change() {
+        let a = sample();
+        let b = sample().cm("backoff");
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("cm: (none) -> backoff"), "{d}");
+        assert!(b.render().contains("cm = backoff"));
     }
 
     #[test]

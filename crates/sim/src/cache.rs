@@ -33,9 +33,13 @@ impl CacheConfig {
 /// measurements (Table 4 reports L1 data miss ratios).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
+    /// L1 data-cache lookups.
     pub l1_accesses: u64,
+    /// L1 lookups that missed and fell through to the L2.
     pub l1_misses: u64,
+    /// L2 lookups (every L1 miss becomes one).
     pub l2_accesses: u64,
+    /// L2 lookups that missed and went to memory.
     pub l2_misses: u64,
     /// Lines obtained via cache-to-cache transfer from a remote dirty copy.
     pub coherence_transfers: u64,

@@ -129,6 +129,9 @@ pub struct Sim {
 }
 
 impl Sim {
+    /// Build a simulator for one machine configuration. The executor
+    /// backend is chosen here, once, from `TM_SIM_EXEC` (`fibers` where
+    /// supported, else OS `threads`) — both produce bit-identical reports.
     pub fn new(cfg: MachineConfig) -> Self {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
@@ -153,6 +156,7 @@ impl Sim {
         s
     }
 
+    /// The machine configuration this simulator was built with.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
     }

@@ -36,6 +36,8 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod cache;
 mod config;
 mod exec;

@@ -31,14 +31,19 @@ struct State {
 
 /// The Bayes port.
 pub struct Bayes {
+    /// Number of network variables.
     pub vars: u64,
+    /// Number of training records scored per candidate.
     pub records: u64,
+    /// Candidate parent edges evaluated per variable.
     pub candidates_per_var: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Bayes {
+    /// Instantiate at a given problem size and seed.
     pub fn new(vars: u64, records: u64, seed: u64) -> Self {
         Bayes {
             vars,

@@ -27,13 +27,17 @@ struct State {
 /// The Genome port. `n_segments` plays the role of the input's segment
 /// count; `dup_factor` controls how many duplicates dedup removes.
 pub struct Genome {
+    /// Segment count before deduplication.
     pub n_segments: u64,
+    /// Segments sharing one hash (dedup keeps one of each).
     pub dup_factor: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Genome {
+    /// Instantiate at a given problem size and seed.
     pub fn new(n_segments: u64, seed: u64) -> Self {
         Genome {
             n_segments,

@@ -29,13 +29,17 @@ struct State {
 
 /// The Intruder port.
 pub struct Intruder {
+    /// Number of packet flows to reassemble.
     pub flows: u64,
+    /// Fragments per flow.
     pub frags_per_flow: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Intruder {
+    /// Instantiate at a given problem size and seed.
     pub fn new(flows: u64, seed: u64) -> Self {
         Intruder {
             flows,

@@ -27,15 +27,21 @@ struct State {
 
 /// The Kmeans port (high-contention configuration: few clusters).
 pub struct Kmeans {
+    /// Number of input points.
     pub n_points: u64,
+    /// Point dimensionality.
     pub dims: u64,
+    /// Cluster count (few → high contention, as in the paper).
     pub clusters: u64,
+    /// Lloyd iterations.
     pub iterations: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Kmeans {
+    /// Instantiate at a given problem size and seed.
     pub fn new(n_points: u64, seed: u64) -> Self {
         Kmeans {
             n_points,

@@ -28,8 +28,11 @@ struct State {
 
 /// The Labyrinth port on a `side × side` grid.
 pub struct Labyrinth {
+    /// Grid side length.
     pub side: u64,
+    /// Route requests to attempt.
     pub routes: u64,
+    /// Input seed.
     pub seed: u64,
     /// Pad per-thread router state to a cache line (the paper's fix for
     /// the Hoard anomaly in §6).
@@ -38,6 +41,7 @@ pub struct Labyrinth {
 }
 
 impl Labyrinth {
+    /// Instantiate at a given problem size and seed.
     pub fn new(side: u64, routes: u64, seed: u64) -> Self {
         Labyrinth {
             side,

@@ -25,13 +25,17 @@ struct State {
 
 /// The SSCA2 port.
 pub struct Ssca2 {
+    /// Graph node count.
     pub n_nodes: u64,
+    /// Edges inserted into the adjacency structure.
     pub n_edges: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Ssca2 {
+    /// Instantiate at a given problem size and seed.
     pub fn new(n_nodes: u64, n_edges: u64, seed: u64) -> Self {
         Ssca2 {
             n_nodes,

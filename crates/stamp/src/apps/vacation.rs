@@ -27,15 +27,19 @@ struct State {
 
 /// The Vacation port (high-contention configuration).
 pub struct Vacation {
+    /// Rows per reservation table.
     pub relations: u64,
+    /// Client reservation tasks.
     pub tasks: u64,
     /// Queries per reservation transaction (paper's -n parameter spirit).
     pub queries_per_task: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Vacation {
+    /// Instantiate at a given problem size and seed.
     pub fn new(relations: u64, tasks: u64, seed: u64) -> Self {
         Vacation {
             relations,

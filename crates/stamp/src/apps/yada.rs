@@ -31,17 +31,21 @@ struct State {
 
 /// The Yada port.
 pub struct Yada {
+    /// Initial mesh triangle count.
     pub triangles: u64,
+    /// Triangles initially marked bad (to refine).
     pub initial_bad: u64,
     /// Bound on extra bad triangles spawned (keeps runs finite).
     pub max_spawn: u64,
     /// Cavity size: neighbours read/replaced per refinement.
     pub cavity: u64,
+    /// Input seed.
     pub seed: u64,
     state: Mutex<Option<State>>,
 }
 
 impl Yada {
+    /// Instantiate at a given problem size and seed.
     pub fn new(triangles: u64, seed: u64) -> Self {
         Yada {
             triangles,

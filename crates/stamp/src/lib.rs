@@ -20,6 +20,8 @@
 //! paper's metrics; `runner::profile_app` regenerates the Table 5
 //! characterization with the allocation-site profiler.
 
+#![deny(missing_docs)]
+
 pub mod apps;
 pub mod runner;
 
@@ -29,6 +31,7 @@ use tm_stm::{Stm, TxThread};
 /// A STAMP application: a sequential initialization phase plus a worker
 /// body executed by every thread of the timed parallel phase.
 pub trait StampApp: Send + Sync {
+    /// Display name, as printed in tables and reports.
     fn name(&self) -> &'static str;
 
     /// Sequential phase (run by thread 0 alone). Allocation traffic here is
@@ -55,17 +58,26 @@ pub trait StampApp: Send + Sync {
 /// The eight applications of the STAMP suite.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AppKind {
+    /// Bayesian network structure learning.
     Bayes,
+    /// Gene sequencing by segment overlap matching.
     Genome,
+    /// Network packet reassembly and signature matching.
     Intruder,
+    /// K-means clustering.
     Kmeans,
+    /// Lee-routing maze router.
     Labyrinth,
+    /// Scalable graph kernel (SSCA2).
     Ssca2,
+    /// Travel reservation system over four tables.
     Vacation,
+    /// Delaunay mesh refinement.
     Yada,
 }
 
 impl AppKind {
+    /// Every application, in STAMP's canonical order.
     pub const ALL: [AppKind; 8] = [
         AppKind::Bayes,
         AppKind::Genome,
@@ -88,6 +100,7 @@ impl AppKind {
         AppKind::Yada,
     ];
 
+    /// Display name, as printed in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             AppKind::Bayes => "Bayes",

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use tm_alloc::profile::{AllocProfiler, Region, RegionStats};
 use tm_alloc::{Allocator, AllocatorKind};
 use tm_sim::{MachineConfig, Sim};
-use tm_stm::{BackendKind, LockDesign, OrtHash, Stm, StmConfig, WriteMode};
+use tm_stm::{BackendKind, CmKind, LockDesign, OrtHash, Stm, StmConfig, WriteMode};
 
 use crate::{AppKind, StampApp};
 
@@ -26,6 +26,9 @@ pub struct StampOpts {
     pub ort_hash: OrtHash,
     /// TM backend (extension; the paper uses TinySTM ETL).
     pub backend: BackendKind,
+    /// Contention manager (extension; the paper uses SUICIDE).
+    pub cm: CmKind,
+    /// Seed for the per-run RNG streams.
     pub seed: u64,
     /// Wrap the allocator in a [`tm_alloc::HeapAuditor`]; violations are
     /// reported in [`StampResult::heap_violations`]. Adds host-side
@@ -42,6 +45,7 @@ impl Default for StampOpts {
             write_mode: WriteMode::Back,
             ort_hash: OrtHash::ShiftMod,
             backend: BackendKind::Etl,
+            cm: CmKind::Suicide,
             seed: 0xace,
             audit_heap: false,
         }
@@ -55,10 +59,15 @@ pub struct StampResult {
     pub seq_seconds: f64,
     /// Virtual seconds of the parallel (timed) phase — the paper's y-axis.
     pub par_seconds: f64,
+    /// Committed transactions in the parallel phase.
     pub commits: u64,
+    /// Aborted transaction attempts in the parallel phase.
     pub aborts: u64,
+    /// `aborts / (commits + aborts)`.
     pub abort_ratio: f64,
+    /// L1 data-cache miss ratio of the parallel phase.
     pub l1_miss: f64,
+    /// L2 miss ratio of the parallel phase.
     pub l2_miss: f64,
     /// Virtual cycles spent waiting on allocator locks in the par phase.
     pub lock_wait_cycles: u64,
@@ -127,6 +136,7 @@ pub fn run_app(
         alloc,
         StmConfig {
             backend: opts.backend,
+            cm: opts.cm,
             shift: opts.shift,
             object_cache: opts.object_cache,
             design: opts.design,

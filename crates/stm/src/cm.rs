@@ -1,0 +1,734 @@
+//! Contention management: the policy deciding how a transaction reacts to
+//! its own abort, made pluggable the same way [`crate::backend`] made the
+//! concurrency-control protocol pluggable.
+//!
+//! The paper fixes TinySTM's contention manager to SUICIDE (abort self,
+//! restart immediately) for every experiment, so all of its
+//! allocator-induced pathologies are measured under exactly one reaction
+//! policy. This module reproduces the classical alternatives surveyed by
+//! Pasqualin et al. (arXiv:2206.01359) on top of the shared restart loop in
+//! [`Stm::txn`](crate::Stm::txn):
+//!
+//! * [`CmKind::Suicide`] — restart with the deterministic randomized
+//!   bounded-exponential pause the simulator has always used (the default;
+//!   byte-identical to the pre-CM behaviour).
+//! * [`CmKind::BackoffExp`] — the same randomized pause with an 8× wider
+//!   base window and a deeper exponent cap; trades latency for a sharply
+//!   lower reconflict probability.
+//! * [`CmKind::Karma`] — priority accrues with the work a transaction has
+//!   invested (its read+write footprint, accumulated across aborted
+//!   attempts); high-karma transactions retry almost immediately, low-karma
+//!   ones yield.
+//! * [`CmKind::Timestamp`] — seniority by virtual-time age: the longer a
+//!   transaction has been trying (since its first attempt), the shorter its
+//!   pause, so old transactions eventually win over young ones.
+//! * [`CmKind::Serialize`] — after a few consecutive aborts the transaction
+//!   grabs a global serialization token (a CAS word in *simulated* memory)
+//!   and holds it until commit, mimicking the serial-irrevocable escape
+//!   hatch that dominates HTM policy outcomes in Dice et al.
+//!   (arXiv:1504.04640).
+//! * [`CmKind::Adaptive`] — a per-thread controller that watches abort-rate
+//!   windows and walks the escalation ladder Suicide → BackoffExp → Karma →
+//!   Serialize (and back down when contention subsides). All of its inputs
+//!   are per-thread deterministic quantities (own stats deltas, virtual
+//!   time), so its switch points are bit-identical across runs and across
+//!   the fibers/threads executors.
+//!
+//! Dispatch mirrors `backend.rs`: the free functions below are called from
+//! the transaction retry loop and fast-path [`CmKind::Suicide`] with *zero*
+//! extra simulated events or host-side bookkeeping, so every artifact
+//! produced under the default configuration stays byte-identical.
+
+use tm_sim::Ctx;
+
+use crate::stats::{AbortCause, StmStats};
+use crate::tx::TxThread;
+use crate::Stm;
+
+/// Which contention-management policy reacts to aborts (see the module
+/// docs for the policy zoo). Selected by
+/// [`StmConfig::cm`](crate::StmConfig::cm); the CLI token is `--cm`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CmKind {
+    /// TinySTM's SUICIDE: restart with the deterministic randomized
+    /// bounded-exponential pause (the paper's configuration, the default).
+    #[default]
+    Suicide = 0,
+    /// Wider randomized exponential backoff (8× base window, deeper cap).
+    BackoffExp = 1,
+    /// Footprint-accrued priority: invested work shortens the pause.
+    Karma = 2,
+    /// Virtual-time seniority: transaction age shortens the pause.
+    Timestamp = 3,
+    /// Global serialization token after repeated aborts.
+    Serialize = 4,
+    /// Per-thread adaptive controller over the static policies above.
+    Adaptive = 5,
+}
+
+impl CmKind {
+    /// Number of variants (sizes the per-policy stat arrays).
+    pub const COUNT: usize = 6;
+
+    /// All variants, in escalation order (`Adaptive` last).
+    pub const ALL: [CmKind; CmKind::COUNT] = [
+        CmKind::Suicide,
+        CmKind::BackoffExp,
+        CmKind::Karma,
+        CmKind::Timestamp,
+        CmKind::Serialize,
+        CmKind::Adaptive,
+    ];
+
+    /// The static (non-adaptive) policies, in escalation order.
+    pub const STATIC: [CmKind; 5] = [
+        CmKind::Suicide,
+        CmKind::BackoffExp,
+        CmKind::Karma,
+        CmKind::Timestamp,
+        CmKind::Serialize,
+    ];
+
+    /// Stable lower-case CLI/report token.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmKind::Suicide => "suicide",
+            CmKind::BackoffExp => "backoff",
+            CmKind::Karma => "karma",
+            CmKind::Timestamp => "timestamp",
+            CmKind::Serialize => "serialize",
+            CmKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a CLI token (the inverse of [`CmKind::name`]).
+    pub fn parse(s: &str) -> Option<CmKind> {
+        CmKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Comma-separated list of every valid token, for error messages.
+    pub fn list() -> String {
+        CmKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Whether this configuration can reach [`CmKind::Serialize`] and thus
+    /// needs the global token word allocated in simulated memory.
+    pub(crate) fn needs_token(self) -> bool {
+        matches!(self, CmKind::Serialize | CmKind::Adaptive)
+    }
+
+    /// The policy the thread starts under (`Adaptive` starts at the bottom
+    /// of the escalation ladder).
+    pub(crate) fn initial_policy(self) -> CmKind {
+        match self {
+            CmKind::Adaptive => CmKind::Suicide,
+            k => k,
+        }
+    }
+
+    /// The resolved dispatch table entry (mirrors
+    /// [`BackendKind::backend`](crate::BackendKind)).
+    pub(crate) fn manager(self) -> &'static dyn ContentionManager {
+        match self {
+            CmKind::Suicide => &SuicideCm,
+            CmKind::BackoffExp => &BackoffExpCm,
+            CmKind::Karma => &KarmaCm,
+            CmKind::Timestamp => &TimestampCm,
+            CmKind::Serialize => &SerializeCm,
+            CmKind::Adaptive => &AdaptiveCm,
+        }
+    }
+}
+
+/// One policy switch taken by the adaptive controller, recorded per thread
+/// so determinism tests can compare switch points bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CmSwitch {
+    /// Index of the abort-rate window whose boundary triggered the switch.
+    pub window: u32,
+    /// Virtual time of the committing/aborting event that closed the
+    /// window.
+    pub at: u64,
+    /// Policy before the switch.
+    pub from: CmKind,
+    /// Policy after the switch.
+    pub to: CmKind,
+}
+
+/// Contention-management statistics: which policy each transaction attempt
+/// retired under, plus the adaptive controller's activity. Kept separate
+/// from [`StmStats`] (whose slot layout is frozen into every committed
+/// report) and all-zero — and therefore unemitted — under the default
+/// [`CmKind::Suicide`] configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CmStats {
+    /// Commits indexed by the policy active when the attempt committed.
+    pub commits_under: [u64; CmKind::COUNT],
+    /// Aborts indexed by the policy active when the attempt aborted.
+    pub aborts_under: [u64; CmKind::COUNT],
+    /// Policy switches taken by the adaptive controller.
+    pub switches: u64,
+    /// Adaptive windows whose aborts were dominated by ownership-table
+    /// causes (read/write-locked, read-race) — the aliasing signature for
+    /// which a NOrec backend (no ORT) would be the better fit. Surfaced as
+    /// a recommendation; the controller does not switch backends mid-run,
+    /// since ETL and NOrec metadata cannot coexist on live data.
+    pub norec_hints: u64,
+}
+
+impl CmStats {
+    /// Total attempts (commits + aborts) across every policy.
+    pub fn attempts(&self) -> u64 {
+        self.commits_under.iter().sum::<u64>() + self.aborts_under.iter().sum::<u64>()
+    }
+
+    /// The policy with the most commits (ties resolve to the first in
+    /// escalation order) — "where the controller converged".
+    pub fn dominant_policy(&self) -> CmKind {
+        let mut best = CmKind::Suicide;
+        let mut best_n = 0u64;
+        for k in CmKind::ALL {
+            let n = self.commits_under[k as usize];
+            if n > best_n {
+                best = k;
+                best_n = n;
+            }
+        }
+        best
+    }
+
+    /// Accumulate another thread's tally (all counters are additive).
+    pub fn merge(&mut self, o: &CmStats) {
+        for i in 0..CmKind::COUNT {
+            self.commits_under[i] += o.commits_under[i];
+            self.aborts_under[i] += o.aborts_under[i];
+        }
+        self.switches += o.switches;
+        self.norec_hints += o.norec_hints;
+    }
+
+    /// Report section with every counter, for `RunReport` emission.
+    pub fn section(&self) -> tm_obs::Section {
+        tm_obs::Section::from_schema(self)
+    }
+}
+
+// Same sharded-merge contract as `StmStats`: retired threads' tallies land
+// in per-thread shards and merge slot-wise.
+impl tm_obs::SlotSchema for CmStats {
+    const WIDTH: usize = 2 * CmKind::COUNT + 2;
+
+    fn slot_names() -> &'static [&'static str] {
+        &[
+            "cm_commits_suicide",
+            "cm_commits_backoff",
+            "cm_commits_karma",
+            "cm_commits_timestamp",
+            "cm_commits_serialize",
+            "cm_commits_adaptive",
+            "cm_aborts_suicide",
+            "cm_aborts_backoff",
+            "cm_aborts_karma",
+            "cm_aborts_timestamp",
+            "cm_aborts_serialize",
+            "cm_aborts_adaptive",
+            "cm_switches",
+            "cm_norec_hints",
+        ]
+    }
+
+    fn store(&self, slots: &mut [u64]) {
+        slots[..CmKind::COUNT].copy_from_slice(&self.commits_under);
+        slots[CmKind::COUNT..2 * CmKind::COUNT].copy_from_slice(&self.aborts_under);
+        slots[2 * CmKind::COUNT] = self.switches;
+        slots[2 * CmKind::COUNT + 1] = self.norec_hints;
+    }
+
+    fn load(slots: &[u64]) -> Self {
+        let mut commits_under = [0u64; CmKind::COUNT];
+        let mut aborts_under = [0u64; CmKind::COUNT];
+        commits_under.copy_from_slice(&slots[..CmKind::COUNT]);
+        aborts_under.copy_from_slice(&slots[CmKind::COUNT..2 * CmKind::COUNT]);
+        CmStats {
+            commits_under,
+            aborts_under,
+            switches: slots[2 * CmKind::COUNT],
+            norec_hints: slots[2 * CmKind::COUNT + 1],
+        }
+    }
+}
+
+/// A contention-management policy: hooks around the transaction retry loop
+/// in `Stm::txn_inner`. All simulated work a policy performs (pauses,
+/// token CASes) goes through `ctx`, so policies stay deterministic in
+/// virtual time.
+pub(crate) trait ContentionManager: Sync {
+    /// Called once when `Stm::txn` enters, before the first attempt.
+    fn txn_start(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>);
+    /// Called after an attempt rolled back, before the retry begins.
+    /// `th.retries` has *not* yet been bumped; the policy owns that.
+    fn after_abort(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>);
+    /// Called after the attempt committed (the last hook of the
+    /// transaction).
+    fn after_commit(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>);
+}
+
+// --- devirtualized dispatch (mirrors `backend.rs`) -----------------------
+//
+// The Suicide fast paths below are the byte-identity contract: under the
+// default configuration no hook performs any simulated event, host-side
+// bookkeeping, or LCG step beyond what the pre-CM retry loop performed.
+
+/// First hook of `Stm::txn`.
+#[inline]
+pub(crate) fn txn_start(stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+    if stm.cfg.cm == CmKind::Suicide {
+        return;
+    }
+    stm.cm.txn_start(stm, th, ctx);
+}
+
+/// Post-rollback hook: pause (or serialize) before the retry.
+#[inline]
+pub(crate) fn after_abort(stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+    if stm.cfg.cm == CmKind::Suicide {
+        SuicideCm.after_abort(stm, th, ctx);
+        return;
+    }
+    th.cm_stats.aborts_under[th.cm_active as usize] += 1;
+    stm.cm.after_abort(stm, th, ctx);
+}
+
+/// Post-commit hook: release any serialization token, retire window
+/// accounting.
+#[inline]
+pub(crate) fn after_commit(stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+    if stm.cfg.cm == CmKind::Suicide {
+        return;
+    }
+    th.cm_stats.commits_under[th.cm_active as usize] += 1;
+    if th.holds_token {
+        ctx.write_u64(stm.serialize_token, 0);
+        th.holds_token = false;
+    }
+    stm.cm.after_commit(stm, th, ctx);
+}
+
+// --- static policies -----------------------------------------------------
+
+/// The paper's SUICIDE policy; behaviourally identical to the pre-CM loop.
+struct SuicideCm;
+
+impl ContentionManager for SuicideCm {
+    fn txn_start(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+
+    fn after_abort(&self, _stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.retries = th.retries.saturating_add(1);
+        let pause = th.backoff_cycles();
+        ctx.tick(pause);
+    }
+
+    fn after_commit(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Randomized exponential backoff with an 8× wider base window and a
+/// deeper exponent cap than SUICIDE's livelock-breaking pause.
+struct BackoffExpCm;
+
+impl ContentionManager for BackoffExpCm {
+    fn txn_start(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+
+    fn after_abort(&self, _stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.retries = th.retries.saturating_add(1);
+        let r = th.backoff_rand();
+        let cap = 256u64 << th.retries.min(12);
+        ctx.tick(r % cap);
+    }
+
+    fn after_commit(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Karma: priority accrues with the footprint invested across aborted
+/// attempts of the same transaction; high-karma threads barely pause,
+/// low-karma threads yield the full SUICIDE window. Karma resets at
+/// commit.
+struct KarmaCm;
+
+impl ContentionManager for KarmaCm {
+    fn txn_start(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+
+    fn after_abort(&self, _stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        let (reads, writes) = th.footprint();
+        th.karma = th.karma.saturating_add(reads + writes + 1);
+        th.retries = th.retries.saturating_add(1);
+        let r = th.backoff_rand();
+        let cap = 32u64 << th.retries.min(8);
+        // log2(karma)+1, capped: each doubling of invested work halves the
+        // pause, down to 1/64 of the SUICIDE window.
+        let shrink = (64 - th.karma.leading_zeros()).min(6);
+        ctx.tick((r % cap) >> shrink);
+    }
+
+    fn after_commit(&self, _stm: &Stm, th: &mut TxThread, _ctx: &mut Ctx<'_>) {
+        th.karma = 0;
+    }
+}
+
+/// Timestamp: seniority by virtual-time age since the transaction's first
+/// attempt. Age is bucketed into 4096-cycle seniority units; each unit
+/// level halves the pause, so older transactions drain first.
+struct TimestampCm;
+
+impl ContentionManager for TimestampCm {
+    fn txn_start(&self, _stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.cm_start = ctx.now();
+    }
+
+    fn after_abort(&self, _stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.retries = th.retries.saturating_add(1);
+        let r = th.backoff_rand();
+        let cap = 32u64 << th.retries.min(8);
+        let age = ctx.now().saturating_sub(th.cm_start) / 4096;
+        let shrink = (64 - age.leading_zeros()).min(6);
+        ctx.tick((r % cap) >> shrink);
+    }
+
+    fn after_commit(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Consecutive aborts before [`CmKind::Serialize`] reaches for the global
+/// token.
+const SERIALIZE_AFTER: u32 = 4;
+
+/// Serialize: after [`SERIALIZE_AFTER`] consecutive aborts, acquire the
+/// global serialization token (a CAS word in simulated memory, so the
+/// acquisition is costed and deterministic) and hold it to commit. Other
+/// serialized threads wait on the token; unserialized threads are
+/// unaffected.
+struct SerializeCm;
+
+impl ContentionManager for SerializeCm {
+    fn txn_start(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+
+    fn after_abort(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.retries = th.retries.saturating_add(1);
+        if th.retries >= SERIALIZE_AFTER && !th.holds_token {
+            while ctx
+                .cas_u64(stm.serialize_token, 0, th.tid as u64 + 1)
+                .is_err()
+            {
+                ctx.tick(64);
+            }
+            th.holds_token = true;
+        } else {
+            let pause = th.backoff_cycles();
+            ctx.tick(pause);
+        }
+    }
+
+    // Token release is handled generically in `after_commit` above (it
+    // must also run when the adaptive controller leaves this policy).
+    fn after_commit(&self, _stm: &Stm, _th: &mut TxThread, _ctx: &mut Ctx<'_>) {}
+}
+
+// --- the adaptive controller ---------------------------------------------
+
+/// Attempts (commits + aborts) per abort-rate window.
+const WINDOW: u32 = 64;
+/// Escalate when more than 3/8 of a window's attempts aborted.
+const ESCALATE_NUM: u32 = 3;
+const ESCALATE_DEN: u32 = 8;
+/// De-escalate when fewer than 1/16 aborted.
+const DEESCALATE_DEN: u32 = 16;
+/// The escalation ladder (indices into [`CmKind::STATIC`] minus
+/// Timestamp, which targets long-transaction starvation rather than raw
+/// abort pressure and is reachable only by configuring it statically).
+const LADDER: [CmKind; 4] = [
+    CmKind::Suicide,
+    CmKind::BackoffExp,
+    CmKind::Karma,
+    CmKind::Serialize,
+];
+
+/// Adaptive: delegate to the currently active static policy, and at every
+/// window boundary walk the [`LADDER`] up (abort rate above 3/8) or down
+/// (below 1/16). Every input is per-thread and virtual-time deterministic
+/// — own window counters, own stats deltas — so switch points replay
+/// bit-identically across runs and executors.
+struct AdaptiveCm;
+
+impl AdaptiveCm {
+    fn rotate(&self, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        let total = th.window_commits + th.window_aborts;
+        if total < WINDOW {
+            return;
+        }
+        // ORT-aliasing signature of the closing window: aborts whose cause
+        // is a stripe lock or the two-probe read race. A NOrec backend has
+        // no ORT and none of these causes; record the hint.
+        let delta = |s: &StmStats, cause: AbortCause| s.by_cause[cause as usize];
+        let ort_now = delta(&th.stats, AbortCause::ReadLocked)
+            + delta(&th.stats, AbortCause::WriteLocked)
+            + delta(&th.stats, AbortCause::ReadRace);
+        let ort_base = delta(&th.window_base, AbortCause::ReadLocked)
+            + delta(&th.window_base, AbortCause::WriteLocked)
+            + delta(&th.window_base, AbortCause::ReadRace);
+        let ort_aborts = ort_now - ort_base;
+        if ort_aborts * 2 > th.window_aborts as u64 {
+            th.cm_stats.norec_hints += 1;
+        }
+        let pos = LADDER.iter().position(|&k| k == th.cm_active).unwrap_or(0);
+        let next = if th.window_aborts * ESCALATE_DEN > total * ESCALATE_NUM {
+            LADDER[(pos + 1).min(LADDER.len() - 1)]
+        } else if th.window_aborts * DEESCALATE_DEN < total {
+            LADDER[pos.saturating_sub(1)]
+        } else {
+            th.cm_active
+        };
+        if next != th.cm_active {
+            th.cm_stats.switches += 1;
+            th.switch_log.push(CmSwitch {
+                window: th.windows,
+                at: ctx.now(),
+                from: th.cm_active,
+                to: next,
+            });
+            th.cm_active = next;
+        }
+        th.windows += 1;
+        th.window_commits = 0;
+        th.window_aborts = 0;
+        th.window_base = th.stats;
+    }
+}
+
+impl ContentionManager for AdaptiveCm {
+    fn txn_start(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.cm_active.manager().txn_start(stm, th, ctx);
+    }
+
+    fn after_abort(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.cm_active.manager().after_abort(stm, th, ctx);
+        th.window_aborts += 1;
+        self.rotate(th, ctx);
+    }
+
+    fn after_commit(&self, stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+        th.cm_active.manager().after_commit(stm, th, ctx);
+        th.window_commits += 1;
+        self.rotate(th, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stm, StmConfig};
+    use tm_alloc::AllocatorKind;
+    use tm_sim::{MachineConfig, Sim};
+
+    fn setup(cm: CmKind) -> (Sim, Stm) {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let alloc = AllocatorKind::TbbMalloc.build(&sim);
+        let stm = Stm::new(
+            &sim,
+            alloc,
+            StmConfig {
+                cm,
+                ..StmConfig::default()
+            },
+        );
+        (sim, stm)
+    }
+
+    /// Hammer one shared counter; whatever the CM does, the result must be
+    /// exact and every attempt accounted for.
+    fn run_counter(cm: CmKind, threads: usize, iters: u64) -> Stm {
+        let (sim, stm) = setup(cm);
+        let addr = 0x5000_0000u64;
+        sim.run(threads, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..iters {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    ctx.tick(20);
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        let total = threads as u64 * iters;
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), total));
+        assert_eq!(stm.stats().commits, total);
+        stm
+    }
+
+    #[test]
+    fn every_policy_keeps_the_counter_exact() {
+        for cm in CmKind::ALL {
+            let stm = run_counter(cm, 8, 40);
+            if cm != CmKind::Suicide {
+                let s = stm.cm_stats();
+                assert_eq!(
+                    s.commits_under.iter().sum::<u64>(),
+                    320,
+                    "{cm:?}: every commit is attributed to a policy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suicide_tallies_stay_zero() {
+        // The byte-identity contract: the default configuration performs
+        // no CM bookkeeping at all.
+        let stm = run_counter(CmKind::Suicide, 8, 40);
+        assert_eq!(stm.cm_stats().attempts(), 0);
+        assert!(stm.cm_switches().is_empty());
+    }
+
+    #[test]
+    fn backoff_trades_time_for_fewer_aborts() {
+        let suicide = run_counter(CmKind::Suicide, 8, 40);
+        let backoff = run_counter(CmKind::BackoffExp, 8, 40);
+        assert!(
+            backoff.stats().aborts() < suicide.stats().aborts(),
+            "wider backoff must reconflict less ({} vs {})",
+            backoff.stats().aborts(),
+            suicide.stats().aborts()
+        );
+    }
+
+    #[test]
+    fn serialize_token_caps_consecutive_aborts() {
+        let stm = run_counter(CmKind::Serialize, 8, 40);
+        let s = stm.cm_stats();
+        assert_eq!(s.commits_under[CmKind::Serialize as usize], 320);
+        assert!(stm.serialize_token != 0, "token word must be allocated");
+    }
+
+    #[test]
+    fn token_is_released_at_commit() {
+        let (sim, stm) = setup(CmKind::Serialize);
+        let addr = 0x5000_0000u64;
+        sim.run(8, |ctx| {
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..30 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    ctx.tick(50);
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            assert!(!th.holds_token, "token must not outlive a transaction");
+            stm.retire(th);
+        });
+        sim.with_state(|m| assert_eq!(m.read_u64(stm.serialize_token), 0));
+    }
+
+    #[test]
+    fn adaptive_escalates_under_contention_and_replays_identically() {
+        let run = || {
+            let (sim, stm) = setup(CmKind::Adaptive);
+            let addr = 0x5000_0000u64;
+            sim.run(8, |ctx| {
+                let mut th = stm.thread(ctx.tid());
+                for _ in 0..120 {
+                    stm.txn(ctx, &mut th, |tx, ctx| {
+                        let v = tx.read(ctx, addr)?;
+                        ctx.tick(60);
+                        tx.write(ctx, addr, v + 1)
+                    });
+                }
+                stm.retire(th);
+            });
+            (stm.cm_switches(), stm.cm_stats())
+        };
+        let (switches, stats) = run();
+        assert!(
+            stats.switches > 0,
+            "8 threads on one hot counter must push the controller off Suicide"
+        );
+        assert_eq!(switches.len() as u64, stats.switches);
+        // Determinism: the exact same switch transcript on a second run.
+        let (again, _) = run();
+        assert_eq!(switches, again);
+    }
+
+    #[test]
+    fn adaptive_stays_quiet_without_contention() {
+        let (sim, stm) = setup(CmKind::Adaptive);
+        sim.run(4, |ctx| {
+            let addr = 0x6000_0000u64 + ctx.tid() as u64 * 4096;
+            let mut th = stm.thread(ctx.tid());
+            for _ in 0..100 {
+                stm.txn(ctx, &mut th, |tx, ctx| {
+                    let v = tx.read(ctx, addr)?;
+                    tx.write(ctx, addr, v + 1)
+                });
+            }
+            stm.retire(th);
+        });
+        let s = stm.cm_stats();
+        assert_eq!(s.switches, 0, "disjoint workloads must stay on Suicide");
+        assert_eq!(s.commits_under[CmKind::Suicide as usize], 400);
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for k in CmKind::ALL {
+            assert_eq!(CmKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(CmKind::parse("SUICIDE"), None);
+        assert_eq!(CmKind::parse(""), None);
+        assert_eq!(
+            CmKind::list(),
+            "suicide, backoff, karma, timestamp, serialize, adaptive"
+        );
+        assert_eq!(CmKind::default(), CmKind::Suicide);
+    }
+
+    #[test]
+    fn only_token_policies_allocate_the_token() {
+        for k in CmKind::ALL {
+            assert_eq!(
+                k.needs_token(),
+                matches!(k, CmKind::Serialize | CmKind::Adaptive)
+            );
+        }
+    }
+
+    #[test]
+    fn cm_stats_slots_round_trip() {
+        let mut s = CmStats::default();
+        s.commits_under[CmKind::Karma as usize] = 7;
+        s.aborts_under[CmKind::Serialize as usize] = 3;
+        s.switches = 2;
+        s.norec_hints = 1;
+        let mut slots = [0u64; <CmStats as tm_obs::SlotSchema>::WIDTH];
+        tm_obs::SlotSchema::store(&s, &mut slots);
+        let back = <CmStats as tm_obs::SlotSchema>::load(&slots);
+        assert_eq!(back.commits_under, s.commits_under);
+        assert_eq!(back.aborts_under, s.aborts_under);
+        assert_eq!(back.switches, 2);
+        assert_eq!(back.norec_hints, 1);
+        assert_eq!(
+            <CmStats as tm_obs::SlotSchema>::slot_names().len(),
+            <CmStats as tm_obs::SlotSchema>::WIDTH
+        );
+    }
+
+    #[test]
+    fn dominant_policy_prefers_most_commits() {
+        let mut s = CmStats::default();
+        assert_eq!(s.dominant_policy(), CmKind::Suicide);
+        s.commits_under[CmKind::BackoffExp as usize] = 10;
+        s.commits_under[CmKind::Karma as usize] = 30;
+        assert_eq!(s.dominant_policy(), CmKind::Karma);
+        assert_eq!(s.attempts(), 40);
+    }
+}

@@ -56,11 +56,13 @@
 
 pub mod alloc;
 mod backend;
+mod cm;
 mod stats;
 mod table;
 mod tx;
 
 pub use backend::BackendKind;
+pub use cm::{CmKind, CmStats, CmSwitch};
 pub use stats::{AbortCause, StmStats};
 pub use tx::{Abort, Tx, TxThread};
 
@@ -137,6 +139,10 @@ pub struct StmConfig {
     /// ETL design). The `shift`/`ort_bits`/`design`/`write_mode`/
     /// `ort_hash` knobs below only affect [`BackendKind::Etl`].
     pub backend: BackendKind,
+    /// Contention-management policy (default: the paper's SUICIDE). The
+    /// CM layer sits above the backend — it reacts to aborts in the retry
+    /// loop — so every [`CmKind`] composes with every [`BackendKind`].
+    pub cm: CmKind,
     /// Stripe shift: `2^shift` consecutive bytes map to one versioned lock.
     /// The paper's default is 5 (32-byte stripes); Fig. 6 sweeps 4.
     pub shift: u32,
@@ -160,6 +166,7 @@ impl Default for StmConfig {
     fn default() -> Self {
         StmConfig {
             backend: BackendKind::Etl,
+            cm: CmKind::Suicide,
             shift: 5,
             ort_bits: 20,
             object_cache: false,
@@ -178,6 +185,14 @@ pub struct Stm {
     /// `cfg.backend`; dispatch is one host-side vtable hop, far below the
     /// cost of a simulated cache access).
     pub(crate) backend: &'static dyn backend::TmBackend,
+    /// The contention manager (resolved once from `cfg.cm`; the retry
+    /// loop fast-paths [`CmKind::Suicide`] past this vtable entirely).
+    pub(crate) cm: &'static dyn cm::ContentionManager,
+    /// Simulated address of the global serialization token word, allocated
+    /// only when `cfg.cm` can reach [`CmKind::Serialize`] (an unconditional
+    /// allocation would shift every downstream simulated address and break
+    /// byte-identity of default-configuration artifacts). 0 when absent.
+    pub(crate) serialize_token: u64,
     /// Base simulated address of the ORT (entries are 8-byte words).
     pub(crate) ort_base: u64,
     pub(crate) ort_mask: u64,
@@ -188,6 +203,13 @@ pub struct Stm {
     /// own cache-line-padded shard (no global lock); `stats` merges
     /// slot-wise.
     stats: tm_obs::Sharded<StmStats>,
+    /// Per-thread contention-management stat shards (all-zero under the
+    /// default SUICIDE configuration; see [`CmStats`]).
+    cm_stats: tm_obs::Sharded<CmStats>,
+    /// Adaptive-controller switch points surrendered by retired threads,
+    /// as `(tid, switch)`. Host-side only; [`Stm::cm_switches`] returns
+    /// them in deterministic `(tid, window)` order.
+    cm_switch_log: Mutex<Vec<(usize, CmSwitch)>>,
     /// Sizes of live transactionally-allocated blocks (host-side registry
     /// feeding the object cache, which needs sizes at free time). Only
     /// touched when `cfg.object_cache` is on; see [`table::SizeRegistry`].
@@ -229,22 +251,34 @@ impl Stm {
         }
         let entries = 1u64 << cfg.ort_bits;
         let cores = sim.config().cores;
-        let (ort_base, clock_addr, active_base) = sim.with_state(|m| {
+        let (ort_base, clock_addr, active_base, serialize_token) = sim.with_state(|m| {
             let ort = m.os_alloc(entries * 8, 64);
             // The clock gets its own cache line, as does each thread's
             // active-snapshot word.
             let clock = m.os_alloc(64, 64);
             let active = m.os_alloc(cores as u64 * 64, 64);
-            (ort, clock, active)
+            // The serialization token is allocated only for configurations
+            // that can reach it, so default runs keep the exact historical
+            // address layout.
+            let token = if cfg.cm.needs_token() {
+                m.os_alloc(64, 64)
+            } else {
+                0
+            };
+            (ort, clock, active, token)
         });
         Stm {
             backend: cfg.backend.backend(),
+            cm: cfg.cm.manager(),
+            serialize_token,
             cfg,
             ort_base,
             ort_mask: entries - 1,
             clock_addr,
             allocator,
             stats: tm_obs::Sharded::new(cores),
+            cm_stats: tm_obs::Sharded::new(cores),
+            cm_switch_log: Mutex::new(Vec::new()),
             sizes: table::SizeRegistry::new(),
             active_base,
             cores,
@@ -306,7 +340,7 @@ impl Stm {
 
     /// Create per-thread transaction state. One per worker thread.
     pub fn thread(&self, tid: usize) -> TxThread {
-        TxThread::new(tid, self.cfg.object_cache)
+        TxThread::new(tid, self.cfg.object_cache, self.cfg.cm)
     }
 
     /// Fold a finished worker's statistics into the global tally. Call at
@@ -317,11 +351,18 @@ impl Stm {
         // thread descriptors than the machine has cores (totals are
         // preserved either way).
         self.stats.record(th.tid % self.cores, &th.stats);
+        self.cm_stats.record(th.tid % self.cores, &th.cm_stats);
+        if !th.switch_log.is_empty() {
+            let mut log = self.cm_switch_log.lock();
+            log.extend(th.switch_log.drain(..).map(|s| (th.tid, s)));
+        }
     }
 
-    /// Run `body` as a transaction, retrying on conflicts (SUICIDE CM:
-    /// abort self, restart immediately). Returns the body's result once a
-    /// commit succeeds.
+    /// Run `body` as a transaction, retrying on conflicts. How an abort is
+    /// answered — restart pause, priority, serialization — is decided by
+    /// the configured [`CmKind`] (default: the paper's SUICIDE, abort self
+    /// and restart immediately). Returns the body's result once a commit
+    /// succeeds.
     pub fn txn<R>(
         &self,
         ctx: &mut Ctx<'_>,
@@ -345,6 +386,7 @@ impl Stm {
         body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
     ) -> R {
         th.retries = 0;
+        cm::txn_start(self, th, ctx);
         loop {
             backend::begin(self, th, ctx);
             ctx.trace_event(tm_sim::EventKind::TxBegin, th.retries as u64, 0);
@@ -354,6 +396,7 @@ impl Stm {
                     if tx.commit(ctx) {
                         let (reads, writes) = th.footprint();
                         ctx.trace_event(tm_sim::EventKind::TxCommit, reads, writes);
+                        cm::after_commit(self, th, ctx);
                         return r;
                     }
                     // Commit-time validation failed; roll back and retry.
@@ -373,9 +416,7 @@ impl Stm {
                     ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Explicit as u64, 0);
                 }
             }
-            th.retries = th.retries.saturating_add(1);
-            let pause = th.backoff_cycles();
-            ctx.tick(pause);
+            cm::after_abort(self, th, ctx);
         }
     }
 
@@ -384,9 +425,26 @@ impl Stm {
         self.stats.merged()
     }
 
+    /// Global contention-management statistics snapshot (retired threads
+    /// only; all-zero under the default SUICIDE configuration).
+    pub fn cm_stats(&self) -> CmStats {
+        self.cm_stats.merged()
+    }
+
+    /// Every adaptive-controller policy switch taken by retired threads,
+    /// as `(tid, switch)` sorted by `(tid, window)` — a deterministic
+    /// transcript of the controller's behaviour.
+    pub fn cm_switches(&self) -> Vec<(usize, CmSwitch)> {
+        let mut log = self.cm_switch_log.lock().clone();
+        log.sort_by_key(|(tid, s)| (*tid, s.window));
+        log
+    }
+
     /// Reset global statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&self) {
-        self.stats.reset()
+        self.stats.reset();
+        self.cm_stats.reset();
+        self.cm_switch_log.lock().clear();
     }
 
     /// The bound allocator.

@@ -7,6 +7,7 @@
 use tm_sim::{Ctx, HtmAbort};
 
 use crate::alloc::ObjectCache;
+use crate::cm::{CmKind, CmStats, CmSwitch};
 use crate::stats::{AbortCause, StmStats};
 use crate::table::GenTable;
 use crate::Stm;
@@ -64,10 +65,36 @@ pub struct TxThread {
     pub(crate) htm_irrevocable: bool,
     pub(crate) stats: StmStats,
     pub(crate) cache: Option<ObjectCache>,
+    /// Contention-management policy currently reacting to this thread's
+    /// aborts (fixed for static [`CmKind`]s; walked up and down the
+    /// escalation ladder by [`CmKind::Adaptive`]).
+    pub(crate) cm_active: CmKind,
+    /// Karma CM: footprint accumulated across aborted attempts of the
+    /// current transaction; reset at commit.
+    pub(crate) karma: u64,
+    /// Timestamp CM: virtual time of the current transaction's first
+    /// attempt.
+    pub(crate) cm_start: u64,
+    /// Serialize CM: this thread owns the global serialization token.
+    pub(crate) holds_token: bool,
+    /// Per-policy commit/abort tallies and controller activity.
+    pub(crate) cm_stats: CmStats,
+    /// Adaptive controller: commits in the current abort-rate window.
+    pub(crate) window_commits: u32,
+    /// Adaptive controller: aborts in the current abort-rate window.
+    pub(crate) window_aborts: u32,
+    /// Adaptive controller: index of the current window.
+    pub(crate) windows: u32,
+    /// Adaptive controller: `stats` snapshot at the current window's start
+    /// (per-cause deltas drive the NOrec-affinity hint).
+    pub(crate) window_base: StmStats,
+    /// Adaptive controller: every policy switch this thread took, in
+    /// order. Compared bit-for-bit by the determinism tests.
+    pub(crate) switch_log: Vec<CmSwitch>,
 }
 
 impl TxThread {
-    pub(crate) fn new(tid: usize, object_cache: bool) -> Self {
+    pub(crate) fn new(tid: usize, object_cache: bool, cm: CmKind) -> Self {
         TxThread {
             tid,
             rv: 0,
@@ -87,12 +114,33 @@ impl TxThread {
             htm_irrevocable: false,
             stats: StmStats::default(),
             cache: object_cache.then(ObjectCache::default),
+            cm_active: cm.initial_policy(),
+            karma: 0,
+            cm_start: 0,
+            holds_token: false,
+            cm_stats: CmStats::default(),
+            window_commits: 0,
+            window_aborts: 0,
+            windows: 0,
+            window_base: StmStats::default(),
+            switch_log: Vec::new(),
         }
     }
 
     /// Statistics accumulated by this thread so far.
     pub fn local_stats(&self) -> StmStats {
         self.stats
+    }
+
+    /// Contention-management statistics accumulated by this thread so far.
+    pub fn local_cm_stats(&self) -> CmStats {
+        self.cm_stats
+    }
+
+    /// Every policy switch the adaptive controller took on this thread, in
+    /// order (empty for static policies).
+    pub fn cm_switches(&self) -> &[CmSwitch] {
+        &self.switch_log
     }
 
     /// (reads, writes) footprint of the most recent transaction attempt
@@ -172,12 +220,20 @@ impl TxThread {
     /// symmetric multi-write transactions would otherwise phase-lock into
     /// a livelock, so the noise is reintroduced here, deterministically.
     pub(crate) fn backoff_cycles(&mut self) -> u64 {
+        let r = self.backoff_rand();
+        let cap = 32u64 << self.retries.min(8);
+        r % cap
+    }
+
+    /// One LCG step of the per-thread backoff stream (shared by every
+    /// contention manager, so a policy switch continues the same
+    /// deterministic stream rather than restarting it).
+    pub(crate) fn backoff_rand(&mut self) -> u64 {
         self.backoff_state = self
             .backoff_state
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        let cap = 32u64 << self.retries.min(8);
-        (self.backoff_state >> 33) % cap
+        self.backoff_state >> 33
     }
 
     /// Mark this thread quiescent (no snapshot in flight).

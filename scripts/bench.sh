@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tracked perf baseline: time the synthetic sweep matrix and the exhibit
-# regeneration, and merge the numbers with the frozen pre-overhaul baseline
-# (results/bench_before_pr6.json) into results/BENCH_pr6.json.
+# regeneration, and merge the numbers with the frozen pre-contention-manager
+# baseline (results/bench_before_pr7.json) into results/BENCH_pr7.json.
 #
-# Usage: scripts/bench.sh [--quick] [--out FILE]
+# Usage: scripts/bench.sh [--quick] [--out FILE] [--gate PCT]
 #   --quick    skip the full exhibit regeneration; time only the sweep
 #              matrix (the CI perf-smoke mode — seconds, not minutes)
-#   --out FILE destination (default results/BENCH_pr6.json)
+#   --out FILE destination (default results/BENCH_pr7.json)
+#   --gate PCT exit 1 if the sweep is more than PCT percent slower than
+#              the frozen baseline (only meaningful on the host the
+#              baseline was measured on; CI keeps its timeout as the gate)
 #
 # Wall times are host-specific: the before/after comparison is only
 # meaningful on one machine, and the committed before-file records the host
@@ -18,11 +21,13 @@ cd "$(dirname "$0")/.."
 CARGO="cargo --offline"
 
 quick=0
-out="results/BENCH_pr6.json"
+out="results/BENCH_pr7.json"
+gate=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick=1 ;;
     --out) out="$2"; shift ;;
+    --gate) gate="$2"; shift ;;
     *) echo "unknown flag '$1'" >&2; exit 2 ;;
   esac
   shift
@@ -53,13 +58,13 @@ else
 fi
 
 echo "==> merging into $out"
-python3 - "$sweep_json" "$timings_json" "$out" <<'EOF'
+python3 - "$sweep_json" "$timings_json" "$out" "$gate" <<'EOF'
 import json, platform, sys
 
-sweep_path, timings_path, out_path = sys.argv[1:4]
+sweep_path, timings_path, out_path, gate = sys.argv[1:5]
 sweep = json.load(open(sweep_path))
 timings = json.load(open(timings_path))
-before = json.load(open('results/bench_before_pr6.json'))
+before = json.load(open('results/bench_before_pr7.json'))
 
 after = {
     'side': 'after',
@@ -101,4 +106,11 @@ doc = {
 json.dump(doc, open(out_path, 'w'), indent=2)
 print(f"sweep: {b_ms} ms -> {a_ms} ms "
       f"({doc['sweep_speedup']}x); wrote {out_path}")
+if gate:
+    budget = b_ms * (1 + float(gate) / 100)
+    if a_ms > budget:
+        print(f"GATE FAIL: sweep {a_ms} ms exceeds the {gate}% budget "
+              f"({budget:.0f} ms over baseline {b_ms} ms)", file=sys.stderr)
+        sys.exit(1)
+    print(f"gate: within {gate}% of the frozen baseline")
 EOF

@@ -59,4 +59,19 @@ else
 fi
 rm -f "$backend_out"
 
+# Same smoke for the non-default contention manager (the generic CM
+# dispatch path, exercised by CI's perf-smoke job too).
+echo "==> tmstudy sweep --quick --cm backoff (contention-manager smoke)"
+cm_out="$(mktemp)"
+if [ "$quick" -eq 0 ]; then
+  $CARGO run --release -p tm-core --bin tmstudy -- sweep --quick \
+    --cm backoff --workers 1 --name verify-cm-backoff --out "$cm_out" \
+    >/dev/null
+else
+  $CARGO run -p tm-core --bin tmstudy -- sweep --quick \
+    --cm backoff --workers 1 --name verify-cm-backoff --out "$cm_out" \
+    >/dev/null
+fi
+rm -f "$cm_out"
+
 echo "verify: all gates passed"

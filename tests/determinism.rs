@@ -20,7 +20,7 @@ use tm_core::synthetic::{run_synthetic, SyntheticConfig};
 use tm_ds::StructureKind;
 use tm_stamp::runner::{run_kind, StampOpts};
 use tm_stamp::AppKind;
-use tm_stm::BackendKind;
+use tm_stm::{BackendKind, CmKind};
 
 /// One synthetic run, small enough for debug-build CI, rendered as the
 /// canonical run-report JSON. The ETL default keeps the historical golden
@@ -83,6 +83,31 @@ fn stamp_json(threads: usize) -> String {
     stamp_backend_json(BackendKind::Etl, threads)
 }
 
+/// One synthetic run per contention manager, as JSON. Every policy gets a
+/// cm-tagged v1.1 report — including suicide, whose *simulated numbers*
+/// must equal the untagged ETL golden at the same thread count (the CM
+/// layer's byte-identity contract, asserted separately below).
+fn synth_cm_json(cm: CmKind, threads: usize) -> String {
+    let mut cfg =
+        SyntheticConfig::scaled(StructureKind::HashSet, AllocatorKind::TbbMalloc, threads);
+    cfg.initial_size = 64;
+    cfg.key_range = 128;
+    cfg.ops_per_thread = 200;
+    cfg.buckets = 1 << 11;
+    cfg.cm = cm;
+    let m = run_synthetic(&cfg);
+    tm_obs::RunReport::new(
+        format!("determinism_synth_cm_{}_t{threads}", cm.name()),
+        "determinism",
+    )
+    .cm(cm.name())
+    .meta("structure", "hash")
+    .meta("alloc", "tbb")
+    .meta("threads", threads)
+    .section("metrics", m.section())
+    .to_json_string()
+}
+
 fn check_golden(name: &str, actual: &str) {
     let full = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
     if std::env::var("GOLDEN_BLESS").is_ok() {
@@ -139,6 +164,36 @@ fn backend_synth_runs_are_deterministic() {
                 || synth_backend_json(backend, threads),
             );
         }
+    }
+}
+
+#[test]
+fn cm_synth_runs_are_deterministic() {
+    for cm in CmKind::ALL {
+        for threads in [1, 8] {
+            assert_deterministic(
+                &format!("determinism_synth_cm_{}_t{threads}.json", cm.name()),
+                || synth_cm_json(cm, threads),
+            );
+        }
+    }
+}
+
+/// The default-CM byte-identity contract: a run tagged `cm: suicide` must
+/// simulate the exact same events as the untagged baseline — same clocks,
+/// same commit/abort counts, same cache statistics. Only the report header
+/// (name, schema, cm field) may differ.
+#[test]
+fn suicide_cm_is_byte_identical_to_the_untagged_baseline() {
+    for threads in [1, 8] {
+        let base = synth_json(threads);
+        let tagged = synth_cm_json(CmKind::Suicide, threads);
+        let body = |s: &str| s[s.find("\"sections\"").unwrap()..].to_string();
+        assert_eq!(
+            body(&base),
+            body(&tagged),
+            "t{threads}: the suicide CM perturbed the simulation"
+        );
     }
 }
 
