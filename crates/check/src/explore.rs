@@ -85,9 +85,22 @@ impl Schedule {
 
 /// Run the program under one schedule and return the final token total.
 /// Fully deterministic in `(program, schedule, bug)`.
+///
+/// Delays are injected through the simulator's scheduling-point hook
+/// ([`tm_sim::Sim::set_sched_hook`]): the transaction body only *names* its
+/// scheduling point (`ctx.sched_point(t)`), and the installed hook — here a
+/// table lookup into the delay vector, in `tm-mc` the systematic enumerator
+/// — decides how long to hold the thread there. A retried transaction
+/// re-announces the same point and receives the same delay, so a schedule
+/// remains a pure function of `(tid, txn)`.
 pub fn run_transfers(program: &TransferProgram, schedule: &Schedule, bug: InjectedBug) -> u64 {
     assert_eq!(schedule.0.len(), program.points(), "schedule arity");
     let sim = Sim::new(MachineConfig::xeon_e5405());
+    let txns = program.txns as usize;
+    let delays: Arc<Vec<u64>> = Arc::new(schedule.0.clone());
+    sim.set_sched_hook(Arc::new(move |tid, point| {
+        delays[tid * txns + point as usize]
+    }));
     let alloc = AllocatorKind::TbbMalloc.build(&sim);
     let stm = Arc::new(Stm::new(
         &sim,
@@ -112,15 +125,14 @@ pub fn run_transfers(program: &TransferProgram, schedule: &Schedule, bug: Inject
             let from = base + (x % program.cells) * 4096;
             let to = base + ((x >> 8) % program.cells) * 4096;
             let amt = (x >> 16) % 7;
-            let delay = schedule.0[tid * program.txns as usize + t as usize];
             stm.txn(ctx, &mut th, |tx, ctx| {
                 let f = tx.read(ctx, from)?;
-                let t = tx.read(ctx, to)?;
+                let v = tx.read(ctx, to)?;
                 // The scheduling point: widen the read→write window.
-                ctx.tick(delay);
+                ctx.sched_point(t);
                 if from != to && f >= amt {
                     tx.write(ctx, from, f - amt)?;
-                    tx.write(ctx, to, t + amt)?;
+                    tx.write(ctx, to, v + amt)?;
                 }
                 Ok(())
             });
@@ -265,6 +277,42 @@ mod tests {
             run_transfers(&program, &o.schedule, InjectedBug::None),
             program.expected_total()
         );
+    }
+
+    #[test]
+    fn empty_schedule_program_explores_cleanly() {
+        // txns = 0 ⇒ zero scheduling points ⇒ the only schedule is the
+        // empty delay vector; exploration (and its shrinker) must cope.
+        let program = TransferProgram {
+            txns: 0,
+            ..TransferProgram::default()
+        };
+        assert_eq!(program.points(), 0);
+        assert_eq!(
+            run_transfers(&program, &Schedule::zero(&program), InjectedBug::None),
+            program.expected_total()
+        );
+        let found = explore(&program, InjectedBug::None, 8, 400, 0x1);
+        assert!(found.is_none(), "{found:?}");
+    }
+
+    #[test]
+    fn single_thread_program_explores_cleanly() {
+        // One thread cannot race with itself even with a seeded bug: the
+        // explorer must report no violation, not a spurious one.
+        let program = TransferProgram {
+            threads: 1,
+            ..TransferProgram::default()
+        };
+        let found = explore(&program, InjectedBug::SkipWriteValidation, 16, 400, 0x2);
+        assert!(found.is_none(), "{found:?}");
+    }
+
+    #[test]
+    fn zero_budget_explores_nothing() {
+        let program = TransferProgram::default();
+        let found = explore(&program, InjectedBug::SkipWriteValidation, 0, 400, 0x3);
+        assert!(found.is_none(), "a zero budget must explore zero schedules");
     }
 
     #[test]

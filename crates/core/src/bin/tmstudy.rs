@@ -45,6 +45,7 @@ fn main() {
         "report" => report(rest),
         "sweep" => sweep(&flags),
         "check" => check(&flags),
+        "mc" => mc(&flags),
         "book" => book(&flags),
         _ => usage(),
     }
@@ -52,7 +53,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|check|book> [flags]\n\
+        "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|check|mc|book> [flags]\n\
          synth:      --structure list|hash|rbtree --alloc <a> --threads N \
          [--backend etl|norec|htm] [--cm <policy>] [--update-pct P] [--shift S] \
          [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
@@ -70,6 +71,9 @@ fn usage() {
          check:      correctness matrix (serial oracles, heap audit, \
          cross-backend and cross-CM diffs, interleaving explorer) [--quick] \
          [--backend B] [--cm C] [--name S] [--out FILE]\n\
+         mc:         systematic schedule exploration (bounded-exhaustive \
+         enumeration with conflict pruning) [--quick] [--backend B] [--cm C] \
+         [--alloc A] [--depth N] [--budget N] [--name S] [--out FILE]\n\
          book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
          allocators: glibc hoard tbb tc\n\
          cm (contention manager): suicide backoff karma timestamp serialize adaptive"
@@ -81,14 +85,16 @@ enum AnyReport {
     Run(tm_obs::RunReport),
     Sweep(tm_obs::SweepReport),
     Check(tm_obs::CheckReport),
+    Mc(tm_obs::McReport),
 }
 
 /// The schemas this binary understands, for error messages.
-const KNOWN_SCHEMAS: [&str; 4] = [
+const KNOWN_SCHEMAS: [&str; 5] = [
     tm_obs::report::SCHEMA,
     tm_obs::report::SCHEMA_V1_1,
     tm_obs::sweep::SWEEP_SCHEMA,
     tm_obs::check::CHECK_SCHEMA,
+    tm_obs::mc::MC_SCHEMA,
 ];
 
 impl AnyReport {
@@ -114,6 +120,9 @@ impl AnyReport {
             Some(tm_obs::check::CHECK_SCHEMA) => tm_obs::CheckReport::from_json(&tree)
                 .map(AnyReport::Check)
                 .map_err(|e| format!("malformed check report: {e}")),
+            Some(tm_obs::mc::MC_SCHEMA) => tm_obs::McReport::from_json(&tree)
+                .map(AnyReport::Mc)
+                .map_err(|e| format!("malformed mc report: {e}")),
             Some(other) => Err(format!(
                 "unknown schema '{other}' (known schemas: {})",
                 KNOWN_SCHEMAS.join(", ")
@@ -142,11 +151,13 @@ fn report(args: &[String]) {
             AnyReport::Run(r) => print!("{}", r.render()),
             AnyReport::Sweep(s) => print!("{}", s.render()),
             AnyReport::Check(c) => print!("{}", c.render()),
+            AnyReport::Mc(m) => print!("{}", m.render()),
         },
         [a, b] => {
             let d = match (AnyReport::load_or_exit(a), AnyReport::load_or_exit(b)) {
                 (AnyReport::Run(ra), AnyReport::Run(rb)) => ra.diff(&rb),
                 (AnyReport::Sweep(sa), AnyReport::Sweep(sb)) => sa.diff(&sb),
+                (AnyReport::Mc(ma), AnyReport::Mc(mb)) => ma.diff(&mb),
                 (AnyReport::Check(_), AnyReport::Check(_)) => {
                     eprintln!("report: check reports have no diff; rerun `tmstudy check`");
                     std::process::exit(2);
@@ -325,6 +336,8 @@ fn check(flags: &HashMap<String, String>) {
         64,
         0x51ee7,
     ));
+    eprintln!("check '{name}': schedule model checker…");
+    cells.extend(tm_mc::check_cells());
 
     let mut report = tm_obs::CheckReport::new(&name)
         .meta("quick", quick)
@@ -345,6 +358,87 @@ fn check(flags: &HashMap<String, String>) {
     println!("\ncheck report written to {out}");
     if report.degraded() > 0 {
         eprintln!("error: {} failing cell(s)", report.degraded());
+        std::process::exit(1);
+    }
+}
+
+/// Run the schedule model checker (tm-mc) and write a `tm-mc-report/v1`
+/// document. `--quick` runs the mutation catalog plus the exhaustive
+/// clean sweep across every backend × CM; otherwise a targeted
+/// bounded-exhaustive clean sweep over the requested axes. Exit 1 when
+/// any cell ends with an unexpected verdict (a violation on the clean
+/// STM or an escaped mutant), 2 on bad flags.
+fn mc(flags: &HashMap<String, String>) {
+    use tm_stm::{BackendKind, CmKind};
+    let quick = flags.contains_key("quick");
+    let depth = get(flags, "depth", 3usize);
+    let budget = get(flags, "budget", 200_000u64);
+    let name = flags.get("name").cloned().unwrap_or_else(|| {
+        if quick {
+            "mc-quick".into()
+        } else {
+            "mc".into()
+        }
+    });
+    let report = if quick {
+        eprintln!("mc '{name}': mutation catalog + exhaustive clean sweep (depth {depth})…");
+        tm_mc::quick_report(&name, depth)
+    } else {
+        let backends: Vec<BackendKind> = if flags.contains_key("backend") {
+            vec![backend_of(flags)]
+        } else {
+            BackendKind::ALL.to_vec()
+        };
+        let cms: Vec<CmKind> = if flags.contains_key("cm") {
+            vec![cm_of(flags)]
+        } else {
+            CmKind::ALL.to_vec()
+        };
+        let alloc = match flags.get("alloc") {
+            None => AllocatorKind::TbbMalloc,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: unknown allocator '{v}' (glibc hoard tbb tc)");
+                std::process::exit(2);
+            }),
+        };
+        let program = tm_mc::small_program();
+        let ecfg = tm_mc::EnumConfig {
+            depth,
+            max_schedules: budget,
+            ..tm_mc::EnumConfig::default()
+        };
+        eprintln!(
+            "mc '{name}': exhaustive clean sweep, depth {depth}, {} backend(s) × {} CM(s), \
+             budget {budget}…",
+            backends.len(),
+            cms.len()
+        );
+        let mut report = tm_obs::McReport::new(&name)
+            .meta("mode", "sweep")
+            .meta("depth", depth)
+            .meta("budget", budget)
+            .meta("alloc", alloc.name());
+        for &backend in &backends {
+            for &cm in &cms {
+                report
+                    .cells
+                    .push(tm_mc::run_clean_cell(&program, alloc, backend, cm, &ecfg));
+            }
+        }
+        report
+    };
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("results/{name}.mc.json"));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write mc report");
+    print!("{}", report.render());
+    println!("\nmc report written to {out}");
+    if report.degraded() > 0 {
+        eprintln!("error: {} unexpected verdict(s)", report.degraded());
         std::process::exit(1);
     }
 }
@@ -630,6 +724,15 @@ mod tests {
         assert!(err.contains("no 'schema' field"), "{err}");
         let err = AnyReport::parse("not json at all").err().unwrap();
         assert!(err.contains("not JSON"), "{err}");
+    }
+
+    #[test]
+    fn report_load_dispatches_mc_schema() {
+        let mc = tm_obs::McReport::new("m");
+        assert!(matches!(
+            AnyReport::parse(&mc.to_json_string()),
+            Ok(AnyReport::Mc(_))
+        ));
     }
 
     #[test]

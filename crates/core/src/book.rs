@@ -543,15 +543,19 @@ fn check_desc(check: &Check) -> &'static str {
 }
 
 /// Load every `tm-run-report/v1` (or v1.1) file under `dir` (skipping
-/// `*.sweep.json` matrices and `*.check.json` correctness reports, which
-/// have their own schemas), sorted by file name for determinism.
+/// `*.sweep.json` matrices, `*.check.json` correctness reports, and
+/// `*.mc.json` model-checking reports, which have their own schemas),
+/// sorted by file name for determinism.
 pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
     let mut files: Vec<String> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.file_name().to_string_lossy().into_owned())
         .filter(|n| {
-            n.ends_with(".json") && !n.ends_with(".sweep.json") && !n.ends_with(".check.json")
+            n.ends_with(".json")
+                && !n.ends_with(".sweep.json")
+                && !n.ends_with(".check.json")
+                && !n.ends_with(".mc.json")
         })
         .collect();
     files.sort();
@@ -871,6 +875,7 @@ mod tests {
             "{\"schema\": \"tm-sweep-report/v1\"}",
         );
         write("check.check.json", "{\"schema\": \"tm-check-report/v1\"}");
+        write("mc_quick.mc.json", "{\"schema\": \"tm-mc-report/v1\"}");
         write("bench_perf.json", "{\"schema\": \"tm-bench-perf/v1\"}");
         write("notes.txt", "not json at all");
         let reports = load_results_dir(dir.to_str().unwrap()).unwrap();

@@ -1,0 +1,489 @@
+//! The mutation catalog and the cell builders behind `tmstudy mc`.
+//!
+//! Each [`MutantRecipe`] pairs one [`InjectedBug`] with the program,
+//! configuration, and exploration strategy empirically tuned to expose
+//! it; [`run_mutant_cell`] proves the explorer still catches it (verdict
+//! `caught`, with the violation shrunk to a minimal replayable delay
+//! vector) and [`run_clean_cell`] proves the clean STM survives the same
+//! machinery (verdict `clean`). The quick suite bundles the full catalog
+//! with a bounded-exhaustive clean sweep across every backend ×
+//! contention-manager combination.
+
+use proptest::shrink_failure;
+use proptest::test_runner::TestCaseError;
+use tm_alloc::AllocatorKind;
+use tm_check::strategies::delays;
+use tm_check::TransferProgram;
+use tm_obs::{McCell, McCounterexample, McReport, McVerdict};
+use tm_stm::{BackendKind, CmKind, InjectedBug};
+
+use crate::enumerate::{enumerate, EnumConfig};
+use crate::pct::{pct_explore, PctConfig};
+use crate::program::{run_schedule, McProgram, ProgramKind, RunConfig};
+
+/// How a cell sweeps the schedule space.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Bounded-depth exhaustive enumeration ([`crate::enumerate()`]).
+    Exhaustive(EnumConfig),
+    /// Randomized priority trials ([`crate::pct`]).
+    Pct(PctConfig),
+}
+
+impl Strategy {
+    fn name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive(_) => "exhaustive",
+            Strategy::Pct(_) => "pct",
+        }
+    }
+}
+
+/// One entry of the mutation catalog: a seeded defect plus the recipe
+/// that exposes it.
+#[derive(Clone, Debug)]
+pub struct MutantRecipe {
+    /// The seeded defect.
+    pub bug: InjectedBug,
+    /// Workload that makes the defect observable.
+    pub program: McProgram,
+    /// Fixed configuration (backend the bug applies to, CM, allocator).
+    pub run: RunConfig,
+    /// Exploration strategy tuned to find it within budget.
+    pub strategy: Strategy,
+}
+
+/// The full mutation catalog: every [`InjectedBug`] variant except
+/// `None`, each with its tuned recipe. `tmstudy mc --quick` must catch
+/// all of them — a surviving mutant means the explorer lost its teeth.
+pub fn mutation_catalog() -> Vec<MutantRecipe> {
+    let transfer = McProgram {
+        base: TransferProgram::default(),
+        kind: ProgramKind::Transfer,
+    };
+    let clean = RunConfig::clean();
+    vec![
+        // Lost update: writes skip ownership-record validation, so a
+        // delayed transaction commits stale values over a concurrent
+        // commit. One delayed point suffices.
+        MutantRecipe {
+            bug: InjectedBug::SkipWriteValidation,
+            program: transfer,
+            run: RunConfig {
+                bug: InjectedBug::SkipWriteValidation,
+                ..clean
+            },
+            strategy: Strategy::Exhaustive(EnumConfig {
+                depth: 2,
+                magnitudes: vec![400, 3200],
+                ..EnumConfig::default()
+            }),
+        },
+        // Torn snapshot: reads skip revalidation, which the plain
+        // transfer masks (the write path re-covers the same stripes) but
+        // a read-only observer commits.
+        MutantRecipe {
+            bug: InjectedBug::SkipReadValidation,
+            program: McProgram {
+                base: TransferProgram::default(),
+                kind: ProgramKind::TransferObserver,
+            },
+            run: RunConfig {
+                bug: InjectedBug::SkipReadValidation,
+                ..clean
+            },
+            strategy: Strategy::Exhaustive(EnumConfig {
+                depth: 2,
+                magnitudes: vec![400, 3200],
+                ..EnumConfig::default()
+            }),
+        },
+        // NOrec commit races refresh the snapshot without value
+        // validation: a commit landing in the read→commit window is
+        // silently overwritten.
+        MutantRecipe {
+            bug: InjectedBug::NorecStaleSnapshot,
+            program: transfer,
+            run: RunConfig {
+                backend: BackendKind::Norec,
+                bug: InjectedBug::NorecStaleSnapshot,
+                ..clean
+            },
+            strategy: Strategy::Exhaustive(EnumConfig {
+                depth: 2,
+                magnitudes: vec![400, 3200],
+                ..EnumConfig::default()
+            }),
+        },
+        // Transactional free applied eagerly at the call site: the node
+        // is recycled while still published, so aborted retries double
+        // free and conservation breaks. Allocator metadata couples every
+        // transaction, so pruning is off.
+        MutantRecipe {
+            bug: InjectedBug::TxAllocEarlyFree,
+            program: McProgram {
+                base: TransferProgram::default(),
+                kind: ProgramKind::AllocSwap,
+            },
+            run: RunConfig {
+                bug: InjectedBug::TxAllocEarlyFree,
+                ..clean
+            },
+            strategy: Strategy::Exhaustive(EnumConfig {
+                depth: 2,
+                magnitudes: vec![400, 3200],
+                prune: false,
+                ..EnumConfig::default()
+            }),
+        },
+        // A committing serialization-token holder forgets the release:
+        // needs enough consecutive aborts to escalate, so the recipe
+        // leans on large delays that re-apply on every retry.
+        MutantRecipe {
+            bug: InjectedBug::SerializeTokenLeak,
+            program: transfer,
+            run: RunConfig {
+                cm: CmKind::Serialize,
+                bug: InjectedBug::SerializeTokenLeak,
+                ..clean
+            },
+            strategy: Strategy::Exhaustive(EnumConfig {
+                depth: 2,
+                magnitudes: vec![3200, 25600],
+                ..EnumConfig::default()
+            }),
+        },
+    ]
+}
+
+fn config_kv(
+    strategy: &Strategy,
+    program: &McProgram,
+    run: &RunConfig,
+    depth_label: String,
+) -> Vec<(String, String)> {
+    vec![
+        ("strategy".into(), strategy.name().into()),
+        ("program".into(), program.kind.name().into()),
+        ("backend".into(), run.backend.name().into()),
+        ("cm".into(), run.cm.name().into()),
+        ("alloc".into(), run.alloc.name().into()),
+        ("bug".into(), run.bug.name().into()),
+        ("depth".into(), depth_label),
+    ]
+}
+
+/// Shrink a raw violating delay vector to a minimal one that still
+/// fails, using the proptest shrinking machinery over the same strategy
+/// shape `tm-check` explores with. Returns the finished counterexample;
+/// the shrunk vector is guaranteed (asserted) to still violate.
+pub fn shrink_violation(
+    program: &McProgram,
+    run: &RunConfig,
+    witness: Vec<u64>,
+    detail: String,
+    found_at: u64,
+) -> McCounterexample {
+    let max_delay = witness.iter().copied().max().unwrap_or(0) + 1;
+    let strategy = delays(program.points(), max_delay);
+    let check = |sched: &Vec<u64>| match run_schedule(program, run, sched) {
+        Ok(()) => Ok(()),
+        Err(d) => Err(TestCaseError::fail(d)),
+    };
+    let (minimal, err, steps) =
+        shrink_failure(&strategy, witness, TestCaseError::fail(detail), 400, check);
+    debug_assert!(
+        run_schedule(program, run, &minimal).is_err(),
+        "shrunk counterexample no longer fails"
+    );
+    McCounterexample {
+        schedule: minimal,
+        detail: format!("{err}"),
+        found_at,
+        shrink_steps: steps as u64,
+    }
+}
+
+/// Run one clean-STM cell: bounded-exhaustive exploration that must find
+/// nothing. Verdict `clean` on success, `violation` (with the shrunk
+/// witness) if any schedule breaks an invariant.
+pub fn run_clean_cell(
+    program: &McProgram,
+    alloc: AllocatorKind,
+    backend: BackendKind,
+    cm: CmKind,
+    ecfg: &EnumConfig,
+) -> McCell {
+    let run = RunConfig {
+        alloc,
+        backend,
+        cm,
+        ..RunConfig::clean()
+    };
+    let strategy = Strategy::Exhaustive(ecfg.clone());
+    let config = config_kv(&strategy, program, &run, ecfg.depth.to_string());
+    let (stats, found) = enumerate(program, &run, ecfg);
+    match found {
+        None => McCell {
+            config,
+            verdict: McVerdict::Clean,
+            explored: stats.explored,
+            pruned: stats.pruned,
+            counterexample: None,
+        },
+        Some((witness, detail)) => {
+            let cx = shrink_violation(program, &run, witness, detail, stats.explored);
+            McCell {
+                config,
+                verdict: McVerdict::Violation,
+                explored: stats.explored,
+                pruned: stats.pruned,
+                counterexample: Some(cx),
+            }
+        }
+    }
+}
+
+/// Run one mutation-catalog cell: the explorer must find a violation,
+/// shrink it, and the shrunk schedule must both replay against the
+/// mutant and pass on the clean STM (so the failure is the bug's, not
+/// the harness's). Verdict `caught` when all of that holds, `escaped`
+/// when the budget runs dry, `violation` when the shrunk witness fails
+/// the replay discipline.
+pub fn run_mutant_cell(recipe: &MutantRecipe) -> McCell {
+    let depth_label = match &recipe.strategy {
+        Strategy::Exhaustive(e) => e.depth.to_string(),
+        Strategy::Pct(p) => p.depth.to_string(),
+    };
+    let config = config_kv(&recipe.strategy, &recipe.program, &recipe.run, depth_label);
+    let (explored, pruned, found) = match &recipe.strategy {
+        Strategy::Exhaustive(ecfg) => {
+            let (stats, found) = enumerate(&recipe.program, &recipe.run, ecfg);
+            (stats.explored, stats.pruned, found)
+        }
+        Strategy::Pct(pcfg) => {
+            let (trials, found) = pct_explore(&recipe.program, &recipe.run, pcfg);
+            (trials, 0, found)
+        }
+    };
+    match found {
+        None => McCell {
+            config,
+            verdict: McVerdict::Escaped,
+            explored,
+            pruned,
+            counterexample: None,
+        },
+        Some((witness, detail)) => {
+            let cx = shrink_violation(&recipe.program, &recipe.run, witness, detail, explored);
+            // Replay discipline: the minimal schedule must still fail on
+            // the mutant and must pass on the clean STM.
+            let replays = run_schedule(&recipe.program, &recipe.run, &cx.schedule).is_err();
+            let clean_run = RunConfig {
+                bug: InjectedBug::None,
+                ..recipe.run
+            };
+            let clean_ok = run_schedule(&recipe.program, &clean_run, &cx.schedule).is_ok();
+            let verdict = if replays && clean_ok {
+                McVerdict::Caught
+            } else {
+                McVerdict::Violation
+            };
+            McCell {
+                config,
+                verdict,
+                explored,
+                pruned,
+                counterexample: Some(cx),
+            }
+        }
+    }
+}
+
+/// The small program whose bounded schedule space the clean sweep covers
+/// exhaustively: 3 threads × 2 transactions over 2 cells (6 scheduling
+/// points).
+pub fn small_program() -> McProgram {
+    McProgram {
+        base: TransferProgram {
+            threads: 3,
+            cells: 2,
+            txns: 2,
+            ..TransferProgram::default()
+        },
+        kind: ProgramKind::Transfer,
+    }
+}
+
+/// Enumeration shape of the quick clean sweep: every support of up to
+/// `depth` points, one magnitude.
+pub fn quick_clean_config(depth: usize) -> EnumConfig {
+    EnumConfig {
+        depth,
+        magnitudes: vec![400],
+        ..EnumConfig::default()
+    }
+}
+
+/// The `tmstudy mc --quick` suite: the full mutation catalog plus a
+/// depth-`depth` exhaustive clean sweep of [`small_program`] across
+/// every backend × contention-manager combination.
+pub fn quick_report(name: &str, depth: usize) -> McReport {
+    let mut report = McReport::new(name)
+        .meta("mode", "quick")
+        .meta("clean_depth", depth);
+    for recipe in mutation_catalog() {
+        report.cells.push(run_mutant_cell(&recipe));
+    }
+    let program = small_program();
+    let ecfg = quick_clean_config(depth);
+    for backend in BackendKind::ALL {
+        for cm in CmKind::ALL {
+            report.cells.push(run_clean_cell(
+                &program,
+                AllocatorKind::TbbMalloc,
+                backend,
+                cm,
+                &ecfg,
+            ));
+        }
+    }
+    // A sparse program (many more cells than transactions) where the
+    // conflict relation actually removes schedules, so the artifact
+    // demonstrates a non-zero `pruned` count.
+    report.cells.push(run_clean_cell(
+        &sparse_program(),
+        AllocatorKind::TbbMalloc,
+        BackendKind::Etl,
+        CmKind::Suicide,
+        &quick_clean_config(2),
+    ));
+    report
+}
+
+/// A transfer program with far more cells than transactions, leaving
+/// many scheduling points conflict-free: the shape that shows the
+/// pruning machinery paying off.
+pub fn sparse_program() -> McProgram {
+    McProgram {
+        base: TransferProgram {
+            threads: 3,
+            cells: 64,
+            txns: 4,
+            ..TransferProgram::default()
+        },
+        kind: ProgramKind::Transfer,
+    }
+}
+
+/// The mc rows of the `tmstudy check` matrix: one cell per catalog
+/// mutant (must be caught) plus one clean exhaustive cell per backend
+/// (must stay clean), converted to the check-report cell shape.
+pub fn check_cells() -> Vec<tm_obs::CheckCell> {
+    let mut out = Vec::new();
+    for recipe in mutation_catalog() {
+        out.push(mc_cell_to_check(run_mutant_cell(&recipe)));
+    }
+    let program = small_program();
+    let ecfg = quick_clean_config(2);
+    for backend in BackendKind::ALL {
+        out.push(mc_cell_to_check(run_clean_cell(
+            &program,
+            AllocatorKind::TbbMalloc,
+            backend,
+            CmKind::Suicide,
+            &ecfg,
+        )));
+    }
+    out
+}
+
+fn mc_cell_to_check(cell: McCell) -> tm_obs::CheckCell {
+    let mut config = vec![("kind".to_string(), "mc".to_string())];
+    config.extend(cell.config.iter().cloned());
+    let mut checks = vec![
+        ("explored".to_string(), cell.explored),
+        ("pruned".to_string(), cell.pruned),
+    ];
+    let mut failures = Vec::new();
+    if let Some(cx) = &cell.counterexample {
+        checks.push(("shrink_steps".to_string(), cx.shrink_steps));
+        checks.push((
+            "minimal_weight".to_string(),
+            cx.schedule.iter().sum::<u64>(),
+        ));
+    }
+    if !cell.verdict.is_expected() {
+        let evidence = cell
+            .counterexample
+            .as_ref()
+            .map(|cx| format!(": {}", cx.detail))
+            .unwrap_or_default();
+        failures.push(format!("mc verdict {}{evidence}", cell.verdict.name()));
+    }
+    let mut out = tm_check::cell_from(config, checks, failures);
+    if out.status == tm_obs::CheckStatus::Pass {
+        out.detail = Some(format!("verdict {}", cell.verdict.name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_injected_bug() {
+        let catalog = mutation_catalog();
+        let bugs: Vec<InjectedBug> = catalog.iter().map(|r| r.bug).collect();
+        for bug in [
+            InjectedBug::SkipWriteValidation,
+            InjectedBug::SkipReadValidation,
+            InjectedBug::NorecStaleSnapshot,
+            InjectedBug::TxAllocEarlyFree,
+            InjectedBug::SerializeTokenLeak,
+        ] {
+            assert!(bugs.contains(&bug), "catalog missing {bug:?}");
+        }
+        for r in &catalog {
+            assert_eq!(r.run.bug, r.bug, "recipe bug mismatch for {:?}", r.bug);
+            assert!(
+                r.bug.applies_to(r.run.backend),
+                "{:?} does not apply to {:?}",
+                r.bug,
+                r.run.backend
+            );
+        }
+    }
+
+    #[test]
+    fn skip_write_validation_mutant_is_caught_and_shrunk() {
+        let catalog = mutation_catalog();
+        let recipe = catalog
+            .iter()
+            .find(|r| r.bug == InjectedBug::SkipWriteValidation)
+            .unwrap();
+        let cell = run_mutant_cell(recipe);
+        assert_eq!(cell.verdict, McVerdict::Caught, "{:?}", cell.counterexample);
+        let cx = cell.counterexample.unwrap();
+        assert!(cx.shrink_steps > 0, "no shrinking happened");
+        assert!(
+            cx.schedule.iter().filter(|&&d| d > 0).count() <= 2,
+            "minimal schedule should have tiny support: {:?}",
+            cx.schedule
+        );
+    }
+
+    #[test]
+    fn clean_small_sweep_is_clean_at_depth_2() {
+        let cell = run_clean_cell(
+            &small_program(),
+            AllocatorKind::TbbMalloc,
+            BackendKind::Etl,
+            CmKind::Suicide,
+            &quick_clean_config(2),
+        );
+        assert_eq!(cell.verdict, McVerdict::Clean, "{:?}", cell.counterexample);
+        assert!(cell.explored > 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # tm-mc — systematic schedule exploration over virtual time
+//!
+//! The simulator executes a fixed interleaving for a given delay vector
+//! (one virtual-cycle delay per scheduling point), so the schedule space
+//! of a transactional program is *enumerable*: model checking reduces to
+//! sweeping delay vectors. This crate layers two sweeps over the
+//! deterministic stack and proves they work with a mutation catalog:
+//!
+//! * [`mod@enumerate`] — bounded-depth **exhaustive enumeration**: every
+//!   delay support of up to `depth` scheduling points, in order of
+//!   increasing support size, restricted to conflict-*active* points by
+//!   the static footprint relation in [`conflict`] (a DPOR-style
+//!   persistent-set argument; skipped schedules are counted as `pruned`,
+//!   never silently dropped).
+//! * [`pct`] — **PCT-style randomized priority** trials for depths the
+//!   exhaustive sweep cannot reach, with the classic
+//!   `1 / (n · k^{d−1})` detection bound as motivation.
+//!
+//! Programs and invariants live in [`program`]: token-transfer
+//! conservation, a read-only observer that catches torn snapshots, an
+//! allocating variant that catches transactional-memory-management bugs,
+//! plus serialization-token quiescence and event-fuel livelock
+//! detection. Any violating schedule is shrunk with the proptest
+//! machinery to a minimal delay vector that still fails — replayable by
+//! construction because the whole stack is deterministic.
+//!
+//! [`catalog`] ties it together: one tuned recipe per
+//! [`tm_stm::InjectedBug`] variant (the explorer must catch all of
+//! them), a clean sweep across every backend × contention-manager
+//! combination (which must stay clean), and builders for the
+//! `tm-mc-report/v1` artifact `tmstudy mc` writes.
+
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod conflict;
+pub mod enumerate;
+pub mod pct;
+pub mod program;
+
+pub use catalog::{
+    check_cells, mutation_catalog, quick_clean_config, quick_report, run_clean_cell,
+    run_mutant_cell, shrink_violation, small_program, sparse_program, MutantRecipe, Strategy,
+};
+pub use conflict::{active_points, footprints, Footprint};
+pub use enumerate::{enumerate, space_size, EnumConfig, EnumStats};
+pub use pct::{pct_explore, trial_schedule, PctConfig};
+pub use program::{run_schedule, McProgram, ProgramKind, RunConfig};

@@ -1,0 +1,416 @@
+//! The programs under systematic exploration and the single-schedule
+//! runner that executes them and checks every invariant.
+//!
+//! A *program* here is a closed transactional workload whose correctness
+//! is a small set of decidable end-state invariants: token conservation,
+//! snapshot consistency as observed by a read-only witness thread, and a
+//! released serialization token. A *schedule* is one virtual-cycle delay
+//! per scheduling point, served to the workload through the simulator's
+//! scheduling-point hook ([`tm_sim::Sim::set_sched_hook`]); because the
+//! whole stack is deterministic in virtual time, `(program, config,
+//! schedule)` fully determines the execution, and any violation replays.
+
+use std::panic::{AssertUnwindSafe, PanicHookInfo};
+use std::sync::{Arc, Mutex};
+
+use tm_alloc::{Allocator as _, AllocatorKind};
+use tm_check::TransferProgram;
+use tm_sim::{MachineConfig, Sim, FUEL_EXHAUSTED};
+use tm_stm::{BackendKind, CmKind, InjectedBug, Stm, StmConfig};
+
+/// Base address of the token-cell array (one ORT stripe per cell).
+pub(crate) const BASE: u64 = 0x4000_0000;
+/// Byte stride between token cells (distinct ownership-table stripes).
+pub(crate) const STRIDE: u64 = 4096;
+/// Size of the heap nodes allocated by the [`ProgramKind::AllocSwap`]
+/// workload.
+const NODE_SIZE: u64 = 64;
+
+/// Which transactional workload a schedule drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramKind {
+    /// The `tm-check` token-transfer program: every thread transfers
+    /// LCG-derived amounts between token cells. Catches lost updates
+    /// (write-validation and snapshot bugs) via conservation.
+    Transfer,
+    /// Same transfers, but thread 0 is a read-only *observer* that sums
+    /// all cells inside one transaction per round. A committed observer
+    /// sum different from the invariant total is a torn snapshot —
+    /// exactly what read-validation bugs leak and what write-path
+    /// validation masks in the plain transfer program.
+    TransferObserver,
+    /// Transfers over heap-allocated nodes: each cell is a *slot* holding
+    /// a pointer to an immutable 64-byte node carrying the tokens; a
+    /// transfer allocates two fresh nodes, republishes both slots, and
+    /// transactionally frees the old nodes. Catches transactional
+    /// allocation bugs (early free, missing quiescence) as conservation
+    /// breaks or allocator panics.
+    AllocSwap,
+}
+
+impl ProgramKind {
+    /// Stable lower-case report token.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProgramKind::Transfer => "transfer",
+            ProgramKind::TransferObserver => "transfer-observer",
+            ProgramKind::AllocSwap => "alloc-swap",
+        }
+    }
+}
+
+/// A program under exploration: the transfer shape plus which workload
+/// variant interprets it. For [`ProgramKind::TransferObserver`], thread 0
+/// is the observer and threads `1..threads` run transfers.
+#[derive(Clone, Copy, Debug)]
+pub struct McProgram {
+    /// Thread/cell/transaction shape (shared with `tm-check`).
+    pub base: TransferProgram,
+    /// Workload variant.
+    pub kind: ProgramKind,
+}
+
+impl McProgram {
+    /// Scheduling points a schedule must cover: one per `(thread, txn)`.
+    pub fn points(&self) -> usize {
+        self.base.points()
+    }
+
+    /// The conserved token total.
+    pub fn expected_total(&self) -> u64 {
+        self.base.expected_total()
+    }
+}
+
+/// The fixed configuration a schedule is explored under.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Dynamic memory allocator backing the STM.
+    pub alloc: AllocatorKind,
+    /// Concurrency-control backend.
+    pub backend: BackendKind,
+    /// Contention-management policy.
+    pub cm: CmKind,
+    /// Seeded defect (or [`InjectedBug::None`] for the clean STM).
+    pub bug: InjectedBug,
+    /// Scheduler-event budget: a run that exceeds it is reported as a
+    /// livelock violation instead of hanging the explorer.
+    pub fuel: u64,
+}
+
+impl RunConfig {
+    /// The clean STM under the paper's default configuration, with a
+    /// fuel budget generous enough for any terminating schedule of the
+    /// small programs explored here.
+    pub fn clean() -> RunConfig {
+        RunConfig {
+            alloc: AllocatorKind::TbbMalloc,
+            backend: BackendKind::Etl,
+            cm: CmKind::Suicide,
+            bug: InjectedBug::None,
+            fuel: 2_000_000,
+        }
+    }
+}
+
+/// Refcounted process-global silencer for panic *printing*. Exploring a
+/// seeded mutant deliberately panics hundreds of times (allocator
+/// double-frees, fuel exhaustion) while the schedule space is swept and
+/// the counterexample shrunk; without this the default hook floods
+/// stderr with backtraces for panics the runner catches and classifies.
+/// Propagation is untouched — only the hook's printing is suppressed.
+struct QuietPanics;
+
+type PanicHook = Box<dyn for<'a> Fn(&PanicHookInfo<'a>) + Send + Sync>;
+
+struct QuietState {
+    depth: usize,
+    prev: Option<PanicHook>,
+}
+
+static QUIET: Mutex<QuietState> = Mutex::new(QuietState {
+    depth: 0,
+    prev: None,
+});
+
+impl QuietPanics {
+    fn enter() -> QuietPanics {
+        let mut g = QUIET.lock().unwrap();
+        g.depth += 1;
+        if g.depth == 1 {
+            g.prev = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let mut g = QUIET.lock().unwrap();
+        g.depth -= 1;
+        if g.depth == 0 {
+            if let Some(prev) = g.prev.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Execute `program` under one delay vector and check every end-state
+/// invariant. `Ok(())` means the schedule exposed nothing; `Err` carries
+/// the violated invariant (or the classified panic) as evidence. Fully
+/// deterministic in its inputs.
+pub fn run_schedule(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Result<(), String> {
+    assert_eq!(delays.len(), program.points(), "schedule arity");
+    let _quiet = QuietPanics::enter();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| run_inner(program, cfg, delays))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            if msg.starts_with(FUEL_EXHAUSTED) {
+                Err(format!("livelock: {msg}"))
+            } else {
+                Err(format!("panic: {msg}"))
+            }
+        }
+    }
+}
+
+fn run_inner(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Result<(), String> {
+    let p = program.base;
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    sim.set_fuel(cfg.fuel);
+    let txns = p.txns as usize;
+    let table: Arc<Vec<u64>> = Arc::new(delays.to_vec());
+    sim.set_sched_hook(Arc::new(move |tid, point| {
+        table[tid * txns + point as usize]
+    }));
+    let alloc = cfg.alloc.build(&sim);
+    let init_alloc = Arc::clone(&alloc);
+    let stm = Arc::new(Stm::new(
+        &sim,
+        alloc,
+        StmConfig {
+            backend: cfg.backend,
+            cm: cfg.cm,
+            bug: cfg.bug,
+            ..StmConfig::default()
+        },
+    ));
+
+    // Seed the heap: either tokens directly in the cells, or (AllocSwap)
+    // slots pointing at freshly allocated nodes carrying the tokens.
+    match program.kind {
+        ProgramKind::Transfer | ProgramKind::TransferObserver => {
+            sim.with_state(|m| {
+                for c in 0..p.cells {
+                    m.write_u64(BASE + c * STRIDE, TransferProgram::INITIAL_TOKENS);
+                }
+            });
+        }
+        ProgramKind::AllocSwap => {
+            sim.run(1, |ctx| {
+                for c in 0..p.cells {
+                    let node = init_alloc.malloc(ctx, NODE_SIZE);
+                    ctx.write_u64(node, TransferProgram::INITIAL_TOKENS);
+                    ctx.write_u64(BASE + c * STRIDE, node);
+                }
+            });
+        }
+    }
+
+    // Torn snapshots the observer committed, recorded host-side.
+    let torn: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let expected = program.expected_total();
+
+    sim.run(p.threads, |ctx| {
+        let tid = ctx.tid();
+        let mut th = stm.thread(tid);
+        if program.kind == ProgramKind::TransferObserver && tid == 0 {
+            for t in 0..p.txns {
+                let sum = stm.txn(ctx, &mut th, |tx, ctx| {
+                    let mut s = tx.read(ctx, BASE)?;
+                    // The scheduling point: widen the window between the
+                    // first cell read and the rest of the snapshot.
+                    ctx.sched_point(t);
+                    for c in 1..p.cells {
+                        s = s.wrapping_add(tx.read(ctx, BASE + c * STRIDE)?);
+                    }
+                    Ok(s)
+                });
+                if sum != expected {
+                    torn.lock().unwrap().push(format!(
+                        "observer txn {t} committed torn snapshot: total {sum} != {expected}"
+                    ));
+                }
+            }
+        } else {
+            let mut x = p.seed ^ (tid as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            for t in 0..p.txns {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let from = BASE + (x % p.cells) * STRIDE;
+                let to = BASE + ((x >> 8) % p.cells) * STRIDE;
+                let amt = (x >> 16) % 7;
+                match program.kind {
+                    ProgramKind::AllocSwap => {
+                        stm.txn(ctx, &mut th, |tx, ctx| {
+                            let fp = tx.read(ctx, from)?;
+                            let tp = tx.read(ctx, to)?;
+                            let fv = tx.read(ctx, fp)?;
+                            let tv = tx.read(ctx, tp)?;
+                            ctx.sched_point(t);
+                            if from != to && fv >= amt {
+                                // Free-then-republish is legal under the
+                                // STM's deferred-free semantics (frees
+                                // apply at commit, are dropped on abort).
+                                // An eager free applied from a stale
+                                // snapshot instead double-frees nodes the
+                                // winning transaction already released.
+                                tx.free(ctx, fp);
+                                tx.free(ctx, tp);
+                                let nf = tx.malloc(ctx, NODE_SIZE);
+                                let nt = tx.malloc(ctx, NODE_SIZE);
+                                tx.write(ctx, nf, fv - amt)?;
+                                tx.write(ctx, nt, tv + amt)?;
+                                tx.write(ctx, from, nf)?;
+                                tx.write(ctx, to, nt)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                    _ => {
+                        stm.txn(ctx, &mut th, |tx, ctx| {
+                            let f = tx.read(ctx, from)?;
+                            let v = tx.read(ctx, to)?;
+                            // The scheduling point: widen the read→write
+                            // window.
+                            ctx.sched_point(t);
+                            if from != to && f >= amt {
+                                tx.write(ctx, from, f - amt)?;
+                                tx.write(ctx, to, v + amt)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                }
+            }
+        }
+        stm.retire(th);
+    });
+
+    // Invariant 1: the serialization token is free at quiescence.
+    let token = stm.serialize_token_addr();
+    if token != 0 {
+        let holder = sim.with_state(|m| m.read_u64(token));
+        if holder != 0 {
+            return Err(format!(
+                "serialize token leaked: still held by thread slot {holder} after quiescence"
+            ));
+        }
+    }
+
+    // Invariant 2: the observer never committed a torn snapshot.
+    if let Some(first) = torn.lock().unwrap().first() {
+        return Err(first.clone());
+    }
+
+    // Invariant 3: token conservation.
+    let total = sim.with_state(|m| {
+        (0..p.cells)
+            .map(|c| {
+                let slot = BASE + c * STRIDE;
+                match program.kind {
+                    ProgramKind::AllocSwap => {
+                        let node = m.read_u64(slot);
+                        m.read_u64(node)
+                    }
+                    _ => m.read_u64(slot),
+                }
+            })
+            .fold(0u64, u64::wrapping_add)
+    });
+    if total != expected {
+        return Err(format!(
+            "conservation violated: total {total} != {expected}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(kind: ProgramKind) -> McProgram {
+        McProgram {
+            base: TransferProgram::default(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn zero_schedule_is_clean_for_every_kind() {
+        for kind in [
+            ProgramKind::Transfer,
+            ProgramKind::TransferObserver,
+            ProgramKind::AllocSwap,
+        ] {
+            let p = program(kind);
+            let r = run_schedule(&p, &RunConfig::clean(), &vec![0; p.points()]);
+            assert_eq!(r, Ok(()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_tm_check_runner() {
+        // The mc Transfer runner and tm-check's run_transfers execute the
+        // same program; both must conserve under the same delay vector.
+        let p = program(ProgramKind::Transfer);
+        let delays: Vec<u64> = (0..p.points() as u64).map(|i| (i * 37) % 400).collect();
+        assert_eq!(run_schedule(&p, &RunConfig::clean(), &delays), Ok(()));
+        let total = tm_check::explore::run_transfers(
+            &p.base,
+            &tm_check::Schedule(delays.clone()),
+            InjectedBug::None,
+        );
+        assert_eq!(total, p.expected_total());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_classified_as_livelock() {
+        let p = program(ProgramKind::Transfer);
+        let cfg = RunConfig {
+            fuel: 50,
+            ..RunConfig::clean()
+        };
+        let err = run_schedule(&p, &cfg, &vec![0; p.points()]).unwrap_err();
+        assert!(err.starts_with("livelock:"), "{err}");
+    }
+
+    #[test]
+    fn all_backends_and_cms_conserve_on_zero_schedule() {
+        let p = program(ProgramKind::Transfer);
+        for backend in BackendKind::ALL {
+            for cm in CmKind::ALL {
+                let cfg = RunConfig {
+                    backend,
+                    cm,
+                    ..RunConfig::clean()
+                };
+                let r = run_schedule(&p, &cfg, &vec![0; p.points()]);
+                assert_eq!(r, Ok(()), "{backend:?}/{cm:?}");
+            }
+        }
+    }
+}

@@ -31,6 +31,13 @@
 //!   checked configuration with pass/fail/error status and evidence
 //!   counters, so correctness runs are reportable artifacts like sweeps.
 //!
+//! * [`mc`] — the [`mc::McReport`] model-checking schema
+//!   (`tm-mc-report/v1`) written by `tmstudy mc`: one cell per explored
+//!   configuration with a clean/caught/violation/escaped verdict,
+//!   exploration counters, and the shrunk counterexample delay vector for
+//!   any violation, so schedule-space exploration runs are replayable
+//!   artifacts.
+//!
 //! The crate is deliberately leaf-level: it depends on nothing else in the
 //! workspace (or outside it), so every other crate can depend on it.
 
@@ -39,12 +46,14 @@
 pub mod check;
 pub mod counters;
 pub mod json;
+pub mod mc;
 pub mod report;
 pub mod sweep;
 pub mod trace;
 
 pub use check::{CheckCell, CheckReport, CheckStatus};
 pub use counters::{Counter, Histogram, Registry, Sharded, ShardedSlots, SlotSchema};
+pub use mc::{McCell, McCounterexample, McReport, McVerdict};
 pub use report::{RunReport, Section};
 pub use sweep::{CellStatus, SweepCell, SweepReport};
 pub use trace::{Event, EventKind, Trace};

@@ -1,0 +1,491 @@
+//! The machine-readable model-checking report.
+//!
+//! Where [`crate::check::CheckReport`] records differential correctness
+//! cells, an [`McReport`] records *systematic schedule exploration* cells:
+//! each cell is one configuration (strategy × backend × contention manager
+//! × allocator × injected bug) pushed through the `tm-mc` schedule
+//! explorer. A cell over the clean STM passes when no schedule in the
+//! explored space violates an invariant (`clean`); a cell over a seeded
+//! mutant passes only when the explorer *finds and shrinks* a violation
+//! (`caught`) — a surviving mutant (`escaped`) means the explorer lost its
+//! teeth, which is just as much a failure as a violation on the clean STM.
+//!
+//! The on-disk form is the `tm-mc-report/v1` JSON schema, written by
+//! `tmstudy mc` to `results/<name>.mc.json` and consumed by `tmstudy
+//! report`. `cells[].explored`/`pruned` count schedules run and schedules
+//! soundly skipped by the independence argument; a clean PASS with zero
+//! explored schedules is vacuous, so renderers surface both counters.
+//! Counterexamples carry the full delay vector, so any reported violation
+//! is replayable by construction.
+
+use crate::json::Json;
+use crate::sweep::key_of;
+
+/// Schema identifier written into every model-checking report.
+pub const MC_SCHEMA: &str = "tm-mc-report/v1";
+
+/// Outcome of one model-checking cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McVerdict {
+    /// Clean STM: every explored schedule satisfied every invariant.
+    Clean,
+    /// Seeded mutant: a violating schedule was found and shrunk. This is
+    /// the *expected* outcome for a mutant cell.
+    Caught,
+    /// Clean STM: some schedule violated an invariant — a real (or
+    /// injected-but-unexpected) atomicity bug.
+    Violation,
+    /// Seeded mutant: the explorer exhausted its budget without finding a
+    /// violation; the mutation catalog no longer proves the tool works.
+    Escaped,
+}
+
+impl McVerdict {
+    /// Stable lower-case name used in the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            McVerdict::Clean => "clean",
+            McVerdict::Caught => "caught",
+            McVerdict::Violation => "violation",
+            McVerdict::Escaped => "escaped",
+        }
+    }
+
+    /// Inverse of [`McVerdict::name`].
+    pub fn parse(s: &str) -> Result<McVerdict, String> {
+        match s {
+            "clean" => Ok(McVerdict::Clean),
+            "caught" => Ok(McVerdict::Caught),
+            "violation" => Ok(McVerdict::Violation),
+            "escaped" => Ok(McVerdict::Escaped),
+            other => Err(format!("unknown mc verdict '{other}'")),
+        }
+    }
+
+    /// Did the cell end the way its kind requires (`clean` for clean
+    /// cells, `caught` for mutant cells)?
+    pub fn is_expected(self) -> bool {
+        matches!(self, McVerdict::Clean | McVerdict::Caught)
+    }
+}
+
+/// A violating schedule, already shrunk to a minimal replayable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McCounterexample {
+    /// The minimal delay vector: one virtual-cycle delay per scheduling
+    /// point, in `(tid, txn)` row-major order. Feeding this exact vector
+    /// back into the same configuration reproduces the violation.
+    pub schedule: Vec<u64>,
+    /// What broke: the violated invariant and the observed evidence.
+    pub detail: String,
+    /// 1-based index of the schedule that first exposed the violation.
+    pub found_at: u64,
+    /// Successful shrink steps applied to reach the minimal vector.
+    pub shrink_steps: u64,
+}
+
+/// One executed model-checking cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McCell {
+    /// The cell's configuration as `(key, value)` pairs, in declaration
+    /// order (same convention as sweep/check cells).
+    pub config: Vec<(String, String)>,
+    /// How the cell ended.
+    pub verdict: McVerdict,
+    /// Schedules actually executed.
+    pub explored: u64,
+    /// Schedules soundly skipped by independence-based pruning.
+    pub pruned: u64,
+    /// Present for `caught`/`violation` cells: the shrunk witness.
+    pub counterexample: Option<McCounterexample>,
+}
+
+impl McCell {
+    /// Stable identity of the cell within its report: `k=v k2=v2 …` in
+    /// config order (shared convention with [`crate::sweep::key_of`]).
+    pub fn key(&self) -> String {
+        key_of(&self.config)
+    }
+}
+
+/// One model-checking run: identity, free-form metadata, and one
+/// [`McCell`] per explored configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McReport {
+    /// Artifact name, matching the `results/<name>.mc.json` stem.
+    pub name: String,
+    /// Free-form string key/values describing the whole run.
+    pub meta: Vec<(String, String)>,
+    /// Executed cells, in execution order.
+    pub cells: Vec<McCell>,
+}
+
+impl McReport {
+    /// An empty model-checking report with the given artifact name.
+    pub fn new(name: impl Into<String>) -> Self {
+        McReport {
+            name: name.into(),
+            meta: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a metadata key/value (builder style).
+    pub fn meta(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.meta.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Number of cells whose verdict is not the expected one for their
+    /// kind (violations on the clean STM plus escaped mutants).
+    pub fn degraded(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| !c.verdict.is_expected())
+            .count()
+    }
+
+    /// The JSON tree in `tm-mc-report/v1` form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(MC_SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            (
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let mut pairs = vec![
+                                (
+                                    "config".into(),
+                                    Json::Obj(
+                                        c.config
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("verdict".into(), Json::str(c.verdict.name())),
+                                ("explored".into(), Json::u64(c.explored)),
+                                ("pruned".into(), Json::u64(c.pruned)),
+                            ];
+                            if let Some(cx) = &c.counterexample {
+                                pairs.push((
+                                    "counterexample".into(),
+                                    Json::Obj(vec![
+                                        (
+                                            "schedule".into(),
+                                            Json::Arr(
+                                                cx.schedule.iter().map(|d| Json::u64(*d)).collect(),
+                                            ),
+                                        ),
+                                        ("detail".into(), Json::str(cx.detail.clone())),
+                                        ("found_at".into(), Json::u64(cx.found_at)),
+                                        ("shrink_steps".into(), Json::u64(cx.shrink_steps)),
+                                    ]),
+                                ));
+                            }
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The on-disk form: pretty-printed JSON with a trailing newline.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Decode a `tm-mc-report/v1` JSON tree.
+    pub fn from_json(v: &Json) -> Result<McReport, String> {
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != MC_SCHEMA {
+            return Err(format!(
+                "unsupported schema '{schema}' (want '{MC_SCHEMA}')"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("mc report missing name")?
+            .to_string();
+        let meta = match v.get("meta") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, mv)| {
+                    mv.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("meta '{k}' not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("mc report missing meta object".into()),
+        };
+        let mut cells = Vec::new();
+        for c in v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("mc report missing cells array")?
+        {
+            let config = match c.get("config") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, mv)| {
+                        mv.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("cell config '{k}' not a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("cell missing config object".into()),
+            };
+            let verdict = McVerdict::parse(
+                c.get("verdict")
+                    .and_then(Json::as_str)
+                    .ok_or("cell missing verdict")?,
+            )?;
+            let explored = c
+                .get("explored")
+                .and_then(Json::as_u64)
+                .ok_or("cell missing explored count")?;
+            let pruned = c
+                .get("pruned")
+                .and_then(Json::as_u64)
+                .ok_or("cell missing pruned count")?;
+            let counterexample = match c.get("counterexample") {
+                None => None,
+                Some(cx) => {
+                    let schedule = cx
+                        .get("schedule")
+                        .and_then(Json::as_arr)
+                        .ok_or("counterexample missing schedule array")?
+                        .iter()
+                        .map(|d| d.as_u64().ok_or("schedule delay not an integer"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Some(McCounterexample {
+                        schedule,
+                        detail: cx
+                            .get("detail")
+                            .and_then(Json::as_str)
+                            .ok_or("counterexample missing detail")?
+                            .to_string(),
+                        found_at: cx.get("found_at").and_then(Json::as_u64).unwrap_or(0),
+                        shrink_steps: cx.get("shrink_steps").and_then(Json::as_u64).unwrap_or(0),
+                    })
+                }
+            };
+            cells.push(McCell {
+                config,
+                verdict,
+                explored,
+                pruned,
+                counterexample,
+            });
+        }
+        Ok(McReport { name, meta, cells })
+    }
+
+    /// Parse the on-disk JSON text form.
+    pub fn parse(src: &str) -> Result<McReport, String> {
+        McReport::from_json(&Json::parse(src)?)
+    }
+
+    /// Structural diff for `tmstudy report <a> <b>`: cells matched by
+    /// config key, comparing verdict and exploration counters, plus
+    /// cells present on only one side. `None` when nothing differs.
+    pub fn diff(&self, other: &McReport) -> Option<String> {
+        let mut out = String::new();
+        if self.name != other.name {
+            out.push_str(&format!("name: {} -> {}\n", self.name, other.name));
+        }
+        for c in &self.cells {
+            let key = c.key();
+            match other.cells.iter().find(|o| o.key() == key) {
+                None => out.push_str(&format!("cell [{key}]: only in left\n")),
+                Some(o) => {
+                    if c.verdict != o.verdict {
+                        out.push_str(&format!(
+                            "cell [{key}]: verdict {} -> {}\n",
+                            c.verdict.name(),
+                            o.verdict.name()
+                        ));
+                    }
+                    if (c.explored, c.pruned) != (o.explored, o.pruned) {
+                        out.push_str(&format!(
+                            "cell [{key}]: explored/pruned {}/{} -> {}/{}\n",
+                            c.explored, c.pruned, o.explored, o.pruned
+                        ));
+                    }
+                    if c.counterexample.as_ref().map(|cx| &cx.schedule)
+                        != o.counterexample.as_ref().map(|cx| &cx.schedule)
+                    {
+                        out.push_str(&format!("cell [{key}]: counterexample differs\n"));
+                    }
+                }
+            }
+        }
+        for o in &other.cells {
+            if !self.cells.iter().any(|c| c.key() == o.key()) {
+                out.push_str(&format!("cell [{}]: only in right\n", o.key()));
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Human rendering for `tmstudy report <file>`: a summary header plus
+    /// one line per cell with its exploration counters, and the shrunk
+    /// counterexample for any cell that has one.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (mc: {} cells, {} degraded)\n",
+            self.name,
+            self.cells.len(),
+            self.degraded()
+        ));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        out.push('\n');
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<9} [{}] explored={} pruned={}\n",
+                c.verdict.name(),
+                c.key(),
+                c.explored,
+                c.pruned
+            ));
+            if let Some(cx) = &c.counterexample {
+                let delays = cx
+                    .schedule
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    "            {} (found at schedule {}, {} shrink steps)\n",
+                    cx.detail, cx.found_at, cx.shrink_steps
+                ));
+                out.push_str(&format!("            minimal delays: [{delays}]\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> McReport {
+        let mut r = McReport::new("mc_quick")
+            .meta("mode", "quick")
+            .meta("seed", 11);
+        r.cells = vec![
+            McCell {
+                config: vec![
+                    ("strategy".into(), "exhaustive".into()),
+                    ("backend".into(), "etl".into()),
+                    ("cm".into(), "suicide".into()),
+                    ("bug".into(), "none".into()),
+                ],
+                verdict: McVerdict::Clean,
+                explored: 232,
+                pruned: 96,
+                counterexample: None,
+            },
+            McCell {
+                config: vec![
+                    ("strategy".into(), "exhaustive".into()),
+                    ("backend".into(), "etl".into()),
+                    ("bug".into(), "skip-write-validation".into()),
+                ],
+                verdict: McVerdict::Caught,
+                explored: 17,
+                pruned: 4,
+                counterexample: Some(McCounterexample {
+                    schedule: vec![0, 0, 400, 0, 0, 0],
+                    detail: "conservation violated: total 3250 != 3000".into(),
+                    found_at: 17,
+                    shrink_steps: 3,
+                }),
+            },
+        ];
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = McReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let j = sample().to_json_string().replace(MC_SCHEMA, "bogus/v9");
+        let err = McReport::parse(&j).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn degraded_counts_unexpected_verdicts() {
+        assert_eq!(sample().degraded(), 0);
+        let mut r = sample();
+        r.cells[0].verdict = McVerdict::Violation;
+        r.cells[1].verdict = McVerdict::Escaped;
+        assert_eq!(r.degraded(), 2);
+    }
+
+    #[test]
+    fn render_mentions_verdict_counters_and_counterexample() {
+        let text = sample().render();
+        for needle in [
+            "mc_quick (mc: 2 cells, 0 degraded)",
+            "clean",
+            "[strategy=exhaustive backend=etl cm=suicide bug=none]",
+            "explored=232 pruned=96",
+            "caught",
+            "conservation violated",
+            "minimal delays: [0,0,400,0,0,0]",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_verdict_and_counter_changes() {
+        let a = sample();
+        assert_eq!(a.diff(&a), None);
+        let mut b = sample();
+        b.cells[0].verdict = McVerdict::Violation;
+        b.cells[0].explored = 7;
+        b.cells.pop();
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("verdict clean -> violation"), "{d}");
+        assert!(d.contains("explored/pruned 232/96 -> 7/96"), "{d}");
+        assert!(d.contains("only in left"), "{d}");
+    }
+
+    #[test]
+    fn bad_delay_type_is_an_error() {
+        let mut j = sample().to_json_string();
+        j = j.replace("400", "\"long\"");
+        let err = McReport::parse(&j).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+    }
+}

@@ -55,7 +55,24 @@ struct Inner {
     machine: MachineState,
     time: Vec<u64>,
     state: Vec<TState>,
+    /// Remaining scheduler events before the run panics with
+    /// [`FUEL_EXHAUSTED`]. Defaults to effectively-unlimited; the schedule
+    /// explorer lowers it to turn virtual-time livelocks (e.g. a leaked
+    /// serialization token spun on forever) into catchable panics.
+    fuel: u64,
 }
+
+/// Panic message prefix raised when the event budget set by
+/// [`Sim::set_fuel`] runs out. Model-checking harnesses match on this to
+/// classify a run as a livelock rather than an assertion failure.
+pub const FUEL_EXHAUSTED: &str = "virtual-time fuel exhausted";
+
+/// A scheduling-point hook: maps `(tid, point)` — a logical thread and a
+/// workload-chosen point id — to the virtual delay (in cycles) to inject
+/// there. Installed per [`Sim`] via [`Sim::set_sched_hook`] and consulted by
+/// [`Ctx::sched_point`]. Must be deterministic: the same `(tid, point)` pair
+/// must always yield the same delay (transaction retries re-visit points).
+pub type SchedHook = dyn Fn(usize, u64) -> u64 + Send + Sync;
 
 impl Inner {
     fn min_runnable(&self) -> Option<(u64, usize)> {
@@ -65,6 +82,18 @@ impl Inner {
             .filter(|(_, s)| **s == TState::Runnable)
             .map(|(t, _)| (self.time[t], t))
             .min()
+    }
+
+    /// Charge one scheduler event against the fuel budget; panics when the
+    /// budget set by [`Sim::set_fuel`] is exhausted. Saturating, so every
+    /// event after exhaustion raises the same clean message (relevant when
+    /// sibling threads keep executing while the first panic unwinds).
+    #[inline]
+    fn burn_fuel(&mut self) {
+        self.fuel = self.fuel.saturating_sub(1);
+        if self.fuel == 0 {
+            panic!("{FUEL_EXHAUSTED}: event budget ran out (possible livelock; see Sim::set_fuel)");
+        }
     }
 
     /// Is `tid` (which must be runnable) the thread that may execute next?
@@ -89,6 +118,9 @@ struct Shared {
     /// Observability context (named metrics + event trace), sized to the
     /// machine's core count and shared with every layer built on top.
     obs: Arc<Obs>,
+    /// Optional scheduling-point hook (see [`Ctx::sched_point`]). Guarded by
+    /// its own lock so installation never touches the scheduler mutex.
+    sched_hook: Mutex<Option<Arc<SchedHook>>>,
 }
 
 /// Which hand-off mechanism executes multi-threaded runs.
@@ -138,9 +170,11 @@ impl Sim {
                 machine: MachineState::new(cfg.clone()),
                 time: Vec::new(),
                 state: Vec::new(),
+                fuel: u64::MAX,
             }),
             cvs: (0..cfg.cores).map(|_| Condvar::new()).collect(),
             obs: Arc::new(Obs::new(cfg.cores)),
+            sched_hook: Mutex::new(None),
         });
         Sim {
             shared,
@@ -172,6 +206,29 @@ impl Sim {
     /// this; locks can also be created mid-run via [`Ctx::new_mutex`]).
     pub fn new_mutex(&self) -> SimMutex {
         self.shared.inner.lock().machine.new_lock()
+    }
+
+    /// Install (or replace) the scheduling-point hook consulted by
+    /// [`Ctx::sched_point`]. The hook turns a `(tid, point)` pair into a
+    /// virtual delay, letting an external controller — e.g. the `tm-mc`
+    /// schedule enumerator — decide exactly where delays are injected
+    /// instead of the workload pre-sampling them. Must not be called while
+    /// a run is in progress.
+    pub fn set_sched_hook(&self, hook: Arc<SchedHook>) {
+        *self.shared.sched_hook.lock() = Some(hook);
+    }
+
+    /// Bound the number of scheduler events the remaining runs on this
+    /// simulator may execute. When the budget is exhausted the offending
+    /// event panics with a message starting with [`FUEL_EXHAUSTED`], which
+    /// unwinds like a workload panic (locks released, threads marked done).
+    /// This converts virtual-time livelocks — spins that make host-side
+    /// progress forever without the run terminating — into catchable,
+    /// deterministic failures. `events` must be non-zero; the default is
+    /// effectively unlimited.
+    pub fn set_fuel(&self, events: u64) {
+        assert!(events > 0, "fuel budget must be non-zero");
+        self.shared.inner.lock().fuel = events;
     }
 
     /// Escape hatch for tests and post-run inspection: direct, untimed
@@ -503,6 +560,27 @@ impl Ctx<'_> {
         self.local_time + self.pending
     }
 
+    /// Named scheduling point: if a hook is installed ([`Sim::set_sched_hook`]),
+    /// ask it how many cycles to delay this thread here and inject that
+    /// delay via [`Ctx::tick`]; with no hook this is free. `point` is a
+    /// workload-chosen stable id (e.g. the transaction index), *not* a call
+    /// counter — a retried transaction re-announces the same point and must
+    /// receive the same delay, keeping replays deterministic. Returns the
+    /// injected delay.
+    pub fn sched_point(&mut self, point: u64) -> u64 {
+        let hook = self.shared.sched_hook.lock().clone();
+        match hook {
+            Some(h) => {
+                let d = h(self.tid, point);
+                if d > 0 {
+                    self.tick(d);
+                }
+                d
+            }
+            None => 0,
+        }
+    }
+
     /// The machine's observability context (same as [`Sim::obs`]).
     pub fn obs(&self) -> &Obs {
         &self.shared.obs
@@ -538,6 +616,7 @@ impl Ctx<'_> {
                     }
                 }
                 let g = &mut *inner;
+                g.burn_fuel();
                 let (cost, r) = f(&mut g.machine, self.tid);
                 let t = g.time[self.tid] + cost;
                 g.time[self.tid] = t;
@@ -549,6 +628,7 @@ impl Ctx<'_> {
             g.time[self.tid] += self.pending;
             self.pending = 0;
             self.wait_for_turn(&mut g);
+            g.burn_fuel();
             let (cost, r) = f(&mut g.machine, self.tid);
             let t = g.time[self.tid] + cost;
             g.time[self.tid] = t;
@@ -1243,5 +1323,62 @@ mod tests {
     fn too_many_threads_panics() {
         let s = sim();
         s.run(64, |_| {});
+    }
+
+    #[test]
+    fn sched_point_without_hook_is_free() {
+        let s = sim();
+        s.run(2, |ctx| {
+            let t0 = ctx.now();
+            assert_eq!(ctx.sched_point(0), 0);
+            assert_eq!(ctx.now(), t0);
+        });
+    }
+
+    #[test]
+    fn sched_point_hook_injects_requested_delay() {
+        let s = sim();
+        // Thread 1 is held back 500 cycles at point 0, so thread 0 wins the
+        // race to the counter deterministically.
+        s.set_sched_hook(Arc::new(
+            |tid, point| {
+                if tid == 1 && point == 0 {
+                    500
+                } else {
+                    0
+                }
+            },
+        ));
+        let order = HostMutex::new(Vec::new());
+        s.run(2, |ctx| {
+            ctx.sched_point(0);
+            let v = ctx.fetch_add_u64(0xb00, 1);
+            order.lock().push((ctx.tid(), v));
+        });
+        let mut o = order.into_inner();
+        o.sort_unstable();
+        assert_eq!(o, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn fuel_exhaustion_panics_with_marker() {
+        let s = sim();
+        s.set_fuel(50);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            s.run(2, |ctx| loop {
+                // Unbounded spin: only the fuel bound can end this run.
+                let _ = ctx.cas_u64(0xc00, 1, 2);
+            });
+        }));
+        let payload = caught.expect_err("the spin must be cut short");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.starts_with(crate::FUEL_EXHAUSTED),
+            "unexpected panic message: {msg}"
+        );
     }
 }

@@ -553,6 +553,13 @@ impl TmBackend for NorecBackend {
         // from the new snapshot — NOrec aborts only on a value change,
         // never on mere clock motion.
         while ctx.cas_u64(stm.clock_addr, th.rv, th.rv + 1).is_err() {
+            if stm.cfg.bug == crate::InjectedBug::NorecStaleSnapshot {
+                // BUG (injected): refresh the snapshot without value-
+                // validating the read set, trusting reads the lost race may
+                // already have invalidated.
+                th.rv = Self::stable_seq(stm, ctx);
+                continue;
+            }
             if NorecBackend::validate(stm, th, ctx).is_err() {
                 return false;
             }

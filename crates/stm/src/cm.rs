@@ -312,7 +312,11 @@ pub(crate) fn after_commit(stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
     }
     th.cm_stats.commits_under[th.cm_active as usize] += 1;
     if th.holds_token {
-        ctx.write_u64(stm.serialize_token, 0);
+        if stm.cfg.bug != crate::InjectedBug::SerializeTokenLeak {
+            // BUG (injected) when skipped: the token word stays claimed
+            // forever, so every later serialization attempt livelocks.
+            ctx.write_u64(stm.serialize_token, 0);
+        }
         th.holds_token = false;
     }
     stm.cm.after_commit(stm, th, ctx);

@@ -129,6 +129,56 @@ pub enum InjectedBug {
     /// version is newer than the snapshot, admitting torn (unserializable)
     /// read snapshots.
     SkipReadValidation,
+    /// NOrec only: when the commit-time sequence-lock CAS loses a race with
+    /// a concurrent committer, refresh the snapshot *without* value-
+    /// validating the read set. Reads taken under the stale snapshot are
+    /// trusted, so the transaction can publish values computed from data
+    /// another commit already changed — NOrec's analogue of the ETL
+    /// lost-update bug.
+    NorecStaleSnapshot,
+    /// Apply a transactional `free` immediately at the call site instead of
+    /// deferring it to commit plus quiescence. The freed object becomes
+    /// visible to the allocator (and thus to concurrent `malloc`s) before
+    /// the freeing transaction commits — and the free survives even if that
+    /// transaction aborts, so live, still-published memory can be recycled
+    /// and overwritten.
+    TxAllocEarlyFree,
+    /// Contention management: a committing transaction that holds the
+    /// global serialization token forgets to release it. Every later
+    /// escalation to [`CmKind::Serialize`] then spins on a token nobody
+    /// holds — a virtual-time livelock (caught by the simulator's fuel
+    /// bound), or a token-word leak observable at quiescence.
+    SerializeTokenLeak,
+}
+
+impl InjectedBug {
+    /// Is this defect meaningful under `backend`? The ETL validation-skip
+    /// faults live in ETL-only code paths, the stale-snapshot fault in the
+    /// NOrec commit path; the allocation and contention-management faults
+    /// sit above the backend and compose with all of them.
+    pub fn applies_to(self, backend: BackendKind) -> bool {
+        match self {
+            InjectedBug::None | InjectedBug::TxAllocEarlyFree | InjectedBug::SerializeTokenLeak => {
+                true
+            }
+            InjectedBug::SkipWriteValidation | InjectedBug::SkipReadValidation => {
+                backend == BackendKind::Etl
+            }
+            InjectedBug::NorecStaleSnapshot => backend == BackendKind::Norec,
+        }
+    }
+
+    /// Short stable token used in reports and mutant labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectedBug::None => "none",
+            InjectedBug::SkipWriteValidation => "skip-write-validation",
+            InjectedBug::SkipReadValidation => "skip-read-validation",
+            InjectedBug::NorecStaleSnapshot => "norec-stale-snapshot",
+            InjectedBug::TxAllocEarlyFree => "tx-alloc-early-free",
+            InjectedBug::SerializeTokenLeak => "serialize-token-leak",
+        }
+    }
 }
 
 /// STM configuration knobs exercised by the paper (plus the design
@@ -243,12 +293,16 @@ impl Stm {
         );
         if cfg.backend != BackendKind::Etl {
             assert!(
-                cfg.design == LockDesign::Etl
-                    && cfg.write_mode == WriteMode::Back
-                    && cfg.bug == InjectedBug::None,
-                "the design/write-mode/bug knobs apply to the ETL backend only"
+                cfg.design == LockDesign::Etl && cfg.write_mode == WriteMode::Back,
+                "the design/write-mode knobs apply to the ETL backend only"
             );
         }
+        assert!(
+            cfg.bug.applies_to(cfg.backend),
+            "injected bug {:?} does not apply to backend {:?}",
+            cfg.bug,
+            cfg.backend
+        );
         let entries = 1u64 << cfg.ort_bits;
         let cores = sim.config().cores;
         let (ort_base, clock_addr, active_base, serialize_token) = sim.with_state(|m| {
@@ -290,6 +344,15 @@ impl Stm {
     /// Install the transaction-boundary observer (set once, before use).
     pub fn set_tx_hook(&self, hook: Arc<dyn Fn(usize, bool) + Send + Sync>) {
         let _ = self.tx_hook.set(hook);
+    }
+
+    /// Simulated address of the global serialization token word, or 0 when
+    /// the configured contention manager can never serialize. At any
+    /// quiescent point the word must read 0 (no transaction in flight can
+    /// hold the token); the model checker asserts this to catch token
+    /// leaks.
+    pub fn serialize_token_addr(&self) -> u64 {
+        self.serialize_token
     }
 
     /// Simulated address of thread `tid`'s active-snapshot word.

@@ -354,8 +354,15 @@ impl<'a> Tx<'a> {
 
     /// Transactional free: deferred to commit time (paper §2); dropped if
     /// the transaction aborts.
-    pub fn free(&mut self, _ctx: &mut Ctx<'_>, addr: u64) {
+    pub fn free(&mut self, ctx: &mut Ctx<'_>, addr: u64) {
         self.th.stats.tx_frees += 1;
+        if self.stm.cfg.bug == crate::InjectedBug::TxAllocEarlyFree {
+            // BUG (injected): hand the block to the allocator right now —
+            // before commit, without quiescence, and irrevocably even if
+            // this transaction later aborts.
+            self.stm.allocator.free(ctx, addr);
+            return;
+        }
         self.th.tx_frees.push(addr);
     }
 

@@ -44,6 +44,19 @@ else
   $CARGO run -p tm-core --bin tmstudy -- check --quick
 fi
 
+# The schedule model checker must keep its teeth: every catalog mutant
+# caught with a shrunk counterexample, zero violations on the clean STM.
+echo "==> tmstudy mc --quick (schedule model checker)"
+mc_out="$(mktemp)"
+if [ "$quick" -eq 0 ]; then
+  $CARGO run --release -p tm-core --bin tmstudy -- mc --quick \
+    --name verify-mc --out "$mc_out" >/dev/null
+else
+  $CARGO run -p tm-core --bin tmstudy -- mc --quick \
+    --name verify-mc --out "$mc_out" >/dev/null
+fi
+rm -f "$mc_out"
+
 # The non-default backend must keep sweeping end-to-end (trait dispatch,
 # CLI plumbing, report emission), not just pass unit tests.
 echo "==> tmstudy sweep --quick --backend norec (backend smoke)"
