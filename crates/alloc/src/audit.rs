@@ -30,7 +30,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use tm_sim::Ctx;
 
-use crate::{Allocator, AllocatorAttrs};
+use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
 
 /// Where the simulated OS hands out regions from (the machine's bump
 /// allocator base). Any block address below this was never OS-backed.
@@ -41,7 +41,7 @@ pub const OS_REGION_BASE: u64 = 0x0001_0000_0000;
 /// times — the first few messages carry all the signal).
 const MAX_RECORDED: usize = 32;
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct AuditState {
     /// Live blocks: start address → occupied footprint in bytes
     /// (`max(size, 1)` so zero-size blocks still claim their start).
@@ -185,9 +185,34 @@ impl Allocator for HeapAuditor {
         self.inner.min_block()
     }
 
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        // Unsupported inner ⇒ unsupported wrapper (the `?`): callers fall
+        // back to from-scratch execution for the whole stack.
+        let inner = self.inner.snapshot()?;
+        Some(Box::new(AuditSnapshot {
+            inner,
+            state: self.state.lock().clone(),
+        }))
+    }
+
+    fn restore(&self, snap: &HeapSnapshot) {
+        let snap = snap
+            .downcast_ref::<AuditSnapshot>()
+            .expect("heap auditor: restore of a foreign heap snapshot");
+        self.inner.restore(&snap.inner);
+        *self.state.lock() = snap.state.clone();
+    }
+
     fn attributes(&self) -> AllocatorAttrs {
         self.inner.attributes()
     }
+}
+
+/// Frozen auditor state: the wrapped allocator's snapshot plus the live
+/// block map and violation counters at capture time.
+struct AuditSnapshot {
+    inner: HeapSnapshot,
+    state: AuditState,
 }
 
 #[cfg(test)]
@@ -264,6 +289,38 @@ mod tests {
         assert!(all.contains("below the OS region base"), "{all}");
         assert!(all.contains("still live"), "{all}");
         assert!(all.contains("not the start of a live block"), "{all}");
+    }
+
+    #[test]
+    fn snapshot_rewinds_audit_counters_with_the_heap() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let auditor = HeapAuditor::new(AllocatorKind::TbbMalloc.build(&sim));
+        let a = Arc::clone(&auditor);
+        sim.run(1, |ctx| {
+            let p = a.malloc(ctx, 64);
+            a.free(ctx, p);
+        });
+        let machine = sim.snapshot(None);
+        let heap = auditor.snapshot().expect("audited tbb supports snapshots");
+        let a = Arc::clone(&auditor);
+        sim.run(1, |ctx| {
+            let _ = a.malloc(ctx, 64); // left live deliberately
+        });
+        assert_eq!(auditor.report().mallocs, 2);
+        assert_eq!(auditor.report().live, 1);
+        sim.restore(&machine);
+        auditor.restore(&heap);
+        let r = auditor.report();
+        assert_eq!(r.mallocs, 1);
+        assert_eq!(r.frees, 1);
+        assert_eq!(r.live, 0, "post-snapshot live blocks must be forgotten");
+        auditor.assert_clean("post-restore");
+    }
+
+    #[test]
+    fn snapshot_of_unsupported_inner_is_none() {
+        let auditor = HeapAuditor::new(Arc::new(Broken));
+        assert!(auditor.snapshot().is_none());
     }
 
     #[test]

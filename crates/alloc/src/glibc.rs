@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs};
+use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
 
 /// Arena reservation size and alignment (64 MB, the paper's figure).
 const ARENA_RESERVE: u64 = 64 << 20;
@@ -67,6 +67,25 @@ struct Global {
 /// The Glibc/ptmalloc allocator model. See module docs.
 pub struct GlibcAllocator {
     global: Mutex<Global>,
+}
+
+/// Frozen per-arena metadata for [`Allocator::snapshot`]. Arenas are
+/// append-only, so a snapshot records the arena count plus each arena's
+/// inner state; restore truncates back to that count (any post-snapshot
+/// arena's `SimMutex` is dropped by the machine-level lock truncation).
+struct GlibcSnapshot {
+    arenas: Vec<ArenaSnap>,
+    preferred: Vec<usize>,
+    by_region: HashMap<u64, usize>,
+    large: HashMap<u64, u64>,
+}
+
+struct ArenaSnap {
+    base: u64,
+    bump: u64,
+    committed: u64,
+    reserved_end: u64,
+    bins: HashMap<u64, FreeList>,
 }
 
 impl GlibcAllocator {
@@ -252,6 +271,53 @@ impl Allocator for GlibcAllocator {
         MIN_CHUNK
     }
 
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        let g = self.global.lock();
+        let arenas = g
+            .arenas
+            .iter()
+            .map(|a| {
+                let i = a.inner.lock();
+                ArenaSnap {
+                    base: i.base,
+                    bump: i.bump,
+                    committed: i.committed,
+                    reserved_end: i.reserved_end,
+                    bins: i.bins.clone(),
+                }
+            })
+            .collect();
+        Some(Box::new(GlibcSnapshot {
+            arenas,
+            preferred: g.preferred.clone(),
+            by_region: g.by_region.clone(),
+            large: g.large.clone(),
+        }))
+    }
+
+    fn restore(&self, snap: &HeapSnapshot) {
+        let snap = snap
+            .downcast_ref::<GlibcSnapshot>()
+            .expect("glibc model: restore of a foreign heap snapshot");
+        let mut g = self.global.lock();
+        assert!(
+            snap.arenas.len() <= g.arenas.len(),
+            "glibc model: snapshot has arenas this allocator never created"
+        );
+        g.arenas.truncate(snap.arenas.len());
+        for (arena, s) in g.arenas.iter().zip(&snap.arenas) {
+            let mut i = arena.inner.lock();
+            i.base = s.base;
+            i.bump = s.bump;
+            i.committed = s.committed;
+            i.reserved_end = s.reserved_end;
+            i.bins = s.bins.clone();
+        }
+        g.preferred.clone_from(&snap.preferred);
+        g.by_region = snap.by_region.clone();
+        g.large = snap.large.clone();
+    }
+
     fn attributes(&self) -> AllocatorAttrs {
         AllocatorAttrs {
             name: "Glibc",
@@ -349,6 +415,56 @@ mod tests {
             let p = a.malloc(ctx, 100);
             assert_eq!(ctx.read_u64(p - 8), GlibcAllocator::chunk_size(100));
         });
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = GlibcAllocator::new(&sim);
+        // Prefix: back the main arena and seed some bins.
+        sim.run(2, |ctx| {
+            let blocks: Vec<u64> = (0..6).map(|i| a.malloc(ctx, 16 + (i % 3) * 24)).collect();
+            for b in blocks.into_iter().step_by(2) {
+                a.free(ctx, b);
+            }
+        });
+        let machine = sim.snapshot(None);
+        let heap = a.snapshot().expect("glibc supports snapshots");
+        let arenas_at_snap = a.arena_count();
+        let round = |sim: &Sim, a: &GlibcAllocator| {
+            let log = Mutex::new(Vec::new());
+            sim.run(4, |ctx| {
+                // Contention forces new arenas post-snapshot; restore must
+                // drop them so the re-run recreates them identically.
+                let mut mine = Vec::new();
+                for i in 0..8u64 {
+                    mine.push(a.malloc(ctx, 8 << (i % 4)));
+                    ctx.tick(20);
+                }
+                let big = a.malloc(ctx, 1 << 20);
+                a.free(ctx, big);
+                for &b in mine.iter().rev() {
+                    a.free(ctx, b);
+                }
+                mine.push(big);
+                log.lock().push((ctx.tid(), mine));
+            });
+            let mut v = log.into_inner();
+            v.sort();
+            v
+        };
+        let r1 = round(&sim, &a);
+        let arenas_after_round = a.arena_count();
+        sim.restore(&machine);
+        a.restore(&heap);
+        assert_eq!(
+            a.arena_count(),
+            arenas_at_snap,
+            "restore must drop post-snapshot arenas"
+        );
+        let r2 = round(&sim, &a);
+        assert_eq!(r1, r2, "restored run must hand out identical addresses");
+        assert_eq!(a.arena_count(), arenas_after_round);
     }
 
     #[test]

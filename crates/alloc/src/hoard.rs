@@ -19,7 +19,7 @@ use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::classes::SizeClasses;
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs};
+use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
 
 const SB_SIZE: u64 = 64 * 1024;
 const SB_SHIFT: u64 = 16;
@@ -79,6 +79,31 @@ pub struct HoardAllocator {
     /// `addr >> 16` → superblock, for `free`.
     registry: RwLock<HashMap<u64, Arc<Superblock>>>,
     large: Mutex<HashMap<u64, u64>>,
+}
+
+/// Frozen heap metadata for [`Allocator::snapshot`]. Superblocks are keyed
+/// by `base >> SB_SHIFT`; re-dedication (class/owner changes) is undone by
+/// restoring the full `SbInner`, and heap "current" maps plus the global
+/// spare list are rebuilt by key lookup so `Arc<Superblock>` identities
+/// survive.
+struct HoardSnapshot {
+    sbs: HashMap<u64, SbSnap>,
+    /// Per heap: class → current superblock key.
+    heaps: Vec<HashMap<usize, u64>>,
+    spares: Vec<u64>,
+    local: Vec<HashMap<usize, FreeList>>,
+    large: HashMap<u64, u64>,
+}
+
+#[derive(Clone)]
+struct SbSnap {
+    base: u64,
+    class: usize,
+    bump: u64,
+    end: u64,
+    free: FreeList,
+    used: u64,
+    owner_heap: usize,
 }
 
 impl HoardAllocator {
@@ -360,6 +385,92 @@ impl Allocator for HoardAllocator {
         16
     }
 
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        let sbs = self
+            .registry
+            .read()
+            .iter()
+            .map(|(&k, sb)| {
+                let i = sb.inner.lock();
+                (
+                    k,
+                    SbSnap {
+                        base: i.base,
+                        class: i.class,
+                        bump: i.bump,
+                        end: i.end,
+                        free: i.free,
+                        used: i.used,
+                        owner_heap: i.owner_heap,
+                    },
+                )
+            })
+            .collect();
+        let heaps = self
+            .heaps
+            .iter()
+            .map(|h| {
+                h.inner
+                    .lock()
+                    .current
+                    .iter()
+                    .map(|(&class, sb)| (class, sb.inner.lock().base >> SB_SHIFT))
+                    .collect()
+            })
+            .collect();
+        let spares = self
+            .global
+            .lock()
+            .spares
+            .iter()
+            .map(|sb| sb.inner.lock().base >> SB_SHIFT)
+            .collect();
+        let local = self
+            .local
+            .iter()
+            .map(|lc| lc.lock().lists.clone())
+            .collect();
+        Some(Box::new(HoardSnapshot {
+            sbs,
+            heaps,
+            spares,
+            local,
+            large: self.large.lock().clone(),
+        }))
+    }
+
+    fn restore(&self, snap: &HeapSnapshot) {
+        let snap = snap
+            .downcast_ref::<HoardSnapshot>()
+            .expect("hoard model: restore of a foreign heap snapshot");
+        let mut reg = self.registry.write();
+        reg.retain(|k, _| snap.sbs.contains_key(k));
+        for (k, s) in &snap.sbs {
+            let sb = reg
+                .get(k)
+                .expect("hoard model: snapshot names a superblock this allocator never created");
+            let mut i = sb.inner.lock();
+            i.base = s.base;
+            i.class = s.class;
+            i.bump = s.bump;
+            i.end = s.end;
+            i.free = s.free;
+            i.used = s.used;
+            i.owner_heap = s.owner_heap;
+        }
+        for (h, hs) in self.heaps.iter().zip(&snap.heaps) {
+            h.inner.lock().current = hs
+                .iter()
+                .map(|(&class, k)| (class, Arc::clone(&reg[k])))
+                .collect();
+        }
+        self.global.lock().spares = snap.spares.iter().map(|k| Arc::clone(&reg[k])).collect();
+        for (lc, ls) in self.local.iter().zip(&snap.local) {
+            lc.lock().lists = ls.clone();
+        }
+        *self.large.lock() = snap.large.clone();
+    }
+
     fn attributes(&self) -> AllocatorAttrs {
         AllocatorAttrs {
             name: "Hoard",
@@ -459,6 +570,57 @@ mod tests {
                 );
             }
         });
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = HoardAllocator::new(&sim);
+        // Prefix: seed local caches and push an emptied superblock onto the
+        // global spare list (class 8192: 8 blocks per superblock).
+        sim.run(2, |ctx| {
+            if ctx.tid() == 0 {
+                let small: Vec<u64> = (0..6).map(|_| a.malloc(ctx, 16)).collect();
+                for &b in &small[..3] {
+                    a.free(ctx, b);
+                }
+                let big: Vec<u64> = (0..16).map(|_| a.malloc(ctx, 8192)).collect();
+                for b in big {
+                    a.free(ctx, b);
+                }
+            } else {
+                let _ = a.malloc(ctx, 64);
+            }
+        });
+        let machine = sim.snapshot(None);
+        let heap = a.snapshot().expect("hoard supports snapshots");
+        let round = |sim: &Sim, a: &HoardAllocator| {
+            let log = Mutex::new(Vec::new());
+            sim.run(2, |ctx| {
+                let mut mine = Vec::new();
+                for i in 0..10u64 {
+                    mine.push(a.malloc(ctx, 16 << (i % 4)));
+                }
+                // Re-dedicates a spare superblock to a fresh class, which
+                // restore must re-dedicate back.
+                mine.push(a.malloc(ctx, 2048));
+                let big = a.malloc(ctx, 100 * 1024); // large path
+                a.free(ctx, big);
+                for &b in mine.iter().rev() {
+                    a.free(ctx, b);
+                }
+                mine.push(big);
+                log.lock().push((ctx.tid(), mine));
+            });
+            let mut v = log.into_inner();
+            v.sort();
+            v
+        };
+        let r1 = round(&sim, &a);
+        sim.restore(&machine);
+        a.restore(&heap);
+        let r2 = round(&sim, &a);
+        assert_eq!(r1, r2, "restored run must hand out identical addresses");
     }
 
     #[test]

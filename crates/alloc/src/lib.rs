@@ -70,7 +70,35 @@ pub trait Allocator: Send + Sync {
 
     /// Static attribute row, mirroring the paper's Table 1.
     fn attributes(&self) -> AllocatorAttrs;
+
+    /// Capture the allocator's host-side heap metadata (free lists, bump
+    /// cursors, superblock/arena registries) so a later
+    /// [`Allocator::restore`] rewinds it exactly. The simulated-memory
+    /// half of the heap (boundary tags, in-block free links) is the
+    /// machine's to snapshot; this call covers only what lives on the
+    /// host. Must be called at quiescence (no run in progress).
+    ///
+    /// Returns `None` when the implementation does not support
+    /// checkpointing — callers (the `tm-mc` explorer) then fall back to
+    /// from-scratch execution. All four paper allocators and the audit
+    /// wrapper support it.
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        None
+    }
+
+    /// Rewind host-side heap metadata to a [`HeapSnapshot`] captured from
+    /// *this* allocator. Panics on a foreign snapshot. Implementations
+    /// that return `None` from [`Allocator::snapshot`] never see one.
+    fn restore(&self, snap: &HeapSnapshot) {
+        let _ = snap;
+        unreachable!("restore called on an allocator without snapshot support");
+    }
 }
+
+/// Opaque frozen heap metadata produced by [`Allocator::snapshot`]. Each
+/// implementation downcasts back to its own state type in
+/// [`Allocator::restore`].
+pub type HeapSnapshot = Box<dyn std::any::Any + Send + Sync>;
 
 impl<A: Allocator + ?Sized> Allocator for Arc<A> {
     fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
@@ -84,6 +112,12 @@ impl<A: Allocator + ?Sized> Allocator for Arc<A> {
     }
     fn attributes(&self) -> AllocatorAttrs {
         (**self).attributes()
+    }
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        (**self).snapshot()
+    }
+    fn restore(&self, snap: &HeapSnapshot) {
+        (**self).restore(snap)
     }
 }
 

@@ -128,7 +128,7 @@ pub struct AllocProfiler<A: Allocator> {
     inner: A,
     /// Per-thread padded shard: current region marker + the three region
     /// histograms this thread accumulated. Merged (region-wise) at
-    /// [`AllocProfiler::snapshot`].
+    /// [`AllocProfiler::region_stats`].
     slots: ShardedSlots,
 }
 
@@ -154,10 +154,11 @@ impl<A: Allocator> AllocProfiler<A> {
         }
     }
 
-    /// Snapshot of the three region histograms, indexed by `Region as
-    /// usize`, merged over all threads. Exact once recording threads have
-    /// quiesced (e.g. after `Sim::run` returns).
-    pub fn snapshot(&self) -> [RegionStats; 3] {
+    /// The three region histograms, indexed by `Region as usize`, merged
+    /// over all threads. Exact once recording threads have quiesced (e.g.
+    /// after `Sim::run` returns). (Named to stay clear of the checkpoint
+    /// method [`Allocator::snapshot`].)
+    pub fn region_stats(&self) -> [RegionStats; 3] {
         let merged = self.slots.merged();
         Region::ALL.map(|r| {
             let base = REGION_BASE + r as usize * REGION_WIDTH;
@@ -245,7 +246,7 @@ mod tests {
             prof.free(ctx, b);
             prof.free(ctx, a);
         });
-        let s = prof.snapshot();
+        let s = prof.region_stats();
         assert_eq!(s[Region::Seq as usize].mallocs, 1);
         assert_eq!(s[Region::Seq as usize].by_bucket[0], 1);
         assert_eq!(s[Region::Par as usize].mallocs, 1);

@@ -21,7 +21,7 @@ use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::classes::SizeClasses;
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs};
+use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
 
 const SB_SIZE: u64 = 16 * 1024;
 const SB_SHIFT: u64 = 14;
@@ -69,6 +69,28 @@ pub struct TbbAllocator {
     global: Mutex<GlobalInner>,
     registry: RwLock<HashMap<u64, Arc<Superblock>>>,
     large: Mutex<HashMap<u64, u64>>,
+}
+
+/// Frozen heap metadata for [`Allocator::snapshot`]. Superblocks are keyed
+/// by their registry key (`base >> SB_SHIFT`, recovered from the bump end);
+/// restore drops post-snapshot superblocks from the registry and rebuilds
+/// every thread's bins by key lookup, so the shared `Arc<Superblock>`
+/// identities survive.
+struct TbbSnapshot {
+    /// Per thread: class → (private free list, owned superblock keys).
+    threads: Vec<HashMap<usize, (FreeList, Vec<u64>)>>,
+    /// Registry key → (public free list, bump (next, end)).
+    sbs: HashMap<u64, (FreeList, (u64, u64))>,
+    spare_sbs: Vec<u64>,
+    chunk_bump: u64,
+    chunk_end: u64,
+    large: HashMap<u64, u64>,
+}
+
+/// Registry key of a superblock; its base never moves, so it is recovered
+/// from the (immutable) bump end.
+fn sb_key(sb: &Superblock) -> u64 {
+    (sb.bump.lock().1 - SB_SIZE) >> SB_SHIFT
 }
 
 impl TbbAllocator {
@@ -286,6 +308,73 @@ impl Allocator for TbbAllocator {
         8
     }
 
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                let t = t.lock();
+                t.bins
+                    .iter()
+                    .map(|(&class, bin)| {
+                        let keys: Vec<u64> = bin.sbs.iter().map(|sb| sb_key(sb)).collect();
+                        (class, (bin.private, keys))
+                    })
+                    .collect()
+            })
+            .collect();
+        let sbs = self
+            .registry
+            .read()
+            .iter()
+            .map(|(&k, sb)| (k, (sb.shared.lock().public, *sb.bump.lock())))
+            .collect();
+        let g = self.global.lock();
+        Some(Box::new(TbbSnapshot {
+            threads,
+            sbs,
+            spare_sbs: g.spare_sbs.clone(),
+            chunk_bump: g.chunk_bump,
+            chunk_end: g.chunk_end,
+            large: self.large.lock().clone(),
+        }))
+    }
+
+    fn restore(&self, snap: &HeapSnapshot) {
+        let snap = snap
+            .downcast_ref::<TbbSnapshot>()
+            .expect("tbb model: restore of a foreign heap snapshot");
+        let mut reg = self.registry.write();
+        reg.retain(|k, _| snap.sbs.contains_key(k));
+        for (k, (public, bump)) in &snap.sbs {
+            let sb = reg
+                .get(k)
+                .expect("tbb model: snapshot names a superblock this allocator never created");
+            sb.shared.lock().public = *public;
+            *sb.bump.lock() = *bump;
+        }
+        for (t, ts) in self.threads.iter().zip(&snap.threads) {
+            t.lock().bins = ts
+                .iter()
+                .map(|(&class, (private, keys))| {
+                    let sbs = keys.iter().map(|k| Arc::clone(&reg[k])).collect();
+                    (
+                        class,
+                        Bin {
+                            private: *private,
+                            sbs,
+                        },
+                    )
+                })
+                .collect();
+        }
+        let mut g = self.global.lock();
+        g.spare_sbs.clone_from(&snap.spare_sbs);
+        g.chunk_bump = snap.chunk_bump;
+        g.chunk_end = snap.chunk_end;
+        *self.large.lock() = snap.large.clone();
+    }
+
     fn attributes(&self) -> AllocatorAttrs {
         AllocatorAttrs {
             name: "TBBMalloc",
@@ -371,6 +460,57 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TbbAllocator::new(&sim);
+        // Prefix: both threads own superblocks and the cross-thread free
+        // leaves a block on thread 0's public list.
+        let stash = Mutex::new(0u64);
+        sim.run(2, |ctx| {
+            if ctx.tid() == 0 {
+                let p = a.malloc(ctx, 32);
+                let _q = a.malloc(ctx, 32);
+                *stash.lock() = p;
+            } else {
+                let _ = a.malloc(ctx, 64);
+                ctx.tick(100_000);
+                ctx.fence();
+                let p = *stash.lock();
+                a.free(ctx, p); // remote free → public list
+            }
+        });
+        let machine = sim.snapshot(None);
+        let heap = a.snapshot().expect("tbb supports snapshots");
+        let round = |sim: &Sim, a: &TbbAllocator| {
+            let log = Mutex::new(Vec::new());
+            sim.run(2, |ctx| {
+                let mut mine = Vec::new();
+                for i in 0..10u64 {
+                    mine.push(a.malloc(ctx, 8 << (i % 4)));
+                }
+                // A class untouched in the prefix: forces a post-snapshot
+                // superblock that restore must drop from the registry.
+                mine.push(a.malloc(ctx, 4096));
+                let big = a.malloc(ctx, 9000); // large path
+                a.free(ctx, big);
+                for &b in mine.iter().rev() {
+                    a.free(ctx, b);
+                }
+                mine.push(big);
+                log.lock().push((ctx.tid(), mine));
+            });
+            let mut v = log.into_inner();
+            v.sort();
+            v
+        };
+        let r1 = round(&sim, &a);
+        sim.restore(&machine);
+        a.restore(&heap);
+        let r2 = round(&sim, &a);
+        assert_eq!(r1, r2, "restored run must hand out identical addresses");
     }
 
     #[test]

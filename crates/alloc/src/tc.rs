@@ -22,7 +22,7 @@ use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::classes::SizeClasses;
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs};
+use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
 
 /// Fast-path bound (paper Table 1: "<= 256 KB").
 const MAX_SMALL: u64 = 256 * 1024;
@@ -71,6 +71,20 @@ pub struct TcAllocator {
     /// `addr >> 14` → size class of the span covering it.
     spans: RwLock<HashMap<u64, usize>>,
     large: Mutex<HashMap<u64, u64>>,
+}
+
+/// Frozen heap metadata for [`Allocator::snapshot`]. Every container here
+/// is fixed-arity (per-thread and per-class vectors), so restore writes the
+/// captured values straight back; the span map and large table are replaced
+/// wholesale, dropping post-snapshot spans.
+struct TcSnapshot {
+    /// Per thread: (lists, batch, cached_bytes).
+    threads: Vec<(Vec<FreeList>, Vec<u64>, u64)>,
+    /// Per class: (free, bump, end).
+    central: Vec<(FreeList, u64, u64)>,
+    page: (u64, u64),
+    spans: HashMap<u64, usize>,
+    large: HashMap<u64, u64>,
 }
 
 impl TcAllocator {
@@ -298,6 +312,61 @@ impl Allocator for TcAllocator {
         8
     }
 
+    fn snapshot(&self) -> Option<HeapSnapshot> {
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                let t = t.lock();
+                (t.lists.clone(), t.batch.clone(), t.cached_bytes)
+            })
+            .collect();
+        let central = self
+            .central
+            .iter()
+            .map(|c| {
+                let i = c.inner.lock();
+                (i.free, i.bump, i.end)
+            })
+            .collect();
+        let page = {
+            let p = self.page_heap.lock();
+            (p.chunk_bump, p.chunk_end)
+        };
+        Some(Box::new(TcSnapshot {
+            threads,
+            central,
+            page,
+            spans: self.spans.read().clone(),
+            large: self.large.lock().clone(),
+        }))
+    }
+
+    fn restore(&self, snap: &HeapSnapshot) {
+        let snap = snap
+            .downcast_ref::<TcSnapshot>()
+            .expect("tcmalloc model: restore of a foreign heap snapshot");
+        for (t, (lists, batch, cached)) in self.threads.iter().zip(&snap.threads) {
+            let mut t = t.lock();
+            t.lists.clone_from(lists);
+            t.batch.clone_from(batch);
+            t.cached_bytes = *cached;
+        }
+        for (c, (free, bump, end)) in self.central.iter().zip(&snap.central) {
+            let mut i = c.inner.lock();
+            i.free = *free;
+            i.bump = *bump;
+            i.end = *end;
+        }
+        {
+            let mut p = self.page_heap.lock();
+            p.chunk_bump = snap.page.0;
+            p.chunk_end = snap.page.1;
+        }
+        *self.spans.write() = snap.spans.clone();
+        *self.large.lock() = snap.large.clone();
+    }
+
     fn attributes(&self) -> AllocatorAttrs {
         AllocatorAttrs {
             name: "TCMalloc",
@@ -425,6 +494,57 @@ mod tests {
                 "GC must keep the cache within budget (got {cached})"
             );
         });
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let a = TcAllocator::new(&sim);
+        // Prefix: advance the incremental batch counters and seed central
+        // free lists via a GC-triggering burst.
+        sim.run(2, |ctx| {
+            let blocks: Vec<u64> = (0..12).map(|i| a.malloc(ctx, 16 << (i % 3))).collect();
+            for b in blocks {
+                a.free(ctx, b);
+            }
+        });
+        let machine = sim.snapshot(None);
+        let heap = a.snapshot().expect("tcmalloc supports snapshots");
+        let round = |sim: &Sim, a: &TcAllocator| {
+            let log = Mutex::new(Vec::new());
+            sim.run(2, |ctx| {
+                let mut mine = Vec::new();
+                for i in 0..10u64 {
+                    mine.push(a.malloc(ctx, 8 << (i % 4)));
+                }
+                // A class untouched in the prefix: forces a post-snapshot
+                // span that restore must drop from the span map.
+                mine.push(a.malloc(ctx, 4096));
+                let big = a.malloc(ctx, 512 * 1024); // large path
+                a.free(ctx, big);
+                for &b in mine.iter().rev() {
+                    a.free(ctx, b);
+                }
+                mine.push(big);
+                log.lock().push((ctx.tid(), mine));
+            });
+            let mut v = log.into_inner();
+            v.sort();
+            v
+        };
+        let r1 = round(&sim, &a);
+        sim.restore(&machine);
+        a.restore(&heap);
+        let r2 = round(&sim, &a);
+        assert_eq!(r1, r2, "restored run must hand out identical addresses");
+        // Batch counters must rewind too: a drifted incremental counter
+        // changes refill sizes (and so addresses) on longer runs.
+        sim.restore(&machine);
+        a.restore(&heap);
+        let class = a.classes.class_of(16).unwrap();
+        let batch_now = a.threads[0].lock().batch[class];
+        let snap_ref = heap.downcast_ref::<TcSnapshot>().unwrap();
+        assert_eq!(batch_now, snap_ref.threads[0].1[class]);
     }
 
     #[test]

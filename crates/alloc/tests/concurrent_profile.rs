@@ -38,7 +38,7 @@ fn eight_thread_merge_is_exact() {
         }
     });
 
-    let s = prof.snapshot();
+    let s = prof.region_stats();
     let n = THREADS as u64;
     let par = &s[Region::Par as usize];
     assert_eq!(par.mallocs, n * 2 * PER_THREAD);

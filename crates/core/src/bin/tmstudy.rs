@@ -72,8 +72,10 @@ fn usage() {
          cross-backend and cross-CM diffs, interleaving explorer) [--quick] \
          [--backend B] [--cm C] [--name S] [--out FILE]\n\
          mc:         systematic schedule exploration (bounded-exhaustive \
-         enumeration with conflict pruning) [--quick] [--backend B] [--cm C] \
-         [--alloc A] [--depth N] [--budget N] [--name S] [--out FILE]\n\
+         enumeration with conflict pruning, checkpoint/restore prefix-tree \
+         execution) [--quick] [--backend B] [--cm C] [--alloc A] [--depth N] \
+         [--budget N] [--magnitudes A,B,..] [--no-checkpoint] [--name S] \
+         [--out FILE]\n\
          book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
          allocators: glibc hoard tbb tc\n\
          cm (contention manager): suicide backoff karma timestamp serialize adaptive"
@@ -89,12 +91,13 @@ enum AnyReport {
 }
 
 /// The schemas this binary understands, for error messages.
-const KNOWN_SCHEMAS: [&str; 5] = [
+const KNOWN_SCHEMAS: [&str; 6] = [
     tm_obs::report::SCHEMA,
     tm_obs::report::SCHEMA_V1_1,
     tm_obs::sweep::SWEEP_SCHEMA,
     tm_obs::check::CHECK_SCHEMA,
     tm_obs::mc::MC_SCHEMA,
+    tm_obs::mc::MC_SCHEMA_V1_1,
 ];
 
 impl AnyReport {
@@ -120,9 +123,11 @@ impl AnyReport {
             Some(tm_obs::check::CHECK_SCHEMA) => tm_obs::CheckReport::from_json(&tree)
                 .map(AnyReport::Check)
                 .map_err(|e| format!("malformed check report: {e}")),
-            Some(tm_obs::mc::MC_SCHEMA) => tm_obs::McReport::from_json(&tree)
-                .map(AnyReport::Mc)
-                .map_err(|e| format!("malformed mc report: {e}")),
+            Some(tm_obs::mc::MC_SCHEMA | tm_obs::mc::MC_SCHEMA_V1_1) => {
+                tm_obs::McReport::from_json(&tree)
+                    .map(AnyReport::Mc)
+                    .map_err(|e| format!("malformed mc report: {e}"))
+            }
             Some(other) => Err(format!(
                 "unknown schema '{other}' (known schemas: {})",
                 KNOWN_SCHEMAS.join(", ")
@@ -362,17 +367,38 @@ fn check(flags: &HashMap<String, String>) {
     }
 }
 
+/// Validate the bare `--no-checkpoint` escape hatch: it takes no value,
+/// so anything but the parser's implicit `true` is a stray token (e.g.
+/// `--no-checkpoint bogus`) that must be rejected, not silently eaten.
+/// Returns whether checkpointed exploration is enabled.
+fn checkpoint_of(flags: &HashMap<String, String>) -> Result<bool, String> {
+    match flags.get("no-checkpoint").map(String::as_str) {
+        None => Ok(true),
+        Some("true") => Ok(false),
+        Some(other) => Err(format!(
+            "--no-checkpoint takes no value (stray token '{other}')"
+        )),
+    }
+}
+
 /// Run the schedule model checker (tm-mc) and write a `tm-mc-report/v1`
-/// document. `--quick` runs the mutation catalog plus the exhaustive
-/// clean sweep across every backend × CM; otherwise a targeted
-/// bounded-exhaustive clean sweep over the requested axes. Exit 1 when
-/// any cell ends with an unexpected verdict (a violation on the clean
-/// STM or an escaped mutant), 2 on bad flags.
+/// (or, with throughput accounting, `v1.1`) document. `--quick` runs the
+/// mutation catalog plus the exhaustive clean sweep across every backend
+/// × CM; otherwise a targeted bounded-exhaustive clean sweep over the
+/// requested axes. Cells execute via the checkpoint/restore explorer
+/// unless `--no-checkpoint` forces the from-scratch enumerator (which
+/// also omits the throughput block, keeping the artifact plain v1). Exit
+/// 1 when any cell ends with an unexpected verdict (a violation on the
+/// clean STM or an escaped mutant), 2 on bad flags.
 fn mc(flags: &HashMap<String, String>) {
     use tm_stm::{BackendKind, CmKind};
     let quick = flags.contains_key("quick");
     let depth = get(flags, "depth", 3usize);
     let budget = get(flags, "budget", 200_000u64);
+    let checkpoint = checkpoint_of(flags).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let name = flags.get("name").cloned().unwrap_or_else(|| {
         if quick {
             "mc-quick".into()
@@ -380,9 +406,10 @@ fn mc(flags: &HashMap<String, String>) {
             "mc".into()
         }
     });
-    let report = if quick {
+    let started = std::time::Instant::now();
+    let (mut report, work) = if quick {
         eprintln!("mc '{name}': mutation catalog + exhaustive clean sweep (depth {depth})…");
-        tm_mc::quick_report(&name, depth)
+        tm_mc::quick_report_opt(&name, depth, checkpoint)
     } else {
         let backends: Vec<BackendKind> = if flags.contains_key("backend") {
             vec![backend_of(flags)]
@@ -401,9 +428,27 @@ fn mc(flags: &HashMap<String, String>) {
                 std::process::exit(2);
             }),
         };
+        let magnitudes: Vec<u64> = match flags.get("magnitudes") {
+            None => vec![400],
+            Some(list) => {
+                let parsed: Result<Vec<u64>, _> =
+                    list.split(',').map(|v| v.trim().parse()).collect();
+                match parsed {
+                    Ok(m) if !m.is_empty() => m,
+                    _ => {
+                        eprintln!(
+                            "error: --magnitudes takes a comma-separated list of \
+                             delay cycles (got '{list}')"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+        };
         let program = tm_mc::small_program();
         let ecfg = tm_mc::EnumConfig {
             depth,
+            magnitudes,
             max_schedules: budget,
             ..tm_mc::EnumConfig::default()
         };
@@ -418,15 +463,27 @@ fn mc(flags: &HashMap<String, String>) {
             .meta("depth", depth)
             .meta("budget", budget)
             .meta("alloc", alloc.name());
+        let mut work = tm_mc::SweepWork::default();
         for &backend in &backends {
             for &cm in &cms {
-                report
-                    .cells
-                    .push(tm_mc::run_clean_cell(&program, alloc, backend, cm, &ecfg));
+                report.cells.push(tm_mc::run_clean_cell_opt(
+                    &program, alloc, backend, cm, &ecfg, checkpoint, &mut work,
+                ));
             }
         }
-        report
+        (report, work)
     };
+    // The throughput block records what checkpointing bought; a
+    // from-scratch run stays plain v1 so frozen baselines diff cleanly.
+    if checkpoint {
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        report.throughput = Some(tm_obs::mc::McThroughput {
+            schedules_per_sec: work.schedules as f64 / secs,
+            replay_steps_saved: work.replay_steps_saved,
+            checkpoints_taken: work.checkpoints_taken,
+            deduped: work.deduped,
+        });
+    }
     let out = flags
         .get("out")
         .cloned()
@@ -733,6 +790,29 @@ mod tests {
             AnyReport::parse(&mc.to_json_string()),
             Ok(AnyReport::Mc(_))
         ));
+        // A v1.1 artifact (throughput block present) dispatches the same way.
+        let mut mc = tm_obs::McReport::new("m");
+        mc.throughput = Some(tm_obs::mc::McThroughput {
+            schedules_per_sec: 1.0,
+            replay_steps_saved: 0,
+            checkpoints_taken: 0,
+            deduped: 0,
+        });
+        assert!(mc.to_json_string().contains(tm_obs::mc::MC_SCHEMA_V1_1));
+        assert!(matches!(
+            AnyReport::parse(&mc.to_json_string()),
+            Ok(AnyReport::Mc(_))
+        ));
+    }
+
+    #[test]
+    fn no_checkpoint_flag_rejects_stray_tokens() {
+        let ok = parse_flags(&["--no-checkpoint".to_string()]);
+        assert_eq!(checkpoint_of(&ok), Ok(false));
+        assert_eq!(checkpoint_of(&HashMap::new()), Ok(true));
+        let bad = parse_flags(&["--no-checkpoint".to_string(), "bogus".to_string()]);
+        let err = checkpoint_of(&bad).unwrap_err();
+        assert!(err.contains("stray token 'bogus'"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,8 @@ use tm_check::TransferProgram;
 use tm_obs::{McCell, McCounterexample, McReport, McVerdict};
 use tm_stm::{BackendKind, CmKind, InjectedBug};
 
-use crate::enumerate::{enumerate, EnumConfig};
+use crate::enumerate::{enumerate, EnumConfig, EnumStats};
+use crate::explore::{explore, Throughput};
 use crate::pct::{pct_explore, PctConfig};
 use crate::program::{run_schedule, McProgram, ProgramKind, RunConfig};
 
@@ -36,6 +37,54 @@ impl Strategy {
             Strategy::Exhaustive(_) => "exhaustive",
             Strategy::Pct(_) => "pct",
         }
+    }
+}
+
+/// Schedule-count accounting accumulated across the cells of one sweep.
+/// The caller supplies the wall-clock measurement; together they feed
+/// the `tm-mc-report/v1.1` throughput block and `bench.sh --mc`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepWork {
+    /// Schedules executed across all cells (exhaustive runs plus pct
+    /// trials).
+    pub schedules: u64,
+    /// Scheduler events checkpoint restores avoided re-executing.
+    pub replay_steps_saved: u64,
+    /// Root checkpoints captured (at most one per checkpointable cell).
+    pub checkpoints_taken: u64,
+    /// Schedules skipped by state-fingerprint dedup.
+    pub deduped: u64,
+}
+
+impl SweepWork {
+    fn absorb(&mut self, explored: u64, deduped: u64, t: Option<&Throughput>) {
+        self.schedules += explored;
+        self.deduped += deduped;
+        if let Some(t) = t {
+            self.replay_steps_saved += t.replay_steps_saved;
+            self.checkpoints_taken += t.checkpoints_taken;
+        }
+    }
+}
+
+/// Execute one bounded-exhaustive sweep — checkpointed ([`explore`]) by
+/// default, from scratch ([`enumerate`]) under `--no-checkpoint` — and
+/// fold its schedule counts into `work`.
+fn sweep_exhaustive(
+    program: &McProgram,
+    run: &RunConfig,
+    ecfg: &EnumConfig,
+    checkpoint: bool,
+    work: &mut SweepWork,
+) -> (EnumStats, Option<(Vec<u64>, String)>) {
+    if checkpoint {
+        let (stats, found, t) = explore(program, run, ecfg);
+        work.absorb(stats.explored, stats.deduped, Some(&t));
+        (stats, found)
+    } else {
+        let (stats, found) = enumerate(program, run, ecfg);
+        work.absorb(stats.explored, 0, None);
+        (stats, found)
     }
 }
 
@@ -206,13 +255,37 @@ pub fn shrink_violation(
 
 /// Run one clean-STM cell: bounded-exhaustive exploration that must find
 /// nothing. Verdict `clean` on success, `violation` (with the shrunk
-/// witness) if any schedule breaks an invariant.
+/// witness) if any schedule breaks an invariant. Uses the checkpointed
+/// explorer; see [`run_clean_cell_opt`] for the from-scratch variant.
 pub fn run_clean_cell(
     program: &McProgram,
     alloc: AllocatorKind,
     backend: BackendKind,
     cm: CmKind,
     ecfg: &EnumConfig,
+) -> McCell {
+    run_clean_cell_opt(
+        program,
+        alloc,
+        backend,
+        cm,
+        ecfg,
+        true,
+        &mut SweepWork::default(),
+    )
+}
+
+/// [`run_clean_cell`] with explicit control over checkpointing
+/// (`checkpoint == false` forces the from-scratch enumerator, the
+/// `tmstudy mc --no-checkpoint` escape hatch) and work accounting.
+pub fn run_clean_cell_opt(
+    program: &McProgram,
+    alloc: AllocatorKind,
+    backend: BackendKind,
+    cm: CmKind,
+    ecfg: &EnumConfig,
+    checkpoint: bool,
+    work: &mut SweepWork,
 ) -> McCell {
     let run = RunConfig {
         alloc,
@@ -222,13 +295,15 @@ pub fn run_clean_cell(
     };
     let strategy = Strategy::Exhaustive(ecfg.clone());
     let config = config_kv(&strategy, program, &run, ecfg.depth.to_string());
-    let (stats, found) = enumerate(program, &run, ecfg);
+    let (stats, found) = sweep_exhaustive(program, &run, ecfg, checkpoint, work);
     match found {
         None => McCell {
             config,
             verdict: McVerdict::Clean,
             explored: stats.explored,
             pruned: stats.pruned,
+            deduped: stats.deduped,
+            capped: stats.capped,
             counterexample: None,
         },
         Some((witness, detail)) => {
@@ -238,6 +313,8 @@ pub fn run_clean_cell(
                 verdict: McVerdict::Violation,
                 explored: stats.explored,
                 pruned: stats.pruned,
+                deduped: stats.deduped,
+                capped: stats.capped,
                 counterexample: Some(cx),
             }
         }
@@ -251,31 +328,56 @@ pub fn run_clean_cell(
 /// when the budget runs dry, `violation` when the shrunk witness fails
 /// the replay discipline.
 pub fn run_mutant_cell(recipe: &MutantRecipe) -> McCell {
+    run_mutant_cell_opt(recipe, true, &mut SweepWork::default())
+}
+
+/// [`run_mutant_cell`] with explicit control over checkpointing and work
+/// accounting. Pct recipes ignore `checkpoint` — randomized trials have
+/// no shared prefix to restore to.
+pub fn run_mutant_cell_opt(
+    recipe: &MutantRecipe,
+    checkpoint: bool,
+    work: &mut SweepWork,
+) -> McCell {
     let depth_label = match &recipe.strategy {
         Strategy::Exhaustive(e) => e.depth.to_string(),
         Strategy::Pct(p) => p.depth.to_string(),
     };
     let config = config_kv(&recipe.strategy, &recipe.program, &recipe.run, depth_label);
-    let (explored, pruned, found) = match &recipe.strategy {
+    let (stats, found) = match &recipe.strategy {
         Strategy::Exhaustive(ecfg) => {
-            let (stats, found) = enumerate(&recipe.program, &recipe.run, ecfg);
-            (stats.explored, stats.pruned, found)
+            sweep_exhaustive(&recipe.program, &recipe.run, ecfg, checkpoint, work)
         }
         Strategy::Pct(pcfg) => {
             let (trials, found) = pct_explore(&recipe.program, &recipe.run, pcfg);
-            (trials, 0, found)
+            work.absorb(trials, 0, None);
+            (
+                EnumStats {
+                    explored: trials,
+                    ..EnumStats::default()
+                },
+                found,
+            )
         }
     };
     match found {
         None => McCell {
             config,
             verdict: McVerdict::Escaped,
-            explored,
-            pruned,
+            explored: stats.explored,
+            pruned: stats.pruned,
+            deduped: stats.deduped,
+            capped: stats.capped,
             counterexample: None,
         },
         Some((witness, detail)) => {
-            let cx = shrink_violation(&recipe.program, &recipe.run, witness, detail, explored);
+            let cx = shrink_violation(
+                &recipe.program,
+                &recipe.run,
+                witness,
+                detail,
+                stats.explored,
+            );
             // Replay discipline: the minimal schedule must still fail on
             // the mutant and must pass on the clean STM.
             let replays = run_schedule(&recipe.program, &recipe.run, &cx.schedule).is_err();
@@ -292,8 +394,10 @@ pub fn run_mutant_cell(recipe: &MutantRecipe) -> McCell {
             McCell {
                 config,
                 verdict,
-                explored,
-                pruned,
+                explored: stats.explored,
+                pruned: stats.pruned,
+                deduped: stats.deduped,
+                capped: stats.capped,
                 counterexample: Some(cx),
             }
         }
@@ -329,36 +433,50 @@ pub fn quick_clean_config(depth: usize) -> EnumConfig {
 /// depth-`depth` exhaustive clean sweep of [`small_program`] across
 /// every backend × contention-manager combination.
 pub fn quick_report(name: &str, depth: usize) -> McReport {
+    quick_report_opt(name, depth, true).0
+}
+
+/// [`quick_report`] with explicit checkpoint control, also returning the
+/// sweep's aggregated work so the caller can attach a throughput block
+/// (it owns the wall-clock measurement).
+pub fn quick_report_opt(name: &str, depth: usize, checkpoint: bool) -> (McReport, SweepWork) {
+    let mut work = SweepWork::default();
     let mut report = McReport::new(name)
         .meta("mode", "quick")
         .meta("clean_depth", depth);
     for recipe in mutation_catalog() {
-        report.cells.push(run_mutant_cell(&recipe));
+        report
+            .cells
+            .push(run_mutant_cell_opt(&recipe, checkpoint, &mut work));
     }
     let program = small_program();
     let ecfg = quick_clean_config(depth);
     for backend in BackendKind::ALL {
         for cm in CmKind::ALL {
-            report.cells.push(run_clean_cell(
+            report.cells.push(run_clean_cell_opt(
                 &program,
                 AllocatorKind::TbbMalloc,
                 backend,
                 cm,
                 &ecfg,
+                checkpoint,
+                &mut work,
             ));
         }
     }
     // A sparse program (many more cells than transactions) where the
     // conflict relation actually removes schedules, so the artifact
     // demonstrates a non-zero `pruned` count.
-    report.cells.push(run_clean_cell(
+    report.cells.push(run_clean_cell_opt(
         &sparse_program(),
         AllocatorKind::TbbMalloc,
         BackendKind::Etl,
         CmKind::Suicide,
         &quick_clean_config(2),
+        checkpoint,
+        &mut work,
     ));
-    report
+    (report, work)
 }
 
 /// A transfer program with far more cells than transactions, leaving
@@ -405,6 +523,12 @@ fn mc_cell_to_check(cell: McCell) -> tm_obs::CheckCell {
         ("explored".to_string(), cell.explored),
         ("pruned".to_string(), cell.pruned),
     ];
+    // Dedup is structurally absent on the catalog cells (every pool
+    // point is consulted, so any delay perturbs the trace hash); surface
+    // it only when it actually fires so existing matrices stay stable.
+    if cell.deduped > 0 {
+        checks.push(("deduped".to_string(), cell.deduped));
+    }
     let mut failures = Vec::new();
     if let Some(cx) = &cell.counterexample {
         checks.push(("shrink_steps".to_string(), cx.shrink_steps));

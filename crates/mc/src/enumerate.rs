@@ -49,12 +49,17 @@ pub struct EnumStats {
     pub explored: u64,
     /// Schedules in the bounded space skipped by pruning.
     pub pruned: u64,
+    /// Schedules skipped by the checkpointed explorer's state-fingerprint
+    /// dedup ([`crate::explore::explore`]); always 0 for the from-scratch
+    /// enumerator. An uncapped sweep satisfies `explored + pruned +
+    /// deduped == space_size`.
+    pub deduped: u64,
     /// True when `max_schedules` stopped the sweep before the bounded
     /// space was covered.
     pub capped: bool,
 }
 
-fn binomial(n: u64, k: u64) -> u64 {
+pub(crate) fn binomial(n: u64, k: u64) -> u64 {
     if k > n {
         return 0;
     }
@@ -68,7 +73,7 @@ fn binomial(n: u64, k: u64) -> u64 {
 /// Schedules the pruning removed: for each support size `k`, the
 /// supports over all `points` minus the supports over the `active`
 /// subset, times the `m^k` magnitude assignments.
-fn pruned_count(points: u64, active: u64, depth: usize, m: u64) -> u64 {
+pub(crate) fn pruned_count(points: u64, active: u64, depth: usize, m: u64) -> u64 {
     let mut total: u128 = 0;
     let mut mk: u128 = 1;
     for k in 1..=depth as u64 {

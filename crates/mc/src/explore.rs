@@ -1,0 +1,492 @@
+//! Checkpoint/restore prefix-tree execution for the schedule explorer.
+//!
+//! The from-scratch enumerator ([`crate::enumerate()`]) rebuilds the
+//! entire world — simulator, allocator, STM, seeded heap — for every
+//! delay vector, then re-executes the identical construction-and-seeding
+//! prefix before the schedules diverge. This module executes that shared
+//! prefix exactly once per `(program, config)` cell: a [`Session`] builds
+//! the stack, seeds the heap, and captures a *root checkpoint* (simulator
+//! snapshot with copy-on-write page sharing, allocator heap metadata, STM
+//! host counters) at post-seeding quiescence; each schedule then runs as
+//! three restores plus a fuel re-arm instead of a rebuild. Checkpoints
+//! are taken only at quiescence — between [`tm_sim::Sim::run`] calls —
+//! so no live fiber or thread stack ever needs capturing, which is what
+//! keeps snapshots exact under both executor backends.
+//!
+//! On top of the session, [`explore`] layers *state-fingerprint dedup*:
+//! after each clean run it compares the simulator's 64-bit execution
+//! fingerprint ([`tm_sim::Sim::trace_hash`]) against earlier schedules.
+//! When schedule `w` ends in the same fingerprint as an earlier schedule
+//! `v` whose support ends no later than `w`'s, every *extension* of `w`
+//! (same delays plus extra delayed points strictly to the right) behaves
+//! like the corresponding — already enumerated — extension of `v`, so
+//! `w`'s extension subtree is skipped and accounted in
+//! [`EnumStats::deduped`]. This is an explicit approximation in the SPIN
+//! hash-compaction tradition: a 64-bit fingerprint can collide, and the
+//! fingerprint deliberately omits the clock flush of a thread that
+//! blocks immediately after a scheduling point (that omission is what
+//! lets absorbed delays be *detected*). See DESIGN.md §14; the
+//! from-scratch enumerator remains the oracle, and `tmstudy mc
+//! --no-checkpoint` falls back to it wholesale.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tm_alloc::{Allocator as _, HeapSnapshot};
+use tm_sim::{MachineConfig, Sim, SimSnapshot};
+use tm_stm::{Stm, StmHostSnapshot, StmStats};
+
+use crate::conflict;
+use crate::enumerate::{binomial, pruned_count, EnumConfig, EnumStats};
+use crate::program::{
+    build_stack, classify_panic, install_hook, main_phase, run_schedule, seed_heap, McProgram,
+    QuietPanics, RunConfig,
+};
+
+/// A reusable execution cell for one `(program, config)` pair: the
+/// simulator, allocator, and STM are built and seeded once, and a root
+/// checkpoint is captured at post-seeding quiescence. Every [`Session::run`]
+/// rewinds to the root instead of rebuilding the world, with the same
+/// verdict contract as [`run_schedule`].
+pub struct Session {
+    program: McProgram,
+    txns: usize,
+    sim: Sim,
+    alloc: Arc<dyn tm_alloc::Allocator>,
+    stm: Arc<Stm>,
+    root_sim: SimSnapshot,
+    root_heap: HeapSnapshot,
+    root_stm: StmHostSnapshot,
+    /// Fuel each run starts with: the configured budget minus what the
+    /// seed phase consumed, matching the from-scratch runner (which arms
+    /// the full budget *before* seeding).
+    run_fuel: u64,
+    restores: u64,
+}
+
+impl Session {
+    /// Build, seed, and checkpoint one cell. Returns `None` when the
+    /// cell cannot be checkpointed — the allocator does not support heap
+    /// snapshots, or the seed phase itself panicked (e.g. a tiny fuel
+    /// budget with an allocating seed) — in which case callers fall back
+    /// to the from-scratch [`run_schedule`].
+    pub fn try_new(program: &McProgram, cfg: &RunConfig) -> Option<Session> {
+        let _quiet = QuietPanics::enter();
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        sim.set_fuel(cfg.fuel);
+        let (alloc, stm) = build_stack(&sim, cfg);
+        let seeded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            seed_heap(program, &sim, &alloc);
+        }))
+        .is_ok();
+        if !seeded {
+            return None;
+        }
+        let root_heap = alloc.snapshot()?;
+        let root_sim = sim.snapshot(None);
+        let root_stm = stm.snapshot_host();
+        // A seed phase that survived left at least one event of budget
+        // (exhausting it on the last event would have panicked).
+        let run_fuel = cfg.fuel - root_sim.events();
+        Some(Session {
+            program: *program,
+            txns: program.base.txns as usize,
+            sim,
+            alloc,
+            stm,
+            root_sim,
+            root_heap,
+            root_stm,
+            run_fuel,
+            restores: 0,
+        })
+    }
+
+    /// Execute one delay vector from the root checkpoint. Restores the
+    /// simulator, heap, and STM host state *first*, so a previous run
+    /// that panicked (mutant exploration does, routinely) leaves no
+    /// residue: the worker-panic protocol releases simulated locks and
+    /// quiesces the run before propagating, and the restore rewinds
+    /// whatever it touched.
+    pub fn run(&mut self, delays: &[u64]) -> Result<(), String> {
+        assert_eq!(delays.len(), self.program.points(), "schedule arity");
+        let _quiet = QuietPanics::enter();
+        self.restores += 1;
+        self.sim.restore(&self.root_sim);
+        self.alloc.restore(&self.root_heap);
+        self.stm.restore_host(&self.root_stm);
+        self.sim.set_fuel(self.run_fuel);
+        install_hook(&self.sim, self.txns, delays);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            main_phase(&self.program, &self.sim, &self.stm)
+        }));
+        match r {
+            Ok(r) => r,
+            Err(payload) => Err(classify_panic(payload.as_ref())),
+        }
+    }
+
+    /// Scheduler events the root checkpoint encapsulates — the replay
+    /// work every restore avoids re-executing.
+    pub fn root_events(&self) -> u64 {
+        self.root_sim.events()
+    }
+
+    /// Restores performed so far (one per [`Session::run`]).
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// The execution fingerprint after the last run, relative to the
+    /// root checkpoint — identical to what the from-scratch runner's
+    /// simulator would report after the same schedule.
+    pub fn trace_hash(&self) -> u64 {
+        self.sim.trace_hash()
+    }
+
+    /// Merged STM statistics after the last run (host counters are
+    /// rewound on every restore, so these are per-run, not cumulative).
+    pub fn stats(&self) -> StmStats {
+        self.stm.stats()
+    }
+}
+
+/// Throughput accounting for one sweep, for the `tm-mc-report/v1.1`
+/// throughput block and the `--mc` benchmark.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Throughput {
+    /// Schedules executed per wall-clock second.
+    pub schedules_per_sec: f64,
+    /// Scheduler events restores avoided re-executing: the root
+    /// checkpoint's event count times the number of restores.
+    pub replay_steps_saved: u64,
+    /// Checkpoints captured (one root per session; 0 when the sweep fell
+    /// back to from-scratch execution).
+    pub checkpoints_taken: u64,
+}
+
+/// Schedules in the extension subtree of a support ending at pool
+/// position `last` with support size `k`: choose 1..=depth-k extra
+/// positions strictly to the right, each with any of `m` magnitudes.
+fn extension_count(pool: usize, last: usize, k: usize, depth: usize, m: usize) -> u64 {
+    let avail = (pool - 1 - last) as u64;
+    let mut total: u128 = 0;
+    let mut mj: u128 = 1;
+    for j in 1..=(depth - k) as u64 {
+        mj = mj.saturating_mul(m as u128);
+        total = total.saturating_add((binomial(avail, j) as u128).saturating_mul(mj));
+    }
+    total.min(u64::MAX as u128) as u64
+}
+
+/// Checkpointed counterpart of [`crate::enumerate()`]: same bounded
+/// schedule space, same visit order, same verdicts — executed via a
+/// [`Session`] restore per schedule instead of a rebuild, with
+/// state-fingerprint dedup of extension subtrees. Falls back to the
+/// from-scratch runner (and disables dedup) when the cell cannot be
+/// checkpointed. `stats.explored` at a violation is still the 1-based
+/// witness index among *executed* schedules.
+pub fn explore(
+    program: &McProgram,
+    cfg: &RunConfig,
+    ecfg: &EnumConfig,
+) -> (EnumStats, Option<(Vec<u64>, String)>, Throughput) {
+    let start = Instant::now();
+    let mut session = Session::try_new(program, cfg);
+    let points = program.points();
+    let support_pool: Vec<usize> = if ecfg.prune {
+        conflict::active_points(program)
+    } else {
+        (0..points).collect()
+    };
+    let pool = support_pool.len();
+    let m = ecfg.magnitudes.len();
+    let mut stats = EnumStats {
+        pruned: pruned_count(points as u64, pool as u64, ecfg.depth, m as u64),
+        ..EnumStats::default()
+    };
+
+    // Fingerprint of each executed schedule → the smallest last-support
+    // pool position seen with that fingerprint, and the (combo, assign)
+    // prefixes whose extension subtrees are skipped. The zero schedule's
+    // conceptual last position is -1: it precedes every support.
+    let mut seen: HashMap<u64, i64> = HashMap::new();
+    let mut skips: HashSet<Vec<(u32, u32)>> = HashSet::new();
+
+    let run = |sess: &mut Option<Session>, delays: &[u64]| match sess {
+        Some(s) => s.run(delays),
+        None => run_schedule(program, cfg, delays),
+    };
+    let throughput = |sess: &Option<Session>, explored: u64, start: Instant| {
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        Throughput {
+            schedules_per_sec: explored as f64 / secs,
+            replay_steps_saved: sess
+                .as_ref()
+                .map(|s| s.root_events() * s.restores())
+                .unwrap_or(0),
+            checkpoints_taken: sess.is_some() as u64,
+        }
+    };
+
+    let mut delays = vec![0u64; points];
+    // Support size 0: the undisturbed schedule.
+    stats.explored += 1;
+    if let Err(detail) = run(&mut session, &delays) {
+        let t = throughput(&session, stats.explored, start);
+        return (stats, Some((delays, detail)), t);
+    }
+    if let Some(s) = &session {
+        seen.insert(s.trace_hash(), -1);
+    }
+
+    for k in 1..=ecfg.depth.min(pool) {
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            let mut assign = vec![0usize; k];
+            loop {
+                // A schedule whose (combo, assign) proper prefix was
+                // deduped is an already-accounted extension: skip it
+                // without running or recounting it.
+                let skipped = (1..k).any(|j| {
+                    let key: Vec<(u32, u32)> = combo[..j]
+                        .iter()
+                        .zip(assign[..j].iter())
+                        .map(|(&c, &a)| (c as u32, a as u32))
+                        .collect();
+                    skips.contains(&key)
+                });
+                if !skipped {
+                    if stats.explored >= ecfg.max_schedules {
+                        stats.capped = true;
+                        let t = throughput(&session, stats.explored, start);
+                        return (stats, None, t);
+                    }
+                    for (slot, &mag_idx) in combo.iter().zip(assign.iter()) {
+                        delays[support_pool[*slot]] = ecfg.magnitudes[mag_idx];
+                    }
+                    stats.explored += 1;
+                    let r = run(&mut session, &delays);
+                    for slot in &combo {
+                        delays[support_pool[*slot]] = 0;
+                    }
+                    if let Err(detail) = r {
+                        let mut witness = vec![0u64; points];
+                        for (slot, &mag_idx) in combo.iter().zip(assign.iter()) {
+                            witness[support_pool[*slot]] = ecfg.magnitudes[mag_idx];
+                        }
+                        let t = throughput(&session, stats.explored, start);
+                        return (stats, Some((witness, detail)), t);
+                    }
+                    if let Some(s) = &session {
+                        let hash = s.trace_hash();
+                        let last = combo[k - 1] as i64;
+                        match seen.get(&hash).copied() {
+                            // An earlier schedule with the same end state
+                            // and a support ending no later: this
+                            // schedule's extensions mirror that one's.
+                            Some(prev) if prev <= last => {
+                                let key: Vec<(u32, u32)> = combo
+                                    .iter()
+                                    .zip(assign.iter())
+                                    .map(|(&c, &a)| (c as u32, a as u32))
+                                    .collect();
+                                skips.insert(key);
+                                stats.deduped +=
+                                    extension_count(pool, combo[k - 1], k, ecfg.depth, m);
+                            }
+                            Some(prev) => {
+                                seen.insert(hash, prev.min(last));
+                            }
+                            None => {
+                                seen.insert(hash, last);
+                            }
+                        }
+                    }
+                }
+                // Advance the magnitude counter.
+                let mut i = 0;
+                loop {
+                    if i == k {
+                        break;
+                    }
+                    assign[i] += 1;
+                    if assign[i] < m {
+                        break;
+                    }
+                    assign[i] = 0;
+                    i += 1;
+                }
+                if i == k {
+                    break;
+                }
+            }
+            // Advance the combination; fall through to the next support
+            // size when this one is exhausted.
+            let mut advanced = false;
+            let mut i = k;
+            while i > 0 {
+                i -= 1;
+                if combo[i] < pool - (k - i) {
+                    combo[i] += 1;
+                    for j in i + 1..k {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+    let t = throughput(&session, stats.explored, start);
+    (stats, None, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate, space_size};
+    use crate::program::ProgramKind;
+    use tm_check::TransferProgram;
+
+    fn small() -> McProgram {
+        McProgram {
+            base: TransferProgram {
+                threads: 3,
+                cells: 2,
+                txns: 2,
+                ..TransferProgram::default()
+            },
+            kind: ProgramKind::Transfer,
+        }
+    }
+
+    #[test]
+    fn session_matches_oracle_per_schedule_and_is_stable() {
+        let p = small();
+        let cfg = RunConfig::clean();
+        let mut s = Session::try_new(&p, &cfg).expect("tbb supports heap snapshots");
+        let schedules: Vec<Vec<u64>> = vec![
+            vec![0; p.points()],
+            (0..p.points() as u64).map(|i| (i * 37) % 400).collect(),
+            (0..p.points() as u64).map(|i| (i % 3) * 800).collect(),
+        ];
+        let mut hashes = Vec::new();
+        for d in &schedules {
+            assert_eq!(s.run(d), run_schedule(&p, &cfg, d), "{d:?}");
+            hashes.push(s.trace_hash());
+        }
+        // Restores actually rewind: re-running each schedule reproduces
+        // its fingerprint exactly.
+        for (d, h) in schedules.iter().zip(&hashes) {
+            assert_eq!(s.run(d), Ok(()));
+            assert_eq!(s.trace_hash(), *h, "fingerprint drifted for {d:?}");
+        }
+        assert_eq!(s.restores(), 2 * schedules.len() as u64);
+    }
+
+    #[test]
+    fn session_survives_a_failing_run() {
+        // TxAllocEarlyFree corrupts the STM object cache's free list on
+        // every schedule. In debug builds the corruption trips an arithmetic
+        // check inside the allocator (an unwind through the whole stack); in
+        // release it surfaces as a conservation violation. Either way the
+        // run errs exactly like the oracle, and the session must come back
+        // byte-identical: the next run matches both a fresh session and the
+        // from-scratch oracle.
+        let p = McProgram {
+            base: TransferProgram::default(),
+            kind: ProgramKind::AllocSwap,
+        };
+        let cfg = RunConfig {
+            bug: tm_stm::InjectedBug::TxAllocEarlyFree,
+            ..RunConfig::clean()
+        };
+        let zero = vec![0u64; p.points()];
+        let next: Vec<u64> = (0..p.points() as u64).map(|i| (i % 2) * 400).collect();
+
+        let mut survivor = Session::try_new(&p, &cfg).unwrap();
+        let r0 = survivor.run(&zero);
+        assert!(r0.is_err(), "mutant must be caught, got {r0:?}");
+        #[cfg(debug_assertions)]
+        assert!(
+            r0.as_ref().is_err_and(|e| e.starts_with("panic:")),
+            "expected an allocator panic, got {r0:?}"
+        );
+        assert_eq!(run_schedule(&p, &cfg, &zero), r0, "oracle disagrees");
+        let r1 = survivor.run(&next);
+        let h1 = survivor.trace_hash();
+
+        let mut fresh = Session::try_new(&p, &cfg).unwrap();
+        assert_eq!(fresh.run(&next), r1, "post-failure verdict drifted");
+        assert_eq!(fresh.trace_hash(), h1, "post-failure fingerprint drifted");
+        assert_eq!(run_schedule(&p, &cfg, &next), r1, "oracle disagrees");
+    }
+
+    #[test]
+    fn session_classifies_livelock_like_the_oracle() {
+        let p = small();
+        let cfg = RunConfig {
+            fuel: 50,
+            ..RunConfig::clean()
+        };
+        let zero = vec![0u64; p.points()];
+        let mut s = Session::try_new(&p, &cfg).unwrap();
+        let r = s.run(&zero);
+        assert!(
+            r.as_ref().is_err_and(|e| e.starts_with("livelock:")),
+            "{r:?}"
+        );
+        assert_eq!(r, run_schedule(&p, &cfg, &zero));
+        // Fuel exhaustion unwinds through the workers in every build
+        // profile, so this doubles as the panic-recovery test: the session
+        // must restore cleanly and reproduce the same livelock again.
+        let h = s.trace_hash();
+        assert_eq!(s.run(&zero), r, "post-panic verdict drifted");
+        assert_eq!(s.trace_hash(), h, "post-panic fingerprint drifted");
+    }
+
+    #[test]
+    fn explore_matches_enumerate_and_accounts_the_space() {
+        let p = small();
+        let ecfg = EnumConfig {
+            depth: 2,
+            magnitudes: vec![200, 400],
+            ..EnumConfig::default()
+        };
+        let cfg = RunConfig::clean();
+        let (estats, efound) = enumerate(&p, &cfg, &ecfg);
+        let (xstats, xfound, t) = explore(&p, &cfg, &ecfg);
+        assert!(efound.is_none() && xfound.is_none());
+        assert_eq!(xstats.pruned, estats.pruned);
+        assert!(!xstats.capped);
+        assert_eq!(
+            xstats.explored + xstats.pruned + xstats.deduped,
+            space_size(p.points() as u64, ecfg.depth, ecfg.magnitudes.len())
+        );
+        // Whatever dedup skipped, the executed set plus the skipped set
+        // covers exactly what the oracle executed.
+        assert_eq!(xstats.explored + xstats.deduped, estats.explored);
+        assert_eq!(t.checkpoints_taken, 1);
+        // Transfer programs seed via direct state writes (no scheduler
+        // events), so the root checkpoint saves no replay steps.
+        assert_eq!(t.replay_steps_saved, 0);
+        assert!(t.schedules_per_sec > 0.0);
+    }
+
+    #[test]
+    fn extension_counts() {
+        // pool=4, last position 1, k=1, depth=3, m=2:
+        // j=1 → C(2,1)·2 = 4; j=2 → C(2,2)·4 = 4.
+        assert_eq!(extension_count(4, 1, 1, 3, 2), 8);
+        // Nothing to the right → no extensions.
+        assert_eq!(extension_count(4, 3, 1, 3, 2), 0);
+        // depth == k → no room for extensions.
+        assert_eq!(extension_count(4, 0, 2, 2, 2), 0);
+    }
+}

@@ -35,14 +35,17 @@
 pub mod catalog;
 pub mod conflict;
 pub mod enumerate;
+pub mod explore;
 pub mod pct;
 pub mod program;
 
 pub use catalog::{
-    check_cells, mutation_catalog, quick_clean_config, quick_report, run_clean_cell,
-    run_mutant_cell, shrink_violation, small_program, sparse_program, MutantRecipe, Strategy,
+    check_cells, mutation_catalog, quick_clean_config, quick_report, quick_report_opt,
+    run_clean_cell, run_clean_cell_opt, run_mutant_cell, run_mutant_cell_opt, shrink_violation,
+    small_program, sparse_program, MutantRecipe, Strategy, SweepWork,
 };
 pub use conflict::{active_points, footprints, Footprint};
 pub use enumerate::{enumerate, space_size, EnumConfig, EnumStats};
+pub use explore::{explore, Session, Throughput};
 pub use pct::{pct_explore, trial_schedule, PctConfig};
 pub use program::{run_schedule, McProgram, ProgramKind, RunConfig};

@@ -119,7 +119,7 @@ impl RunConfig {
 /// the counterexample shrunk; without this the default hook floods
 /// stderr with backtraces for panics the runner catches and classifies.
 /// Propagation is untouched — only the hook's printing is suppressed.
-struct QuietPanics;
+pub(crate) struct QuietPanics;
 
 type PanicHook = Box<dyn for<'a> Fn(&PanicHookInfo<'a>) + Send + Sync>;
 
@@ -134,12 +134,14 @@ static QUIET: Mutex<QuietState> = Mutex::new(QuietState {
 });
 
 impl QuietPanics {
-    fn enter() -> QuietPanics {
+    pub(crate) fn enter() -> QuietPanics {
         let mut g = QUIET.lock().unwrap();
         g.depth += 1;
         if g.depth == 1 {
             g.prev = Some(std::panic::take_hook());
-            std::panic::set_hook(Box::new(|_| {}));
+            if std::env::var("TM_MC_LOUD").is_err() {
+                std::panic::set_hook(Box::new(|_| {}));
+            }
         }
         QuietPanics
     }
@@ -167,6 +169,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Turn a caught panic payload into the runner's verdict string: fuel
+/// exhaustion is a livelock, anything else a plain panic. Shared by the
+/// from-scratch runner and the checkpointed [`crate::explore::Session`]
+/// so both classify identically.
+pub(crate) fn classify_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = panic_message(payload);
+    if msg.starts_with(FUEL_EXHAUSTED) {
+        format!("livelock: {msg}")
+    } else {
+        format!("panic: {msg}")
+    }
+}
+
 /// Execute `program` under one delay vector and check every end-state
 /// invariant. `Ok(())` means the schedule exposed nothing; `Err` carries
 /// the violated invariant (or the classified panic) as evidence. Fully
@@ -176,31 +191,25 @@ pub fn run_schedule(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Res
     let _quiet = QuietPanics::enter();
     match std::panic::catch_unwind(AssertUnwindSafe(|| run_inner(program, cfg, delays))) {
         Ok(r) => r,
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            if msg.starts_with(FUEL_EXHAUSTED) {
-                Err(format!("livelock: {msg}"))
-            } else {
-                Err(format!("panic: {msg}"))
-            }
-        }
+        Err(payload) => Err(classify_panic(payload.as_ref())),
     }
 }
 
-fn run_inner(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Result<(), String> {
-    let p = program.base;
-    let sim = Sim::new(MachineConfig::xeon_e5405());
-    sim.set_fuel(cfg.fuel);
-    let txns = p.txns as usize;
+/// Install the delay-vector scheduling hook: point `t` of thread `tid`
+/// maps to `delays[tid * txns + t]`.
+pub(crate) fn install_hook(sim: &Sim, txns: usize, delays: &[u64]) {
     let table: Arc<Vec<u64>> = Arc::new(delays.to_vec());
     sim.set_sched_hook(Arc::new(move |tid, point| {
         table[tid * txns + point as usize]
     }));
-    let alloc = cfg.alloc.build(&sim);
-    let init_alloc = Arc::clone(&alloc);
+}
+
+/// Build the allocator + STM stack for one run configuration on `sim`.
+pub(crate) fn build_stack(sim: &Sim, cfg: &RunConfig) -> (Arc<dyn tm_alloc::Allocator>, Arc<Stm>) {
+    let alloc = cfg.alloc.build(sim);
     let stm = Arc::new(Stm::new(
-        &sim,
-        alloc,
+        sim,
+        Arc::clone(&alloc),
         StmConfig {
             backend: cfg.backend,
             cm: cfg.cm,
@@ -208,9 +217,16 @@ fn run_inner(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Result<(),
             ..StmConfig::default()
         },
     ));
+    (alloc, stm)
+}
 
-    // Seed the heap: either tokens directly in the cells, or (AllocSwap)
-    // slots pointing at freshly allocated nodes carrying the tokens.
+/// Seed the heap: either tokens directly in the cells, or (AllocSwap)
+/// slots pointing at freshly allocated nodes carrying the tokens. Never
+/// consults the scheduling hook, so the seeded state is independent of
+/// the delay vector — the property the checkpointed explorer's shared
+/// root snapshot rests on.
+pub(crate) fn seed_heap(program: &McProgram, sim: &Sim, alloc: &Arc<dyn tm_alloc::Allocator>) {
+    let p = program.base;
     match program.kind {
         ProgramKind::Transfer | ProgramKind::TransferObserver => {
             sim.with_state(|m| {
@@ -222,14 +238,31 @@ fn run_inner(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Result<(),
         ProgramKind::AllocSwap => {
             sim.run(1, |ctx| {
                 for c in 0..p.cells {
-                    let node = init_alloc.malloc(ctx, NODE_SIZE);
+                    let node = alloc.malloc(ctx, NODE_SIZE);
                     ctx.write_u64(node, TransferProgram::INITIAL_TOKENS);
                     ctx.write_u64(BASE + c * STRIDE, node);
                 }
             });
         }
     }
+}
 
+fn run_inner(program: &McProgram, cfg: &RunConfig, delays: &[u64]) -> Result<(), String> {
+    let p = program.base;
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    sim.set_fuel(cfg.fuel);
+    install_hook(&sim, p.txns as usize, delays);
+    let (alloc, stm) = build_stack(&sim, cfg);
+    seed_heap(program, &sim, &alloc);
+    main_phase(program, &sim, &stm)
+}
+
+/// The concurrent phase plus every end-state invariant, starting from a
+/// seeded heap at quiescence. This is the part of a run the checkpointed
+/// explorer repeats per schedule; everything above it (construction and
+/// seeding) is captured once in the session's root checkpoint.
+pub(crate) fn main_phase(program: &McProgram, sim: &Sim, stm: &Arc<Stm>) -> Result<(), String> {
+    let p = program.base;
     // Torn snapshots the observer committed, recorded host-side.
     let torn: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let expected = program.expected_total();

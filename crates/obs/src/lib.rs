@@ -56,7 +56,7 @@ pub use counters::{Counter, Histogram, Registry, Sharded, ShardedSlots, SlotSche
 pub use mc::{McCell, McCounterexample, McReport, McVerdict};
 pub use report::{RunReport, Section};
 pub use sweep::{CellStatus, SweepCell, SweepReport};
-pub use trace::{Event, EventKind, Trace};
+pub use trace::{Event, EventKind, Trace, TraceCheckpoint};
 
 /// One observability context: a named-metric registry plus an event trace,
 /// sized for a fixed thread count. The simulator owns one per machine and

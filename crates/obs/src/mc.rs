@@ -24,6 +24,28 @@ use crate::sweep::key_of;
 /// Schema identifier written into every model-checking report.
 pub const MC_SCHEMA: &str = "tm-mc-report/v1";
 
+/// Extended schema carrying the optional checkpoint-throughput block and
+/// per-cell dedup/cap markers. A report that uses none of the v1.1
+/// additions is emitted (byte-identically) as plain v1.
+pub const MC_SCHEMA_V1_1: &str = "tm-mc-report/v1.1";
+
+/// Wall-clock summary of a checkpointed exploration run ([`McReport`]'s
+/// optional `throughput` block). Never part of determinism goldens —
+/// `schedules_per_sec` varies with the host — which is why it lives
+/// beside the cells instead of inside them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McThroughput {
+    /// Schedules executed per wall-clock second across the whole run.
+    pub schedules_per_sec: f64,
+    /// Virtual-time events *not* re-executed thanks to checkpoint
+    /// restore: root-prefix events × restores.
+    pub replay_steps_saved: u64,
+    /// Root checkpoints captured (one per session the run built).
+    pub checkpoints_taken: u64,
+    /// Schedules skipped by state-fingerprint dedup, summed over cells.
+    pub deduped: u64,
+}
+
 /// Outcome of one model-checking cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum McVerdict {
@@ -96,6 +118,14 @@ pub struct McCell {
     pub explored: u64,
     /// Schedules soundly skipped by independence-based pruning.
     pub pruned: u64,
+    /// Schedules skipped by the checkpointed explorer's state-fingerprint
+    /// dedup — a 64-bit-hash approximation, so renderers must surface it
+    /// as a caveat. Omitted from the JSON when zero (v1 byte-identity).
+    pub deduped: u64,
+    /// True when the schedule budget stopped the sweep before the bounded
+    /// space was covered — the cell's coverage claim is partial. Omitted
+    /// from the JSON when false.
+    pub capped: bool,
     /// Present for `caught`/`violation` cells: the shrunk witness.
     pub counterexample: Option<McCounterexample>,
 }
@@ -116,6 +146,9 @@ pub struct McReport {
     pub name: String,
     /// Free-form string key/values describing the whole run.
     pub meta: Vec<(String, String)>,
+    /// Wall-clock summary of the checkpointed explorer, when the run used
+    /// it. Host-dependent, so excluded from determinism comparisons.
+    pub throughput: Option<McThroughput>,
     /// Executed cells, in execution order.
     pub cells: Vec<McCell>,
 }
@@ -126,6 +159,7 @@ impl McReport {
         McReport {
             name: name.into(),
             meta: Vec::new(),
+            throughput: None,
             cells: Vec::new(),
         }
     }
@@ -145,10 +179,22 @@ impl McReport {
             .count()
     }
 
-    /// The JSON tree in `tm-mc-report/v1` form.
+    /// Does this report use any of the v1.1 additions? Decides the schema
+    /// string, so a report without them stays byte-identical to v1.
+    fn uses_v1_1(&self) -> bool {
+        self.throughput.is_some() || self.cells.iter().any(|c| c.deduped > 0 || c.capped)
+    }
+
+    /// The JSON tree in `tm-mc-report/v1` form (`v1.1` when the report
+    /// carries a throughput block or any cell uses the new counters).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("schema".into(), Json::str(MC_SCHEMA)),
+        let schema = if self.uses_v1_1() {
+            MC_SCHEMA_V1_1
+        } else {
+            MC_SCHEMA
+        };
+        let mut top = vec![
+            ("schema".into(), Json::str(schema)),
             ("name".into(), Json::str(self.name.clone())),
             (
                 "meta".into(),
@@ -159,48 +205,66 @@ impl McReport {
                         .collect(),
                 ),
             ),
-            (
-                "cells".into(),
-                Json::Arr(
-                    self.cells
-                        .iter()
-                        .map(|c| {
-                            let mut pairs = vec![
-                                (
-                                    "config".into(),
-                                    Json::Obj(
-                                        c.config
-                                            .iter()
-                                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
-                                            .collect(),
-                                    ),
+        ];
+        if let Some(t) = &self.throughput {
+            top.push((
+                "throughput".into(),
+                Json::Obj(vec![
+                    ("schedules_per_sec".into(), Json::Num(t.schedules_per_sec)),
+                    ("replay_steps_saved".into(), Json::u64(t.replay_steps_saved)),
+                    ("checkpoints_taken".into(), Json::u64(t.checkpoints_taken)),
+                    ("deduped".into(), Json::u64(t.deduped)),
+                ]),
+            ));
+        }
+        top.push((
+            "cells".into(),
+            Json::Arr(
+                self.cells
+                    .iter()
+                    .map(|c| {
+                        let mut pairs = vec![
+                            (
+                                "config".into(),
+                                Json::Obj(
+                                    c.config
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                        .collect(),
                                 ),
-                                ("verdict".into(), Json::str(c.verdict.name())),
-                                ("explored".into(), Json::u64(c.explored)),
-                                ("pruned".into(), Json::u64(c.pruned)),
-                            ];
-                            if let Some(cx) = &c.counterexample {
-                                pairs.push((
-                                    "counterexample".into(),
-                                    Json::Obj(vec![
-                                        (
-                                            "schedule".into(),
-                                            Json::Arr(
-                                                cx.schedule.iter().map(|d| Json::u64(*d)).collect(),
-                                            ),
+                            ),
+                            ("verdict".into(), Json::str(c.verdict.name())),
+                            ("explored".into(), Json::u64(c.explored)),
+                            ("pruned".into(), Json::u64(c.pruned)),
+                        ];
+                        if c.deduped > 0 {
+                            pairs.push(("deduped".into(), Json::u64(c.deduped)));
+                        }
+                        if c.capped {
+                            pairs.push(("capped".into(), Json::Bool(true)));
+                        }
+                        if let Some(cx) = &c.counterexample {
+                            pairs.push((
+                                "counterexample".into(),
+                                Json::Obj(vec![
+                                    (
+                                        "schedule".into(),
+                                        Json::Arr(
+                                            cx.schedule.iter().map(|d| Json::u64(*d)).collect(),
                                         ),
-                                        ("detail".into(), Json::str(cx.detail.clone())),
-                                        ("found_at".into(), Json::u64(cx.found_at)),
-                                        ("shrink_steps".into(), Json::u64(cx.shrink_steps)),
-                                    ]),
-                                ));
-                            }
-                            Json::Obj(pairs)
-                        })
-                        .collect(),
-                ),
+                                    ),
+                                    ("detail".into(), Json::str(cx.detail.clone())),
+                                    ("found_at".into(), Json::u64(cx.found_at)),
+                                    ("shrink_steps".into(), Json::u64(cx.shrink_steps)),
+                                ]),
+                            ));
+                        }
+                        Json::Obj(pairs)
+                    })
+                    .collect(),
             ),
-        ])
+        ));
+        Json::Obj(top)
     }
 
     /// The on-disk form: pretty-printed JSON with a trailing newline.
@@ -208,14 +272,32 @@ impl McReport {
         self.to_json().emit_pretty()
     }
 
-    /// Decode a `tm-mc-report/v1` JSON tree.
+    /// Decode a `tm-mc-report/v1` (or `v1.1`) JSON tree.
     pub fn from_json(v: &Json) -> Result<McReport, String> {
         let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
-        if schema != MC_SCHEMA {
+        if schema != MC_SCHEMA && schema != MC_SCHEMA_V1_1 {
             return Err(format!(
-                "unsupported schema '{schema}' (want '{MC_SCHEMA}')"
+                "unsupported schema '{schema}' (want '{MC_SCHEMA}' or '{MC_SCHEMA_V1_1}')"
             ));
         }
+        let throughput = match v.get("throughput") {
+            None => None,
+            Some(t) => Some(McThroughput {
+                schedules_per_sec: t
+                    .get("schedules_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or("throughput missing schedules_per_sec")?,
+                replay_steps_saved: t
+                    .get("replay_steps_saved")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                checkpoints_taken: t
+                    .get("checkpoints_taken")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                deduped: t.get("deduped").and_then(Json::as_u64).unwrap_or(0),
+            }),
+        };
         let name = v
             .get("name")
             .and_then(Json::as_str)
@@ -262,6 +344,8 @@ impl McReport {
                 .get("pruned")
                 .and_then(Json::as_u64)
                 .ok_or("cell missing pruned count")?;
+            let deduped = c.get("deduped").and_then(Json::as_u64).unwrap_or(0);
+            let capped = matches!(c.get("capped"), Some(Json::Bool(true)));
             let counterexample = match c.get("counterexample") {
                 None => None,
                 Some(cx) => {
@@ -289,10 +373,17 @@ impl McReport {
                 verdict,
                 explored,
                 pruned,
+                deduped,
+                capped,
                 counterexample,
             });
         }
-        Ok(McReport { name, meta, cells })
+        Ok(McReport {
+            name,
+            meta,
+            throughput,
+            cells,
+        })
     }
 
     /// Parse the on-disk JSON text form.
@@ -320,10 +411,16 @@ impl McReport {
                             o.verdict.name()
                         ));
                     }
-                    if (c.explored, c.pruned) != (o.explored, o.pruned) {
+                    if (c.explored, c.pruned, c.deduped) != (o.explored, o.pruned, o.deduped) {
                         out.push_str(&format!(
-                            "cell [{key}]: explored/pruned {}/{} -> {}/{}\n",
-                            c.explored, c.pruned, o.explored, o.pruned
+                            "cell [{key}]: explored/pruned/deduped {}/{}/{} -> {}/{}/{}\n",
+                            c.explored, c.pruned, c.deduped, o.explored, o.pruned, o.deduped
+                        ));
+                    }
+                    if c.capped != o.capped {
+                        out.push_str(&format!(
+                            "cell [{key}]: capped {} -> {}\n",
+                            c.capped, o.capped
                         ));
                     }
                     if c.counterexample.as_ref().map(|cx| &cx.schedule)
@@ -360,15 +457,39 @@ impl McReport {
         for (k, v) in &self.meta {
             out.push_str(&format!("  {k} = {v}\n"));
         }
+        if let Some(t) = &self.throughput {
+            out.push_str(&format!(
+                "  throughput: {:.0} schedules/s, {} replay steps saved, \
+                 {} checkpoint(s), {} deduped\n",
+                t.schedules_per_sec, t.replay_steps_saved, t.checkpoints_taken, t.deduped
+            ));
+        }
         out.push('\n');
         for c in &self.cells {
+            let deduped = if c.deduped > 0 {
+                format!(" deduped={}", c.deduped)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "  {:<9} [{}] explored={} pruned={}\n",
+                "  {:<9} [{}] explored={} pruned={}{deduped}\n",
                 c.verdict.name(),
                 c.key(),
                 c.explored,
                 c.pruned
             ));
+            if c.capped {
+                out.push_str(
+                    "            WARNING: schedule budget capped the sweep before the \
+                     bounded space was covered\n",
+                );
+            }
+            if c.deduped > 0 {
+                out.push_str(
+                    "            WARNING: deduped counts rest on 64-bit state \
+                     fingerprints (collision risk; see DESIGN.md)\n",
+                );
+            }
             if let Some(cx) = &c.counterexample {
                 let delays = cx
                     .schedule
@@ -406,6 +527,8 @@ mod tests {
                 verdict: McVerdict::Clean,
                 explored: 232,
                 pruned: 96,
+                deduped: 0,
+                capped: false,
                 counterexample: None,
             },
             McCell {
@@ -417,6 +540,8 @@ mod tests {
                 verdict: McVerdict::Caught,
                 explored: 17,
                 pruned: 4,
+                deduped: 0,
+                capped: false,
                 counterexample: Some(McCounterexample {
                     schedule: vec![0, 0, 400, 0, 0, 0],
                     detail: "conservation violated: total 3250 != 3000".into(),
@@ -428,11 +553,69 @@ mod tests {
         r
     }
 
+    fn sample_v1_1() -> McReport {
+        let mut r = sample();
+        r.throughput = Some(McThroughput {
+            schedules_per_sec: 15625.0,
+            replay_steps_saved: 4200,
+            checkpoints_taken: 3,
+            deduped: 12,
+        });
+        r.cells[0].deduped = 12;
+        r.cells[1].capped = true;
+        r
+    }
+
     #[test]
     fn json_roundtrip_preserves_everything() {
         let r = sample();
         let parsed = McReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn v1_1_roundtrips_and_plain_reports_stay_v1() {
+        let plain = sample().to_json_string();
+        assert!(plain.contains(MC_SCHEMA) && !plain.contains(MC_SCHEMA_V1_1));
+        assert!(!plain.contains("throughput") && !plain.contains("deduped"));
+
+        let rich = sample_v1_1();
+        let text = rich.to_json_string();
+        assert!(text.contains(MC_SCHEMA_V1_1));
+        let parsed = McReport::parse(&text).unwrap();
+        assert_eq!(parsed, rich);
+    }
+
+    #[test]
+    fn render_surfaces_throughput_and_warnings() {
+        let text = sample_v1_1().render();
+        for needle in [
+            "throughput: 15625 schedules/s, 4200 replay steps saved",
+            "deduped=12",
+            "WARNING: schedule budget capped the sweep",
+            "WARNING: deduped counts rest on 64-bit state",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // A plain v1 report renders with none of the new noise.
+        let plain = sample().render();
+        assert!(!plain.contains("WARNING") && !plain.contains("throughput"));
+    }
+
+    #[test]
+    fn diff_flags_dedup_and_cap_changes_but_not_throughput() {
+        let a = sample_v1_1();
+        let mut b = sample_v1_1();
+        b.throughput.as_mut().unwrap().schedules_per_sec = 1.0;
+        assert_eq!(a.diff(&b), None, "throughput must not affect the diff");
+        b.cells[0].deduped = 0;
+        b.cells[1].capped = false;
+        let d = a.diff(&b).unwrap();
+        assert!(
+            d.contains("explored/pruned/deduped 232/96/12 -> 232/96/0"),
+            "{d}"
+        );
+        assert!(d.contains("capped true -> false"), "{d}");
     }
 
     #[test]
@@ -477,7 +660,10 @@ mod tests {
         b.cells.pop();
         let d = a.diff(&b).unwrap();
         assert!(d.contains("verdict clean -> violation"), "{d}");
-        assert!(d.contains("explored/pruned 232/96 -> 7/96"), "{d}");
+        assert!(
+            d.contains("explored/pruned/deduped 232/96/0 -> 7/96/0"),
+            "{d}"
+        );
         assert!(d.contains("only in left"), "{d}");
     }
 

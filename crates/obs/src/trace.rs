@@ -271,6 +271,51 @@ impl Trace {
             ring.head.store(0, Ordering::Release);
         }
     }
+
+    /// Capture every ring's cursor and live window so a later
+    /// [`Trace::restore`] rewinds the trace exactly (the checkpoint layer's
+    /// "trace cursor"). Call only at quiescence. While tracing is disabled
+    /// every head is zero, so this is an empty Vec per ring — effectively
+    /// free.
+    pub fn checkpoint(&self) -> TraceCheckpoint {
+        let rings = self
+            .rings
+            .iter()
+            .map(|ring| {
+                let head = ring.head.load(Ordering::Acquire);
+                let live = head.min(self.capacity);
+                // SAFETY: quiescence contract — no concurrent writer.
+                let buf = unsafe { &*ring.buf.get() };
+                let window = (head - live..head)
+                    .map(|i| buf[i % self.capacity])
+                    .collect();
+                (head, window)
+            })
+            .collect();
+        TraceCheckpoint { rings }
+    }
+
+    /// Rewind every ring to `cp`: cursor and live window come back exactly
+    /// as captured; events recorded after the checkpoint are forgotten.
+    /// Call only at quiescence.
+    pub fn restore(&self, cp: &TraceCheckpoint) {
+        assert_eq!(cp.rings.len(), self.rings.len(), "thread count changed");
+        for (ring, (head, window)) in self.rings.iter().zip(&cp.rings) {
+            // SAFETY: quiescence contract — no concurrent writer.
+            let buf = unsafe { &mut *ring.buf.get() };
+            let start = head - window.len();
+            for (i, ev) in (start..*head).zip(window) {
+                buf[i % self.capacity] = *ev;
+            }
+            ring.head.store(*head, Ordering::Release);
+        }
+    }
+}
+
+/// Frozen trace cursors + live windows, produced by [`Trace::checkpoint`].
+pub struct TraceCheckpoint {
+    /// Per ring: `(head, live window oldest→newest)`.
+    rings: Vec<(usize, Vec<Event>)>,
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +396,38 @@ mod tests {
             vec![6, 7, 8, 9]
         );
         assert_eq!(t.recorded(), 10);
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_rings() {
+        let t = Trace::new(2, 4);
+        t.set_enabled(true);
+        for i in 0..6u64 {
+            t.emit(0, i, EventKind::Malloc, i, 0);
+        }
+        t.emit(1, 3, EventKind::TxBegin, 0, 0);
+        let cp = t.checkpoint();
+        let before = t.drain();
+        // Diverge: overwrite ring 0's window, extend ring 1.
+        for i in 10..15u64 {
+            t.emit(0, i, EventKind::Free, i, 0);
+        }
+        t.emit(1, 9, EventKind::TxCommit, 1, 1);
+        assert_ne!(t.drain(), before);
+        t.restore(&cp);
+        assert_eq!(t.drain(), before, "restore must reproduce the live window");
+        assert_eq!(t.recorded(), 7, "cursors rewound too");
+    }
+
+    #[test]
+    fn disabled_checkpoint_is_empty_and_restorable() {
+        let t = Trace::new(3, 8);
+        t.set_enabled(false);
+        let cp = t.checkpoint();
+        t.emit(0, 1, EventKind::TxBegin, 0, 0); // no-op while disabled
+        t.restore(&cp);
+        assert_eq!(t.recorded(), 0);
+        assert!(t.drain().is_empty());
     }
 
     #[test]

@@ -121,10 +121,64 @@ impl tm_obs::SlotSchema for CacheStats {
 
 const EMPTY: u64 = u64::MAX;
 
+/// Pre-image of one tag-array way, recorded the first time the way is
+/// mutated after the journal is (re-)armed.
+struct SlotUndo {
+    slot: u32,
+    tag: u64,
+    stamp: u64,
+    dirty: bool,
+}
+
+/// Undo journal for in-place snapshot restore. The tag arrays of a real
+/// machine are megabytes (the E5405 model carries two 98 304-way L2
+/// arrays), but a single bounded run touches a few hundred ways, so the
+/// checkpoint layer's restore-per-schedule loop must not pay a full-array
+/// copy each time. While armed, the first mutation of each way logs its
+/// pre-image (`epoch` marks "already logged this epoch" without any
+/// per-arm clearing), and a revert rewinds exactly the logged ways plus
+/// the LRU tick.
+struct Journal {
+    /// Per-way mark: `epoch[slot] == cur` means the pre-image is already
+    /// in `undo` for the current epoch.
+    epoch: Vec<u32>,
+    cur: u32,
+    undo: Vec<SlotUndo>,
+    /// LRU tick at arm time (the tick advances on every probe, hit or
+    /// miss, so it is not covered by per-way pre-images).
+    tick0: u64,
+}
+
+impl Journal {
+    fn next_epoch(&mut self) {
+        self.undo.clear();
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            // Epoch counter wrapped (once per 2^32 arms): old marks could
+            // alias the fresh epoch, so clear them all.
+            self.epoch.fill(0);
+            self.cur = 1;
+        }
+    }
+}
+
+/// Journal slot whose `Clone` yields a *disarmed* journal: snapshots are
+/// inert copies of the arrays, and a journal is identity-tied to the live
+/// array it was armed on, so cloning a hierarchy must not drag along (or
+/// pay for) megabytes of epoch marks.
+struct JournalSlot(Option<Box<Journal>>);
+
+impl Clone for JournalSlot {
+    fn clone(&self) -> Self {
+        JournalSlot(None)
+    }
+}
+
 /// One set-associative tag array with LRU replacement. L1 arrays also track
 /// a per-way dirty bit mirroring the directory's `dirty_in` field, which is
 /// what lets the write-hit fast path in [`Hierarchy::access`] skip the
 /// directory entirely.
+#[derive(Clone)]
 struct TagArray {
     sets: usize,
     ways: usize,
@@ -135,6 +189,7 @@ struct TagArray {
     /// Dirty bits parallel to `tags` (meaningful for L1 arrays only).
     dirty: Vec<bool>,
     tick: u64,
+    journal: JournalSlot,
 }
 
 impl TagArray {
@@ -148,6 +203,7 @@ impl TagArray {
             stamp: vec![0; sets * cfg.ways],
             dirty: vec![false; sets * cfg.ways],
             tick: 0,
+            journal: JournalSlot(None),
         }
     }
 
@@ -156,12 +212,82 @@ impl TagArray {
         (line as usize & (self.sets - 1)) * self.ways
     }
 
+    /// Record `slot`'s pre-image if the journal is armed and this is the
+    /// slot's first mutation of the epoch. Must be called before every
+    /// write to `tags`/`stamp`/`dirty`.
+    #[inline]
+    fn log(&mut self, slot: usize) {
+        if let Some(j) = self.journal.0.as_deref_mut() {
+            if j.epoch[slot] != j.cur {
+                j.epoch[slot] = j.cur;
+                j.undo.push(SlotUndo {
+                    slot: slot as u32,
+                    tag: self.tags[slot],
+                    stamp: self.stamp[slot],
+                    dirty: self.dirty[slot],
+                });
+            }
+        }
+    }
+
+    /// Arm (or re-arm) the undo journal: from now until the next arm or
+    /// revert, mutated ways record their pre-images.
+    fn arm_journal(&mut self) {
+        let slots = self.tags.len();
+        let j = self.journal.0.get_or_insert_with(|| {
+            Box::new(Journal {
+                epoch: vec![0; slots],
+                cur: 0,
+                undo: Vec::new(),
+                tick0: 0,
+            })
+        });
+        j.next_epoch();
+        j.tick0 = self.tick;
+    }
+
+    /// Undo every way mutation since the journal was armed and re-arm for
+    /// the next epoch. O(ways touched since arming).
+    fn revert(&mut self) {
+        let j = self
+            .journal
+            .0
+            .as_deref_mut()
+            .expect("revert without an armed journal");
+        for u in &j.undo {
+            let s = u.slot as usize;
+            self.tags[s] = u.tag;
+            self.stamp[s] = u.stamp;
+            self.dirty[s] = u.dirty;
+        }
+        self.tick = j.tick0;
+        j.next_epoch();
+    }
+
+    /// Overwrite this array's state from `src` (same geometry), reusing
+    /// the existing allocations — the cold restore path.
+    fn copy_state_from(&mut self, src: &TagArray) {
+        debug_assert_eq!((self.sets, self.ways), (src.sets, src.ways));
+        self.tags.copy_from_slice(&src.tags);
+        self.stamp.copy_from_slice(&src.stamp);
+        self.dirty.copy_from_slice(&src.dirty);
+        self.tick = src.tick;
+    }
+
+    /// Set the dirty bit of an already-probed way (write upgrade on an L1
+    /// hit).
+    fn mark_dirty(&mut self, slot: usize) {
+        self.log(slot);
+        self.dirty[slot] = true;
+    }
+
     /// Probe for `line`; on hit, refresh LRU and return the way slot.
     fn probe(&mut self, line: u64) -> Option<usize> {
         let b = self.base(line);
         self.tick += 1;
         for w in 0..self.ways {
             if self.tags[b + w] == line {
+                self.log(b + w);
                 self.stamp[b + w] = self.tick;
                 return Some(b + w);
             }
@@ -179,11 +305,13 @@ impl TagArray {
         for w in 0..self.ways {
             if self.tags[b + w] == line {
                 // Already present (races with coherence bookkeeping).
+                self.log(b + w);
                 self.stamp[b + w] = self.tick;
                 self.dirty[b + w] |= dirty;
                 return None;
             }
             if self.tags[b + w] == EMPTY {
+                self.log(b + w);
                 self.tags[b + w] = line;
                 self.stamp[b + w] = self.tick;
                 self.dirty[b + w] = dirty;
@@ -194,6 +322,7 @@ impl TagArray {
                 victim = w;
             }
         }
+        self.log(b + victim);
         let evicted = (self.tags[b + victim], self.dirty[b + victim]);
         self.tags[b + victim] = line;
         self.stamp[b + victim] = self.tick;
@@ -206,6 +335,7 @@ impl TagArray {
         let b = self.base(line);
         for w in 0..self.ways {
             if self.tags[b + w] == line {
+                self.log(b + w);
                 self.tags[b + w] = EMPTY;
                 self.dirty[b + w] = false;
                 return true;
@@ -219,6 +349,7 @@ impl TagArray {
         let b = self.base(line);
         for w in 0..self.ways {
             if self.tags[b + w] == line {
+                self.log(b + w);
                 self.dirty[b + w] = false;
                 return;
             }
@@ -272,7 +403,7 @@ type LineSet = HashSet<u64, std::hash::BuildHasherDefault<LineHasher>>;
 /// transaction has touched, and whether a coherence event or eviction has
 /// already doomed it. Membership-only (iteration order never observed), so
 /// the `HashSet` stays deterministic.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct TxTrack {
     active: bool,
     doomed: Option<HtmAbort>,
@@ -280,7 +411,10 @@ struct TxTrack {
     write_lines: LineSet,
 }
 
-/// The full cache hierarchy of the simulated machine.
+/// The full cache hierarchy of the simulated machine. `Clone` exists for
+/// the checkpoint layer: a machine snapshot carries a full copy of the tag
+/// arrays, dirty mirrors, directory, and HTM tracking state.
+#[derive(Clone)]
 pub struct Hierarchy {
     l1: Vec<TagArray>,
     l2: Vec<TagArray>,
@@ -292,6 +426,10 @@ pub struct Hierarchy {
     /// the (default) software backends; a doom clears the core's bit so a
     /// dead transaction stops paying for tracking too.
     htm_active: u64,
+    /// Snapshot id the per-array undo journals are armed for (0 = none).
+    /// Meaningful only on the live hierarchy; a cloned (snapshot) copy
+    /// carries disarmed journals and this field is never consulted on it.
+    journal_for: u64,
     cfg: MachineConfig,
 }
 
@@ -304,12 +442,55 @@ impl Hierarchy {
             stats: vec![CacheStats::default(); cfg.cores],
             tx: (0..cfg.cores).map(|_| TxTrack::default()).collect(),
             htm_active: 0,
+            journal_for: 0,
             cfg: cfg.clone(),
         }
     }
 
     pub fn stats(&self, core: usize) -> CacheStats {
         self.stats[core]
+    }
+
+    /// Arm the per-array undo journals relative to snapshot `snap_id`:
+    /// until the next arm or restore, the first mutation of each tag-array
+    /// way records its pre-image, letting [`Hierarchy::restore_from`]
+    /// rewind in O(ways touched) instead of re-copying the multi-megabyte
+    /// tag arrays.
+    pub(crate) fn arm_journal(&mut self, snap_id: u64) {
+        for a in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            a.arm_journal();
+        }
+        self.journal_for = snap_id;
+    }
+
+    /// Rewind to `snap`, the hierarchy captured by snapshot `snap_id`.
+    /// Fast path: when the live journals were armed by exactly that
+    /// snapshot, revert the logged ways in place. Cold path (journals
+    /// armed for a different snapshot, or never): full copy reusing the
+    /// existing allocations. The directory, stats, and HTM tracking are
+    /// bounded by L1 residency and copied outright either way, and the
+    /// journals end re-armed for `snap_id`.
+    pub(crate) fn restore_from(&mut self, snap: &Hierarchy, snap_id: u64) {
+        if snap_id != 0 && self.journal_for == snap_id {
+            for a in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+                a.revert();
+            }
+        } else {
+            for (dst, src) in self.l1.iter_mut().zip(&snap.l1) {
+                dst.copy_state_from(src);
+            }
+            for (dst, src) in self.l2.iter_mut().zip(&snap.l2) {
+                dst.copy_state_from(src);
+            }
+            for a in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+                a.arm_journal();
+            }
+        }
+        self.dir.clone_from(&snap.dir);
+        self.stats.clone_from(&snap.stats);
+        self.tx.clone_from(&snap.tx);
+        self.htm_active = snap.htm_active;
+        self.journal_for = snap_id;
     }
 
     /// Start tracking a hardware transaction on `core`. Every subsequent
@@ -417,7 +598,7 @@ impl Hierarchy {
                     cost += cost_model.transfer_same_socket;
                     self.invalidate_mask(line, others, core);
                 }
-                self.l1[core].dirty[slot] = true;
+                self.l1[core].mark_dirty(slot);
             }
             return cost;
         }
@@ -549,6 +730,53 @@ mod tests {
         h.access(0, 0x1000, false);
         // Another word in the same 64-byte line: L1 hit.
         assert_eq!(h.access(0, 0x1038, false), cfg.cost.l1_hit);
+    }
+
+    fn assert_arrays_match(live: &Hierarchy, snap: &Hierarchy) {
+        for (a, b) in live
+            .l1
+            .iter()
+            .zip(&snap.l1)
+            .chain(live.l2.iter().zip(&snap.l2))
+        {
+            assert_eq!(a.tags, b.tags);
+            assert_eq!(a.stamp, b.stamp);
+            assert_eq!(a.dirty, b.dirty);
+            assert_eq!(a.tick, b.tick);
+        }
+        assert_eq!(live.htm_active, snap.htm_active);
+        assert_eq!(live.dir.len(), snap.dir.len());
+    }
+
+    #[test]
+    fn journal_revert_matches_the_snapshot_exactly() {
+        let cfg = machine();
+        let mut h = Hierarchy::new(&cfg);
+        // Pre-snapshot traffic: some lines cached, shared, and dirty.
+        for i in 0..64u64 {
+            h.access((i % 2) as usize, 0x1000 + i * 0x40, i % 3 == 0);
+        }
+        let snap = h.clone();
+        h.arm_journal(7);
+
+        // Post-snapshot traffic forcing hits, fills, evictions,
+        // invalidations, downgrades, and HTM tracking churn.
+        h.htm_begin(0);
+        for i in 0..512u64 {
+            h.access((i % 2) as usize, 0x9000 + i * 0x19, i % 2 == 0);
+        }
+        let _ = h.htm_end(0);
+
+        // Fast path: journals were armed for id 7.
+        h.restore_from(&snap, 7);
+        assert_arrays_match(&h, &snap);
+
+        // Cold path: mutate again, then restore with a mismatched id.
+        for i in 0..64u64 {
+            h.access(1, 0x400 + i * 0x40, true);
+        }
+        h.restore_from(&snap, 99);
+        assert_arrays_match(&h, &snap);
     }
 
     #[test]

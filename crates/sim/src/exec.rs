@@ -60,6 +60,16 @@ struct Inner {
     /// explorer lowers it to turn virtual-time livelocks (e.g. a leaked
     /// serialization token spun on forever) into catchable panics.
     fuel: u64,
+    /// Scheduler events executed since construction (or the last restore).
+    /// Monotone across runs; the checkpoint layer uses before/after deltas
+    /// to report how much replay work a restore avoided.
+    events: u64,
+    /// Rolling 64-bit execution fingerprint: every *committed* clock update
+    /// mixes `(tid, new clock)` in scheduler order (see [`Inner::commit`]).
+    /// Two runs from the same state with equal fingerprints executed the
+    /// same event sequence with the same clocks — the dedup signal for the
+    /// `tm-mc` prefix-tree explorer.
+    hash: u64,
 }
 
 /// Panic message prefix raised when the event budget set by
@@ -90,10 +100,24 @@ impl Inner {
     /// sibling threads keep executing while the first panic unwinds).
     #[inline]
     fn burn_fuel(&mut self) {
+        self.events += 1;
         self.fuel = self.fuel.saturating_sub(1);
         if self.fuel == 0 {
             panic!("{FUEL_EXHAUSTED}: event budget ran out (possible livelock; see Sim::set_fuel)");
         }
+    }
+
+    /// Commit thread `tid`'s clock to `t` and fold the update into the
+    /// execution fingerprint. Every clock write that can influence future
+    /// scheduling goes through here; the one deliberate exception is the
+    /// pending-flush of a thread that immediately blocks on a held lock —
+    /// that value is either overwritten by the release (wait absorbed,
+    /// clock irrelevant) or committed here at wake-up.
+    #[inline]
+    fn commit(&mut self, tid: usize, t: u64) {
+        self.time[tid] = t;
+        let x = (t ^ ((tid as u64) << 56)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.hash = (self.hash ^ x ^ (x >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     }
 
     /// Is `tid` (which must be runnable) the thread that may execute next?
@@ -171,6 +195,8 @@ impl Sim {
                 time: Vec::new(),
                 state: Vec::new(),
                 fuel: u64::MAX,
+                events: 0,
+                hash: 0,
             }),
             cvs: (0..cfg.cores).map(|_| Condvar::new()).collect(),
             obs: Arc::new(Obs::new(cfg.cores)),
@@ -237,6 +263,50 @@ impl Sim {
     pub fn with_state<R>(&self, f: impl FnOnce(&mut MachineStateView<'_>) -> R) -> R {
         let mut g = self.shared.inner.lock();
         f(&mut MachineStateView { m: &mut g.machine })
+    }
+
+    /// Scheduler events executed so far (monotone across runs; rewound by
+    /// [`Sim::restore`]). Used by the `tm-mc` explorer to account for the
+    /// replay work a checkpoint restore avoided.
+    pub fn events(&self) -> u64 {
+        self.shared.inner.lock().events
+    }
+
+    /// The rolling execution fingerprint: a 64-bit hash folding every
+    /// committed `(tid, clock)` update in scheduler order. Deterministic in
+    /// the executed schedule, identical across executor backends, and
+    /// rewound by [`Sim::restore`] — so the value after a run is a
+    /// fingerprint of that run relative to the restored checkpoint.
+    pub fn trace_hash(&self) -> u64 {
+        self.shared.inner.lock().hash
+    }
+
+    /// Capture the complete simulator state — machine (sparse memory via
+    /// COW page snapshot, cache hierarchy, locks, OS bump allocator), the
+    /// event-trace cursor, and the event/fingerprint counters. Must be
+    /// called at quiescence (between runs): there is then no live thread
+    /// stack to capture, which is what makes snapshots cheap and exact.
+    /// `parent` enables page sharing between related snapshots.
+    pub fn snapshot(&self, parent: Option<&SimSnapshot>) -> SimSnapshot {
+        let mut g = self.shared.inner.lock();
+        SimSnapshot {
+            machine: g.machine.snapshot(parent.map(|p| &p.machine)),
+            trace: self.shared.obs.trace().checkpoint(),
+            events: g.events,
+            hash: g.hash,
+        }
+    }
+
+    /// Rewind the simulator to `snap` (same quiescence contract as
+    /// [`Sim::snapshot`]). The fuel budget is *not* part of a snapshot —
+    /// re-arm it with [`Sim::set_fuel`] if the previous run may have
+    /// drained it.
+    pub fn restore(&self, snap: &SimSnapshot) {
+        let mut g = self.shared.inner.lock();
+        g.machine.restore(&snap.machine);
+        g.events = snap.events;
+        g.hash = snap.hash;
+        self.shared.obs.trace().restore(&snap.trace);
     }
 
     /// Execute `f` once per logical thread on `n` virtual cores and return
@@ -411,6 +481,31 @@ impl Sim {
         if let Some(p) = rt.panic.take() {
             std::panic::resume_unwind(p);
         }
+    }
+}
+
+/// Frozen simulator state produced by [`Sim::snapshot`]: the machine image
+/// plus the trace cursor and the event/fingerprint counters. Restoring is
+/// `O(pages + cache tags)` and leaves the `Sim` exactly as captured, so a
+/// deterministic workload re-run from a snapshot is bit-identical to one
+/// from a fresh simulator that executed the same prefix.
+pub struct SimSnapshot {
+    machine: crate::machine::MachineSnapshot,
+    trace: tm_obs::TraceCheckpoint,
+    events: u64,
+    hash: u64,
+}
+
+impl SimSnapshot {
+    /// Scheduler events executed when this snapshot was taken (the cost of
+    /// the prefix a restore avoids replaying).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Materialized memory pages captured (diagnostic).
+    pub fn pages(&self) -> usize {
+        self.machine.pages()
     }
 }
 
@@ -619,7 +714,7 @@ impl Ctx<'_> {
                 g.burn_fuel();
                 let (cost, r) = f(&mut g.machine, self.tid);
                 let t = g.time[self.tid] + cost;
-                g.time[self.tid] = t;
+                g.commit(self.tid, t);
                 self.local_time = t;
                 r
             }
@@ -631,7 +726,7 @@ impl Ctx<'_> {
             g.burn_fuel();
             let (cost, r) = f(&mut g.machine, self.tid);
             let t = g.time[self.tid] + cost;
-            g.time[self.tid] = t;
+            g.commit(self.tid, t);
             self.local_time = t;
             self.notify_next(&g);
             r
@@ -986,7 +1081,7 @@ fn acquire_locked(
             }
         }
         g.machine.locks[mx.id].last_holder = Some(tid);
-        g.time[tid] = now + cost;
+        g.commit(tid, now + cost);
         obs.trace()
             .emit(tid, g.time[tid], EventKind::LockAcquire, mx.id as u64, 0);
         true
@@ -1002,7 +1097,7 @@ fn acquire_locked(
             g.state[tid] = TState::Blocked(mx.id);
         } else {
             // Failed trylock still pays for probing the lock word.
-            g.time[tid] = now + g.machine.cfg.cost.atomic_rmw;
+            g.commit(tid, now + g.machine.cfg.cost.atomic_rmw);
         }
         false
     }
@@ -1017,14 +1112,14 @@ fn release_lock(g: &mut Inner, tid: usize, mx: SimMutex, mut on_wake: impl FnMut
         Some(tid),
         "unlock of a mutex not held by this thread"
     );
-    g.time[tid] += g.machine.cfg.cost.l1_hit;
-    let now = g.time[tid];
+    let now = g.time[tid] + g.machine.cfg.cost.l1_hit;
+    g.commit(tid, now);
     g.machine.locks[mx.id].holder = None;
     for t in 0..g.state.len() {
         if g.state[t] == TState::Blocked(mx.id) {
             let waited = now.saturating_sub(g.time[t]);
             g.machine.locks[mx.id].wait_cycles += waited;
-            g.time[t] = g.time[t].max(now);
+            g.commit(t, g.time[t].max(now));
             g.state[t] = TState::Runnable;
             on_wake(t);
         }
@@ -1036,7 +1131,7 @@ fn release_lock(g: &mut Inner, tid: usize, mx: SimMutex, mut on_wake: impl FnMut
 /// modelled; tests assert on the propagated panic instead), and unblock
 /// their waiters to re-contend.
 fn finish_thread(g: &mut Inner, tid: usize, pending: u64, mut on_wake: impl FnMut(usize)) {
-    g.time[tid] += pending;
+    g.commit(tid, g.time[tid] + pending);
     g.state[tid] = TState::Done;
     let mut released = Vec::new();
     for (id, l) in g.machine.locks.iter_mut().enumerate() {
@@ -1358,6 +1453,91 @@ mod tests {
         let mut o = order.into_inner();
         o.sort_unstable();
         assert_eq!(o, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let s = sim();
+        let mx = s.new_mutex();
+        s.run(1, |ctx| ctx.write_u64(0x100, 7)); // prefix state
+        let snap = s.snapshot(None);
+        let workload = |ctx: &mut Ctx<'_>| {
+            ctx.tick((ctx.tid() as u64 + 1) * 11);
+            ctx.lock(mx);
+            let v = ctx.read_u64(0x100);
+            ctx.write_u64(0x100, v + 1);
+            ctx.unlock(mx);
+            ctx.fetch_add_u64(0x180, 3);
+        };
+        let r1 = s.run(3, workload);
+        let (h1, e1) = (s.trace_hash(), s.events());
+        let v1 = s.with_state(|m| (m.read_u64(0x100), m.read_u64(0x180)));
+        s.restore(&snap);
+        assert_eq!(s.events(), snap.events());
+        let r2 = s.run(3, workload);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.cache_total.l1_misses, r2.cache_total.l1_misses);
+        assert_eq!(r1.locks.acquisitions, r2.locks.acquisitions);
+        assert_eq!(r1.locks.wait_cycles, r2.locks.wait_cycles);
+        assert_eq!(r1.os_allocated, r2.os_allocated);
+        assert_eq!((s.trace_hash(), s.events()), (h1, e1));
+        assert_eq!(s.with_state(|m| (m.read_u64(0x100), m.read_u64(0x180))), v1);
+    }
+
+    #[test]
+    fn restore_drops_post_snapshot_locks_and_os_state() {
+        let s = sim();
+        s.run(1, |ctx| {
+            ctx.write_u64(0x100, 1);
+        });
+        let snap = s.snapshot(None);
+        let os0 = s.with_state(|m| m.os_allocated());
+        s.run(1, |ctx| {
+            let mx = ctx.new_mutex();
+            ctx.lock(mx);
+            ctx.unlock(mx);
+            ctx.os_alloc(1 << 16, 1 << 16);
+            ctx.write_u64(0x200, 9);
+        });
+        s.restore(&snap);
+        assert_eq!(s.with_state(|m| m.os_allocated()), os0);
+        s.with_state(|m| assert_eq!(m.read_u64(0x200), 0));
+        // Deterministic lock-id reuse: a re-run mints the same id afresh.
+        s.run(1, |ctx| {
+            let mx = ctx.new_mutex();
+            ctx.lock(mx);
+            ctx.unlock(mx);
+        });
+    }
+
+    #[test]
+    fn trace_hash_separates_schedules_and_matches_backends() {
+        if !fiber::SUPPORTED {
+            return;
+        }
+        let hash_for = |backend: Backend, delay: u64| {
+            let s = Sim::with_backend(MachineConfig::tiny_test(), backend);
+            s.set_sched_hook(Arc::new(move |tid, _| if tid == 1 { delay } else { 0 }));
+            s.run(2, |ctx| {
+                ctx.sched_point(0);
+                ctx.fetch_add_u64(0xd00, 1);
+            });
+            s.trace_hash()
+        };
+        assert_eq!(
+            hash_for(Backend::Fibers, 0),
+            hash_for(Backend::Threads, 0),
+            "fingerprint must be backend-independent"
+        );
+        assert_eq!(
+            hash_for(Backend::Fibers, 700),
+            hash_for(Backend::Threads, 700)
+        );
+        assert_ne!(
+            hash_for(Backend::Fibers, 0),
+            hash_for(Backend::Fibers, 700),
+            "a delay that shifts clocks must change the fingerprint"
+        );
     }
 
     #[test]

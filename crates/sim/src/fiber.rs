@@ -44,8 +44,31 @@ mod imp {
         len: usize,
     }
 
+    // A fiber stack costs an mmap + mprotect to create, an munmap to
+    // destroy, and — the dominant, hidden cost — a fresh round of page
+    // faults to fault its hot pages back in on every reuse. `Sim::run`
+    // spawns fibers per *run*, and the checkpointed schedule explorer
+    // performs tens of thousands of runs per second, so stacks are pooled
+    // process-wide: a retired stack keeps its mapping (guard page intact)
+    // and the next spawn picks it up with its pages still resident.
+    // Stale stack *contents* are harmless — `Fiber::spawn` builds the
+    // boot frame from scratch.
+    static STACK_POOL: std::sync::Mutex<Vec<Stack>> = std::sync::Mutex::new(Vec::new());
+    /// Mapped-but-idle stacks kept at most; beyond this, retirement
+    /// unmaps. 64 × ~2 MiB bounds the idle pool at ~128 MiB of mostly
+    /// untouched (hence unbacked) address space.
+    const POOL_MAX: usize = 64;
+
+    // Raw pointers make Stack !Send by default; the region is exclusively
+    // owned (mmap'd by us, handed over whole), so moving it across
+    // threads through the pool is sound.
+    unsafe impl Send for Stack {}
+
     impl Stack {
         fn new() -> Stack {
+            if let Some(s) = STACK_POOL.lock().unwrap().pop() {
+                return s;
+            }
             let len = PAGE + STACK_BYTES;
             unsafe {
                 let p = syscall6(9, 0, len, PROT_NONE, MAP_PRIVATE_ANON, usize::MAX, 0);
@@ -67,12 +90,30 @@ mod imp {
             // mmap returns page-aligned memory, so the top is 16-aligned.
             unsafe { self.base.add(self.len) }
         }
+
+        fn unmap(&mut self) {
+            unsafe {
+                syscall6(11, self.base as usize, self.len, 0, 0, 0, 0);
+            }
+            self.base = core::ptr::null_mut();
+        }
     }
 
     impl Drop for Stack {
         fn drop(&mut self) {
-            unsafe {
-                syscall6(11, self.base as usize, self.len, 0, 0, 0, 0);
+            if self.base.is_null() {
+                return;
+            }
+            let mut pool = STACK_POOL.lock().unwrap();
+            if pool.len() < POOL_MAX {
+                pool.push(Stack {
+                    base: self.base,
+                    len: self.len,
+                });
+                self.base = core::ptr::null_mut();
+            } else {
+                drop(pool);
+                self.unmap();
             }
         }
     }

@@ -48,7 +48,7 @@ mod report;
 
 pub use cache::{CacheConfig, CacheStats, HtmAbort};
 pub use config::{CostModel, MachineConfig};
-pub use exec::{Ctx, SchedHook, Sim, FUEL_EXHAUSTED};
+pub use exec::{Ctx, SchedHook, Sim, SimSnapshot, FUEL_EXHAUSTED};
 pub use machine::{LockStats, SimMutex};
 pub use report::SimReport;
 // Observability: the watchpoint and event-trace machinery moved to tm-obs;

@@ -59,6 +59,7 @@ impl tm_obs::SlotSchema for LockStats {
     }
 }
 
+#[derive(Clone)]
 pub(crate) struct LockState {
     pub holder: Option<usize>,
     /// Core that last held the lock, for hand-off transfer costs.
@@ -91,6 +92,32 @@ pub(crate) struct MachineState {
     /// Bump pointer for "OS" region allocation (simulated mmap).
     pub os_bump: u64,
     pub os_allocated: u64,
+}
+
+/// Frozen image of the whole machine: sparse memory (COW page snapshot),
+/// cache hierarchy, simulated locks, and the OS bump allocator. Captured
+/// and restored only at quiescence (no run in progress), so there is no
+/// in-flight per-thread state to save.
+pub struct MachineSnapshot {
+    mem: crate::memory::MemSnapshot,
+    caches: Hierarchy,
+    locks: Vec<LockState>,
+    os_bump: u64,
+    os_allocated: u64,
+    /// Process-unique capture id, pairing this snapshot with the undo
+    /// journal [`MachineState::snapshot`] arms on the live hierarchy so
+    /// [`MachineState::restore`] can take the in-place revert fast path.
+    id: u64,
+}
+
+/// Process-wide snapshot id source; 0 is reserved for "no journal armed".
+static SNAPSHOT_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl MachineSnapshot {
+    /// Materialized pages captured (diagnostic; proportional to footprint).
+    pub fn pages(&self) -> usize {
+        self.mem.pages()
+    }
 }
 
 impl MachineState {
@@ -129,6 +156,40 @@ impl MachineState {
         );
         self.os_allocated += size;
         base
+    }
+
+    /// Capture the machine. `parent` enables COW page sharing between
+    /// sibling snapshots (see [`crate::memory::Memory::snapshot`]).
+    pub fn snapshot(&mut self, parent: Option<&MachineSnapshot>) -> MachineSnapshot {
+        let id = SNAPSHOT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let snap = MachineSnapshot {
+            mem: self.mem.snapshot(parent.map(|p| &p.mem)),
+            caches: self.caches.clone(),
+            locks: self.locks.clone(),
+            os_bump: self.os_bump,
+            os_allocated: self.os_allocated,
+            id,
+        };
+        // Arm the cache undo journal so a later restore to *this* snapshot
+        // reverts in place instead of re-copying the tag arrays.
+        self.caches.arm_journal(id);
+        snap
+    }
+
+    /// Rewind the machine to `snap`. Locks created after the capture are
+    /// dropped (truncation keeps earlier `SimMutex` ids stable, and a
+    /// deterministic re-run re-creates the same ids in the same order).
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.mem.restore(&snap.mem);
+        self.caches.restore_from(&snap.caches, snap.id);
+        assert!(
+            snap.locks.len() <= self.locks.len(),
+            "snapshot is newer than the machine it restores"
+        );
+        self.locks.truncate(snap.locks.len());
+        self.locks.clone_from_slice(&snap.locks);
+        self.os_bump = snap.os_bump;
+        self.os_allocated = snap.os_allocated;
     }
 
     pub fn lock_stats(&self) -> LockStats {

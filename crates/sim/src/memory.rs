@@ -12,6 +12,8 @@
 //! indexes — fronted by a one-entry last-page cache that turns the common
 //! run-of-accesses-to-one-page pattern into a single pointer compare.
 
+use std::sync::Arc;
+
 const PAGE_SHIFT: u64 = 12;
 const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
 const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
@@ -32,17 +34,45 @@ pub(crate) const ADDR_LIMIT: u64 = (ROOT_ENTRIES as u64) << (CHUNK_SHIFT + PAGE_
 
 type Chunk = Box<[Option<Box<Page>>]>;
 
+/// Frozen image of the materialized page set at one point in time
+/// (see [`Memory::snapshot`]).
+///
+/// Page contents are held behind `Arc` so sibling snapshots share storage
+/// copy-on-write style: capturing against a `parent` snapshot clones the
+/// `Arc` for every page whose content is unchanged and copies only the
+/// pages that actually diverged. In a checkpoint tree (the `tm-mc`
+/// explorer) most pages never change between neighbouring checkpoints, so
+/// the incremental cost of a snapshot is proportional to the write set,
+/// not the resident set.
+pub struct MemSnapshot {
+    /// `(page id, frozen content)` for every materialized page, in
+    /// materialization order (a prefix of the owning memory's log).
+    pages: Vec<(u64, Arc<Page>)>,
+}
+
+impl MemSnapshot {
+    /// Number of pages captured (== materialized pages at capture time).
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
 /// Lazily-populated sparse memory. Unwritten words read as zero, like fresh
 /// anonymous mmap pages.
 pub struct Memory {
     root: Vec<Option<Chunk>>,
     /// Last-page cache: page id + raw pointer to its storage. `Box` targets
     /// are address-stable and pages are never freed while the `Memory`
-    /// lives, so the pointer stays valid until drop; it is only dereferenced
-    /// through `&mut self`, so no aliasing can occur.
+    /// lives (restore only drops pages materialized *after* the snapshot,
+    /// and invalidates this cache), so the pointer stays valid; it is only
+    /// dereferenced through `&mut self`, so no aliasing can occur.
     last_page: u64,
     last_ptr: *mut Page,
     resident: usize,
+    /// Page ids in materialization order. Append-only between restores;
+    /// `restore` truncates it back to the snapshot's length, which is what
+    /// makes "drop everything newer" O(new pages) instead of a radix walk.
+    mat_log: Vec<u64>,
 }
 
 // The raw cache pointer targets heap storage owned by `self` and is only
@@ -62,6 +92,7 @@ impl Memory {
             last_page: u64::MAX,
             last_ptr: std::ptr::null_mut(),
             resident: 0,
+            mat_log: Vec::new(),
         }
     }
 
@@ -116,6 +147,7 @@ impl Memory {
             Some(p) => p,
             None => {
                 self.resident += 1;
+                self.mat_log.push(page);
                 slot.get_or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))
             }
         };
@@ -128,6 +160,69 @@ impl Memory {
     /// host memory footprint).
     pub fn resident_pages(&self) -> usize {
         self.resident
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, page: u64) -> &mut Option<Box<Page>> {
+        let root_idx = (page >> CHUNK_SHIFT) as usize;
+        let chunk = self.root[root_idx]
+            .as_mut()
+            .expect("materialized page has a chunk");
+        &mut chunk[(page & (CHUNK_PAGES as u64 - 1)) as usize]
+    }
+
+    /// Capture every materialized page. With a `parent` snapshot of the
+    /// *same* memory taken earlier, pages whose content is unchanged share
+    /// the parent's `Arc` instead of being copied (the COW argument in
+    /// DESIGN.md §14): the snapshot then allocates only for pages written
+    /// since the parent.
+    pub fn snapshot(&mut self, parent: Option<&MemSnapshot>) -> MemSnapshot {
+        // The materialization log is append-only between restores and a
+        // restore truncates it to the snapshot it rewinds to, so a parent's
+        // log is always an index-aligned prefix of ours.
+        let mut pages = Vec::with_capacity(self.mat_log.len());
+        for i in 0..self.mat_log.len() {
+            let page = self.mat_log[i];
+            let content = self
+                .slot_mut(page)
+                .as_deref()
+                .expect("logged page is materialized");
+            let shared = parent.and_then(|p| p.pages.get(i)).and_then(|(id, arc)| {
+                (*id == page && arc.as_ref() == content).then(|| Arc::clone(arc))
+            });
+            pages.push((page, shared.unwrap_or_else(|| Arc::new(*content))));
+        }
+        MemSnapshot { pages }
+    }
+
+    /// Rewind to `snap`: pages materialized after the capture are dropped,
+    /// surviving pages get their captured content back. `snap` must come
+    /// from this memory's own [`Memory::snapshot`] (enforced by the log
+    /// prefix check).
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        assert!(
+            snap.pages.len() <= self.mat_log.len(),
+            "snapshot is newer than the memory it restores"
+        );
+        for i in (snap.pages.len()..self.mat_log.len()).rev() {
+            let page = self.mat_log[i];
+            *self.slot_mut(page) = None;
+            self.resident -= 1;
+        }
+        self.mat_log.truncate(snap.pages.len());
+        for (i, (page, content)) in snap.pages.iter().enumerate() {
+            assert_eq!(self.mat_log[i], *page, "snapshot from a different memory");
+            let dst = self
+                .slot_mut(*page)
+                .as_deref_mut()
+                .expect("logged page is materialized");
+            if dst != content.as_ref() {
+                *dst = **content;
+            }
+        }
+        // The cache may point at a dropped page; re-resolve lazily.
+        self.last_page = u64::MAX;
+        self.last_ptr = std::ptr::null_mut();
     }
 }
 
@@ -185,6 +280,61 @@ mod tests {
         assert_eq!(m.read(0x1008), 3);
         assert_eq!(m.read(0x2000), 2);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = Memory::new();
+        m.write(0x1000, 1);
+        m.write(0x5000, 2);
+        let snap = m.snapshot(None);
+        assert_eq!(snap.pages(), 2);
+        m.write(0x1000, 99); // dirty a captured page
+        m.write(0x9000, 3); // materialize a new page
+        assert_eq!(m.resident_pages(), 3);
+        m.restore(&snap);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read(0x1000), 1);
+        assert_eq!(m.read(0x5000), 2);
+        assert_eq!(m.read(0x9000), 0, "post-snapshot page dropped");
+        // The memory is usable (and re-snapshottable) after a restore.
+        m.write(0x9000, 4);
+        assert_eq!(m.read(0x9000), 4);
+        let snap2 = m.snapshot(Some(&snap));
+        assert_eq!(snap2.pages(), 3);
+    }
+
+    #[test]
+    fn snapshot_shares_unchanged_pages_with_parent() {
+        let mut m = Memory::new();
+        m.write(0x1000, 1);
+        m.write(0x5000, 2);
+        let parent = m.snapshot(None);
+        m.write(0x5000, 7); // only the second page diverges
+        let child = m.snapshot(Some(&parent));
+        assert!(
+            Arc::ptr_eq(&parent.pages[0].1, &child.pages[0].1),
+            "unchanged page must be shared, not copied"
+        );
+        assert!(!Arc::ptr_eq(&parent.pages[1].1, &child.pages[1].1));
+        // Both snapshots restore to their own view.
+        m.restore(&parent);
+        assert_eq!(m.read(0x5000), 2);
+        m.restore(&child);
+        assert_eq!(m.read(0x5000), 7);
+    }
+
+    #[test]
+    fn restore_invalidates_last_page_cache() {
+        let mut m = Memory::new();
+        m.write(0x1000, 1);
+        let snap = m.snapshot(None);
+        m.write(0x2000, 2); // 0x2000's page is now the cached page
+        m.restore(&snap);
+        // A stale cache hit here would fault or resurrect the dropped page.
+        assert_eq!(m.read(0x2000), 0);
+        m.write(0x2000, 5);
+        assert_eq!(m.read(0x2000), 5);
     }
 
     #[test]

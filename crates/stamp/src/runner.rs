@@ -225,7 +225,7 @@ pub fn profile_app(app: &dyn StampApp, allocator: AllocatorKind) -> [RegionStats
         app.worker(&stm, ctx, &mut th);
         stm.retire(th);
     });
-    prof.snapshot()
+    prof.region_stats()
 }
 
 #[cfg(test)]

@@ -519,6 +519,61 @@ impl Stm {
     pub fn stripe_bytes(&self) -> u64 {
         1 << self.cfg.shift
     }
+
+    /// Capture the STM's **host-side** bookkeeping — stats shards, the
+    /// contention-management switch log, the size registry and the limbo
+    /// list — so [`Stm::restore_host`] can rewind it. The simulated half
+    /// (ORT, version clock, active-snapshot array, serialization token)
+    /// lives in machine memory and is the machine snapshot's to capture;
+    /// pair this with `Sim::snapshot`. Call only at quiescence (no workers
+    /// in flight, every `TxThread` retired). The `tx_hook` is deliberately
+    /// excluded: it is set-once configuration, not run state.
+    pub fn snapshot_host(&self) -> StmHostSnapshot {
+        StmHostSnapshot {
+            stats_rows: (0..self.cores)
+                .map(|t| self.stats.raw().thread_row(t))
+                .collect(),
+            cm_rows: (0..self.cores)
+                .map(|t| self.cm_stats.raw().thread_row(t))
+                .collect(),
+            cm_switch_log: self.cm_switch_log.lock().clone(),
+            sizes: self.sizes.snapshot(),
+            global_limbo: self.global_limbo.lock().clone(),
+        }
+    }
+
+    /// Rewind host-side bookkeeping to a [`Stm::snapshot_host`] capture
+    /// taken from this STM. Call only at quiescence.
+    pub fn restore_host(&self, snap: &StmHostSnapshot) {
+        assert_eq!(
+            snap.stats_rows.len(),
+            self.cores,
+            "host snapshot taken from an STM with a different core count"
+        );
+        for (t, row) in snap.stats_rows.iter().enumerate() {
+            for (s, v) in row.iter().enumerate() {
+                self.stats.raw().set(t, s, *v);
+            }
+        }
+        for (t, row) in snap.cm_rows.iter().enumerate() {
+            for (s, v) in row.iter().enumerate() {
+                self.cm_stats.raw().set(t, s, *v);
+            }
+        }
+        *self.cm_switch_log.lock() = snap.cm_switch_log.clone();
+        self.sizes.restore(&snap.sizes);
+        *self.global_limbo.lock() = snap.global_limbo.clone();
+    }
+}
+
+/// Frozen host-side STM bookkeeping from [`Stm::snapshot_host`]. Opaque:
+/// only meaningful to [`Stm::restore_host`] on the same instance.
+pub struct StmHostSnapshot {
+    stats_rows: Vec<Vec<u64>>,
+    cm_rows: Vec<Vec<u64>>,
+    cm_switch_log: Vec<(usize, CmSwitch)>,
+    sizes: Vec<table::SizeMap>,
+    global_limbo: Vec<(u64, u64, Option<u64>)>,
 }
 
 #[cfg(test)]
@@ -712,6 +767,39 @@ mod tests {
             stm.retire(th);
         });
         sim.with_state(|m| assert_eq!(m.read_u64(addr), 43));
+    }
+
+    #[test]
+    fn host_snapshot_rewinds_stats_and_limbo() {
+        let (sim, stm) = setup(5);
+        let addr = 0xb000_0000u64;
+        let work = |sim: &Sim, stm: &Stm| {
+            sim.run(2, |ctx| {
+                let mut th = stm.thread(ctx.tid());
+                for _ in 0..20 {
+                    stm.txn(ctx, &mut th, |tx, ctx| {
+                        let v = tx.read(ctx, addr)?;
+                        ctx.tick(30);
+                        tx.write(ctx, addr, v + 1)
+                    });
+                }
+                stm.retire(th);
+            });
+        };
+        work(&sim, &stm);
+        let machine = sim.snapshot(None);
+        let host = stm.snapshot_host();
+        let stats_at_snap = stm.stats();
+        work(&sim, &stm);
+        assert_eq!(stm.stats().commits, 80, "second run doubled the tally");
+        sim.restore(&machine);
+        stm.restore_host(&host);
+        assert_eq!(stm.stats(), stats_at_snap);
+        // Re-running from the restored state reproduces the doubled tally
+        // bit-for-bit (stats shards, not just totals, were rewound).
+        work(&sim, &stm);
+        assert_eq!(stm.stats().commits, 80);
+        sim.with_state(|m| assert_eq!(m.read_u64(addr), 80));
     }
 
     #[test]

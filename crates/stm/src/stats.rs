@@ -53,7 +53,7 @@ impl AbortCause {
 }
 
 /// Per-thread (and merged global) transaction statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StmStats {
     /// Committed transactions.
     pub commits: u64,

@@ -130,14 +130,15 @@ pub(crate) struct SizeRegistry {
     shards: Vec<parking_lot::Mutex<SizeMap>>,
 }
 
-type SizeMap = std::collections::HashMap<u64, u64, std::hash::BuildHasherDefault<AddrHasher>>;
+pub(crate) type SizeMap =
+    std::collections::HashMap<u64, u64, std::hash::BuildHasherDefault<AddrHasher>>;
 
 const SHARDS: usize = 16;
 
 /// Multiply-xor hasher for block addresses (same rationale as the cache
 /// directory's hasher: u64 keys, no DoS exposure).
 #[derive(Clone, Copy, Default)]
-struct AddrHasher(u64);
+pub(crate) struct AddrHasher(u64);
 
 impl std::hash::Hasher for AddrHasher {
     fn finish(&self) -> u64 {
@@ -179,6 +180,19 @@ impl SizeRegistry {
     #[inline]
     pub(crate) fn get(&self, addr: u64) -> Option<u64> {
         self.shard(addr).lock().get(&addr).copied()
+    }
+
+    /// Clone every shard's map (checkpoint support; call at quiescence).
+    pub(crate) fn snapshot(&self) -> Vec<SizeMap> {
+        self.shards.iter().map(|s| s.lock().clone()).collect()
+    }
+
+    /// Overwrite every shard from a [`SizeRegistry::snapshot`].
+    pub(crate) fn restore(&self, snap: &[SizeMap]) {
+        debug_assert_eq!(snap.len(), self.shards.len());
+        for (s, m) in self.shards.iter().zip(snap) {
+            *s.lock() = m.clone();
+        }
     }
 }
 

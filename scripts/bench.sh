@@ -1,37 +1,177 @@
 #!/usr/bin/env bash
-# Tracked perf baseline: time the synthetic sweep matrix and the exhibit
+# Tracked perf baselines.
+#
+# Default mode: time the synthetic sweep matrix and the exhibit
 # regeneration, and merge the numbers with the frozen pre-contention-manager
 # baseline (results/bench_before_pr7.json) into results/BENCH_pr7.json.
 #
-# Usage: scripts/bench.sh [--quick] [--out FILE] [--gate PCT]
+# --mc mode: time the model checker's schedule-throughput matrix
+# (depth-2 and depth-3 transfer sweeps plus the mutation catalog with its
+# alloc-swap cell) with checkpoint/restore prefix-tree execution, and
+# merge against the frozen from-scratch baseline
+# (results/bench_before_pr9.json) into results/BENCH_pr9.json. With
+# --freeze, run the matrix from scratch (tmstudy mc --no-checkpoint) and
+# (re)write the baseline file instead.
+#
+# Usage: scripts/bench.sh [--quick] [--mc] [--freeze] [--out FILE] [--gate PCT]
 #   --quick    skip the full exhibit regeneration; time only the sweep
 #              matrix (the CI perf-smoke mode — seconds, not minutes)
-#   --out FILE destination (default results/BENCH_pr7.json)
-#   --gate PCT exit 1 if the sweep is more than PCT percent slower than
-#              the frozen baseline (only meaningful on the host the
-#              baseline was measured on; CI keeps its timeout as the gate)
+#   --mc       benchmark the model checker instead of the sweep matrix
+#   --freeze   (--mc only) measure from-scratch and freeze the baseline
+#   --out FILE destination (default results/BENCH_pr7.json, or
+#              results/BENCH_pr9.json / results/bench_before_pr9.json
+#              under --mc / --mc --freeze)
+#   --gate PCT exit 1 if the timed run is more than PCT percent slower
+#              than the frozen baseline (only meaningful on the host the
+#              baseline was measured on; CI keeps its timeout as the
+#              gate). PCT may be negative: `--mc --gate -80` demands the
+#              checkpointed explorer finish in under 20% of the
+#              from-scratch baseline, i.e. a >=5x speedup.
 #
 # Wall times are host-specific: the before/after comparison is only
 # meaningful on one machine, and the committed before-file records the host
 # it was measured on. The structural guarantees (exhibit byte-identity,
-# check matrix) are enforced elsewhere; this script only tracks speed.
+# check matrix, checkpoint-equivalence suite) are enforced elsewhere; this
+# script only tracks speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO="cargo --offline"
 
 quick=0
-out="results/BENCH_pr7.json"
+mc=0
+freeze=0
+out=""
 gate=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick=1 ;;
+    --mc) mc=1 ;;
+    --freeze) freeze=1 ;;
     --out) out="$2"; shift ;;
     --gate) gate="$2"; shift ;;
     *) echo "unknown flag '$1'" >&2; exit 2 ;;
   esac
   shift
 done
+if [ "$freeze" -eq 1 ] && [ "$mc" -eq 0 ]; then
+  echo "--freeze only applies to --mc" >&2; exit 2
+fi
+
+if [ "$mc" -eq 1 ]; then
+  echo "==> cargo build --release"
+  $CARGO build --workspace --release
+
+  side_flag=""
+  mode="after"
+  if [ "$freeze" -eq 1 ]; then
+    side_flag="--no-checkpoint"
+    mode="freeze"
+    out="${out:-results/bench_before_pr9.json}"
+  else
+    out="${out:-results/BENCH_pr9.json}"
+  fi
+
+  tmpdir="$(mktemp -d)"
+  cells_tsv="$tmpdir/cells.tsv"
+  run_cell() { # label, tmstudy mc args...
+    local label="$1"; shift
+    local art="$tmpdir/$label.mc.json"
+    local start ms
+    start=$(date +%s%N)
+    # shellcheck disable=SC2086
+    ./target/release/tmstudy mc "$@" $side_flag --out "$art" >/dev/null
+    ms=$(( ($(date +%s%N) - start) / 1000000 ))
+    echo "    $label: ${ms} ms"
+    printf '%s\t%s\t%s\n' "$label" "$ms" "$art" >>"$cells_tsv"
+  }
+
+  echo "==> timing: tmstudy mc matrix (${side_flag:-checkpointed})"
+  # Depth-2 and depth-3 pruned transfer sweeps over the full backend x CM
+  # matrix, plus the mutation catalog (whose tx-alloc-early-free cell is
+  # the unpruned alloc-swap workload).
+  run_cell transfer-d2 --depth 2 --name bench-mc-d2
+  run_cell transfer-d3 --depth 3 --magnitudes 400,3200 --name bench-mc-d3
+  run_cell catalog-quick --quick --depth 2 --name bench-mc-quick
+
+  echo "==> merging into $out"
+  python3 - "$cells_tsv" "$out" "$gate" "$mode" <<'EOF'
+import json, os, platform, sys
+
+cells_path, out_path, gate, mode = sys.argv[1:5]
+rows = [l.split('\t') for l in open(cells_path).read().splitlines() if l]
+
+cells, total_ms, total_scheds = [], 0, 0
+throughput = {'replay_steps_saved': 0, 'checkpoints_taken': 0, 'deduped': 0}
+for label, ms, art in rows:
+    ms = int(ms)
+    doc = json.load(open(art))
+    scheds = sum(c.get('explored', 0) for c in doc['cells'])
+    cells.append({
+        'cell': label,
+        'wall_ms': ms,
+        'schedules': scheds,
+        'schedules_per_sec': round(scheds * 1000 / ms, 1) if ms else None,
+    })
+    total_ms += ms
+    total_scheds += scheds
+    for k in throughput:
+        throughput[k] += doc.get('throughput', {}).get(k, 0)
+
+side = {
+    'side': 'before' if mode == 'freeze' else 'after',
+    'host': {
+        'os': platform.system().lower(),
+        'arch': platform.machine(),
+        'cores': os.cpu_count(),
+    },
+    'mc': {
+        'total_wall_ms': total_ms,
+        'total_schedules': total_scheds,
+        'cells': cells,
+    },
+}
+if mode != 'freeze':
+    side['mc']['throughput'] = throughput
+
+if mode == 'freeze':
+    json.dump(side, open(out_path, 'w'), indent=2)
+    print(f"froze from-scratch mc baseline: {total_ms} ms, "
+          f"{total_scheds} schedules; wrote {out_path}")
+    sys.exit(0)
+
+before = json.load(open('results/bench_before_pr9.json'))
+b_ms = before['mc']['total_wall_ms']
+a_ms = total_ms
+by_label = {c['cell']: c for c in before['mc']['cells']}
+for c in cells:
+    b = by_label.get(c['cell'])
+    if b and c['wall_ms']:
+        c['speedup'] = round(b['wall_ms'] / c['wall_ms'], 2)
+doc = {
+    'schema': 'tm-bench-mc/v1',
+    'before': before,
+    'after': side,
+    'mc_speedup': round(b_ms / a_ms, 2) if a_ms else None,
+}
+json.dump(doc, open(out_path, 'w'), indent=2)
+print(f"mc: {b_ms} ms -> {a_ms} ms ({doc['mc_speedup']}x); wrote {out_path}")
+for c in cells:
+    if 'speedup' in c:
+        print(f"    {c['cell']}: {c['speedup']}x "
+              f"({c['schedules_per_sec']} schedules/s)")
+if gate:
+    budget = b_ms * (1 + float(gate) / 100)
+    if a_ms > budget:
+        print(f"GATE FAIL: mc matrix {a_ms} ms exceeds the {gate}% budget "
+              f"({budget:.0f} ms against baseline {b_ms} ms)", file=sys.stderr)
+        sys.exit(1)
+    print(f"gate: within {gate}% of the frozen from-scratch baseline")
+EOF
+  exit 0
+fi
+
+out="${out:-results/BENCH_pr7.json}"
 
 echo "==> cargo build --release"
 $CARGO build --workspace --release

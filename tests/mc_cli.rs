@@ -1,0 +1,57 @@
+//! CLI-level contract of `tmstudy mc`: flag validation exit codes and
+//! the schema of the artifact it writes with and without checkpointed
+//! execution.
+
+use std::process::Command;
+
+fn tmstudy() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tmstudy"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmstudy-mc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn no_checkpoint_with_stray_token_exits_2() {
+    let out = tmstudy()
+        .args(["mc", "--no-checkpoint", "bogus"])
+        .output()
+        .expect("run tmstudy");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stray token 'bogus'"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_writes_v1_1_and_no_checkpoint_stays_v1() {
+    let ck = tmp("ck.mc.json");
+    let out = tmstudy()
+        .args(["mc", "--depth", "1", "--backend", "etl", "--cm", "suicide"])
+        .args(["--out", ck.to_str().unwrap()])
+        .output()
+        .expect("run tmstudy");
+    assert!(out.status.success(), "{out:?}");
+    let ck_json = std::fs::read_to_string(&ck).unwrap();
+    assert!(
+        ck_json.contains("\"schema\": \"tm-mc-report/v1.1\""),
+        "checkpointed artifact must carry the throughput block: {ck_json}"
+    );
+    assert!(ck_json.contains("\"throughput\""), "{ck_json}");
+
+    let plain = tmp("plain.mc.json");
+    let out = tmstudy()
+        .args(["mc", "--depth", "1", "--backend", "etl", "--cm", "suicide"])
+        .args(["--no-checkpoint", "--out", plain.to_str().unwrap()])
+        .output()
+        .expect("run tmstudy");
+    assert!(out.status.success(), "{out:?}");
+    let plain_json = std::fs::read_to_string(&plain).unwrap();
+    assert!(
+        plain_json.contains("\"schema\": \"tm-mc-report/v1\","),
+        "from-scratch artifact must stay plain v1: {plain_json}"
+    );
+    assert!(!plain_json.contains("\"throughput\""), "{plain_json}");
+}
