@@ -30,7 +30,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use tm_sim::Ctx;
 
-use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
+use crate::{AllocError, Allocator, AllocatorAttrs, HeapSnapshot};
 
 /// Where the simulated OS hands out regions from (the machine's bump
 /// allocator base). Any block address below this was never OS-backed.
@@ -41,12 +41,28 @@ pub const OS_REGION_BASE: u64 = 0x0001_0000_0000;
 /// times — the first few messages carry all the signal).
 const MAX_RECORDED: usize = 32;
 
+/// Audit record of one live block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveBlock {
+    /// Occupied footprint in bytes (`max(size, 1)` so zero-size blocks
+    /// still claim their start address).
+    pub footprint: u64,
+    /// The 0-based allocation-site index that produced the block: its
+    /// ordinal among all malloc *attempts* (successful or failed) the
+    /// auditor observed. Matches the [`crate::FaultInjector`] site
+    /// numbering when the auditor wraps an injector directly, which is
+    /// how the OOM sweep names leaked blocks by their faulting site.
+    pub site: u64,
+}
+
 #[derive(Clone, Default)]
 struct AuditState {
-    /// Live blocks: start address → occupied footprint in bytes
-    /// (`max(size, 1)` so zero-size blocks still claim their start).
-    live: BTreeMap<u64, u64>,
+    /// Live blocks: start address → footprint and allocation site.
+    live: BTreeMap<u64, LiveBlock>,
     mallocs: u64,
+    /// `try_malloc` attempts that returned an error (not a violation —
+    /// the caller was told — but counted so site numbering covers them).
+    failed_mallocs: u64,
     frees: u64,
     peak_live: usize,
     violations: Vec<String>,
@@ -65,12 +81,18 @@ impl AuditState {
 /// Summary of an audited run; see [`HeapAuditor::report`].
 #[derive(Clone, Debug)]
 pub struct AuditReport {
-    /// Total `malloc` calls observed.
+    /// Successful allocations observed.
     pub mallocs: u64,
+    /// Failed `try_malloc` attempts observed (injected or organic).
+    pub failed_mallocs: u64,
     /// Total `free` calls observed.
     pub frees: u64,
     /// Blocks still live when the report was taken.
     pub live: usize,
+    /// The first still-live blocks as `(address, LiveBlock)` in address
+    /// order (capped like `violations`), so a leak check can name each
+    /// leaked block's allocation site.
+    pub live_blocks: Vec<(u64, LiveBlock)>,
     /// High-water mark of simultaneously-live blocks.
     pub peak_live: usize,
     /// Total invariant violations (may exceed `violations.len()`).
@@ -110,8 +132,15 @@ impl HeapAuditor {
         let s = self.state.lock();
         AuditReport {
             mallocs: s.mallocs,
+            failed_mallocs: s.failed_mallocs,
             frees: s.frees,
             live: s.live.len(),
+            live_blocks: s
+                .live
+                .iter()
+                .take(MAX_RECORDED)
+                .map(|(&addr, &block)| (addr, block))
+                .collect(),
             peak_live: s.peak_live,
             violation_count: s.violation_count,
             violations: s.violations.clone(),
@@ -131,54 +160,107 @@ impl HeapAuditor {
     }
 }
 
-impl Allocator for HeapAuditor {
-    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
-        let addr = self.inner.malloc(ctx, size);
+impl HeapAuditor {
+    /// Audit a successful allocation (shared by the fallible and
+    /// panicking paths).
+    fn record_malloc(&self, addr: u64, size: u64) {
         let footprint = size.max(1);
         let mut s = self.state.lock();
+        let site = s.mallocs + s.failed_mallocs;
         s.mallocs += 1;
         if !addr.is_multiple_of(8) {
-            s.violate(format!("misaligned block {addr:#x} (size {size})"));
+            s.violate(format!(
+                "misaligned block {addr:#x} (size {size}, site {site})"
+            ));
         }
         if addr < OS_REGION_BASE {
             s.violate(format!(
-                "block {addr:#x} below the OS region base {OS_REGION_BASE:#x}"
+                "block {addr:#x} below the OS region base {OS_REGION_BASE:#x} (site {site})"
             ));
         }
         // Overlap: only the nearest live neighbours can intersect.
-        if let Some((&prev, &prev_size)) = s.live.range(..=addr).next_back() {
-            if prev + prev_size > addr {
+        if let Some((&prev, &pb)) = s.live.range(..=addr).next_back() {
+            if prev + pb.footprint > addr {
                 s.violate(format!(
-                    "block [{addr:#x},+{footprint}) overlaps live [{prev:#x},+{prev_size})"
+                    "block [{addr:#x},+{footprint}) (site {site}) overlaps live \
+                     [{prev:#x},+{}) from site {}",
+                    pb.footprint, pb.site
                 ));
             }
         }
-        if let Some((&next, &next_size)) = s.live.range(addr + 1..).next() {
+        if let Some((&next, &nb)) = s.live.range(addr + 1..).next() {
             if addr + footprint > next {
                 s.violate(format!(
-                    "block [{addr:#x},+{footprint}) overlaps live [{next:#x},+{next_size})"
+                    "block [{addr:#x},+{footprint}) (site {site}) overlaps live \
+                     [{next:#x},+{}) from site {}",
+                    nb.footprint, nb.site
                 ));
             }
         }
-        if s.live.insert(addr, footprint).is_some() {
-            s.violate(format!("block {addr:#x} returned while still live"));
+        if let Some(old) = s.live.insert(addr, LiveBlock { footprint, site }) {
+            s.violate(format!(
+                "block {addr:#x} returned while still live (site {site}; \
+                 first handed out at site {})",
+                old.site
+            ));
         }
         s.peak_live = s.peak_live.max(s.live.len());
+    }
+
+    /// Audit a free the inner allocator accepted (or is about to see).
+    fn record_free(&self, addr: u64) {
+        let mut s = self.state.lock();
+        s.frees += 1;
+        if s.live.remove(&addr).is_none() {
+            // Name the enclosing live block's site for interior pointers.
+            let interior = s
+                .live
+                .range(..=addr)
+                .next_back()
+                .filter(|(&p, b)| p + b.footprint > addr)
+                .map(|(_, b)| format!(" (inside the block from site {})", b.site))
+                .unwrap_or_default();
+            s.violate(format!(
+                "free of {addr:#x} which is not the start of a live block \
+                 (double free, interior pointer, or foreign address){interior}"
+            ));
+        }
+    }
+}
+
+impl Allocator for HeapAuditor {
+    fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        let addr = self.inner.malloc(ctx, size);
+        self.record_malloc(addr, size);
         addr
     }
 
-    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
-        {
-            let mut s = self.state.lock();
-            s.frees += 1;
-            if s.live.remove(&addr).is_none() {
-                s.violate(format!(
-                    "free of {addr:#x} which is not the start of a live block \
-                     (double free, interior pointer, or foreign address)"
-                ));
+    fn try_malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> Result<u64, AllocError> {
+        match self.inner.try_malloc(ctx, size) {
+            Ok(addr) => {
+                self.record_malloc(addr, size);
+                Ok(addr)
+            }
+            Err(e) => {
+                // A cleanly-reported failure is not a violation — the
+                // caller was told — but it consumes a site index.
+                self.state.lock().failed_mallocs += 1;
+                Err(e)
             }
         }
+    }
+
+    fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
+        self.record_free(addr);
         self.inner.free(ctx, addr);
+    }
+
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        // Only audit frees the inner allocator accepts; a clean
+        // `UnknownAddress` error is the caller's to handle.
+        self.inner.try_free(ctx, addr)?;
+        self.record_free(addr);
+        Ok(())
     }
 
     fn min_block(&self) -> u64 {

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
+use crate::{AllocError, Allocator, AllocatorAttrs, HeapSnapshot};
 
 /// Arena reservation size and alignment (64 MB, the paper's figure).
 const ARENA_RESERVE: u64 = 64 << 20;
@@ -184,13 +184,20 @@ impl GlibcAllocator {
 
 impl Allocator for GlibcAllocator {
     fn malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        match self.try_malloc(ctx, size) {
+            Ok(addr) => addr,
+            Err(e) => panic!("glibc model: arena exhausted (64 MB): {e}"),
+        }
+    }
+
+    fn try_malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> Result<u64, AllocError> {
         ctx.tick(12); // entry, size computation
         let chunk = Self::chunk_size(size);
         if chunk > MMAP_THRESHOLD {
             let base = ctx.os_alloc(chunk, 4096);
             ctx.write_u64(base + 8, chunk); // tag even for mmap'd chunks
             self.global.lock().large.insert(base + HEADER, chunk);
-            return base + HEADER;
+            return Ok(base + HEADER);
         }
 
         let (idx, arena) = self.lock_some_arena(ctx);
@@ -211,6 +218,14 @@ impl Allocator for GlibcAllocator {
             // Bump allocation from the top of the arena.
             let (b, grow) = {
                 let mut inner = arena.inner.lock();
+                if inner.bump + chunk > inner.reserved_end {
+                    // Organic exhaustion: the 64 MB reservation cannot
+                    // serve another chunk. Release the arena lock before
+                    // failing so the error path leaves no lock held.
+                    drop(inner);
+                    ctx.unlock(arena.mx);
+                    return Err(AllocError::Exhausted { size });
+                }
                 let b = inner.bump;
                 inner.bump += chunk;
                 let mut grow = false;
@@ -218,10 +233,6 @@ impl Allocator for GlibcAllocator {
                     inner.committed = (inner.committed + ARENA_INITIAL).min(inner.reserved_end);
                     grow = true;
                 }
-                assert!(
-                    inner.bump <= inner.reserved_end,
-                    "glibc model: arena exhausted (64 MB)"
-                );
                 (b, grow)
             };
             if grow {
@@ -233,7 +244,20 @@ impl Allocator for GlibcAllocator {
         // (de)allocation — Glibc's per-block metadata cost.
         ctx.write_u64(base + 8, chunk);
         ctx.unlock(arena.mx);
-        base + HEADER
+        Ok(base + HEADER)
+    }
+
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        let known = {
+            let g = self.global.lock();
+            g.large.contains_key(&addr)
+                || g.by_region.contains_key(&(addr.wrapping_sub(HEADER) >> 26))
+        };
+        if !known {
+            return Err(AllocError::UnknownAddress { addr });
+        }
+        self.free(ctx, addr);
+        Ok(())
     }
 
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {

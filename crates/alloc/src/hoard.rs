@@ -19,7 +19,7 @@ use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::classes::SizeClasses;
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
+use crate::{AllocError, Allocator, AllocatorAttrs, HeapSnapshot};
 
 const SB_SIZE: u64 = 64 * 1024;
 const SB_SHIFT: u64 = 16;
@@ -338,6 +338,16 @@ impl Allocator for HoardAllocator {
             self.carve(ctx, class, 1, &mut one);
             one[0]
         }
+    }
+
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        let known = self.large.lock().contains_key(&addr)
+            || self.registry.read().contains_key(&(addr >> SB_SHIFT));
+        if !known {
+            return Err(AllocError::UnknownAddress { addr });
+        }
+        self.free(ctx, addr);
+        Ok(())
     }
 
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {

@@ -26,11 +26,21 @@
 //! and [`audit`] wraps any allocator with heap-invariant checking
 //! (overlap, alignment, containment, free-list integrity) for the
 //! correctness harness.
+//!
+//! Allocation *failure* is part of the interface: every allocator also
+//! exposes fallible [`Allocator::try_malloc`] / [`Allocator::try_free`]
+//! (the panicking `malloc`/`free` forms are wrappers over them), and the
+//! [`fault`] module's [`FaultInjector`] wraps any allocator with a
+//! deterministic [`AllocFaultPlan`] — byte budgets, size-class caps,
+//! fail-at-Nth-site, seeded probabilistic failure — so the STM's abort
+//! path and the every-site OOM sweep can exercise out-of-memory behaviour
+//! reproducibly.
 
 #![deny(missing_docs)]
 
 pub mod audit;
 mod classes;
+pub mod fault;
 mod freelist;
 mod glibc;
 mod hoard;
@@ -39,8 +49,9 @@ mod serial;
 mod tbb;
 mod tc;
 
-pub use audit::{AuditReport, HeapAuditor};
+pub use audit::{AuditReport, HeapAuditor, LiveBlock};
 pub use classes::SizeClasses;
+pub use fault::{AllocFaultPlan, FaultInjector};
 pub use glibc::GlibcAllocator;
 pub use hoard::HoardAllocator;
 pub use serial::SerialLockAllocator;
@@ -49,6 +60,53 @@ pub use tc::TcAllocator;
 
 use std::sync::Arc;
 use tm_sim::{Ctx, Sim};
+
+/// Why an allocation-plane operation could not complete. Carried by
+/// [`Allocator::try_malloc`] / [`Allocator::try_free`]; the infallible
+/// `malloc`/`free` forms panic with the same information instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The allocator ran out of backing memory serving this request — a
+    /// Glibc arena hitting its 64 MB reservation organically, or a fault
+    /// plan's byte budget / size-class cap modelling the same condition.
+    Exhausted {
+        /// The request size that could not be satisfied, in bytes.
+        size: u64,
+    },
+    /// A fault plan forced this specific allocation to fail.
+    Injected {
+        /// Global allocation-site index assigned by the
+        /// [`FaultInjector`] (0-based, in attempt order).
+        site: u64,
+        /// The request size, in bytes.
+        size: u64,
+    },
+    /// A free named an address that is not the start of a block this
+    /// allocator handed out.
+    UnknownAddress {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AllocError::Exhausted { size } => {
+                write!(f, "exhausted serving a {size}-byte request")
+            }
+            AllocError::Injected { site, size } => {
+                write!(
+                    f,
+                    "injected failure at allocation site {site} ({size} bytes)"
+                )
+            }
+            AllocError::UnknownAddress { addr } => {
+                write!(f, "free of unknown address {addr:#x}")
+            }
+        }
+    }
+}
 
 /// The allocator interface the STM's wrapper builds on — the paper's model
 /// of "an external allocator interface that provides at least malloc and
@@ -62,6 +120,25 @@ pub trait Allocator: Send + Sync {
     /// Release a block previously returned by [`Allocator::malloc`]. May be
     /// called from a different thread than the allocating one.
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64);
+
+    /// Fallible [`Allocator::malloc`]: returns [`AllocError`] where the
+    /// infallible form would panic (organic exhaustion) or where a fault
+    /// plan injects a failure. The default forwards to `malloc`, which is
+    /// correct for any model whose `malloc` cannot fail; models with a
+    /// real failure path implement `try_malloc` as the primary and
+    /// `malloc` as a panicking wrapper.
+    fn try_malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> Result<u64, AllocError> {
+        Ok(self.malloc(ctx, size))
+    }
+
+    /// Fallible [`Allocator::free`]: returns
+    /// [`AllocError::UnknownAddress`] where the infallible form would
+    /// panic on a double free or foreign address. The default forwards to
+    /// `free`.
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        self.free(ctx, addr);
+        Ok(())
+    }
 
     /// The distance between the start addresses of two minimal consecutive
     /// allocations — the quantity that interacts with the STM's ownership
@@ -106,6 +183,12 @@ impl<A: Allocator + ?Sized> Allocator for Arc<A> {
     }
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {
         (**self).free(ctx, addr)
+    }
+    fn try_malloc(&self, ctx: &mut Ctx<'_>, size: u64) -> Result<u64, AllocError> {
+        (**self).try_malloc(ctx, size)
+    }
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        (**self).try_free(ctx, addr)
     }
     fn min_block(&self) -> u64 {
         (**self).min_block()
@@ -187,6 +270,17 @@ impl AllocatorKind {
     /// to the workload, keep one to inspect the audit afterwards).
     pub fn build_audited(self, sim: &Sim) -> Arc<HeapAuditor> {
         HeapAuditor::new(self.build(sim))
+    }
+
+    /// Instantiate this allocator under an allocation-fault plan. With
+    /// [`AllocFaultPlan::None`] this is exactly [`AllocatorKind::build`]
+    /// — no [`FaultInjector`] in the stack, so the fault-free path stays
+    /// byte-identical to a build that never heard of fault injection.
+    pub fn build_with_fault(self, sim: &Sim, plan: AllocFaultPlan) -> Arc<dyn Allocator> {
+        match plan {
+            AllocFaultPlan::None => self.build(sim),
+            plan => FaultInjector::new(self.build(sim), plan),
+        }
     }
 }
 

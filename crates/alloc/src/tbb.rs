@@ -21,7 +21,7 @@ use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::classes::SizeClasses;
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
+use crate::{AllocError, Allocator, AllocatorAttrs, HeapSnapshot};
 
 const SB_SIZE: u64 = 16 * 1024;
 const SB_SHIFT: u64 = 14;
@@ -267,6 +267,16 @@ impl Allocator for TbbAllocator {
             .sbs
             .push(sb);
         b
+    }
+
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        let known = self.large.lock().contains_key(&addr)
+            || self.registry.read().contains_key(&(addr >> SB_SHIFT));
+        if !known {
+            return Err(AllocError::UnknownAddress { addr });
+        }
+        self.free(ctx, addr);
+        Ok(())
     }
 
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {

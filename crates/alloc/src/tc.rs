@@ -22,7 +22,7 @@ use tm_sim::{Ctx, Sim, SimMutex};
 
 use crate::classes::SizeClasses;
 use crate::freelist::FreeList;
-use crate::{Allocator, AllocatorAttrs, HeapSnapshot};
+use crate::{AllocError, Allocator, AllocatorAttrs, HeapSnapshot};
 
 /// Fast-path bound (paper Table 1: "<= 256 KB").
 const MAX_SMALL: u64 = 256 * 1024;
@@ -278,6 +278,16 @@ impl Allocator for TcAllocator {
             return b;
         }
         self.refill(ctx, tid, class)
+    }
+
+    fn try_free(&self, ctx: &mut Ctx<'_>, addr: u64) -> Result<(), AllocError> {
+        let known = self.large.lock().contains_key(&addr)
+            || self.spans.read().contains_key(&(addr >> SPAN_SHIFT));
+        if !known {
+            return Err(AllocError::UnknownAddress { addr });
+        }
+        self.free(ctx, addr);
+        Ok(())
     }
 
     fn free(&self, ctx: &mut Ctx<'_>, addr: u64) {

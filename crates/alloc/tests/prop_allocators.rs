@@ -5,8 +5,10 @@
 //! call through the reusable [`tm_alloc::HeapAuditor`]; only writability —
 //! which needs the simulated memory — is checked inline.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
-use tm_alloc::{Allocator, AllocatorKind};
+use tm_alloc::{AllocFaultPlan, Allocator, AllocatorKind, FaultInjector, HeapAuditor};
 use tm_check::strategies::{alloc_ops, AllocOp};
 use tm_sim::{MachineConfig, Sim};
 
@@ -49,6 +51,97 @@ fn check(kind: AllocatorKind, ops: &[AllocOp]) -> Result<(), TestCaseError> {
     }
 }
 
+/// Drive an allocator to exhaustion (via a fault-plan byte budget) and
+/// back: fill until `try_malloc` refuses, free everything, then re-fill
+/// to the same capacity. The error path must leave no metadata damage —
+/// the full cycle has to audit clean with zero live blocks.
+fn exhaust_and_recover(kind: AllocatorKind, sizes: &[u64]) -> Result<(), TestCaseError> {
+    const BUDGET: u64 = 4096;
+    let sim = Sim::new(MachineConfig::xeon_e5405());
+    let injector = FaultInjector::new(kind.build(&sim), AllocFaultPlan::ByteBudget(BUDGET));
+    let auditor = HeapAuditor::new(injector);
+    let alloc = Arc::clone(&auditor);
+    let sizes = sizes.to_vec();
+    sim.run(1, |ctx| {
+        let fill = |ctx: &mut tm_sim::Ctx<'_>| {
+            let mut live = Vec::new();
+            for &s in sizes.iter().cycle() {
+                match alloc.try_malloc(ctx, s) {
+                    Ok(p) => {
+                        ctx.write_u64(p, 0xfeed); // blocks must stay usable
+                        live.push(p);
+                    }
+                    Err(_) => return live,
+                }
+            }
+            unreachable!("a finite budget must eventually refuse");
+        };
+        let first = fill(ctx);
+        assert!(
+            !first.is_empty(),
+            "{kind:?}: budget refused the first block"
+        );
+        let capacity = first.len();
+        for p in first {
+            alloc.try_free(ctx, p).expect("freeing a live block");
+        }
+        // Exhaustion and unwinding must not have cost any capacity.
+        let second = fill(ctx);
+        assert_eq!(second.len(), capacity, "{kind:?}: capacity lost after OOM");
+        for p in second {
+            alloc.try_free(ctx, p).expect("freeing a live block");
+        }
+    });
+    let report = auditor.report();
+    prop_assert!(
+        report.is_clean(),
+        "{kind:?}: {} violation(s): {}",
+        report.violation_count,
+        report.violations.join("; ")
+    );
+    prop_assert_eq!(report.live, 0, "{:?}: blocks leaked across the cycle", kind);
+    prop_assert!(report.failed_mallocs >= 2, "both fills must hit the budget");
+    Ok(())
+}
+
+/// An inert (`None`-plan) fault injector must be observationally
+/// invisible: same addresses handed out and same virtual time as the
+/// bare allocator for an identical call script.
+fn none_plan_is_identity(kind: AllocatorKind, ops: &[AllocOp]) -> Result<(), TestCaseError> {
+    let run = |wrap: bool| {
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        let bare = kind.build(&sim);
+        let alloc: Arc<dyn Allocator> = if wrap {
+            FaultInjector::new(bare, AllocFaultPlan::None)
+        } else {
+            bare
+        };
+        let ops = ops.to_vec();
+        let log = parking_lot::Mutex::new((Vec::new(), 0u64));
+        sim.run(1, |ctx| {
+            let mut live: Vec<u64> = Vec::new();
+            for op in &ops {
+                match *op {
+                    AllocOp::Malloc(size) => live.push(alloc.try_malloc(ctx, size).unwrap()),
+                    AllocOp::Free(i) => {
+                        if !live.is_empty() {
+                            let p = live.remove(i % live.len());
+                            alloc.try_free(ctx, p).unwrap();
+                        }
+                    }
+                }
+            }
+            *log.lock() = (live, ctx.now());
+        });
+        log.into_inner()
+    };
+    let (bare_addrs, bare_now) = run(false);
+    let (wrapped_addrs, wrapped_now) = run(true);
+    prop_assert_eq!(bare_addrs, wrapped_addrs, "{:?}: addresses diverged", kind);
+    prop_assert_eq!(bare_now, wrapped_now, "{:?}: virtual time diverged", kind);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -70,5 +163,32 @@ proptest! {
     #[test]
     fn tcmalloc_contract(ops in alloc_ops(60)) {
         check(AllocatorKind::TcMalloc, &ops)?;
+    }
+
+    #[test]
+    fn glibc_exhausts_and_recovers(sizes in prop::collection::vec(8u64..512, 1..8)) {
+        exhaust_and_recover(AllocatorKind::Glibc, &sizes)?;
+    }
+
+    #[test]
+    fn hoard_exhausts_and_recovers(sizes in prop::collection::vec(8u64..512, 1..8)) {
+        exhaust_and_recover(AllocatorKind::Hoard, &sizes)?;
+    }
+
+    #[test]
+    fn tbb_exhausts_and_recovers(sizes in prop::collection::vec(8u64..512, 1..8)) {
+        exhaust_and_recover(AllocatorKind::TbbMalloc, &sizes)?;
+    }
+
+    #[test]
+    fn tcmalloc_exhausts_and_recovers(sizes in prop::collection::vec(8u64..512, 1..8)) {
+        exhaust_and_recover(AllocatorKind::TcMalloc, &sizes)?;
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_invisible(ops in alloc_ops(40)) {
+        for kind in AllocatorKind::ALL {
+            none_plan_is_identity(kind, &ops)?;
+        }
     }
 }

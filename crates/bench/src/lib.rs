@@ -58,9 +58,9 @@ fn cache_store(key: &str, vals: &[f64]) {
 
 /// Memoized [`run_synthetic`].
 pub fn synth_point(cfg: &SyntheticConfig) -> Metrics {
-    let key = format!("synth-v2 {cfg:?}");
+    let key = format!("synth-v3 {cfg:?}");
     if let Some(v) = cache_lookup(&key) {
-        if v.len() == 9 {
+        if v.len() == 10 {
             return Metrics {
                 seconds: v[0],
                 throughput: v[1],
@@ -69,8 +69,9 @@ pub fn synth_point(cfg: &SyntheticConfig) -> Metrics {
                 l2_miss: v[4],
                 commits: v[5] as u64,
                 aborts: v[6] as u64,
-                lock_wait_cycles: v[7] as u64,
-                cache_hits: v[8] as u64,
+                alloc_failed_aborts: v[7] as u64,
+                lock_wait_cycles: v[8] as u64,
+                cache_hits: v[9] as u64,
             };
         }
     }
@@ -85,6 +86,7 @@ pub fn synth_point(cfg: &SyntheticConfig) -> Metrics {
             m.l2_miss,
             m.commits as f64,
             m.aborts as f64,
+            m.alloc_failed_aborts as f64,
             m.lock_wait_cycles as f64,
             m.cache_hits as f64,
         ],
@@ -156,9 +158,11 @@ pub fn stamp_point(app: AppKind, kind: AllocatorKind, threads: usize) -> StampRe
                 lock_wait_cycles: v[7] as u64,
                 cache_hits: v[8] as u64,
                 // Correctness fields are not cached; perf exhibits never
-                // read them.
+                // read them. Bench points never inject allocation
+                // faults, so the alloc-failure tally is structurally 0.
                 checksum: None,
                 heap_violations: 0,
+                alloc_failed_aborts: 0,
             };
         }
     }

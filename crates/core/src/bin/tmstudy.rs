@@ -56,29 +56,34 @@ fn usage() {
         "usage: tmstudy <synth|stamp|threadtest|profile|machine|report|sweep|check|mc|book> [flags]\n\
          synth:      --structure list|hash|rbtree --alloc <a> --threads N \
          [--backend etl|norec|htm] [--cm <policy>] [--update-pct P] [--shift S] \
-         [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache]\n\
+         [--size N] [--ops N] [--ctl] [--mix-hash] [--object-cache] \
+         [--alloc-fault PLAN]\n\
          stamp:      --app <name> --alloc <a> --threads N [--scale S] \
          [--backend etl|norec|htm] [--cm <policy>] [--shift S] [--ctl] [--mix-hash] \
-         [--object-cache]\n\
+         [--object-cache] [--alloc-fault PLAN]\n\
          threadtest: --alloc <a> [--size BYTES] [--threads N] [--pairs N]\n\
          profile:    --app <name> [--alloc <a>] [--scale S]\n\
          report:     <a.json> — pretty-print; <a.json> <b.json> — diff \
          (run reports or sweep matrices, by schema)\n\
          sweep:      [--workload synth|stamp|threadtest] axes as comma lists \
-         (--structure --app --alloc --backend --cm --threads --shift --update-pct \
-         --size --ops --pairs --scale --seeds) [--quick] [--reps N] [--name S] \
-         [--out FILE] [--workers N] [--timeout-ms N] [--retries N] [--backoff-ms N]\n\
+         (--structure --app --alloc --backend --cm --alloc-fault --threads --shift \
+         --update-pct --size --ops --pairs --scale --seeds) [--quick] [--reps N] \
+         [--name S] [--out FILE] [--workers N] [--timeout-ms N] [--retries N] \
+         [--backoff-ms N]\n\
          check:      correctness matrix (serial oracles, heap audit, \
          cross-backend and cross-CM diffs, interleaving explorer) [--quick] \
          [--backend B] [--cm C] [--name S] [--out FILE]\n\
          mc:         systematic schedule exploration (bounded-exhaustive \
          enumeration with conflict pruning, checkpoint/restore prefix-tree \
          execution) [--quick] [--backend B] [--cm C] [--alloc A] [--depth N] \
-         [--budget N] [--magnitudes A,B,..] [--no-checkpoint] [--name S] \
-         [--out FILE]\n\
+         [--budget N] [--magnitudes A,B,..] [--no-checkpoint] [--alloc-fault PLAN] \
+         [--name S] [--out FILE]; --oom runs the every-site allocation-failure \
+         sweep instead (writes results/<name>.oom.json)\n\
          book:       [--results DIR] [--out FILE] [--stdout] [--check]\n\
          allocators: glibc hoard tbb tc\n\
-         cm (contention manager): suicide backoff karma timestamp serialize adaptive"
+         cm (contention manager): suicide backoff karma timestamp serialize adaptive\n\
+         alloc-fault plans: none | budget:<bytes> | class:<size>:<max-live> | \
+         site:<n> | prob:<seed>:<denom>"
     );
 }
 
@@ -88,16 +93,18 @@ enum AnyReport {
     Sweep(tm_obs::SweepReport),
     Check(tm_obs::CheckReport),
     Mc(tm_obs::McReport),
+    Oom(tm_obs::OomReport),
 }
 
 /// The schemas this binary understands, for error messages.
-const KNOWN_SCHEMAS: [&str; 6] = [
+const KNOWN_SCHEMAS: [&str; 7] = [
     tm_obs::report::SCHEMA,
     tm_obs::report::SCHEMA_V1_1,
     tm_obs::sweep::SWEEP_SCHEMA,
     tm_obs::check::CHECK_SCHEMA,
     tm_obs::mc::MC_SCHEMA,
     tm_obs::mc::MC_SCHEMA_V1_1,
+    tm_obs::oom::OOM_SCHEMA,
 ];
 
 impl AnyReport {
@@ -128,6 +135,9 @@ impl AnyReport {
                     .map(AnyReport::Mc)
                     .map_err(|e| format!("malformed mc report: {e}"))
             }
+            Some(tm_obs::oom::OOM_SCHEMA) => tm_obs::OomReport::from_json(&tree)
+                .map(AnyReport::Oom)
+                .map_err(|e| format!("malformed oom report: {e}")),
             Some(other) => Err(format!(
                 "unknown schema '{other}' (known schemas: {})",
                 KNOWN_SCHEMAS.join(", ")
@@ -157,12 +167,14 @@ fn report(args: &[String]) {
             AnyReport::Sweep(s) => print!("{}", s.render()),
             AnyReport::Check(c) => print!("{}", c.render()),
             AnyReport::Mc(m) => print!("{}", m.render()),
+            AnyReport::Oom(o) => print!("{}", o.render()),
         },
         [a, b] => {
             let d = match (AnyReport::load_or_exit(a), AnyReport::load_or_exit(b)) {
                 (AnyReport::Run(ra), AnyReport::Run(rb)) => ra.diff(&rb),
                 (AnyReport::Sweep(sa), AnyReport::Sweep(sb)) => sa.diff(&sb),
                 (AnyReport::Mc(ma), AnyReport::Mc(mb)) => ma.diff(&mb),
+                (AnyReport::Oom(oa), AnyReport::Oom(ob)) => oa.diff(&ob),
                 (AnyReport::Check(_), AnyReport::Check(_)) => {
                     eprintln!("report: check reports have no diff; rerun `tmstudy check`");
                     std::process::exit(2);
@@ -343,6 +355,8 @@ fn check(flags: &HashMap<String, String>) {
     ));
     eprintln!("check '{name}': schedule model checker…");
     cells.extend(tm_mc::check_cells());
+    eprintln!("check '{name}': every-site OOM sweep…");
+    cells.extend(tm_mc::oom_check_cells());
 
     let mut report = tm_obs::CheckReport::new(&name)
         .meta("quick", quick)
@@ -381,6 +395,53 @@ fn checkpoint_of(flags: &HashMap<String, String>) -> Result<bool, String> {
     }
 }
 
+/// Validate the bare `--oom` mode switch the same way as
+/// `--no-checkpoint`: it takes no value, stray tokens are rejected.
+fn oom_of(flags: &HashMap<String, String>) -> Result<bool, String> {
+    match flags.get("oom").map(String::as_str) {
+        None => Ok(false),
+        Some("true") => Ok(true),
+        Some(other) => Err(format!("--oom takes no value (stray token '{other}')")),
+    }
+}
+
+/// `tmstudy mc --oom`: the every-site allocation-failure sweep. A
+/// counting dry run enumerates the fallible program's allocation sites,
+/// each site is re-executed from a root checkpoint with exactly that
+/// allocation failing, a byte-budget pressure run exhausts the retry
+/// budget, and the `leak-on-alloc-fail` mutant must be caught at its
+/// minimal failing site. Writes a `tm-oom-report/v1` document; exit 1
+/// on any unexpected verdict.
+fn mc_oom(flags: &HashMap<String, String>) {
+    if flags.contains_key("alloc-fault") {
+        eprintln!(
+            "error: --oom owns its fault injector (it sweeps every site); \
+             --alloc-fault only applies to the schedule sweep"
+        );
+        std::process::exit(2);
+    }
+    let name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| "oom-quick".into());
+    eprintln!("mc '{name}': every-site OOM sweep (4 allocators × etl/norec × suicide/adaptive)…");
+    let report = tm_mc::oom_quick_report(&name);
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("results/{name}.oom.json"));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write oom report");
+    print!("{}", report.render());
+    println!("\noom report written to {out}");
+    if report.degraded() > 0 {
+        eprintln!("error: {} unexpected verdict(s)", report.degraded());
+        std::process::exit(1);
+    }
+}
+
 /// Run the schedule model checker (tm-mc) and write a `tm-mc-report/v1`
 /// (or, with throughput accounting, `v1.1`) document. `--quick` runs the
 /// mutation catalog plus the exhaustive clean sweep across every backend
@@ -392,6 +453,14 @@ fn checkpoint_of(flags: &HashMap<String, String>) -> Result<bool, String> {
 /// clean STM or an escaped mutant), 2 on bad flags.
 fn mc(flags: &HashMap<String, String>) {
     use tm_stm::{BackendKind, CmKind};
+    match oom_of(flags) {
+        Ok(true) => return mc_oom(flags),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let quick = flags.contains_key("quick");
     let depth = get(flags, "depth", 3usize);
     let budget = get(flags, "budget", 200_000u64);
@@ -399,6 +468,15 @@ fn mc(flags: &HashMap<String, String>) {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let alloc_fault = alloc_fault_of(flags);
+    if quick && alloc_fault != tm_alloc::AllocFaultPlan::None {
+        eprintln!(
+            "error: --alloc-fault applies to the targeted sweep; \
+             the --quick catalog always runs fault-free (use `mc --oom` \
+             for systematic allocation-failure coverage)"
+        );
+        std::process::exit(2);
+    }
     let name = flags.get("name").cloned().unwrap_or_else(|| {
         if quick {
             "mc-quick".into()
@@ -445,7 +523,13 @@ fn mc(flags: &HashMap<String, String>) {
                 }
             }
         };
-        let program = tm_mc::small_program();
+        // A fault plan makes the transfer program's allocations fallible,
+        // so explore the allocating program when one is requested.
+        let program = if alloc_fault == tm_alloc::AllocFaultPlan::None {
+            tm_mc::small_program()
+        } else {
+            tm_mc::oom_program()
+        };
         let ecfg = tm_mc::EnumConfig {
             depth,
             magnitudes,
@@ -463,11 +547,21 @@ fn mc(flags: &HashMap<String, String>) {
             .meta("depth", depth)
             .meta("budget", budget)
             .meta("alloc", alloc.name());
+        if alloc_fault != tm_alloc::AllocFaultPlan::None {
+            report = report.meta("alloc-fault", alloc_fault);
+        }
         let mut work = tm_mc::SweepWork::default();
         for &backend in &backends {
             for &cm in &cms {
-                report.cells.push(tm_mc::run_clean_cell_opt(
-                    &program, alloc, backend, cm, &ecfg, checkpoint, &mut work,
+                report.cells.push(tm_mc::run_clean_cell_fault_opt(
+                    &program,
+                    alloc,
+                    alloc_fault,
+                    backend,
+                    cm,
+                    &ecfg,
+                    checkpoint,
+                    &mut work,
                 ));
             }
         }
@@ -581,6 +675,19 @@ fn backend_of(flags: &HashMap<String, String>) -> tm_stm::BackendKind {
     }
 }
 
+/// Parse `--alloc-fault <plan>` (default: no injection). Unknown plan
+/// grammar exits 2 with the parser's error, which names the full token
+/// set — same contract as `backend_of`/`cm_of`.
+fn alloc_fault_of(flags: &HashMap<String, String>) -> tm_alloc::AllocFaultPlan {
+    match flags.get("alloc-fault") {
+        None => tm_alloc::AllocFaultPlan::None,
+        Some(v) => tm_alloc::AllocFaultPlan::parse(v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn cm_of(flags: &HashMap<String, String>) -> tm_stm::CmKind {
     match flags.get("cm") {
         None => tm_stm::CmKind::Suicide,
@@ -631,6 +738,7 @@ fn synth(flags: &HashMap<String, String>) {
     cfg.design = design_of(flags);
     cfg.write_mode = write_mode_of(flags);
     cfg.ort_hash = hash_of(flags);
+    cfg.alloc_fault = alloc_fault_of(flags);
     if let Some(n) = flags.get("size") {
         cfg.initial_size = n.parse().expect("--size");
         cfg.key_range = cfg.initial_size * 2;
@@ -669,6 +777,7 @@ fn stamp(flags: &HashMap<String, String>) {
         write_mode: write_mode_of(flags),
         ort_hash: hash_of(flags),
         seed: get(flags, "seed", 0xace),
+        alloc_fault: alloc_fault_of(flags),
         ..StampOpts::default()
     };
     let scale = get(flags, "scale", 2u64);
@@ -812,6 +921,26 @@ mod tests {
         assert_eq!(checkpoint_of(&HashMap::new()), Ok(true));
         let bad = parse_flags(&["--no-checkpoint".to_string(), "bogus".to_string()]);
         let err = checkpoint_of(&bad).unwrap_err();
+        assert!(err.contains("stray token 'bogus'"), "{err}");
+    }
+
+    #[test]
+    fn report_load_dispatches_oom_schema() {
+        let oom = tm_obs::OomReport::new("o");
+        assert!(oom.to_json_string().contains(tm_obs::oom::OOM_SCHEMA));
+        assert!(matches!(
+            AnyReport::parse(&oom.to_json_string()),
+            Ok(AnyReport::Oom(_))
+        ));
+    }
+
+    #[test]
+    fn oom_flag_rejects_stray_tokens() {
+        let ok = parse_flags(&["--oom".to_string()]);
+        assert_eq!(oom_of(&ok), Ok(true));
+        assert_eq!(oom_of(&HashMap::new()), Ok(false));
+        let bad = parse_flags(&["--oom".to_string(), "bogus".to_string()]);
+        let err = oom_of(&bad).unwrap_err();
         assert!(err.contains("stray token 'bogus'"), "{err}");
     }
 

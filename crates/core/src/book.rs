@@ -543,9 +543,10 @@ fn check_desc(check: &Check) -> &'static str {
 }
 
 /// Load every `tm-run-report/v1` (or v1.1) file under `dir` (skipping
-/// `*.sweep.json` matrices, `*.check.json` correctness reports, and
-/// `*.mc.json` model-checking reports, which have their own schemas),
-/// sorted by file name for determinism.
+/// `*.sweep.json` matrices, `*.check.json` correctness reports,
+/// `*.mc.json` model-checking reports, and `*.oom.json` allocation-
+/// failure sweeps, which have their own schemas), sorted by file name
+/// for determinism.
 pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
     let mut files: Vec<String> = entries
@@ -556,6 +557,7 @@ pub fn load_results_dir(dir: &str) -> Result<Vec<RunReport>, String> {
                 && !n.ends_with(".sweep.json")
                 && !n.ends_with(".check.json")
                 && !n.ends_with(".mc.json")
+                && !n.ends_with(".oom.json")
         })
         .collect();
     files.sort();
@@ -876,6 +878,7 @@ mod tests {
         );
         write("check.check.json", "{\"schema\": \"tm-check-report/v1\"}");
         write("mc_quick.mc.json", "{\"schema\": \"tm-mc-report/v1\"}");
+        write("oom_quick.oom.json", "{\"schema\": \"tm-oom-report/v1\"}");
         write("bench_perf.json", "{\"schema\": \"tm-bench-perf/v1\"}");
         write("notes.txt", "not json at all");
         let reports = load_results_dir(dir.to_str().unwrap()).unwrap();

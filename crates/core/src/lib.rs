@@ -46,8 +46,20 @@ pub fn build_stack(kind: AllocatorKind, stm_cfg: StmConfig) -> Stack {
 
 /// Build the stack on an explicit machine model (the machine ablation).
 pub fn build_stack_on(machine: MachineConfig, kind: AllocatorKind, stm_cfg: StmConfig) -> Stack {
+    build_stack_faulted(machine, kind, tm_alloc::AllocFaultPlan::None, stm_cfg)
+}
+
+/// Build the stack with the allocator under an allocation-fault plan.
+/// With [`tm_alloc::AllocFaultPlan::None`] the stack is byte-identical
+/// to [`build_stack_on`] — no injector is present at all.
+pub fn build_stack_faulted(
+    machine: MachineConfig,
+    kind: AllocatorKind,
+    plan: tm_alloc::AllocFaultPlan,
+    stm_cfg: StmConfig,
+) -> Stack {
     let sim = Sim::new(machine);
-    let alloc = kind.build(&sim);
+    let alloc = kind.build_with_fault(&sim, plan);
     let stm = Arc::new(Stm::new(&sim, Arc::clone(&alloc), stm_cfg));
     Stack { sim, alloc, stm }
 }
@@ -69,6 +81,10 @@ pub struct Metrics {
     pub commits: u64,
     /// Aborted attempts.
     pub aborts: u64,
+    /// The subset of `aborts` caused by a failed transactional
+    /// allocation — always 0 unless the configuration injects
+    /// allocation faults (the simulated allocators never run out).
+    pub alloc_failed_aborts: u64,
     /// Simulated-lock wait cycles (allocator contention indicator).
     pub lock_wait_cycles: u64,
     /// Object-cache hits (Table 7 effectiveness).
@@ -90,9 +106,22 @@ impl Metrics {
                 vec!["l2_miss".into(), format!("{:.6}", self.l2_miss)],
                 vec!["commits".into(), self.commits.to_string()],
                 vec!["aborts".into(), self.aborts.to_string()],
+            ]
+            .into_iter()
+            // Only fault-injected runs carry the alloc-failure row, so
+            // fault-free artifacts stay byte-identical to the frozen
+            // pre-injection renderings.
+            .chain((self.alloc_failed_aborts > 0).then(|| {
+                vec![
+                    "alloc_failed_aborts".into(),
+                    self.alloc_failed_aborts.to_string(),
+                ]
+            }))
+            .chain(vec![
                 vec!["lock_wait_cycles".into(), self.lock_wait_cycles.to_string()],
                 vec!["cache_hits".into(), self.cache_hits.to_string()],
-            ],
+            ])
+            .collect(),
         }
     }
 }

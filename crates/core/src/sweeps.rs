@@ -86,6 +86,13 @@ fn cm_of(config: &[(String, String)]) -> Result<tm_stm::CmKind, String> {
     }
 }
 
+fn fault_of(config: &[(String, String)]) -> Result<tm_alloc::AllocFaultPlan, String> {
+    match lookup(config, "alloc-fault") {
+        None => Ok(tm_alloc::AllocFaultPlan::None),
+        Some(v) => tm_alloc::AllocFaultPlan::parse(v),
+    }
+}
+
 fn structure_of(config: &[(String, String)]) -> Result<StructureKind, String> {
     match lookup(config, "structure") {
         Some("list") | Some("linked-list") => Ok(StructureKind::LinkedList),
@@ -125,6 +132,7 @@ fn synth_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String>
         cfg.buckets = (cfg.initial_size * 32).next_power_of_two();
     }
     cfg.ops_per_thread = parse(config, "ops", cfg.ops_per_thread)?;
+    cfg.alloc_fault = fault_of(config)?;
     let m = run_synthetic(&cfg);
     Ok(vec![
         ("throughput".into(), m.throughput),
@@ -143,6 +151,7 @@ fn stamp_cell(config: &[(String, String)]) -> Result<Vec<(String, f64)>, String>
         cm: cm_of(config)?,
         shift: parse(config, "shift", 5)?,
         seed: parse(config, "seed", 0xace)?,
+        alloc_fault: fault_of(config)?,
         ..StampOpts::default()
     };
     let scale = parse(config, "scale", 2u64)?;
@@ -179,6 +188,7 @@ const AXIS_FLAGS: &[&str] = &[
     "alloc",
     "backend",
     "cm",
+    "alloc-fault",
     "threads",
     "shift",
     "update-pct",
@@ -219,6 +229,11 @@ pub fn spec_from_flags(flags: &HashMap<String, String>) -> Result<SweepSpec, Str
     if let Some(vals) = flags.get("cm") {
         for v in vals.split(',').map(str::trim).filter(|v| !v.is_empty()) {
             parse_cm(v)?;
+        }
+    }
+    if let Some(vals) = flags.get("alloc-fault") {
+        for v in vals.split(',').map(str::trim).filter(|v| !v.is_empty()) {
+            tm_alloc::AllocFaultPlan::parse(v)?;
         }
     }
     let quick = flags.contains_key("quick");
@@ -397,6 +412,53 @@ mod tests {
             ("workload", "stamp"),
             ("app", "genome"),
             ("cm", "backoff"),
+            ("threads", "2"),
+            ("scale", "1"),
+        ]))
+        .unwrap();
+        assert!(metrics.iter().any(|(k, v)| k == "par_s" && *v > 0.0));
+    }
+
+    #[test]
+    fn alloc_fault_axis_expands_and_rejects_typos() {
+        let mut flags = HashMap::new();
+        flags.insert(
+            "alloc-fault".to_string(),
+            "none,budget:4096,prob:1:64".to_string(),
+        );
+        flags.insert("alloc".to_string(), "glibc".to_string());
+        let spec = spec_from_flags(&flags).unwrap();
+        let axes: Vec<&str> = spec.axes.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(axes, ["alloc", "alloc-fault"]);
+        assert_eq!(spec.cell_count(), 3);
+
+        flags.insert("alloc-fault".to_string(), "sometimes".to_string());
+        let err = spec_from_flags(&flags).unwrap_err();
+        assert!(
+            err.contains("invalid alloc-fault plan 'sometimes'"),
+            "{err}"
+        );
+        let err = run_cell(&cfg(&[("alloc-fault", "sometimes")])).unwrap_err();
+        assert!(err.contains("invalid alloc-fault plan"), "{err}");
+    }
+
+    #[test]
+    fn alloc_fault_cells_run_both_workloads() {
+        let metrics = run_cell(&cfg(&[
+            ("workload", "synth"),
+            ("structure", "hash"),
+            ("alloc-fault", "prob:0xfa17:256"),
+            ("threads", "2"),
+            ("ops", "200"),
+            ("size", "64"),
+        ]))
+        .unwrap();
+        let t = metrics.iter().find(|(k, _)| k == "throughput").unwrap().1;
+        assert!(t > 0.0, "faulted synth cell produced no throughput");
+        let metrics = run_cell(&cfg(&[
+            ("workload", "stamp"),
+            ("app", "genome"),
+            ("alloc-fault", "budget:0xffffffff"),
             ("threads", "2"),
             ("scale", "1"),
         ]))

@@ -15,7 +15,7 @@ use tm_stm::{BackendKind, CmKind, LockDesign, OrtHash, StmConfig, WriteMode};
 
 use tm_sim::MachineConfig;
 
-use crate::{build_stack_on, Metrics};
+use crate::Metrics;
 
 /// One synthetic-benchmark configuration (a point in the Fig. 4 sweeps).
 #[derive(Clone, Debug)]
@@ -51,6 +51,9 @@ pub struct SyntheticConfig {
     pub cm: CmKind,
     /// Workload seed.
     pub seed: u64,
+    /// Allocation-fault plan (robustness extension; `None` builds the
+    /// exact fault-free stack with no injector in it).
+    pub alloc_fault: tm_alloc::AllocFaultPlan,
     /// Hash-set bucket count (paper: 128 K for a 4 K set — 32× the size).
     pub buckets: u64,
     /// Machine model (default: the paper's Xeon E5405).
@@ -87,6 +90,7 @@ impl SyntheticConfig {
             backend: BackendKind::Etl,
             cm: CmKind::Suicide,
             seed: 0x5eed,
+            alloc_fault: tm_alloc::AllocFaultPlan::None,
             buckets: (initial * 32).next_power_of_two(),
             machine: MachineConfig::xeon_e5405(),
         }
@@ -122,9 +126,10 @@ pub fn run_synthetic(cfg: &SyntheticConfig) -> Metrics {
 pub fn run_synthetic_cm(
     cfg: &SyntheticConfig,
 ) -> (Metrics, tm_stm::CmStats, Vec<(usize, tm_stm::CmSwitch)>) {
-    let stack = build_stack_on(
+    let stack = crate::build_stack_faulted(
         cfg.machine.clone(),
         cfg.allocator,
+        cfg.alloc_fault,
         StmConfig {
             backend: cfg.backend,
             cm: cfg.cm,
@@ -202,6 +207,7 @@ pub fn run_synthetic_cm(
         l2_miss: report.cache_total.l2_miss_ratio(),
         commits: stats.commits,
         aborts: stats.aborts(),
+        alloc_failed_aborts: stats.by_cause[tm_stm::AbortCause::AllocFailed as usize],
         lock_wait_cycles: report.locks.wait_cycles,
         cache_hits: stats.cache_hits,
     };
@@ -288,6 +294,50 @@ mod tests {
         x.machine = tm_sim::MachineConfig::xeon_e5405();
         let mx = run_synthetic(&x);
         assert_ne!(m.seconds, mx.seconds);
+    }
+
+    #[test]
+    fn generous_fault_budget_changes_nothing() {
+        // The injector is host-side bookkeeping with no simulated time;
+        // a budget no allocation ever hits must reproduce the fault-free
+        // numbers exactly.
+        let base = quick(StructureKind::HashSet, AllocatorKind::TbbMalloc, 4);
+        let mut cfg = SyntheticConfig::scaled(StructureKind::HashSet, AllocatorKind::TbbMalloc, 4);
+        cfg.initial_size = 64;
+        cfg.key_range = 128;
+        cfg.ops_per_thread = 100;
+        cfg.buckets = 1 << 11;
+        cfg.alloc_fault = tm_alloc::AllocFaultPlan::ByteBudget(u64::MAX);
+        let faulted = run_synthetic(&cfg);
+        assert_eq!(base.seconds, faulted.seconds);
+        assert_eq!(base.commits, faulted.commits);
+        assert_eq!(base.aborts, faulted.aborts);
+    }
+
+    #[test]
+    fn probabilistic_faults_abort_but_commit_the_same_work() {
+        // Sporadic allocation failures surface as alloc-failed aborts
+        // that the contention manager retries, so the committed work is
+        // unchanged — only the abort count grows.
+        let base = quick(StructureKind::HashSet, AllocatorKind::TbbMalloc, 4);
+        let mut cfg = SyntheticConfig::scaled(StructureKind::HashSet, AllocatorKind::TbbMalloc, 4);
+        cfg.initial_size = 64;
+        cfg.key_range = 128;
+        cfg.ops_per_thread = 100;
+        cfg.buckets = 1 << 11;
+        // Seed chosen so the deterministic fault stream spares the two
+        // non-transactional setup allocations (those are fatal by
+        // contract) while still landing several transactional failures.
+        cfg.alloc_fault = tm_alloc::AllocFaultPlan::Prob { seed: 2, denom: 32 };
+        let faulted = run_synthetic(&cfg);
+        assert_eq!(base.commits, faulted.commits);
+        assert_eq!(base.alloc_failed_aborts, 0);
+        assert!(
+            faulted.alloc_failed_aborts > 0,
+            "expected injected alloc-failed aborts (total aborts: base {}, faulted {})",
+            base.aborts,
+            faulted.aborts
+        );
     }
 
     #[test]

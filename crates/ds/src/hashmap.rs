@@ -84,7 +84,7 @@ impl TxHashMap {
             tx.write(ctx, node + VALUE, value)?;
             return Ok(false);
         }
-        let n = tx.malloc(ctx, NODE_SIZE);
+        let n = tx.try_malloc(ctx, NODE_SIZE)?;
         // Plain init stores (see TxList::insert; quiescent reclamation
         // makes recycling safe).
         ctx.write_u64(n + KEY, key);

@@ -85,7 +85,7 @@ impl TxSet for TxHashSet {
             }
             // Plain init stores (see TxList::insert; reclamation makes
             // this safe).
-            let node = tx.malloc(ctx, NODE_SIZE);
+            let node = tx.try_malloc(ctx, NODE_SIZE)?;
             ctx.write_u64(node + VAL, key);
             ctx.write_u64(node + NEXT, 0);
             tx.write(ctx, link, node)?;

@@ -95,7 +95,7 @@ impl TxSet for TxList {
             // node is private until the link commits, and the STM's
             // quiescence-based reclamation guarantees no doomed reader can
             // still be looking at a recycled block.
-            let node = tx.malloc(ctx, NODE_SIZE);
+            let node = tx.try_malloc(ctx, NODE_SIZE)?;
             ctx.write_u64(node + VAL, key);
             ctx.write_u64(node + NEXT, cur);
             tx.write(ctx, prev + NEXT, node)?;

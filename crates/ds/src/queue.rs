@@ -35,7 +35,7 @@ impl TxQueue {
         stm.txn(ctx, th, |tx, ctx| {
             // Plain init stores (see TxList::insert; reclamation makes
             // this safe).
-            let node = tx.malloc(ctx, NODE_SIZE);
+            let node = tx.try_malloc(ctx, NODE_SIZE)?;
             ctx.write_u64(node + VAL, value);
             ctx.write_u64(node + NEXT, 0);
             let tail = tx.read(ctx, self.cells + 8)?;

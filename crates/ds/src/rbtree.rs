@@ -184,7 +184,7 @@ impl TxRbTree {
                 x = tx.read(ctx, x + if key < xk { LEFT } else { RIGHT })?;
                 ctx.tick(3);
             }
-            let z = tx.malloc(ctx, NODE_SIZE);
+            let z = tx.try_malloc(ctx, NODE_SIZE)?;
             // Plain init stores, as STAMP does after TM_MALLOC (the STM's
             // quiescent reclamation makes recycling safe). Subsequent
             // fixup writes to these fields go through the STM and are the

@@ -102,9 +102,13 @@ pub struct MutantRecipe {
     pub strategy: Strategy,
 }
 
-/// The full mutation catalog: every [`InjectedBug`] variant except
-/// `None`, each with its tuned recipe. `tmstudy mc --quick` must catch
-/// all of them — a surviving mutant means the explorer lost its teeth.
+/// The full schedule-space mutation catalog: every [`InjectedBug`]
+/// variant a *delay vector* can expose, each with its tuned recipe.
+/// `tmstudy mc --quick` must catch all of them — a surviving mutant
+/// means the explorer lost its teeth. The one deliberate absence is
+/// [`InjectedBug::LeakOnAllocFail`]: its trigger is an allocation
+/// *failure*, not an interleaving, so it belongs to the every-site OOM
+/// sweep ([`crate::oom`]), which must catch it instead.
 pub fn mutation_catalog() -> Vec<MutantRecipe> {
     let transfer = McProgram {
         base: TransferProgram::default(),
@@ -211,7 +215,7 @@ fn config_kv(
     run: &RunConfig,
     depth_label: String,
 ) -> Vec<(String, String)> {
-    vec![
+    let mut kv = vec![
         ("strategy".into(), strategy.name().into()),
         ("program".into(), program.kind.name().into()),
         ("backend".into(), run.backend.name().into()),
@@ -219,7 +223,13 @@ fn config_kv(
         ("alloc".into(), run.alloc.name().into()),
         ("bug".into(), run.bug.name().into()),
         ("depth".into(), depth_label),
-    ]
+    ];
+    // Only label fault-injected cells: fault-free cells keep the exact
+    // key set of the frozen pre-injection artifacts.
+    if run.alloc_fault != tm_alloc::AllocFaultPlan::None {
+        kv.push(("alloc-fault".into(), run.alloc_fault.to_string()));
+    }
+    kv
 }
 
 /// Shrink a raw violating delay vector to a minimal one that still
@@ -287,10 +297,40 @@ pub fn run_clean_cell_opt(
     checkpoint: bool,
     work: &mut SweepWork,
 ) -> McCell {
+    run_clean_cell_fault_opt(
+        program,
+        alloc,
+        tm_alloc::AllocFaultPlan::None,
+        backend,
+        cm,
+        ecfg,
+        checkpoint,
+        work,
+    )
+}
+
+/// [`run_clean_cell_opt`] with a static allocation-fault plan applied to
+/// every explored schedule (the `tmstudy mc --alloc-fault` path). The
+/// clean STM must absorb the plan's failures — transient ones retry,
+/// and the cell stays `clean`; a plan harsh enough to exhaust the retry
+/// budget legitimately surfaces as a violation, which is the point of
+/// running it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_clean_cell_fault_opt(
+    program: &McProgram,
+    alloc: AllocatorKind,
+    alloc_fault: tm_alloc::AllocFaultPlan,
+    backend: BackendKind,
+    cm: CmKind,
+    ecfg: &EnumConfig,
+    checkpoint: bool,
+    work: &mut SweepWork,
+) -> McCell {
     let run = RunConfig {
         alloc,
         backend,
         cm,
+        alloc_fault,
         ..RunConfig::clean()
     };
     let strategy = Strategy::Exhaustive(ecfg.clone());
@@ -557,6 +597,44 @@ mod tests {
     use super::*;
 
     #[test]
+    fn static_fault_cell_stays_clean_and_is_labelled() {
+        // One single-shot injection per explored schedule: the retry
+        // machinery absorbs it under every interleaving, so the clean
+        // sweep stays clean; the cell's config carries the plan token.
+        let program = crate::oom::oom_program();
+        let ecfg = quick_clean_config(1);
+        let cell = run_clean_cell_fault_opt(
+            &program,
+            AllocatorKind::TbbMalloc,
+            tm_alloc::AllocFaultPlan::NthSite(5),
+            BackendKind::Etl,
+            CmKind::Suicide,
+            &ecfg,
+            true,
+            &mut SweepWork::default(),
+        );
+        assert_eq!(cell.verdict, McVerdict::Clean, "{:?}", cell.counterexample);
+        assert!(
+            cell.config
+                .iter()
+                .any(|(k, v)| k == "alloc-fault" && v == "site:5"),
+            "missing alloc-fault label: {:?}",
+            cell.config
+        );
+        // Fault-free cells must NOT grow the new key (frozen artifacts).
+        let clean = run_clean_cell_opt(
+            &program,
+            AllocatorKind::TbbMalloc,
+            BackendKind::Etl,
+            CmKind::Suicide,
+            &ecfg,
+            true,
+            &mut SweepWork::default(),
+        );
+        assert!(!clean.config.iter().any(|(k, _)| k == "alloc-fault"));
+    }
+
+    #[test]
     fn catalog_covers_every_injected_bug() {
         let catalog = mutation_catalog();
         let bugs: Vec<InjectedBug> = catalog.iter().map(|r| r.bug).collect();
@@ -569,6 +647,14 @@ mod tests {
         ] {
             assert!(bugs.contains(&bug), "catalog missing {bug:?}");
         }
+        // LeakOnAllocFail triggers on allocation *failure*, not on an
+        // interleaving: no delay vector can expose it, so it is owned by
+        // the every-site OOM sweep (see crate::oom) — deliberately not a
+        // schedule-catalog recipe.
+        assert!(
+            !bugs.contains(&InjectedBug::LeakOnAllocFail),
+            "leak-on-alloc-fail belongs to the oom sweep, not the schedule catalog"
+        );
         for r in &catalog {
             assert_eq!(r.run.bug, r.bug, "recipe bug mismatch for {:?}", r.bug);
             assert!(

@@ -29,6 +29,14 @@
 //! them), a clean sweep across every backend × contention-manager
 //! combination (which must stay clean), and builders for the
 //! `tm-mc-report/v1` artifact `tmstudy mc` writes.
+//!
+//! [`mod@oom`] sweeps the orthogonal *allocation-failure* axis: a
+//! counting dry run enumerates every allocation site of the fallible
+//! [`ProgramKind::Oom`] workload, each site is re-executed from a root
+//! checkpoint with exactly that allocation forced to fail, and the
+//! `leak-on-alloc-fail` mutant must be caught and shrunk to its minimal
+//! failing site. Results ship as the `tm-oom-report/v1` artifact of
+//! `tmstudy mc --oom`.
 
 #![deny(missing_docs)]
 
@@ -36,16 +44,21 @@ pub mod catalog;
 pub mod conflict;
 pub mod enumerate;
 pub mod explore;
+pub mod oom;
 pub mod pct;
 pub mod program;
 
 pub use catalog::{
     check_cells, mutation_catalog, quick_clean_config, quick_report, quick_report_opt,
-    run_clean_cell, run_clean_cell_opt, run_mutant_cell, run_mutant_cell_opt, shrink_violation,
-    small_program, sparse_program, MutantRecipe, Strategy, SweepWork,
+    run_clean_cell, run_clean_cell_fault_opt, run_clean_cell_opt, run_mutant_cell,
+    run_mutant_cell_opt, shrink_violation, small_program, sparse_program, MutantRecipe, Strategy,
+    SweepWork,
 };
 pub use conflict::{active_points, footprints, Footprint};
 pub use enumerate::{enumerate, space_size, EnumConfig, EnumStats};
 pub use explore::{explore, Session, Throughput};
+pub use oom::{
+    oom_cell, oom_check_cells, oom_program, oom_quick_report, sweep_cell, OomOutcome, OomSession,
+};
 pub use pct::{pct_explore, trial_schedule, PctConfig};
 pub use program::{run_schedule, McProgram, ProgramKind, RunConfig};

@@ -1,0 +1,597 @@
+//! The systematic every-site OOM sweep.
+//!
+//! Where [`mod@crate::explore`] sweeps the *schedule* space of a program,
+//! this module sweeps its *allocation-failure* space: a counting dry run
+//! under [`AllocFaultPlan::None`] enumerates every allocation site the
+//! main phase executes (the injector's site counter advances even when
+//! the plan is inert), then the cell is re-executed once per site with
+//! exactly that attempt forced to fail ([`AllocFaultPlan::NthSite`]).
+//! Every injected failure must end in either a committed retry or a
+//! clean propagated `AllocFailed` abort, with token conservation intact
+//! and — after a forced [`tm_stm::Stm::quiesce`] — not one block more
+//! live than the dry run left. A final *pressure* run under a byte
+//! budget sized to admit at most one extra node drives the
+//! propagation path itself: transfers that cannot allocate must give up
+//! cleanly, and the heap must still balance.
+//!
+//! The stack is `Stm → HeapAuditor(FaultInjector(allocator))`: the
+//! auditor sits directly above the injector so both observe the same
+//! malloc-attempt stream and agree on site numbering — a leaked block's
+//! [`tm_alloc::LiveBlock::site`] names the allocation site that produced
+//! it. Sites are swept from one root checkpoint (simulator + heap + STM
+//! host state) captured at post-seed quiescence; the fault plan is
+//! deliberately not part of the heap snapshot, so `set_plan` between
+//! restores re-targets the next run without rebuilding the world.
+//!
+//! Because the sweep visits sites in ascending order and stops at the
+//! first failure, a caught mutant (the catalog's `leak-on-alloc-fail`
+//! seed, which this sweep — not the schedule catalog — must catch) is
+//! automatically *shrunk* to the minimal failing site index.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use tm_alloc::{
+    AllocFaultPlan, Allocator, AllocatorKind, FaultInjector, HeapAuditor, HeapSnapshot,
+};
+use tm_check::TransferProgram;
+use tm_obs::{McVerdict, OomCell, OomReport};
+use tm_sim::{MachineConfig, Sim, SimSnapshot};
+use tm_stm::{AbortCause, BackendKind, CmKind, InjectedBug, Stm, StmConfig, StmHostSnapshot};
+
+use crate::program::{
+    classify_panic, main_phase, seed_heap, McProgram, ProgramKind, QuietPanics, RunConfig,
+    NODE_SIZE,
+};
+
+/// A reusable OOM-sweep execution cell: one `(program, config)` pair
+/// built over the audited fault-injecting stack, seeded once, with a
+/// root checkpoint at post-seed quiescence. Each [`OomSession::run`]
+/// restores the root, arms a fault plan, executes the main phase plus a
+/// forced quiescence drain, and leaves the auditor/injector counters
+/// describing exactly that run.
+pub struct OomSession {
+    program: McProgram,
+    sim: Sim,
+    injector: Arc<FaultInjector>,
+    auditor: Arc<HeapAuditor>,
+    stm: Arc<Stm>,
+    root_sim: SimSnapshot,
+    root_heap: HeapSnapshot,
+    root_stm: StmHostSnapshot,
+    run_fuel: u64,
+    /// Sites the seed phase consumed: the first main-phase site index.
+    seed_sites: u64,
+}
+
+impl OomSession {
+    /// Build, seed, and checkpoint one cell. `None` when the allocator
+    /// does not support heap snapshots or the seed phase panicked —
+    /// callers degrade the cell rather than guessing.
+    /// [`RunConfig::alloc_fault`] is ignored here: the session owns its
+    /// injector (plans are swept per run via [`OomSession::run`]).
+    pub fn try_new(program: &McProgram, cfg: &RunConfig) -> Option<OomSession> {
+        let _quiet = QuietPanics::enter();
+        let sim = Sim::new(MachineConfig::xeon_e5405());
+        sim.set_fuel(cfg.fuel);
+        let injector = FaultInjector::new(cfg.alloc.build(&sim), AllocFaultPlan::None);
+        let auditor = HeapAuditor::new(Arc::clone(&injector) as Arc<dyn Allocator>);
+        let alloc = Arc::clone(&auditor) as Arc<dyn Allocator>;
+        let stm = Arc::new(Stm::new(
+            &sim,
+            Arc::clone(&alloc),
+            StmConfig {
+                backend: cfg.backend,
+                cm: cfg.cm,
+                bug: cfg.bug,
+                ..StmConfig::default()
+            },
+        ));
+        let seeded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            seed_heap(program, &sim, &alloc);
+        }))
+        .is_ok();
+        if !seeded {
+            return None;
+        }
+        let root_heap = auditor.snapshot()?;
+        let root_sim = sim.snapshot(None);
+        let root_stm = stm.snapshot_host();
+        let run_fuel = cfg.fuel - root_sim.events();
+        let seed_sites = injector.sites();
+        Some(OomSession {
+            program: *program,
+            sim,
+            injector,
+            auditor,
+            stm,
+            root_sim,
+            root_heap,
+            root_stm,
+            run_fuel,
+            seed_sites,
+        })
+    }
+
+    /// The first main-phase allocation-site index (seed allocations own
+    /// the indices below it and are never swept).
+    pub fn seed_sites(&self) -> u64 {
+        self.seed_sites
+    }
+
+    /// Allocation attempts the last run's main phase reached, as an
+    /// absolute site index (the sweep's exclusive upper bound after the
+    /// dry run).
+    pub fn sites(&self) -> u64 {
+        self.injector.sites()
+    }
+
+    /// Failures the injector fired during the last run.
+    pub fn injected(&self) -> u64 {
+        self.injector.injected()
+    }
+
+    /// The auditor's view of the last run (violations, live blocks with
+    /// their allocation sites).
+    pub fn audit(&self) -> tm_alloc::AuditReport {
+        self.auditor.report()
+    }
+
+    /// Merged per-run STM statistics (host counters rewind on restore).
+    pub fn stats(&self) -> tm_stm::StmStats {
+        self.stm.stats()
+    }
+
+    /// Restore the root checkpoint, arm `plan`, and execute the main
+    /// phase plus a forced quiescence drain (so deferred frees reach the
+    /// auditor and the leak check sees the truly-live heap). Same verdict
+    /// contract as [`crate::run_schedule`], under the zero schedule.
+    pub fn run(&mut self, plan: AllocFaultPlan) -> Result<(), String> {
+        let _quiet = QuietPanics::enter();
+        self.sim.restore(&self.root_sim);
+        self.auditor.restore(&self.root_heap);
+        self.stm.restore_host(&self.root_stm);
+        self.sim.set_fuel(self.run_fuel);
+        self.injector.set_plan(plan);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            main_phase(&self.program, &self.sim, &self.stm)?;
+            self.sim.run(1, |ctx| self.stm.quiesce(ctx));
+            Ok(())
+        }));
+        self.injector.set_plan(AllocFaultPlan::None);
+        match r {
+            Ok(r) => r,
+            Err(payload) => Err(classify_panic(payload.as_ref())),
+        }
+    }
+}
+
+/// The outcome of one swept cell, before conversion to the
+/// `tm-oom-report/v1` cell shape.
+#[derive(Clone, Debug)]
+pub struct OomOutcome {
+    /// Sweep verdict: `clean`/`caught` are the expected outcomes.
+    pub verdict: McVerdict,
+    /// Main-phase allocation sites the dry run enumerated.
+    pub sites: u64,
+    /// Injected failures executed across every run of the cell (one per
+    /// swept site, plus the pressure run's refusals).
+    pub injected: u64,
+    /// Swept sites whose failing transaction retried and committed.
+    pub committed_retries: u64,
+    /// Clean `AllocFailed` propagations observed (pressure run included).
+    pub alloc_aborts: u64,
+    /// The smallest failing site index, for `caught`/`violation` cells.
+    pub failing_site: Option<u64>,
+    /// What broke at that site (or in the dry/pressure run).
+    pub detail: Option<String>,
+}
+
+/// The oracle program of the sweep: the fallible-plane transfers of
+/// [`ProgramKind::Oom`] at the quick-matrix shape (3 threads × 2
+/// transactions over 2 cells).
+pub fn oom_program() -> McProgram {
+    McProgram {
+        base: TransferProgram {
+            threads: 3,
+            cells: 2,
+            txns: 2,
+            ..TransferProgram::default()
+        },
+        kind: ProgramKind::Oom,
+    }
+}
+
+/// Execute the every-site sweep for one cell: counting dry run, one
+/// `NthSite` re-run per enumerated main-phase site (ascending, stopping
+/// at the first failure — which is therefore minimal), and a byte-budget
+/// pressure run that forces the propagation path. See the module docs
+/// for the invariants each run must satisfy.
+pub fn sweep_cell(program: &McProgram, cfg: &RunConfig) -> OomOutcome {
+    let fail = |detail: String, site: Option<u64>| OomOutcome {
+        verdict: if cfg.bug == InjectedBug::None {
+            McVerdict::Violation
+        } else {
+            McVerdict::Caught
+        },
+        sites: 0,
+        injected: 0,
+        committed_retries: 0,
+        alloc_aborts: 0,
+        failing_site: site,
+        detail: Some(detail),
+    };
+
+    let Some(mut session) = OomSession::try_new(program, cfg) else {
+        return OomOutcome {
+            verdict: McVerdict::Violation,
+            sites: 0,
+            injected: 0,
+            committed_retries: 0,
+            alloc_aborts: 0,
+            failing_site: None,
+            detail: Some("cell cannot be checkpointed (no heap snapshot support)".into()),
+        };
+    };
+
+    // Counting dry run: enumerate the main-phase sites and freeze the
+    // baselines every injected run is judged against.
+    if let Err(e) = session.run(AllocFaultPlan::None) {
+        let mut out = fail(format!("dry run failed: {e}"), None);
+        // A dry-run failure on a mutant cell is not a catch — the bug
+        // must be exposed *by an injected failure*, not by the clean run.
+        if cfg.bug != InjectedBug::None {
+            out.verdict = McVerdict::Violation;
+        }
+        return out;
+    }
+    let first = session.seed_sites();
+    let last = session.sites();
+    let expected_live = session.audit().live;
+    let dry_commits = session.stats().commits;
+
+    let mut outcome = OomOutcome {
+        verdict: McVerdict::Clean,
+        sites: last - first,
+        injected: 0,
+        committed_retries: 0,
+        alloc_aborts: 0,
+        failing_site: None,
+        detail: None,
+    };
+
+    for site in first..last {
+        let r = session.run(AllocFaultPlan::NthSite(site));
+        outcome.injected += session.injected();
+        let failure = check_site_run(&session, site, r, expected_live, dry_commits);
+        match failure {
+            Some(detail) => {
+                outcome.failing_site = Some(site);
+                outcome.detail = Some(detail);
+                outcome.verdict = if cfg.bug == InjectedBug::None {
+                    McVerdict::Violation
+                } else {
+                    McVerdict::Caught
+                };
+                return outcome;
+            }
+            None => {
+                if session.stats().commits == dry_commits {
+                    outcome.committed_retries += 1;
+                } else {
+                    outcome.alloc_aborts += dry_commits - session.stats().commits;
+                }
+            }
+        }
+    }
+
+    // Pressure run: a byte budget with room for one node beyond the
+    // seeded heap. Every two-node transfer exhausts the contention
+    // manager's retry budget and must propagate cleanly — exercising the
+    // give-up path the single-shot NthSite plan cannot reach.
+    let budget = expected_live as u64 * NODE_SIZE + NODE_SIZE;
+    let r = session.run(AllocFaultPlan::ByteBudget(budget));
+    outcome.injected += session.injected();
+    if let Some(detail) = check_pressure_run(&session, r, expected_live) {
+        outcome.detail = Some(format!("pressure run (budget {budget}): {detail}"));
+        outcome.verdict = if cfg.bug == InjectedBug::None {
+            McVerdict::Violation
+        } else {
+            McVerdict::Caught
+        };
+        return outcome;
+    }
+    outcome.alloc_aborts += dry_commits - session.stats().commits;
+
+    if cfg.bug != InjectedBug::None {
+        // A seeded mutant that survived every injected site escaped.
+        outcome.verdict = McVerdict::Escaped;
+    }
+    outcome
+}
+
+/// The per-site invariants: the run ends clean, the injection actually
+/// fired and surfaced as an `AllocFailed` abort, the auditor saw no
+/// violation, and quiescence leaves exactly the dry run's live set.
+fn check_site_run(
+    session: &OomSession,
+    site: u64,
+    r: Result<(), String>,
+    expected_live: usize,
+    dry_commits: u64,
+) -> Option<String> {
+    if let Err(e) = r {
+        return Some(e);
+    }
+    if session.injected() == 0 {
+        return Some(format!("site {site} was never reached"));
+    }
+    let stats = session.stats();
+    if stats.by_cause[AbortCause::AllocFailed as usize] == 0 {
+        return Some("injected failure never surfaced as an alloc-failed abort".into());
+    }
+    if stats.commits > dry_commits {
+        return Some(format!(
+            "commit count grew under injection: {} > {dry_commits}",
+            stats.commits
+        ));
+    }
+    audit_failure(session, expected_live)
+}
+
+/// The pressure-run invariants: clean end state, no leak — commit-count
+/// loss is *expected* here (that is the propagation path under test).
+fn check_pressure_run(
+    session: &OomSession,
+    r: Result<(), String>,
+    expected_live: usize,
+) -> Option<String> {
+    if let Err(e) = r {
+        return Some(e);
+    }
+    audit_failure(session, expected_live)
+}
+
+/// Auditor-side checks shared by every injected run: recorded heap
+/// violations, then the leak comparison against the dry run's live set,
+/// naming the leaked blocks' allocation sites.
+fn audit_failure(session: &OomSession, expected_live: usize) -> Option<String> {
+    let report = session.audit();
+    if !report.is_clean() {
+        return Some(format!(
+            "heap audit: {} violation(s): {}",
+            report.violation_count,
+            report.violations.join("; ")
+        ));
+    }
+    if report.live != expected_live {
+        if report.live > expected_live {
+            let leaked = report.live - expected_live;
+            let sites: Vec<String> = report
+                .live_blocks
+                .iter()
+                .map(|(_, b)| b.site.to_string())
+                .collect();
+            return Some(format!(
+                "leaked {leaked} block(s) ({} bytes) after injected failure \
+                 (live sites: {})",
+                leaked as u64 * NODE_SIZE,
+                sites.join(",")
+            ));
+        }
+        return Some(format!(
+            "live blocks lost: {} < {expected_live}",
+            report.live
+        ));
+    }
+    None
+}
+
+/// Convert one swept cell to the `tm-oom-report/v1` cell shape.
+pub fn oom_cell(program: &McProgram, cfg: &RunConfig) -> OomCell {
+    let outcome = sweep_cell(program, cfg);
+    OomCell {
+        config: vec![
+            ("program".into(), program.kind.name().into()),
+            ("alloc".into(), cfg.alloc.name().into()),
+            ("backend".into(), cfg.backend.name().into()),
+            ("cm".into(), cfg.cm.name().into()),
+            ("bug".into(), cfg.bug.name().into()),
+        ],
+        verdict: outcome.verdict,
+        sites: outcome.sites,
+        injected: outcome.injected,
+        committed_retries: outcome.committed_retries,
+        alloc_aborts: outcome.alloc_aborts,
+        failing_site: outcome.failing_site,
+        detail: outcome.detail,
+    }
+}
+
+/// The backend × contention-manager face of the quick matrix: the two
+/// backends crossed with the patient and the adaptive policies.
+const QUICK_BACKENDS: [BackendKind; 2] = [BackendKind::Etl, BackendKind::Norec];
+const QUICK_CMS: [CmKind; 2] = [CmKind::Suicide, CmKind::Adaptive];
+
+/// The `tmstudy mc --oom` quick suite: the every-site sweep over all
+/// four allocators × `QUICK_BACKENDS` × `QUICK_CMS` on the clean STM,
+/// plus one `leak-on-alloc-fail` mutant cell the sweep must catch (and
+/// shrink to its minimal failing site).
+pub fn oom_quick_report(name: &str) -> OomReport {
+    let program = oom_program();
+    let mut report = OomReport::new(name)
+        .meta("mode", "quick")
+        .meta("program", program.kind.name());
+    for alloc in AllocatorKind::ALL {
+        for backend in QUICK_BACKENDS {
+            for cm in QUICK_CMS {
+                let cfg = RunConfig {
+                    alloc,
+                    backend,
+                    cm,
+                    ..RunConfig::clean()
+                };
+                report.cells.push(oom_cell(&program, &cfg));
+            }
+        }
+    }
+    let mutant = RunConfig {
+        bug: InjectedBug::LeakOnAllocFail,
+        ..RunConfig::clean()
+    };
+    report.cells.push(oom_cell(&program, &mutant));
+    report
+}
+
+/// The oom rows of the `tmstudy check` matrix: one clean every-site
+/// sweep per allocator (default backend/CM) plus the
+/// `leak-on-alloc-fail` mutant cell, converted to the check-report cell
+/// shape.
+pub fn oom_check_cells() -> Vec<tm_obs::CheckCell> {
+    let program = oom_program();
+    let mut out = Vec::new();
+    for alloc in AllocatorKind::ALL {
+        let cfg = RunConfig {
+            alloc,
+            ..RunConfig::clean()
+        };
+        out.push(oom_cell_to_check(oom_cell(&program, &cfg)));
+    }
+    let mutant = RunConfig {
+        bug: InjectedBug::LeakOnAllocFail,
+        ..RunConfig::clean()
+    };
+    out.push(oom_cell_to_check(oom_cell(&program, &mutant)));
+    out
+}
+
+fn oom_cell_to_check(cell: OomCell) -> tm_obs::CheckCell {
+    let mut config = vec![("kind".to_string(), "oom".to_string())];
+    config.extend(cell.config.iter().cloned());
+    let mut checks = vec![
+        ("sites".to_string(), cell.sites),
+        ("injected".to_string(), cell.injected),
+        ("committed_retries".to_string(), cell.committed_retries),
+        ("alloc_aborts".to_string(), cell.alloc_aborts),
+    ];
+    if let Some(site) = cell.failing_site {
+        checks.push(("failing_site".to_string(), site));
+    }
+    let mut failures = Vec::new();
+    if !cell.verdict.is_expected() {
+        let evidence = cell
+            .detail
+            .as_deref()
+            .map(|d| format!(": {d}"))
+            .unwrap_or_default();
+        failures.push(format!("oom verdict {}{evidence}", cell.verdict.name()));
+    }
+    let mut out = tm_check::cell_from(config, checks, failures);
+    if out.status == tm_obs::CheckStatus::Pass {
+        out.detail = Some(format!("verdict {}", cell.verdict.name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sweep_is_clean_and_covers_every_site() {
+        let program = oom_program();
+        let cfg = RunConfig::clean();
+        let out = sweep_cell(&program, &cfg);
+        assert_eq!(out.verdict, McVerdict::Clean, "{:?}", out.detail);
+        assert!(out.sites > 0, "the oom program must allocate");
+        // One NthSite injection per swept site, plus the pressure run's.
+        assert!(out.injected >= out.sites, "{out:?}");
+        // Single-shot injections always recover; the pressure run always
+        // forces at least one transfer to give up.
+        assert_eq!(out.committed_retries, out.sites, "{out:?}");
+        assert!(out.alloc_aborts > 0, "{out:?}");
+        assert!(out.failing_site.is_none(), "{out:?}");
+    }
+
+    #[test]
+    fn leak_mutant_is_caught_at_the_minimal_site() {
+        let program = oom_program();
+        let cfg = RunConfig {
+            bug: InjectedBug::LeakOnAllocFail,
+            ..RunConfig::clean()
+        };
+        let out = sweep_cell(&program, &cfg);
+        assert_eq!(out.verdict, McVerdict::Caught, "{out:?}");
+        let site = out.failing_site.expect("a caught cell names its site");
+        let detail = out.detail.as_deref().unwrap();
+        assert!(detail.contains("leaked"), "{detail}");
+        // Ascending order makes the reported site minimal: every earlier
+        // site must have survived injection even under the mutant (the
+        // journal is empty when a transfer's *first* allocation fails).
+        let mut session = OomSession::try_new(&program, &cfg).unwrap();
+        session.run(AllocFaultPlan::None).unwrap();
+        let expected_live = session.audit().live;
+        let dry_commits = session.stats().commits;
+        for earlier in session.seed_sites()..site {
+            let r = session.run(AllocFaultPlan::NthSite(earlier));
+            assert_eq!(
+                check_site_run(&session, earlier, r, expected_live, dry_commits),
+                None,
+                "site {earlier} fails too — {site} is not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn session_restores_are_deterministic() {
+        let program = oom_program();
+        let cfg = RunConfig::clean();
+        let mut s = OomSession::try_new(&program, &cfg).unwrap();
+        s.run(AllocFaultPlan::None).unwrap();
+        let sites = s.sites();
+        let live = s.audit().live;
+        let commits = s.stats().commits;
+        let first = s.seed_sites();
+        // Re-running the same plan reproduces every observable exactly.
+        s.run(AllocFaultPlan::NthSite(first)).unwrap();
+        assert_eq!(s.injected(), 1);
+        s.run(AllocFaultPlan::None).unwrap();
+        assert_eq!(s.sites(), sites);
+        assert_eq!(s.audit().live, live);
+        assert_eq!(s.stats().commits, commits);
+        assert_eq!(s.injected(), 0, "the None plan injects nothing");
+    }
+
+    #[test]
+    fn quick_report_shape_and_verdicts() {
+        let report = oom_quick_report("oom_quick_test");
+        // 4 allocators × 2 backends × 2 CMs + the mutant cell.
+        assert_eq!(report.cells.len(), 17);
+        assert_eq!(report.degraded(), 0, "{}", report.render());
+        let mutant = report.cells.last().unwrap();
+        assert_eq!(mutant.verdict, McVerdict::Caught);
+        assert!(mutant.failing_site.is_some());
+        // The artifact round-trips through the v1 schema.
+        let parsed = OomReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn check_cells_pass_and_carry_site_counters() {
+        let cells = oom_check_cells();
+        assert_eq!(cells.len(), AllocatorKind::ALL.len() + 1);
+        for cell in &cells {
+            assert_eq!(
+                cell.status,
+                tm_obs::CheckStatus::Pass,
+                "{:?}: {:?}",
+                cell.config,
+                cell.detail
+            );
+            assert!(cell.checks.iter().any(|(k, _)| k == "sites"));
+        }
+        let mutant = cells.last().unwrap();
+        assert!(mutant.checks.iter().any(|(k, _)| k == "failing_site"));
+        assert_eq!(mutant.detail.as_deref(), Some("verdict caught"));
+    }
+}

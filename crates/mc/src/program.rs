@@ -23,8 +23,8 @@ pub(crate) const BASE: u64 = 0x4000_0000;
 /// Byte stride between token cells (distinct ownership-table stripes).
 pub(crate) const STRIDE: u64 = 4096;
 /// Size of the heap nodes allocated by the [`ProgramKind::AllocSwap`]
-/// workload.
-const NODE_SIZE: u64 = 64;
+/// and [`ProgramKind::Oom`] workloads.
+pub(crate) const NODE_SIZE: u64 = 64;
 
 /// Which transactional workload a schedule drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +46,15 @@ pub enum ProgramKind {
     /// allocation bugs (early free, missing quiescence) as conservation
     /// breaks or allocator panics.
     AllocSwap,
+    /// The [`ProgramKind::AllocSwap`] transfers rebuilt on the *fallible*
+    /// allocation plane: every node comes from [`tm_stm::Tx::try_malloc`]
+    /// inside [`tm_stm::Stm::try_txn`], so an allocation failure becomes
+    /// a clean `AllocFailed` abort and — past the contention manager's
+    /// retry budget — a propagated error that turns the whole transfer
+    /// into a no-op. Conservation must hold whether a transfer commits,
+    /// retries, or gives up; this is the oracle program of the every-site
+    /// OOM sweep ([`crate::oom`]).
+    Oom,
 }
 
 impl ProgramKind {
@@ -55,6 +64,7 @@ impl ProgramKind {
             ProgramKind::Transfer => "transfer",
             ProgramKind::TransferObserver => "transfer-observer",
             ProgramKind::AllocSwap => "alloc-swap",
+            ProgramKind::Oom => "oom",
         }
     }
 }
@@ -93,6 +103,15 @@ pub struct RunConfig {
     pub cm: CmKind,
     /// Seeded defect (or [`InjectedBug::None`] for the clean STM).
     pub bug: InjectedBug,
+    /// Static allocation-fault plan applied to the whole run (the
+    /// `tmstudy mc --alloc-fault` knob). [`tm_alloc::AllocFaultPlan::None`]
+    /// — the default — builds the exact historical allocator stack with
+    /// no injector wrapper, keeping artifacts byte-identical; anything
+    /// else interposes a [`tm_alloc::FaultInjector`] under the STM. The
+    /// every-site OOM sweep ([`crate::oom`]) does *not* use this field:
+    /// it owns its injector so it can re-plan between checkpoint
+    /// restores.
+    pub alloc_fault: tm_alloc::AllocFaultPlan,
     /// Scheduler-event budget: a run that exceeds it is reported as a
     /// livelock violation instead of hanging the explorer.
     pub fuel: u64,
@@ -108,6 +127,7 @@ impl RunConfig {
             backend: BackendKind::Etl,
             cm: CmKind::Suicide,
             bug: InjectedBug::None,
+            alloc_fault: tm_alloc::AllocFaultPlan::None,
             fuel: 2_000_000,
         }
     }
@@ -205,8 +225,14 @@ pub(crate) fn install_hook(sim: &Sim, txns: usize, delays: &[u64]) {
 }
 
 /// Build the allocator + STM stack for one run configuration on `sim`.
+/// A non-`None` [`RunConfig::alloc_fault`] plan interposes a
+/// [`tm_alloc::FaultInjector`]; the `None` plan builds the bare
+/// allocator, so default runs keep the exact historical call chain.
 pub(crate) fn build_stack(sim: &Sim, cfg: &RunConfig) -> (Arc<dyn tm_alloc::Allocator>, Arc<Stm>) {
-    let alloc = cfg.alloc.build(sim);
+    let alloc: Arc<dyn tm_alloc::Allocator> = match cfg.alloc_fault {
+        tm_alloc::AllocFaultPlan::None => cfg.alloc.build(sim),
+        plan => tm_alloc::FaultInjector::new(cfg.alloc.build(sim), plan),
+    };
     let stm = Arc::new(Stm::new(
         sim,
         Arc::clone(&alloc),
@@ -235,7 +261,7 @@ pub(crate) fn seed_heap(program: &McProgram, sim: &Sim, alloc: &Arc<dyn tm_alloc
                 }
             });
         }
-        ProgramKind::AllocSwap => {
+        ProgramKind::AllocSwap | ProgramKind::Oom => {
             sim.run(1, |ctx| {
                 for c in 0..p.cells {
                     let node = alloc.malloc(ctx, NODE_SIZE);
@@ -322,6 +348,31 @@ pub(crate) fn main_phase(program: &McProgram, sim: &Sim, stm: &Arc<Stm>) -> Resu
                             Ok(())
                         });
                     }
+                    ProgramKind::Oom => {
+                        // Same transfer on the fallible plane. A transfer
+                        // whose allocation fails past the CM's retry
+                        // budget propagates an error here and becomes a
+                        // no-op — conservation must hold either way, so
+                        // the error itself is deliberately dropped.
+                        let _ = stm.try_txn(ctx, &mut th, |tx, ctx| {
+                            let fp = tx.read(ctx, from)?;
+                            let tp = tx.read(ctx, to)?;
+                            let fv = tx.read(ctx, fp)?;
+                            let tv = tx.read(ctx, tp)?;
+                            ctx.sched_point(t);
+                            if from != to && fv >= amt {
+                                tx.free(ctx, fp);
+                                tx.free(ctx, tp);
+                                let nf = tx.try_malloc(ctx, NODE_SIZE)?;
+                                let nt = tx.try_malloc(ctx, NODE_SIZE)?;
+                                tx.write(ctx, nf, fv - amt)?;
+                                tx.write(ctx, nt, tv + amt)?;
+                                tx.write(ctx, from, nf)?;
+                                tx.write(ctx, to, nt)?;
+                            }
+                            Ok(())
+                        });
+                    }
                     _ => {
                         stm.txn(ctx, &mut th, |tx, ctx| {
                             let f = tx.read(ctx, from)?;
@@ -364,7 +415,7 @@ pub(crate) fn main_phase(program: &McProgram, sim: &Sim, stm: &Arc<Stm>) -> Resu
             .map(|c| {
                 let slot = BASE + c * STRIDE;
                 match program.kind {
-                    ProgramKind::AllocSwap => {
+                    ProgramKind::AllocSwap | ProgramKind::Oom => {
                         let node = m.read_u64(slot);
                         m.read_u64(node)
                     }
@@ -398,6 +449,7 @@ mod tests {
             ProgramKind::Transfer,
             ProgramKind::TransferObserver,
             ProgramKind::AllocSwap,
+            ProgramKind::Oom,
         ] {
             let p = program(kind);
             let r = run_schedule(&p, &RunConfig::clean(), &vec![0; p.points()]);
@@ -418,6 +470,26 @@ mod tests {
             InjectedBug::None,
         );
         assert_eq!(total, p.expected_total());
+    }
+
+    #[test]
+    fn static_fault_plan_spares_the_fallible_plane_only() {
+        // Fail the first main-phase allocation (the seed owns sites
+        // 0..cells). The Oom program absorbs it as a clean retry; the
+        // panicking AllocSwap plane cannot.
+        let fallible = program(ProgramKind::Oom);
+        let cfg = RunConfig {
+            alloc_fault: tm_alloc::AllocFaultPlan::NthSite(fallible.base.cells),
+            ..RunConfig::clean()
+        };
+        let r = run_schedule(&fallible, &cfg, &vec![0; fallible.points()]);
+        assert_eq!(r, Ok(()), "one injected failure must be retried away");
+
+        let panicking = program(ProgramKind::AllocSwap);
+        let r = run_schedule(&panicking, &cfg, &vec![0; panicking.points()]);
+        let err = r.unwrap_err();
+        assert!(err.starts_with("panic:"), "{err}");
+        assert!(err.contains("transactional malloc"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,15 @@
 //!   any violation, so schedule-space exploration runs are replayable
 //!   artifacts.
 //!
+//! * [`oom`] — the [`oom::OomReport`] every-site OOM sweep schema
+//!   (`tm-oom-report/v1`) written by `tmstudy mc --oom`: one cell per
+//!   swept configuration with allocation-site and injection-outcome
+//!   counters, reusing the mc verdict vocabulary.
+//!
+//! * [`spec`] — shared colon-separated fault-spec tokenizing used by both
+//!   the sweep executor's `TM_SWEEP_FAULT` parser and the allocator
+//!   `--alloc-fault` plan parser.
+//!
 //! The crate is deliberately leaf-level: it depends on nothing else in the
 //! workspace (or outside it), so every other crate can depend on it.
 
@@ -47,13 +56,16 @@ pub mod check;
 pub mod counters;
 pub mod json;
 pub mod mc;
+pub mod oom;
 pub mod report;
+pub mod spec;
 pub mod sweep;
 pub mod trace;
 
 pub use check::{CheckCell, CheckReport, CheckStatus};
 pub use counters::{Counter, Histogram, Registry, Sharded, ShardedSlots, SlotSchema};
 pub use mc::{McCell, McCounterexample, McReport, McVerdict};
+pub use oom::{OomCell, OomReport};
 pub use report::{RunReport, Section};
 pub use sweep::{CellStatus, SweepCell, SweepReport};
 pub use trace::{Event, EventKind, Trace, TraceCheckpoint};

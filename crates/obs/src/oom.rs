@@ -1,0 +1,426 @@
+//! The machine-readable every-site OOM sweep report.
+//!
+//! Where an [`crate::mc::McReport`] cell explores the *schedule* space of
+//! one configuration, an [`OomReport`] cell explores its *allocation
+//! failure* space: a counting dry run enumerates every allocation site
+//! the workload executes, then the cell is re-run once per site with that
+//! single allocation forced to fail. A clean cell passes when every
+//! injected failure ends either in a committed retry or a clean
+//! `AllocFailed` abort — zero leaks, zero invariant violations
+//! ([`McVerdict::Clean`]); a cell over a seeded mutant (e.g.
+//! `leak-on-alloc-fail`) passes only when some injected site exposes the
+//! leak, shrunk to the smallest failing site index
+//! ([`McVerdict::Caught`]).
+//!
+//! The on-disk form is the `tm-oom-report/v1` JSON schema, written by
+//! `tmstudy mc --oom` to `results/<name>.oom.json` and consumed by
+//! `tmstudy report` (rendered and diffed like any other artifact; the
+//! results book skips it by schema). Verdict vocabulary is shared with
+//! the mc schema — the failure-space sweep and the schedule-space sweep
+//! answer the same "did the checker keep its teeth" question.
+
+use crate::json::Json;
+use crate::mc::McVerdict;
+use crate::sweep::key_of;
+
+/// Schema identifier written into every OOM sweep report.
+pub const OOM_SCHEMA: &str = "tm-oom-report/v1";
+
+/// One executed OOM sweep cell: a configuration swept across every one of
+/// its allocation sites.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OomCell {
+    /// The cell's configuration as `(key, value)` pairs, in declaration
+    /// order (same convention as sweep/check/mc cells).
+    pub config: Vec<(String, String)>,
+    /// How the cell ended. `Clean`/`Caught` are the expected outcomes;
+    /// `Violation` means an injected failure leaked or broke an
+    /// invariant on the clean STM, `Escaped` means a seeded mutant
+    /// survived every injected site.
+    pub verdict: McVerdict,
+    /// Allocation sites enumerated by the counting dry run.
+    pub sites: u64,
+    /// Failure injections actually executed (one run per swept site).
+    pub injected: u64,
+    /// Injected sites whose transaction retried and committed anyway.
+    pub committed_retries: u64,
+    /// Injected sites that ended in a clean `AllocFailed` abort
+    /// propagated to the caller.
+    pub alloc_aborts: u64,
+    /// For `caught`/`violation` cells: the smallest site index whose
+    /// injected failure exposed the problem.
+    pub failing_site: Option<u64>,
+    /// For `caught`/`violation` cells: what broke at that site.
+    pub detail: Option<String>,
+}
+
+impl OomCell {
+    /// Stable identity of the cell within its report: `k=v k2=v2 …` in
+    /// config order (shared convention with [`crate::sweep::key_of`]).
+    pub fn key(&self) -> String {
+        key_of(&self.config)
+    }
+}
+
+/// One every-site OOM sweep run: identity, free-form metadata, and one
+/// [`OomCell`] per swept configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OomReport {
+    /// Artifact name, matching the `results/<name>.oom.json` stem.
+    pub name: String,
+    /// Free-form string key/values describing the whole run.
+    pub meta: Vec<(String, String)>,
+    /// Executed cells, in execution order.
+    pub cells: Vec<OomCell>,
+}
+
+impl OomReport {
+    /// An empty OOM sweep report with the given artifact name.
+    pub fn new(name: impl Into<String>) -> Self {
+        OomReport {
+            name: name.into(),
+            meta: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a metadata key/value (builder style).
+    pub fn meta(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.meta.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Number of cells whose verdict is not the expected one for their
+    /// kind (violations on the clean STM plus escaped mutants).
+    pub fn degraded(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| !c.verdict.is_expected())
+            .count()
+    }
+
+    /// The JSON tree in `tm-oom-report/v1` form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(OOM_SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            (
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let mut pairs = vec![
+                                (
+                                    "config".into(),
+                                    Json::Obj(
+                                        c.config
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("verdict".into(), Json::str(c.verdict.name())),
+                                ("sites".into(), Json::u64(c.sites)),
+                                ("injected".into(), Json::u64(c.injected)),
+                                ("committed_retries".into(), Json::u64(c.committed_retries)),
+                                ("alloc_aborts".into(), Json::u64(c.alloc_aborts)),
+                            ];
+                            if let Some(site) = c.failing_site {
+                                pairs.push(("failing_site".into(), Json::u64(site)));
+                            }
+                            if let Some(d) = &c.detail {
+                                pairs.push(("detail".into(), Json::str(d.clone())));
+                            }
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The on-disk form: pretty-printed JSON with a trailing newline.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Decode a `tm-oom-report/v1` JSON tree.
+    pub fn from_json(v: &Json) -> Result<OomReport, String> {
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != OOM_SCHEMA {
+            return Err(format!(
+                "unsupported schema '{schema}' (want '{OOM_SCHEMA}')"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("oom report missing name")?
+            .to_string();
+        let meta = match v.get("meta") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, mv)| {
+                    mv.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("meta '{k}' not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("oom report missing meta object".into()),
+        };
+        let mut cells = Vec::new();
+        for c in v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("oom report missing cells array")?
+        {
+            let config = match c.get("config") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, mv)| {
+                        mv.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("cell config '{k}' not a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("cell missing config object".into()),
+            };
+            let verdict = McVerdict::parse(
+                c.get("verdict")
+                    .and_then(Json::as_str)
+                    .ok_or("cell missing verdict")?,
+            )?;
+            let int = |key: &str| -> Result<u64, String> {
+                c.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("cell missing {key} count"))
+            };
+            cells.push(OomCell {
+                config,
+                verdict,
+                sites: int("sites")?,
+                injected: int("injected")?,
+                committed_retries: int("committed_retries")?,
+                alloc_aborts: int("alloc_aborts")?,
+                failing_site: c.get("failing_site").and_then(Json::as_u64),
+                detail: c.get("detail").and_then(Json::as_str).map(str::to_string),
+            });
+        }
+        Ok(OomReport { name, meta, cells })
+    }
+
+    /// Parse the on-disk JSON text form.
+    pub fn parse(src: &str) -> Result<OomReport, String> {
+        OomReport::from_json(&Json::parse(src)?)
+    }
+
+    /// Structural diff for `tmstudy report <a> <b>`: cells matched by
+    /// config key, comparing verdict, site/outcome counters, and the
+    /// failing site, plus cells present on only one side. `None` when
+    /// nothing differs.
+    pub fn diff(&self, other: &OomReport) -> Option<String> {
+        let mut out = String::new();
+        if self.name != other.name {
+            out.push_str(&format!("name: {} -> {}\n", self.name, other.name));
+        }
+        for c in &self.cells {
+            let key = c.key();
+            match other.cells.iter().find(|o| o.key() == key) {
+                None => out.push_str(&format!("cell [{key}]: only in left\n")),
+                Some(o) => {
+                    if c.verdict != o.verdict {
+                        out.push_str(&format!(
+                            "cell [{key}]: verdict {} -> {}\n",
+                            c.verdict.name(),
+                            o.verdict.name()
+                        ));
+                    }
+                    if (c.sites, c.injected, c.committed_retries, c.alloc_aborts)
+                        != (o.sites, o.injected, o.committed_retries, o.alloc_aborts)
+                    {
+                        out.push_str(&format!(
+                            "cell [{key}]: sites/injected/retries/aborts {}/{}/{}/{} \
+                             -> {}/{}/{}/{}\n",
+                            c.sites,
+                            c.injected,
+                            c.committed_retries,
+                            c.alloc_aborts,
+                            o.sites,
+                            o.injected,
+                            o.committed_retries,
+                            o.alloc_aborts
+                        ));
+                    }
+                    if c.failing_site != o.failing_site {
+                        out.push_str(&format!(
+                            "cell [{key}]: failing site {:?} -> {:?}\n",
+                            c.failing_site, o.failing_site
+                        ));
+                    }
+                }
+            }
+        }
+        for o in &other.cells {
+            if !self.cells.iter().any(|c| c.key() == o.key()) {
+                out.push_str(&format!("cell [{}]: only in right\n", o.key()));
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Human rendering for `tmstudy report <file>`: a summary header plus
+    /// one line per cell with its site/outcome counters, and the failing
+    /// site for any cell that has one.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (oom: {} cells, {} degraded)\n",
+            self.name,
+            self.cells.len(),
+            self.degraded()
+        ));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        out.push('\n');
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<9} [{}] sites={} injected={} retries={} aborts={}\n",
+                c.verdict.name(),
+                c.key(),
+                c.sites,
+                c.injected,
+                c.committed_retries,
+                c.alloc_aborts
+            ));
+            if let Some(site) = c.failing_site {
+                let detail = c.detail.as_deref().unwrap_or("no detail recorded");
+                out.push_str(&format!("            site {site}: {detail}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OomReport {
+        let mut r = OomReport::new("oom_quick")
+            .meta("mode", "quick")
+            .meta("program", "oom");
+        r.cells = vec![
+            OomCell {
+                config: vec![
+                    ("alloc".into(), "tbb".into()),
+                    ("backend".into(), "etl".into()),
+                    ("cm".into(), "suicide".into()),
+                    ("bug".into(), "none".into()),
+                ],
+                verdict: McVerdict::Clean,
+                sites: 24,
+                injected: 24,
+                committed_retries: 9,
+                alloc_aborts: 15,
+                failing_site: None,
+                detail: None,
+            },
+            OomCell {
+                config: vec![
+                    ("alloc".into(), "tbb".into()),
+                    ("backend".into(), "etl".into()),
+                    ("bug".into(), "leak-on-alloc-fail".into()),
+                ],
+                verdict: McVerdict::Caught,
+                sites: 24,
+                injected: 3,
+                committed_retries: 0,
+                alloc_aborts: 2,
+                failing_site: Some(2),
+                detail: Some("leaked 1 block (16 bytes) after injected failure".into()),
+            },
+        ];
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = OomReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let j = sample().to_json_string().replace(OOM_SCHEMA, "bogus/v9");
+        let err = OomReport::parse(&j).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn clean_cells_omit_failing_site_fields() {
+        let text = sample().to_json_string();
+        // Exactly one cell (the caught mutant) carries the optional pair.
+        assert_eq!(text.matches("failing_site").count(), 1);
+        assert_eq!(text.matches("\"detail\"").count(), 1);
+    }
+
+    #[test]
+    fn degraded_counts_unexpected_verdicts() {
+        assert_eq!(sample().degraded(), 0);
+        let mut r = sample();
+        r.cells[0].verdict = McVerdict::Violation;
+        r.cells[1].verdict = McVerdict::Escaped;
+        assert_eq!(r.degraded(), 2);
+    }
+
+    #[test]
+    fn render_mentions_verdict_counters_and_failing_site() {
+        let text = sample().render();
+        for needle in [
+            "oom_quick (oom: 2 cells, 0 degraded)",
+            "clean",
+            "[alloc=tbb backend=etl cm=suicide bug=none]",
+            "sites=24 injected=24 retries=9 aborts=15",
+            "caught",
+            "site 2: leaked 1 block (16 bytes) after injected failure",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_verdict_counter_and_site_changes() {
+        let a = sample();
+        assert_eq!(a.diff(&a), None);
+        let mut b = sample();
+        b.cells[0].verdict = McVerdict::Violation;
+        b.cells[0].alloc_aborts = 14;
+        b.cells[1].failing_site = Some(7);
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("verdict clean -> violation"), "{d}");
+        assert!(
+            d.contains("sites/injected/retries/aborts 24/24/9/15 -> 24/24/9/14"),
+            "{d}"
+        );
+        assert!(d.contains("failing site Some(2) -> Some(7)"), "{d}");
+        b.cells.pop();
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("only in left"), "{d}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared colon-separated fault-spec parsing.
+//!
+//! Two independent fault planes use the same surface grammar of
+//! `<kind>:<field>[:<field>…]`: the sweep executor's
+//! `TM_SWEEP_FAULT=<timeout|error>:<needle>[:<n>]` injection
+//! (`tm-sweep`) and the allocator fault plans behind `--alloc-fault`
+//! (`tm-alloc`). Both parsers used to hand-roll the splitting; the
+//! helpers here are the single tokenizing layer they share, so the
+//! grammars cannot drift apart. Each caller still owns its kind table
+//! and field semantics — this module only answers "what are the
+//! pieces", never "what do they mean".
+
+/// Split a spec into its leading kind token and the remainder after the
+/// first `:`. `None` when there is no colon at all (every spec grammar
+/// here requires at least `kind:field`).
+pub fn kind(raw: &str) -> Option<(&str, &str)> {
+    raw.split_once(':')
+}
+
+/// Split a trailing `:`-separated unsigned count off `rest`. When the
+/// text after the last colon parses as a `u32` it is the count and the
+/// head is the payload; otherwise the whole of `rest` is the payload
+/// (the colon belongs to it — e.g. a cell-key needle like
+/// `alloc:hoard`). This is the disambiguation rule `TM_SWEEP_FAULT`
+/// has always used.
+pub fn trailing_count(rest: &str) -> (&str, Option<u32>) {
+    match rest.rsplit_once(':') {
+        Some((head, count)) => match count.parse::<u32>() {
+            Ok(n) => (head, Some(n)),
+            Err(_) => (rest, None),
+        },
+        None => (rest, None),
+    }
+}
+
+/// Split the remainder into exactly `N` colon-separated fields. `None`
+/// when the field count differs or any field is empty — fault specs
+/// have fixed arity per kind, and `budget::3` is a typo, not a plan.
+pub fn fields<const N: usize>(rest: &str) -> Option<[&str; N]> {
+    let mut out = [""; N];
+    let mut it = rest.split(':');
+    for slot in out.iter_mut() {
+        let f = it.next()?;
+        if f.is_empty() {
+            return None;
+        }
+        *slot = f;
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Parse one unsigned integer field. Accepts plain decimal and (for
+/// seeds) a `0x` hex prefix; rejects empty text, signs, and anything
+/// `u64` overflows on.
+pub fn int(field: &str) -> Option<u64> {
+    match field.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        // `str::parse` tolerates a leading `+`; a fault spec should not.
+        None if field.bytes().all(|b| b.is_ascii_digit()) => field.parse::<u64>().ok(),
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_requires_a_colon() {
+        assert_eq!(kind("budget:65536"), Some(("budget", "65536")));
+        assert_eq!(kind("prob:7:16"), Some(("prob", "7:16")));
+        assert_eq!(kind("no-colon"), None);
+        assert_eq!(kind(""), None);
+    }
+
+    #[test]
+    fn trailing_count_disambiguates_colons_in_payload() {
+        assert_eq!(trailing_count("table1:2"), ("table1", Some(2)));
+        assert_eq!(trailing_count("threads=8"), ("threads=8", None));
+        // A colon whose tail is not an integer stays in the payload.
+        assert_eq!(trailing_count("alloc:hoard"), ("alloc:hoard", None));
+        assert_eq!(trailing_count("a:b:3"), ("a:b", Some(3)));
+    }
+
+    #[test]
+    fn fields_enforce_exact_arity() {
+        assert_eq!(fields::<1>("65536"), Some(["65536"]));
+        assert_eq!(fields::<2>("7:16"), Some(["7", "16"]));
+        assert_eq!(fields::<2>("7"), None, "too few");
+        assert_eq!(fields::<1>("7:16"), None, "too many");
+        assert_eq!(fields::<2>(":16"), None, "empty field");
+        assert_eq!(fields::<2>("7:"), None, "empty trailing field");
+        assert_eq!(fields::<1>(""), None);
+    }
+
+    #[test]
+    fn int_accepts_decimal_and_hex_only() {
+        assert_eq!(int("42"), Some(42));
+        assert_eq!(int("0xace"), Some(0xace));
+        assert_eq!(int("0"), Some(0));
+        assert_eq!(int(""), None);
+        assert_eq!(int("-3"), None);
+        assert_eq!(int("+3"), None);
+        assert_eq!(int("3.5"), None);
+        assert_eq!(int("0x"), None);
+        assert_eq!(int("99999999999999999999999"), None, "u64 overflow");
+    }
+}

@@ -34,6 +34,11 @@ pub struct StampOpts {
     /// reported in [`StampResult::heap_violations`]. Adds host-side
     /// bookkeeping but no simulated time.
     pub audit_heap: bool,
+    /// Allocation-fault plan (robustness extension). `None` builds the
+    /// exact fault-free stack — no injector at all; any other plan wraps
+    /// the allocator in a [`tm_alloc::FaultInjector`] *below* the heap
+    /// auditor, so audited runs still see the injector's failures.
+    pub alloc_fault: tm_alloc::AllocFaultPlan,
 }
 
 impl Default for StampOpts {
@@ -48,6 +53,7 @@ impl Default for StampOpts {
             cm: CmKind::Suicide,
             seed: 0xace,
             audit_heap: false,
+            alloc_fault: tm_alloc::AllocFaultPlan::None,
         }
     }
 }
@@ -63,6 +69,10 @@ pub struct StampResult {
     pub commits: u64,
     /// Aborted transaction attempts in the parallel phase.
     pub aborts: u64,
+    /// The subset of `aborts` caused by a failed transactional
+    /// allocation (always 0 unless [`StampOpts::alloc_fault`] injects
+    /// failures — real allocators in the simulator never run out).
+    pub alloc_failed_aborts: u64,
     /// `aborts / (commits + aborts)`.
     pub abort_ratio: f64,
     /// L1 data-cache miss ratio of the parallel phase.
@@ -93,11 +103,24 @@ impl StampResult {
                 vec!["commits".into(), self.commits.to_string()],
                 vec!["aborts".into(), self.aborts.to_string()],
                 vec!["abort_ratio".into(), format!("{:.6}", self.abort_ratio)],
+            ]
+            .into_iter()
+            // Only fault-injected runs carry the alloc-failure row, so
+            // fault-free artifacts stay byte-identical to the frozen
+            // pre-injection renderings.
+            .chain((self.alloc_failed_aborts > 0).then(|| {
+                vec![
+                    "alloc_failed_aborts".into(),
+                    self.alloc_failed_aborts.to_string(),
+                ]
+            }))
+            .chain(vec![
                 vec!["l1_miss".into(), format!("{:.6}", self.l1_miss)],
                 vec!["l2_miss".into(), format!("{:.6}", self.l2_miss)],
                 vec!["lock_wait_cycles".into(), self.lock_wait_cycles.to_string()],
                 vec!["cache_hits".into(), self.cache_hits.to_string()],
-            ],
+            ])
+            .collect(),
         }
     }
 }
@@ -126,10 +149,13 @@ pub fn run_app(
     opts: &StampOpts,
 ) -> StampResult {
     let sim = Sim::new(MachineConfig::xeon_e5405());
-    let auditor = opts.audit_heap.then(|| allocator.build_audited(&sim));
+    let base = allocator.build_with_fault(&sim, opts.alloc_fault);
+    let auditor = opts
+        .audit_heap
+        .then(|| tm_alloc::HeapAuditor::new(Arc::clone(&base)));
     let alloc: Arc<dyn Allocator> = match &auditor {
         Some(a) => Arc::clone(a) as Arc<dyn Allocator>,
-        None => allocator.build(&sim),
+        None => base,
     };
     let stm = Arc::new(Stm::new(
         &sim,
@@ -168,6 +194,7 @@ pub fn run_app(
         par_seconds: par.seconds,
         commits: stats.commits,
         aborts: stats.aborts(),
+        alloc_failed_aborts: stats.by_cause[tm_stm::AbortCause::AllocFailed as usize],
         abort_ratio: stats.abort_ratio(),
         l1_miss: par.cache_total.l1_miss_ratio(),
         l2_miss: par.cache_total.l2_miss_ratio(),
@@ -287,6 +314,77 @@ mod tests {
             );
             assert!(r.commits > 0);
         }
+    }
+
+    #[test]
+    fn injected_alloc_faults_are_retried_leak_free() {
+        let base = run_kind(
+            AppKind::Genome,
+            AllocatorKind::TbbMalloc,
+            2,
+            &StampOpts::default(),
+            1,
+        );
+        // Count the allocation sites of the init phase with a dry
+        // injector (same deterministic stack as run_app), so the
+        // injected failure can be aimed past them — at the parallel
+        // phase, where allocations are transactional and a failure must
+        // abort, unwind leak-free, and retry. Sites inside init are
+        // non-transactional and fatal by contract.
+        let init_sites = {
+            let sim = Sim::new(MachineConfig::xeon_e5405());
+            let inj = tm_alloc::FaultInjector::new(
+                AllocatorKind::TbbMalloc.build(&sim),
+                tm_alloc::AllocFaultPlan::None,
+            );
+            let stm = Arc::new(Stm::new(
+                &sim,
+                Arc::clone(&inj) as Arc<dyn Allocator>,
+                StmConfig::default(),
+            ));
+            let app = make_app(AppKind::Genome, 1, StampOpts::default().seed);
+            sim.run(1, |ctx| app.init(&stm, ctx));
+            inj.sites()
+        };
+        let opts = StampOpts {
+            audit_heap: true,
+            alloc_fault: tm_alloc::AllocFaultPlan::NthSite(init_sites + 5),
+            ..StampOpts::default()
+        };
+        let r = run_kind(AppKind::Genome, AllocatorKind::TbbMalloc, 2, &opts, 1);
+        assert_eq!(
+            r.checksum, base.checksum,
+            "injected failure must not change the final logical state"
+        );
+        assert_eq!(r.heap_violations, 0, "alloc-failure unwind must stay clean");
+        assert_eq!(
+            r.commits, base.commits,
+            "the failed transaction must retry to commit"
+        );
+        assert_eq!(
+            r.alloc_failed_aborts, 1,
+            "exactly the one injected failure must surface as an alloc-failed abort"
+        );
+        assert_eq!(base.alloc_failed_aborts, 0);
+    }
+
+    #[test]
+    fn generous_fault_budget_reproduces_fault_free_run() {
+        let base = run_kind(
+            AppKind::Kmeans,
+            AllocatorKind::Glibc,
+            2,
+            &StampOpts::default(),
+            1,
+        );
+        let opts = StampOpts {
+            alloc_fault: tm_alloc::AllocFaultPlan::ByteBudget(u64::MAX),
+            ..StampOpts::default()
+        };
+        let r = run_kind(AppKind::Kmeans, AllocatorKind::Glibc, 2, &opts, 1);
+        assert_eq!(base.par_seconds, r.par_seconds);
+        assert_eq!(base.commits, r.commits);
+        assert_eq!(base.aborts, r.aborts);
     }
 
     #[test]

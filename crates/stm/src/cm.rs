@@ -115,6 +115,22 @@ impl CmKind {
             .join(", ")
     }
 
+    /// How many consecutive [`AbortCause::AllocFailed`] aborts the policy
+    /// absorbs before [`Stm::try_txn`](crate::Stm::try_txn) stops retrying
+    /// and propagates the allocator's error to the caller. Patient
+    /// policies (wide backoff, the adaptive controller) wait longer for a
+    /// transient exhaustion to clear — another transaction's commit or
+    /// quiescent reclamation may free memory between attempts — while
+    /// immediate-restart policies give up quickly: retrying without a
+    /// pause cannot change the allocator's answer.
+    pub fn alloc_retry_budget(self) -> u32 {
+        match self {
+            CmKind::Suicide | CmKind::Serialize => 2,
+            CmKind::Karma | CmKind::Timestamp => 4,
+            CmKind::BackoffExp | CmKind::Adaptive => 8,
+        }
+    }
+
     /// Whether this configuration can reach [`CmKind::Serialize`] and thus
     /// needs the global token word allocated in simulated memory.
     pub(crate) fn needs_token(self) -> bool {
@@ -320,6 +336,24 @@ pub(crate) fn after_commit(stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
         th.holds_token = false;
     }
     stm.cm.after_commit(stm, th, ctx);
+}
+
+/// Final hook when `Stm::try_txn` gives up on a persistently failing
+/// allocation: account the abort to the active policy and release the
+/// serialization token if this thread escalated into holding it (the
+/// normal release point, `after_commit`, is never reached on this path).
+#[inline]
+pub(crate) fn propagate_alloc_failure(stm: &Stm, th: &mut TxThread, ctx: &mut Ctx<'_>) {
+    if stm.cfg.cm == CmKind::Suicide {
+        return;
+    }
+    th.cm_stats.aborts_under[th.cm_active as usize] += 1;
+    if th.holds_token {
+        if stm.cfg.bug != crate::InjectedBug::SerializeTokenLeak {
+            ctx.write_u64(stm.serialize_token, 0);
+        }
+        th.holds_token = false;
+    }
 }
 
 // --- static policies -----------------------------------------------------

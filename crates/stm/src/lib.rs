@@ -149,6 +149,12 @@ pub enum InjectedBug {
     /// holds — a virtual-time livelock (caught by the simulator's fuel
     /// bound), or a token-word leak observable at quiescence.
     SerializeTokenLeak,
+    /// Allocation-failure path: an [`AbortCause::AllocFailed`] rollback
+    /// forgets to unwind the transactional allocation journal, so every
+    /// block the failing transaction had already obtained leaks. The
+    /// every-site OOM sweep (`crates/mc`) must catch this through the heap
+    /// auditor and shrink it to the minimal failing allocation site.
+    LeakOnAllocFail,
 }
 
 impl InjectedBug {
@@ -158,9 +164,10 @@ impl InjectedBug {
     /// sit above the backend and compose with all of them.
     pub fn applies_to(self, backend: BackendKind) -> bool {
         match self {
-            InjectedBug::None | InjectedBug::TxAllocEarlyFree | InjectedBug::SerializeTokenLeak => {
-                true
-            }
+            InjectedBug::None
+            | InjectedBug::TxAllocEarlyFree
+            | InjectedBug::SerializeTokenLeak
+            | InjectedBug::LeakOnAllocFail => true,
             InjectedBug::SkipWriteValidation | InjectedBug::SkipReadValidation => {
                 backend == BackendKind::Etl
             }
@@ -177,6 +184,7 @@ impl InjectedBug {
             InjectedBug::NorecStaleSnapshot => "norec-stale-snapshot",
             InjectedBug::TxAllocEarlyFree => "tx-alloc-early-free",
             InjectedBug::SerializeTokenLeak => "serialize-token-leak",
+            InjectedBug::LeakOnAllocFail => "leak-on-alloc-fail",
         }
     }
 }
@@ -426,12 +434,40 @@ impl Stm {
     /// the configured [`CmKind`] (default: the paper's SUICIDE, abort self
     /// and restart immediately). Returns the body's result once a commit
     /// succeeds.
+    ///
+    /// Panics if [`Tx::try_malloc`] keeps failing past the contention
+    /// manager's [`CmKind::alloc_retry_budget`] — use [`Stm::try_txn`] to
+    /// handle persistent allocation failure gracefully.
     pub fn txn<R>(
         &self,
         ctx: &mut Ctx<'_>,
         th: &mut TxThread,
-        mut body: impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
+        body: impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
     ) -> R {
+        match self.try_txn(ctx, th, body) {
+            Ok(r) => r,
+            Err(e) => panic!(
+                "transaction gave up after repeated allocation failures: {e} \
+                 (use Stm::try_txn to handle exhaustion)"
+            ),
+        }
+    }
+
+    /// Like [`Stm::txn`], but surfaces persistent allocation failure
+    /// instead of panicking. A failed [`Tx::try_malloc`] aborts the
+    /// attempt with [`AbortCause::AllocFailed`] — the journal is unwound,
+    /// all locks released — and the contention manager paces a bounded
+    /// number of retries ([`CmKind::alloc_retry_budget`]); transient
+    /// exhaustion (another thread frees between attempts) commits on a
+    /// retry, while persistent exhaustion propagates the allocator's
+    /// error after the budget is spent. Other abort causes reset the
+    /// budget and retry forever, exactly as [`Stm::txn`] does.
+    pub fn try_txn<R>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        th: &mut TxThread,
+        mut body: impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
+    ) -> Result<R, tm_alloc::AllocError> {
         if let Some(hook) = self.tx_hook.get() {
             hook(th.tid, true);
         }
@@ -447,8 +483,9 @@ impl Stm {
         ctx: &mut Ctx<'_>,
         th: &mut TxThread,
         body: &mut impl FnMut(&mut Tx<'_>, &mut Ctx<'_>) -> Result<R, Abort>,
-    ) -> R {
+    ) -> Result<R, tm_alloc::AllocError> {
         th.retries = 0;
+        let mut alloc_failures = 0u32;
         cm::txn_start(self, th, ctx);
         loop {
             backend::begin(self, th, ctx);
@@ -460,7 +497,7 @@ impl Stm {
                         let (reads, writes) = th.footprint();
                         ctx.trace_event(tm_sim::EventKind::TxCommit, reads, writes);
                         cm::after_commit(self, th, ctx);
-                        return r;
+                        return Ok(r);
                     }
                     // Commit-time validation failed; roll back and retry.
                     // Backends that can attribute the failure more
@@ -468,15 +505,32 @@ impl Stm {
                     // refine the recorded cause in their rollback hook.
                     backend::rollback(self, th, ctx, AbortCause::Validation);
                     ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Validation as u64, 0);
+                    alloc_failures = 0;
                 }
                 Err(Abort::Conflict(cause)) => {
                     backend::rollback(self, th, ctx, cause);
                     ctx.trace_event(tm_sim::EventKind::TxAbort, cause as u64, 0);
+                    if cause == AbortCause::AllocFailed {
+                        alloc_failures += 1;
+                        if alloc_failures >= self.cfg.cm.alloc_retry_budget() {
+                            // Retrying has not changed the allocator's
+                            // answer; unwind finished in the rollback above,
+                            // so hand the stashed error to the caller.
+                            cm::propagate_alloc_failure(self, th, ctx);
+                            return Err(th
+                                .last_alloc_error
+                                .take()
+                                .expect("an AllocFailed abort stashes its error"));
+                        }
+                    } else {
+                        alloc_failures = 0;
+                    }
                 }
                 Err(Abort::Explicit) => {
                     backend::rollback(self, th, ctx, AbortCause::Explicit);
                     // Explicit retry: re-run (the workload asked for it).
                     ctx.trace_event(tm_sim::EventKind::TxAbort, AbortCause::Explicit as u64, 0);
+                    alloc_failures = 0;
                 }
             }
             cm::after_abort(self, th, ctx);

@@ -21,11 +21,16 @@ pub enum AbortCause {
     /// write-set line) hit a transactional line — the hardware analogue of
     /// a read/write conflict.
     Coherence = 6,
+    /// `Tx::try_malloc` observed the allocator refuse the request (real
+    /// exhaustion or an injected `AllocFaultPlan`); the transaction
+    /// unwinds its allocation journal and the retry loop decides whether
+    /// to retry or propagate the failure to the caller.
+    AllocFailed = 7,
 }
 
 impl AbortCause {
     /// Number of variants (sizes the `by_cause` array).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Stable lower-case label for reports.
     pub fn name(self) -> &'static str {
@@ -37,6 +42,7 @@ impl AbortCause {
             AbortCause::Explicit => "explicit",
             AbortCause::Capacity => "capacity",
             AbortCause::Coherence => "coherence-conflict",
+            AbortCause::AllocFailed => "alloc-failed",
         }
     }
 
@@ -49,6 +55,7 @@ impl AbortCause {
         AbortCause::Explicit,
         AbortCause::Capacity,
         AbortCause::Coherence,
+        AbortCause::AllocFailed,
     ];
 }
 
@@ -112,8 +119,19 @@ impl StmStats {
     }
 
     /// Report section with every counter, for `RunReport` emission.
+    ///
+    /// The `abort_alloc_failed` slot postdates every artifact frozen before
+    /// the allocation-failure plane existed, so — mirroring the report
+    /// v1/v1.1 discipline — it is emitted only when non-zero: runs without
+    /// fault injection keep producing byte-identical reports.
     pub fn section(&self) -> tm_obs::Section {
-        tm_obs::Section::from_schema(self)
+        let mut section = tm_obs::Section::from_schema(self);
+        if self.by_cause[AbortCause::AllocFailed as usize] == 0 {
+            if let tm_obs::Section::Counters(items) = &mut section {
+                items.retain(|(name, _)| name != "abort_alloc_failed");
+            }
+        }
+        section
     }
 }
 
@@ -132,6 +150,7 @@ impl tm_obs::SlotSchema for StmStats {
             "abort_explicit",
             "abort_capacity",
             "abort_coherence",
+            "abort_alloc_failed",
             "extensions",
             "reads",
             "writes",
@@ -142,28 +161,30 @@ impl tm_obs::SlotSchema for StmStats {
     }
 
     fn store(&self, slots: &mut [u64]) {
+        let base = 1 + AbortCause::COUNT;
         slots[0] = self.commits;
-        slots[1..1 + AbortCause::COUNT].copy_from_slice(&self.by_cause);
-        slots[8] = self.extensions;
-        slots[9] = self.reads;
-        slots[10] = self.writes;
-        slots[11] = self.cache_hits;
-        slots[12] = self.tx_mallocs;
-        slots[13] = self.tx_frees;
+        slots[1..base].copy_from_slice(&self.by_cause);
+        slots[base] = self.extensions;
+        slots[base + 1] = self.reads;
+        slots[base + 2] = self.writes;
+        slots[base + 3] = self.cache_hits;
+        slots[base + 4] = self.tx_mallocs;
+        slots[base + 5] = self.tx_frees;
     }
 
     fn load(slots: &[u64]) -> Self {
+        let base = 1 + AbortCause::COUNT;
         let mut by_cause = [0u64; AbortCause::COUNT];
-        by_cause.copy_from_slice(&slots[1..1 + AbortCause::COUNT]);
+        by_cause.copy_from_slice(&slots[1..base]);
         StmStats {
             commits: slots[0],
             by_cause,
-            extensions: slots[8],
-            reads: slots[9],
-            writes: slots[10],
-            cache_hits: slots[11],
-            tx_mallocs: slots[12],
-            tx_frees: slots[13],
+            extensions: slots[base],
+            reads: slots[base + 1],
+            writes: slots[base + 2],
+            cache_hits: slots[base + 3],
+            tx_mallocs: slots[base + 4],
+            tx_frees: slots[base + 5],
         }
     }
 }
@@ -190,6 +211,28 @@ mod tests {
     #[test]
     fn empty_ratio_is_zero() {
         assert_eq!(StmStats::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn alloc_failed_slot_is_emitted_only_when_hit() {
+        let names = <StmStats as tm_obs::SlotSchema>::slot_names();
+        assert_eq!(names.len(), <StmStats as tm_obs::SlotSchema>::WIDTH);
+        let has_slot = |s: &StmStats| match s.section() {
+            tm_obs::Section::Counters(items) => {
+                items.iter().any(|(n, _)| n == "abort_alloc_failed")
+            }
+            _ => unreachable!("stats sections are counters"),
+        };
+        let mut s = StmStats::default();
+        assert!(
+            !has_slot(&s),
+            "zero alloc-failures must emit the frozen layout"
+        );
+        s.record_abort(AbortCause::AllocFailed);
+        assert!(
+            has_slot(&s),
+            "a recorded alloc-failure must surface in reports"
+        );
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct TxThread {
     pub(crate) htm_irrevocable: bool,
     pub(crate) stats: StmStats,
     pub(crate) cache: Option<ObjectCache>,
+    /// The allocator error behind the most recent
+    /// [`AbortCause::AllocFailed`] abort, stashed by [`Tx::try_malloc`] so
+    /// [`Stm::try_txn`](crate::Stm::try_txn) can propagate the real cause
+    /// once the retry budget is spent.
+    pub(crate) last_alloc_error: Option<tm_alloc::AllocError>,
     /// Contention-management policy currently reacting to this thread's
     /// aborts (fixed for static [`CmKind`]s; walked up and down the
     /// escalation ladder by [`CmKind::Adaptive`]).
@@ -114,6 +119,7 @@ impl TxThread {
             htm_irrevocable: false,
             stats: StmStats::default(),
             cache: object_cache.then(ObjectCache::default),
+            last_alloc_error: None,
             cm_active: cm.initial_policy(),
             karma: 0,
             cm_start: 0,
@@ -256,14 +262,21 @@ impl TxThread {
         // Memory allocated inside the aborting transaction must be undone
         // (paper §2) — or parked in the object cache (§6.2).
         let allocs = std::mem::take(&mut self.tx_allocs);
-        for (addr, size) in allocs {
-            if let Some(cache) = &mut self.cache {
-                if cache.put(size, addr) {
-                    continue;
+        if stm.cfg.bug == crate::InjectedBug::LeakOnAllocFail && cause == AbortCause::AllocFailed {
+            // BUG (injected): forget the allocation journal instead of
+            // unwinding it — every block the failing transaction had
+            // already obtained leaks. The every-site OOM sweep must
+            // observe the leak through the heap auditor.
+        } else {
+            for (addr, size) in allocs {
+                if let Some(cache) = &mut self.cache {
+                    if cache.put(size, addr) {
+                        continue;
+                    }
+                    stm.sizes.remove(addr);
                 }
-                stm.sizes.remove(addr);
+                stm.allocator.free(ctx, addr);
             }
-            stm.allocator.free(ctx, addr);
         }
         self.tx_frees.clear();
         self.stats.record_abort(cause);
@@ -331,7 +344,30 @@ impl<'a> Tx<'a> {
 
     /// Transactional allocation: undone if the transaction aborts. Served
     /// from the object cache when the §6.2 optimization is enabled.
+    ///
+    /// Panics if the allocator refuses the request — allocation-failure-
+    /// aware workloads should call [`Tx::try_malloc`], which turns the
+    /// refusal into a clean [`AbortCause::AllocFailed`] abort instead.
     pub fn malloc(&mut self, ctx: &mut Ctx<'_>, size: u64) -> u64 {
+        match self.try_malloc(ctx, size) {
+            Ok(addr) => addr,
+            Err(_) => {
+                let e = self
+                    .th
+                    .last_alloc_error
+                    .expect("try_malloc stashes the error before aborting");
+                panic!("transactional malloc({size}) failed: {e} (use Tx::try_malloc for a clean abort)")
+            }
+        }
+    }
+
+    /// Transactional allocation that surfaces allocator refusal as a clean
+    /// abort: on failure the transaction unwinds (journaled allocations
+    /// freed, locks released) with [`AbortCause::AllocFailed`], and the
+    /// retry loop in [`Stm::try_txn`](crate::Stm::try_txn) decides between
+    /// retrying and propagating the underlying error. Object-cache hits
+    /// cannot fail — recycled blocks never touch the allocator.
+    pub fn try_malloc(&mut self, ctx: &mut Ctx<'_>, size: u64) -> Result<u64, Abort> {
         self.th.stats.tx_mallocs += 1;
         let addr = if let Some(cache) = &mut self.th.cache {
             match cache.take(size) {
@@ -340,16 +376,29 @@ impl<'a> Tx<'a> {
                     ctx.tick(8); // cache lookup instead of allocator call
                     a
                 }
-                None => self.stm.allocator.malloc(ctx, size),
+                None => self.allocator_malloc(ctx, size)?,
             }
         } else {
-            self.stm.allocator.malloc(ctx, size)
+            self.allocator_malloc(ctx, size)?
         };
         if self.th.cache.is_some() {
             self.stm.sizes.insert(addr, size);
         }
         self.th.tx_allocs.push((addr, size));
-        addr
+        Ok(addr)
+    }
+
+    /// The allocator call behind [`Tx::try_malloc`], translating an
+    /// [`tm_alloc::AllocError`] into the alloc-failed abort (with the
+    /// error stashed for [`Stm::try_txn`](crate::Stm::try_txn)).
+    fn allocator_malloc(&mut self, ctx: &mut Ctx<'_>, size: u64) -> Result<u64, Abort> {
+        match self.stm.allocator.try_malloc(ctx, size) {
+            Ok(addr) => Ok(addr),
+            Err(e) => {
+                self.th.last_alloc_error = Some(e);
+                Err(Abort::Conflict(AbortCause::AllocFailed))
+            }
+        }
     }
 
     /// Transactional free: deferred to commit time (paper §2); dropped if

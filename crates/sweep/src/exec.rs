@@ -61,22 +61,18 @@ impl Fault {
 
     /// Parse `<timeout|error>:<needle>[:<n>]`. A trailing `:`-separated
     /// integer is the fail-first-`n` count; without one the fault is
-    /// permanent. `None` on malformed input.
+    /// permanent (a colon whose tail is not an integer belongs to the
+    /// needle — [`tm_obs::spec::trailing_count`]'s rule). `None` on
+    /// malformed input. The tokenizing lives in [`tm_obs::spec`], shared
+    /// with the allocator fault-plan grammar (`--alloc-fault`).
     pub fn parse(raw: &str) -> Option<Fault> {
-        let (kind, rest) = raw.split_once(':')?;
+        let (kind, rest) = tm_obs::spec::kind(raw)?;
         let kind = match kind {
             "timeout" => FaultKind::Timeout,
             "error" => FaultKind::Error,
             _ => return None,
         };
-        let (needle, first_n) = match rest.rsplit_once(':') {
-            Some((head, count)) => match count.parse::<u32>() {
-                Ok(n) => (head, Some(n)),
-                // Not a count — the needle itself contains a colon.
-                Err(_) => (rest, None),
-            },
-            None => (rest, None),
-        };
+        let (needle, first_n) = tm_obs::spec::trailing_count(rest);
         Some(Fault {
             kind,
             needle: needle.to_string(),

@@ -13,10 +13,18 @@
 # --freeze, run the matrix from scratch (tmstudy mc --no-checkpoint) and
 # (re)write the baseline file instead.
 #
-# Usage: scripts/bench.sh [--quick] [--mc] [--freeze] [--out FILE] [--gate PCT]
+# --pr10 mode: time the same sweep matrix (best of three runs, to keep
+# the comparison honest against scheduler noise) and merge against the
+# frozen pre-fault-plane baseline (results/bench_before_pr10.json) into
+# results/BENCH_pr10.json, gating at 5% by default: the disabled
+# AllocFault hooks must be free on the malloc/tx_malloc hot path.
+#
+# Usage: scripts/bench.sh [--quick] [--mc] [--pr10] [--freeze] [--out FILE] [--gate PCT]
 #   --quick    skip the full exhibit regeneration; time only the sweep
 #              matrix (the CI perf-smoke mode — seconds, not minutes)
 #   --mc       benchmark the model checker instead of the sweep matrix
+#   --pr10     benchmark the fault-hook overhead against the frozen
+#              pre-PR10 baseline (gate defaults to 5)
 #   --freeze   (--mc only) measure from-scratch and freeze the baseline
 #   --out FILE destination (default results/BENCH_pr7.json, or
 #              results/BENCH_pr9.json / results/bench_before_pr9.json
@@ -40,6 +48,7 @@ CARGO="cargo --offline"
 
 quick=0
 mc=0
+pr10=0
 freeze=0
 out=""
 gate=""
@@ -47,6 +56,7 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick=1 ;;
     --mc) mc=1 ;;
+    --pr10) pr10=1 ;;
     --freeze) freeze=1 ;;
     --out) out="$2"; shift ;;
     --gate) gate="$2"; shift ;;
@@ -56,6 +66,91 @@ while [ $# -gt 0 ]; do
 done
 if [ "$freeze" -eq 1 ] && [ "$mc" -eq 0 ]; then
   echo "--freeze only applies to --mc" >&2; exit 2
+fi
+if [ "$pr10" -eq 1 ] && [ "$mc" -eq 1 ]; then
+  echo "--pr10 and --mc are mutually exclusive" >&2; exit 2
+fi
+
+if [ "$pr10" -eq 1 ]; then
+  out="${out:-results/BENCH_pr10.json}"
+  gate="${gate:-5}"
+
+  echo "==> cargo build --release"
+  $CARGO build --workspace --release
+
+  # The frozen baseline was measured on the exact sweep preset below at
+  # commit 2a371aa (pre-fault-plane). Best-of-three keeps one noisy run
+  # from tripping a 5% gate that is really about instruction overhead.
+  best_json="$(mktemp)"
+  best_ms=""
+  echo "==> timing: tmstudy sweep --quick (x3, best run kept)"
+  for i in 1 2 3; do
+    run_json="$(mktemp)"
+    start=$(date +%s%N)
+    ./target/release/tmstudy sweep --quick --workers 1 --name bench-pr10 \
+      --out "$run_json" >/dev/null
+    ms=$(( ($(date +%s%N) - start) / 1000000 ))
+    echo "    run $i: ${ms} ms"
+    if [ -z "$best_ms" ] || [ "$ms" -lt "$best_ms" ]; then
+      best_ms=$ms
+      cp "$run_json" "$best_json"
+    fi
+    rm -f "$run_json"
+  done
+
+  echo "==> merging into $out"
+  python3 - "$best_json" "$out" "$gate" <<'EOF'
+import json, os, platform, sys
+
+sweep_path, out_path, gate = sys.argv[1:4]
+sweep = json.load(open(sweep_path))
+before = json.load(open('results/bench_before_pr10.json'))
+
+after = {
+    'side': 'after',
+    'note': 'Same sweep preset with the AllocFault plane compiled in but '
+            'disabled (AllocFaultPlan::None builds no injector at all). '
+            'Best of three runs.',
+    'host': {
+        'os': platform.system().lower(),
+        'arch': platform.machine(),
+        'cores': os.cpu_count(),
+    },
+    'sweep': {
+        'total_wall_ms': int(sweep['meta']['total_wall_ms']),
+        'cells': [
+            {
+                'cell': '/'.join(c['config'][k]
+                                 for k in ('structure', 'alloc', 'threads')),
+                'wall_ms': c['wall_ms'],
+                'status': c['status'],
+            }
+            for c in sweep['cells']
+        ],
+    },
+}
+
+b_ms = before['sweep']['total_wall_ms']
+a_ms = after['sweep']['total_wall_ms']
+doc = {
+    'schema': 'tm-bench-perf/v1',
+    'before': before,
+    'after': after,
+    'overhead_pct': round((a_ms - b_ms) * 100 / b_ms, 2) if b_ms else None,
+}
+json.dump(doc, open(out_path, 'w'), indent=2)
+print(f"fault-hook overhead: {b_ms} ms -> {a_ms} ms "
+      f"({doc['overhead_pct']:+.2f}%); wrote {out_path}")
+budget = b_ms * (1 + float(gate) / 100)
+if a_ms > budget:
+    print(f"GATE FAIL: sweep {a_ms} ms exceeds the {gate}% budget "
+          f"({budget:.0f} ms against baseline {b_ms} ms): the disabled "
+          f"fault hooks are not free", file=sys.stderr)
+    sys.exit(1)
+print(f"gate: disabled fault hooks within {gate}% of the frozen baseline")
+EOF
+  rm -f "$best_json"
+  exit 0
 fi
 
 if [ "$mc" -eq 1 ]; then

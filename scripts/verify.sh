@@ -57,6 +57,20 @@ else
 fi
 rm -f "$mc_out"
 
+# The allocation-failure plane must keep its teeth too: every allocation
+# site, when failed, must yield either a committed retry or a clean
+# AllocFailed abort — zero leaks, zero invariant violations.
+echo "==> tmstudy mc --oom (every-site OOM sweep)"
+oom_out="$(mktemp)"
+if [ "$quick" -eq 0 ]; then
+  $CARGO run --release -p tm-core --bin tmstudy -- mc --oom \
+    --name verify-oom --out "$oom_out" >/dev/null
+else
+  $CARGO run -p tm-core --bin tmstudy -- mc --oom \
+    --name verify-oom --out "$oom_out" >/dev/null
+fi
+rm -f "$oom_out"
+
 # The non-default backend must keep sweeping end-to-end (trait dispatch,
 # CLI plumbing, report emission), not just pass unit tests.
 echo "==> tmstudy sweep --quick --backend norec (backend smoke)"
